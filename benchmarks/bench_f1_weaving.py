@@ -1,0 +1,119 @@
+"""F1 — the run-time adaptation machinery of Fig. 1.
+
+Measures the costs the weaver pays at each stage, versus the number of
+potential join points:
+
+- ``load_class`` — planting minimal hooks at every join point (the
+  paper's JIT-time stub insertion);
+- ``insert`` / ``withdraw`` — activating/deactivating an aspect, i.e.
+  matching its crosscut against all join points and recompiling dispatch
+  chains.
+
+Shape: all three scale roughly linearly with the join-point count, and
+none of them is paid per call afterwards (see E1/E2).
+
+This doubles as the DESIGN §6 ablation of stub-everywhere (pay at load)
+vs weave-on-demand (pay at insert): the two costs are reported separately
+so their trade-off is visible.
+"""
+
+import pytest
+
+from repro.aop import Aspect, MethodCut, ProseVM
+from repro.aop.advice import AdviceKind
+
+
+def make_class(method_count: int) -> type:
+    """A fresh class with ``method_count`` distinct methods."""
+    namespace = {}
+    for index in range(method_count):
+        exec(  # noqa: S102 - benchmark scaffolding
+            f"def method_{index}(self):\n    return {index}", namespace
+        )
+    return type(f"Wide{method_count}", (), namespace)
+
+
+def make_aspect() -> Aspect:
+    aspect = Aspect()
+    aspect.add_advice(
+        AdviceKind.BEFORE, MethodCut(type="Wide*", method="*"), lambda ctx: None
+    )
+    return aspect
+
+
+@pytest.mark.benchmark(group="f1-load-class")
+@pytest.mark.parametrize("methods", [10, 100, 1000])
+def test_f1_load_class(benchmark, methods):
+    """Hook-planting cost vs. join-point count."""
+
+    def plant():
+        vm = ProseVM()
+        cls = make_class(methods)
+        vm.load_class(cls)
+        return vm
+
+    benchmark(plant)
+
+
+@pytest.mark.benchmark(group="f1-insert")
+@pytest.mark.parametrize("methods", [10, 100, 1000])
+def test_f1_insert_aspect(benchmark, methods):
+    """Weaving cost: matching one aspect against all join points."""
+    vm = ProseVM()
+    cls = make_class(methods)
+    vm.load_class(cls)
+
+    def round_trip():
+        aspect = make_aspect()
+        vm.insert(aspect)
+        vm.withdraw(aspect)
+
+    benchmark(round_trip)
+
+
+@pytest.mark.benchmark(group="f1-insert-many")
+@pytest.mark.parametrize("aspects", [1, 8, 32])
+def test_f1_insert_scaling_with_resident_aspects(benchmark, aspects):
+    """Insertion cost with other aspects already woven (chain rebuild)."""
+    vm = ProseVM()
+    cls = make_class(50)
+    vm.load_class(cls)
+    for _ in range(aspects):
+        vm.insert(make_aspect())
+
+    def round_trip():
+        aspect = make_aspect()
+        vm.insert(aspect)
+        vm.withdraw(aspect)
+
+    benchmark(round_trip)
+
+
+@pytest.mark.benchmark(group="f1-insert-mode-ablation")
+@pytest.mark.parametrize("mode", ["resident", "swap"])
+def test_f1_insert_cost_by_mode(benchmark, mode):
+    """The stub-everywhere vs weave-on-demand trade-off at insert time:
+    swap mode pays setattr + stub construction per activation."""
+    vm = ProseVM(mode=mode)
+    cls = make_class(100)
+    vm.load_class(cls)
+
+    def round_trip():
+        aspect = make_aspect()
+        vm.insert(aspect)
+        vm.withdraw(aspect)
+
+    benchmark(round_trip)
+
+
+@pytest.mark.benchmark(group="f1-unload")
+def test_f1_unload_class(benchmark):
+    """Restoring a class to its pristine definition."""
+
+    def cycle():
+        vm = ProseVM()
+        cls = make_class(100)
+        vm.load_class(cls)
+        vm.unload_class(cls)
+
+    benchmark(cycle)

@@ -1,0 +1,76 @@
+"""F2 — the Fig. 2 adaptation lifecycle, end to end.
+
+How long after a node enters a hall is it fully adapted?  The benchmark
+builds a fresh world (base station + node in range), runs the simulation
+until every extension of the hall's policy is installed, and reports:
+
+- wall time of the whole scenario (the pytest-benchmark number), and
+- the *simulated* adaptation latency in extra_info — the paper-relevant
+  metric, dominated by one discovery round trip plus one offer round
+  trip per extension.
+
+Shape: simulated latency is a few radio round trips, growing mildly with
+the number of extensions in the policy.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.support import TraceAspect  # noqa: E402
+
+
+def adaptation_latency(extension_count: int, seed: int = 0) -> float:
+    """Simulated seconds from node creation to full adaptation."""
+    platform = ProactivePlatform(seed=seed)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    for index in range(extension_count):
+        hall.add_extension(f"ext-{index}", TraceAspect)
+    node = platform.create_mobile_node("node", Position(5, 0))
+    start = platform.now
+    for _ in range(10_000):
+        if len(node.extensions()) == extension_count:
+            break
+        if not platform.simulator.step():
+            break
+    assert len(node.extensions()) == extension_count
+    return platform.now - start
+
+
+@pytest.mark.benchmark(group="f2-adaptation-lifecycle")
+@pytest.mark.parametrize("extensions", [1, 2, 4, 8])
+def test_f2_time_to_adapted(benchmark, extensions):
+    """Full enter-hall-to-adapted scenario; simulated latency in extra_info."""
+    result = benchmark.pedantic(
+        adaptation_latency, args=(extensions,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["simulated_adaptation_seconds"] = round(result, 4)
+    benchmark.extra_info["extensions"] = extensions
+
+
+@pytest.mark.benchmark(group="f2-adaptation-lifecycle")
+def test_f2_readaptation_after_return(benchmark):
+    """Leave-and-return cycle: revocation plus re-adaptation."""
+
+    def scenario() -> float:
+        platform = ProactivePlatform(seed=3)
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("ext", TraceAspect)
+        node = platform.create_mobile_node("node", Position(5, 0))
+        platform.run_for(5.0)
+        assert node.extensions()
+        node.walk_to(Position(200, 0))  # ~130s walk at 1.5 m/s
+        platform.run_for(200.0)
+        assert not node.extensions()
+        node.walk_to(Position(5, 0))
+        start = platform.now
+        platform.run_for(400.0)
+        assert node.extensions()
+        return platform.now - start
+
+    benchmark.pedantic(scenario, rounds=3, iterations=1)

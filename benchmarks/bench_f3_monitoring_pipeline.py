@@ -1,0 +1,102 @@
+"""F3 — the Fig. 3b monitoring pipeline: intercept → buffer → ship → store.
+
+Measures the full data path of the hardware monitoring extension: motor
+commands intercepted on the robot, buffered locally, shipped in batches
+over the radio, appended to the hall database.
+
+Shape: per-command cost is dominated by record construction and batching,
+not by the radio (batches amortize it); throughput scales with batch
+(flush) interval.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.monitoring import HwMonitoring
+from repro.net.geometry import Position
+from repro.robot.hardware import Device, Motor
+from repro.robot.plotter import Plotter, build_plotter
+
+COMMANDS = 200
+
+
+def pipeline_run(flush_interval: float) -> tuple[float, int]:
+    """Drive COMMANDS motor actions through the full pipeline.
+
+    Returns (simulated seconds until all records landed, records stored).
+    """
+    platform = ProactivePlatform(seed=9)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension(
+        "hw-monitoring",
+        lambda: HwMonitoring(
+            "robot", hall.store_ref, flush_interval=flush_interval
+        ),
+    )
+    robot = platform.create_mobile_node("robot", Position(5, 0))
+    for cls in (Device, Motor, Plotter):
+        robot.load_class(cls)
+    try:
+        plotter = build_plotter("robot")
+        platform.run_for(5.0)
+        assert robot.extensions() == ["hw-monitoring"]
+
+        start = platform.now
+        for index in range(COMMANDS):
+            plotter.move_to(float(index % 20), 0.0)
+        platform.run_for(flush_interval * 4 + 2.0)
+        stored = hall.db.count("robot")
+        assert stored >= COMMANDS // 2
+        return platform.now - start, stored
+    finally:
+        for cls in (Device, Motor, Plotter):
+            robot.vm.unload_class(cls)
+
+
+@pytest.mark.benchmark(group="f3-monitoring-pipeline")
+@pytest.mark.parametrize("flush_interval", [0.1, 0.5, 2.0])
+def test_f3_pipeline_throughput(benchmark, flush_interval):
+    """End-to-end pipeline run; extra_info reports records stored."""
+    simulated, stored = benchmark.pedantic(
+        pipeline_run, args=(flush_interval,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["flush_interval_s"] = flush_interval
+    benchmark.extra_info["records_stored"] = stored
+    benchmark.extra_info["simulated_seconds"] = round(simulated, 3)
+
+
+@pytest.mark.benchmark(group="f3-capture-only")
+def test_f3_capture_cost_per_command(benchmark, vm):
+    """Robot-side cost alone: intercept one motor command into the buffer."""
+    from repro.aop.sandbox import AspectSandbox, Capability, SandboxPolicy, SystemGateway
+    from repro.midas.remote import ServiceRef
+    from repro.midas.scheduler import SchedulerService
+    from repro.sim.kernel import Simulator
+    from repro.util.clock import ManualClock
+
+    class Sink:
+        def post(self, ref, body):
+            pass
+
+    vm.load_class(Motor)
+    aspect = HwMonitoring("robot", ServiceRef("hall", "store.append"))
+    sandbox = AspectSandbox(SandboxPolicy.permissive(), aspect.name)
+    aspect.bind(
+        SystemGateway(
+            {
+                Capability.NETWORK: Sink(),
+                Capability.CLOCK: ManualClock(),
+                Capability.SCHEDULER: SchedulerService(Simulator()),
+            },
+            sandbox,
+        )
+    )
+    vm.insert(aspect, sandbox=sandbox)
+    motor = Motor("m.x")
+
+    def command():
+        motor.rotate(1.0)
+        if aspect.pending > 10_000:
+            aspect._buffer.clear()  # keep memory flat during the benchmark
+
+    benchmark(command)

@@ -1,0 +1,77 @@
+"""F4/F5 — the plotter prototype under adaptation.
+
+Complements the behavioural tests with cost numbers for the robot stack
+itself: drawing throughput on a pristine stack, on a PROSE-activated
+stack (hooks, no advice), and under the full Fig. 5 monitoring
+extension.  The deltas mirror E1/E2 at the application level: activation
+costs a constant factor; the extension's record-building dominates.
+"""
+
+import pytest
+
+from repro.aop.sandbox import AspectSandbox, Capability, SandboxPolicy, SystemGateway
+from repro.aop.vm import ProseVM
+from repro.extensions.monitoring import HwMonitoring
+from repro.midas.remote import ServiceRef
+from repro.midas.scheduler import SchedulerService
+from repro.robot.hardware import Device, Motor
+from repro.robot.plotter import Plotter, build_plotter
+from repro.robot.rcx import RCXBrick
+from repro.sim.kernel import Simulator
+from repro.util.clock import ManualClock
+
+SQUARE = [(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0), (0.0, 0.0)]
+
+
+class _Sink:
+    def post(self, ref, body):
+        pass
+
+
+def draw_square(plotter):
+    plotter.draw_polyline(SQUARE)
+    plotter.canvas.clear()
+
+
+@pytest.mark.benchmark(group="f4-plotter")
+def test_f4_plain_stack(benchmark):
+    """Square drawing on the pristine robot stack."""
+    plotter = build_plotter("plain")
+    benchmark(draw_square, plotter)
+
+
+@pytest.mark.benchmark(group="f4-plotter")
+def test_f4_activated_stack(benchmark, vm):
+    """Square drawing with Motor/Plotter/RCX hooked, no advice."""
+    for cls in (Device, Motor, Plotter, RCXBrick):
+        vm.load_class(cls)
+    plotter = build_plotter("hooked")
+    benchmark(draw_square, plotter)
+
+
+@pytest.mark.benchmark(group="f4-plotter")
+def test_f4_monitored_stack(benchmark, vm):
+    """Square drawing under the Fig. 5 HwMonitoring extension."""
+    for cls in (Device, Motor, Plotter, RCXBrick):
+        vm.load_class(cls)
+    aspect = HwMonitoring("robot", ServiceRef("hall", "store.append"))
+    sandbox = AspectSandbox(SandboxPolicy.permissive(), aspect.name)
+    aspect.bind(
+        SystemGateway(
+            {
+                Capability.NETWORK: _Sink(),
+                Capability.CLOCK: ManualClock(),
+                Capability.SCHEDULER: SchedulerService(Simulator()),
+            },
+            sandbox,
+        )
+    )
+    vm.insert(aspect, sandbox=sandbox)
+    plotter = build_plotter("monitored")
+
+    def draw():
+        draw_square(plotter)
+        if aspect.pending > 10_000:
+            aspect._buffer.clear()
+
+    benchmark(draw)

@@ -1,0 +1,83 @@
+"""F6 — the Fig. 6 client: querying and manipulating the hall database.
+
+Benchmarks the operations the screenshot's tool performs: listing a
+robot's action history, windowed selection, scaling a selection, and
+preparing a replay.
+
+Shape: append is O(1); per-robot listing is O(actions of that robot) and
+unaffected by other robots' records; scaling is linear in the selection.
+"""
+
+import pytest
+
+from repro.store.database import MovementRecord, MovementStore
+from repro.store.manipulation import MovementSequence, plotter_port_map
+
+
+def populate(robots: int, actions_per_robot: int) -> MovementStore:
+    store = MovementStore()
+    for robot_index in range(robots):
+        robot = f"robot:{robot_index}"
+        for action_index in range(actions_per_robot):
+            motor = ("x", "y", "pen")[action_index % 3]
+            store.append(
+                MovementRecord(
+                    robot,
+                    f"{robot}.motor.{motor}",
+                    "rotate",
+                    (float(action_index % 90),),
+                    float(action_index) * 0.05,
+                )
+            )
+    return store
+
+
+@pytest.mark.benchmark(group="f6-append")
+def test_f6_append(benchmark):
+    store = MovementStore()
+    record = MovementRecord("robot:1:1", "m.x", "rotate", (10.0,), 1.0)
+    benchmark(store.append, record)
+
+
+@pytest.mark.benchmark(group="f6-action-list")
+@pytest.mark.parametrize("actions", [100, 1000, 10_000])
+def test_f6_list_robot_actions(benchmark, actions):
+    """The left panel of Fig. 6: all actions of one robot."""
+    store = populate(robots=4, actions_per_robot=actions)
+    result = benchmark(store.actions_of, "robot:1")
+    assert len(result) == actions
+
+
+@pytest.mark.benchmark(group="f6-action-list")
+def test_f6_listing_unaffected_by_other_robots(benchmark):
+    """Per-robot indexes keep one robot's listing independent of total size."""
+    store = populate(robots=50, actions_per_robot=200)
+    result = benchmark(store.actions_of, "robot:0")
+    assert len(result) == 200
+
+
+@pytest.mark.benchmark(group="f6-window")
+def test_f6_window_selection(benchmark):
+    store = populate(robots=1, actions_per_robot=10_000)
+    result = benchmark(store.actions_of, "robot:0", 100.0, 200.0)
+    assert result
+
+
+@pytest.mark.benchmark(group="f6-manipulation")
+@pytest.mark.parametrize("selection", [100, 1000])
+def test_f6_scale_selection(benchmark, selection):
+    """The right panel: amplify a selected sequence."""
+    store = populate(robots=1, actions_per_robot=selection)
+    sequence = MovementSequence.from_store(store, "robot:0")
+    scaled = benchmark(sequence.scaled, 2.0)
+    assert len(scaled) == selection
+
+
+@pytest.mark.benchmark(group="f6-manipulation")
+def test_f6_prepare_replay(benchmark):
+    """Turning a selection into time-offset hardware macros."""
+    store = populate(robots=1, actions_per_robot=1000)
+    sequence = MovementSequence.from_store(store, "robot:0")
+    port_map = plotter_port_map(sequence.records)
+    macros = benchmark(sequence.to_macros, port_map)
+    assert len(macros) == 1000

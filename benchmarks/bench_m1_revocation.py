@@ -1,0 +1,83 @@
+"""M1 — lease-based revocation latency (§3.2).
+
+When a node silently leaves a proactive space, how long do its extensions
+survive?  The platform's answer: until the receiver-side lease lapses —
+at most one lease term after the last keep-alive landed.
+
+The benchmark severs the radio link (the instant the node "leaves") and
+measures the *simulated* time until the extension is withdrawn, across
+lease durations.  Shape: revocation latency ≈ lease duration (slightly
+less on average, since the last renewal happened mid-term), linear in the
+configured term — the paper's time/space locality knob.
+
+An active revocation (base-initiated ``midas.revoke``) is benchmarked for
+contrast: one radio round trip, independent of the lease term.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.support import TraceAspect  # noqa: E402
+
+
+def passive_revocation_latency(lease_duration: float) -> float:
+    """Simulated seconds from link loss to extension withdrawal."""
+    platform = ProactivePlatform(seed=13, lease_duration=lease_duration)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension("ext", TraceAspect)
+    node = platform.create_mobile_node("node", Position(5, 0))
+    platform.run_for(lease_duration)  # adapted, leases being renewed
+    assert node.extensions()
+
+    withdrawn_at = []
+    node.adaptation.on_withdrawn.connect(
+        lambda inst, reason: withdrawn_at.append(platform.now)
+    )
+    platform.network.partition("hall", "node")
+    left_at = platform.now
+    platform.run_for(lease_duration * 4 + 10.0)
+    assert withdrawn_at, "extension never withdrawn"
+    return withdrawn_at[0] - left_at
+
+
+def active_revocation_latency() -> float:
+    """Simulated seconds for a base-initiated revoke to take effect."""
+    platform = ProactivePlatform(seed=13, lease_duration=30.0)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension("ext", TraceAspect)
+    node = platform.create_mobile_node("node", Position(5, 0))
+    platform.run_for(5.0)
+    withdrawn_at = []
+    node.adaptation.on_withdrawn.connect(
+        lambda inst, reason: withdrawn_at.append(platform.now)
+    )
+    start = platform.now
+    hall.extension_base.revoke("node", "ext")
+    platform.run_for(5.0)
+    assert withdrawn_at
+    return withdrawn_at[0] - start
+
+
+@pytest.mark.benchmark(group="m1-revocation")
+@pytest.mark.parametrize("lease_duration", [2.0, 5.0, 10.0, 20.0])
+def test_m1_passive_revocation(benchmark, lease_duration):
+    """Node vanishes; extension dies with its lease."""
+    latency = benchmark.pedantic(
+        passive_revocation_latency, args=(lease_duration,), rounds=3, iterations=1
+    )
+    benchmark.extra_info["lease_duration_s"] = lease_duration
+    benchmark.extra_info["simulated_revocation_latency_s"] = round(latency, 3)
+    benchmark.extra_info["latency_over_lease"] = round(latency / lease_duration, 2)
+
+
+@pytest.mark.benchmark(group="m1-revocation")
+def test_m1_active_revocation(benchmark):
+    """Base-initiated revocation: one round trip, term-independent."""
+    latency = benchmark.pedantic(active_revocation_latency, rounds=3, iterations=1)
+    benchmark.extra_info["simulated_revocation_latency_s"] = round(latency, 4)

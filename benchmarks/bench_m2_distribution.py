@@ -1,0 +1,95 @@
+"""M2 — extension distribution at community scale (§3.2).
+
+A base station must "discover new nodes joining a local environment,
+distribute extensions to them and then activate these extensions".  The
+benchmark creates a community of N nodes inside one cell and measures the
+simulated time until every node carries the hall's extensions, plus the
+radio traffic spent.
+
+Shape: time-to-all-adapted grows mildly with N (discovery is
+announcement-driven and offers are independent), while messages grow
+linearly with N × extensions — the base is the hot spot, as expected of
+the centralized configuration.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.support import TraceAspect  # noqa: E402
+
+
+def distribute(nodes: int, extensions: int, seed: int = 0) -> tuple[float, int]:
+    """Returns (simulated time to full adaptation, messages delivered)."""
+    platform = ProactivePlatform(seed=seed)
+    hall = platform.create_base_station("hall", Position(0, 0), radio_range=100)
+    for index in range(extensions):
+        hall.add_extension(f"ext-{index}", TraceAspect)
+    members = [
+        platform.create_mobile_node(
+            f"node-{index}", Position(5.0 + index % 10, index // 10), radio_range=100
+        )
+        for index in range(nodes)
+    ]
+    start = platform.now
+
+    def all_adapted() -> bool:
+        return all(len(node.extensions()) == extensions for node in members)
+
+    for _ in range(2_000_000):
+        if all_adapted():
+            break
+        if not platform.simulator.step():
+            break
+    assert all_adapted(), "community never fully adapted"
+    return platform.now - start, platform.network.messages_delivered
+
+
+@pytest.mark.benchmark(group="m2-distribution")
+@pytest.mark.parametrize("nodes", [1, 4, 16, 48])
+def test_m2_time_to_adapt_community(benchmark, nodes):
+    """Time for one hall to adapt an N-node community (2 extensions)."""
+    simulated, messages = benchmark.pedantic(
+        distribute, args=(nodes, 2), rounds=3, iterations=1
+    )
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["simulated_seconds_to_all_adapted"] = round(simulated, 3)
+    benchmark.extra_info["messages_delivered"] = messages
+
+
+@pytest.mark.benchmark(group="m2-distribution-extensions")
+@pytest.mark.parametrize("extensions", [1, 4, 8])
+def test_m2_time_vs_policy_size(benchmark, extensions):
+    """Time to adapt 8 nodes as the hall policy grows."""
+    simulated, messages = benchmark.pedantic(
+        distribute, args=(8, extensions), rounds=3, iterations=1
+    )
+    benchmark.extra_info["extensions"] = extensions
+    benchmark.extra_info["simulated_seconds_to_all_adapted"] = round(simulated, 3)
+    benchmark.extra_info["messages_delivered"] = messages
+
+
+@pytest.mark.benchmark(group="m2-steady-state")
+def test_m2_keepalive_traffic(benchmark):
+    """Steady-state keep-alive traffic for an adapted 16-node community."""
+
+    def steady_minute() -> float:
+        platform = ProactivePlatform(seed=5)
+        hall = platform.create_base_station("hall", Position(0, 0), radio_range=100)
+        hall.add_extension("ext", TraceAspect)
+        for index in range(16):
+            platform.create_mobile_node(
+                f"node-{index}", Position(5 + index, 0), radio_range=100
+            )
+        platform.run_for(10.0)  # settle
+        before = platform.network.messages_delivered
+        platform.run_for(60.0)
+        return (platform.network.messages_delivered - before) / 60.0
+
+    rate = benchmark.pedantic(steady_minute, rounds=3, iterations=1)
+    benchmark.extra_info["messages_per_simulated_second"] = round(rate, 1)

@@ -1,0 +1,101 @@
+"""M3 — the security layer's costs: sealing and verifying extensions.
+
+Every distributed extension instance is serialized and signed at the base
+and verified at the receiver *before* deserialization (§3.2).  The
+benchmark measures seal (pickle + MAC) and open (verify + unpickle)
+across payload sizes, and the rejection fast-path for untrusted senders.
+
+Shape: both scale linearly with payload size; rejecting an untrusted
+signer is near-constant (no deserialization is ever attempted).
+"""
+
+import pytest
+
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.trust import Signer, TrustStore
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.support import TraceAspect  # noqa: E402
+
+
+class PaddedAspect(TraceAspect):
+    """A trace aspect carrying configuration ballast of a chosen size."""
+
+    def __init__(self, ballast: int):
+        super().__init__()
+        self.ballast = b"x" * ballast
+
+
+@pytest.fixture(scope="module")
+def signer():
+    return Signer.generate("hall")
+
+
+@pytest.fixture(scope="module")
+def trust(signer):
+    store = TrustStore()
+    store.trust_signer(signer)
+    return store
+
+
+@pytest.mark.benchmark(group="m3-seal")
+@pytest.mark.parametrize("ballast", [0, 4096, 65536])
+def test_m3_seal(benchmark, signer, ballast):
+    """Instantiate + serialize + sign one extension."""
+    envelope = benchmark(
+        lambda: ExtensionEnvelope.seal("ext", PaddedAspect(ballast), signer)
+    )
+    benchmark.extra_info["payload_bytes"] = envelope.size
+
+
+@pytest.mark.benchmark(group="m3-open")
+@pytest.mark.parametrize("ballast", [0, 4096, 65536])
+def test_m3_verify_and_open(benchmark, signer, trust, ballast):
+    """Verify + deserialize one received extension."""
+    envelope = ExtensionEnvelope.seal("ext", PaddedAspect(ballast), signer)
+    benchmark(envelope.open, trust)
+    benchmark.extra_info["payload_bytes"] = envelope.size
+
+
+@pytest.mark.benchmark(group="m3-reject")
+def test_m3_reject_untrusted(benchmark, signer):
+    """Rejection path: untrusted signer, payload never deserialized."""
+    from repro.errors import UntrustedSignerError
+
+    envelope = ExtensionEnvelope.seal("ext", PaddedAspect(65536), signer)
+    empty_store = TrustStore()
+
+    def attempt():
+        try:
+            envelope.open(empty_store)
+        except UntrustedSignerError:
+            return True
+        raise AssertionError("untrusted envelope accepted")
+
+    assert benchmark(attempt)
+
+
+@pytest.mark.benchmark(group="m3-reject")
+def test_m3_reject_tampered(benchmark, signer, trust):
+    """Rejection path: valid signer, corrupted payload."""
+    from repro.errors import VerificationError
+
+    sealed = ExtensionEnvelope.seal("ext", PaddedAspect(65536), signer)
+    tampered = ExtensionEnvelope(
+        name=sealed.name,
+        payload=sealed.payload[:-1] + b"!",
+        signer=sealed.signer,
+        signature=sealed.signature,
+    )
+
+    def attempt():
+        try:
+            tampered.open(trust)
+        except VerificationError:
+            return True
+        raise AssertionError("tampered envelope accepted")
+
+    assert benchmark(attempt)

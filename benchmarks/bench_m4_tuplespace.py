@@ -1,0 +1,122 @@
+"""M4 — push vs. tuple-space distribution (the §4.6 future-work ablation).
+
+Compares the two distribution models on the same task — get one hall's
+policy (2 extensions) onto an N-node community — reporting simulated
+time-to-all-adapted and radio traffic for each.
+
+Expected shape: the space adds a pull/notify indirection (slightly more
+messages per node: subscribe + deliveries + renewals against the space),
+but decouples provider and receivers — the policy can be published before
+any node exists, and the publisher holds no per-node state.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.core.platform import ProactivePlatform
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.tuplespace.distribution import TupleSpaceAcquirer, TupleSpaceDistributor
+from repro.tuplespace.service import TupleSpaceClient, TupleSpaceService
+from repro.tuplespace.space import TupleSpace
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.support import TraceAspect  # noqa: E402
+
+EXTENSIONS = 2
+
+
+def push_distribution(nodes: int) -> tuple[float, int]:
+    platform = ProactivePlatform(seed=0)
+    hall = platform.create_base_station("hall", Position(0, 0), radio_range=200)
+    for index in range(EXTENSIONS):
+        hall.add_extension(f"ext-{index}", TraceAspect)
+    members = [
+        platform.create_mobile_node(f"node-{i}", Position(5 + i, 0), radio_range=200)
+        for i in range(nodes)
+    ]
+    start = platform.now
+    for _ in range(2_000_000):
+        if all(len(m.extensions()) == EXTENSIONS for m in members):
+            break
+        if not platform.simulator.step():
+            break
+    assert all(len(m.extensions()) == EXTENSIONS for m in members)
+    return platform.now - start, platform.network.messages_delivered
+
+
+def space_distribution(nodes: int) -> tuple[float, int]:
+    sim = Simulator()
+    network = Network(sim, seed=0)
+    host = network.attach(NetworkNode("space-host", Position(0, 0), radio_range=200))
+    space = TupleSpace(sim)
+    TupleSpaceService(space, Transport(host, sim), sim)
+
+    signer = Signer.generate("hall")
+    catalog = ExtensionCatalog(signer)
+    for index in range(EXTENSIONS):
+        catalog.add(f"ext-{index}", TraceAspect)
+    publisher = network.attach(NetworkNode("pub", Position(1, 0), radio_range=200))
+    TupleSpaceDistributor(
+        catalog, TupleSpaceClient(Transport(publisher, sim), "space-host"), sim
+    ).publish()
+
+    receivers = []
+    for index in range(nodes):
+        node = network.attach(
+            NetworkNode(f"node-{index}", Position(5 + index, 0), radio_range=200)
+        )
+        transport = Transport(node, sim)
+        trust = TrustStore()
+        trust.trust_signer(signer)
+        adaptation = AdaptationService(
+            ProseVM(name=f"vm-{index}"),
+            transport,
+            sim,
+            trust,
+            policy=SandboxPolicy.permissive(),
+            services={
+                Capability.NETWORK: RemoteCaller(transport),
+                Capability.CLOCK: sim.clock,
+                Capability.SCHEDULER: SchedulerService(sim),
+            },
+        )
+        TupleSpaceAcquirer(
+            adaptation, TupleSpaceClient(transport, "space-host"), sim
+        ).start()
+        receivers.append(adaptation)
+
+    start = sim.now
+    for _ in range(2_000_000):
+        if all(len(r.installed()) == EXTENSIONS for r in receivers):
+            break
+        if not sim.step():
+            break
+    assert all(len(r.installed()) == EXTENSIONS for r in receivers)
+    return sim.now - start, network.messages_delivered
+
+
+@pytest.mark.benchmark(group="m4-distribution-models")
+@pytest.mark.parametrize("model,nodes", [
+    ("push", 4), ("push", 16), ("space", 4), ("space", 16),
+])
+def test_m4_model_comparison(benchmark, model, nodes):
+    """Time-to-all-adapted and traffic, per distribution model."""
+    fn = push_distribution if model == "push" else space_distribution
+    simulated, messages = benchmark.pedantic(fn, args=(nodes,), rounds=3, iterations=1)
+    benchmark.extra_info["model"] = model
+    benchmark.extra_info["nodes"] = nodes
+    benchmark.extra_info["simulated_seconds_to_all_adapted"] = round(simulated, 3)
+    benchmark.extra_info["messages_delivered"] = messages

@@ -1,0 +1,68 @@
+"""M5 — tuple-space primitive costs (supporting M4).
+
+Micro-costs of the space the distribution model is built on: ``out``,
+``rd`` and ``take`` against spaces of different sizes.  Shape: ``out`` is
+O(listeners); ``rd``/``take`` scan matching candidates (linear in space
+size for non-selective templates, early-exit for selective ones).
+"""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.tuplespace.space import Tuple, TupleSpace, TupleTemplate
+
+
+def populated(size: int) -> TupleSpace:
+    space = TupleSpace(Simulator())
+    for index in range(size):
+        space.out(
+            Tuple("midas.extension", {"name": f"ext-{index}", "hall": index % 4}),
+            lease_duration=1e9,
+        )
+    return space
+
+
+@pytest.mark.benchmark(group="m5-out")
+@pytest.mark.parametrize("listeners", [0, 10, 100])
+def test_m5_out_vs_listener_count(benchmark, listeners):
+    space = TupleSpace(Simulator())
+    for index in range(listeners):
+        space.notify(TupleTemplate("midas.extension", {"hall": index % 4}), lambda t: None)
+
+    def publish():
+        space.out(Tuple("midas.extension", {"hall": 1}), lease_duration=1e9)
+
+    benchmark(publish)
+
+
+@pytest.mark.benchmark(group="m5-rd")
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_m5_rd_selective(benchmark, size):
+    """Selective template: early exit on the first match."""
+    space = populated(size)
+    template = TupleTemplate("midas.extension", {"name": "ext-0"})
+    result = benchmark(space.rd, template)
+    assert result is not None
+
+
+@pytest.mark.benchmark(group="m5-rd")
+@pytest.mark.parametrize("size", [10, 100, 1000])
+def test_m5_rd_all_scan(benchmark, size):
+    """Unselective template: full scan, linear in space size."""
+    space = populated(size)
+    template = TupleTemplate("midas.extension", {"hall": 1})
+    result = benchmark(space.rd_all, template)
+    assert len(result) == sum(1 for index in range(size) if index % 4 == 1)
+
+
+@pytest.mark.benchmark(group="m5-take")
+def test_m5_take_put_cycle(benchmark):
+    """A worker-queue style take+out cycle on a busy space."""
+    space = populated(200)
+    template = TupleTemplate("midas.extension")
+
+    def cycle():
+        record = space.take(template)
+        space.out(record, lease_duration=1e9)
+
+    benchmark(cycle)

@@ -1,0 +1,32 @@
+"""Shared benchmark helpers.
+
+Benchmarks measure two different things and label them clearly:
+
+- *wall time* (what pytest-benchmark reports) — the real cost of running
+  the scenario on this machine;
+- *simulated time / derived metrics* — protocol latencies inside the
+  discrete-event world and paper-comparison ratios, attached to each
+  benchmark via ``benchmark.extra_info`` and summarized in
+  EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the test-suite support module importable from benchmarks too.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.aop.vm import ProseVM  # noqa: E402
+
+
+@pytest.fixture
+def vm():
+    """A VM that restores every class it instrumented at teardown."""
+    machine = ProseVM()
+    yield machine
+    for cls in list(machine.loaded_classes):
+        machine.unload_class(cls)

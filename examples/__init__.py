@@ -1,0 +1,1 @@
+"""Runnable demo scenarios (see ``python -m repro`` for a catalog)."""

@@ -1,0 +1,132 @@
+"""Ad-hoc (peer-to-peer) mode: devices adapt each other, no base station.
+
+"If a mobile device is capable of receiving extensions, it should also be
+able to provide extensions to other nodes" (§2.1).  Here three PDAs meet:
+each runs both MIDAS roles on one radio, shares one extension, and
+acquires the others' — an information-system infrastructure assembled
+entirely ad hoc.  When a peer walks away, everything it contributed is
+withdrawn everywhere.
+
+Run:  python examples/adhoc_peers.py
+"""
+
+from repro import Aspect, Capability, MethodCut, Position, before
+from repro.aop import ProseVM, SandboxPolicy
+from repro.discovery import DiscoveryClient, LookupService
+from repro.midas import (
+    AdaptationService,
+    ExtensionBase,
+    ExtensionCatalog,
+    RemoteCaller,
+    Signer,
+    TrustStore,
+)
+from repro.midas.scheduler import SchedulerService
+from repro.net import Network, NetworkNode, Transport
+from repro.sim import Simulator
+
+
+class Notepad:
+    """The application every PDA runs."""
+
+    def write_note(self, text: str) -> str:
+        return text
+
+
+def make_notepad_class() -> type:
+    """A per-device clone of Notepad.
+
+    All peers live in one Python process here, but each device must weave
+    its own VM — so each gets its own copy of the application class (the
+    analogue of each device loading the class into its own JVM).
+    """
+    return type("Notepad", (), dict(vars(Notepad)))
+
+
+class Stamp(Aspect):
+    """Each peer's contributed extension: stamps notes with its origin."""
+
+    def __init__(self, origin: str):
+        super().__init__()
+        self.origin = origin
+
+    @before(MethodCut(type="Notepad", method="write_note"))
+    def stamp(self, ctx):
+        ctx.args = (f"[{self.origin}] {ctx.args[0]}",)
+
+
+class Peer:
+    """One PDA: provider + receiver on a single transport."""
+
+    def __init__(self, sim, network, name, position):
+        self.name = name
+        self.signer = Signer.generate(name)
+        self.node = network.attach(NetworkNode(name, position, radio_range=50))
+        self.transport = Transport(self.node, sim)
+        self.vm = ProseVM(name=name)
+        self.notepad_class = make_notepad_class()
+        self.vm.load_class(self.notepad_class)
+
+        self.lookup = LookupService(self.transport, sim).start()
+        catalog = ExtensionCatalog(self.signer)
+        catalog.add(f"{name}-stamp", lambda: Stamp(origin=name))
+        self.base = ExtensionBase(self.transport, sim, catalog)
+        self.base.watch_lookup(self.lookup)
+
+        self.trust = TrustStore()
+        self.discovery = DiscoveryClient(self.transport, sim).start()
+        self.adaptation = AdaptationService(
+            self.vm,
+            self.transport,
+            sim,
+            self.trust,
+            policy=SandboxPolicy.permissive(),
+            services={
+                Capability.NETWORK: RemoteCaller(self.transport),
+                Capability.CLOCK: sim.clock,
+                Capability.SCHEDULER: SchedulerService(sim),
+            },
+            discovery=self.discovery,
+        ).start()
+
+    def extensions(self):
+        return sorted(inst.name for inst in self.adaptation.installed())
+
+
+def main() -> None:
+    sim = Simulator()
+    network = Network(sim, seed=7)
+
+    peers = [
+        Peer(sim, network, name, Position(x, 0))
+        for name, x in (("anna", 0.0), ("ben", 10.0), ("cleo", 20.0))
+    ]
+    # An ad-hoc community: everyone trusts everyone they met at setup.
+    for provider in peers:
+        for receiver in peers:
+            if provider is not receiver:
+                receiver.trust.trust_signer(provider.signer)
+
+    sim.run_for(15.0)
+    for peer in peers:
+        print(f"{peer.name:5s} carries extensions: {peer.extensions()}")
+
+    print()
+    for peer in peers:
+        note = peer.notepad_class().write_note("meet at dock 4")
+        print(f"a note written on {peer.name}'s pad: {note!r}")
+
+    # Ben leaves; his stamp disappears from everyone, and he loses theirs.
+    from repro.net.mobility import WaypointMobility
+
+    WaypointMobility(sim, peers[1].node, speed=100.0).go_to(Position(5000, 0))
+    sim.run_for(120.0)
+    print("\nafter ben left:")
+    for peer in peers:
+        print(f"{peer.name:5s} carries extensions: {peer.extensions()}")
+
+    print("\nadhoc_peers OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""The introduction's motivating scenario: one robot, three hall policies.
+
+Hall "audit"  — logs every movement to its database.
+Hall "safety" — forbids movements into a keep-out region.
+Hall "mirror" — mirrors every movement to a second robot at 2x scale.
+
+The robot is carried from hall to hall.  Its program never changes; each
+hall's base station proactively adapts it on arrival and the extensions
+are discarded on departure.
+
+Run:  python examples/production_halls.py
+"""
+
+from repro import Position, ProactivePlatform, Region
+from repro.core import ProactiveEnvironment
+from repro.errors import MovementDeniedError
+from repro.extensions import (
+    ForbiddenRegion,
+    HwMonitoring,
+    MovementControl,
+    ReplicationExtension,
+)
+from repro.robot import Device, Motor, Plotter, build_plotter
+from repro.robot.plotter import DrawingService
+
+ROBOT_ID = "robot:1:1"
+
+
+def main() -> None:
+    platform = ProactivePlatform()
+    env = ProactiveEnvironment(platform)
+
+    audit = env.add_hall(Region(0, 0, 40, 40, name="audit"))
+    safety = env.add_hall(Region(200, 0, 240, 40, name="safety"))
+    mirror = env.add_hall(Region(400, 0, 440, 40, name="mirror"))
+
+    audit.set_policy(
+        {"hw-monitoring": lambda: HwMonitoring(ROBOT_ID, audit.station.store_ref)}
+    )
+    safety.set_policy(
+        {
+            "movement-control": lambda: MovementControl(
+                [ForbiddenRegion(25, 25, 1000, 1000, label="press-area")]
+            )
+        }
+    )
+
+    # The mirror hall hosts a twin robot fed through the hall's mirror hub.
+    twin = build_plotter("robot:twin")
+    twin_node = platform.create_mobile_node("twin-host", Position(420, 30))
+    DrawingService(twin, twin_node.transport)
+    mirror.station.mirror_hub.add_mirror("twin-host", scale=2.0)
+    mirror.set_policy(
+        {
+            "replication": lambda: ReplicationExtension(
+                mirror.station.mirror_hub.feed_ref, robot_id=ROBOT_ID
+            )
+        }
+    )
+
+    robot = platform.create_mobile_node(ROBOT_ID, Position(20, 20), radio_range=60)
+    for cls in (Device, Motor, Plotter):
+        robot.load_class(cls)
+    plotter = build_plotter(ROBOT_ID)
+
+    def status(label):
+        hall = env.hall_of(robot)
+        print(f"[{platform.now:7.1f}s] {label:30s} hall={hall.name if hall else '-':8s}"
+              f" extensions={robot.extensions()}")
+
+    platform.run_for(5.0)
+    status("arrived in audit hall")
+    plotter.draw_polyline([(0, 0), (10, 0), (10, 10)])
+    platform.run_for(2.0)
+    print(f"    audit DB now holds {audit.station.db.count(ROBOT_ID)} actions")
+
+    robot.walk_to(safety.region)
+    platform.run_for(300.0)
+    status("arrived in safety hall")
+    plotter.move_to(10, 10)
+    try:
+        plotter.move_to(30, 30)
+        raise AssertionError("keep-out violated!")
+    except MovementDeniedError as denied:
+        print(f"    movement denied: {denied}")
+
+    robot.walk_to(mirror.region)
+    platform.run_for(400.0)
+    status("arrived in mirror hall")
+    plotter.draw_polyline([(0, 0), (12, 0)])
+    platform.run_for(2.0)
+    print(f"    twin drew {twin.canvas.total_ink():.1f} mm "
+          f"(original {plotter.canvas.strokes[-1]!r} at 2x)")
+
+    robot.walk_to(Position(600, 20))
+    platform.run_for(300.0)
+    status("left all halls")
+    assert robot.extensions() == []
+
+    for cls in (Device, Motor, Plotter):
+        robot.vm.unload_class(cls)
+    print("\nproduction_halls OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+"""Quickstart: dynamic AOP locally, then proactive adaptation over the air.
+
+Part 1 uses PROSE directly: load a class, insert an aspect at run time,
+watch calls being intercepted, withdraw it again.
+
+Part 2 runs the full platform: a base station discovers a mobile node
+entering its radio cell and pushes it a call-logging extension — the node
+never asked for anything.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Aspect, MethodCut, Position, ProactivePlatform, ProseVM, before
+from repro.extensions import CallLogging
+
+
+class Thermostat:
+    """A plain application class; it knows nothing about extensions."""
+
+    def __init__(self):
+        self.target = 21.0
+
+    def set_target(self, degrees: float) -> float:
+        self.target = degrees
+        return self.target
+
+    def read(self) -> float:
+        return self.target
+
+
+class AuditAspect(Aspect):
+    """Paper-style aspect: before every set_target, audit the change."""
+
+    def __init__(self):
+        super().__init__()
+        self.audit_log = []
+
+    @before(MethodCut(type="Thermostat", method="set_target"))
+    def audit(self, ctx):
+        self.audit_log.append(f"set_target{ctx.args} on {ctx.target!r}")
+
+
+def part_one_local_weaving() -> None:
+    print("== Part 1: PROSE — run-time weaving, locally ==")
+    vm = ProseVM()
+    vm.load_class(Thermostat)
+
+    thermostat = Thermostat()
+    thermostat.set_target(19.0)  # not yet intercepted
+
+    audit = AuditAspect()
+    vm.insert(audit)
+    thermostat.set_target(23.5)  # intercepted
+    print(f"  audit log after insertion : {audit.audit_log}")
+
+    vm.withdraw(audit)
+    thermostat.set_target(20.0)  # no longer intercepted
+    print(f"  audit log after withdrawal: {audit.audit_log}")
+    vm.unload_class(Thermostat)
+
+
+def part_two_proactive_adaptation() -> None:
+    print("\n== Part 2: MIDAS — the environment adapts the node ==")
+    platform = ProactivePlatform()
+
+    # The environment: a base station whose policy logs every call.
+    hall = platform.create_base_station("hall-A", Position(0, 0))
+    hall.add_extension("call-log", lambda: CallLogging(type_pattern="Thermostat"))
+
+    # A mobile device inside the hall's radio cell.
+    device = platform.create_mobile_node("pda-7", Position(10, 0))
+    device.load_class(Thermostat)
+
+    print(f"  extensions before discovery: {device.extensions()}")
+    platform.run_for(5.0)  # discovery + signed distribution + weaving
+    print(f"  extensions after  discovery: {device.extensions()}")
+
+    thermostat = Thermostat()
+    thermostat.set_target(25.0)
+    thermostat.read()
+
+    logger = device.adaptation.find("call-log").aspect
+    print(f"  calls observed by the hall's extension:")
+    for entry in logger.entries():
+        print(f"    {entry.cls}.{entry.method}{entry.args}")
+
+    # The device leaves; the lease lapses; the extension is discarded.
+    device.walk_to(Position(2000, 0))
+    platform.run_for(300.0)
+    print(f"  extensions after leaving   : {device.extensions()}")
+    device.vm.unload_class(Thermostat)
+
+
+def main() -> None:
+    part_one_local_weaving()
+    part_two_proactive_adaptation()
+    print("\nquickstart OK")
+
+
+if __name__ == "__main__":
+    main()

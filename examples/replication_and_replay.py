@@ -1,0 +1,102 @@
+"""The Fig. 6 manipulations: remote replication, simulation (replay), control.
+
+A human-driven plotter is monitored; its movements stream live to an
+identical robot (remote replication, here at 1.5x scale).  Afterwards the
+recorded session is replayed from the hall database onto a third robot —
+including a two-robot replay "at the right relative time" reproducing an
+interaction between robots.
+
+Run:  python examples/replication_and_replay.py
+"""
+
+from repro import Position, ProactivePlatform
+from repro.extensions import HwMonitoring, ReplicationExtension
+from repro.robot import Device, Motor, Plotter, build_plotter
+from repro.robot.plotter import DrawingService
+from repro.store import MovementSequence, ReplaySession
+
+ROBOT_ID = "robot:1:1"
+SECOND_ID = "robot:2:2"
+
+
+def main() -> None:
+    platform = ProactivePlatform()
+    hall = platform.create_base_station("hall", Position(0, 0))
+
+    # Live mirror target.
+    mirror = build_plotter("mirror")
+    mirror_host = platform.create_mobile_node("mirror-host", Position(0, 10))
+    DrawingService(mirror, mirror_host.transport)
+    hall.mirror_hub.add_mirror("mirror-host", scale=1.5)
+
+    # Hall policy: monitor + replicate.
+    hall.add_extension(
+        "hw-monitoring",
+        lambda: HwMonitoring(ROBOT_ID, hall.store_ref, flush_interval=0.25,
+                             device_pattern=f"{ROBOT_ID}.*"),
+    )
+    hall.add_extension(
+        "replication",
+        lambda: ReplicationExtension(hall.mirror_hub.feed_ref, robot_id=ROBOT_ID),
+    )
+
+    robot = platform.create_mobile_node(ROBOT_ID, Position(10, 0))
+    for cls in (Device, Motor, Plotter):
+        robot.load_class(cls)
+    plotter = build_plotter(ROBOT_ID)
+
+    # A second robot in the hall (monitored under its own id), so the
+    # multi-robot replay has an interaction to reproduce.
+    second = platform.create_mobile_node(SECOND_ID, Position(12, 0))
+    second_plotter = build_plotter(SECOND_ID)
+    hall.add_extension(
+        "hw-monitoring-2",
+        lambda: HwMonitoring(SECOND_ID, hall.store_ref, flush_interval=0.25,
+                             device_pattern=f"{SECOND_ID}.*"),
+    )
+
+    platform.run_for(5.0)
+    print(f"{ROBOT_ID} extensions: {robot.extensions()}")
+
+    # -- live replication ---------------------------------------------------
+    plotter.draw_polyline([(0, 0), (10, 0), (10, 10), (0, 10), (0, 0)])
+    platform.run_for(3.0)
+    second_plotter.draw_polyline([(20, 20), (30, 20)])
+    platform.run_for(3.0)
+    print(f"\noriginal drew {plotter.canvas.total_ink():.1f} mm; "
+          f"live mirror drew {mirror.canvas.total_ink():.1f} mm (1.5x)")
+    assert mirror.canvas.matches(plotter.canvas.scaled(1.5))
+
+    # -- replay from the database -------------------------------------------
+    records_one = hall.db.actions_of(ROBOT_ID)
+    records_two = hall.db.actions_of(SECOND_ID)
+    print(f"\nhall database: {len(records_one)} + {len(records_two)} actions recorded")
+
+    replay_one = build_plotter("replay-1")
+    replay_two = build_plotter("replay-2")
+    session = ReplaySession(platform.simulator)
+    session.add(MovementSequence(records_one), replay_one.rcx)
+    session.add(MovementSequence(records_two), replay_two.rcx)
+    session.start()
+    platform.run_for(30.0)
+    print(f"replayed {session.macros_replayed} macros onto two fresh robots")
+    assert replay_one.canvas.matches(plotter.canvas)
+    assert replay_two.canvas.matches(second_plotter.canvas)
+    print("both canvases reproduced exactly, at the right relative times")
+
+    # -- scaled replay ("replication of the work at a different scale") ------
+    giant = build_plotter("giant")
+    scaled_session = ReplaySession(platform.simulator, time_scale=0.5)
+    scaled_session.add(MovementSequence(records_one).scaled(3.0), giant.rcx)
+    scaled_session.start()
+    platform.run_for(30.0)
+    assert giant.canvas.matches(plotter.canvas.scaled(3.0))
+    print(f"scaled replay drew {giant.canvas.total_ink():.1f} mm (3x, double speed)")
+
+    for cls in (Device, Motor, Plotter):
+        robot.vm.unload_class(cls)
+    print("\nreplication_and_replay OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Tuple-space extension distribution — the paper's future work (§4.6).
+
+A site runs one shared tuple space.  Hall operators publish their
+policies into it as leased, signed tuples tagged with scope attributes —
+*before* any robot shows up, and without ever learning which robots
+exist.  Robots pull the tuples matching their own scope and install the
+envelopes through the ordinary MIDAS security pipeline.  Retracting a
+tuple withdraws the extension from every holder within one lease term.
+
+Run:  python examples/tuplespace_policy.py
+"""
+
+from repro import Capability, Position, SandboxPolicy
+from repro.aop import ProseVM
+from repro.extensions import CallLogging
+from repro.midas import (
+    AdaptationService,
+    ExtensionCatalog,
+    RemoteCaller,
+    Signer,
+    TrustStore,
+)
+from repro.midas.scheduler import SchedulerService
+from repro.net import Network, NetworkNode, Transport
+from repro.sim import Simulator
+from repro.tuplespace import (
+    TupleSpace,
+    TupleSpaceAcquirer,
+    TupleSpaceClient,
+    TupleSpaceDistributor,
+    TupleSpaceService,
+)
+
+
+class Gauge:
+    """The application on every robot."""
+
+    def read_pressure(self) -> float:
+        return 4.2
+
+
+def make_robot(sim, network, name, hall, signers):
+    node = network.attach(NetworkNode(name, Position(5, 0), radio_range=100))
+    transport = Transport(node, sim)
+    vm = ProseVM(name=name)
+    vm.load_class(type("Gauge", (), dict(vars(Gauge))))  # per-robot class copy
+    trust = TrustStore()
+    for signer in signers:
+        trust.trust_signer(signer)
+    adaptation = AdaptationService(
+        vm,
+        transport,
+        sim,
+        trust,
+        policy=SandboxPolicy.permissive(),
+        services={
+            Capability.NETWORK: RemoteCaller(transport),
+            Capability.CLOCK: sim.clock,
+            Capability.SCHEDULER: SchedulerService(sim),
+        },
+    )
+    acquirer = TupleSpaceAcquirer(
+        adaptation,
+        TupleSpaceClient(transport, "space-host"),
+        sim,
+        scope={"hall": hall},
+        refresh_interval=1.0,
+    ).start()
+    return adaptation, acquirer
+
+
+def main() -> None:
+    sim = Simulator()
+    network = Network(sim, seed=17)
+
+    # The shared site infrastructure: one tuple space.
+    host = network.attach(NetworkNode("space-host", Position(0, 0), radio_range=100))
+    space = TupleSpace(sim, name="site-space")
+    TupleSpaceService(space, Transport(host, sim), sim)
+
+    # Hall A's operator publishes its policy — nobody is around yet.
+    operator_a = Signer.generate("operator-A")
+    catalog_a = ExtensionCatalog(operator_a)
+    catalog_a.add("call-log", lambda: CallLogging(type_pattern="Gauge"))
+    publisher_node = network.attach(
+        NetworkNode("operator-A", Position(2, 0), radio_range=100)
+    )
+    distributor = TupleSpaceDistributor(
+        catalog_a,
+        TupleSpaceClient(Transport(publisher_node, sim), "space-host"),
+        sim,
+        scope={"hall": "A"},
+    )
+    distributor.publish()
+    sim.run_for(3.0)
+    print(f"policy published; space holds {len(space)} tuple(s), no robots yet")
+
+    # Robots arrive later, in different halls.
+    in_a, _ = make_robot(sim, network, "robot-in-A", "A", [operator_a])
+    in_b, _ = make_robot(sim, network, "robot-in-B", "B", [operator_a])
+    sim.run_for(5.0)
+    print(f"robot in hall A carries: {[i.name for i in in_a.installed()]}")
+    print(f"robot in hall B carries: {[i.name for i in in_b.installed()]}")
+    assert in_a.is_installed("call-log")
+    assert not in_b.is_installed("call-log")
+
+    # The operator withdraws the policy; holders lose it within a lease.
+    distributor.retract_all()
+    sim.run_for(15.0)
+    print(f"after retraction: robot in hall A carries {[i.name for i in in_a.installed()]}")
+    assert not in_a.is_installed("call-log")
+
+    print("\ntuplespace_policy OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment lacks the ``wheel`` package needed for PEP 660
+editable installs, so ``pip install -e .`` falls back to this classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

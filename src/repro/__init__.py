@@ -1,0 +1,78 @@
+"""repro — a reproduction of *A Proactive Middleware Platform for Mobile
+Computing* (Popovici, Frei, Alonso; Middleware 2003) in Python.
+
+The platform lets a proactive environment extend the functionality of
+mobile applications at run time.  Two layers:
+
+- **PROSE** (:mod:`repro.aop`) — dynamic AOP: classes are instrumented
+  with minimal hooks when loaded; first-class aspects are inserted and
+  withdrawn at run time, their advice sandboxed;
+- **MIDAS** (:mod:`repro.midas`) — extension management: discovery of
+  adaptable nodes, signed extension distribution, lease-based locality,
+  revocation and replacement.
+
+Substrates (all built here, simulated where the paper used hardware):
+discrete-event kernel (:mod:`repro.sim`), wireless network with mobility
+(:mod:`repro.net`), Jini-like discovery (:mod:`repro.discovery`), leases
+(:mod:`repro.leasing`), a LEGO-RCX robot stack with the plotter prototype
+(:mod:`repro.robot`), the hall movement database (:mod:`repro.store`),
+the standard extension library (:mod:`repro.extensions`), and SPECjvm-like
+workloads (:mod:`repro.workloads`).
+
+Quickstart::
+
+    from repro import ProactivePlatform, Position
+    from repro.extensions import CallLogging
+
+    platform = ProactivePlatform()
+    hall = platform.create_base_station("hall-A", Position(0, 0))
+    hall.add_extension("call-log", CallLogging)
+    robot = platform.create_mobile_node("robot:1:1", Position(5, 0))
+    robot.load_class(MyAppClass)
+    platform.run_for(5.0)          # robot discovered and adapted
+    assert "call-log" in robot.extensions()
+"""
+
+from repro.aop import (
+    Aspect,
+    Capability,
+    MethodCut,
+    ProseVM,
+    REST,
+    SandboxPolicy,
+    after,
+    after_throwing,
+    around,
+    before,
+)
+from repro.core import (
+    BaseStation,
+    MobileNode,
+    ProactiveEnvironment,
+    ProactivePlatform,
+    ProductionHall,
+)
+from repro.net.geometry import Position, Region
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aspect",
+    "BaseStation",
+    "Capability",
+    "MethodCut",
+    "MobileNode",
+    "Position",
+    "ProactiveEnvironment",
+    "ProactivePlatform",
+    "ProductionHall",
+    "ProseVM",
+    "REST",
+    "Region",
+    "SandboxPolicy",
+    "after",
+    "after_throwing",
+    "around",
+    "before",
+    "__version__",
+]

@@ -1,0 +1,66 @@
+"""Advice — the crosscut actions.
+
+An :class:`Advice` pairs a crosscut with the callable to run at matched
+join points, plus an ``order`` controlling execution position.  Lower
+orders run closer to the caller: their ``before`` advice runs earlier and
+their ``around`` advice wraps outermost.  The paper's Fig. 2 relies on this
+— the session-information interception (step 2) must run before the
+access-control interception (step 3), so session management uses a lower
+order than access control.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.aop.crosscut import Crosscut
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aop.aspect import Aspect
+
+
+class AdviceKind(enum.Enum):
+    """Where advice runs relative to the join point."""
+
+    BEFORE = "before"
+    AFTER = "after"
+    AROUND = "around"
+    AFTER_THROWING = "after_throwing"
+
+
+#: Default order for advice that does not care about its position.
+DEFAULT_ORDER = 100
+
+
+class Advice:
+    """A bound piece of advice, ready for weaving.
+
+    ``callback`` receives an :class:`~repro.aop.context.ExecutionContext`
+    (or :class:`~repro.aop.context.FieldWriteContext` for field crosscuts).
+    ``aspect`` back-references the owning aspect so the weaver can withdraw
+    everything an aspect contributed, and so sandbox policies can be
+    attributed to the right extension.
+    """
+
+    __slots__ = ("kind", "crosscut", "callback", "order", "aspect", "name")
+
+    def __init__(
+        self,
+        kind: AdviceKind,
+        crosscut: Crosscut,
+        callback: Callable[..., Any],
+        order: int = DEFAULT_ORDER,
+        aspect: "Aspect | None" = None,
+        name: str | None = None,
+    ):
+        self.kind = kind
+        self.crosscut = crosscut
+        self.callback = callback
+        self.order = order
+        self.aspect = aspect
+        self.name = name or getattr(callback, "__name__", "advice")
+
+    def __repr__(self) -> str:
+        owner = self.aspect.name if self.aspect is not None else "unbound"
+        return f"<Advice {self.kind.value} {owner}.{self.name} order={self.order}>"

@@ -1,0 +1,192 @@
+"""First-class aspects.
+
+As in PROSE, an aspect is an ordinary object of the base language: you
+subclass :class:`Aspect`, mark advice methods with the :func:`before` /
+:func:`after` / :func:`around` / :func:`after_throwing` decorators, and
+hand an *instance* to :meth:`ProseVM.insert`.  The paper's Fig. 5 example
+translates directly::
+
+    class HwMonitoring(Aspect):
+        def __init__(self, owner_proxy):
+            super().__init__()
+            self.owner_proxy = owner_proxy
+
+        @before(MethodCut(type="Motor", method="*", params=(REST,)))
+        def ANYMETHOD(self, ctx):
+            self.owner_proxy.post(ctx.target.get_id(), ...)
+
+Aspects also declare:
+
+- ``REQUIRED_CAPABILITIES`` — sandbox capabilities their advice needs
+  (checked by MIDAS when building the extension's gateway);
+- ``REQUIRES`` — aspect classes that must be co-inserted (the paper's
+  *implicit extensions*: inserting access control automatically inserts
+  session management);
+- lifecycle hooks ``on_insert`` / ``on_withdraw`` / ``shutdown`` (the last
+  is invoked by MIDAS before revocation so the extension can reach a
+  consistent state, per §3.2).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, ClassVar, Iterable, Sequence
+
+from repro.aop.advice import DEFAULT_ORDER, Advice, AdviceKind
+from repro.aop.crosscut import Crosscut, MethodCut
+from repro.util.ids import fresh_id
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.aop.vm import ProseVM
+
+_SPEC_ATTR = "_prose_advice_specs"
+
+
+class _AdviceSpec:
+    """Declaration attached to a function by an advice decorator."""
+
+    __slots__ = ("kind", "crosscut", "order")
+
+    def __init__(self, kind: AdviceKind, crosscut: Crosscut, order: int):
+        self.kind = kind
+        self.crosscut = crosscut
+        self.order = order
+
+
+def _coerce_crosscut(crosscut: Crosscut | str) -> Crosscut:
+    if isinstance(crosscut, str):
+        return MethodCut(crosscut)
+    return crosscut
+
+
+def _advice_decorator(
+    kind: AdviceKind,
+) -> Callable[[Crosscut | str, int], Callable[[Callable], Callable]]:
+    def decorator_factory(
+        crosscut: Crosscut | str, order: int = DEFAULT_ORDER
+    ) -> Callable[[Callable], Callable]:
+        cut = _coerce_crosscut(crosscut)
+
+        def decorator(func: Callable) -> Callable:
+            specs = getattr(func, _SPEC_ATTR, None)
+            if specs is None:
+                specs = []
+                setattr(func, _SPEC_ATTR, specs)
+            specs.append(_AdviceSpec(kind, cut, order))
+            return func
+
+        return decorator
+
+    return decorator_factory
+
+
+#: Declare advice running before matched join points.  A string crosscut
+#: is parsed as a method signature pattern.
+before = _advice_decorator(AdviceKind.BEFORE)
+#: Declare advice running after normal completion of matched join points.
+after = _advice_decorator(AdviceKind.AFTER)
+#: Declare advice wrapping matched join points; it must call
+#: ``ctx.proceed()`` (or deliberately short-circuit).
+around = _advice_decorator(AdviceKind.AROUND)
+#: Declare advice running when an exception escapes a matched join point.
+after_throwing = _advice_decorator(AdviceKind.AFTER_THROWING)
+
+
+class Aspect:
+    """Base class for run-time extensions.
+
+    Subclasses declare advice with the module-level decorators; extra
+    advice can be added per instance with :meth:`add_advice` (useful for
+    extensions whose crosscuts are configured at instantiation time, e.g.
+    a control extension parameterized with forbidden coordinates).
+    """
+
+    #: Sandbox capabilities the aspect's advice needs at run time.
+    REQUIRED_CAPABILITIES: ClassVar[frozenset[str]] = frozenset()
+    #: Aspect classes that must be inserted alongside this one (the
+    #: paper's implicit extensions).  Entries are classes, instantiated
+    #: with no arguments when auto-resolved by MIDAS.
+    REQUIRES: ClassVar[Sequence[type["Aspect"]]] = ()
+
+    def __init__(self, name: str | None = None):
+        self.name = name or f"{type(self).__name__}#{fresh_id('aspect')}"
+        self._instance_advices: list[Advice] = []
+        #: The :class:`~repro.aop.sandbox.SystemGateway` bound by the
+        #: receiving node before insertion; None for purely local aspects.
+        self.gateway = None
+
+    def bind(self, gateway) -> None:
+        """Attach the receiving node's resource gateway (MIDAS calls this).
+
+        Extensions shipped over the network cannot carry live references
+        to node resources; they are rebound on arrival, before insertion.
+        """
+        self.gateway = gateway
+
+    def __getstate__(self) -> dict:
+        # Gateways are node-local live objects: never serialized.
+        state = dict(self.__dict__)
+        state["gateway"] = None
+        return state
+
+    # -- advice collection ---------------------------------------------------
+
+    def add_advice(
+        self,
+        kind: AdviceKind,
+        crosscut: Crosscut | str,
+        callback: Callable[..., Any],
+        order: int = DEFAULT_ORDER,
+    ) -> Advice:
+        """Attach one more piece of advice to this aspect instance."""
+        advice = Advice(
+            kind, _coerce_crosscut(crosscut), callback, order=order, aspect=self
+        )
+        self._instance_advices.append(advice)
+        return advice
+
+    def advices(self) -> list[Advice]:
+        """All advice this aspect contributes, bound to this instance."""
+        out: list[Advice] = []
+        seen: set[str] = set()
+        for klass in type(self).__mro__:
+            for attr_name, func in vars(klass).items():
+                if attr_name in seen:
+                    continue
+                specs: Iterable[_AdviceSpec] | None = getattr(func, _SPEC_ATTR, None)
+                if not specs:
+                    continue
+                seen.add(attr_name)
+                bound = getattr(self, attr_name)
+                for spec in specs:
+                    out.append(
+                        Advice(
+                            spec.kind,
+                            spec.crosscut,
+                            bound,
+                            order=spec.order,
+                            aspect=self,
+                            name=attr_name,
+                        )
+                    )
+        out.extend(self._instance_advices)
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_insert(self, vm: "ProseVM") -> None:
+        """Called after the aspect has been woven into ``vm``."""
+
+    def on_withdraw(self, vm: "ProseVM") -> None:
+        """Called after the aspect has been removed from ``vm``."""
+
+    def shutdown(self) -> None:
+        """Called before revocation so the extension can finish cleanly.
+
+        The paper (§3.2): "Each extension is notified before leaving a
+        proactive space so that it can execute a shut-down procedure
+        ensuring that all current operations are completed and a
+        consistent state is achieved."
+        """
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,161 @@
+"""Crosscuts — predicates over join points.
+
+A crosscut selects the set of join points where an aspect's advice must
+run (the paper: "the crosscut of this aspect is the collection of method
+entries ... that matches the specified signature patterns").  Three kinds
+reproduce the paper's join-point model:
+
+- :class:`MethodCut` — method boundaries, by wildcard signature;
+- :class:`FieldWriteCut` — changes to object fields;
+- :class:`ExceptionCut` — exceptions escaping matched methods.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.aop.signature import REST, MethodSignature, parse_signature
+from repro.util.patterns import WildcardPattern
+
+__all__ = ["Crosscut", "MethodCut", "FieldWriteCut", "ExceptionCut", "REST"]
+
+
+class Crosscut(ABC):
+    """A predicate over join points."""
+
+    #: The join-point kind this crosscut selects.
+    kind: JoinPointKind
+
+    @abstractmethod
+    def matches(self, joinpoint: JoinPoint, func: object | None = None) -> bool:
+        """Return True if advice on this crosscut runs at ``joinpoint``.
+
+        ``func`` is the original callable at a method join point, used to
+        match parameter/return patterns; it may be None for cheap
+        name-only matching (field join points pass None).
+        """
+
+
+class MethodCut(Crosscut):
+    """Selects method join points by wildcard signature.
+
+    Can be built from the paper's signature text or keyword parts::
+
+        MethodCut("void *.send*(bytes, ..)")
+        MethodCut(type="Motor", method="*", params=(REST,))
+    """
+
+    kind = JoinPointKind.METHOD
+
+    def __init__(
+        self,
+        signature: str | MethodSignature | None = None,
+        *,
+        type: str = "*",  # noqa: A002 - mirrors the paper's vocabulary
+        method: str = "*",
+        params: Sequence[object] | None = None,
+        returns: str = "*",
+    ):
+        if signature is None:
+            self.signature = MethodSignature(
+                type_pattern=type,
+                method_pattern=method,
+                param_patterns=params,
+                return_pattern=returns,
+            )
+        elif isinstance(signature, MethodSignature):
+            self.signature = signature
+        else:
+            self.signature = parse_signature(signature)
+
+    def matches(self, joinpoint: JoinPoint, func: object | None = None) -> bool:
+        if joinpoint.kind is not self.kind:
+            return False
+        if not self.signature.matches_names(
+            tuple(joinpoint.mro_names()), joinpoint.member
+        ):
+            return False
+        if func is None:
+            return True
+        return self.signature.matches_callable(func)
+
+    def __repr__(self) -> str:
+        return f"MethodCut({self.signature!r})"
+
+
+class FieldWriteCut(Crosscut):
+    """Selects assignments to fields matching ``type``/``field`` patterns.
+
+    The robot example uses this to trap "changes to the state of a robot"
+    (the ``*`` in Fig. 2): ``FieldWriteCut(type="Robot", field="state")``.
+    """
+
+    kind = JoinPointKind.FIELD_WRITE
+
+    def __init__(self, *, type: str = "*", field: str = "*"):  # noqa: A002
+        self.type_pattern = WildcardPattern(type)
+        self.field_pattern = WildcardPattern(field)
+
+    def matches(self, joinpoint: JoinPoint, func: object | None = None) -> bool:
+        if joinpoint.kind is not self.kind:
+            return False
+        if not self.field_pattern.matches(joinpoint.member):
+            return False
+        if self.type_pattern.is_universal:
+            return True
+        return any(self.type_pattern.matches(name) for name in joinpoint.mro_names())
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldWriteCut(type={self.type_pattern.pattern!r}, "
+            f"field={self.field_pattern.pattern!r})"
+        )
+
+
+class ExceptionCut(Crosscut):
+    """Selects exceptions escaping methods matched by a signature.
+
+    ``exception`` optionally restricts to a family of exception types
+    (matched by ``isinstance`` at run time, checked by the dispatcher).
+    """
+
+    kind = JoinPointKind.EXCEPTION
+
+    def __init__(
+        self,
+        signature: str | MethodSignature | None = None,
+        *,
+        type: str = "*",  # noqa: A002
+        method: str = "*",
+        exception: type[BaseException] | None = None,
+    ):
+        if signature is None:
+            self.signature = MethodSignature(type_pattern=type, method_pattern=method)
+        elif isinstance(signature, MethodSignature):
+            self.signature = signature
+        else:
+            self.signature = parse_signature(signature)
+        self.exception = exception
+
+    def matches(self, joinpoint: JoinPoint, func: object | None = None) -> bool:
+        # Exception join points share their shadow with the method join
+        # point; dispatch registers them on METHOD hooks.
+        if joinpoint.kind is not JoinPointKind.METHOD:
+            return False
+        if not self.signature.matches_names(
+            tuple(joinpoint.mro_names()), joinpoint.member
+        ):
+            return False
+        if func is None:
+            return True
+        return self.signature.matches_callable(func)
+
+    def accepts(self, exc: BaseException) -> bool:
+        """Run-time filter: does this cut care about ``exc``?"""
+        return self.exception is None or isinstance(exc, self.exception)
+
+    def __repr__(self) -> str:
+        exc = self.exception.__name__ if self.exception else "*"
+        return f"ExceptionCut({self.signature!r}, exception={exc})"

@@ -1,0 +1,185 @@
+"""The aspect sandbox.
+
+Extensions arrive from foreign hosts and could contain malicious code, so
+PROSE "defines an aspect sandbox in which interceptions, although spread
+through various components, are treated as if they belong to the same
+component" (§3.1).  We reproduce the *property* — extension code is
+isolated from system resources unless its policy allows them — with a
+capability model:
+
+- a :class:`SandboxPolicy` names the capabilities an extension may use;
+- the weaver wraps every advice callback with :meth:`AspectSandbox.wrap`,
+  which makes the sandbox the *current* one for the duration of the
+  advice;
+- system resources are reached only through a :class:`SystemGateway`,
+  which checks the current (or bound) sandbox before handing a resource
+  out and raises :class:`~repro.errors.SandboxViolation` otherwise.
+
+Python cannot enforce memory isolation, so this is a cooperative model —
+faithful to the role the sandbox plays in the platform's protocols (MIDAS
+refuses capabilities, extensions observe denials), which is what the
+reproduction's tests and experiments exercise.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import SandboxViolation
+
+
+class Capability:
+    """Well-known capability names (plain strings; extensible)."""
+
+    NETWORK = "network"
+    STORE = "store"
+    HARDWARE = "hardware"
+    CLOCK = "clock"
+    SCHEDULER = "scheduler"
+    SESSION = "session"
+    CRYPTO = "crypto"
+    PERSISTENCE = "persistence"
+    TRANSACTIONS = "transactions"
+    ALL = (
+        NETWORK,
+        STORE,
+        HARDWARE,
+        CLOCK,
+        SCHEDULER,
+        SESSION,
+        CRYPTO,
+        PERSISTENCE,
+        TRANSACTIONS,
+    )
+
+
+class SandboxPolicy:
+    """An immutable set of allowed capabilities."""
+
+    __slots__ = ("_allowed", "_allow_all")
+
+    def __init__(self, allowed: Iterable[str] = (), allow_all: bool = False):
+        self._allowed = frozenset(allowed)
+        self._allow_all = allow_all
+
+    @classmethod
+    def permissive(cls) -> "SandboxPolicy":
+        """A policy allowing every capability (trusted local aspects)."""
+        return cls(allow_all=True)
+
+    @classmethod
+    def restrictive(cls) -> "SandboxPolicy":
+        """A policy allowing nothing (fully untrusted extensions)."""
+        return cls()
+
+    @property
+    def allowed(self) -> frozenset[str]:
+        """The explicitly allowed capabilities."""
+        return self._allowed
+
+    def allows(self, capability: str) -> bool:
+        """True if ``capability`` may be used under this policy."""
+        return self._allow_all or capability in self._allowed
+
+    def restricted_to(self, capabilities: Iterable[str]) -> "SandboxPolicy":
+        """A narrower policy: the intersection with ``capabilities``."""
+        requested = frozenset(capabilities)
+        if self._allow_all:
+            return SandboxPolicy(requested)
+        return SandboxPolicy(self._allowed & requested)
+
+    def __repr__(self) -> str:
+        if self._allow_all:
+            return "SandboxPolicy(allow_all=True)"
+        return f"SandboxPolicy({sorted(self._allowed)})"
+
+
+_current: contextvars.ContextVar["AspectSandbox | None"] = contextvars.ContextVar(
+    "prose_current_sandbox", default=None
+)
+
+
+def current_sandbox() -> "AspectSandbox | None":
+    """The sandbox of the advice currently executing, if any."""
+    return _current.get()
+
+
+class AspectSandbox:
+    """The execution sandbox of one inserted aspect."""
+
+    __slots__ = ("policy", "aspect_name", "violations")
+
+    def __init__(self, policy: SandboxPolicy, aspect_name: str = "extension"):
+        self.policy = policy
+        self.aspect_name = aspect_name
+        #: Capabilities whose acquisition was denied (for auditing).
+        self.violations: list[str] = []
+
+    def require(self, capability: str) -> None:
+        """Raise :class:`SandboxViolation` unless ``capability`` is allowed."""
+        if not self.policy.allows(capability):
+            self.violations.append(capability)
+            raise SandboxViolation(capability, self.aspect_name)
+
+    def wrap(self, callback: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap an advice callback so this sandbox is current while it runs."""
+
+        def sandboxed(*args: Any, **kwargs: Any) -> Any:
+            token = _current.set(self)
+            try:
+                return callback(*args, **kwargs)
+            finally:
+                _current.reset(token)
+
+        sandboxed.__name__ = getattr(callback, "__name__", "advice")
+        sandboxed.__prose_sandbox__ = self  # type: ignore[attr-defined]
+        return sandboxed
+
+    def __repr__(self) -> str:
+        return f"<AspectSandbox {self.aspect_name} {self.policy!r}>"
+
+
+class SystemGateway:
+    """Mediated access to a node's system resources.
+
+    A node (MIDAS receiver) builds one gateway per extension, binding the
+    extension's sandbox to the node's service objects (network transport,
+    store proxy, hardware, clock ...).  Extension code calls
+    :meth:`acquire` to obtain a service; the bound sandbox — or, if none
+    was bound, the *current* sandbox — must allow the capability.
+    """
+
+    __slots__ = ("_services", "_sandbox")
+
+    def __init__(
+        self,
+        services: Mapping[str, Any],
+        sandbox: AspectSandbox | None = None,
+    ):
+        self._services = dict(services)
+        self._sandbox = sandbox
+
+    def acquire(self, capability: str) -> Any:
+        """Return the service registered under ``capability`` or raise."""
+        sandbox = self._sandbox or current_sandbox()
+        if sandbox is not None:
+            sandbox.require(capability)
+        try:
+            return self._services[capability]
+        except KeyError:
+            raise SandboxViolation(
+                capability,
+                sandbox.aspect_name if sandbox else None,
+            ) from None
+
+    def offers(self, capability: str) -> bool:
+        """True if a service is registered under ``capability``."""
+        return capability in self._services
+
+    def capabilities(self) -> frozenset[str]:
+        """The capabilities this gateway can serve (policy permitting)."""
+        return frozenset(self._services)
+
+    def __repr__(self) -> str:
+        return f"<SystemGateway {sorted(self._services)}>"

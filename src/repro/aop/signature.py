@@ -1,0 +1,296 @@
+"""The crosscut signature language.
+
+The paper writes crosscuts as wildcard method signatures::
+
+    before methods-with-signature 'void *.send*(byte[] x, ..)' do encrypt(x)
+
+:func:`parse_signature` accepts that syntax (modulo Python type names) and
+produces a :class:`MethodSignature` that can be matched against a loaded
+method.  Grammar::
+
+    signature  := [return_pat] class_pat '.' method_pat [ '(' params ')' ]
+    params     := ''  |  param_pat (',' param_pat)*  [',' '..']  |  '..'
+    *_pat      := identifier with '*' wildcards;  '..' matches any tail
+
+Matching against Python methods is structural where Python lets it be:
+
+- class and method names match by wildcard against the join point (a type
+  pattern matches if it matches *any* name in the owning class's MRO, so a
+  crosscut on ``Device`` also covers ``Motor``);
+- parameter patterns match against the method's positional parameter
+  *annotations* when present (by type name, walking the annotation's MRO
+  is not attempted — names only); an unannotated parameter matches any
+  pattern, and the pattern ``*`` matches anything;
+- the return pattern matches the return annotation by the same rule
+  (``void`` is accepted as an alias for ``None``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Sequence
+
+from repro.errors import PatternSyntaxError
+from repro.util.patterns import WildcardPattern
+
+
+class RestMarker:
+    """Sentinel for ``..`` — "any remaining parameters, of any type".
+
+    Exposed as :data:`repro.aop.crosscut.REST`, mirroring the paper's
+    ``REST`` parameter in the ``HwMonitoring`` example (Fig. 5).
+    """
+
+    _instance: "RestMarker | None" = None
+
+    def __new__(cls) -> "RestMarker":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "REST"
+
+
+REST = RestMarker()
+
+# Parameter list meaning "don't constrain parameters at all" — shorthand
+# for a lone REST.  Used when a signature omits the parentheses.
+_UNCONSTRAINED: tuple[object, ...] = (REST,)
+
+
+def _annotation_name(annotation: object) -> str | None:
+    """Best-effort printable name of a parameter/return annotation."""
+    if annotation is inspect.Signature.empty:
+        return None
+    if annotation is None or annotation is type(None):
+        return "None"
+    if isinstance(annotation, type):
+        return annotation.__name__
+    if isinstance(annotation, str):
+        return annotation
+    return getattr(annotation, "__name__", str(annotation))
+
+
+class MethodSignature:
+    """A parsed wildcard method signature.
+
+    Attributes:
+        return_pattern: wildcard on the return annotation name.
+        type_pattern: wildcard on the owning class name (any MRO name).
+        method_pattern: wildcard on the method name.
+        param_patterns: tuple of wildcard patterns and/or the REST marker
+            (REST may only appear last).
+    """
+
+    __slots__ = ("return_pattern", "type_pattern", "method_pattern", "param_patterns")
+
+    def __init__(
+        self,
+        type_pattern: str = "*",
+        method_pattern: str = "*",
+        param_patterns: Sequence[object] | None = None,
+        return_pattern: str = "*",
+    ):
+        self.return_pattern = WildcardPattern(_normalize_return(return_pattern))
+        self.type_pattern = WildcardPattern(type_pattern)
+        self.method_pattern = WildcardPattern(method_pattern)
+        self.param_patterns = _normalize_params(param_patterns)
+
+    # -- matching -----------------------------------------------------------
+
+    def matches_names(self, mro_names: Sequence[str] | None, method_name: str) -> bool:
+        """Match only the class/method name parts (cheap pre-filter)."""
+        if not self.method_pattern.matches(method_name):
+            return False
+        if self.type_pattern.is_universal or mro_names is None:
+            return self.type_pattern.is_universal
+        return any(self.type_pattern.matches(name) for name in mro_names)
+
+    def matches_callable(self, func: object) -> bool:
+        """Match the parameter and return patterns against ``func``.
+
+        Class/method names are not considered here; combine with
+        :meth:`matches_names`.  Unintrospectable callables match only
+        unconstrained signatures.
+        """
+        if self.param_patterns == _UNCONSTRAINED and self.return_pattern.is_universal:
+            return True
+        try:
+            sig = inspect.signature(func)
+        except (TypeError, ValueError):
+            return self.param_patterns == _UNCONSTRAINED and (
+                self.return_pattern.is_universal
+            )
+        if not self._match_return(sig):
+            return False
+        return self._match_params(sig)
+
+    def _match_return(self, sig: inspect.Signature) -> bool:
+        if self.return_pattern.is_universal:
+            return True
+        name = _annotation_name(sig.return_annotation)
+        return name is None or self.return_pattern.matches(name)
+
+    def _match_params(self, sig: inspect.Signature) -> bool:
+        params = [
+            p
+            for p in sig.parameters.values()
+            if p.kind
+            in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD, p.VAR_POSITIONAL)
+        ]
+        # Drop the bound-instance parameter of unbound functions.
+        if params and params[0].name in ("self", "cls"):
+            params = params[1:]
+        has_var_positional = any(p.kind == p.VAR_POSITIONAL for p in params)
+        params = [p for p in params if p.kind != p.VAR_POSITIONAL]
+
+        patterns = list(self.param_patterns)
+        rest = bool(patterns) and patterns[-1] is REST
+        if rest:
+            patterns.pop()
+
+        if len(patterns) > len(params):
+            # More explicit patterns than declared parameters: only a
+            # *args can absorb them.
+            return has_var_positional
+        if len(patterns) < len(params) and not rest:
+            return False
+        for pattern, param in zip(patterns, params):
+            assert isinstance(pattern, WildcardPattern)
+            if pattern.is_universal:
+                continue
+            name = _annotation_name(param.annotation)
+            if name is not None and not pattern.matches(name):
+                return False
+        return True
+
+    # -- cosmetics ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, MethodSignature)
+            and other.return_pattern == self.return_pattern
+            and other.type_pattern == self.type_pattern
+            and other.method_pattern == self.method_pattern
+            and other.param_patterns == self.param_patterns
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.return_pattern,
+                self.type_pattern,
+                self.method_pattern,
+                self.param_patterns,
+            )
+        )
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            "..." if p is REST else p.pattern for p in self.param_patterns  # type: ignore[union-attr]
+        )
+        return (
+            f"MethodSignature('{self.return_pattern.pattern} "
+            f"{self.type_pattern.pattern}.{self.method_pattern.pattern}({params})')"
+        )
+
+
+def _normalize_return(pattern: str) -> str:
+    pattern = pattern.strip()
+    if not pattern:
+        return "*"
+    if pattern == "void":
+        return "None"
+    return pattern
+
+
+def _normalize_params(
+    param_patterns: Sequence[object] | None,
+) -> tuple[object, ...]:
+    if param_patterns is None:
+        return _UNCONSTRAINED
+    out: list[object] = []
+    for index, item in enumerate(param_patterns):
+        if item is REST or item == "..":
+            if index != len(param_patterns) - 1:
+                raise PatternSyntaxError("'..' (REST) may only appear last")
+            out.append(REST)
+        elif isinstance(item, WildcardPattern):
+            out.append(item)
+        elif isinstance(item, str):
+            out.append(WildcardPattern(item.strip()))
+        elif isinstance(item, type):
+            out.append(WildcardPattern(item.__name__))
+        else:
+            raise PatternSyntaxError(f"invalid parameter pattern {item!r}")
+    return tuple(out)
+
+
+def parse_signature(text: str) -> MethodSignature:
+    """Parse the paper's signature syntax into a :class:`MethodSignature`.
+
+    >>> sig = parse_signature("void *.send*(bytes, ..)")
+    >>> sig.method_pattern.pattern
+    'send*'
+    >>> parse_signature("Motor.*")  # doctest: +ELLIPSIS
+    MethodSignature(...)
+    """
+    text = text.strip()
+    if not text:
+        raise PatternSyntaxError("empty signature")
+
+    params: Sequence[object] | None
+    if "(" in text:
+        if not text.endswith(")"):
+            raise PatternSyntaxError(f"unterminated parameter list in {text!r}")
+        head, _, param_text = text[:-1].partition("(")
+        if "(" in param_text or ")" in param_text:
+            raise PatternSyntaxError(f"nested parentheses in {text!r}")
+        params = _parse_params(param_text)
+    else:
+        head = text
+        params = None
+
+    head = head.strip()
+    pieces = head.split()
+    if len(pieces) == 1:
+        return_pattern, qualified = "*", pieces[0]
+    elif len(pieces) == 2:
+        return_pattern, qualified = pieces
+    else:
+        raise PatternSyntaxError(f"too many tokens in signature {text!r}")
+
+    type_pattern, dot, method_pattern = qualified.rpartition(".")
+    if not dot:
+        # Bare name: method pattern on any class.
+        type_pattern, method_pattern = "*", qualified
+    if not type_pattern or not method_pattern:
+        raise PatternSyntaxError(f"malformed qualified name in {text!r}")
+
+    return MethodSignature(
+        type_pattern=type_pattern,
+        method_pattern=method_pattern,
+        param_patterns=params,
+        return_pattern=return_pattern,
+    )
+
+
+def _parse_params(param_text: str) -> Sequence[object]:
+    param_text = param_text.strip()
+    if not param_text:
+        return ()
+    items: list[object] = []
+    for raw in param_text.split(","):
+        token = raw.strip()
+        if not token:
+            raise PatternSyntaxError(f"empty parameter pattern in ({param_text})")
+        if token == "..":
+            items.append(REST)
+            continue
+        # Tolerate 'byte[] x'-style "type name" pairs: keep the type part.
+        token = token.split()[0]
+        # Tolerate Java-style array suffixes.
+        token = token.removesuffix("[]")
+        items.append(token)
+    return items

@@ -1,0 +1,449 @@
+"""The PROSE-enabled virtual machine.
+
+:class:`ProseVM` is the run-time weaver — the analogue of the paper's
+modified JVM.  Loading a class rewrites it in place:
+
+- every method defined on the class is replaced by a minimal-hook stub
+  (:mod:`repro.aop.hooks`), creating one method join point per method;
+- ``__setattr__`` is replaced by a field-write stub, creating field-write
+  join points lazily per assigned field.
+
+Aspects are inserted and withdrawn at any time; insertion matches each
+advice's crosscut against every loaded join point and activates the
+matching hooks.  Classes loaded *after* an insertion are matched against
+all currently inserted aspects, so the order of arrival (application code
+vs. extensions) does not matter — exactly the property MIDAS relies on.
+
+Unloading a class restores its original, unstubbed definition.
+"""
+
+from __future__ import annotations
+
+import inspect
+import logging
+from typing import Any, Callable, Iterator
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.crosscut import FieldWriteCut
+from repro.aop.hooks import (
+    CLASS,
+    INSTANCE,
+    STATIC,
+    FieldHookTable,
+    MethodHookTable,
+    make_method_stub,
+    make_setattr_stub,
+)
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.aop.sandbox import AspectSandbox
+from repro.errors import (
+    ClassNotLoadedError,
+    NotWovenError,
+    WeaveError,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Dunder members that are still valid join points.  ``__init__`` is
+#: needed by e.g. the age/trust extension (record construction time);
+#: ``__call__`` by function-object services.
+_ALLOWED_DUNDERS = {"__init__", "__call__"}
+
+
+def _is_weavable(name: str, value: object) -> tuple[bool, str]:
+    """Classify a class attribute: (weavable, stub style)."""
+    if name.startswith("__") and name.endswith("__") and name not in _ALLOWED_DUNDERS:
+        return False, INSTANCE
+    if isinstance(value, staticmethod):
+        return True, STATIC
+    if isinstance(value, classmethod):
+        return True, CLASS
+    if inspect.isfunction(value):
+        return True, INSTANCE
+    return False, INSTANCE
+
+
+class _LoadedClass:
+    """Bookkeeping for one instrumented class."""
+
+    __slots__ = ("cls", "method_tables", "field_table", "saved_attrs",
+                 "saved_setattr", "had_own_setattr")
+
+    def __init__(self, cls: type):
+        self.cls = cls
+        # method name -> MethodHookTable
+        self.method_tables: dict[str, MethodHookTable] = {}
+        self.field_table: FieldHookTable | None = None
+        # original attribute objects, for unload
+        self.saved_attrs: dict[str, Any] = {}
+        self.saved_setattr: Callable[..., None] | None = None
+        self.had_own_setattr = False
+
+
+class _Insertion:
+    """Bookkeeping for one inserted aspect."""
+
+    __slots__ = ("aspect", "advices", "sandbox", "tables")
+
+    def __init__(
+        self,
+        aspect: Aspect,
+        advices: list[tuple[Advice, Callable[..., Any]]],
+        sandbox: AspectSandbox | None,
+    ):
+        self.aspect = aspect
+        # (advice, possibly-sandbox-wrapped callback) pairs
+        self.advices = advices
+        self.sandbox = sandbox
+        # tables currently holding entries for this aspect
+        self.tables: set[MethodHookTable | FieldHookTable] = set()
+
+
+class VMStats:
+    """Aggregate counters over a VM's lifetime."""
+
+    __slots__ = ("classes_loaded", "methods_stubbed", "inserts", "withdrawals")
+
+    def __init__(self):
+        self.classes_loaded = 0
+        self.methods_stubbed = 0
+        self.inserts = 0
+        self.withdrawals = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<VMStats classes={self.classes_loaded} methods={self.methods_stubbed}"
+            f" inserts={self.inserts} withdrawals={self.withdrawals}>"
+        )
+
+
+#: Hooks stay installed at every join point from class load on; aspects
+#: toggle dispatch cells.  The PROSE JIT model (E1 measures its cost).
+RESIDENT = "resident"
+#: Hooks are installed only while at least one advice is active at the
+#: join point, and removed again afterwards.  Zero overhead when
+#: unadvised, higher weave/unweave latency.  The DESIGN §6 ablation.
+SWAP = "swap"
+
+
+class ProseVM:
+    """A run-time weaver over ordinary Python classes.
+
+    ``mode`` selects the weaving strategy: :data:`RESIDENT` (default,
+    the paper's stub-everywhere design) or :data:`SWAP` (install hooks
+    on demand — the weave-on-demand alternative the evaluation ablates).
+    """
+
+    def __init__(self, name: str = "prose", mode: str = RESIDENT):
+        if mode not in (RESIDENT, SWAP):
+            raise WeaveError(f"unknown weaving mode {mode!r}")
+        self.name = name
+        self.mode = mode
+        self.stats = VMStats()
+        self._loaded: dict[type, _LoadedClass] = {}
+        self._insertions: dict[Aspect, _Insertion] = {}
+
+    # -- class loading --------------------------------------------------------
+
+    @property
+    def loaded_classes(self) -> tuple[type, ...]:
+        """Classes currently instrumented by this VM."""
+        return tuple(self._loaded)
+
+    def is_loaded(self, cls: type) -> bool:
+        """True if ``cls`` is instrumented by this VM."""
+        return cls in self._loaded
+
+    def load_class(self, cls: type, include_inherited: bool = False) -> type:
+        """Instrument ``cls`` in place, planting hooks at all join points.
+
+        With ``include_inherited=True``, public methods inherited from
+        uninstrumented bases are materialized as class-local stubs too, so
+        crosscuts naming ``cls`` can reach them.  Returns ``cls``.
+        """
+        if cls in self._loaded:
+            return cls
+        if not isinstance(cls, type):
+            raise WeaveError(f"can only load classes, got {cls!r}")
+
+        record = _LoadedClass(cls)
+        self._loaded[cls] = record
+
+        names = list(vars(cls))
+        if include_inherited:
+            own = set(names)
+            for name in dir(cls):
+                if name in own or name.startswith("_"):
+                    continue
+                names.append(name)
+
+        for name in names:
+            if name in vars(cls):
+                raw = vars(cls)[name]
+                inherited = False
+            else:
+                raw = _find_inherited(cls, name)
+                if raw is None:
+                    continue
+                inherited = True
+            weavable, style = _is_weavable(name, raw)
+            if not weavable:
+                continue
+            if hasattr(_unwrap(raw), "__prose_table__"):
+                continue  # already a stub (e.g. inherited from a loaded base)
+            original = _unwrap(raw)
+            table = MethodHookTable(
+                JoinPoint(JoinPointKind.METHOD, cls, name), original, style
+            )
+            if not inherited:
+                record.saved_attrs[name] = raw
+            record.method_tables[name] = table
+            if self.mode == RESIDENT:
+                self._install_method_stub(record, name, table)
+            else:
+                table.on_state_change = self._swap_method_hook(record, name)
+            self.stats.methods_stubbed += 1
+
+        self._stub_setattr(record)
+        self.stats.classes_loaded += 1
+
+        # Late loading: weave already-inserted aspects through the new class.
+        for insertion in self._insertions.values():
+            self._register_on_class(insertion, record)
+        return cls
+
+    def _install_method_stub(
+        self, record: _LoadedClass, name: str, table: MethodHookTable
+    ) -> None:
+        stub = make_method_stub(table)
+        wrapped: Any = stub
+        if table.style == STATIC:
+            wrapped = staticmethod(stub)
+        elif table.style == CLASS:
+            wrapped = classmethod(stub)
+        setattr(record.cls, name, wrapped)
+
+    def _restore_method(self, record: _LoadedClass, name: str) -> None:
+        if name in record.saved_attrs:
+            setattr(record.cls, name, record.saved_attrs[name])
+        else:
+            # Materialized inherited stub: remove the class-local copy.
+            try:
+                delattr(record.cls, name)
+            except AttributeError:
+                pass
+
+    def _swap_method_hook(self, record: _LoadedClass, name: str):
+        def on_state_change(table: MethodHookTable, active: bool) -> None:
+            if active:
+                self._install_method_stub(record, name, table)
+            else:
+                self._restore_method(record, name)
+
+        return on_state_change
+
+    def _stub_setattr(self, record: _LoadedClass) -> None:
+        cls = record.cls
+        record.had_own_setattr = "__setattr__" in vars(cls)
+        current = cls.__setattr__
+        if hasattr(current, "__prose_field_table__"):
+            # Inherited from an already-loaded base: share that table's
+            # machinery by installing a class-local stub over the same
+            # *original* so writes are not intercepted twice.
+            current = current.__prose_field_table__.original_setattr  # type: ignore[attr-defined]
+        record.saved_setattr = vars(cls).get("__setattr__")
+        table = FieldHookTable(cls, current)
+        record.field_table = table
+        if self.mode == RESIDENT:
+            cls.__setattr__ = make_setattr_stub(table)  # type: ignore[assignment]
+        else:
+            table.on_state_change = self._swap_field_hook(record)
+
+    def _swap_field_hook(self, record: _LoadedClass):
+        def on_state_change(table: FieldHookTable, active: bool) -> None:
+            if active:
+                record.cls.__setattr__ = make_setattr_stub(table)  # type: ignore[assignment]
+            else:
+                self._restore_setattr(record)
+
+        return on_state_change
+
+    def _restore_setattr(self, record: _LoadedClass) -> None:
+        cls = record.cls
+        if record.had_own_setattr and record.saved_setattr is not None:
+            cls.__setattr__ = record.saved_setattr  # type: ignore[assignment]
+        else:
+            try:
+                delattr(cls, "__setattr__")
+            except AttributeError:
+                pass
+
+    def unload_class(self, cls: type) -> None:
+        """Restore ``cls`` to its original, uninstrumented definition."""
+        record = self._loaded.pop(cls, None)
+        if record is None:
+            raise ClassNotLoadedError(f"{cls!r} is not loaded in this VM")
+        for name, table in record.method_tables.items():
+            table.on_state_change = None
+            self._restore_method(record, name)
+            for insertion in self._insertions.values():
+                insertion.tables.discard(table)
+        self._restore_setattr(record)
+        if record.field_table is not None:
+            record.field_table.on_state_change = None
+            for insertion in self._insertions.values():
+                insertion.tables.discard(record.field_table)
+
+    # -- join point queries ----------------------------------------------------
+
+    def joinpoints(self, kind: JoinPointKind | None = None) -> list[JoinPoint]:
+        """All static join points currently hooked (method join points;
+        field join points are dynamic and not enumerated)."""
+        out = []
+        for record in self._loaded.values():
+            for table in record.method_tables.values():
+                if kind is None or table.joinpoint.kind is kind:
+                    out.append(table.joinpoint)
+        return out
+
+    def advised_joinpoints(self) -> list[JoinPoint]:
+        """Method join points with at least one active advice."""
+        return [
+            table.joinpoint
+            for record in self._loaded.values()
+            for table in record.method_tables.values()
+            if table.advised
+        ]
+
+    def interception_count(self) -> int:
+        """Total slow-path dispatches across all hooks."""
+        total = 0
+        for record in self._loaded.values():
+            for table in record.method_tables.values():
+                total += table.interceptions
+            if record.field_table is not None:
+                total += record.field_table.interceptions
+        return total
+
+    def table_for(self, cls: type, method: str) -> MethodHookTable:
+        """The hook table of ``cls.method`` (mainly for tests/benchmarks)."""
+        record = self._loaded.get(cls)
+        if record is None:
+            raise ClassNotLoadedError(f"{cls!r} is not loaded in this VM")
+        try:
+            return record.method_tables[method]
+        except KeyError:
+            raise ClassNotLoadedError(
+                f"{cls.__name__}.{method} has no hook in this VM"
+            ) from None
+
+    # -- aspect insertion -------------------------------------------------------
+
+    @property
+    def aspects(self) -> tuple[Aspect, ...]:
+        """Aspects currently inserted, in insertion order."""
+        return tuple(self._insertions)
+
+    def is_inserted(self, aspect: Aspect) -> bool:
+        """True if ``aspect`` is currently woven into this VM."""
+        return aspect in self._insertions
+
+    def insert(self, aspect: Aspect, sandbox: AspectSandbox | None = None) -> None:
+        """Weave ``aspect`` through all loaded classes, atomically visible.
+
+        If ``sandbox`` is given, every advice callback runs with that
+        sandbox current (see :mod:`repro.aop.sandbox`).
+        """
+        if aspect in self._insertions:
+            raise WeaveError(f"{aspect!r} is already inserted")
+        advices = []
+        for advice in aspect.advices():
+            if isinstance(advice.crosscut, FieldWriteCut) and advice.kind not in (
+                AdviceKind.BEFORE,
+                AdviceKind.AFTER,
+            ):
+                raise WeaveError(
+                    "field-write crosscuts support only before/after advice"
+                )
+            callback = advice.callback
+            if sandbox is not None:
+                callback = sandbox.wrap(callback)
+            advices.append((advice, callback))
+        insertion = _Insertion(aspect, advices, sandbox)
+        self._insertions[aspect] = insertion
+        for record in self._loaded.values():
+            self._register_on_class(insertion, record)
+        self.stats.inserts += 1
+        aspect.on_insert(self)
+
+    def withdraw(self, aspect: Aspect) -> None:
+        """Remove every trace of ``aspect`` from the VM."""
+        insertion = self._insertions.pop(aspect, None)
+        if insertion is None:
+            raise NotWovenError(f"{aspect!r} is not inserted in this VM")
+        for table in insertion.tables:
+            table.remove_aspect(aspect)
+        self.stats.withdrawals += 1
+        aspect.on_withdraw(self)
+
+    def withdraw_all(self) -> None:
+        """Withdraw every inserted aspect (in reverse insertion order)."""
+        for aspect in reversed(list(self._insertions)):
+            self.withdraw(aspect)
+
+    def _register_on_class(self, insertion: _Insertion, record: _LoadedClass) -> None:
+        for advice, callback in insertion.advices:
+            if isinstance(advice.crosscut, FieldWriteCut):
+                if record.field_table is not None and self._field_cut_relevant(
+                    advice.crosscut, record.cls
+                ):
+                    record.field_table.add(advice, callback)
+                    insertion.tables.add(record.field_table)
+                continue
+            for table in record.method_tables.values():
+                if advice.crosscut.matches(table.joinpoint, table.original):
+                    table.add(advice, callback)
+                    insertion.tables.add(table)
+
+    @staticmethod
+    def _field_cut_relevant(cut: FieldWriteCut, cls: type) -> bool:
+        """Could ``cut`` match writes going through ``cls``'s field stub?
+
+        True if the type pattern matches the class, any ancestor, or any
+        (current) subclass — subclass instances dispatch through the base
+        stub when they do not carry their own.
+        """
+        if cut.type_pattern.is_universal:
+            return True
+        for base in cls.__mro__:
+            if base is not object and cut.type_pattern.matches(base.__name__):
+                return True
+        return any(
+            cut.type_pattern.matches(sub.__name__) for sub in _all_subclasses(cls)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProseVM {self.name!r} classes={len(self._loaded)} "
+            f"aspects={len(self._insertions)}>"
+        )
+
+
+def _unwrap(raw: Any) -> Callable[..., Any]:
+    if isinstance(raw, (staticmethod, classmethod)):
+        return raw.__func__
+    return raw
+
+
+def _find_inherited(cls: type, name: str) -> Any:
+    for base in cls.__mro__[1:]:
+        if name in vars(base):
+            return vars(base)[name]
+    return None
+
+
+def _all_subclasses(cls: type) -> Iterator[type]:
+    for sub in cls.__subclasses__():
+        yield sub
+        yield from _all_subclasses(sub)

@@ -1,0 +1,28 @@
+"""The proactive middleware platform — top-level public API.
+
+This package assembles the substrates into the system of the paper: a
+:class:`~repro.core.platform.ProactivePlatform` owns the simulated world
+(kernel + radio network) and builds the two node roles:
+
+- :class:`~repro.core.platform.BaseStation` — registrar + extension base
+  + hall database (+ mirror hub), i.e. one *proactive environment*;
+- :class:`~repro.core.platform.MobileNode` — a PROSE-enabled VM with a
+  MIDAS adaptation service, discovery client, resource gateway services,
+  and a mobility model.
+
+:class:`~repro.core.environment.ProductionHall` and
+:class:`~repro.core.environment.ProactiveEnvironment` add the physical
+geometry: halls are regions with a base station at their center; walking
+a node between halls is all it takes for its functionality to change.
+"""
+
+from repro.core.environment import ProactiveEnvironment, ProductionHall
+from repro.core.platform import BaseStation, MobileNode, ProactivePlatform
+
+__all__ = [
+    "BaseStation",
+    "MobileNode",
+    "ProactiveEnvironment",
+    "ProactivePlatform",
+    "ProductionHall",
+]

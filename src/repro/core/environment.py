@@ -1,0 +1,96 @@
+"""Physical environments: production halls with per-hall policies.
+
+The introduction's motivating scenario: "a mobile robot used in different
+production halls.  Every time the robot enters a particular hall, it is
+the hall (e.g., a base station supervising the hall) that adapts the
+robot to the task at hand."
+
+A :class:`ProductionHall` is a floor region supervised by a base station
+whose radio covers the hall; its *policy* is the extension catalog of
+that station.  :class:`ProactiveEnvironment` groups the halls of a site
+and answers geometric questions ("which hall is this robot in?").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+from repro.aop.aspect import Aspect
+from repro.core.platform import BaseStation, MobileNode, ProactivePlatform
+from repro.net.geometry import Position, Region
+
+
+class ProductionHall:
+    """One hall: a region, a supervising base station, a policy."""
+
+    def __init__(self, region: Region, station: BaseStation):
+        self.region = region
+        self.station = station
+
+    @property
+    def name(self) -> str:
+        """The hall's label (its region name)."""
+        return self.region.name or self.station.node_id
+
+    def covers(self, position: Position) -> bool:
+        """True if ``position`` is inside this hall."""
+        return self.region.contains(position)
+
+    def set_policy(self, extensions: Mapping[str, Callable[[], Aspect]]) -> None:
+        """Install this hall's extension policy (name → factory)."""
+        for name, factory in extensions.items():
+            self.station.add_extension(name, factory)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProductionHall {self.name} policy={self.station.catalog.names()}>"
+        )
+
+
+class ProactiveEnvironment:
+    """A site: several halls sharing one platform."""
+
+    def __init__(self, platform: ProactivePlatform):
+        self.platform = platform
+        self.halls: list[ProductionHall] = []
+
+    def add_hall(
+        self,
+        region: Region,
+        policy: Mapping[str, Callable[[], Aspect]] | None = None,
+        radio_margin: float = 5.0,
+    ) -> ProductionHall:
+        """Create a hall: base station at the region center, radio sized
+        to cover the whole region (plus ``radio_margin`` meters)."""
+        center = region.center
+        corner_distance = max(center.distance_to(corner) for corner in region.corners())
+        station = self.platform.create_base_station(
+            f"base.{region.name or len(self.halls)}",
+            position=center,
+            radio_range=corner_distance + radio_margin,
+        )
+        hall = ProductionHall(region, station)
+        if policy:
+            hall.set_policy(policy)
+        self.halls.append(hall)
+        return hall
+
+    def hall_of(self, node: MobileNode) -> ProductionHall | None:
+        """The hall whose floor the node currently stands on, if any."""
+        for hall in self.halls:
+            if hall.covers(node.node.position):
+                return hall
+        return None
+
+    def hall_named(self, name: str) -> ProductionHall:
+        """Look up a hall by name."""
+        for hall in self.halls:
+            if hall.name == name:
+                return hall
+        raise KeyError(f"no hall named {name!r}")
+
+    def __iter__(self) -> Iterator[ProductionHall]:
+        return iter(self.halls)
+
+    def __repr__(self) -> str:
+        return f"<ProactiveEnvironment halls={[hall.name for hall in self.halls]}>"

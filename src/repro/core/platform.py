@@ -1,0 +1,298 @@
+"""Platform assembly: the base-station and mobile-node roles.
+
+Wiring diagram (one hall, one robot)::
+
+    BaseStation                              MobileNode
+    ───────────                              ──────────
+    LookupService ◄── announce/register ───  DiscoveryClient
+    ExtensionBase ─── midas.offer ────────►  AdaptationService ──► ProseVM
+          ▲       ─── midas.keepalive ──►        │ lease table
+          │                                      ▼
+    MovementStore ◄── store.append ───────  HwMonitoring advice
+    MirrorHub     ◄── mirror.feed ────────  ReplicationExtension advice
+
+Everything runs on one shared :class:`~repro.sim.kernel.Simulator`; call
+:meth:`ProactivePlatform.run_for` to advance the world.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+from repro.aop.aspect import Aspect
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceItem
+from repro.extensions.replication import MirrorHub
+from repro.leasing.table import DEFAULT_DURATION
+from repro.midas.base import ExtensionBase
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller, ServiceRef
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import ORIGIN, Position, Region
+from repro.net.mobility import WaypointMobility
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import DEFAULT_RADIO_RANGE, NetworkNode
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.store.database import MovementStore
+from repro.store.service import APPEND, STORE_INTERFACE, StoreService
+
+
+class BaseStation:
+    """One proactive environment: registrar, extension base, hall database."""
+
+    def __init__(
+        self,
+        platform: "ProactivePlatform",
+        node: NetworkNode,
+        signer: Signer,
+        lease_duration: float,
+    ):
+        self.platform = platform
+        self.node = node
+        self.signer = signer
+        self.transport = Transport(node, platform.simulator)
+        self.lookup = LookupService(self.transport, platform.simulator)
+        self.catalog = ExtensionCatalog(signer)
+        self.extension_base = ExtensionBase(
+            self.transport, platform.simulator, self.catalog, lease_duration
+        )
+        self.extension_base.watch_lookup(self.lookup)
+        self.db = MovementStore(name=f"{node.node_id}.db")
+        self.store_service = StoreService(self.db, self.transport)
+        self.mirror_hub = MirrorHub(self.transport)
+        # The hall's own services are visible to clients of its registrar.
+        self.lookup.register_local(
+            ServiceItem(
+                STORE_INTERFACE, node.node_id, {"store": self.db.name}
+            )
+        )
+        self.lookup.start()
+
+    @property
+    def node_id(self) -> str:
+        """This station's network address."""
+        return self.node.node_id
+
+    @property
+    def store_ref(self) -> ServiceRef:
+        """Where monitoring extensions should post movement records."""
+        return ServiceRef(self.node_id, APPEND)
+
+    def add_extension(self, name: str, factory: Callable[[], Aspect]) -> None:
+        """Add an extension to this hall's policy (future arrivals get it)."""
+        self.catalog.add(name, factory)
+
+    def replace_extension(self, name: str, factory: Callable[[], Aspect]) -> None:
+        """Change the hall policy: swap the extension on every adapted node."""
+        self.extension_base.replace_extension(name, factory)
+
+    def __repr__(self) -> str:
+        return f"<BaseStation {self.node_id} catalog={self.catalog.names()}>"
+
+
+class MobileNode:
+    """A PROSE-enabled device carrying the MIDAS adaptation service."""
+
+    def __init__(
+        self,
+        platform: "ProactivePlatform",
+        node: NetworkNode,
+        trust_store: TrustStore,
+        policy: SandboxPolicy,
+    ):
+        self.platform = platform
+        self.node = node
+        self.vm = ProseVM(name=node.node_id)
+        self.transport = Transport(node, platform.simulator)
+        self.discovery = DiscoveryClient(self.transport, platform.simulator)
+        self.trust_store = trust_store
+        self.mobility = WaypointMobility(platform.simulator, node)
+        services = {
+            Capability.NETWORK: RemoteCaller(self.transport),
+            Capability.CLOCK: platform.simulator.clock,
+            Capability.SCHEDULER: SchedulerService(platform.simulator),
+        }
+        self.adaptation = AdaptationService(
+            self.vm,
+            self.transport,
+            platform.simulator,
+            trust_store,
+            policy=policy,
+            services=services,
+            discovery=self.discovery,
+        )
+        self.discovery.start()
+        self.adaptation.start()
+
+    @property
+    def node_id(self) -> str:
+        """This node's network address."""
+        return self.node.node_id
+
+    def load_class(self, cls: type) -> type:
+        """Instrument an application class on this node's VM."""
+        return self.vm.load_class(cls)
+
+    def provide_service(self, capability: str, service: object) -> None:
+        """Expose a node resource (e.g. hardware) to extensions."""
+        self.adaptation.provide_service(capability, service)
+
+    def walk_to(self, target: Position | Region) -> None:
+        """Queue a physical movement (connectivity follows position)."""
+        self.mobility.go_to(target)
+
+    def extensions(self) -> list[str]:
+        """Names of the extensions currently live on this node."""
+        return [installed.name for installed in self.adaptation.installed()]
+
+    def __repr__(self) -> str:
+        return f"<MobileNode {self.node_id} extensions={self.extensions()}>"
+
+
+class ProactivePlatform:
+    """The simulated world: one kernel, one radio network, many nodes."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        network_config: NetworkConfig | None = None,
+        lease_duration: float = DEFAULT_DURATION,
+    ):
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, config=network_config, seed=seed)
+        self.lease_duration = lease_duration
+        self.base_stations: dict[str, BaseStation] = {}
+        self.mobile_nodes: dict[str, MobileNode] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def create_base_station(
+        self,
+        node_id: str,
+        position: Position = ORIGIN,
+        radio_range: float = DEFAULT_RADIO_RANGE,
+        signer: Signer | None = None,
+    ) -> BaseStation:
+        """Stand up a base station (registrar + extension base + DB)."""
+        node = self.network.attach(NetworkNode(node_id, position, radio_range))
+        station = BaseStation(
+            self,
+            node,
+            signer or Signer.generate(node_id),
+            self.lease_duration,
+        )
+        self.base_stations[node_id] = station
+        # Base stations share a wired backbone and learn about each other
+        # for the roaming algorithm.
+        for other in self.base_stations.values():
+            if other is not station:
+                self.network.wire(node_id, other.node_id)
+                other.extension_base.link_peer_base(node_id)
+                station.extension_base.link_peer_base(other.node_id)
+        return station
+
+    def create_mobile_node(
+        self,
+        node_id: str,
+        position: Position = ORIGIN,
+        radio_range: float = DEFAULT_RADIO_RANGE,
+        trusted: Iterable[Signer] = (),
+        policy: SandboxPolicy | None = None,
+    ) -> MobileNode:
+        """Stand up an adaptable mobile node.
+
+        ``trusted`` provisions the node's trust store; by default every
+        *currently existing* base station's signer is trusted (override
+        with an explicit list for security experiments).
+        """
+        node = self.network.attach(NetworkNode(node_id, position, radio_range))
+        trust_store = TrustStore()
+        signers = list(trusted) or [
+            station.signer for station in self.base_stations.values()
+        ]
+        for signer in signers:
+            trust_store.trust_signer(signer)
+        mobile = MobileNode(
+            self,
+            node,
+            trust_store,
+            policy or SandboxPolicy.permissive(),
+        )
+        self.mobile_nodes[node_id] = mobile
+        return mobile
+
+    # -- time ----------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.simulator.now
+
+    def run_for(self, seconds: float) -> int:
+        """Advance the world by ``seconds`` of virtual time."""
+        return self.simulator.run_for(seconds)
+
+    def run_until_idle(self, max_steps: int = 100_000) -> int:
+        """Drain the event queue (bounded; periodic timers never drain)."""
+        return self.simulator.run(max_steps=max_steps)
+
+    # -- observability ----------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """A snapshot of the world's counters, for dashboards and tests.
+
+        Covers the radio (traffic/drops), every base station (catalog,
+        adapted nodes, database size) and every mobile node (live
+        extensions, weaving statistics, interception counts).
+        """
+        return {
+            "time": self.now,
+            "network": {
+                "transmitted": self.network.messages_transmitted,
+                "delivered": self.network.messages_delivered,
+                "dropped": self.network.messages_dropped,
+            },
+            "base_stations": {
+                node_id: {
+                    "catalog": station.catalog.names(),
+                    "adapted_nodes": station.extension_base.adapted_nodes(),
+                    "db_records": len(station.db),
+                    "registrations": station.lookup.registration_count(),
+                }
+                for node_id, station in self.base_stations.items()
+            },
+            "mobile_nodes": {
+                node_id: {
+                    "position": tuple(node.node.position),
+                    "extensions": node.extensions(),
+                    "classes_loaded": node.vm.stats.classes_loaded,
+                    "interceptions": node.vm.interception_count(),
+                }
+                for node_id, node in self.mobile_nodes.items()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<ProactivePlatform t={self.now:.2f} "
+            f"bases={sorted(self.base_stations)} nodes={sorted(self.mobile_nodes)}>"
+        )
+
+
+def capability_services(
+    platform: ProactivePlatform, transport: Transport, extra: Mapping[str, object] = ()
+) -> dict[str, object]:
+    """The standard gateway service set for a node (helper for custom wiring)."""
+    services: dict[str, object] = {
+        Capability.NETWORK: RemoteCaller(transport),
+        Capability.CLOCK: platform.simulator.clock,
+        Capability.SCHEDULER: SchedulerService(platform.simulator),
+    }
+    services.update(dict(extra) if extra else {})
+    return services

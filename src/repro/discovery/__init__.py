@@ -1,0 +1,31 @@
+"""Spontaneous networking (Jini workalike).
+
+MIDAS detects adaptable nodes through a platform for spontaneous
+networking; the paper uses Jini.  This package reproduces the parts of
+Jini the platform needs:
+
+- :class:`~repro.discovery.registrar.LookupService` — the registrar:
+  leased service registrations, template lookup, remote-event
+  notifications on registration changes, periodic announcements;
+- :class:`~repro.discovery.client.DiscoveryClient` — the per-node join
+  protocol: listens for announcements, probes actively, registers the
+  node's services and keeps the registrations alive;
+- :class:`~repro.discovery.service.ServiceItem` /
+  :class:`~repro.discovery.service.ServiceTemplate` — service descriptions
+  and attribute matching.
+"""
+
+from repro.discovery.client import DiscoveryClient, ServiceRegistration
+from repro.discovery.events import EventKind, RemoteEvent
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceItem, ServiceTemplate
+
+__all__ = [
+    "DiscoveryClient",
+    "EventKind",
+    "LookupService",
+    "RemoteEvent",
+    "ServiceItem",
+    "ServiceRegistration",
+    "ServiceTemplate",
+]

@@ -1,0 +1,38 @@
+"""Remote events (the Jini distributed event model, reduced).
+
+Listeners register a template with the lookup service and receive a
+:class:`RemoteEvent` whenever a matching service appears, expires, or is
+cancelled.  Events carry a per-registration sequence number so listeners
+can detect loss or reordering on the radio.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.discovery.service import ServiceItem
+
+
+class EventKind(enum.Enum):
+    """What happened to a matching service registration."""
+
+    REGISTERED = "registered"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class RemoteEvent:
+    """One notification delivered to a remote listener."""
+
+    kind: EventKind
+    item: ServiceItem
+    registrar: str  # node id of the lookup service
+    sequence: int
+
+    def __repr__(self) -> str:
+        return (
+            f"<RemoteEvent {self.kind.value} {self.item.describe()} "
+            f"seq={self.sequence}>"
+        )

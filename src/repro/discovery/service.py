@@ -1,0 +1,67 @@
+"""Service descriptions and template matching.
+
+A :class:`ServiceItem` describes one exported service: the interface it
+implements (by name — the Jini analogue of a Java interface type), the
+node providing it, and a dictionary of descriptive attributes.  A
+:class:`ServiceTemplate` matches items the Jini way: wildcard on the
+interface name plus attribute-subset equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.util.ids import fresh_id
+from repro.util.patterns import wildcard_match
+
+
+@dataclass(frozen=True)
+class ServiceItem:
+    """One exported service."""
+
+    interface: str
+    provider: str  # node id
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    service_id: str = field(default_factory=lambda: fresh_id("svc"))
+
+    def describe(self) -> str:
+        """Human-readable one-liner for logs and UIs."""
+        attrs = ", ".join(f"{k}={v}" for k, v in sorted(self.attributes.items()))
+        return f"{self.interface}@{self.provider}({attrs})"
+
+    def __repr__(self) -> str:
+        return f"<ServiceItem {self.describe()} id={self.service_id}>"
+
+
+@dataclass(frozen=True)
+class ServiceTemplate:
+    """A query over service items.
+
+    ``interface`` is a wildcard pattern; ``attributes`` must be a subset
+    of the item's attributes (exact value equality).  ``provider``
+    optionally pins the providing node.
+    """
+
+    interface: str = "*"
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    provider: str | None = None
+
+    def matches(self, item: ServiceItem) -> bool:
+        """True if ``item`` satisfies this template."""
+        if not wildcard_match(self.interface, item.interface):
+            return False
+        if self.provider is not None and self.provider != item.provider:
+            return False
+        for key, value in self.attributes.items():
+            if key not in item.attributes or item.attributes[key] != value:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = [self.interface]
+        if self.provider:
+            parts.append(f"provider={self.provider}")
+        if self.attributes:
+            parts.append(str(dict(self.attributes)))
+        return f"<ServiceTemplate {' '.join(parts)}>"

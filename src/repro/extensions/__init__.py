@@ -1,0 +1,64 @@
+"""The standard extension library.
+
+Every extension the paper describes or sketches, implemented as a
+first-class PROSE aspect ready to be cataloged, signed and distributed by
+MIDAS:
+
+================================  ============================================
+:class:`SessionManagement`         implicit extension extracting caller identity
+                                   (Fig. 2 step 2)
+:class:`AccessControl`             per-caller authorization, ends denied calls
+                                   with an exception (Fig. 2 step 3, §4.6)
+:class:`HwMonitoring`              motor monitoring + async logging to the
+                                   base-station database (Fig. 3b, Fig. 5)
+:class:`CallLogging`               "records every call to an application"
+:class:`EncryptionExtension`       "encrypt every outgoing call ... decrypt
+                                   every incoming call" (§3.3)
+:class:`OrthogonalPersistence`     journals field writes; restores state
+:class:`AdHocTransactions`         atomic method executions with rollback
+:class:`Billing`                   "accounting modules ... to bill them for
+                                   the use of services" (§1)
+:class:`AgeTrust`                  records device "birth dates" and decides by
+                                   age (§4.6)
+:class:`ReplicationExtension`      mirrors plotter movements to remote robots,
+                                   optionally at a different scale (§4.5)
+:class:`MovementControl`           forbids movements beyond certain
+                                   coordinates (§4.5)
+================================  ============================================
+"""
+
+from repro.extensions.access_control import AccessControl
+from repro.extensions.age_trust import AgeTrust
+from repro.extensions.billing import Billing
+from repro.extensions.call_logging import CallLogging, CallRecord
+from repro.extensions.control import ForbiddenRegion, MovementControl
+from repro.extensions.encryption import EncryptionExtension, XorCipher
+from repro.extensions.monitoring import HwMonitoring
+from repro.extensions.persistence import OrthogonalPersistence
+from repro.extensions.replication import MirrorHub, ReplicationExtension
+from repro.extensions.session import SessionManagement
+from repro.extensions.transactions import AdHocTransactions
+
+__all__ = [
+    "AccessControl",
+    "AdHocTransactions",
+    "AgeTrust",
+    "Billing",
+    "CallLogging",
+    "CallRecord",
+    "EncryptionExtension",
+    "ForbiddenRegion",
+    "HwMonitoring",
+    "MirrorHub",
+    "MovementControl",
+    "OrthogonalPersistence",
+    "ReplicationExtension",
+    "SessionManagement",
+    "XorCipher",
+]
+
+#: Advice orders giving the Fig. 2 interception sequence: session
+#: information is extracted before authorization, which runs before
+#: ordinary (default-order) extensions.
+SESSION_ORDER = 10
+ACCESS_ORDER = 20

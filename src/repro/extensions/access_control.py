@@ -1,0 +1,75 @@
+"""Access control — transparent authorization (Fig. 2 step 3, §4.6).
+
+"The security aspect intercepts all service calls and decides, before the
+execution of the application logic, whether the remote caller has the
+right to execute the intercepted method.  If the access is denied, the
+execution is ended with an exception."
+
+The extension is configured on the base station with the hall's policy
+(the set of authorized principals and the methods it guards).  It
+*requires* session information, so MIDAS auto-inserts
+:class:`~repro.extensions.session.SessionManagement` alongside it — the
+paper's implicit-extension mechanism.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.errors import AccessDeniedError
+from repro.extensions.orders import ACCESS_ORDER
+from repro.extensions.session import CALLER_KEY, SessionManagement
+
+
+class AccessControl(Aspect):
+    """Ends unauthorized calls with :class:`AccessDeniedError`.
+
+    ``allowed`` is the set of caller node ids the policy authorizes.
+    Calls that never crossed the network have no caller identity; they
+    are allowed when ``allow_local`` is True (the default — the robot's
+    own program may always run itself).
+    """
+
+    REQUIRES = (SessionManagement,)
+
+    def __init__(
+        self,
+        allowed: Iterable[str] = (),
+        type_pattern: str = "*",
+        method_pattern: str = "*",
+        allow_local: bool = True,
+    ):
+        super().__init__()
+        self.allowed = frozenset(allowed)
+        self.allow_local = allow_local
+        self.granted = 0
+        self.denied = 0
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method=method_pattern),
+            callback=self.authorize,
+            order=ACCESS_ORDER,
+        )
+
+    def authorize(self, ctx: ExecutionContext) -> None:
+        """Grant or deny the intercepted call based on the session caller."""
+        caller = ctx.session.get(CALLER_KEY)
+        if caller is None:
+            if self.allow_local:
+                self.granted += 1
+                return
+            self.denied += 1
+            raise AccessDeniedError(
+                f"anonymous local call to {ctx.method_name} denied by policy"
+            )
+        if caller in self.allowed:
+            self.granted += 1
+            return
+        self.denied += 1
+        raise AccessDeniedError(
+            f"caller {caller!r} is not authorized for {ctx.method_name}"
+        )

@@ -1,0 +1,80 @@
+"""Age-based trust (§4.6).
+
+"Another example are applications where the 'age' of the device
+corresponds to the trust associated to that device.  A proactive context
+can add an extension that records the 'birth date' of a device.  The very
+same extension may intercept all service invocations of all possible
+devices and decide how to proceed depending on the device's age."
+
+This single extension does both jobs: the first time it sees a device it
+stamps a birth date; on every subsequent matched invocation it computes
+the device's age and denies service while the device is younger than the
+configured minimum (a newborn device has not yet earned trust).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.aop.sandbox import Capability
+from repro.errors import AccessDeniedError
+
+
+class AgeTrust(Aspect):
+    """Records device birth dates and gates calls on device age."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.CLOCK})
+
+    def __init__(
+        self,
+        min_age: float,
+        type_pattern: str = "Device",
+        method_pattern: str = "*",
+    ):
+        super().__init__()
+        if min_age < 0:
+            raise ValueError(f"min_age must be non-negative, got {min_age}")
+        self.min_age = min_age
+        self.denied = 0
+        self._birth_dates: dict[str, float] = {}
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method=method_pattern),
+            callback=self.gate_by_age,
+        )
+
+    def gate_by_age(self, ctx: ExecutionContext) -> None:
+        """Stamp unseen devices; deny calls on too-young devices."""
+        device = self._identify(ctx.target)
+        now = self.gateway.acquire(Capability.CLOCK).now()
+        birth = self._birth_dates.setdefault(device, now)
+        age = now - birth
+        if age < self.min_age:
+            self.denied += 1
+            raise AccessDeniedError(
+                f"device {device} is {age:.2f}s old; needs {self.min_age}s of trust"
+            )
+
+    # -- queries ----------------------------------------------------------------
+
+    def birth_date(self, target: Any) -> float | None:
+        """The recorded birth date of ``target``'s device, if seen."""
+        return self._birth_dates.get(self._identify(target))
+
+    def age_of(self, target: Any) -> float | None:
+        """Current age of ``target``'s device, if seen."""
+        birth = self.birth_date(target)
+        if birth is None:
+            return None
+        return self.gateway.acquire(Capability.CLOCK).now() - birth
+
+    @staticmethod
+    def _identify(target: Any) -> str:
+        device_id = getattr(target, "device_id", None)
+        if device_id is not None:
+            return str(device_id)
+        return f"{type(target).__name__}@{id(target):x}"

@@ -1,0 +1,118 @@
+"""Billing — "accounting modules being added to mobile devices (e.g.,
+lap-tops) to bill them for the use of services in a given location" (§1).
+
+A tariff maps method names (wildcard patterns) to a price per call; every
+matched call is charged to the calling principal (from session data, or
+``"local"`` for in-node calls).  The hall operator queries the invoice
+through the aspect or lets the extension post totals to a billing service
+ref on shutdown.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.aop.sandbox import Capability
+from repro.extensions.session import CALLER_KEY, SessionManagement
+from repro.midas.remote import ServiceRef
+from repro.util.patterns import wildcard_match
+
+#: Account name used for calls that never crossed the network.
+LOCAL_PRINCIPAL = "local"
+
+
+class Billing(Aspect):
+    """Charges matched calls to per-caller accounts.
+
+    With a ``settlement`` ref configured, the running totals are posted
+    to the hall's billing desk every ``settlement_interval`` seconds
+    (cumulative, so the desk just keeps the latest) — the device may
+    walk out of radio range at any moment, and a departure-time-only
+    settlement would be lost with it.  ``shutdown`` posts one final
+    best-effort settlement.
+    """
+
+    REQUIRES = (SessionManagement,)
+    REQUIRED_CAPABILITIES = frozenset({Capability.NETWORK, Capability.SCHEDULER})
+
+    def __init__(
+        self,
+        tariff: Mapping[str, float],
+        type_pattern: str = "*",
+        settlement: ServiceRef | None = None,
+        settlement_interval: float = 5.0,
+    ):
+        super().__init__()
+        self.tariff = dict(tariff)
+        #: Where totals are posted (the hall's billing desk).
+        self.settlement = settlement
+        self.settlement_interval = settlement_interval
+        self.calls_billed = 0
+        self.settlements_posted = 0
+        self._accounts: dict[str, float] = {}
+        self._timer = None
+        self._last_posted: dict[str, float] | None = None
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method="*"),
+            callback=self.charge,
+        )
+
+    def charge(self, ctx: ExecutionContext) -> None:
+        """Charge the caller for the intercepted call, if tariffed."""
+        price = self.price_of(ctx.method_name)
+        if price is None:
+            return
+        principal = ctx.session.get(CALLER_KEY) or LOCAL_PRINCIPAL
+        self._accounts[principal] = self._accounts.get(principal, 0.0) + price
+        self.calls_billed += 1
+
+    def price_of(self, method: str) -> float | None:
+        """The tariff entry matching ``method`` (first match wins)."""
+        for pattern, price in self.tariff.items():
+            if wildcard_match(pattern, method):
+                return price
+        return None
+
+    # -- settlement -------------------------------------------------------------
+
+    def invoice(self) -> dict[str, float]:
+        """Per-principal totals accumulated so far."""
+        return dict(self._accounts)
+
+    def balance(self, principal: str) -> float:
+        """Current charge of one principal."""
+        return self._accounts.get(principal, 0.0)
+
+    def on_insert(self, vm) -> None:
+        """Start the periodic settlement loop, if a desk is configured."""
+        if self.settlement is not None and self.gateway is not None:
+            scheduler = self.gateway.acquire(Capability.SCHEDULER)
+            self._timer = scheduler.periodic(
+                self.settlement_interval, self.post_settlement, name=f"{self.name}.settle"
+            )
+
+    def post_settlement(self, final: bool = False) -> bool:
+        """Post cumulative totals to the desk; True if something was sent."""
+        if self.settlement is None or self.gateway is None:
+            return False
+        totals = self.invoice()
+        if not totals or totals == self._last_posted:
+            return False
+        caller = self.gateway.acquire(Capability.NETWORK)
+        caller.post(self.settlement, {"invoice": totals, "final": final})
+        self._last_posted = totals
+        self.settlements_posted += 1
+        return True
+
+    def shutdown(self) -> None:
+        """Stop settling and post one final (best-effort) invoice."""
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+        self._last_posted = None  # force the final post even if unchanged
+        self.post_settlement(final=True)

@@ -1,0 +1,87 @@
+"""Call logging — "a variant of the logging extensions that records every
+call to an application" (§3.3).
+
+Unlike :class:`~repro.extensions.monitoring.HwMonitoring`, this extension
+knows nothing about the application — not even its interface: the default
+crosscut matches every method of every loaded class.  Records go to a
+bounded local ring buffer, queryable through the aspect object.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass
+from typing import Any
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.extensions.session import CALLER_KEY
+
+#: Default ring-buffer capacity.
+DEFAULT_CAPACITY = 1000
+
+
+@dataclass(frozen=True)
+class CallRecord:
+    """One logged call."""
+
+    cls: str
+    method: str
+    args: tuple[Any, ...]
+    caller: str | None
+
+    def __repr__(self) -> str:
+        return f"<CallRecord {self.cls}.{self.method} from {self.caller}>"
+
+
+class CallLogging(Aspect):
+    """Records every matched call into a bounded ring buffer."""
+
+    def __init__(
+        self,
+        type_pattern: str = "*",
+        method_pattern: str = "*",
+        capacity: int = DEFAULT_CAPACITY,
+    ):
+        super().__init__()
+        self.type_pattern = type_pattern
+        self.method_pattern = method_pattern
+        self.capacity = capacity
+        self.total_calls = 0
+        self._ring: collections.deque[CallRecord] = collections.deque(maxlen=capacity)
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method=method_pattern),
+            callback=self.record_call,
+        )
+
+    def record_call(self, ctx: ExecutionContext) -> None:
+        """Append the intercepted call to the ring buffer."""
+        self._ring.append(
+            CallRecord(
+                ctx.joinpoint.class_name,
+                ctx.method_name,
+                ctx.args,
+                ctx.session.get(CALLER_KEY),
+            )
+        )
+        self.total_calls += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def entries(self) -> list[CallRecord]:
+        """The retained records, oldest first."""
+        return list(self._ring)
+
+    def calls_to(self, method: str) -> int:
+        """Retained calls to ``method``."""
+        return sum(1 for record in self._ring if record.method == method)
+
+    def clear(self) -> None:
+        """Empty the ring buffer (``total_calls`` keeps counting)."""
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,69 @@
+"""Movement control — "one may forbid movements beyond certain
+coordinates so that certain parts of the paper remain untouched" (§4.5).
+
+A :class:`MovementControl` extension is configured (on the base station)
+with forbidden rectangles.  Its before-advice intercepts the plotter's
+published drawing interface — no source-code knowledge needed, only the
+interface — and ends offending movements with
+:class:`~repro.errors.MovementDeniedError` *before* the hardware moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.errors import MovementDeniedError
+
+
+@dataclass(frozen=True)
+class ForbiddenRegion:
+    """An axis-aligned rectangle of paper that must remain untouched."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+    label: str = ""
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside this region."""
+        return self.min_x <= x <= self.max_x and self.min_y <= y <= self.max_y
+
+
+class MovementControl(Aspect):
+    """Blocks plotter movements into forbidden regions."""
+
+    def __init__(
+        self,
+        forbidden: Iterable[ForbiddenRegion],
+        type_pattern: str = "Plotter",
+        method_pattern: str = "move_to",
+    ):
+        super().__init__()
+        self.forbidden = tuple(forbidden)
+        self.movements_checked = 0
+        self.movements_denied = 0
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method=method_pattern),
+            callback=self.check_movement,
+        )
+
+    def check_movement(self, ctx: ExecutionContext) -> None:
+        """Deny the movement if its target lies in a forbidden region."""
+        self.movements_checked += 1
+        if len(ctx.args) < 2:
+            return
+        x, y = float(ctx.args[0]), float(ctx.args[1])
+        for region in self.forbidden:
+            if region.contains(x, y):
+                self.movements_denied += 1
+                label = f" ({region.label})" if region.label else ""
+                raise MovementDeniedError(
+                    f"movement to ({x}, {y}) enters forbidden region{label}"
+                )

@@ -1,0 +1,88 @@
+"""Transparent encryption — the paper's motivating aspect example (§3.1):
+
+    before methods-with-signature 'void *.send*(byte[] x, ..)' do encrypt(x)
+
+and §3.3: "it is very easy to design an extension that will encrypt every
+outgoing call from an application and decrypt every incoming call".
+
+The extension rewrites the first ``bytes`` argument of matched ``send*``
+methods with its ciphertext, and symmetrically decrypts on ``receive*``
+methods.  The cipher is a keyed XOR keystream — an *illustrative* cipher
+(it round-trips and visibly scrambles data) standing in for a real one;
+the reproduction's subject is the weaving, not the cryptography.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut, REST
+
+
+class XorCipher:
+    """A keyed XOR keystream cipher (demonstration only, not secure)."""
+
+    __slots__ = ("_key",)
+
+    def __init__(self, key: bytes):
+        if not key:
+            raise ValueError("cipher key must be non-empty")
+        self._key = hashlib.sha256(key).digest()
+
+    def encrypt(self, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream."""
+        return bytes(b ^ k for b, k in zip(data, itertools.cycle(self._key)))
+
+    # XOR is an involution.
+    decrypt = encrypt
+
+
+class EncryptionExtension(Aspect):
+    """Encrypts outgoing and decrypts incoming byte payloads."""
+
+    def __init__(
+        self,
+        key: bytes,
+        send_pattern: str = "send*",
+        receive_pattern: str = "receive*",
+        type_pattern: str = "*",
+    ):
+        super().__init__()
+        self.cipher = XorCipher(key)
+        self.encrypted = 0
+        self.decrypted = 0
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(
+                type=type_pattern, method=send_pattern, params=("bytes", REST)
+            ),
+            callback=self.encrypt_outgoing,
+        )
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(
+                type=type_pattern, method=receive_pattern, params=("bytes", REST)
+            ),
+            callback=self.decrypt_incoming,
+        )
+
+    def encrypt_outgoing(self, ctx: ExecutionContext) -> None:
+        """Replace the first bytes argument with its ciphertext."""
+        ctx.args = self._transform(ctx.args, self.cipher.encrypt)
+        self.encrypted += 1
+
+    def decrypt_incoming(self, ctx: ExecutionContext) -> None:
+        """Replace the first bytes argument with its plaintext."""
+        ctx.args = self._transform(ctx.args, self.cipher.decrypt)
+        self.decrypted += 1
+
+    @staticmethod
+    def _transform(args: tuple, fn) -> tuple:
+        for index, value in enumerate(args):
+            if isinstance(value, (bytes, bytearray)):
+                return (*args[:index], fn(bytes(value)), *args[index + 1:])
+        return args

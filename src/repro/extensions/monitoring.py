@@ -1,0 +1,124 @@
+"""Hardware monitoring and logging — the paper's flagship extension.
+
+Fig. 5's ``HwMonitoring`` intercepts "entries and exits of *any* methods
+belonging to a Motor class" and posts ``(motor id, time, ...)`` to a
+remote owner.  Fig. 3b refines the data path: "this data is first locally
+stored and then asynchronously sent to a base station", where it lands in
+the hall database.
+
+This implementation is exactly that: a before-advice on ``Motor`` methods
+builds a :class:`~repro.store.database.MovementRecord`, buffers it
+locally, and a periodic flush posts the batch to the configured
+:class:`~repro.midas.remote.ServiceRef` (normally the hall's
+``store.append`` operation).  ``shutdown`` — invoked by MIDAS before
+revocation — performs a final flush, so no observed movement is lost when
+the robot leaves the hall.
+"""
+
+from __future__ import annotations
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import REST, MethodCut
+from repro.aop.sandbox import Capability
+from repro.midas.remote import ServiceRef
+from repro.store.database import MovementRecord
+from repro.util.patterns import wildcard_match
+
+#: How often buffered records are shipped to the base, in seconds.
+DEFAULT_FLUSH_INTERVAL = 0.5
+
+
+class HwMonitoring(Aspect):
+    """Records every motor action and ships it to the base station."""
+
+    REQUIRED_CAPABILITIES = frozenset(
+        {Capability.NETWORK, Capability.CLOCK, Capability.SCHEDULER}
+    )
+
+    def __init__(
+        self,
+        robot_id: str,
+        owner: ServiceRef,
+        flush_interval: float = DEFAULT_FLUSH_INTERVAL,
+        type_pattern: str = "Motor",
+        device_pattern: str | None = None,
+    ):
+        super().__init__()
+        self.robot_id = robot_id
+        #: The remote owner proxy of Fig. 5 (``RemoteOwner ownerProxy``).
+        self.owner = owner
+        self.flush_interval = flush_interval
+        self.type_pattern = type_pattern
+        #: Optional wildcard on device ids, for hosts where devices of
+        #: several robots share one VM (only ``<robot_id>.*`` is typical).
+        self.device_pattern = device_pattern
+        self.records_captured = 0
+        self.records_shipped = 0
+        self._buffer: list[MovementRecord] = []
+        self._timer = None
+        self._in_advice = False
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method="*", params=(REST,)),
+            callback=self.ANYMETHOD,
+        )
+
+    # Named as in Fig. 5.
+    def ANYMETHOD(self, ctx: ExecutionContext) -> None:  # noqa: N802 - paper name
+        """Log the intercepted motor command (1 in Fig. 3b)."""
+        if self._in_advice or ctx.method_name.startswith("__"):
+            return  # re-entrant or constructor join points: not robot activity
+        self._in_advice = True
+        try:
+            device_id = getattr(ctx.target, "device_id", None)
+            if device_id is None:
+                device_id = type(ctx.target).__name__
+            if self.device_pattern is not None and not wildcard_match(
+                self.device_pattern, device_id
+            ):
+                return
+            clock = self.gateway.acquire(Capability.CLOCK)
+            record = MovementRecord(
+                robot_id=self.robot_id,
+                device_id=device_id,
+                command=ctx.method_name,
+                args=ctx.args,
+                time=clock.now(),
+            )
+            self._buffer.append(record)
+            self.records_captured += 1
+        finally:
+            self._in_advice = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_insert(self, vm) -> None:
+        """Start the asynchronous shipping timer (2 in Fig. 3b)."""
+        scheduler = self.gateway.acquire(Capability.SCHEDULER)
+        self._timer = scheduler.periodic(
+            self.flush_interval, self.flush, name=f"{self.name}.flush"
+        )
+
+    def shutdown(self) -> None:
+        """Final flush before revocation: complete current operations."""
+        if self._timer is not None:
+            self._timer.stop()
+            self._timer = None
+        self.flush()
+
+    def flush(self) -> int:
+        """Ship the local buffer to the owner; returns records shipped."""
+        if not self._buffer:
+            return 0
+        batch, self._buffer = self._buffer, []
+        caller = self.gateway.acquire(Capability.NETWORK)
+        caller.post(self.owner, {"records": batch})
+        self.records_shipped += len(batch)
+        return len(batch)
+
+    @property
+    def pending(self) -> int:
+        """Records captured but not yet shipped."""
+        return len(self._buffer)

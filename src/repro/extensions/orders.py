@@ -1,0 +1,13 @@
+"""Advice-order constants shared by the standard extensions.
+
+Lower orders run earlier at a join point.  The values encode Fig. 2's
+interception sequence: the session-information interception (step 2)
+precedes access control (step 3), which precedes ordinary extensions.
+"""
+
+#: Session information extraction (implicit extension).
+SESSION_ORDER = 10
+#: Authorization decisions.
+ACCESS_ORDER = 20
+#: Everything else (the PROSE default).
+DEFAULT_ORDER = 100

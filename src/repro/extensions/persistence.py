@@ -1,0 +1,88 @@
+"""Orthogonal persistence — one of the three extensions whose cost the
+paper measures (§4.6, [PAG02]).
+
+"Orthogonal" because the application is unaware of it: a field-write
+crosscut journals every state change of matched objects; after a crash
+(or extension re-insertion) :meth:`OrthogonalPersistence.restore`
+reapplies the latest journaled values to a fresh object.
+
+Objects are keyed by ``device_id`` when they have one (robot devices do),
+falling back to class name + instance number.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import FieldWriteContext
+from repro.aop.crosscut import FieldWriteCut
+
+
+class OrthogonalPersistence(Aspect):
+    """Journals matched field writes and can restore object state."""
+
+    def __init__(
+        self,
+        type_pattern: str = "*",
+        field_pattern: str = "*",
+        identity_attr: str = "device_id",
+    ):
+        super().__init__()
+        self.type_pattern = type_pattern
+        self.field_pattern = field_pattern
+        #: Attribute giving objects a stable identity across restarts.
+        self.identity_attr = identity_attr
+        self.writes_journaled = 0
+        # object key -> {field: latest value}
+        self._journal: dict[str, dict[str, Any]] = {}
+        self.add_advice(
+            kind=AdviceKind.AFTER,
+            crosscut=FieldWriteCut(type=type_pattern, field=field_pattern),
+            callback=self.journal_write,
+        )
+
+    def journal_write(self, ctx: FieldWriteContext) -> None:
+        """Record the new value of the written field."""
+        key = self.key_of(ctx.target)
+        self._journal.setdefault(key, {})[ctx.field] = ctx.new_value
+        self.writes_journaled += 1
+
+    def key_of(self, target: Any) -> str:
+        """Stable identity of a persisted object.
+
+        Uses ``identity_attr`` when the object carries it (robot devices
+        carry ``device_id``); otherwise falls back to per-instance
+        identity, which does not survive object replacement.
+        """
+        identity = getattr(target, self.identity_attr, None)
+        if identity is not None:
+            return f"{type(target).__name__}:{identity}"
+        return f"{type(target).__name__}@{id(target):x}"
+
+    # -- recovery ------------------------------------------------------------------
+
+    def snapshot(self, target: Any) -> dict[str, Any]:
+        """The journaled state of ``target`` (empty if never written)."""
+        return dict(self._journal.get(self.key_of(target), {}))
+
+    def restore(self, target: Any) -> int:
+        """Reapply the journaled state onto ``target``; returns field count.
+
+        Restoration writes through plain ``setattr`` — which re-enters the
+        weaver and re-journals the same values, a harmless fixed point.
+        """
+        state = self._journal.get(self.key_of(target), {})
+        for field, value in state.items():
+            setattr(target, field, value)
+        return len(state)
+
+    def forget(self, target: Any) -> None:
+        """Drop the journal of one object."""
+        self._journal.pop(self.key_of(target), None)
+
+    @property
+    def journal_size(self) -> int:
+        """Number of objects with journaled state."""
+        return len(self._journal)

@@ -1,0 +1,140 @@
+"""Remote replication — mirror robots (§4.5).
+
+"If the robot is being controlled by a human, it is possible to use the
+extension to monitor all the moves and feed them to an identical robot in
+a remote location (or to a collection of identical robots in other
+locations). ... It is also possible that the replication of the work
+takes place at a scale different from what is being done by the original
+robot."
+
+Two halves:
+
+- :class:`ReplicationExtension` — woven into the source robot; an
+  *after*-advice on the plotter's drawing interface posts each completed
+  drawing operation to a feed :class:`~repro.midas.remote.ServiceRef`
+  (after, so denied/failed movements are never replicated);
+- :class:`MirrorHub` — runs at the base station; fans each operation out
+  to registered mirror plotters' drawing services, applying a per-mirror
+  scale factor.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.aop.sandbox import Capability
+from repro.midas.remote import ServiceRef
+from repro.net.transport import Transport
+
+logger = logging.getLogger(__name__)
+
+#: The operation the hub listens on.
+FEED_OPERATION = "mirror.feed"
+
+
+class ReplicationExtension(Aspect):
+    """Feeds every completed drawing operation to a mirror hub."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.NETWORK})
+
+    def __init__(
+        self,
+        feed: ServiceRef,
+        type_pattern: str = "Plotter",
+        robot_id: str | None = None,
+    ):
+        super().__init__()
+        self.feed = feed
+        #: When set, only the named robot's movements are replicated.
+        #: Prevents feedback when source and mirror plotters share a VM.
+        self.robot_id = robot_id
+        self.operations_fed = 0
+        self.add_advice(
+            kind=AdviceKind.AFTER,
+            crosscut=MethodCut(type=type_pattern, method="move_to"),
+            callback=self.feed_move,
+        )
+        for method in ("pen_down", "pen_up"):
+            self.add_advice(
+                kind=AdviceKind.AFTER,
+                crosscut=MethodCut(type=type_pattern, method=method),
+                callback=self.feed_pen,
+            )
+
+    def feed_move(self, ctx: ExecutionContext) -> None:
+        """Replicate a completed carriage movement."""
+        if not self._is_source(ctx):
+            return
+        self._post({"op": "move_to", "x": float(ctx.args[0]), "y": float(ctx.args[1])})
+
+    def feed_pen(self, ctx: ExecutionContext) -> None:
+        """Replicate a completed pen state change."""
+        if not self._is_source(ctx):
+            return
+        self._post({"op": "pen", "down": ctx.method_name == "pen_down"})
+
+    def _is_source(self, ctx: ExecutionContext) -> bool:
+        if self.robot_id is None:
+            return True
+        return getattr(ctx.target, "robot_id", None) == self.robot_id
+
+    def _post(self, body: dict[str, Any]) -> None:
+        caller = self.gateway.acquire(Capability.NETWORK)
+        caller.post(self.feed, body)
+        self.operations_fed += 1
+
+
+class MirrorHub:
+    """Base-station fan-out of drawing operations to mirror robots."""
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        # node id of the mirror's drawing service -> scale factor
+        self._mirrors: dict[str, float] = {}
+        self.operations_routed = 0
+        transport.register(FEED_OPERATION, self._serve_feed)
+
+    @property
+    def feed_ref(self) -> ServiceRef:
+        """The ServiceRef source extensions should be configured with."""
+        return ServiceRef(self.transport.node.node_id, FEED_OPERATION)
+
+    def add_mirror(self, drawing_node_id: str, scale: float = 1.0) -> None:
+        """Mirror future operations onto ``drawing_node_id`` at ``scale``."""
+        if scale <= 0:
+            raise ValueError(f"mirror scale must be positive, got {scale}")
+        self._mirrors[drawing_node_id] = scale
+
+    def remove_mirror(self, drawing_node_id: str) -> None:
+        """Stop mirroring to ``drawing_node_id``."""
+        self._mirrors.pop(drawing_node_id, None)
+
+    def mirrors(self) -> dict[str, float]:
+        """Current mirrors and their scales."""
+        return dict(self._mirrors)
+
+    def _serve_feed(self, sender: str, body: dict[str, Any]) -> None:
+        for node_id, scale in self._mirrors.items():
+            if body["op"] == "move_to":
+                operation = "draw.move_to"
+                forwarded = {"x": body["x"] * scale, "y": body["y"] * scale}
+            else:
+                operation = "draw.pen"
+                forwarded = {"down": body["down"]}
+            self.transport.request(
+                node_id,
+                operation,
+                forwarded,
+                on_error=lambda exc, target=node_id: logger.debug(
+                    "mirror %s failed: %s", target, exc
+                ),
+            )
+            self.operations_routed += 1
+
+    def __repr__(self) -> str:
+        return f"<MirrorHub mirrors={sorted(self._mirrors)}>"

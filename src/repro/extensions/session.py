@@ -1,0 +1,52 @@
+"""Session management — the paper's canonical *implicit* extension.
+
+"Of the extensions used as examples, the session management extension is
+an implicit extension needed to implement other extensions (like the
+access control).  When an extension that requires session information is
+added to a node, the session management extension is automatically also
+added to that node." (§3.3)
+
+Its advice runs first at every matched join point (order
+:data:`~repro.extensions.orders.SESSION_ORDER`) and populates the
+execution context's ``session`` dictionary with the caller's identity —
+taken from the transport layer when the call entered the node remotely —
+so later advice (access control, billing) can read it.
+"""
+
+from __future__ import annotations
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.crosscut import MethodCut
+from repro.extensions.orders import SESSION_ORDER
+from repro.net.transport import current_caller
+
+#: Session key holding the calling node's id (None for local calls).
+CALLER_KEY = "caller"
+
+
+class SessionManagement(Aspect):
+    """Extracts session information at method entry.
+
+    ``type_pattern``/``method_pattern`` bound which join points receive
+    session data; the no-argument form (used when MIDAS auto-resolves the
+    dependency) covers everything.
+    """
+
+    def __init__(self, type_pattern: str = "*", method_pattern: str = "*"):
+        super().__init__()
+        self.type_pattern = type_pattern
+        self.method_pattern = method_pattern
+        self.sessions_started = 0
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method=method_pattern),
+            callback=self.extract_session,
+            order=SESSION_ORDER,
+        )
+
+    def extract_session(self, ctx: ExecutionContext) -> None:
+        """Record who is calling into the shared session dictionary."""
+        ctx.session[CALLER_KEY] = current_caller()
+        self.sessions_started += 1

@@ -1,0 +1,122 @@
+"""Ad-hoc transactions — transparently added transactional behaviour.
+
+The authors built "Ad-Hoc Transactions for Mobile Services" [PA02] on this
+platform, and §4.6 measures a transactions extension.  The reproduction
+makes matched method executions atomic with respect to the fields of
+matched objects:
+
+- an *around* advice opens a transaction frame before the method body and
+  commits on normal return;
+- a *field-write* advice records undo information (previous value or
+  "field was absent") into the innermost open frame;
+- if the method body escapes with an exception, the frame is rolled back
+  — every recorded field write is undone, newest first — and the
+  exception propagates.
+
+Nested matched calls nest transactions (inner commits fold into the
+enclosing frame, so an outer rollback undoes inner work too).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext, FieldWriteContext
+from repro.aop.crosscut import FieldWriteCut, MethodCut
+
+_ABSENT = object()
+
+
+class _Frame:
+    """Undo log of one open transaction."""
+
+    __slots__ = ("undo",)
+
+    def __init__(self):
+        # (target, field, previous value or _ABSENT), newest last
+        self.undo: list[tuple[Any, str, Any]] = []
+
+
+class AdHocTransactions(Aspect):
+    """Atomic execution of matched methods over matched objects' fields."""
+
+    def __init__(
+        self,
+        method_type_pattern: str = "*",
+        method_pattern: str = "*",
+        state_type_pattern: str = "*",
+        field_pattern: str = "*",
+    ):
+        super().__init__()
+        self.commits = 0
+        self.rollbacks = 0
+        self.fields_undone = 0
+        self._frames: list[_Frame] = []
+        self._restoring = False
+        self.add_advice(
+            kind=AdviceKind.AROUND,
+            crosscut=MethodCut(type=method_type_pattern, method=method_pattern),
+            callback=self.transactional,
+        )
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=FieldWriteCut(type=state_type_pattern, field=field_pattern),
+            callback=self.record_undo,
+        )
+
+    # -- around advice --------------------------------------------------------
+
+    def transactional(self, ctx: ExecutionContext) -> Any:
+        """Run the method body inside a transaction frame."""
+        frame = _Frame()
+        self._frames.append(frame)
+        try:
+            result = ctx.proceed()
+        except BaseException:
+            self._frames.pop()
+            self._rollback(frame)
+            raise
+        self._frames.pop()
+        self._commit(frame)
+        return result
+
+    # -- field advice -------------------------------------------------------------
+
+    def record_undo(self, ctx: FieldWriteContext) -> None:
+        """Capture the pre-image of a field about to be overwritten."""
+        if self._restoring or not self._frames:
+            return
+        previous = _ABSENT if ctx.is_initialization else ctx.old_value
+        self._frames[-1].undo.append((ctx.target, ctx.field, previous))
+
+    # -- outcomes --------------------------------------------------------------------
+
+    def _commit(self, frame: _Frame) -> None:
+        if self._frames:
+            # Nested commit: fold into the enclosing frame.
+            self._frames[-1].undo.extend(frame.undo)
+        else:
+            self.commits += 1
+
+    def _rollback(self, frame: _Frame) -> None:
+        self._restoring = True
+        try:
+            for target, field, previous in reversed(frame.undo):
+                if previous is _ABSENT:
+                    try:
+                        delattr(target, field)
+                    except AttributeError:
+                        pass
+                else:
+                    setattr(target, field, previous)
+                self.fields_undone += 1
+        finally:
+            self._restoring = False
+        self.rollbacks += 1
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a matched method body is executing."""
+        return bool(self._frames)

@@ -1,0 +1,20 @@
+"""Jini-style leases.
+
+Leases are the paper's mechanism for *locality of adaptations* (§3.2):
+every distributed grant — a service registration at a lookup service, an
+extension installed on a mobile node — is valid only for a bounded term
+and dies unless actively renewed.  When a device leaves a space, renewals
+stop arriving and everything it acquired there is discarded autonomously.
+
+- :class:`~repro.leasing.lease.Lease` — one grant with an expiry time;
+- :class:`~repro.leasing.table.LeaseTable` — tracks leases locally and
+  fires ``on_expired`` exactly when a term lapses (simulator-driven);
+- :class:`~repro.leasing.renewer.RenewalAgent` — the active party that
+  periodically renews a set of leases through a caller-supplied function.
+"""
+
+from repro.leasing.lease import Lease, LeaseState
+from repro.leasing.renewer import RenewalAgent
+from repro.leasing.table import LeaseTable
+
+__all__ = ["Lease", "LeaseState", "LeaseTable", "RenewalAgent"]

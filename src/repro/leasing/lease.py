@@ -1,0 +1,74 @@
+"""The lease record and its state machine."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import LeaseExpiredError
+
+
+class LeaseState(enum.Enum):
+    """Lifecycle of a lease: active until renewed-forever, expired, or cancelled."""
+
+    ACTIVE = "active"
+    EXPIRED = "expired"
+    CANCELLED = "cancelled"
+
+
+class Lease:
+    """One leased grant.
+
+    ``holder`` identifies the party the grant was issued to (a node id),
+    ``resource`` is an opaque description of what was granted (a service
+    registration, an extension id).  The lease does not know about clocks;
+    the owning :class:`~repro.leasing.table.LeaseTable` drives it.
+    """
+
+    __slots__ = ("lease_id", "holder", "resource", "duration", "granted_at",
+                 "expires_at", "state", "renewals")
+
+    def __init__(
+        self,
+        lease_id: str,
+        holder: str,
+        resource: Any,
+        duration: float,
+        granted_at: float,
+    ):
+        self.lease_id = lease_id
+        self.holder = holder
+        self.resource = resource
+        self.duration = duration
+        self.granted_at = granted_at
+        self.expires_at = granted_at + duration
+        self.state = LeaseState.ACTIVE
+        self.renewals = 0
+
+    @property
+    def active(self) -> bool:
+        """True while the lease has neither expired nor been cancelled."""
+        return self.state is LeaseState.ACTIVE
+
+    def remaining(self, now: float) -> float:
+        """Seconds of validity left at time ``now`` (0 if not active)."""
+        if not self.active:
+            return 0.0
+        return max(0.0, self.expires_at - now)
+
+    def _renew(self, now: float, duration: float | None = None) -> None:
+        """Extend the term from ``now`` (table-internal)."""
+        if not self.active:
+            raise LeaseExpiredError(
+                f"lease {self.lease_id} is {self.state.value}, cannot renew"
+            )
+        if duration is not None:
+            self.duration = duration
+        self.expires_at = now + self.duration
+        self.renewals += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<Lease {self.lease_id} holder={self.holder} "
+            f"{self.state.value} until={self.expires_at:.3f}>"
+        )

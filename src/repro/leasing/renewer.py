@@ -1,0 +1,199 @@
+"""The active (renewing) side of the lease protocol.
+
+A :class:`RenewalAgent` periodically invokes a caller-supplied renewal
+function for every lease it tracks.  The extension base uses one to keep
+alive the extensions it has distributed ("it is the responsibility of each
+extension base to keep alive the functionality it has distributed among
+nodes", §3.2); the discovery client uses one to keep its service
+registrations alive at the lookup service.
+
+Each lease is renewed on its *own* schedule — every
+``RENEW_FRACTION × duration`` seconds — so a 2-second registration and a
+30-second extension lease coexist under one agent.  Renewal failures are
+counted per lease; after ``max_failures`` consecutive failures the lease
+is abandoned locally and ``on_abandoned`` fires — the remote side's own
+expiry will (or already did) clean up there.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable
+
+from repro.sim.kernel import Event, Simulator
+from repro.util.signal import Signal
+
+logger = logging.getLogger(__name__)
+
+#: Renew when this fraction of the lease term has elapsed.  Well under
+#: 1/max_failures of slack remains even after a lost renewal or two.
+RENEW_FRACTION = 0.3
+#: Consecutive failures after which a lease is abandoned.  A renewal
+#: "fails" when either direction of the round trip is lost, but the
+#: remote side renews on *request arrival* — so a lost reply must not
+#: count for much.  Six consecutive failures (~2 lease terms of silence)
+#: means the peer is really gone, not just a lossy spell.
+DEFAULT_MAX_FAILURES = 6
+
+# The renew function receives (tracked lease record) and two callbacks:
+# success() and failure(exc).  It is expected to be asynchronous (a
+# transport request); the agent never blocks.
+RenewFunction = Callable[
+    ["TrackedLease", Callable[[], None], Callable[[Exception], None]], None
+]
+
+
+class TrackedLease:
+    """A lease the agent is responsible for renewing."""
+
+    __slots__ = ("lease_id", "peer", "resource", "duration", "failures", "context")
+
+    def __init__(
+        self,
+        lease_id: str,
+        peer: str,
+        duration: float,
+        resource: Any = None,
+        context: Any = None,
+    ):
+        self.lease_id = lease_id
+        self.peer = peer
+        self.resource = resource
+        self.duration = duration
+        self.failures = 0
+        #: Arbitrary caller data carried along (e.g. the extension id).
+        self.context = context
+
+    def __repr__(self) -> str:
+        return (
+            f"<TrackedLease {self.lease_id} peer={self.peer} "
+            f"failures={self.failures}>"
+        )
+
+
+class RenewalAgent:
+    """Renews each tracked lease on its own per-duration schedule."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        renew_function: RenewFunction,
+        interval: float | None = None,
+        max_failures: int = DEFAULT_MAX_FAILURES,
+        name: str = "renewer",
+    ):
+        self.simulator = simulator
+        self.renew_function = renew_function
+        #: Optional fixed renewal period overriding the per-lease fraction.
+        self.interval = interval
+        self.max_failures = max_failures
+        self.name = name
+        #: Fires with (tracked_lease,) when renewals have failed too often.
+        self.on_abandoned = Signal(f"{name}.on_abandoned")
+        #: Fires with (tracked_lease,) on every successful renewal.
+        self.on_renewed = Signal(f"{name}.on_renewed")
+        self._tracked: dict[str, TrackedLease] = {}
+        self._timers: dict[str, Event] = {}
+        self._stopped = False
+
+    # -- tracking ----------------------------------------------------------------
+
+    def track(
+        self,
+        lease_id: str,
+        peer: str,
+        duration: float,
+        resource: Any = None,
+        context: Any = None,
+    ) -> TrackedLease:
+        """Start renewing ``lease_id`` held with ``peer``."""
+        tracked = TrackedLease(lease_id, peer, duration, resource, context)
+        self._tracked[lease_id] = tracked
+        self._stopped = False
+        self._schedule(tracked)
+        return tracked
+
+    def forget(self, lease_id: str) -> TrackedLease | None:
+        """Stop renewing ``lease_id`` (returns the record, if tracked)."""
+        tracked = self._tracked.pop(lease_id, None)
+        timer = self._timers.pop(lease_id, None)
+        if timer is not None:
+            timer.cancel()
+        return tracked
+
+    def tracked(self) -> list[TrackedLease]:
+        """All leases currently being renewed."""
+        return list(self._tracked.values())
+
+    def tracking(self, lease_id: str) -> bool:
+        """True if ``lease_id`` is being renewed."""
+        return lease_id in self._tracked
+
+    def stop(self) -> None:
+        """Stop all renewal activity (tracked set preserved)."""
+        self._stopped = True
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+
+    def __len__(self) -> int:
+        return len(self._tracked)
+
+    # -- per-lease scheduling -----------------------------------------------------
+
+    def _period_of(self, tracked: TrackedLease) -> float:
+        if self.interval is not None:
+            return self.interval
+        return max(tracked.duration * RENEW_FRACTION, 0.001)
+
+    def _schedule(self, tracked: TrackedLease) -> None:
+        if self._stopped:
+            return
+        self._timers[tracked.lease_id] = self.simulator.schedule(
+            self._period_of(tracked), self._renew_now, tracked.lease_id
+        )
+
+    def _renew_now(self, lease_id: str) -> None:
+        self._timers.pop(lease_id, None)
+        tracked = self._tracked.get(lease_id)
+        if tracked is None:
+            return
+        self.renew_function(
+            tracked,
+            self._success_callback(tracked),
+            self._failure_callback(tracked),
+        )
+        # Schedule the next round immediately; outcome callbacks only
+        # adjust failure counters.  A renewal in flight does not delay
+        # the schedule (the period is short relative to the term).
+        self._schedule(tracked)
+
+    def _success_callback(self, tracked: TrackedLease) -> Callable[[], None]:
+        def on_success() -> None:
+            if tracked.lease_id in self._tracked:
+                tracked.failures = 0
+                self.on_renewed.fire(tracked)
+
+        return on_success
+
+    def _failure_callback(self, tracked: TrackedLease) -> Callable[[Exception], None]:
+        def on_failure(error: Exception) -> None:
+            if tracked.lease_id not in self._tracked:
+                return
+            tracked.failures += 1
+            logger.debug(
+                "%s: renewal of %s failed (%d/%d): %s",
+                self.name,
+                tracked.lease_id,
+                tracked.failures,
+                self.max_failures,
+                error,
+            )
+            if tracked.failures >= self.max_failures:
+                self.forget(tracked.lease_id)
+                self.on_abandoned.fire(tracked)
+
+        return on_failure
+
+    def __repr__(self) -> str:
+        return f"<RenewalAgent {self.name} tracked={len(self._tracked)}>"

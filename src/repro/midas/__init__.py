@@ -1,0 +1,42 @@
+"""MIDAS — MIddleware for ADaptive Services.
+
+The second layer of the paper's platform: extension management on top of
+PROSE.  It provides (§3.2):
+
+- **extension distribution** — :class:`~repro.midas.base.ExtensionBase`
+  discovers nodes joining a local environment (via the discovery layer)
+  and pushes them the environment's extensions; the
+  :class:`~repro.midas.receiver.AdaptationService` on each node verifies,
+  instantiates and inserts them through the PROSE API;
+- **locality of adaptations** — every installed extension is leased; the
+  base keeps leases alive while the node is present, and the receiver
+  autonomously withdraws extensions whose lease lapses (after notifying
+  the extension so it can shut down cleanly);
+- **security** — extensions are signed by the instantiating entity
+  (:mod:`repro.midas.trust`); receivers verify the signature against
+  their trust store *before* deserialization and insertion, and run
+  extension advice inside a capability sandbox.
+
+Roles are symmetric: a node may run a base, a receiver, or both
+(peer-to-peer self-configuring mode).
+"""
+
+from repro.midas.base import AdaptationRecord, ExtensionBase
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.receiver import AdaptationService, InstalledExtension
+from repro.midas.remote import RemoteCaller, ServiceRef
+from repro.midas.trust import Signer, TrustStore
+
+__all__ = [
+    "AdaptationRecord",
+    "AdaptationService",
+    "ExtensionBase",
+    "ExtensionCatalog",
+    "ExtensionEnvelope",
+    "InstalledExtension",
+    "RemoteCaller",
+    "ServiceRef",
+    "Signer",
+    "TrustStore",
+]

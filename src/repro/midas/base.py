@@ -1,0 +1,364 @@
+"""The extension base — the distributing side of MIDAS.
+
+"Extension base nodes contain a list of extensions.  They discover new
+nodes joining the network and send extensions to the newcomers." (§3.2)
+
+An :class:`ExtensionBase`:
+
+- watches the discovery layer for adaptation services (either the local
+  :class:`~repro.discovery.registrar.LookupService` it co-hosts with, or
+  remote events when running as a pure peer) and pushes every catalog
+  extension to each newly seen node;
+- keeps distributed extensions alive by sending ``midas.keepalive``
+  renewals; when a node stops answering, the base abandons its leases
+  (the node's own expiry already withdrew the extension there);
+- supports revocation on demand and *replacement* — re-adding an
+  extension under the same name bumps its version and re-offers it to
+  every adapted node, which swaps the old copy for the new one;
+- records every action in an activity log ("each MIDAS extension base
+  keeps track of its extension activity: what nodes were adapted, at what
+  point in time") and implements the paper's simple roaming algorithm:
+  peer bases are told when a node arrives here, so they stop renewing
+  the leases they hold for it.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.events import EventKind, RemoteEvent
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceItem, ServiceTemplate
+from repro.errors import UnknownExtensionError
+from repro.leasing.renewer import RenewalAgent, TrackedLease
+from repro.midas.catalog import ExtensionCatalog, ExtensionFactory
+from repro.midas.receiver import ADAPTATION_INTERFACE, KEEPALIVE, OFFER, REVOKE
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.util.signal import Signal
+
+logger = logging.getLogger(__name__)
+
+ROAMED = "midas.roamed"
+
+#: Term of the lease a base asks receivers to grant its extensions.
+DEFAULT_EXTENSION_LEASE = 10.0
+
+
+@dataclass(frozen=True)
+class AdaptationRecord:
+    """One entry of the base's activity log."""
+
+    time: float
+    node_id: str
+    extension: str
+    action: str  # offered | accepted | rejected | renewed-lost | revoked | replaced | roamed
+    detail: str = ""
+
+
+class _Adapted:
+    """Base-side record of one extension live on one node."""
+
+    __slots__ = ("node_id", "name", "version", "lease_id")
+
+    def __init__(self, node_id: str, name: str, version: int, lease_id: str):
+        self.node_id = node_id
+        self.name = name
+        self.version = version
+        self.lease_id = lease_id
+
+
+class ExtensionBase:
+    """Distributes and manages extensions for one proactive environment."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        simulator: Simulator,
+        catalog: ExtensionCatalog,
+        lease_duration: float = DEFAULT_EXTENSION_LEASE,
+        node_filter: "ServiceTemplate | None" = None,
+    ):
+        self.transport = transport
+        self.simulator = simulator
+        self.catalog = catalog
+        self.lease_duration = lease_duration
+        #: Optional template restricting which adaptation services this
+        #: base adapts (e.g. only nodes advertising ``{"role": "robot"}``)
+        #: — a hall can have per-device-kind policies.
+        self.node_filter = node_filter
+        self.node_id = transport.node.node_id
+
+        #: Fires with (node_id, extension_name) when a node accepts an extension.
+        self.on_adapted = Signal(f"{self.node_id}.on_adapted")
+        #: Fires with (node_id, extension_name, detail) when an offer is rejected.
+        self.on_rejected = Signal(f"{self.node_id}.on_rejected")
+        #: Fires with (node_id,) when a node's renewals are abandoned.
+        self.on_node_lost = Signal(f"{self.node_id}.on_node_lost")
+
+        self.activity_log: list[AdaptationRecord] = []
+        self._adapted: dict[tuple[str, str], _Adapted] = {}  # (node, name) -> record
+        self._peer_bases: list[str] = []
+        self._renewer = RenewalAgent(
+            simulator,
+            self._send_keepalive,
+            name=f"{self.node_id}.extensions",
+        )
+        self._renewer.on_abandoned.connect(self._renewal_abandoned)
+        self._reconciler: PeriodicTimer | None = None
+        transport.register(ROAMED, self._serve_roamed)
+
+    # -- discovery wiring --------------------------------------------------------
+
+    def watch_lookup(self, lookup: LookupService) -> None:
+        """Adapt every adaptation service registering at a co-hosted registrar.
+
+        Besides reacting to registration events, the base periodically
+        *reconciles*: every registered adaptation service is re-offered
+        anything it is missing.  This heals transient divergence — e.g.
+        keep-alives abandoned during a lossy spell while the node never
+        actually left.
+        """
+        lookup.on_registered.connect(self._service_seen)
+        lookup.on_deregistered.connect(self._service_gone)
+        for item in lookup.items():
+            self._service_seen(item)
+        if self._reconciler is None:
+            self._reconciler = PeriodicTimer(
+                self.simulator,
+                max(self.lease_duration, 1.0),
+                lambda: self._reconcile(lookup),
+                name=f"{self.node_id}.reconcile",
+            ).start()
+
+    def _reconcile(self, lookup: LookupService) -> None:
+        for item in lookup.items():
+            self._service_seen(item)
+
+    def watch_remote(self, discovery: "DiscoveryClient") -> None:
+        """Adapt nodes discovered through a *remote* registrar.
+
+        For deployments where the extension base does not co-host the
+        lookup service: subscribe to adaptation-service registration
+        events via the Jini event protocol, and reconcile periodically
+        with a template query (healing lost event deliveries).
+        """
+        template = ServiceTemplate(interface=ADAPTATION_INTERFACE)
+
+        def on_event(event: "RemoteEvent") -> None:
+            if event.kind is EventKind.REGISTERED:
+                self._service_seen(event.item)
+            else:
+                self._service_gone(event.item, event.kind)
+
+        discovery.listen(template, on_event)
+
+        def reconcile_query() -> None:
+            discovery.lookup(
+                template,
+                lambda items: [self._service_seen(item) for item in items],
+            )
+
+        # Services registered before our subscription landed produce no
+        # event; query as soon as (and whenever) a registrar is known.
+        discovery.on_registrar_found.connect(lambda registrar: reconcile_query())
+        reconcile_query()
+        if self._reconciler is None:
+            self._reconciler = PeriodicTimer(
+                self.simulator,
+                max(self.lease_duration, 1.0),
+                reconcile_query,
+                name=f"{self.node_id}.remote-reconcile",
+            ).start()
+
+    def _service_seen(self, item: ServiceItem) -> None:
+        if item.interface != ADAPTATION_INTERFACE:
+            return
+        if item.provider == self.node_id:
+            return  # never adapt ourselves
+        if self.node_filter is not None and not self.node_filter.matches(item):
+            return  # outside this base's policy scope
+        self.adapt_node(item.provider)
+
+    def _service_gone(self, item: ServiceItem, kind: object = None) -> None:
+        if item.interface != ADAPTATION_INTERFACE:
+            return
+        # The node left our space: stop keeping its extensions alive.  Its
+        # receiver-side leases will lapse and withdraw everything locally.
+        self._drop_node(item.provider, action="renewed-lost", detail="deregistered")
+
+    # -- distribution ------------------------------------------------------------------
+
+    def adapt_node(self, node_id: str) -> None:
+        """Offer every catalog extension to ``node_id``."""
+        newly_seen = not any(node == node_id for (node, _) in self._adapted)
+        for name in self.catalog.names():
+            self.offer(node_id, name)
+        if newly_seen:
+            # Roaming is announced on arrival, not on periodic reconciles
+            # of a node that never left.
+            self._announce_roaming(node_id)
+
+    def offer(self, node_id: str, name: str) -> None:
+        """Offer one catalog extension to one node."""
+        live = self._adapted.get((node_id, name))
+        if live is not None and live.version >= self.catalog.version_of(name):
+            return  # already adapted with the current version
+        envelope = self.catalog.seal(name)
+        self._log(node_id, name, "offered", f"v{envelope.version}")
+
+        def on_reply(body: dict) -> None:
+            lease_id = body["lease_id"]
+            previous = self._adapted.get((node_id, name))
+            if previous is not None and previous.lease_id != lease_id:
+                self._renewer.forget(previous.lease_id)
+            self._adapted[(node_id, name)] = _Adapted(
+                node_id, name, envelope.version, lease_id
+            )
+            if not self._renewer.tracking(lease_id):
+                self._renewer.track(
+                    lease_id,
+                    node_id,
+                    body["duration"],
+                    resource=name,
+                    context=node_id,
+                )
+            self._log(node_id, name, "accepted", f"lease={lease_id}")
+            self.on_adapted.fire(node_id, name)
+
+        def on_error(error: Exception) -> None:
+            self._log(node_id, name, "rejected", str(error))
+            self.on_rejected.fire(node_id, name, str(error))
+
+        self.transport.request(
+            node_id,
+            OFFER,
+            {"envelope": envelope, "duration": self.lease_duration},
+            on_reply=on_reply,
+            on_error=on_error,
+        )
+
+    # -- revocation & replacement ----------------------------------------------------------
+
+    def revoke(self, node_id: str, name: str, reason: str = "revoked") -> None:
+        """Actively revoke one extension from one node."""
+        live = self._adapted.pop((node_id, name), None)
+        if live is None:
+            return
+        self._renewer.forget(live.lease_id)
+        self.transport.request(
+            node_id, REVOKE, {"lease_id": live.lease_id, "reason": reason}
+        )
+        self._log(node_id, name, "revoked", reason)
+
+    def revoke_node(self, node_id: str, reason: str = "revoked") -> None:
+        """Revoke every extension this base holds on ``node_id``."""
+        for (node, name) in list(self._adapted):
+            if node == node_id:
+                self.revoke(node_id, name, reason)
+
+    def replace_extension(self, name: str, factory: ExtensionFactory) -> None:
+        """Swap the catalog entry for ``name`` and re-adapt all its holders.
+
+        Implements §3.2's "replacement of obsolete extensions with new
+        ones in case the local policy evolves or it is changed".
+        """
+        if name not in self.catalog:
+            raise UnknownExtensionError(f"no extension {name!r} to replace")
+        self.catalog.add(name, factory)  # bumps version
+        for (node_id, ext_name) in list(self._adapted):
+            if ext_name == name:
+                self._log(node_id, name, "replaced", f"v{self.catalog.version_of(name)}")
+                self.offer(node_id, name)
+
+    # -- roaming ------------------------------------------------------------------------------
+
+    def link_peer_base(self, base_node_id: str) -> None:
+        """Tell this base about a peer base for the roaming algorithm."""
+        if base_node_id != self.node_id and base_node_id not in self._peer_bases:
+            self._peer_bases.append(base_node_id)
+
+    def _announce_roaming(self, node_id: str) -> None:
+        for peer in self._peer_bases:
+            self.transport.notify(peer, ROAMED, {"node_id": node_id})
+
+    def _serve_roamed(self, sender: str, body: dict) -> None:
+        node_id = body["node_id"]
+        if any(node == node_id for (node, _) in self._adapted):
+            logger.debug(
+                "%s: node %s roamed to %s; dropping leases", self.node_id, node_id, sender
+            )
+            self._drop_node(node_id, action="roamed", detail=f"now at {sender}")
+
+    # -- queries ----------------------------------------------------------------------------------
+
+    def adapted_nodes(self) -> list[str]:
+        """Node ids currently holding at least one extension from this base."""
+        return sorted({node for (node, _) in self._adapted})
+
+    def extensions_on(self, node_id: str) -> list[str]:
+        """Names of this base's extensions live on ``node_id``."""
+        return sorted(name for (node, name) in self._adapted if node == node_id)
+
+    def activity_for(self, node_id: str) -> list[AdaptationRecord]:
+        """Activity-log entries concerning ``node_id``."""
+        return [record for record in self.activity_log if record.node_id == node_id]
+
+    # -- keep-alive plumbing -------------------------------------------------------------------------
+
+    def _send_keepalive(
+        self,
+        tracked: TrackedLease,
+        on_success: Callable[[], None],
+        on_failure: Callable[[Exception], None],
+    ) -> None:
+        def on_reply(body: dict) -> None:
+            if tracked.lease_id in body.get("renewed", ()):
+                on_success()
+            else:
+                on_failure(UnknownExtensionError(
+                    f"lease {tracked.lease_id} unknown at {tracked.peer}"
+                ))
+
+        self.transport.request(
+            tracked.peer,
+            KEEPALIVE,
+            {"lease_ids": [tracked.lease_id]},
+            on_reply=on_reply,
+            on_error=on_failure,
+        )
+
+    def _renewal_abandoned(self, tracked: TrackedLease) -> None:
+        node_id: str = tracked.context
+        name: str = tracked.resource
+        self._adapted.pop((node_id, name), None)
+        self._log(node_id, name, "renewed-lost", "keepalive failures")
+        if not any(node == node_id for (node, _) in self._adapted):
+            self.on_node_lost.fire(node_id)
+
+    def _drop_node(self, node_id: str, action: str, detail: str) -> None:
+        dropped = False
+        for (node, name) in list(self._adapted):
+            if node != node_id:
+                continue
+            live = self._adapted.pop((node, name))
+            self._renewer.forget(live.lease_id)
+            self._log(node_id, name, action, detail)
+            dropped = True
+        if dropped:
+            self.on_node_lost.fire(node_id)
+
+    def _log(self, node_id: str, extension: str, action: str, detail: str = "") -> None:
+        self.activity_log.append(
+            AdaptationRecord(self.simulator.now, node_id, extension, action, detail)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExtensionBase {self.node_id} catalog={self.catalog.names()} "
+            f"adapted={self.adapted_nodes()}>"
+        )

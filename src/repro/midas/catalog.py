@@ -1,0 +1,94 @@
+"""The extension catalog of a base station.
+
+"Extension base nodes contain a list of extensions" (§3.2).  A catalog
+entry holds a *factory* — extensions are instantiated and configured per
+distribution (the signature covers the configured instance, per the
+paper's security model) — plus the version counter that drives extension
+replacement when the local policy evolves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.aop.aspect import Aspect
+from repro.errors import UnknownExtensionError
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.trust import Signer
+
+ExtensionFactory = Callable[[], Aspect]
+
+
+class _Entry:
+    __slots__ = ("name", "factory", "version")
+
+    def __init__(self, name: str, factory: ExtensionFactory):
+        self.name = name
+        self.factory = factory
+        self.version = 1
+
+
+class ExtensionCatalog:
+    """Named extension factories with versioning."""
+
+    def __init__(self, signer: Signer):
+        self.signer = signer
+        self._entries: dict[str, _Entry] = {}
+
+    def add(self, name: str, factory: ExtensionFactory) -> None:
+        """Add (or re-add) an extension under ``name``.
+
+        Re-adding bumps the version — used by
+        :meth:`~repro.midas.base.ExtensionBase.replace_extension` when a
+        hall's policy changes.
+        """
+        existing = self._entries.get(name)
+        if existing is None:
+            self._entries[name] = _Entry(name, factory)
+        else:
+            existing.factory = factory
+            existing.version += 1
+
+    def remove(self, name: str) -> None:
+        """Remove ``name`` from the catalog."""
+        if name not in self._entries:
+            raise UnknownExtensionError(f"no extension {name!r} in catalog")
+        del self._entries[name]
+
+    def names(self) -> list[str]:
+        """All catalog entry names, in insertion order."""
+        return list(self._entries)
+
+    def version_of(self, name: str) -> int:
+        """Current version of ``name``."""
+        return self._require(name).version
+
+    def seal(self, name: str) -> ExtensionEnvelope:
+        """Instantiate, configure, serialize and sign extension ``name``."""
+        entry = self._require(name)
+        aspect = entry.factory()
+        if not isinstance(aspect, Aspect):
+            raise UnknownExtensionError(
+                f"factory for {name!r} returned {type(aspect).__name__}, not an Aspect"
+            )
+        return ExtensionEnvelope.seal(name, aspect, self.signer, version=entry.version)
+
+    def seal_all(self) -> Iterator[ExtensionEnvelope]:
+        """Fresh envelopes for every catalog entry."""
+        for name in self._entries:
+            yield self.seal(name)
+
+    def _require(self, name: str) -> _Entry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise UnknownExtensionError(f"no extension {name!r} in catalog") from None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __repr__(self) -> str:
+        return f"<ExtensionCatalog {self.names()}>"

@@ -1,0 +1,97 @@
+"""The extension envelope — what actually travels over the air.
+
+An envelope carries a *serialized, configured aspect instance* plus the
+metadata MIDAS needs before it is willing to deserialize it: the signing
+entity, the signature over the payload bytes, and the capabilities the
+extension will request from its sandbox.
+
+The paper's extensions are Java objects instantiated and configured on the
+base station and shipped to the node; we use :mod:`pickle` as the
+serialization substrate (extension classes must be importable on both
+sides — the analogue of the class path).  Crucially, the signature is
+verified **before** unpickling, mirroring "the verification of the
+originator of an extension is done before insertion" and keeping the
+deserializer off the attack surface for untrusted senders.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+from repro.aop.aspect import Aspect
+from repro.errors import VerificationError
+from repro.midas.trust import Signer, TrustStore
+from repro.util.ids import fresh_id
+
+
+@dataclass(frozen=True)
+class ExtensionEnvelope:
+    """A signed, serialized extension instance."""
+
+    #: Logical extension name (stable across re-instantiations), e.g.
+    #: ``"hw-monitoring"``.  A node holds at most one live extension per
+    #: (base, name) pair; replacement swaps same-named extensions.
+    name: str
+    #: Pickled aspect instance.
+    payload: bytes
+    #: Entity that instantiated and configured the extension.
+    signer: str
+    #: HMAC of ``payload`` by ``signer``.
+    signature: bytes
+    #: Capabilities the extension's sandbox must allow.
+    capabilities: frozenset[str] = frozenset()
+    #: Unique id of this envelope instance.
+    envelope_id: str = field(default_factory=lambda: fresh_id("ext"))
+    #: Version counter used by extension replacement.
+    version: int = 1
+
+    @classmethod
+    def seal(
+        cls,
+        name: str,
+        aspect: Aspect,
+        signer: Signer,
+        version: int = 1,
+    ) -> "ExtensionEnvelope":
+        """Serialize and sign a configured aspect instance."""
+        try:
+            payload = pickle.dumps(aspect)
+        except Exception as exc:
+            raise VerificationError(
+                f"extension {name!r} is not serializable: {exc}"
+            ) from exc
+        return cls(
+            name=name,
+            payload=payload,
+            signer=signer.entity,
+            signature=signer.sign(payload),
+            capabilities=frozenset(aspect.REQUIRED_CAPABILITIES),
+            version=version,
+        )
+
+    def open(self, trust_store: TrustStore) -> Aspect:
+        """Verify the signature, then deserialize the aspect instance.
+
+        Raises before touching the payload if the signer is untrusted or
+        the signature does not verify.
+        """
+        trust_store.verify(self.signer, self.payload, self.signature)
+        aspect = pickle.loads(self.payload)
+        if not isinstance(aspect, Aspect):
+            raise VerificationError(
+                f"extension {self.name!r} payload is not an Aspect "
+                f"(got {type(aspect).__name__})"
+            )
+        return aspect
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (what the radio actually carries)."""
+        return len(self.payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExtensionEnvelope {self.name} v{self.version} "
+            f"signer={self.signer} {self.size}B>"
+        )

@@ -1,0 +1,352 @@
+"""The adaptation service — the MIDAS extension receiver.
+
+Every adaptable node carries one :class:`AdaptationService`.  It:
+
+- advertises itself through the discovery layer ("the adaptation service
+  advertises itself as a Jini service", §3.3) so bases know the node can
+  be adapted;
+- serves ``midas.offer`` — verifies the envelope's signature against the
+  node's trust store, checks the requested capabilities against the
+  node's sandbox policy, resolves implicit extensions (``REQUIRES``),
+  binds the node's resource gateway, and inserts the aspect through the
+  PROSE API under a fresh local lease;
+- serves ``midas.keepalive`` / ``midas.revoke`` from bases;
+- autonomously withdraws any extension whose lease lapses — calling the
+  extension's ``shutdown()`` first, then ``ProseVM.withdraw`` — which is
+  how locality in time and space is enforced when a node leaves a
+  proactive space.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Mapping
+
+from repro.aop.aspect import Aspect
+from repro.aop.sandbox import AspectSandbox, SandboxPolicy, SystemGateway
+from repro.aop.vm import ProseVM
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.service import ServiceItem
+from repro.errors import DistributionError, MidasError
+from repro.leasing.lease import Lease
+from repro.leasing.table import LeaseTable
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.trust import TrustStore
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.util.signal import Signal
+
+logger = logging.getLogger(__name__)
+
+OFFER = "midas.offer"
+KEEPALIVE = "midas.keepalive"
+REVOKE = "midas.revoke"
+
+#: The Jini interface name the adaptation service advertises under.
+ADAPTATION_INTERFACE = "midas.AdaptationService"
+
+#: Reasons passed to ``on_withdrawn``.
+REASON_LEASE_EXPIRED = "lease-expired"
+REASON_REVOKED = "revoked"
+REASON_REPLACED = "replaced"
+REASON_LOCAL = "local-request"
+
+
+class InstalledExtension:
+    """One live extension on this node."""
+
+    __slots__ = ("envelope", "aspect", "lease_id", "base_id", "sandbox", "implicit")
+
+    def __init__(
+        self,
+        envelope: ExtensionEnvelope,
+        aspect: Aspect,
+        lease_id: str,
+        base_id: str,
+        sandbox: AspectSandbox,
+        implicit: list[Aspect],
+    ):
+        self.envelope = envelope
+        self.aspect = aspect
+        self.lease_id = lease_id
+        self.base_id = base_id
+        self.sandbox = sandbox
+        #: Implicit (dependency) aspects inserted on behalf of this one.
+        self.implicit = implicit
+
+    @property
+    def name(self) -> str:
+        """The extension's logical name."""
+        return self.envelope.name
+
+    def __repr__(self) -> str:
+        return (
+            f"<InstalledExtension {self.name} v{self.envelope.version} "
+            f"from {self.base_id}>"
+        )
+
+
+class AdaptationService:
+    """The per-node extension receiver."""
+
+    def __init__(
+        self,
+        vm: ProseVM,
+        transport: Transport,
+        simulator: Simulator,
+        trust_store: TrustStore,
+        policy: SandboxPolicy | None = None,
+        services: Mapping[str, Any] | None = None,
+        discovery: DiscoveryClient | None = None,
+        attributes: Mapping[str, Any] | None = None,
+    ):
+        self.vm = vm
+        self.transport = transport
+        self.simulator = simulator
+        self.trust_store = trust_store
+        #: What this node is willing to grant extensions (preferences).
+        self.policy = policy or SandboxPolicy.permissive()
+        self.discovery = discovery
+        self.node_id = transport.node.node_id
+        self._services = dict(services or {})
+        self._attributes = dict(attributes or {})
+
+        #: Fires with (installed,) after an extension is inserted.
+        self.on_installed = Signal(f"{self.node_id}.on_installed")
+        #: Fires with (installed, reason) after an extension is withdrawn.
+        self.on_withdrawn = Signal(f"{self.node_id}.on_withdrawn")
+        #: Fires with (envelope, error) when an offer is rejected.
+        self.on_rejected = Signal(f"{self.node_id}.on_rejected")
+
+        self._leases = LeaseTable(simulator, name=f"{self.node_id}.extensions")
+        self._leases.on_expired.connect(self._lease_expired)
+        self._installed: dict[str, InstalledExtension] = {}  # lease_id -> ext
+        # Implicit aspects shared between extensions, refcounted by class.
+        self._implicit: dict[type, tuple[Aspect, int]] = {}
+        self._registration = None
+
+        transport.register(OFFER, self._serve_offer)
+        transport.register(KEEPALIVE, self._serve_keepalive)
+        transport.register(REVOKE, self._serve_revoke)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> "AdaptationService":
+        """Advertise the adaptation service through discovery."""
+        if self.discovery is not None and self._registration is None:
+            item = ServiceItem(
+                ADAPTATION_INTERFACE,
+                self.node_id,
+                {"midas": "receiver", **self._attributes},
+            )
+            self._registration = self.discovery.register(item)
+        return self
+
+    def stop(self) -> None:
+        """Withdraw everything and stop advertising."""
+        for installed in list(self._installed.values()):
+            self._withdraw(installed, REASON_LOCAL)
+        if self.discovery is not None and self._registration is not None:
+            self.discovery.cancel(self._registration)
+            self._registration = None
+
+    # -- node-local services exposed to extensions ---------------------------------
+
+    def provide_service(self, capability: str, service: Any) -> None:
+        """Expose a node resource to extensions under ``capability``."""
+        self._services[capability] = service
+
+    # -- queries ----------------------------------------------------------------------
+
+    def installed(self) -> list[InstalledExtension]:
+        """All live extensions, in installation order."""
+        return list(self._installed.values())
+
+    def is_installed(self, name: str) -> bool:
+        """True if an extension with logical name ``name`` is live."""
+        return any(ext.name == name for ext in self._installed.values())
+
+    def find(self, name: str) -> InstalledExtension | None:
+        """The live extension named ``name``, if any."""
+        for ext in self._installed.values():
+            if ext.name == name:
+                return ext
+        return None
+
+    # -- pull-style installation (tuple-space distribution) -----------------------------
+
+    def install_envelope(
+        self,
+        envelope: ExtensionEnvelope,
+        provider: str = "tuple-space",
+        duration: float = 10.0,
+    ) -> str:
+        """Install an envelope acquired by pulling (rather than offered).
+
+        Runs the exact offer pipeline — signature verification before
+        deserialization, capability check, implicit extensions, sandbox,
+        local lease — and returns the local lease id the caller must keep
+        alive with :meth:`renew_installation`.
+        """
+        return self._accept(provider, envelope, duration)["lease_id"]
+
+    def renew_installation(self, lease_id: str, duration: float | None = None) -> bool:
+        """Keep a pulled installation alive; False if it already lapsed."""
+        if lease_id not in self._leases:
+            return False
+        self._leases.renew(lease_id, duration)
+        return True
+
+    # -- offer handling ------------------------------------------------------------------
+
+    def _serve_offer(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        envelope: ExtensionEnvelope = body["envelope"]
+        duration: float = body.get("duration", 10.0)
+        try:
+            return self._accept(sender, envelope, duration)
+        except MidasError as exc:
+            logger.info(
+                "%s: rejected extension %s from %s: %s",
+                self.node_id,
+                envelope.name,
+                sender,
+                exc,
+            )
+            self.on_rejected.fire(envelope, exc)
+            raise
+
+    def _accept(
+        self, base_id: str, envelope: ExtensionEnvelope, duration: float
+    ) -> dict[str, Any]:
+        existing = self._find_from_base(base_id, envelope.name)
+        if existing is not None:
+            if envelope.version <= existing.envelope.version:
+                # Same (or stale) extension re-offered: refresh the lease.
+                lease = self._leases.renew(existing.lease_id, duration)
+                return {"lease_id": lease.lease_id, "duration": lease.duration}
+            # Newer version: replacement of an obsolete extension (§3.2).
+            self._withdraw(existing, REASON_REPLACED)
+
+        # 1. Security: verify *before* deserialization.
+        aspect = envelope.open(self.trust_store)
+
+        # 2. Capabilities: the node's preferences must cover the request.
+        denied = [
+            capability
+            for capability in sorted(envelope.capabilities)
+            if not self.policy.allows(capability)
+        ]
+        if denied:
+            raise DistributionError(
+                f"extension {envelope.name!r} requires denied capabilities {denied}"
+            )
+
+        # 3. Implicit extensions (e.g. session management for access control).
+        implicit = self._resolve_implicit(aspect)
+
+        # 4. Sandbox + gateway, then insertion through the PROSE API.
+        sandbox = AspectSandbox(
+            self.policy.restricted_to(envelope.capabilities), aspect.name
+        )
+        aspect.bind(SystemGateway(self._services, sandbox))
+        self.vm.insert(aspect, sandbox=sandbox)
+
+        lease = self._leases.grant(base_id, envelope.name, duration)
+        installed = InstalledExtension(
+            envelope, aspect, lease.lease_id, base_id, sandbox, implicit
+        )
+        self._installed[lease.lease_id] = installed
+        logger.debug("%s: installed %s from %s", self.node_id, envelope.name, base_id)
+        self.on_installed.fire(installed)
+        return {"lease_id": lease.lease_id, "duration": lease.duration}
+
+    def _resolve_implicit(self, aspect: Aspect) -> list[Aspect]:
+        resolved: list[Aspect] = []
+        for dependency_class in type(aspect).REQUIRES:
+            entry = self._implicit.get(dependency_class)
+            if entry is None:
+                dependency = dependency_class()
+                sandbox = AspectSandbox(self.policy, dependency.name)
+                dependency.bind(SystemGateway(self._services, sandbox))
+                self.vm.insert(dependency, sandbox=sandbox)
+                self._implicit[dependency_class] = (dependency, 1)
+                resolved.append(dependency)
+            else:
+                dependency, count = entry
+                self._implicit[dependency_class] = (dependency, count + 1)
+                resolved.append(dependency)
+        return resolved
+
+    def _release_implicit(self, implicit: list[Aspect]) -> None:
+        for dependency in implicit:
+            entry = self._implicit.get(type(dependency))
+            if entry is None:
+                continue
+            aspect, count = entry
+            if count <= 1:
+                del self._implicit[type(dependency)]
+                aspect.shutdown()
+                self.vm.withdraw(aspect)
+            else:
+                self._implicit[type(dependency)] = (aspect, count - 1)
+
+    def _find_from_base(self, base_id: str, name: str) -> InstalledExtension | None:
+        for installed in self._installed.values():
+            if installed.base_id == base_id and installed.name == name:
+                return installed
+        return None
+
+    # -- keep-alive and revocation -----------------------------------------------------------
+
+    def _serve_keepalive(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        renewed: list[str] = []
+        unknown: list[str] = []
+        for lease_id in body["lease_ids"]:
+            if lease_id in self._leases:
+                self._leases.renew(lease_id, body.get("duration"))
+                renewed.append(lease_id)
+            else:
+                unknown.append(lease_id)
+        return {"renewed": renewed, "unknown": unknown}
+
+    def _serve_revoke(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        lease_id = body["lease_id"]
+        installed = self._installed.get(lease_id)
+        if installed is None:
+            return {"revoked": False}
+        self._withdraw(installed, body.get("reason", REASON_REVOKED))
+        return {"revoked": True}
+
+    def _lease_expired(self, lease: Lease) -> None:
+        installed = self._installed.get(lease.lease_id)
+        if installed is not None:
+            logger.debug(
+                "%s: lease of %s expired; withdrawing", self.node_id, installed.name
+            )
+            self._withdraw(installed, REASON_LEASE_EXPIRED)
+
+    def withdraw(self, name: str, reason: str = REASON_LOCAL) -> bool:
+        """Locally withdraw the extension named ``name``; True if found."""
+        installed = self.find(name)
+        if installed is None:
+            return False
+        self._withdraw(installed, reason)
+        return True
+
+    def _withdraw(self, installed: InstalledExtension, reason: str) -> None:
+        self._installed.pop(installed.lease_id, None)
+        if installed.lease_id in self._leases:
+            self._leases.cancel(installed.lease_id)
+        try:
+            installed.aspect.shutdown()
+        except Exception as exc:  # noqa: BLE001 - shutdown must not block removal
+            logger.warning(
+                "%s: shutdown of %s failed: %s", self.node_id, installed.name, exc
+            )
+        if self.vm.is_inserted(installed.aspect):
+            self.vm.withdraw(installed.aspect)
+        self._release_implicit(installed.implicit)
+        self.on_withdrawn.fire(installed, reason)
+
+    def __repr__(self) -> str:
+        return f"<AdaptationService {self.node_id} installed={len(self._installed)}>"

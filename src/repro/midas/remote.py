@@ -1,0 +1,71 @@
+"""Serializable remote service references.
+
+An extension configured on the base station often needs to talk back to a
+base-side service once installed on a node — the paper's ``HwMonitoring``
+holds a ``RemoteOwner ownerProxy`` it posts log records to.  A live
+transport object cannot be serialized, so envelopes carry a
+:class:`ServiceRef` (plain data: node id + operation name) and the
+receiving node's gateway provides a :class:`RemoteCaller` under the
+``network`` capability to exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.net.transport import Transport
+
+
+@dataclass(frozen=True)
+class ServiceRef:
+    """A serializable pointer to an operation on a remote node."""
+
+    node_id: str
+    operation: str
+
+    def __repr__(self) -> str:
+        return f"<ServiceRef {self.operation}@{self.node_id}>"
+
+
+class RemoteCaller:
+    """The node-side object that makes :class:`ServiceRef`\\ s callable.
+
+    Handed to extensions through their gateway (``network`` capability),
+    so sandbox policy controls whether an extension may reach the radio.
+    """
+
+    __slots__ = ("_transport",)
+
+    def __init__(self, transport: Transport):
+        self._transport = transport
+
+    def post(self, ref: ServiceRef, body: Any = None) -> None:
+        """One-way message to ``ref`` (asynchronous, fire-and-forget)."""
+        self._transport.notify(ref.node_id, ref.operation, body)
+
+    def call(
+        self,
+        ref: ServiceRef,
+        body: Any = None,
+        on_reply: Callable[[Any], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        """Request/reply to ``ref``; callbacks fire later."""
+        self._transport.request(
+            ref.node_id,
+            ref.operation,
+            body,
+            on_reply=on_reply,
+            on_error=on_error,
+            timeout=timeout,
+        )
+
+    @property
+    def local_node_id(self) -> str:
+        """The id of the node this caller sends from."""
+        return self._transport.node.node_id
+
+    def __repr__(self) -> str:
+        return f"<RemoteCaller from {self.local_node_id}>"

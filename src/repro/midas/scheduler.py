@@ -1,0 +1,37 @@
+"""The scheduler service offered to extensions.
+
+Extensions sometimes need time-driven behaviour — the monitoring extension
+buffers locally and "then asynchronously sent to a base station" (Fig.
+3b), which takes a flush timer.  Extensions cannot touch the simulator
+directly (sandbox!), so nodes expose this thin service under the
+``scheduler`` capability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.timers import PeriodicTimer
+
+
+class SchedulerService:
+    """Mediated access to timers for sandboxed extensions."""
+
+    __slots__ = ("_simulator",)
+
+    def __init__(self, simulator: Simulator):
+        self._simulator = simulator
+
+    def periodic(
+        self, interval: float, callback: Callable[[], Any], name: str = "ext-timer"
+    ) -> PeriodicTimer:
+        """A started periodic timer firing every ``interval`` seconds."""
+        return PeriodicTimer(self._simulator, interval, callback, name=name).start()
+
+    def after(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Run ``callback`` once, ``delay`` seconds from now."""
+        return self._simulator.schedule(delay, callback)
+
+    def __repr__(self) -> str:
+        return "<SchedulerService>"

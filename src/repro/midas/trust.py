@@ -1,0 +1,104 @@
+"""Signing and trust.
+
+"In MIDAS each extension instance has to be signed.  This ensures that the
+received extension has been instantiated and configured by a trusted
+entity.  The verification of the originator of an extension is done before
+insertion of the extension in PROSE.  Each extension receiver node may
+define its preferences and trusted entities." (§3.2)
+
+The original platform would use public-key certificates.  Offline and
+dependency-free, we model the same trust relationships with HMAC-SHA256
+over a shared secret per signing entity: a :class:`Signer` holds the
+entity's key; a receiver's :class:`TrustStore` holds the keys of the
+entities it trusts.  The protocol-visible behaviour is identical —
+unsigned, tampered, or unknown-signer extensions are rejected before
+deserialization — which is what the platform's security layer is
+responsible for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import UntrustedSignerError, VerificationError
+
+
+class Signer:
+    """A trusted entity capable of signing extension payloads."""
+
+    __slots__ = ("entity", "_key")
+
+    def __init__(self, entity: str, key: bytes):
+        if not key:
+            raise VerificationError("signing key must be non-empty")
+        self.entity = entity
+        self._key = key
+
+    @classmethod
+    def generate(cls, entity: str) -> "Signer":
+        """Derive a signer deterministically from the entity name.
+
+        Deterministic keys keep simulation runs reproducible; real
+        deployments would generate random keys (or use certificates).
+        """
+        return cls(entity, hashlib.sha256(f"midas-key:{entity}".encode()).digest())
+
+    def sign(self, payload: bytes) -> bytes:
+        """Return the signature of ``payload``."""
+        return hmac.new(self._key, payload, hashlib.sha256).digest()
+
+    def export_key(self) -> bytes:
+        """The verification key a receiver must be provisioned with."""
+        return self._key
+
+    def __repr__(self) -> str:
+        return f"<Signer {self.entity!r}>"
+
+
+class TrustStore:
+    """The trusted entities (and their keys) of one receiver node."""
+
+    def __init__(self):
+        self._keys: dict[str, bytes] = {}
+
+    def trust(self, entity: str, key: bytes) -> None:
+        """Provision the verification key of ``entity``."""
+        self._keys[entity] = key
+
+    def trust_signer(self, signer: Signer) -> None:
+        """Convenience: trust the entity behind ``signer``."""
+        self.trust(signer.entity, signer.export_key())
+
+    def revoke(self, entity: str) -> None:
+        """Stop trusting ``entity``."""
+        self._keys.pop(entity, None)
+
+    def trusts(self, entity: str) -> bool:
+        """True if ``entity`` is in the store."""
+        return entity in self._keys
+
+    def trusted_entities(self) -> list[str]:
+        """Names of all trusted entities."""
+        return sorted(self._keys)
+
+    def verify(self, entity: str, payload: bytes, signature: bytes) -> None:
+        """Raise unless ``signature`` is ``entity``'s valid MAC of ``payload``.
+
+        Raises :class:`UntrustedSignerError` for unknown entities and
+        :class:`VerificationError` for bad signatures.
+        """
+        key = self._keys.get(entity)
+        if key is None:
+            raise UntrustedSignerError(f"signer {entity!r} is not trusted")
+        expected = hmac.new(key, payload, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, signature):
+            raise VerificationError(
+                f"signature of extension from {entity!r} does not verify"
+            )
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __repr__(self) -> str:
+        return f"<TrustStore entities={self.trusted_entities()}>"

@@ -1,0 +1,35 @@
+"""Simulated wireless network.
+
+The paper's devices (robots, PDAs, base stations) interact over a wireless
+LAN and move physically between locations.  This package reproduces that
+substrate on the discrete-event kernel:
+
+- :class:`~repro.net.network.Network` — the radio fabric: range-based
+  connectivity, distance-dependent latency, seeded probabilistic loss,
+  explicit partitions;
+- :class:`~repro.net.node.NetworkNode` — an addressable device with a
+  position and radio range;
+- :class:`~repro.net.transport.Transport` — request/reply and one-way
+  messaging with timeouts, on top of raw messages;
+- :class:`~repro.net.mobility.WaypointMobility` — moves a node through
+  space over simulated time (walking a robot between production halls).
+"""
+
+from repro.net.geometry import Position, Region
+from repro.net.message import BROADCAST, Message
+from repro.net.mobility import WaypointMobility
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.net.transport import RemoteError, Transport
+
+__all__ = [
+    "BROADCAST",
+    "Message",
+    "Network",
+    "NetworkNode",
+    "Position",
+    "Region",
+    "RemoteError",
+    "Transport",
+    "WaypointMobility",
+]

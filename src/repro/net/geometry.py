@@ -1,0 +1,96 @@
+"""Plane geometry for the physical world model.
+
+Positions are immutable 2-D points in meters.  Regions are axis-aligned
+rectangles used for production halls and radio coverage areas.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, NamedTuple
+
+
+class Position(NamedTuple):
+    """An immutable point in the plane (meters)."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Position") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def moved_towards(self, target: "Position", distance: float) -> "Position":
+        """The point ``distance`` meters from here towards ``target``.
+
+        Never overshoots: if ``target`` is closer than ``distance``, the
+        result is ``target`` itself.
+        """
+        total = self.distance_to(target)
+        if total <= distance or total == 0.0:
+            return target
+        fraction = distance / total
+        return Position(
+            self.x + (target.x - self.x) * fraction,
+            self.y + (target.y - self.y) * fraction,
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.x:.2f}, {self.y:.2f})"
+
+
+ORIGIN = Position(0.0, 0.0)
+
+
+class Region:
+    """An axis-aligned rectangle, e.g. the floor area of a production hall."""
+
+    __slots__ = ("name", "min_x", "min_y", "max_x", "max_y")
+
+    def __init__(
+        self, min_x: float, min_y: float, max_x: float, max_y: float, name: str = ""
+    ):
+        if max_x < min_x or max_y < min_y:
+            raise ValueError(
+                f"degenerate region [{min_x},{max_x}]x[{min_y},{max_y}]"
+            )
+        self.name = name
+        self.min_x = min_x
+        self.min_y = min_y
+        self.max_x = max_x
+        self.max_y = max_y
+
+    @property
+    def center(self) -> Position:
+        """The region's geometric center."""
+        return Position((self.min_x + self.max_x) / 2, (self.min_y + self.max_y) / 2)
+
+    @property
+    def width(self) -> float:
+        """Extent along x."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y."""
+        return self.max_y - self.min_y
+
+    def contains(self, position: Position) -> bool:
+        """True if ``position`` lies inside (or on the edge of) the region."""
+        return (
+            self.min_x <= position.x <= self.max_x
+            and self.min_y <= position.y <= self.max_y
+        )
+
+    def corners(self) -> Iterator[Position]:
+        """The four corner points, counter-clockwise from (min_x, min_y)."""
+        yield Position(self.min_x, self.min_y)
+        yield Position(self.max_x, self.min_y)
+        yield Position(self.max_x, self.max_y)
+        yield Position(self.min_x, self.max_y)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Region{label} [{self.min_x},{self.max_x}]x[{self.min_y},{self.max_y}]>"
+        )

@@ -1,0 +1,39 @@
+"""Network messages.
+
+A message carries a ``kind`` string used for handler dispatch and an
+arbitrary ``payload``.  The network deep-copies payloads on delivery, so
+two nodes can never accidentally share mutable state through a message —
+the same discipline a serializing network imposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.ids import fresh_id
+
+#: Destination address meaning "every node currently in radio range".
+BROADCAST = "*"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network datagram."""
+
+    source: str
+    destination: str
+    kind: str
+    payload: Any = None
+    message_id: str = field(default_factory=lambda: fresh_id("msg"))
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True if this message was addressed to every node in range."""
+        return self.destination == BROADCAST
+
+    def __repr__(self) -> str:
+        return (
+            f"<Message {self.kind} {self.source}->{self.destination} "
+            f"id={self.message_id}>"
+        )

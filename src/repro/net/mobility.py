@@ -1,0 +1,124 @@
+"""Mobility models.
+
+Devices in the paper physically roam: a robot is carried between
+production halls, a PDA enters a building.  :class:`WaypointMobility`
+animates that on the simulator — the node's position is updated in small
+time steps along a queue of waypoints, so range-based connectivity (and
+with it discovery and lease renewal) changes *gradually*, exactly the
+behaviour the revocation machinery must tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.net.geometry import Position, Region
+from repro.net.node import NetworkNode
+from repro.sim.kernel import Event, Simulator
+from repro.util.signal import Signal
+
+#: Seconds between position updates while moving.
+DEFAULT_STEP = 0.5
+#: Meters per second of a walking device/robot.
+DEFAULT_SPEED = 1.5
+
+
+class WaypointMobility:
+    """Moves a node through a queue of waypoints at constant speed."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node: NetworkNode,
+        speed: float = DEFAULT_SPEED,
+        step: float = DEFAULT_STEP,
+    ):
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed}")
+        self.simulator = simulator
+        self.node = node
+        self.speed = speed
+        self.step = step
+        #: Fires with (waypoint,) each time a waypoint is reached.
+        self.on_arrival = Signal(f"{node.node_id}.on_arrival")
+        #: Fires with () when the waypoint queue drains.
+        self.on_idle = Signal(f"{node.node_id}.on_idle")
+        self._waypoints: list[Position] = []
+        self._tick_event: Event | None = None
+
+    @property
+    def moving(self) -> bool:
+        """True while waypoints remain."""
+        return bool(self._waypoints)
+
+    @property
+    def destination(self) -> Position | None:
+        """The final queued waypoint, if any."""
+        return self._waypoints[-1] if self._waypoints else None
+
+    def go_to(self, target: Position | Region) -> None:
+        """Append a waypoint (a region's center if given a region)."""
+        waypoint = target.center if isinstance(target, Region) else target
+        self._waypoints.append(waypoint)
+        self._ensure_ticking()
+
+    def stop(self) -> None:
+        """Drop all waypoints and halt in place."""
+        self._waypoints.clear()
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+
+    def eta(self) -> float:
+        """Seconds until the last waypoint is reached, at current speed."""
+        total = 0.0
+        here = self.node.position
+        for waypoint in self._waypoints:
+            total += here.distance_to(waypoint)
+            here = waypoint
+        return total / self.speed
+
+    def _ensure_ticking(self) -> None:
+        if self._tick_event is None and self._waypoints:
+            self._tick_event = self.simulator.schedule(self.step, self._tick)
+
+    def _tick(self) -> None:
+        self._tick_event = None
+        if not self._waypoints:
+            self.on_idle.fire()
+            return
+        target = self._waypoints[0]
+        new_position = self.node.position.moved_towards(target, self.speed * self.step)
+        self.node.move_to(new_position)
+        if new_position == target:
+            self._waypoints.pop(0)
+            self.on_arrival.fire(target)
+        if self._waypoints:
+            self._tick_event = self.simulator.schedule(self.step, self._tick)
+        else:
+            self.on_idle.fire()
+
+    def __repr__(self) -> str:
+        return (
+            f"<WaypointMobility {self.node.node_id} "
+            f"waypoints={len(self._waypoints)} speed={self.speed}>"
+        )
+
+
+def follow_path(
+    simulator: Simulator,
+    node: NetworkNode,
+    waypoints: list[Position],
+    speed: float = DEFAULT_SPEED,
+    on_done: Callable[[], None] | None = None,
+) -> WaypointMobility:
+    """Convenience: walk ``node`` through ``waypoints``, call ``on_done``."""
+    mobility = WaypointMobility(simulator, node, speed=speed)
+    if on_done is not None:
+        def _maybe_done() -> None:
+            if not mobility.moving:
+                on_done()
+        mobility.on_idle.connect(_maybe_done)
+    for waypoint in waypoints:
+        mobility.go_to(waypoint)
+    return mobility

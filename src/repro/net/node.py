@@ -1,0 +1,123 @@
+"""Network nodes.
+
+A :class:`NetworkNode` is an addressable device attached to a
+:class:`~repro.net.network.Network`: it has a position, a radio range, and
+a table of message handlers keyed by message kind.  Higher layers
+(transport, discovery, MIDAS) register their handlers here; the node
+itself knows nothing about protocols.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import NetworkError
+from repro.net.geometry import ORIGIN, Position
+from repro.net.message import BROADCAST, Message
+from repro.util.signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import Network
+
+logger = logging.getLogger(__name__)
+
+Handler = Callable[[Message], None]
+
+#: Radio range, in meters, of a typical node (a WLAN cell).
+DEFAULT_RADIO_RANGE = 50.0
+
+
+class NetworkNode:
+    """An addressable device on the simulated radio network."""
+
+    def __init__(
+        self,
+        node_id: str,
+        position: Position = ORIGIN,
+        radio_range: float = DEFAULT_RADIO_RANGE,
+    ):
+        if radio_range <= 0:
+            raise NetworkError(f"radio range must be positive, got {radio_range}")
+        self.node_id = node_id
+        self.position = position
+        self.radio_range = radio_range
+        self.network: "Network | None" = None
+        #: Fires with (message,) when a message with no handler arrives.
+        self.on_unhandled = Signal(f"{node_id}.on_unhandled")
+        #: Fires with (position,) whenever the node moves.
+        self.on_moved = Signal(f"{node_id}.on_moved")
+        self._handlers: dict[str, Handler] = {}
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- attachment ------------------------------------------------------------
+
+    @property
+    def attached(self) -> bool:
+        """True while the node is attached to a network."""
+        return self.network is not None
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, destination: str, kind: str, payload: Any = None) -> Message:
+        """Send a unicast message; delivery is best-effort (radio).
+
+        A detached node's sends vanish silently — its software may still
+        be running, but the radio is gone (crash/power-off model).
+        """
+        message = Message(self.node_id, destination, kind, payload)
+        if self.network is None:
+            logger.debug("node %s is detached; dropping %r", self.node_id, message)
+            return message
+        self.network.transmit(message)
+        self.messages_sent += 1
+        return message
+
+    def broadcast(self, kind: str, payload: Any = None) -> Message:
+        """Send to every node currently in radio range."""
+        message = Message(self.node_id, BROADCAST, kind, payload)
+        if self.network is None:
+            logger.debug("node %s is detached; dropping %r", self.node_id, message)
+            return message
+        self.network.transmit(message)
+        self.messages_sent += 1
+        return message
+
+    # -- receiving ----------------------------------------------------------------
+
+    def set_handler(self, kind: str, handler: Handler) -> None:
+        """Install the handler for messages of ``kind`` (one per kind)."""
+        self._handlers[kind] = handler
+
+    def remove_handler(self, kind: str) -> None:
+        """Remove the handler for ``kind`` (no error if absent)."""
+        self._handlers.pop(kind, None)
+
+    def deliver(self, message: Message) -> None:
+        """Called by the network when a message arrives at this node."""
+        self.messages_received += 1
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            self.on_unhandled.fire(message)
+            return
+        try:
+            handler(message)
+        except Exception as exc:  # noqa: BLE001 - a bad handler must not kill the net
+            logger.warning(
+                "node %s handler for %s failed: %s", self.node_id, message.kind, exc
+            )
+
+    # -- movement -------------------------------------------------------------------
+
+    def move_to(self, position: Position) -> None:
+        """Teleport the node to ``position`` (mobility models animate this)."""
+        self.position = position
+        self.on_moved.fire(position)
+
+    def distance_to(self, other: "NetworkNode") -> float:
+        """Euclidean distance to another node."""
+        return self.position.distance_to(other.position)
+
+    def __repr__(self) -> str:
+        return f"<NetworkNode {self.node_id} at {self.position}>"

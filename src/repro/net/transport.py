@@ -1,0 +1,246 @@
+"""Request/reply transport.
+
+Protocols above the raw network (discovery, lease renewal, extension
+delivery, remote logging) all need "send a request, get a reply or a
+timeout".  :class:`Transport` provides that as a callback API — natural in
+a discrete-event world where nothing may block:
+
+- servers register *operation* handlers; a handler returns the reply body
+  or raises (the error travels back as a fault reply);
+- clients call :meth:`Transport.request` with ``on_reply``/``on_error``
+  callbacks and get a timeout if the radio eats either direction.
+
+One-way ``notify`` and community-wide ``broadcast`` round out the API.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import logging
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import RequestTimeout, TransportError
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+from repro.sim.kernel import Event, Simulator
+from repro.util.ids import fresh_id
+
+logger = logging.getLogger(__name__)
+
+_REQUEST = "transport.request"
+_REPLY = "transport.reply"
+_NOTIFY = "transport.notify"
+
+#: Seconds a request waits for its reply before failing.
+DEFAULT_TIMEOUT = 2.0
+
+_caller: contextvars.ContextVar[str | None] = contextvars.ContextVar(
+    "transport_current_caller", default=None
+)
+
+
+def current_caller() -> str | None:
+    """The node id of the remote caller, inside a handler execution.
+
+    This is the "session information like the caller's identity" that the
+    paper's implicit session-management extension extracts (Fig. 2 step
+    2): while a transport handler runs, any code it reaches — including
+    advice woven into the application — can learn who called.
+    """
+    return _caller.get()
+
+
+class RemoteError(TransportError):
+    """A handler on the remote node raised; carries the remote message."""
+
+    def __init__(self, operation: str, remote_message: str):
+        self.operation = operation
+        self.remote_message = remote_message
+        super().__init__(f"remote {operation} failed: {remote_message}")
+
+
+@dataclass(frozen=True)
+class _RequestBody:
+    request_id: str
+    operation: str
+    body: Any
+
+
+@dataclass(frozen=True)
+class _ReplyBody:
+    request_id: str
+    operation: str
+    body: Any
+    error: str | None
+
+
+OnReply = Callable[[Any], None]
+OnError = Callable[[Exception], None]
+OperationHandler = Callable[[str, Any], Any]  # (sender_id, body) -> reply body
+
+
+class _Pending:
+    __slots__ = ("on_reply", "on_error", "timeout_event", "operation")
+
+    def __init__(
+        self,
+        operation: str,
+        on_reply: OnReply | None,
+        on_error: OnError | None,
+        timeout_event: Event,
+    ):
+        self.operation = operation
+        self.on_reply = on_reply
+        self.on_error = on_error
+        self.timeout_event = timeout_event
+
+
+class Transport:
+    """Request/reply and one-way messaging for one node."""
+
+    def __init__(
+        self,
+        node: NetworkNode,
+        simulator: Simulator,
+        default_timeout: float = DEFAULT_TIMEOUT,
+    ):
+        self.node = node
+        self.simulator = simulator
+        self.default_timeout = default_timeout
+        self._handlers: dict[str, OperationHandler] = {}
+        self._pending: dict[str, _Pending] = {}
+        self.requests_sent = 0
+        self.requests_served = 0
+        self.timeouts = 0
+        node.set_handler(_REQUEST, self._handle_request)
+        node.set_handler(_REPLY, self._handle_reply)
+        node.set_handler(_NOTIFY, self._handle_notify)
+
+    # -- server side ------------------------------------------------------------
+
+    def register(self, operation: str, handler: OperationHandler) -> None:
+        """Serve ``operation``; the handler returns the reply body."""
+        self._handlers[operation] = handler
+
+    def unregister(self, operation: str) -> None:
+        """Stop serving ``operation``."""
+        self._handlers.pop(operation, None)
+
+    def serves(self, operation: str) -> bool:
+        """True if a handler is registered for ``operation``."""
+        return operation in self._handlers
+
+    # -- client side ---------------------------------------------------------------
+
+    def request(
+        self,
+        destination: str,
+        operation: str,
+        body: Any = None,
+        on_reply: OnReply | None = None,
+        on_error: OnError | None = None,
+        timeout: float | None = None,
+    ) -> str:
+        """Send a request; exactly one of the callbacks will fire later.
+
+        Returns the request id.  With no ``on_error``, errors are logged
+        and swallowed (fire-and-hope semantics fit for periodic renewals).
+        """
+        request_id = fresh_id("req")
+        deadline = timeout if timeout is not None else self.default_timeout
+        timeout_event = self.simulator.schedule(
+            deadline, self._handle_timeout, request_id
+        )
+        self._pending[request_id] = _Pending(
+            operation, on_reply, on_error, timeout_event
+        )
+        self.requests_sent += 1
+        self.node.send(
+            destination, _REQUEST, _RequestBody(request_id, operation, body)
+        )
+        return request_id
+
+    def notify(self, destination: str, operation: str, body: Any = None) -> None:
+        """One-way message to ``destination`` (no reply, no timeout)."""
+        self.node.send(destination, _NOTIFY, _RequestBody("", operation, body))
+
+    def broadcast(self, operation: str, body: Any = None) -> None:
+        """One-way message to every node in radio range."""
+        self.node.broadcast(_NOTIFY, _RequestBody("", operation, body))
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _handle_request(self, message: Message) -> None:
+        req: _RequestBody = message.payload
+        handler = self._handlers.get(req.operation)
+        if handler is None:
+            reply = _ReplyBody(
+                req.request_id, req.operation, None, f"no such operation {req.operation!r}"
+            )
+        else:
+            self.requests_served += 1
+            token = _caller.set(message.source)
+            try:
+                result = handler(message.source, req.body)
+                reply = _ReplyBody(req.request_id, req.operation, result, None)
+            except Exception as exc:  # noqa: BLE001 - fault travels to caller
+                logger.debug(
+                    "%s: handler %s raised %s", self.node.node_id, req.operation, exc
+                )
+                reply = _ReplyBody(req.request_id, req.operation, None, str(exc))
+            finally:
+                _caller.reset(token)
+        self.node.send(message.source, _REPLY, reply)
+
+    def _handle_reply(self, message: Message) -> None:
+        reply: _ReplyBody = message.payload
+        pending = self._pending.pop(reply.request_id, None)
+        if pending is None:
+            return  # late reply after timeout: drop
+        pending.timeout_event.cancel()
+        if reply.error is not None:
+            self._fail(pending, RemoteError(reply.operation, reply.error))
+        elif pending.on_reply is not None:
+            pending.on_reply(reply.body)
+
+    def _handle_notify(self, message: Message) -> None:
+        req: _RequestBody = message.payload
+        handler = self._handlers.get(req.operation)
+        if handler is None:
+            return
+        token = _caller.set(message.source)
+        try:
+            handler(message.source, req.body)
+        except Exception as exc:  # noqa: BLE001 - notifications are best effort
+            logger.warning(
+                "%s: notify handler %s failed: %s",
+                self.node.node_id,
+                req.operation,
+                exc,
+            )
+        finally:
+            _caller.reset(token)
+
+    def _handle_timeout(self, request_id: str) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            return
+        self.timeouts += 1
+        self._fail(
+            pending,
+            RequestTimeout(
+                f"{pending.operation} to remote node timed out "
+                f"(node {self.node.node_id})"
+            ),
+        )
+
+    @staticmethod
+    def _fail(pending: _Pending, error: Exception) -> None:
+        if pending.on_error is not None:
+            pending.on_error(error)
+        else:
+            logger.debug("unobserved request failure: %s", error)
+
+    def __repr__(self) -> str:
+        return f"<Transport {self.node.node_id} pending={len(self._pending)}>"

@@ -1,0 +1,67 @@
+"""The robot substrate (LEGO RCX / LeJOS analogue).
+
+Section 4 of the paper develops its prototypes on LEGO Mindstorms RCX
+bricks running LeJOS, driven from an iPAQ.  This package reproduces that
+three-layer stack in simulation:
+
+- :mod:`repro.robot.hardware` — the homogeneous hardware view: a
+  ``Device`` class with ``Sensor`` and ``Motor`` subclasses, and concrete
+  sensors per device kind (exactly the class hierarchy of §4.1);
+- :mod:`repro.robot.rcx` — the RCX brick: ports, hardware macros, and the
+  freeze-on-event semantics ("the hardware completely freezes its
+  activity and notifies the robot application layer");
+- :mod:`repro.robot.tasks` — the application layer: tasks broken into
+  activity requests (hardware macros), event decisions, the *direct mode*
+  and the *overriding layer*;
+- :mod:`repro.robot.plotter` — the plotter prototype of §4.3: three
+  motors moving a marking pen, plus the drawing program exported as a
+  discovery service;
+- :mod:`repro.robot.world` — the observable world: the canvas that
+  records every stroke the pen draws (our ground truth for replication,
+  control and replay experiments).
+"""
+
+from repro.robot.hardware import (
+    Device,
+    LightSensor,
+    Motor,
+    RotationSensor,
+    Sensor,
+    TouchSensor,
+)
+from repro.robot.plotter import DrawingService, Plotter, build_plotter
+from repro.robot.rcx import HardwareMacro, RCXBrick, SensorEvent
+from repro.robot.rover import ObstacleWorld, Rover
+from repro.robot.tasks import (
+    DirectMode,
+    EventDecision,
+    RobotApplication,
+    SequenceTask,
+    Task,
+    TaskRun,
+)
+from repro.robot.world import Canvas
+
+__all__ = [
+    "Canvas",
+    "Device",
+    "DirectMode",
+    "DrawingService",
+    "EventDecision",
+    "HardwareMacro",
+    "LightSensor",
+    "Motor",
+    "ObstacleWorld",
+    "Plotter",
+    "RCXBrick",
+    "Rover",
+    "RobotApplication",
+    "RotationSensor",
+    "Sensor",
+    "SensorEvent",
+    "SequenceTask",
+    "Task",
+    "TaskRun",
+    "TouchSensor",
+    "build_plotter",
+]

@@ -1,0 +1,157 @@
+"""Hardware device models.
+
+"The hardware entities have been encapsulated in a Device class with
+Sensor and Motor as sub-classes.  For each particular device (e.g., light
+sensor, motion sensor) further sub-classes are added to the system."
+(§4.1)
+
+These classes are deliberately plain Python with typed, small methods —
+they are the *join points* the paper's extensions intercept (the
+``HwMonitoring`` aspect of Fig. 5 crosscuts "any methods belonging to a
+Motor class").  State changes go through ordinary attribute assignment so
+field-write crosscuts can observe them too.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import HardwareError
+
+#: Power limits of an RCX output port.
+MIN_POWER = 0
+MAX_POWER = 7
+
+
+class Device:
+    """Base class of every operative part of the robot."""
+
+    def __init__(self, device_id: str):
+        self.device_id = device_id
+
+    def get_id(self) -> str:
+        """The device's stable identifier (used in monitoring records)."""
+        return self.device_id
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.device_id}>"
+
+
+class Motor(Device):
+    """An output device: a motor with power, direction and a shaft angle.
+
+    ``on_rotate`` lets a robot body (e.g. the plotter carriage) observe
+    shaft movement; it receives ``(motor, degrees)`` after each rotation.
+    """
+
+    def __init__(
+        self,
+        device_id: str,
+        on_rotate: Callable[["Motor", float], None] | None = None,
+    ):
+        super().__init__(device_id)
+        self.power = 0
+        self.direction = 1  # +1 forward, -1 backward
+        self.running = False
+        self.angle = 0.0  # cumulative shaft angle, degrees
+        self._on_rotate = on_rotate
+
+    def set_power(self, power: int) -> None:
+        """Set drive power (0..7, the RCX range)."""
+        if not MIN_POWER <= power <= MAX_POWER:
+            raise HardwareError(
+                f"power {power} outside [{MIN_POWER}, {MAX_POWER}] on {self.device_id}"
+            )
+        self.power = power
+
+    def forward(self, power: int | None = None) -> None:
+        """Run forward (optionally setting power first)."""
+        if power is not None:
+            self.set_power(power)
+        self.direction = 1
+        self.running = True
+
+    def backward(self, power: int | None = None) -> None:
+        """Run backward (optionally setting power first)."""
+        if power is not None:
+            self.set_power(power)
+        self.direction = -1
+        self.running = True
+
+    def stop(self) -> None:
+        """Stop the motor."""
+        self.running = False
+
+    def rotate(self, degrees: float) -> float:
+        """Rotate the shaft by ``degrees`` (sign gives direction).
+
+        Returns the new cumulative angle.  This is the workhorse hardware
+        macro of the plotter ("turn left 30 degrees" in §4.1 is the
+        drivetrain equivalent).
+        """
+        self.angle += degrees
+        if self._on_rotate is not None:
+            self._on_rotate(self, degrees)
+        return self.angle
+
+    def observe(self, on_rotate: Callable[["Motor", float], None]) -> None:
+        """Attach the rotation observer (one per motor)."""
+        self._on_rotate = on_rotate
+
+
+class Sensor(Device):
+    """An input device: something the robot reads."""
+
+    def read(self) -> Any:
+        """Return the current sensor value."""
+        raise NotImplementedError
+
+
+class TouchSensor(Sensor):
+    """A bumper: pressed or not.  The world presses it."""
+
+    def __init__(self, device_id: str):
+        super().__init__(device_id)
+        self.pressed = False
+
+    def read(self) -> bool:
+        """True while the bumper is pressed."""
+        return self.pressed
+
+    def press(self) -> None:
+        """World-side: press the bumper."""
+        self.pressed = True
+
+    def release(self) -> None:
+        """World-side: release the bumper."""
+        self.pressed = False
+
+
+class LightSensor(Sensor):
+    """Reads ambient light level (0..100)."""
+
+    def __init__(self, device_id: str, level: int = 50):
+        super().__init__(device_id)
+        self.level = level
+
+    def read(self) -> int:
+        """Current light level."""
+        return self.level
+
+    def set_level(self, level: int) -> None:
+        """World-side: change the ambient light."""
+        if not 0 <= level <= 100:
+            raise HardwareError(f"light level {level} outside [0, 100]")
+        self.level = level
+
+
+class RotationSensor(Sensor):
+    """Reports the cumulative shaft angle of a motor."""
+
+    def __init__(self, device_id: str, motor: Motor):
+        super().__init__(device_id)
+        self.motor = motor
+
+    def read(self) -> float:
+        """The observed motor's cumulative angle in degrees."""
+        return self.motor.angle

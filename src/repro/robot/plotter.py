@@ -1,0 +1,198 @@
+"""The plotter prototype (§4.3, Fig. 4).
+
+"This robot acts as the head of a printer as it moves a marking pen
+across three dimensions. ... Movement across each dimension is controlled
+by a motor.  The overall movement is determined by a drawing program that
+exports a drawing interface as a Jini service.  The program and the robot
+do not contain any code beyond that related to drawing."
+
+- Motors on RCX ports A and B move the carriage in x and y; the motor on
+  port C raises and lowers the pen.
+- The :class:`Plotter` translates drawing calls into hardware macros, so
+  every movement passes through ``Motor`` methods — the join points the
+  ``HwMonitoring``, replication and control extensions crosscut.
+- :class:`DrawingService` exports the drawing interface over the
+  transport and registers it with discovery.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.service import ServiceItem
+from repro.net.transport import Transport
+from repro.robot.hardware import Motor
+from repro.robot.rcx import HardwareMacro, RCXBrick
+from repro.robot.world import Canvas
+
+#: Carriage travel per degree of motor shaft rotation.
+MM_PER_DEGREE = 0.5
+#: Pen motor angle threshold separating "down" from "up".
+PEN_DOWN_ANGLE = 45.0
+#: Carriage speed used to derive macro durations (mm per second).
+CARRIAGE_SPEED = 40.0
+
+#: The interface name the drawing service advertises under.
+DRAWING_INTERFACE = "robot.DrawingService"
+
+
+class Plotter:
+    """A three-motor plotter head over an RCX brick.
+
+    The plotter owns the geometry: it observes its motors' rotations and
+    moves the carriage/pen accordingly, inking the canvas while the pen
+    is down.  All movement *commands* go through the motors (via RCX
+    macros), never directly to the canvas — extensions that intercept
+    ``Motor`` methods therefore see every physical action.
+    """
+
+    def __init__(
+        self,
+        robot_id: str,
+        rcx: RCXBrick,
+        canvas: Canvas,
+        mm_per_degree: float = MM_PER_DEGREE,
+    ):
+        self.robot_id = robot_id
+        self.rcx = rcx
+        self.canvas = canvas
+        self.mm_per_degree = mm_per_degree
+        self.x = 0.0
+        self.y = 0.0
+        self.pen_is_down = False
+        rcx.motor("A").observe(self._x_rotated)
+        rcx.motor("B").observe(self._y_rotated)
+        rcx.motor("C").observe(self._pen_rotated)
+
+    # -- the drawing interface (the published API extensions crosscut) -----------
+
+    def move_to(self, x: float, y: float) -> None:
+        """Move the carriage to ``(x, y)``, inking if the pen is down.
+
+        Axes move one motor at a time (x then y), so a diagonal request
+        draws an L-shaped path — the behaviour of a simple two-motor
+        gantry that does not interpolate both axes concurrently.
+        """
+        dx = x - self.x
+        dy = y - self.y
+        if dx:
+            self.rcx.execute(self._axis_macro("A", dx))
+        if dy:
+            self.rcx.execute(self._axis_macro("B", dy))
+
+    def pen_down(self) -> None:
+        """Lower the marking pen."""
+        if not self.pen_is_down:
+            self.rcx.execute(HardwareMacro("C", "rotate", (90.0,), 0.2))
+
+    def pen_up(self) -> None:
+        """Raise the marking pen."""
+        if self.pen_is_down:
+            self.rcx.execute(HardwareMacro("C", "rotate", (-90.0,), 0.2))
+
+    def draw_polyline(self, points: list[tuple[float, float]]) -> None:
+        """Move to the first point, then draw through the rest."""
+        if not points:
+            return
+        self.pen_up()
+        self.move_to(*points[0])
+        self.pen_down()
+        for point in points[1:]:
+            self.move_to(*point)
+        self.pen_up()
+
+    @property
+    def position(self) -> tuple[float, float]:
+        """Current carriage position (mm)."""
+        return (self.x, self.y)
+
+    # -- motor observers (physics) ---------------------------------------------------
+
+    def _axis_macro(self, port: str, delta_mm: float) -> HardwareMacro:
+        degrees = delta_mm / self.mm_per_degree
+        duration = abs(delta_mm) / CARRIAGE_SPEED
+        return HardwareMacro(port, "rotate", (degrees,), duration)
+
+    def _x_rotated(self, motor: Motor, degrees: float) -> None:
+        self.x += degrees * self.mm_per_degree
+        self._carriage_moved()
+
+    def _y_rotated(self, motor: Motor, degrees: float) -> None:
+        self.y += degrees * self.mm_per_degree
+        self._carriage_moved()
+
+    def _pen_rotated(self, motor: Motor, degrees: float) -> None:
+        down = motor.angle >= PEN_DOWN_ANGLE
+        if down and not self.pen_is_down:
+            self.pen_is_down = True
+            self.canvas.pen_down((self.x, self.y))
+        elif not down and self.pen_is_down:
+            self.pen_is_down = False
+            self.canvas.pen_up()
+
+    def _carriage_moved(self) -> None:
+        if self.pen_is_down:
+            self.canvas.pen_move((self.x, self.y))
+
+    def __repr__(self) -> str:
+        pen = "down" if self.pen_is_down else "up"
+        return f"<Plotter {self.robot_id} at ({self.x:.1f}, {self.y:.1f}) pen {pen}>"
+
+
+def build_plotter(robot_id: str, canvas: Canvas | None = None) -> Plotter:
+    """Assemble a standard plotter: RCX brick with x/y/pen motors."""
+    rcx = RCXBrick(f"{robot_id}.rcx")
+    rcx.attach_motor("A", Motor(f"{robot_id}.motor.x"))
+    rcx.attach_motor("B", Motor(f"{robot_id}.motor.y"))
+    rcx.attach_motor("C", Motor(f"{robot_id}.motor.pen"))
+    return Plotter(robot_id, rcx, canvas or Canvas(f"{robot_id}.canvas"))
+
+
+class DrawingService:
+    """Exports a plotter's drawing interface over the network.
+
+    Operations: ``draw.move_to``, ``draw.pen``, ``draw.polyline``,
+    ``draw.position``.  Registered with discovery under
+    :data:`DRAWING_INTERFACE` so drawing programs (and the replication
+    extension's mirror feed) can find plotters.
+    """
+
+    def __init__(self, plotter: Plotter, transport: Transport):
+        self.plotter = plotter
+        self.transport = transport
+        transport.register("draw.move_to", self._serve_move_to)
+        transport.register("draw.pen", self._serve_pen)
+        transport.register("draw.polyline", self._serve_polyline)
+        transport.register("draw.position", self._serve_position)
+
+    def advertise(self, discovery: DiscoveryClient) -> None:
+        """Register the drawing interface with the discovery layer."""
+        discovery.register(
+            ServiceItem(
+                DRAWING_INTERFACE,
+                self.transport.node.node_id,
+                {"robot": self.plotter.robot_id},
+            )
+        )
+
+    def _serve_move_to(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        self.plotter.move_to(body["x"], body["y"])
+        return {"position": self.plotter.position}
+
+    def _serve_pen(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        if body["down"]:
+            self.plotter.pen_down()
+        else:
+            self.plotter.pen_up()
+        return {"pen_down": self.plotter.pen_is_down}
+
+    def _serve_polyline(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        self.plotter.draw_polyline([tuple(p) for p in body["points"]])
+        return {"position": self.plotter.position}
+
+    def _serve_position(self, sender: str, body: Any) -> dict[str, Any]:
+        return {"position": self.plotter.position, "pen_down": self.plotter.pen_is_down}
+
+    def __repr__(self) -> str:
+        return f"<DrawingService for {self.plotter.robot_id}>"

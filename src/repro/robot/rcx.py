@@ -1,0 +1,154 @@
+"""The RCX brick — the device controller layer.
+
+Models the LeJOS-level view of LEGO's RCX: three output ports (A, B, C)
+for motors, three input ports (1, 2, 3) for sensors, and a *hardware
+macro* execution interface.  The crucial behaviour reproduced from §4.1:
+
+  "A task is also notified whenever an event of interest is detected by
+  the sensors.  When this happens, the hardware completely freezes its
+  activity and notifies the robot application layer of the occurred
+  event."
+
+So :meth:`RCXBrick.raise_event` freezes the brick — further macros raise
+:class:`~repro.errors.HardwareFrozenError` until the application layer
+decides and calls :meth:`RCXBrick.resume`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import HardwareError, HardwareFrozenError
+from repro.robot.hardware import Motor, Sensor
+from repro.util.signal import Signal
+
+MOTOR_PORTS = ("A", "B", "C")
+SENSOR_PORTS = ("1", "2", "3")
+
+#: Seconds a typical hardware macro occupies the drivetrain.
+DEFAULT_MACRO_DURATION = 0.1
+
+
+@dataclass(frozen=True)
+class HardwareMacro:
+    """One activity request sent from the task layer to the hardware.
+
+    ``command`` names a method of the device on ``port`` (e.g.
+    ``rotate``); ``args`` are its arguments; ``duration`` is how long the
+    physical action takes.
+    """
+
+    port: str
+    command: str
+    args: tuple[Any, ...] = ()
+    duration: float = DEFAULT_MACRO_DURATION
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"<Macro {self.port}.{self.command}({args}) {self.duration}s>"
+
+
+@dataclass(frozen=True)
+class SensorEvent:
+    """An event of interest detected by a sensor."""
+
+    port: str
+    sensor_id: str
+    value: Any
+    description: str = ""
+    time: float = field(default=0.0)
+
+    def __repr__(self) -> str:
+        return f"<SensorEvent {self.sensor_id}={self.value!r} ({self.description})>"
+
+
+class RCXBrick:
+    """The simulated RCX device controller."""
+
+    def __init__(self, brick_id: str):
+        self.brick_id = brick_id
+        self.frozen = False
+        #: Fires with (event,) when a sensor raises an event of interest.
+        self.on_event = Signal(f"{brick_id}.on_event")
+        self._motors: dict[str, Motor] = {}
+        self._sensors: dict[str, Sensor] = {}
+        self.macros_executed = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach_motor(self, port: str, motor: Motor) -> Motor:
+        """Attach a motor to output port A, B or C."""
+        if port not in MOTOR_PORTS:
+            raise HardwareError(f"no motor port {port!r} (have {MOTOR_PORTS})")
+        self._motors[port] = motor
+        return motor
+
+    def attach_sensor(self, port: str, sensor: Sensor) -> Sensor:
+        """Attach a sensor to input port 1, 2 or 3."""
+        if port not in SENSOR_PORTS:
+            raise HardwareError(f"no sensor port {port!r} (have {SENSOR_PORTS})")
+        self._sensors[port] = sensor
+        return sensor
+
+    def motor(self, port: str) -> Motor:
+        """The motor on ``port``."""
+        try:
+            return self._motors[port]
+        except KeyError:
+            raise HardwareError(f"no motor attached to port {port!r}") from None
+
+    def sensor(self, port: str) -> Sensor:
+        """The sensor on ``port``."""
+        try:
+            return self._sensors[port]
+        except KeyError:
+            raise HardwareError(f"no sensor attached to port {port!r}") from None
+
+    def devices(self) -> list[Motor | Sensor]:
+        """All attached devices."""
+        return [*self._motors.values(), *self._sensors.values()]
+
+    # -- macro execution ------------------------------------------------------------
+
+    def execute(self, macro: HardwareMacro) -> Any:
+        """Perform one hardware macro; raises while frozen."""
+        if self.frozen:
+            raise HardwareFrozenError(
+                f"{self.brick_id} is frozen by a sensor event; macro {macro!r} refused"
+            )
+        device: Motor | Sensor
+        if macro.port in MOTOR_PORTS:
+            device = self.motor(macro.port)
+        else:
+            device = self.sensor(macro.port)
+        method = getattr(device, macro.command, None)
+        if method is None or not callable(method):
+            raise HardwareError(
+                f"device on port {macro.port} has no command {macro.command!r}"
+            )
+        self.macros_executed += 1
+        return method(*macro.args)
+
+    # -- events -----------------------------------------------------------------------
+
+    def raise_event(self, port: str, description: str = "") -> SensorEvent:
+        """A sensor detected something: freeze all activity, notify upward."""
+        sensor = self.sensor(port)
+        for motor in self._motors.values():
+            motor.stop()
+        self.frozen = True
+        event = SensorEvent(port, sensor.get_id(), sensor.read(), description)
+        self.on_event.fire(event)
+        return event
+
+    def resume(self) -> None:
+        """Thaw the hardware after the application layer decided."""
+        self.frozen = False
+
+    def __repr__(self) -> str:
+        state = "frozen" if self.frozen else "ready"
+        return (
+            f"<RCXBrick {self.brick_id} motors={sorted(self._motors)} "
+            f"sensors={sorted(self._sensors)} {state}>"
+        )

@@ -1,0 +1,208 @@
+"""A driving robot (rover) and the obstacle world it moves through.
+
+The paper's task-layer story (§4.1) is about a *driving* robot: "a touch
+sensor identified an obstacle", the hardware freezes, and the task
+decides.  The plotter never moves through space, so this module adds the
+missing body:
+
+- a :class:`Rover` — differential drive: two motors (ports A/B) whose
+  rotations advance/turn the chassis; a front :class:`TouchSensor`
+  (port 1);
+- an :class:`ObstacleWorld` — walls the rover can bump into; driving into
+  one presses the bumper and raises the hardware event, exactly the
+  freeze-and-decide flow the task layer implements.
+
+The rover also carries the node-position bridge: attach it to a
+:class:`~repro.net.node.NetworkNode` and the radio follows the chassis,
+so driving out of a hall has the usual MIDAS consequences.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.net.geometry import Position, Region
+from repro.net.node import NetworkNode
+from repro.robot.hardware import LightSensor, Motor, TouchSensor
+from repro.robot.rcx import HardwareMacro, RCXBrick
+
+
+class _WorldLightSensor(LightSensor):
+    """A light sensor reading the world's lighting at the rover's position."""
+
+    def __init__(self, rover: "Rover"):
+        super().__init__(f"{rover.robot_id}.eye")
+        self._rover = rover
+
+    def read(self) -> int:
+        return self._rover.world.light_at(self._rover.position)
+
+#: Chassis travel per degree of (synchronised) wheel rotation, meters.
+METERS_PER_DEGREE = 0.001
+#: Chassis turn per degree of differential wheel rotation, degrees.
+TURN_RATIO = 0.5
+
+
+#: Default ambient light level on the floor (0..100).
+AMBIENT_LIGHT = 50
+
+
+class ObstacleWorld:
+    """Rectangular obstacles and lighting zones on the floor."""
+
+    def __init__(
+        self,
+        obstacles: Iterable[Region] = (),
+        ambient_light: int = AMBIENT_LIGHT,
+    ):
+        self.obstacles = list(obstacles)
+        self.ambient_light = ambient_light
+        self._light_zones: list[tuple[Region, int]] = []
+
+    def add(self, region: Region) -> None:
+        """Place one more obstacle."""
+        self.obstacles.append(region)
+
+    def blocked(self, position: Position) -> Region | None:
+        """The obstacle containing ``position``, if any."""
+        for region in self.obstacles:
+            if region.contains(position):
+                return region
+        return None
+
+    def add_light_zone(self, region: Region, level: int) -> None:
+        """A floor area with its own light level (a lamp, a dark corner)."""
+        if not 0 <= level <= 100:
+            raise ValueError(f"light level {level} outside [0, 100]")
+        self._light_zones.append((region, level))
+
+    def light_at(self, position: Position) -> int:
+        """Light level at ``position`` (innermost zone wins, else ambient)."""
+        for region, level in reversed(self._light_zones):
+            if region.contains(position):
+                return level
+        return self.ambient_light
+
+
+class Rover:
+    """A differential-drive robot on an RCX brick.
+
+    Movement macros:
+
+    - ``drive(degrees)`` on both wheel motors together — forward/back;
+    - opposite rotations — turning in place.
+
+    Convenience macro builders (:meth:`forward_macros`,
+    :meth:`turn_macros`) produce the activity requests a
+    :class:`~repro.robot.tasks.Task` yields.
+
+    When the chassis would enter an obstacle, it stops *at the boundary*,
+    the bumper is pressed, and the brick raises a sensor event — freezing
+    the hardware until the application layer decides.
+    """
+
+    def __init__(
+        self,
+        robot_id: str,
+        world: ObstacleWorld | None = None,
+        position: Position = Position(0.0, 0.0),
+        heading: float = 0.0,
+    ):
+        self.robot_id = robot_id
+        self.world = world or ObstacleWorld()
+        self.position = position
+        self.heading = heading  # degrees, 0 = +x
+        self.bumps = 0
+        self._node: NetworkNode | None = None
+
+        self.rcx = RCXBrick(f"{robot_id}.rcx")
+        self.left = self.rcx.attach_motor("A", Motor(f"{robot_id}.motor.left"))
+        self.right = self.rcx.attach_motor("B", Motor(f"{robot_id}.motor.right"))
+        self.bumper = self.rcx.attach_sensor("1", TouchSensor(f"{robot_id}.bumper"))
+        self.eye = self.rcx.attach_sensor("2", _WorldLightSensor(self))
+        self.left.observe(self._wheel_turned)
+        self.right.observe(self._wheel_turned)
+        self._pending = {id(self.left): 0.0, id(self.right): 0.0}
+
+    # -- radio bridge -----------------------------------------------------------
+
+    def attach_node(self, node: NetworkNode) -> None:
+        """Make ``node``'s radio position follow the chassis."""
+        self._node = node
+        node.move_to(self.position)
+
+    # -- macro builders ------------------------------------------------------------
+
+    def forward_macros(self, meters: float, step_m: float = 0.1) -> list[HardwareMacro]:
+        """Activity requests driving ``meters`` forward in small steps."""
+        macros = []
+        remaining = meters
+        while remaining > 1e-9:
+            step = min(step_m, remaining)
+            degrees = step / METERS_PER_DEGREE
+            macros.append(HardwareMacro("A", "rotate", (degrees,), step / 0.2))
+            macros.append(HardwareMacro("B", "rotate", (degrees,), 0.0))
+            remaining -= step
+        return macros
+
+    def turn_macros(self, degrees: float) -> list[HardwareMacro]:
+        """Activity requests turning in place by ``degrees`` (ccw > 0)."""
+        wheel = degrees / TURN_RATIO / 2.0
+        return [
+            HardwareMacro("A", "rotate", (-wheel,), abs(degrees) / 90.0),
+            HardwareMacro("B", "rotate", (wheel,), 0.0),
+        ]
+
+    # -- physics ---------------------------------------------------------------------
+
+    def _wheel_turned(self, motor: Motor, degrees: float) -> None:
+        self._pending[id(motor)] += degrees
+        left = self._pending[id(self.left)]
+        right = self._pending[id(self.right)]
+        # Consume matched rotation: the common component drives, the
+        # differential component turns.
+        drive = (
+            math.copysign(min(abs(left), abs(right)), left)
+            if left * right > 0
+            else 0.0
+        )
+        if drive:
+            self._advance(drive)
+            self._pending[id(self.left)] -= drive
+            self._pending[id(self.right)] -= drive
+            left = self._pending[id(self.left)]
+            right = self._pending[id(self.right)]
+        if left * right < 0:
+            twist = math.copysign(min(abs(left), abs(right)), right)
+            self.heading = (self.heading + twist * TURN_RATIO * 2.0) % 360.0
+            self._pending[id(self.left)] += twist
+            self._pending[id(self.right)] -= twist
+
+    def _advance(self, wheel_degrees: float) -> None:
+        distance = wheel_degrees * METERS_PER_DEGREE
+        radians = math.radians(self.heading)
+        target = Position(
+            self.position.x + distance * math.cos(radians),
+            self.position.y + distance * math.sin(radians),
+        )
+        obstacle = self.world.blocked(target)
+        if obstacle is None:
+            self._move_chassis(target)
+            return
+        # Bump: stop at the current position, press the bumper, freeze.
+        self.bumps += 1
+        self.bumper.press()
+        self.rcx.raise_event("1", f"obstacle {obstacle.name or 'wall'}")
+        self.bumper.release()
+
+    def _move_chassis(self, target: Position) -> None:
+        self.position = target
+        if self._node is not None:
+            self._node.move_to(target)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Rover {self.robot_id} at {self.position} "
+            f"heading={self.heading:.0f}deg bumps={self.bumps}>"
+        )

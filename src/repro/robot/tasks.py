@@ -1,0 +1,261 @@
+"""The robot application layer: tasks, direct mode, overriding.
+
+Reproduces the second layer of Fig. 3a:
+
+- a :class:`Task` "defines an objective for the robot" and is "broken
+  into activity requests (hardware macros) that are sent to the lower
+  layers";
+- when a sensor event freezes the hardware, the running task is asked to
+  decide: continue the interrupted sequence, or abort
+  (:class:`EventDecision`);
+- the :class:`DirectMode` layer "allows direct connection to the robot
+  hardware" for human control;
+- :meth:`RobotApplication.override` runs a second task in place of the
+  current one without direct mode — the current task is suspended and
+  resumed afterwards (the *overriding layer*).
+
+Tasks run as simulated processes: each macro occupies the hardware for
+its duration of virtual time.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+from typing import Iterator
+
+from repro.errors import TaskError
+from repro.robot.rcx import HardwareMacro, RCXBrick, SensorEvent
+from repro.sim.kernel import Event, Simulator
+from repro.util.signal import Signal
+
+logger = logging.getLogger(__name__)
+
+
+class EventDecision(enum.Enum):
+    """A task's answer to a sensor event."""
+
+    CONTINUE = "continue"
+    ABORT = "abort"
+
+
+class Task:
+    """A basic program deciding what the robot is going to do.
+
+    Subclasses override :meth:`macros` (a generator of hardware macros)
+    and optionally :meth:`on_event`.  The default event policy is ABORT —
+    the safe choice for an unexpected obstacle.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def macros(self) -> Iterator[HardwareMacro]:
+        """Yield the activity requests realizing this task's objective."""
+        raise NotImplementedError
+
+    def on_event(self, event: SensorEvent) -> EventDecision:
+        """Decide whether to continue after a sensor event."""
+        return EventDecision.ABORT
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name}>"
+
+
+class SequenceTask(Task):
+    """A task from a fixed list of macros (handy for tests and replay)."""
+
+    def __init__(self, name: str, macros: list[HardwareMacro],
+                 event_decision: EventDecision = EventDecision.ABORT):
+        super().__init__(name)
+        self._macros = list(macros)
+        self._event_decision = event_decision
+
+    def macros(self) -> Iterator[HardwareMacro]:
+        yield from self._macros
+
+    def on_event(self, event: SensorEvent) -> EventDecision:
+        return self._event_decision
+
+
+class TaskRun:
+    """One execution of a task on the hardware, driven by the simulator."""
+
+    def __init__(self, application: "RobotApplication", task: Task):
+        self.application = application
+        self.task = task
+        self.finished = False
+        self.aborted = False
+        self.macros_run = 0
+        #: Fires with (task_run,) on completion (normal or aborted).
+        self.on_done = Signal(f"{task.name}.on_done")
+        self._iterator = task.macros()
+        self._pending: Event | None = None
+        self._suspended = False
+        self._interrupted_macro: HardwareMacro | None = None
+
+    @property
+    def running(self) -> bool:
+        """True while the run is neither finished nor suspended."""
+        return not self.finished and not self._suspended
+
+    def start(self) -> "TaskRun":
+        """Begin executing macros at the current virtual time."""
+        self._schedule_next(0.0)
+        return self
+
+    def abort(self) -> None:
+        """Stop the run; remaining macros are discarded."""
+        if self.finished:
+            return
+        self.aborted = True
+        self._finish()
+
+    # -- suspension (overriding layer) --------------------------------------------
+
+    def suspend(self) -> None:
+        """Pause after the current macro (used by the overriding layer)."""
+        self._suspended = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+
+    def resume(self) -> None:
+        """Resume a suspended run."""
+        if self.finished:
+            raise TaskError(f"cannot resume finished task {self.task.name}")
+        if not self._suspended:
+            return
+        self._suspended = False
+        self._schedule_next(0.0)
+
+    # -- event handling ------------------------------------------------------------------
+
+    def deliver_event(self, event: SensorEvent) -> EventDecision:
+        """The hardware froze: ask the task, act on its decision."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        decision = self.task.on_event(event)
+        if decision is EventDecision.CONTINUE:
+            self.application.rcx.resume()
+            # Re-issue the interrupted command, then continue the sequence.
+            if self._interrupted_macro is not None:
+                self._execute(self._interrupted_macro, reissued=True)
+            else:
+                self._schedule_next(0.0)
+        else:
+            self.application.rcx.resume()
+            self.abort()
+        return decision
+
+    # -- the macro pump ---------------------------------------------------------------------
+
+    def _schedule_next(self, delay: float) -> None:
+        if self.finished or self._suspended:
+            return
+        self._pending = self.application.simulator.schedule(delay, self._step)
+
+    def _step(self) -> None:
+        self._pending = None
+        if self.finished or self._suspended:
+            return
+        if self.application.rcx.frozen:
+            return  # an event is being decided; deliver_event re-pumps
+        try:
+            macro = next(self._iterator)
+        except StopIteration:
+            self._finish()
+            return
+        self._execute(macro)
+
+    def _execute(self, macro: HardwareMacro, reissued: bool = False) -> None:
+        self._interrupted_macro = macro
+        try:
+            self.application.rcx.execute(macro)
+        except Exception as exc:  # noqa: BLE001 - surfaced as an abort
+            logger.warning("task %s macro %r failed: %s", self.task.name, macro, exc)
+            self.abort()
+            return
+        self.macros_run += 1
+        self._interrupted_macro = None
+        self._schedule_next(macro.duration)
+
+    def _finish(self) -> None:
+        self.finished = True
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.on_done.fire(self)
+
+    def __repr__(self) -> str:
+        state = (
+            "finished" if self.finished else "suspended" if self._suspended else "running"
+        )
+        return f"<TaskRun {self.task.name} {state} macros={self.macros_run}>"
+
+
+class DirectMode:
+    """Direct connection to the robot hardware, bypassing the task model."""
+
+    def __init__(self, rcx: RCXBrick):
+        self.rcx = rcx
+        self.commands_issued = 0
+
+    def issue(self, macro: HardwareMacro):
+        """Execute one macro immediately (still respects freezing)."""
+        result = self.rcx.execute(macro)
+        self.commands_issued += 1
+        return result
+
+
+class RobotApplication:
+    """The application layer of one robot: task runner + direct mode."""
+
+    def __init__(self, simulator: Simulator, rcx: RCXBrick):
+        self.simulator = simulator
+        self.rcx = rcx
+        self.direct_mode = DirectMode(rcx)
+        self.current_run: TaskRun | None = None
+        self._override_stack: list[TaskRun] = []
+        rcx.on_event.connect(self._hardware_event)
+
+    def run_task(self, task: Task) -> TaskRun:
+        """Start a task (aborting any currently running one)."""
+        if self.current_run is not None and not self.current_run.finished:
+            self.current_run.abort()
+        run = TaskRun(self, task)
+        self.current_run = run
+        run.on_done.connect(self._run_done)
+        return run.start()
+
+    def override(self, task: Task) -> TaskRun:
+        """Run ``task`` now, suspending the current one (overriding layer)."""
+        if self.current_run is not None and not self.current_run.finished:
+            self.current_run.suspend()
+            self._override_stack.append(self.current_run)
+        run = TaskRun(self, task)
+        self.current_run = run
+        run.on_done.connect(self._run_done)
+        return run.start()
+
+    def _run_done(self, run: TaskRun) -> None:
+        if run is not self.current_run:
+            return
+        if self._override_stack:
+            resumed = self._override_stack.pop()
+            self.current_run = resumed
+            if not resumed.finished:
+                resumed.resume()
+        else:
+            self.current_run = None
+
+    def _hardware_event(self, event: SensorEvent) -> None:
+        if self.current_run is not None and not self.current_run.finished:
+            self.current_run.deliver_event(event)
+        else:
+            self.rcx.resume()  # nobody to decide; thaw so direct mode works
+
+    def __repr__(self) -> str:
+        task = self.current_run.task.name if self.current_run else None
+        return f"<RobotApplication rcx={self.rcx.brick_id} task={task}>"

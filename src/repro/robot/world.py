@@ -1,0 +1,138 @@
+"""The observable world: the plotter's canvas.
+
+The canvas records every stroke the marking pen draws.  It is the ground
+truth the experiments check: a mirror robot reproduces the same strokes,
+a scaled replication reproduces them amplified, a control extension keeps
+ink out of forbidden regions, and a replay reproduces a recorded session.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+Point = tuple[float, float]
+
+
+class Canvas:
+    """A sheet of paper under the plotter head."""
+
+    def __init__(self, name: str = "canvas"):
+        self.name = name
+        self.strokes: list[list[Point]] = []
+        self._current: list[Point] | None = None
+
+    # -- pen protocol (driven by the plotter) ------------------------------------
+
+    @property
+    def drawing(self) -> bool:
+        """True while a stroke is open (pen is down)."""
+        return self._current is not None
+
+    def pen_down(self, at: Point) -> None:
+        """Start a stroke at ``at`` (idempotent while already down)."""
+        if self._current is None:
+            self._current = [at]
+            self.strokes.append(self._current)
+
+    def pen_move(self, to: Point) -> None:
+        """Extend the open stroke; pen-up movement leaves no ink."""
+        if self._current is not None and self._current[-1] != to:
+            self._current.append(to)
+
+    def pen_up(self) -> None:
+        """Close the open stroke."""
+        if self._current is not None:
+            # A stroke needs at least a dot; a single point counts as one.
+            self._current = None
+
+    # -- measurements ------------------------------------------------------------------
+
+    def stroke_count(self) -> int:
+        """Number of strokes drawn so far."""
+        return len(self.strokes)
+
+    def total_ink(self) -> float:
+        """Total drawn length in millimeters."""
+        total = 0.0
+        for stroke in self.strokes:
+            for (x0, y0), (x1, y1) in zip(stroke, stroke[1:]):
+                total += math.hypot(x1 - x0, y1 - y0)
+        return total
+
+    def bounding_box(self) -> tuple[float, float, float, float] | None:
+        """(min_x, min_y, max_x, max_y) over all ink, or None if blank."""
+        points = [point for stroke in self.strokes for point in stroke]
+        if not points:
+            return None
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    def points(self) -> Iterable[Point]:
+        """All ink points in drawing order."""
+        for stroke in self.strokes:
+            yield from stroke
+
+    def clear(self) -> None:
+        """Fresh sheet of paper."""
+        self.strokes.clear()
+        self._current = None
+
+    # -- comparisons (for replication/replay experiments) ----------------------------------
+
+    def scaled(self, factor: float) -> "Canvas":
+        """A copy of this canvas with all coordinates scaled by ``factor``."""
+        copy = Canvas(f"{self.name}*{factor}")
+        copy.strokes = [
+            [(x * factor, y * factor) for (x, y) in stroke] for stroke in self.strokes
+        ]
+        return copy
+
+    def matches(self, other: "Canvas", tolerance: float = 1e-6) -> bool:
+        """True if both canvases contain the same ink (within tolerance)."""
+        if len(self.strokes) != len(other.strokes):
+            return False
+        for mine, theirs in zip(self.strokes, other.strokes):
+            if len(mine) != len(theirs):
+                return False
+            for (x0, y0), (x1, y1) in zip(mine, theirs):
+                if math.hypot(x1 - x0, y1 - y0) > tolerance:
+                    return False
+        return True
+
+    def render(self, width: int = 40, height: int = 20, ink: str = "#") -> str:
+        """ASCII rendering of the drawing (the paper's 'graphic display').
+
+        Ink is rasterized onto a ``width`` × ``height`` character grid
+        spanning the drawing's bounding box; y grows upward.  Returns an
+        empty string for a blank canvas.
+        """
+        box = self.bounding_box()
+        if box is None:
+            return ""
+        min_x, min_y, max_x, max_y = box
+        span_x = max(max_x - min_x, 1e-9)
+        span_y = max(max_y - min_y, 1e-9)
+        grid = [[" "] * width for _ in range(height)]
+
+        def plot(x: float, y: float) -> None:
+            col = min(int((x - min_x) / span_x * (width - 1)), width - 1)
+            row = min(int((y - min_y) / span_y * (height - 1)), height - 1)
+            grid[height - 1 - row][col] = ink
+
+        for stroke in self.strokes:
+            for (x0, y0), (x1, y1) in zip(stroke, stroke[1:]):
+                steps = max(int(math.hypot(x1 - x0, y1 - y0) / span_x * width), 1)
+                for step in range(steps + 1):
+                    t = step / steps
+                    plot(x0 + (x1 - x0) * t, y0 + (y1 - y0) * t)
+            if len(stroke) == 1:
+                plot(*stroke[0])
+        return "\n".join("".join(row) for row in grid)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Canvas {self.name} strokes={self.stroke_count()} "
+            f"ink={self.total_ink():.1f}mm>"
+        )

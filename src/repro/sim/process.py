@@ -1,0 +1,120 @@
+"""Generator-based simulated processes.
+
+Long-running simulated activities (a robot executing a task, a device
+walking between production halls) read naturally as sequential code.  A
+:class:`Process` wraps a generator that ``yield``\\ s :func:`sleep` delays;
+the kernel resumes it after each delay, so the generator's local state *is*
+the process state.
+
+>>> sim = Simulator()
+>>> log = []
+>>> def worker():
+...     log.append(("start", sim.now))
+...     yield sleep(5.0)
+...     log.append(("end", sim.now))
+>>> p = Process(sim, worker())
+>>> _ = sim.run()
+>>> log
+[('start', 0.0), ('end', 5.0)]
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Generator
+
+from repro.errors import ProcessError
+from repro.sim.kernel import Simulator
+from repro.util.signal import Signal
+
+logger = logging.getLogger(__name__)
+
+
+class _Sleep:
+    """The value a process generator yields to suspend itself."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ProcessError(f"cannot sleep for negative duration {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"sleep({self.duration})"
+
+
+def sleep(duration: float) -> _Sleep:
+    """Suspend the yielding process for ``duration`` virtual seconds."""
+    return _Sleep(duration)
+
+
+class Process:
+    """Drives a generator on the simulator until it finishes or is stopped.
+
+    The process starts at the current virtual time (its first segment runs
+    as an immediate event).  ``on_exit`` fires with the process when the
+    generator returns, raises, or is stopped.
+    """
+
+    def __init__(self, simulator: Simulator, generator: Generator[Any, None, None],
+                 name: str = "process"):
+        self.simulator = simulator
+        self.name = name
+        self.on_exit = Signal(f"{name}.on_exit")
+        self._generator = generator
+        self._alive = True
+        self._failure: BaseException | None = None
+        self._pending = simulator.schedule(0.0, self._resume)
+
+    @property
+    def alive(self) -> bool:
+        """True while the generator has not finished or been stopped."""
+        return self._alive
+
+    @property
+    def failure(self) -> BaseException | None:
+        """The exception that killed the process, if any."""
+        return self._failure
+
+    def stop(self) -> None:
+        """Terminate the process; its generator is closed immediately."""
+        if not self._alive:
+            return
+        self._alive = False
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._generator.close()
+        self.on_exit.fire(self)
+
+    def _resume(self) -> None:
+        if not self._alive:
+            return
+        self._pending = None
+        try:
+            yielded = next(self._generator)
+        except StopIteration:
+            self._finish()
+            return
+        except Exception as exc:  # noqa: BLE001 - surfaced via .failure
+            logger.warning("process %s failed: %s", self.name, exc)
+            self._failure = exc
+            self._finish()
+            return
+        if not isinstance(yielded, _Sleep):
+            self._failure = ProcessError(
+                f"process {self.name} yielded {yielded!r}; expected sleep(...)"
+            )
+            self._generator.close()
+            self._finish()
+            return
+        self._pending = self.simulator.schedule(yielded.duration, self._resume)
+
+    def _finish(self) -> None:
+        self._alive = False
+        self.on_exit.fire(self)
+
+    def __repr__(self) -> str:
+        state = "alive" if self._alive else "finished"
+        return f"<Process {self.name} {state}>"

@@ -1,0 +1,82 @@
+"""Periodic timers on the simulation kernel.
+
+Lease renewal loops, discovery announcements and monitoring flushes are all
+"do X every T seconds" activities; :class:`PeriodicTimer` factors that
+pattern out.  The callback runs first after one full ``interval`` (not
+immediately), matching how a freshly granted lease is renewed only when a
+fraction of its term has elapsed.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Event, Simulator
+
+logger = logging.getLogger(__name__)
+
+
+class PeriodicTimer:
+    """Invokes a callback every ``interval`` virtual seconds until stopped.
+
+    If the callback raises, the error is logged and the timer keeps
+    ticking — a periodic protocol activity must not die because one round
+    failed (e.g. a renewal attempt while out of radio range).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "timer",
+    ):
+        if interval <= 0:
+            raise SimulationError(f"timer interval must be positive, got {interval}")
+        self.simulator = simulator
+        self.interval = interval
+        self.callback = callback
+        self.name = name
+        self._event: Event | None = None
+        self._stopped = True
+        self._ticks = 0
+
+    @property
+    def running(self) -> bool:
+        """True while the timer is armed."""
+        return not self._stopped
+
+    @property
+    def ticks(self) -> int:
+        """Number of times the callback has fired."""
+        return self._ticks
+
+    def start(self) -> "PeriodicTimer":
+        """Arm the timer (idempotent); returns self for chaining."""
+        if self._stopped:
+            self._stopped = False
+            self._event = self.simulator.schedule(self.interval, self._tick)
+        return self
+
+    def stop(self) -> None:
+        """Disarm the timer (idempotent, safe from inside the callback)."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _tick(self) -> None:
+        self._event = None
+        self._ticks += 1
+        try:
+            self.callback()
+        except Exception as exc:  # noqa: BLE001 - keep periodic work alive
+            logger.warning("timer %s callback failed: %s", self.name, exc)
+        if not self._stopped:
+            self._event = self.simulator.schedule(self.interval, self._tick)
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"<PeriodicTimer {self.name} every {self.interval}s {state}>"

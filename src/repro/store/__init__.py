@@ -1,0 +1,28 @@
+"""The base-station movement database and its clients.
+
+The monitoring extension ships every motor action to the base station,
+where it is "stored in a database associated to the production hall"
+(§3.3, Fig. 3b).  Fig. 6 shows a client that lists a robot's actions and
+manipulates selections — replication at a different scale, replay at the
+right relative times, movement control.
+
+- :class:`~repro.store.database.MovementStore` — the append/query store;
+- :class:`~repro.store.service.StoreService` — exposes it over the
+  network (``store.append`` / ``store.query``) and via discovery;
+- :mod:`repro.store.manipulation` — selection, scaling, and replay of
+  movement sequences (including time-aligned multi-robot replay).
+"""
+
+from repro.store.client import HallClient
+from repro.store.database import MovementRecord, MovementStore
+from repro.store.manipulation import MovementSequence, ReplaySession
+from repro.store.service import StoreService
+
+__all__ = [
+    "HallClient",
+    "MovementRecord",
+    "MovementSequence",
+    "MovementStore",
+    "ReplaySession",
+    "StoreService",
+]

@@ -1,0 +1,116 @@
+"""The Fig. 6 client application, as a library façade.
+
+"One can, thus, connect to the base station and query the database that
+stores all movements performed by robots being monitored by the base
+station."  The screenshot shows an action list per robot (left panel)
+and manipulations of a selection (right panel).
+
+:class:`HallClient` is that tool: it finds movement stores through
+discovery, lists robots and their actions, and turns selections into
+replications and replays using :mod:`repro.store.manipulation`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.service import ServiceTemplate
+from repro.net.transport import Transport
+from repro.robot.rcx import RCXBrick
+from repro.sim.kernel import Simulator
+from repro.store.database import MovementRecord
+from repro.store.manipulation import MovementSequence, ReplaySession
+from repro.store.service import QUERY, ROBOTS, STORE_INTERFACE
+
+
+class HallClient:
+    """Connects to hall movement stores and manipulates recorded work."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        simulator: Simulator,
+        discovery: DiscoveryClient | None = None,
+    ):
+        self.transport = transport
+        self.simulator = simulator
+        self.discovery = discovery
+
+    # -- finding stores -----------------------------------------------------------
+
+    def find_stores(self, on_result: Callable[[list[str]], None]) -> None:
+        """Node ids of base stations exporting a movement store."""
+        if self.discovery is None:
+            on_result([])
+            return
+        self.discovery.lookup(
+            ServiceTemplate(interface=STORE_INTERFACE),
+            lambda items: on_result(sorted({item.provider for item in items})),
+        )
+
+    # -- the left panel -------------------------------------------------------------
+
+    def list_robots(
+        self, store_node: str, on_result: Callable[[list[str]], None]
+    ) -> None:
+        """All robots the hall's database has ever seen."""
+        self.transport.request(
+            store_node,
+            ROBOTS,
+            on_reply=lambda body: on_result(body["robots"]),
+        )
+
+    def action_list(
+        self,
+        store_node: str,
+        robot_id: str,
+        on_result: Callable[[list[MovementRecord]], None],
+        since: float | None = None,
+        until: float | None = None,
+    ) -> None:
+        """A robot's recorded actions (optionally a time window)."""
+        self.transport.request(
+            store_node,
+            QUERY,
+            {"robot_id": robot_id, "since": since, "until": until},
+            on_reply=lambda body: on_result(body["records"]),
+        )
+
+    # -- the right panel ---------------------------------------------------------------
+
+    @staticmethod
+    def select(records: list[MovementRecord]) -> MovementSequence:
+        """Transfer a selection to the manipulation panel."""
+        return MovementSequence(records)
+
+    def replicate(
+        self,
+        selection: MovementSequence,
+        target: RCXBrick,
+        scale: float = 1.0,
+        time_scale: float = 1.0,
+    ) -> ReplaySession:
+        """Feed the selection to an identical robot, optionally 'at a
+        scale different from what is being done by the original'."""
+        session = ReplaySession(self.simulator, time_scale=time_scale)
+        sequence = selection.scaled(scale) if scale != 1.0 else selection
+        session.add(sequence, target)
+        session.start()
+        return session
+
+    def replay_interaction(
+        self,
+        selections: list[tuple[MovementSequence, RCXBrick]],
+        time_scale: float = 1.0,
+    ) -> ReplaySession:
+        """Replay several robots "at the right relative time" to
+        reproduce an interaction (the paper's failure-analysis case)."""
+        session = ReplaySession(self.simulator, time_scale=time_scale)
+        for sequence, target in selections:
+            session.add(sequence, target)
+        session.start()
+        return session
+
+    def __repr__(self) -> str:
+        return f"<HallClient via {self.transport.node.node_id}>"

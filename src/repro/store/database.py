@@ -1,0 +1,182 @@
+"""The movement store.
+
+An embedded append-only database of hardware actions.  Records are
+indexed by robot for the Fig. 6 "list of all the motor actions ever
+executed by the robot named robot:1:1" query, and time-ordered within a
+robot so selections replay in the right relative order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import QueryError, StoreError
+from repro.util.ids import fresh_id
+
+
+@dataclass(frozen=True)
+class MovementRecord:
+    """One hardware action performed by one robot."""
+
+    robot_id: str
+    device_id: str
+    command: str
+    args: tuple[Any, ...]
+    time: float  # when the command was issued (robot-side clock)
+    duration: float = 0.0
+    record_id: str = field(default_factory=lambda: fresh_id("mov"))
+
+    def describe(self) -> str:
+        """Human-readable one-liner (the Fig. 6 action-list row)."""
+        args = ", ".join(repr(a) for a in self.args)
+        return f"[{self.time:9.3f}] {self.robot_id} {self.device_id}.{self.command}({args})"
+
+
+class MovementStore:
+    """Append-only movement database with per-robot indexes."""
+
+    def __init__(self, name: str = "hall-db"):
+        self.name = name
+        self._records: list[MovementRecord] = []
+        self._by_robot: dict[str, list[MovementRecord]] = {}
+
+    # -- writes ------------------------------------------------------------------
+
+    def append(self, record: MovementRecord) -> MovementRecord:
+        """Store one record (records arrive in robot-time order per robot)."""
+        self._records.append(record)
+        self._by_robot.setdefault(record.robot_id, []).append(record)
+        return record
+
+    def append_many(self, records: Iterable[MovementRecord]) -> int:
+        """Store a batch (the monitoring extension flushes in batches)."""
+        count = 0
+        for record in records:
+            self.append(record)
+            count += 1
+        return count
+
+    # -- queries --------------------------------------------------------------------
+
+    def robots(self) -> list[str]:
+        """All robot ids that ever logged an action."""
+        return sorted(self._by_robot)
+
+    def actions_of(
+        self,
+        robot_id: str,
+        since: float | None = None,
+        until: float | None = None,
+        device_id: str | None = None,
+        command: str | None = None,
+    ) -> list[MovementRecord]:
+        """A robot's actions, optionally filtered by time window and shape."""
+        if since is not None and until is not None and until < since:
+            raise QueryError(f"empty time window [{since}, {until}]")
+        records = self._by_robot.get(robot_id, [])
+        out = []
+        for record in records:
+            if since is not None and record.time < since:
+                continue
+            if until is not None and record.time > until:
+                continue
+            if device_id is not None and record.device_id != device_id:
+                continue
+            if command is not None and record.command != command:
+                continue
+            out.append(record)
+        return out
+
+    def all_records(self) -> list[MovementRecord]:
+        """Every record, in arrival order."""
+        return list(self._records)
+
+    def count(self, robot_id: str | None = None) -> int:
+        """Total records, or records of one robot."""
+        if robot_id is None:
+            return len(self._records)
+        return len(self._by_robot.get(robot_id, []))
+
+    def time_span(self, robot_id: str) -> tuple[float, float] | None:
+        """(first, last) action time of a robot, or None."""
+        records = self._by_robot.get(robot_id)
+        if not records:
+            return None
+        times = [record.time for record in records]
+        return (min(times), max(times))
+
+    def clear(self) -> None:
+        """Drop everything (tests)."""
+        self._records.clear()
+        self._by_robot.clear()
+
+    # -- durability -------------------------------------------------------------
+
+    def snapshot(self, path: str | Path) -> int:
+        """Write all records to ``path`` as JSON lines; returns the count.
+
+        Args are JSON-encoded; non-JSON argument values are stringified
+        (movement records carry numbers in practice).
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for record in self._records:
+                fh.write(json.dumps(self._encode(record)) + "\n")
+        return len(self._records)
+
+    @classmethod
+    def load(cls, path: str | Path, name: str = "hall-db") -> "MovementStore":
+        """Rebuild a store from a :meth:`snapshot` file."""
+        store = cls(name=name)
+        path = Path(path)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise StoreError(f"cannot read snapshot {path}: {exc}") from exc
+        for line_number, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                raw = json.loads(line)
+                store.append(
+                    MovementRecord(
+                        raw["robot_id"],
+                        raw["device_id"],
+                        raw["command"],
+                        tuple(raw["args"]),
+                        raw["time"],
+                        raw.get("duration", 0.0),
+                        raw["record_id"],
+                    )
+                )
+            except (KeyError, ValueError, TypeError) as exc:
+                raise StoreError(
+                    f"corrupt snapshot {path} at line {line_number}: {exc}"
+                ) from exc
+        return store
+
+    @staticmethod
+    def _encode(record: MovementRecord) -> dict[str, Any]:
+        def jsonable(value: Any) -> Any:
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                return value
+            return repr(value)
+
+        return {
+            "robot_id": record.robot_id,
+            "device_id": record.device_id,
+            "command": record.command,
+            "args": [jsonable(a) for a in record.args],
+            "time": record.time,
+            "duration": record.duration,
+            "record_id": record.record_id,
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return f"<MovementStore {self.name} records={len(self._records)}>"

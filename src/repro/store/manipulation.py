@@ -1,0 +1,192 @@
+"""Manipulating recorded movement sequences (the Fig. 6 right panel).
+
+The paper lists three families of manipulations of a selected sequence:
+
+- **remote replication** — feed the movements to an identical robot, and
+  "it is also possible that the replication of the work takes place at a
+  scale different from what is being done": :meth:`MovementSequence.scaled`;
+- **simulation** — "replay a part of the sequence of movements", and for
+  multi-robot failures "replay the sequence of movements of all robots at
+  the right relative time": :class:`ReplaySession`;
+- **control** — derive forbidden movements (handled by the control
+  extension; sequences expose the reachable envelope via
+  :meth:`MovementSequence.rotation_span`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import QueryError
+from repro.robot.rcx import HardwareMacro, RCXBrick
+from repro.sim.kernel import Simulator
+from repro.store.database import MovementRecord, MovementStore
+from repro.util.signal import Signal
+
+#: Commands whose (single, numeric) argument scales with replication scale.
+_SCALABLE_COMMANDS = frozenset({"rotate"})
+
+
+def plotter_port_map(records: list[MovementRecord]) -> dict[str, str]:
+    """Derive the device→port mapping for plotter sequences.
+
+    Plotter motors are named ``<robot>.motor.x|y|pen`` and live on ports
+    A, B and C respectively (see :func:`repro.robot.plotter.build_plotter`).
+    """
+    suffix_to_port = {"motor.x": "A", "motor.y": "B", "motor.pen": "C"}
+    mapping: dict[str, str] = {}
+    for record in records:
+        for suffix, port in suffix_to_port.items():
+            if record.device_id.endswith(suffix):
+                mapping[record.device_id] = port
+    return mapping
+
+
+class MovementSequence:
+    """An ordered selection of movement records."""
+
+    def __init__(self, records: list[MovementRecord]):
+        self.records = sorted(records, key=lambda r: r.time)
+
+    @classmethod
+    def from_store(cls, store: MovementStore, robot_id: str, **filters) -> "MovementSequence":
+        """Select one robot's actions from the store (see ``actions_of``)."""
+        return cls(store.actions_of(robot_id, **filters))
+
+    # -- measurements -----------------------------------------------------------
+
+    def duration(self) -> float:
+        """Seconds between the first and last action."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].time - self.records[0].time
+
+    def start_time(self) -> float:
+        """Time of the first action (0 for an empty sequence)."""
+        return self.records[0].time if self.records else 0.0
+
+    def rotation_span(self, device_id: str) -> float:
+        """Net shaft rotation a device accumulates over the sequence."""
+        return sum(
+            float(record.args[0])
+            for record in self.records
+            if record.device_id == device_id
+            and record.command in _SCALABLE_COMMANDS
+            and record.args
+        )
+
+    # -- manipulations ------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "MovementSequence":
+        """Amplify or reduce the movements by ``factor``."""
+        if factor <= 0:
+            raise QueryError(f"scale factor must be positive, got {factor}")
+        scaled = []
+        for record in self.records:
+            if record.command in _SCALABLE_COMMANDS and record.args:
+                args = (float(record.args[0]) * factor, *record.args[1:])
+            else:
+                args = record.args
+            scaled.append(
+                MovementRecord(
+                    record.robot_id,
+                    record.device_id,
+                    record.command,
+                    args,
+                    record.time,
+                    record.duration,
+                )
+            )
+        return MovementSequence(scaled)
+
+    def slice(self, since: float, until: float) -> "MovementSequence":
+        """The sub-sequence with action times in ``[since, until]``."""
+        if until < since:
+            raise QueryError(f"empty time window [{since}, {until}]")
+        return MovementSequence(
+            [record for record in self.records if since <= record.time <= until]
+        )
+
+    def to_macros(
+        self, port_map: Mapping[str, str]
+    ) -> list[tuple[float, HardwareMacro]]:
+        """(relative time, macro) pairs ready for replay.
+
+        Records whose device is not in ``port_map`` are skipped (e.g. a
+        sensor reading in a motor replay).
+        """
+        start = self.start_time()
+        out = []
+        for record in self.records:
+            port = port_map.get(record.device_id)
+            if port is None:
+                continue
+            macro = HardwareMacro(port, record.command, record.args, record.duration)
+            out.append((record.time - start, macro))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"<MovementSequence n={len(self.records)} dur={self.duration():.2f}s>"
+
+
+class ReplaySession:
+    """Replays one or more sequences onto target hardware, time-aligned.
+
+    All sequences share a common origin (the earliest start time across
+    them), so the *relative* timing between robots is reproduced — the
+    paper's multi-robot failure-reproduction scenario.  ``time_scale``
+    stretches (>1) or compresses (<1) replay time.
+    """
+
+    def __init__(self, simulator: Simulator, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise QueryError(f"time scale must be positive, got {time_scale}")
+        self.simulator = simulator
+        self.time_scale = time_scale
+        #: Fires with (self,) when every scheduled macro has run.
+        self.on_done = Signal("replay.on_done")
+        self._plan: list[tuple[float, RCXBrick, HardwareMacro]] = []
+        self._origin: float | None = None
+        self.macros_replayed = 0
+        self._remaining = 0
+
+    def add(
+        self,
+        sequence: MovementSequence,
+        rcx: RCXBrick,
+        port_map: Mapping[str, str] | None = None,
+    ) -> None:
+        """Queue ``sequence`` for replay onto ``rcx``."""
+        if not sequence.records:
+            return
+        mapping = port_map if port_map is not None else plotter_port_map(sequence.records)
+        start = sequence.start_time()
+        if self._origin is None or start < self._origin:
+            self._origin = start
+        for offset, macro in sequence.to_macros(mapping):
+            # Store absolute source time so cross-sequence alignment survives.
+            self._plan.append((start + offset, rcx, macro))
+
+    def start(self) -> int:
+        """Schedule every macro; returns the number scheduled."""
+        if self._origin is None:
+            self.on_done.fire(self)
+            return 0
+        self._remaining = len(self._plan)
+        for source_time, rcx, macro in self._plan:
+            delay = (source_time - self._origin) * self.time_scale
+            self.simulator.schedule(delay, self._replay_one, rcx, macro)
+        return len(self._plan)
+
+    def _replay_one(self, rcx: RCXBrick, macro: HardwareMacro) -> None:
+        rcx.execute(macro)
+        self.macros_replayed += 1
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.on_done.fire(self)
+
+    def __repr__(self) -> str:
+        return f"<ReplaySession planned={len(self._plan)} replayed={self.macros_replayed}>"

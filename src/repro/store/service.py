@@ -1,0 +1,75 @@
+"""The store as a network service.
+
+"We have developed several such applications by making the base station
+itself available as a Jini service.  One can, thus, connect to the base
+station and query the database that stores all movements performed by
+robots being monitored by the base station." (§4.5)
+
+Operations:
+
+- ``store.append`` — one-way batch append (what the monitoring extension
+  posts to);
+- ``store.query`` — per-robot action list with filters;
+- ``store.robots`` — robots known to this hall's database.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.service import ServiceItem
+from repro.net.transport import Transport
+from repro.store.database import MovementRecord, MovementStore
+
+#: The interface name the store advertises under.
+STORE_INTERFACE = "midas.MovementStore"
+
+APPEND = "store.append"
+QUERY = "store.query"
+ROBOTS = "store.robots"
+
+
+class StoreService:
+    """Exposes a :class:`MovementStore` over the transport layer."""
+
+    def __init__(self, store: MovementStore, transport: Transport):
+        self.store = store
+        self.transport = transport
+        transport.register(APPEND, self._serve_append)
+        transport.register(QUERY, self._serve_query)
+        transport.register(ROBOTS, self._serve_robots)
+
+    def advertise(self, discovery: DiscoveryClient) -> None:
+        """Register the store with the discovery layer."""
+        discovery.register(
+            ServiceItem(
+                STORE_INTERFACE,
+                self.transport.node.node_id,
+                {"store": self.store.name},
+            )
+        )
+
+    def _serve_append(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        records = body["records"]
+        for record in records:
+            if not isinstance(record, MovementRecord):
+                raise TypeError(f"expected MovementRecord, got {type(record).__name__}")
+        count = self.store.append_many(records)
+        return {"stored": count}
+
+    def _serve_query(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        records = self.store.actions_of(
+            body["robot_id"],
+            since=body.get("since"),
+            until=body.get("until"),
+            device_id=body.get("device_id"),
+            command=body.get("command"),
+        )
+        return {"records": records}
+
+    def _serve_robots(self, sender: str, body: Any) -> dict[str, Any]:
+        return {"robots": self.store.robots()}
+
+    def __repr__(self) -> str:
+        return f"<StoreService {self.store.name} on {self.transport.node.node_id}>"

@@ -1,0 +1,42 @@
+"""Tuple-space extension distribution (the paper's future work, §4.6).
+
+"Further we are looking at tuple spaces [Gel85, LCX+01] to get a more
+flexible and expressive platform for distributing extensions."
+
+This package implements that direction:
+
+- :class:`~repro.tuplespace.space.TupleSpace` — a Linda-style generative
+  communication space (``out`` / ``rd`` / ``in`` with template matching),
+  with leased tuples and registered-template notifications (TSpaces
+  style);
+- :class:`~repro.tuplespace.service.TupleSpaceService` /
+  :class:`~repro.tuplespace.service.TupleSpaceClient` — the space as a
+  network service;
+- :class:`~repro.tuplespace.distribution.TupleSpaceDistributor` and
+  :class:`~repro.tuplespace.distribution.TupleSpaceAcquirer` — extension
+  distribution over the space: bases *out* signed envelopes tagged with
+  scope attributes; nodes *rd* the tuples matching their situation and
+  install the envelopes through the ordinary MIDAS receiver path
+  (signature verification, capabilities, leases all unchanged).
+
+Compared to the push model of :class:`~repro.midas.base.ExtensionBase`,
+the space decouples providers from receivers in time and identity: an
+environment can publish its policy before any node arrives, several
+environments can share one space, and nodes pull only what matches the
+attributes they ask for — the flexibility the paper was after.
+"""
+
+from repro.tuplespace.distribution import TupleSpaceAcquirer, TupleSpaceDistributor
+from repro.tuplespace.service import TupleSpaceClient, TupleSpaceService
+from repro.tuplespace.space import ANY, Tuple, TupleSpace, TupleTemplate
+
+__all__ = [
+    "ANY",
+    "Tuple",
+    "TupleSpace",
+    "TupleSpaceAcquirer",
+    "TupleSpaceClient",
+    "TupleSpaceDistributor",
+    "TupleSpaceService",
+    "TupleTemplate",
+]

@@ -1,0 +1,207 @@
+"""Extension distribution over a tuple space.
+
+The push model (:class:`~repro.midas.base.ExtensionBase`) couples a base
+station to the nodes it discovers.  The tuple-space model decouples them:
+
+- a :class:`TupleSpaceDistributor` publishes each catalog extension as a
+  leased ``midas.extension`` tuple, tagged with scope attributes (e.g.
+  ``{"hall": "A", "role": "robot"}``), and keeps the tuples alive while
+  the policy stands;
+- a :class:`TupleSpaceAcquirer` subscribes to the tuples matching its
+  node's situation, installs their envelopes through the ordinary MIDAS
+  receiver pipeline (signature verification, capability checks, implicit
+  extensions, sandbox — all unchanged), and keeps each installation's
+  local lease alive only while the corresponding tuple is still in the
+  space.  Retracting the tuple (or letting it lapse) therefore withdraws
+  the extension from every holder within one lease term — the same
+  locality guarantee as the push model, without the base tracking nodes.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Mapping
+
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.receiver import AdaptationService
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.tuplespace.service import TupleSpaceClient
+from repro.tuplespace.space import Tuple, TupleTemplate
+from repro.util.signal import Signal
+
+logger = logging.getLogger(__name__)
+
+#: The tuple kind carrying extension envelopes.
+EXTENSION_KIND = "midas.extension"
+
+
+class TupleSpaceDistributor:
+    """Publishes a catalog's extensions into a tuple space."""
+
+    def __init__(
+        self,
+        catalog: ExtensionCatalog,
+        client: TupleSpaceClient,
+        simulator: Simulator,
+        scope: Mapping[str, Any] | None = None,
+        tuple_lease: float = 30.0,
+    ):
+        self.catalog = catalog
+        self.client = client
+        self.scope = dict(scope or {})
+        self.tuple_lease = tuple_lease
+        # extension name -> tuple lease id at the space
+        self._published: dict[str, str] = {}
+        self._refresher = PeriodicTimer(
+            simulator,
+            tuple_lease * 0.4,
+            self._refresh,
+            name="space-distributor",
+        )
+
+    # -- publishing -----------------------------------------------------------------
+
+    def publish(self) -> None:
+        """Publish (or refresh) every catalog extension as a tuple."""
+        for name in self.catalog.names():
+            self.publish_one(name)
+        self._refresher.start()
+
+    def publish_one(self, name: str) -> None:
+        """Publish one extension; replaces any previously published tuple."""
+        envelope = self.catalog.seal(name)
+        previous = self._published.pop(name, None)
+        if previous is not None:
+            self.client.retract(previous)
+        record = Tuple(
+            EXTENSION_KIND,
+            {
+                "name": name,
+                "version": envelope.version,
+                "signer": envelope.signer,
+                "envelope": envelope,
+                **self.scope,
+            },
+        )
+
+        def on_done(lease_id: str) -> None:
+            self._published[name] = lease_id
+
+        self.client.out(record, self.tuple_lease, on_done=on_done)
+
+    def retract_all(self) -> None:
+        """Withdraw the policy: every published tuple is retracted."""
+        self._refresher.stop()
+        for lease_id in self._published.values():
+            self.client.retract(lease_id)
+        self._published.clear()
+
+    def retract(self, name: str) -> None:
+        """Withdraw one extension's tuple."""
+        lease_id = self._published.pop(name, None)
+        if lease_id is not None:
+            self.client.retract(lease_id)
+
+    def replace_extension(self, name: str, factory) -> None:
+        """Policy change: bump the catalog entry and republish."""
+        self.catalog.add(name, factory)
+        self.publish_one(name)
+
+    def _refresh(self) -> None:
+        for lease_id in self._published.values():
+            self.client.renew(lease_id)
+
+    def __repr__(self) -> str:
+        return f"<TupleSpaceDistributor published={sorted(self._published)}>"
+
+
+class TupleSpaceAcquirer:
+    """Pulls matching extension tuples and installs their envelopes."""
+
+    def __init__(
+        self,
+        adaptation: AdaptationService,
+        client: TupleSpaceClient,
+        simulator: Simulator,
+        scope: Mapping[str, Any] | None = None,
+        refresh_interval: float = 2.0,
+        installation_lease: float = 10.0,
+    ):
+        self.adaptation = adaptation
+        self.client = client
+        self.scope = dict(scope or {})
+        self.installation_lease = installation_lease
+        #: Fires with (envelope,) when an acquisition is installed.
+        self.on_acquired = Signal("acquirer.on_acquired")
+        # envelope_id -> local lease id
+        self._installed: dict[str, str] = {}
+        self._refresher = PeriodicTimer(
+            simulator, refresh_interval, self._refresh, name="space-acquirer"
+        )
+
+    @property
+    def template(self) -> TupleTemplate:
+        """The template this node pulls: extension tuples in its scope."""
+        return TupleTemplate(EXTENSION_KIND, self.scope)
+
+    def start(self) -> "TupleSpaceAcquirer":
+        """Subscribe to matching tuples and begin the renewal loop."""
+        self.client.listen(self.template, self._tuple_seen)
+        self._refresher.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop acquiring; current installations lapse naturally."""
+        self._refresher.stop()
+
+    # -- acquisition ------------------------------------------------------------------
+
+    def _tuple_seen(self, record: Tuple) -> None:
+        envelope: ExtensionEnvelope = record.fields.get("envelope")
+        if not isinstance(envelope, ExtensionEnvelope):
+            logger.warning("ignoring malformed extension tuple %r", record)
+            return
+        if envelope.envelope_id in self._installed:
+            return
+        try:
+            lease_id = self.adaptation.install_envelope(
+                envelope, provider=f"space:{record.fields.get('signer', '?')}",
+                duration=self.installation_lease,
+            )
+        except Exception as exc:  # noqa: BLE001 - a bad tuple must not kill the loop
+            logger.info("could not install %s from space: %s", envelope.name, exc)
+            return
+        self._installed[envelope.envelope_id] = lease_id
+        self.on_acquired.fire(envelope)
+
+    # -- keep-alive: only while the tuple is still in the space -------------------------
+
+    def _refresh(self) -> None:
+        def on_result(records: list[Tuple]) -> None:
+            live_ids = set()
+            for record in records:
+                envelope = record.fields.get("envelope")
+                if isinstance(envelope, ExtensionEnvelope):
+                    live_ids.add(envelope.envelope_id)
+                    if envelope.envelope_id not in self._installed:
+                        self._tuple_seen(record)  # e.g. published while offline
+            for envelope_id, lease_id in list(self._installed.items()):
+                if envelope_id in live_ids:
+                    renewed = self.adaptation.renew_installation(
+                        lease_id, self.installation_lease
+                    )
+                    if not renewed:
+                        # Installation lapsed out-of-band; forget it so
+                        # the next sighting reinstalls.
+                        del self._installed[envelope_id]
+                else:
+                    # Tuple gone: stop renewing; the lease lapses and the
+                    # extension is withdrawn with a clean shutdown.
+                    del self._installed[envelope_id]
+
+        self.client.rd(self.template, on_result)
+
+    def __repr__(self) -> str:
+        return f"<TupleSpaceAcquirer installed={len(self._installed)}>"

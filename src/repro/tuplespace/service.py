@@ -1,0 +1,218 @@
+"""The tuple space as a network service.
+
+One node (typically a base station, but any peer) hosts the space; other
+nodes operate on it over the transport layer:
+
+==================  =========================================================
+``space.out``        publish a tuple under a lease
+``space.rd``         read matching tuples (non-destructive)
+``space.take``       remove and return one matching tuple
+``space.renew``      extend a published tuple's lease
+``space.retract``    withdraw a published tuple
+``space.listen``     leased remote notification for a template
+==================  =========================================================
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.service import ServiceItem
+from repro.leasing.table import LeaseTable
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.tuplespace.space import Tuple, TupleSpace, TupleTemplate
+
+logger = logging.getLogger(__name__)
+
+OUT = "space.out"
+RD = "space.rd"
+TAKE = "space.take"
+RENEW = "space.renew"
+RETRACT = "space.retract"
+LISTEN = "space.listen"
+
+#: The interface the space advertises under.
+SPACE_INTERFACE = "tuplespace.TupleSpace"
+
+#: Longest remote-listener lease granted.
+MAX_LISTENER_LEASE = 60.0
+
+
+@dataclass
+class _RemoteListener:
+    template: TupleTemplate
+    node_id: str
+    operation: str
+    cancel: Callable[[], None] | None = None
+
+
+class TupleSpaceService:
+    """Exposes a :class:`TupleSpace` over the transport layer."""
+
+    def __init__(self, space: TupleSpace, transport: Transport, simulator: Simulator):
+        self.space = space
+        self.transport = transport
+        self.simulator = simulator
+        self._listener_leases = LeaseTable(
+            simulator,
+            max_duration=MAX_LISTENER_LEASE,
+            name=f"{transport.node.node_id}.space-listeners",
+        )
+        self._listener_leases.on_expired.connect(self._listener_gone)
+        self._listener_leases.on_cancelled.connect(self._listener_gone)
+        transport.register(OUT, self._serve_out)
+        transport.register(RD, self._serve_rd)
+        transport.register(TAKE, self._serve_take)
+        transport.register(RENEW, self._serve_renew)
+        transport.register(RETRACT, self._serve_retract)
+        transport.register(LISTEN, self._serve_listen)
+
+    def advertise(self, discovery: DiscoveryClient) -> None:
+        """Register the space with the discovery layer."""
+        discovery.register(
+            ServiceItem(
+                SPACE_INTERFACE,
+                self.transport.node.node_id,
+                {"space": self.space.name},
+            )
+        )
+
+    # -- handlers ------------------------------------------------------------------
+
+    def _serve_out(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        lease_id = self.space.out(
+            body["tuple"], body.get("lease_duration", 60.0), publisher=sender
+        )
+        return {"lease_id": lease_id}
+
+    def _serve_rd(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        return {"tuples": self.space.rd_all(body["template"])}
+
+    def _serve_take(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        return {"tuple": self.space.take(body["template"])}
+
+    def _serve_renew(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        lease_id = body["lease_id"]
+        if lease_id in self._listener_leases:
+            self._listener_leases.renew(lease_id, body.get("duration"))
+        else:
+            self.space.renew(lease_id, body.get("duration"))
+        return {}
+
+    def _serve_retract(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        self.space.retract(body["lease_id"])
+        return {}
+
+    def _serve_listen(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        listener = _RemoteListener(body["template"], sender, body["operation"])
+
+        def deliver(record: Tuple) -> None:
+            self.transport.notify(listener.node_id, listener.operation, record)
+
+        listener.cancel = self.space.notify(listener.template, deliver)
+        lease = self._listener_leases.grant(
+            sender, listener, body.get("duration", MAX_LISTENER_LEASE)
+        )
+        return {"lease_id": lease.lease_id, "duration": lease.duration}
+
+    def _listener_gone(self, lease) -> None:
+        listener: _RemoteListener = lease.resource
+        if listener.cancel is not None:
+            listener.cancel()
+
+    def __repr__(self) -> str:
+        return f"<TupleSpaceService {self.space.name} on {self.transport.node.node_id}>"
+
+
+class TupleSpaceClient:
+    """Callback-style remote access to a hosted tuple space."""
+
+    def __init__(self, transport: Transport, space_node: str):
+        self.transport = transport
+        self.space_node = space_node
+        self._listen_counter = 0
+
+    def out(
+        self,
+        record: Tuple,
+        lease_duration: float = 60.0,
+        on_done: Callable[[str], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Publish ``record``; ``on_done`` receives the tuple lease id."""
+        self.transport.request(
+            self.space_node,
+            OUT,
+            {"tuple": record, "lease_duration": lease_duration},
+            on_reply=(lambda body: on_done(body["lease_id"])) if on_done else None,
+            on_error=on_error,
+        )
+
+    def rd(
+        self,
+        template: TupleTemplate,
+        on_result: Callable[[list[Tuple]], None],
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Read all matching tuples."""
+        self.transport.request(
+            self.space_node,
+            RD,
+            {"template": template},
+            on_reply=lambda body: on_result(body["tuples"]),
+            on_error=on_error,
+        )
+
+    def take(
+        self,
+        template: TupleTemplate,
+        on_result: Callable[[Tuple | None], None],
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Remove and return one matching tuple (None if none)."""
+        self.transport.request(
+            self.space_node,
+            TAKE,
+            {"template": template},
+            on_reply=lambda body: on_result(body["tuple"]),
+            on_error=on_error,
+        )
+
+    def renew(self, lease_id: str) -> None:
+        """Keep a published tuple (or listener registration) alive."""
+        self.transport.request(self.space_node, RENEW, {"lease_id": lease_id})
+
+    def retract(self, lease_id: str) -> None:
+        """Withdraw a published tuple."""
+        self.transport.request(self.space_node, RETRACT, {"lease_id": lease_id})
+
+    def listen(
+        self,
+        template: TupleTemplate,
+        listener: Callable[[Tuple], None],
+        duration: float = MAX_LISTENER_LEASE,
+        on_registered: Callable[[str], None] | None = None,
+    ) -> None:
+        """Subscribe to matching tuples, current and future.
+
+        ``on_registered`` receives the listener lease id (renew it with
+        :meth:`renew` to outlive ``duration``).
+        """
+        self._listen_counter += 1
+        operation = f"space.deliver.{self.transport.node.node_id}.{self._listen_counter}"
+        self.transport.register(operation, lambda sender, body: listener(body))
+        self.transport.request(
+            self.space_node,
+            LISTEN,
+            {"template": template, "operation": operation, "duration": duration},
+            on_reply=(lambda body: on_registered(body["lease_id"]))
+            if on_registered
+            else None,
+        )
+
+    def __repr__(self) -> str:
+        return f"<TupleSpaceClient -> {self.space_node}>"

@@ -1,0 +1,196 @@
+"""A Linda-style tuple space with leases and notifications.
+
+Tuples here are *records*: a ``kind`` string plus a dictionary of fields
+(closer to TSpaces than to classic positional Linda, and a better fit
+for tagging extension envelopes with scope attributes).  Templates match
+by kind and field-subset equality, with ``ANY`` as a field wildcard.
+
+Operations (all non-blocking — the callback style of this codebase):
+
+- ``out(tuple, lease_duration)`` — publish; the tuple lives until its
+  lease lapses or it is taken;
+- ``rd(template)`` — copy of one/all matching tuples, non-destructive;
+- ``take(template)`` — remove and return one matching tuple (Linda *in*);
+- ``notify(template, listener)`` — called for every currently matching
+  tuple and every future ``out`` that matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.leasing.table import LeaseTable
+from repro.sim.kernel import Simulator
+from repro.util.ids import fresh_id
+from repro.util.signal import Signal
+
+
+class _Any:
+    """Field wildcard for templates."""
+
+    _instance: "_Any | None" = None
+
+    def __new__(cls) -> "_Any":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ANY"
+
+
+ANY = _Any()
+
+
+@dataclass(frozen=True)
+class Tuple:
+    """One record in the space."""
+
+    kind: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+    tuple_id: str = field(default_factory=lambda: fresh_id("tuple"))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"<Tuple {self.kind}({inner})>"
+
+
+@dataclass(frozen=True)
+class TupleTemplate:
+    """A query over tuples: kind equality + field subset (ANY matches all)."""
+
+    kind: str
+    fields: Mapping[str, Any] = field(default_factory=dict)
+
+    def matches(self, candidate: Tuple) -> bool:
+        """True if ``candidate`` satisfies this template."""
+        if candidate.kind != self.kind:
+            return False
+        for key, expected in self.fields.items():
+            if key not in candidate.fields:
+                return False
+            if expected is ANY:
+                continue
+            if candidate.fields[key] != expected:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.fields.items()))
+        return f"<TupleTemplate {self.kind}({inner})>"
+
+
+Listener = Callable[[Tuple], None]
+
+#: Default tuple lifetime, seconds.  Like extension leases, published
+#: policy dies unless refreshed — a stale hall policy cannot outlive its
+#: publisher forever.
+DEFAULT_TUPLE_LEASE = 60.0
+
+
+class TupleSpace:
+    """An in-memory tuple space with leased tuples and notifications."""
+
+    def __init__(self, simulator: Simulator, name: str = "space"):
+        self.simulator = simulator
+        self.name = name
+        #: Fires with (tuple,) whenever a tuple is written.
+        self.on_out = Signal(f"{name}.on_out")
+        #: Fires with (tuple, reason) when a tuple leaves ("taken"/"expired"/"cancelled").
+        self.on_removed = Signal(f"{name}.on_removed")
+        self._tuples: dict[str, Tuple] = {}
+        self._leases = LeaseTable(simulator, name=f"{name}.leases")
+        self._lease_of: dict[str, str] = {}  # tuple id -> lease id
+        self._leases.on_expired.connect(self._lease_gone("expired"))
+        self._leases.on_cancelled.connect(self._lease_gone("cancelled"))
+        self._listeners: list[tuple[TupleTemplate, Listener]] = []
+
+    # -- core operations ---------------------------------------------------------
+
+    def out(
+        self,
+        record: Tuple,
+        lease_duration: float = DEFAULT_TUPLE_LEASE,
+        publisher: str = "local",
+    ) -> str:
+        """Publish ``record``; returns the lease id controlling its life."""
+        self._tuples[record.tuple_id] = record
+        lease = self._leases.grant(publisher, record.tuple_id, lease_duration)
+        self._lease_of[record.tuple_id] = lease.lease_id
+        self.on_out.fire(record)
+        for template, listener in list(self._listeners):
+            if template.matches(record):
+                listener(record)
+        return lease.lease_id
+
+    def rd(self, template: TupleTemplate) -> Tuple | None:
+        """One matching tuple (oldest first), non-destructively; or None."""
+        for record in self._tuples.values():
+            if template.matches(record):
+                return record
+        return None
+
+    def rd_all(self, template: TupleTemplate) -> list[Tuple]:
+        """All matching tuples, oldest first."""
+        return [record for record in self._tuples.values() if template.matches(record)]
+
+    def take(self, template: TupleTemplate) -> Tuple | None:
+        """Remove and return one matching tuple (Linda ``in``); or None."""
+        record = self.rd(template)
+        if record is None:
+            return None
+        self._remove(record.tuple_id, cancel_lease=True)
+        self.on_removed.fire(record, "taken")
+        return record
+
+    def renew(self, lease_id: str, duration: float | None = None) -> None:
+        """Extend a published tuple's life."""
+        self._leases.renew(lease_id, duration)
+
+    def retract(self, lease_id: str) -> None:
+        """Withdraw a published tuple before its lease lapses."""
+        self._leases.cancel(lease_id)
+
+    # -- notifications ----------------------------------------------------------------
+
+    def notify(self, template: TupleTemplate, listener: Listener) -> Callable[[], None]:
+        """Deliver matching tuples, current and future; returns a cancel fn."""
+        entry = (template, listener)
+        self._listeners.append(entry)
+        for record in self.rd_all(template):
+            listener(record)
+
+        def cancel() -> None:
+            if entry in self._listeners:
+                self._listeners.remove(entry)
+
+        return cancel
+
+    # -- bookkeeping --------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def tuples(self) -> list[Tuple]:
+        """All live tuples, oldest first."""
+        return list(self._tuples.values())
+
+    def _lease_gone(self, reason: str):
+        def handler(lease) -> None:
+            tuple_id = lease.resource
+            record = self._tuples.get(tuple_id)
+            if record is not None:
+                self._remove(tuple_id, cancel_lease=False)
+                self.on_removed.fire(record, reason)
+
+        return handler
+
+    def _remove(self, tuple_id: str, cancel_lease: bool) -> None:
+        self._tuples.pop(tuple_id, None)
+        lease_id = self._lease_of.pop(tuple_id, None)
+        if cancel_lease and lease_id is not None and lease_id in self._leases:
+            self._leases.cancel(lease_id)
+
+    def __repr__(self) -> str:
+        return f"<TupleSpace {self.name} tuples={len(self._tuples)}>"

@@ -1,0 +1,17 @@
+"""Shared utilities: clocks, identifiers, wildcard patterns, event signals."""
+
+from repro.util.clock import Clock, ManualClock, SystemClock
+from repro.util.ids import IdGenerator, fresh_id
+from repro.util.patterns import WildcardPattern, wildcard_match
+from repro.util.signal import Signal
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "SystemClock",
+    "IdGenerator",
+    "fresh_id",
+    "WildcardPattern",
+    "wildcard_match",
+    "Signal",
+]

@@ -1,0 +1,43 @@
+"""Identifier generation.
+
+Components across the platform need short, unique, human-readable ids
+(node ids, lease ids, extension ids, message ids).  A per-process
+:class:`IdGenerator` produces ``prefix:N`` strings deterministically, which
+keeps simulation runs reproducible (no UUID randomness in the hot path).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Generates sequential ``prefix:N`` identifiers, thread-safely.
+
+    Separate instances count independently; a single instance never
+    repeats an id.
+    """
+
+    def __init__(self):
+        self._counters: dict[str, itertools.count] = {}
+        self._lock = threading.Lock()
+
+    def next(self, prefix: str) -> str:
+        """Return the next id for ``prefix``, e.g. ``next('lease')`` → ``'lease:0'``."""
+        with self._lock:
+            counter = self._counters.setdefault(prefix, itertools.count())
+            return f"{prefix}:{next(counter)}"
+
+    def reset(self) -> None:
+        """Forget all counters (mainly for tests)."""
+        with self._lock:
+            self._counters.clear()
+
+
+_DEFAULT = IdGenerator()
+
+
+def fresh_id(prefix: str) -> str:
+    """Return a fresh id from the process-wide default generator."""
+    return _DEFAULT.next(prefix)

@@ -1,0 +1,62 @@
+"""Wildcard patterns.
+
+PROSE crosscuts use simple ``*`` wildcards to match class and method names
+(e.g. all methods whose name starts with ``send``).  This module implements
+that matching once, compiled to a regular expression, so both the AOP
+signature language (:mod:`repro.aop.signature`) and the discovery attribute
+matcher can share it.
+
+Only ``*`` (any run of characters, including none) is special; every other
+character matches literally.  Matching is anchored at both ends.
+"""
+
+from __future__ import annotations
+
+import re
+from functools import lru_cache
+
+
+@lru_cache(maxsize=4096)
+def _compile(pattern: str) -> re.Pattern[str]:
+    parts = (re.escape(part) for part in pattern.split("*"))
+    return re.compile("^" + ".*".join(parts) + "$")
+
+
+def wildcard_match(pattern: str, text: str) -> bool:
+    """Return True if ``text`` matches ``pattern`` (with ``*`` wildcards)."""
+    return _compile(pattern).match(text) is not None
+
+
+class WildcardPattern:
+    """A reusable compiled wildcard pattern.
+
+    >>> p = WildcardPattern("send*")
+    >>> p.matches("sendBytes")
+    True
+    >>> p.matches("resend")
+    False
+    """
+
+    __slots__ = ("pattern", "_regex")
+
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self._regex = _compile(pattern)
+
+    def matches(self, text: str) -> bool:
+        """Return True if ``text`` matches this pattern."""
+        return self._regex.match(text) is not None
+
+    @property
+    def is_universal(self) -> bool:
+        """True if this pattern matches every string (it is just ``*``)."""
+        return self.pattern == "*"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, WildcardPattern) and other.pattern == self.pattern
+
+    def __hash__(self) -> int:
+        return hash((WildcardPattern, self.pattern))
+
+    def __repr__(self) -> str:
+        return f"WildcardPattern({self.pattern!r})"

@@ -1,0 +1,55 @@
+"""A minimal synchronous publish/subscribe signal.
+
+Several layers expose lifecycle events (extension inserted/withdrawn, lease
+expired, node discovered).  :class:`Signal` is the one mechanism they all
+use: listeners subscribe with a callable, publishers ``fire`` with
+positional arguments.  Listener errors are collected, not propagated, so a
+faulty observer cannot corrupt protocol state — mirroring how the paper's
+platform keeps extension failures away from the application.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any, Callable
+
+logger = logging.getLogger(__name__)
+
+Listener = Callable[..., Any]
+
+
+class Signal:
+    """A named, synchronous event with fan-out to subscribed listeners."""
+
+    def __init__(self, name: str = "signal"):
+        self.name = name
+        self._listeners: list[Listener] = []
+
+    def connect(self, listener: Listener) -> Listener:
+        """Subscribe ``listener``; returns it so the call can decorate."""
+        self._listeners.append(listener)
+        return listener
+
+    def disconnect(self, listener: Listener) -> None:
+        """Unsubscribe ``listener`` (no error if it is not subscribed)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def fire(self, *args: Any, **kwargs: Any) -> list[Exception]:
+        """Invoke every listener; return the exceptions raised (if any)."""
+        errors: list[Exception] = []
+        for listener in list(self._listeners):
+            try:
+                listener(*args, **kwargs)
+            except Exception as exc:  # noqa: BLE001 - observer isolation
+                logger.warning("listener on %s failed: %s", self.name, exc)
+                errors.append(exc)
+        return errors
+
+    def __len__(self) -> int:
+        return len(self._listeners)
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, listeners={len(self._listeners)})"

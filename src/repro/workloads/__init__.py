@@ -1,0 +1,37 @@
+"""Synthetic whole-application workloads (the SPECjvm stand-in).
+
+§4.6 measures the cost of a PROSE-activated JVM with no extensions at
+"about 7% (measured using a SPECjvm benchmark)".  SPECjvm98 is proprietary
+and Java; what the measurement needs is a *method-call-dense, realistic
+application mix* whose classes the weaver instruments.  This package
+provides three kernels modelled on the SPECjvm98 mix:
+
+- :class:`~repro.workloads.kernels.CompressKernel` — run-length coding
+  over byte buffers (``_201_compress``-like);
+- :class:`~repro.workloads.kernels.DbKernel` — an in-memory table with
+  insert/lookup/update operations (``_209_db``-like);
+- :class:`~repro.workloads.kernels.RayKernel` — 3-D vector arithmetic and
+  sphere intersection (``_205_raytrace``-like);
+
+and :class:`~repro.workloads.suite.WorkloadSuite` to run them under a
+given VM.  Experiment E1 compares suite throughput with classes
+uninstrumented vs. instrumented-but-unadvised.
+"""
+
+from repro.workloads.kernels import (
+    CompressKernel,
+    DbKernel,
+    RayKernel,
+    Vec3,
+    workload_classes,
+)
+from repro.workloads.suite import WorkloadSuite
+
+__all__ = [
+    "CompressKernel",
+    "DbKernel",
+    "RayKernel",
+    "Vec3",
+    "WorkloadSuite",
+    "workload_classes",
+]

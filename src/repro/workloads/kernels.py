@@ -1,0 +1,178 @@
+"""The three workload kernels.
+
+Each kernel is deliberately written in an object-oriented, call-dense
+style — short methods invoked in tight loops — because that is the shape
+that makes always-present hooks expensive.  Writing them as flat loops
+would (unrealistically) hide the instrumentation cost E1 measures.
+"""
+
+from __future__ import annotations
+
+
+class CompressKernel:
+    """Run-length encodes and decodes a synthetic byte buffer."""
+
+    def __init__(self, size: int = 512, seed: int = 1):
+        self.size = size
+        self.seed = seed
+        self.data = self._make_data()
+
+    def _make_data(self) -> bytes:
+        # A mildly compressible deterministic pattern.
+        out = bytearray()
+        value = self.seed & 0xFF
+        run = 1
+        while len(out) < self.size:
+            out.extend([value] * run)
+            value = (value * 31 + 7) & 0xFF
+            run = (run % 9) + 1
+        return bytes(out[: self.size])
+
+    def encode_byte(self, value: int, count: int, out: bytearray) -> None:
+        """Append one (count, value) run to the output."""
+        out.append(count)
+        out.append(value)
+
+    def compress(self, data: bytes) -> bytes:
+        """RLE-compress ``data``."""
+        out = bytearray()
+        index = 0
+        while index < len(data):
+            value = data[index]
+            count = 1
+            while (
+                index + count < len(data)
+                and count < 255
+                and data[index + count] == value
+            ):
+                count += 1
+            self.encode_byte(value, count, out)
+            index += count
+        return bytes(out)
+
+    def decompress(self, data: bytes) -> bytes:
+        """Invert :meth:`compress`."""
+        out = bytearray()
+        for position in range(0, len(data), 2):
+            count, value = data[position], data[position + 1]
+            out.extend([value] * count)
+        return bytes(out)
+
+    def run_once(self) -> int:
+        """One round trip; returns the compressed size (work witness)."""
+        packed = self.compress(self.data)
+        restored = self.decompress(packed)
+        if restored != self.data:
+            raise AssertionError("compress kernel corrupted its data")
+        return len(packed)
+
+
+class DbKernel:
+    """An in-memory keyed table exercised with a fixed operation script."""
+
+    def __init__(self, rows: int = 200):
+        self.rows = rows
+        self._table: dict[int, tuple[str, int]] = {}
+
+    def insert(self, key: int, name: str, balance: int) -> None:
+        """Add one row."""
+        self._table[key] = (name, balance)
+
+    def lookup(self, key: int) -> tuple[str, int] | None:
+        """Fetch one row."""
+        return self._table.get(key)
+
+    def update(self, key: int, delta: int) -> int:
+        """Adjust one row's balance; returns the new balance."""
+        name, balance = self._table[key]
+        balance += delta
+        self._table[key] = (name, balance)
+        return balance
+
+    def delete(self, key: int) -> bool:
+        """Remove one row; True if it existed."""
+        return self._table.pop(key, None) is not None
+
+    def run_once(self) -> int:
+        """Insert, read, update and delete ``rows`` rows; returns a checksum."""
+        checksum = 0
+        for key in range(self.rows):
+            self.insert(key, f"acct-{key}", key * 10)
+        for key in range(self.rows):
+            row = self.lookup(key)
+            if row is not None:
+                checksum += row[1]
+        for key in range(0, self.rows, 3):
+            checksum += self.update(key, 5)
+        for key in range(self.rows):
+            self.delete(key)
+        return checksum
+
+
+class Vec3:
+    """A 3-D vector with method-per-operation arithmetic."""
+
+    __slots__ = ("x", "y", "z")
+
+    def __init__(self, x: float, y: float, z: float):
+        self.x = x
+        self.y = y
+        self.z = z
+
+    def add(self, other: "Vec3") -> "Vec3":
+        """Component-wise sum."""
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def sub(self, other: "Vec3") -> "Vec3":
+        """Component-wise difference."""
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def scale(self, factor: float) -> "Vec3":
+        """Scalar multiple."""
+        return Vec3(self.x * factor, self.y * factor, self.z * factor)
+
+    def dot(self, other: "Vec3") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+
+class RayKernel:
+    """Casts rays at a sphere grid — vector-method-call heavy."""
+
+    def __init__(self, rays: int = 100):
+        self.rays = rays
+        self.center = Vec3(0.0, 0.0, 5.0)
+        self.radius2 = 1.5
+
+    def intersect(self, origin: Vec3, direction: Vec3) -> float | None:
+        """Parameter along ``direction`` to the sphere, or None for a miss.
+
+        ``direction`` need not be normalized; the full quadratic is solved.
+        """
+        oc = origin.sub(self.center)
+        a = direction.dot(direction)
+        b = 2.0 * oc.dot(direction)
+        c = oc.dot(oc) - self.radius2
+        disc = b * b - 4.0 * a * c
+        if disc < 0:
+            return None
+        return (-b - disc**0.5) / (2.0 * a)
+
+    def run_once(self) -> int:
+        """Cast ``rays``² rays; returns the number of hits."""
+        hits = 0
+        origin = Vec3(0.0, 0.0, 0.0)
+        span = self.rays
+        for ix in range(span):
+            for iy in range(span):
+                direction = Vec3(
+                    (ix - span / 2) / span, (iy - span / 2) / span, 1.0
+                ).scale(1.0 / 1.5)
+                if self.intersect(origin, direction) is not None:
+                    hits += 1
+        return hits
+
+
+def workload_classes() -> tuple[type, ...]:
+    """The classes a VM must load to instrument the whole suite."""
+    return (CompressKernel, DbKernel, RayKernel, Vec3)

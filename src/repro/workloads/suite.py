@@ -1,0 +1,41 @@
+"""Running the workload kernels as one suite."""
+
+from __future__ import annotations
+
+import time
+
+from repro.workloads.kernels import CompressKernel, DbKernel, RayKernel
+
+
+class WorkloadSuite:
+    """The three kernels run back to back (one 'SPECjvm iteration')."""
+
+    def __init__(
+        self,
+        compress_size: int = 512,
+        db_rows: int = 200,
+        rays: int = 40,
+    ):
+        self.compress = CompressKernel(size=compress_size)
+        self.db = DbKernel(rows=db_rows)
+        self.ray = RayKernel(rays=rays)
+
+    def run_once(self) -> int:
+        """One iteration of every kernel; returns a combined work witness."""
+        witness = self.compress.run_once()
+        witness += self.db.run_once()
+        witness += self.ray.run_once()
+        return witness
+
+    def run(self, iterations: int) -> int:
+        """``iterations`` full suite iterations."""
+        witness = 0
+        for _ in range(iterations):
+            witness += self.run_once()
+        return witness
+
+    def time_iterations(self, iterations: int) -> float:
+        """Wall-clock seconds for ``iterations`` suite iterations."""
+        start = time.perf_counter()
+        self.run(iterations)
+        return time.perf_counter() - start

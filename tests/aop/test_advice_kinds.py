@@ -1,0 +1,267 @@
+"""Semantics of before/after/around/after_throwing advice."""
+
+import pytest
+
+from repro.aop import (
+    Aspect,
+    ExceptionCut,
+    MethodCut,
+    ProseVM,
+    after,
+    after_throwing,
+    around,
+    before,
+)
+
+from tests.support import fresh_class
+
+
+@pytest.fixture
+def vm():
+    return ProseVM()
+
+
+@pytest.fixture
+def cls(vm):
+    klass = fresh_class()
+    vm.load_class(klass)
+    return klass
+
+
+class TestBefore:
+    def test_runs_before_body(self, vm, cls):
+        order = []
+
+        class A(Aspect):
+            @before(MethodCut(type="Engine", method="start"))
+            def advice(self, ctx):
+                order.append("advice")
+                order.append(("rpm-before", ctx.target.rpm))
+
+        vm.insert(A())
+        engine = cls()
+        engine.start()
+        assert order[0] == "advice"
+        assert ("rpm-before", 0) in order
+        assert engine.rpm == 800
+
+    def test_can_rewrite_args(self, vm, cls):
+        class Doubler(Aspect):
+            @before(MethodCut(type="Engine", method="throttle"))
+            def advice(self, ctx):
+                ctx.args = (ctx.args[0] * 2,)
+
+        vm.insert(Doubler())
+        engine = cls()
+        engine.start()
+        assert engine.throttle(50) == 900  # 800 + 100
+
+    def test_exception_blocks_call(self, vm, cls):
+        class Blocker(Aspect):
+            @before(MethodCut(type="Engine", method="start"))
+            def advice(self, ctx):
+                raise PermissionError("denied")
+
+        vm.insert(Blocker())
+        engine = cls()
+        with pytest.raises(PermissionError):
+            engine.start()
+        assert engine.rpm == 0  # body never ran
+
+
+class TestAfter:
+    def test_runs_after_body_sees_result(self, vm, cls):
+        seen = []
+
+        class A(Aspect):
+            @after(MethodCut(type="Engine", method="throttle"))
+            def advice(self, ctx):
+                seen.append(ctx.result)
+
+        vm.insert(A())
+        engine = cls()
+        engine.throttle(5)
+        assert seen == [5]
+
+    def test_can_replace_result(self, vm, cls):
+        class Clamp(Aspect):
+            @after(MethodCut(type="Engine", method="throttle"))
+            def advice(self, ctx):
+                ctx.result = min(ctx.result, 100)
+
+        vm.insert(Clamp())
+        engine = cls()
+        assert engine.throttle(500) == 100
+
+    def test_skipped_on_exception(self, vm, cls):
+        ran = []
+
+        class A(Aspect):
+            @after(MethodCut(type="Engine", method="fail"))
+            def advice(self, ctx):
+                ran.append(True)
+
+        vm.insert(A())
+        with pytest.raises(RuntimeError):
+            cls().fail()
+        assert ran == []
+
+
+class TestAround:
+    def test_wraps_body(self, vm, cls):
+        order = []
+
+        class A(Aspect):
+            @around(MethodCut(type="Engine", method="throttle"))
+            def advice(self, ctx):
+                order.append("pre")
+                result = ctx.proceed()
+                order.append("post")
+                return result + 1
+
+        vm.insert(A())
+        assert cls().throttle(5) == 6
+        assert order == ["pre", "post"]
+
+    def test_short_circuit_without_proceed(self, vm, cls):
+        class Cache(Aspect):
+            @around(MethodCut(type="Engine", method="throttle"))
+            def advice(self, ctx):
+                return -1
+
+        vm.insert(Cache())
+        engine = cls()
+        assert engine.throttle(5) == -1
+        assert engine.rpm == 0  # body never ran
+
+    def test_nested_arounds_by_order(self, vm, cls):
+        order = []
+
+        class Outer(Aspect):
+            @around(MethodCut(type="Engine", method="start"), order=1)
+            def advice(self, ctx):
+                order.append("outer-in")
+                result = ctx.proceed()
+                order.append("outer-out")
+                return result
+
+        class Inner(Aspect):
+            @around(MethodCut(type="Engine", method="start"), order=2)
+            def advice(self, ctx):
+                order.append("inner-in")
+                result = ctx.proceed()
+                order.append("inner-out")
+                return result
+
+        vm.insert(Inner())
+        vm.insert(Outer())
+        cls().start()
+        assert order == ["outer-in", "inner-in", "inner-out", "outer-out"]
+
+    def test_around_can_retry(self, vm, cls):
+        attempts = []
+
+        class Retry(Aspect):
+            @around(MethodCut(type="Engine", method="throttle"))
+            def advice(self, ctx):
+                attempts.append(1)
+                first = ctx.proceed()
+                second = ctx.proceed()  # run the body twice
+                return (first, second)
+
+        vm.insert(Retry())
+        engine = cls()
+        assert engine.throttle(10) == (10, 20)
+
+
+class TestAfterThrowing:
+    def test_sees_escaping_exception(self, vm, cls):
+        seen = []
+
+        class A(Aspect):
+            @after_throwing(ExceptionCut(type="Engine", method="fail"))
+            def advice(self, ctx):
+                seen.append(type(ctx.exception).__name__)
+
+        vm.insert(A())
+        with pytest.raises(RuntimeError):
+            cls().fail()
+        assert seen == ["RuntimeError"]
+
+    def test_exception_still_propagates(self, vm, cls):
+        class A(Aspect):
+            @after_throwing(ExceptionCut(type="Engine", method="fail"))
+            def advice(self, ctx):
+                pass
+
+        vm.insert(A())
+        with pytest.raises(RuntimeError):
+            cls().fail()
+
+    def test_type_filter(self, vm, cls):
+        seen = []
+
+        class OnlyValueErrors(Aspect):
+            @after_throwing(ExceptionCut(type="Engine", method="*", exception=ValueError))
+            def advice(self, ctx):
+                seen.append(ctx.exception)
+
+        vm.insert(OnlyValueErrors())
+        with pytest.raises(RuntimeError):
+            cls().fail()  # raises RuntimeError: filtered out
+        assert seen == []
+
+    def test_not_called_on_success(self, vm, cls):
+        seen = []
+
+        class A(Aspect):
+            @after_throwing(ExceptionCut(type="Engine", method="start"))
+            def advice(self, ctx):
+                seen.append(True)
+
+        vm.insert(A())
+        cls().start()
+        assert seen == []
+
+
+class TestCombined:
+    def test_full_pipeline_order(self, vm, cls):
+        order = []
+
+        class Everything(Aspect):
+            @before(MethodCut(type="Engine", method="throttle"))
+            def pre(self, ctx):
+                order.append("before")
+
+            @around(MethodCut(type="Engine", method="throttle"))
+            def wrap(self, ctx):
+                order.append("around-in")
+                result = ctx.proceed()
+                order.append("around-out")
+                return result
+
+            @after(MethodCut(type="Engine", method="throttle"))
+            def post(self, ctx):
+                order.append("after")
+
+        vm.insert(Everything())
+        cls().throttle(1)
+        assert order == ["before", "around-in", "around-out", "after"]
+
+    def test_session_shared_across_advice(self, vm, cls):
+        seen = []
+
+        class Producer(Aspect):
+            @before(MethodCut(type="Engine", method="start"), order=1)
+            def put(self, ctx):
+                ctx.session["token"] = "abc"
+
+        class Consumer(Aspect):
+            @before(MethodCut(type="Engine", method="start"), order=2)
+            def get(self, ctx):
+                seen.append(ctx.session.get("token"))
+
+        vm.insert(Producer())
+        vm.insert(Consumer())
+        cls().start()
+        assert seen == ["abc"]

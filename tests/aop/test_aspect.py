@@ -1,0 +1,144 @@
+"""Aspect declaration and lifecycle tests."""
+
+import pickle
+
+from repro.aop import Aspect, MethodCut, ProseVM, after, before
+from repro.aop.advice import DEFAULT_ORDER, AdviceKind
+
+from tests.support import TraceAspect, fresh_class
+
+
+class TestAdviceCollection:
+    def test_decorated_methods_collected(self):
+        class Two(Aspect):
+            @before(MethodCut(type="A", method="x"))
+            def first(self, ctx):
+                pass
+
+            @after(MethodCut(type="B", method="y"))
+            def second(self, ctx):
+                pass
+
+        advices = Two().advices()
+        kinds = {(a.name, a.kind) for a in advices}
+        assert kinds == {("first", AdviceKind.BEFORE), ("second", AdviceKind.AFTER)}
+
+    def test_one_method_multiple_decorators(self):
+        class Multi(Aspect):
+            @before(MethodCut(type="A", method="x"))
+            @before(MethodCut(type="B", method="y"))
+            def advice(self, ctx):
+                pass
+
+        assert len(Multi().advices()) == 2
+
+    def test_string_crosscut_parsed(self):
+        class Stringy(Aspect):
+            @before("Engine.start")
+            def advice(self, ctx):
+                pass
+
+        advice = Stringy().advices()[0]
+        assert isinstance(advice.crosscut, MethodCut)
+
+    def test_order_default_and_explicit(self):
+        class Ordered(Aspect):
+            @before("A.x")
+            def default_order(self, ctx):
+                pass
+
+            @before("A.x", order=5)
+            def explicit(self, ctx):
+                pass
+
+        by_name = {a.name: a.order for a in Ordered().advices()}
+        assert by_name["default_order"] == DEFAULT_ORDER
+        assert by_name["explicit"] == 5
+
+    def test_inherited_advice_collected_once(self):
+        class Base(Aspect):
+            @before("A.x")
+            def advice(self, ctx):
+                pass
+
+        class Derived(Base):
+            pass
+
+        assert len(Derived().advices()) == 1
+
+    def test_subclass_override_keeps_declaration(self):
+        calls = []
+
+        class Base(Aspect):
+            @before(MethodCut(type="Engine", method="start"))
+            def advice(self, ctx):
+                calls.append("base")
+
+        class Derived(Base):
+            def advice(self, ctx):
+                calls.append("derived")
+
+        vm = ProseVM()
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(Derived())
+        cls().start()
+        assert calls == ["derived"]
+
+    def test_instance_advice_via_add_advice(self):
+        aspect = Aspect()
+        aspect.add_advice(AdviceKind.BEFORE, "Engine.start", lambda ctx: None)
+        assert len(aspect.advices()) == 1
+
+    def test_advices_bound_to_instance(self):
+        class Stateful(Aspect):
+            def __init__(self):
+                super().__init__()
+                self.count = 0
+
+            @before("Engine.start")
+            def advice(self, ctx):
+                self.count += 1
+
+        first, second = Stateful(), Stateful()
+        vm = ProseVM()
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(first)
+        vm.insert(second)
+        cls().start()
+        assert first.count == 1
+        assert second.count == 1
+
+
+class TestNames:
+    def test_unique_default_names(self):
+        assert TraceAspect().name != TraceAspect().name
+
+    def test_explicit_name(self):
+        assert Aspect(name="my-ext").name == "my-ext"
+
+
+class TestSerialization:
+    def test_aspect_pickles_round_trip(self):
+        aspect = TraceAspect(type_pattern="Engine", method_pattern="start")
+        clone = pickle.loads(pickle.dumps(aspect))
+        assert clone.name == aspect.name
+        assert len(clone.advices()) == 1
+
+    def test_gateway_not_serialized(self):
+        aspect = TraceAspect()
+        aspect.bind(object())
+        clone = pickle.loads(pickle.dumps(aspect))
+        assert clone.gateway is None
+
+    def test_clone_weaves_independently(self):
+        aspect = TraceAspect(type_pattern="Engine", method_pattern="start")
+        clone = pickle.loads(pickle.dumps(aspect))
+        vm = ProseVM()
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(clone)
+        cls().start()
+        assert len(clone.trace) == 1
+        assert aspect.trace == []

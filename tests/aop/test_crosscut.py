@@ -1,0 +1,85 @@
+"""Crosscut matching tests."""
+
+from repro.aop.crosscut import ExceptionCut, FieldWriteCut, MethodCut
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+
+from tests.support import Engine, Turbine
+
+
+def method_jp(cls, name):
+    return JoinPoint(JoinPointKind.METHOD, cls, name)
+
+
+def field_jp(cls, name):
+    return JoinPoint(JoinPointKind.FIELD_WRITE, cls, name)
+
+
+class TestMethodCut:
+    def test_from_signature_text(self):
+        cut = MethodCut("Engine.start")
+        assert cut.matches(method_jp(Engine, "start"))
+        assert not cut.matches(method_jp(Engine, "throttle"))
+
+    def test_from_keyword_parts(self):
+        cut = MethodCut(type="Engine", method="th*")
+        assert cut.matches(method_jp(Engine, "throttle"))
+
+    def test_type_pattern_covers_subclasses(self):
+        cut = MethodCut(type="Engine", method="*")
+        assert cut.matches(method_jp(Turbine, "spool"))
+
+    def test_subclass_pattern_excludes_base(self):
+        cut = MethodCut(type="Turbine", method="*")
+        assert not cut.matches(method_jp(Engine, "start"))
+
+    def test_wrong_kind_rejected(self):
+        cut = MethodCut(type="*", method="*")
+        assert not cut.matches(field_jp(Engine, "rpm"))
+
+    def test_callable_refinement(self):
+        cut = MethodCut(type="Engine", method="throttle", params=("int",))
+        assert cut.matches(method_jp(Engine, "throttle"), Engine.throttle)
+        cut_wrong = MethodCut(type="Engine", method="throttle", params=("str",))
+        assert not cut_wrong.matches(method_jp(Engine, "throttle"), Engine.throttle)
+
+
+class TestFieldWriteCut:
+    def test_field_pattern(self):
+        cut = FieldWriteCut(type="Engine", field="rpm")
+        assert cut.matches(field_jp(Engine, "rpm"))
+        assert not cut.matches(field_jp(Engine, "log"))
+
+    def test_wildcard_field(self):
+        cut = FieldWriteCut(type="*", field="*")
+        assert cut.matches(field_jp(Engine, "anything"))
+
+    def test_type_pattern_covers_subclasses(self):
+        cut = FieldWriteCut(type="Engine", field="rpm")
+        assert cut.matches(field_jp(Turbine, "rpm"))
+
+    def test_wrong_kind_rejected(self):
+        cut = FieldWriteCut(type="*", field="*")
+        assert not cut.matches(method_jp(Engine, "start"))
+
+
+class TestExceptionCut:
+    def test_matches_method_joinpoints(self):
+        cut = ExceptionCut(type="Engine", method="fail")
+        assert cut.matches(method_jp(Engine, "fail"))
+        assert not cut.matches(method_jp(Engine, "start"))
+
+    def test_accepts_filters_by_exception_type(self):
+        cut = ExceptionCut(type="*", method="*", exception=ValueError)
+        assert cut.accepts(ValueError("x"))
+        assert not cut.accepts(KeyError("y"))
+
+    def test_accepts_everything_without_filter(self):
+        cut = ExceptionCut(type="*", method="*")
+        assert cut.accepts(RuntimeError("anything"))
+
+    def test_accepts_subclass_exceptions(self):
+        class Special(ValueError):
+            pass
+
+        cut = ExceptionCut(type="*", method="*", exception=ValueError)
+        assert cut.accepts(Special("x"))

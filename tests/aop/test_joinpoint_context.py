@@ -1,0 +1,101 @@
+"""Join point identity and execution context tests."""
+
+from repro.aop.context import ExecutionContext, FieldWriteContext
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+
+from tests.support import Engine, Turbine
+
+
+class TestJoinPoint:
+    def test_equality_by_kind_class_member(self):
+        a = JoinPoint(JoinPointKind.METHOD, Engine, "start")
+        b = JoinPoint(JoinPointKind.METHOD, Engine, "start")
+        c = JoinPoint(JoinPointKind.FIELD_WRITE, Engine, "start")
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_different_classes_differ(self):
+        a = JoinPoint(JoinPointKind.METHOD, Engine, "start")
+        b = JoinPoint(JoinPointKind.METHOD, Turbine, "start")
+        assert a != b
+
+    def test_mro_names_exclude_object(self):
+        jp = JoinPoint(JoinPointKind.METHOD, Turbine, "spool")
+        names = list(jp.mro_names())
+        assert names == ["Turbine", "Engine"]
+
+    def test_class_name(self):
+        jp = JoinPoint(JoinPointKind.METHOD, Engine, "start")
+        assert jp.class_name == "Engine"
+
+
+class TestExecutionContext:
+    def make_ctx(self, arounds=()):
+        jp = JoinPoint(JoinPointKind.METHOD, Engine, "throttle")
+        return ExecutionContext(
+            jp, Engine(), (10,), {}, Engine.throttle, tuple(arounds)
+        )
+
+    def test_proceed_calls_original(self):
+        ctx = self.make_ctx()
+        assert ctx.proceed() == 10  # fresh Engine: rpm 0 + 10
+
+    def test_method_name(self):
+        assert self.make_ctx().method_name == "throttle"
+
+    def test_session_starts_empty(self):
+        assert self.make_ctx().session == {}
+
+    def test_arounds_chain_in_order(self):
+        order = []
+
+        def outer(ctx):
+            order.append("outer")
+            return ctx.proceed()
+
+        def inner(ctx):
+            order.append("inner")
+            return ctx.proceed()
+
+        ctx = self.make_ctx([outer, inner])
+        result = ctx.proceed()
+        assert order == ["outer", "inner"]
+        assert result == 10
+
+    def test_depth_restored_after_exception(self):
+        def failing(ctx):
+            raise RuntimeError("boom")
+
+        ctx = self.make_ctx([failing])
+        try:
+            ctx.proceed()
+        except RuntimeError:
+            pass
+        # Depth unwound: a retry reaches the around again, then the body.
+        calls = []
+
+        def ok(ctx2):
+            calls.append(1)
+            return ctx2.proceed()
+
+        ctx2 = self.make_ctx([ok])
+        ctx2.proceed()
+        assert calls == [1]
+
+
+class TestFieldWriteContext:
+    def make_ctx(self, **kwargs):
+        jp = JoinPoint(JoinPointKind.FIELD_WRITE, Engine, "rpm")
+        return FieldWriteContext(jp, Engine(), "rpm", **kwargs)
+
+    def test_initialization_flag(self):
+        ctx = self.make_ctx(new_value=5)
+        assert ctx.is_initialization
+        assert ctx.old_value is None
+
+    def test_update_has_old_value(self):
+        ctx = self.make_ctx(old_value=3, new_value=5)
+        assert not ctx.is_initialization
+        assert ctx.old_value == 3
+        assert ctx.new_value == 5

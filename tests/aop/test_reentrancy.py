@@ -1,0 +1,103 @@
+"""Reentrancy edges: weaving operations from inside advice."""
+
+import pytest
+
+from repro.aop import Aspect, MethodCut, ProseVM, before
+
+from tests.support import TraceAspect, fresh_class
+
+
+@pytest.fixture
+def vm():
+    return ProseVM()
+
+
+class TestReentrantWeaving:
+    def test_aspect_withdrawing_itself_mid_call(self, vm):
+        """A one-shot aspect: its advice withdraws it.  The in-flight
+        dispatch completes; later calls take the fast path."""
+        cls = fresh_class()
+        vm.load_class(cls)
+
+        class OneShot(Aspect):
+            def __init__(self, target_vm):
+                super().__init__()
+                self.vm = target_vm
+                self.fired = 0
+
+            @before(MethodCut(type="Engine", method="start"))
+            def advice(self, ctx):
+                self.fired += 1
+                self.vm.withdraw(self)
+
+        aspect = OneShot(vm)
+        vm.insert(aspect)
+        engine = cls()
+        engine.start()
+        engine.start()
+        assert aspect.fired == 1
+        assert not vm.is_inserted(aspect)
+        assert engine.rpm == 800  # the intercepted call still ran
+
+    def test_advice_inserting_another_aspect(self, vm):
+        """Advice may insert a new aspect; it becomes active for
+        subsequent calls (not the in-flight one)."""
+        cls = fresh_class()
+        vm.load_class(cls)
+        late = TraceAspect(type_pattern="Engine", method_pattern="start")
+
+        class Bootstrapper(Aspect):
+            def __init__(self, target_vm):
+                super().__init__()
+                self.vm = target_vm
+                self.done = False
+
+            @before(MethodCut(type="Engine", method="start"))
+            def advice(self, ctx):
+                if not self.done:
+                    self.done = True
+                    self.vm.insert(late)
+
+        vm.insert(Bootstrapper(vm))
+        engine = cls()
+        engine.start()  # bootstraps; late aspect not yet active this call
+        assert late.trace == []
+        engine.start()
+        assert len(late.trace) == 1
+
+    def test_intercepted_method_calling_intercepted_method(self, vm):
+        """Nested interceptions on the same aspect work (no accidental
+        global reentrancy suppression)."""
+        calls = []
+
+        class Chatty:
+            def outer(self):
+                self.inner()
+                return "outer"
+
+            def inner(self):
+                return "inner"
+
+        class Watcher(Aspect):
+            @before(MethodCut(type="Chatty", method="*"))
+            def advice(self, ctx):
+                calls.append(ctx.method_name)
+
+        vm.load_class(Chatty)
+        vm.insert(Watcher())
+        Chatty().outer()
+        assert calls == ["outer", "inner"]
+
+    def test_advice_raising_during_init_interception(self, vm):
+        """An aspect blocking __init__ prevents construction cleanly."""
+
+        class NoConstruction(Aspect):
+            @before(MethodCut(type="Engine", method="__init__"))
+            def advice(self, ctx):
+                raise PermissionError("no new engines in this hall")
+
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(NoConstruction())
+        with pytest.raises(PermissionError):
+            cls()

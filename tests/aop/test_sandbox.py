@@ -1,0 +1,162 @@
+"""Aspect sandbox tests."""
+
+import pytest
+
+from repro.aop import (
+    AspectSandbox,
+    Capability,
+    MethodCut,
+    ProseVM,
+    SandboxPolicy,
+    SystemGateway,
+    before,
+    current_sandbox,
+)
+from repro.aop.aspect import Aspect
+from repro.errors import SandboxViolation
+
+from tests.support import NetworkUsingAspect, fresh_class
+
+
+class TestSandboxPolicy:
+    def test_permissive_allows_everything(self):
+        policy = SandboxPolicy.permissive()
+        assert all(policy.allows(cap) for cap in Capability.ALL)
+
+    def test_restrictive_allows_nothing(self):
+        policy = SandboxPolicy.restrictive()
+        assert not any(policy.allows(cap) for cap in Capability.ALL)
+
+    def test_explicit_allowlist(self):
+        policy = SandboxPolicy({Capability.NETWORK})
+        assert policy.allows(Capability.NETWORK)
+        assert not policy.allows(Capability.STORE)
+
+    def test_restricted_to_intersects(self):
+        policy = SandboxPolicy({Capability.NETWORK, Capability.STORE})
+        narrowed = policy.restricted_to({Capability.NETWORK, Capability.CLOCK})
+        assert narrowed.allows(Capability.NETWORK)
+        assert not narrowed.allows(Capability.STORE)
+        assert not narrowed.allows(Capability.CLOCK)
+
+    def test_restricted_to_of_permissive_grants_exactly_requested(self):
+        narrowed = SandboxPolicy.permissive().restricted_to({Capability.CLOCK})
+        assert narrowed.allows(Capability.CLOCK)
+        assert not narrowed.allows(Capability.NETWORK)
+
+
+class TestAspectSandbox:
+    def test_require_allows(self):
+        sandbox = AspectSandbox(SandboxPolicy({Capability.CLOCK}), "ext")
+        sandbox.require(Capability.CLOCK)
+
+    def test_require_denies_and_records(self):
+        sandbox = AspectSandbox(SandboxPolicy.restrictive(), "ext")
+        with pytest.raises(SandboxViolation) as info:
+            sandbox.require(Capability.NETWORK)
+        assert info.value.capability == Capability.NETWORK
+        assert info.value.aspect_name == "ext"
+        assert sandbox.violations == [Capability.NETWORK]
+
+    def test_wrap_sets_current_sandbox(self):
+        sandbox = AspectSandbox(SandboxPolicy.permissive(), "ext")
+        observed = []
+        wrapped = sandbox.wrap(lambda: observed.append(current_sandbox()))
+        assert current_sandbox() is None
+        wrapped()
+        assert observed == [sandbox]
+        assert current_sandbox() is None
+
+    def test_wrap_restores_on_exception(self):
+        sandbox = AspectSandbox(SandboxPolicy.permissive(), "ext")
+
+        def boom():
+            raise ValueError()
+
+        wrapped = sandbox.wrap(boom)
+        with pytest.raises(ValueError):
+            wrapped()
+        assert current_sandbox() is None
+
+
+class TestSystemGateway:
+    def test_acquire_allowed_service(self):
+        sandbox = AspectSandbox(SandboxPolicy({Capability.CLOCK}), "ext")
+        clock = object()
+        gateway = SystemGateway({Capability.CLOCK: clock}, sandbox)
+        assert gateway.acquire(Capability.CLOCK) is clock
+
+    def test_acquire_denied_by_policy(self):
+        sandbox = AspectSandbox(SandboxPolicy.restrictive(), "ext")
+        gateway = SystemGateway({Capability.CLOCK: object()}, sandbox)
+        with pytest.raises(SandboxViolation):
+            gateway.acquire(Capability.CLOCK)
+
+    def test_acquire_missing_service(self):
+        sandbox = AspectSandbox(SandboxPolicy.permissive(), "ext")
+        gateway = SystemGateway({}, sandbox)
+        with pytest.raises(SandboxViolation):
+            gateway.acquire(Capability.NETWORK)
+
+    def test_unbound_gateway_uses_current_sandbox(self):
+        gateway = SystemGateway({Capability.CLOCK: object()})
+        sandbox = AspectSandbox(SandboxPolicy.restrictive(), "ext")
+
+        def attempt():
+            gateway.acquire(Capability.CLOCK)
+
+        with pytest.raises(SandboxViolation):
+            sandbox.wrap(attempt)()
+        # Outside any sandbox, access is unmediated (local trusted code).
+        gateway.acquire(Capability.CLOCK)
+
+    def test_offers_and_capabilities(self):
+        gateway = SystemGateway({Capability.CLOCK: object()})
+        assert gateway.offers(Capability.CLOCK)
+        assert not gateway.offers(Capability.NETWORK)
+        assert gateway.capabilities() == frozenset({Capability.CLOCK})
+
+
+class TestSandboxedWeaving:
+    def test_denied_advice_raises_at_interception(self):
+        vm = ProseVM()
+        cls = fresh_class()
+        vm.load_class(cls)
+        aspect = NetworkUsingAspect()
+        sandbox = AspectSandbox(SandboxPolicy.restrictive(), aspect.name)
+        aspect.bind(SystemGateway({}, sandbox))
+        vm.insert(aspect, sandbox=sandbox)
+        with pytest.raises(SandboxViolation):
+            cls().start()
+
+    def test_allowed_advice_proceeds(self):
+        vm = ProseVM()
+        cls = fresh_class()
+        vm.load_class(cls)
+        aspect = NetworkUsingAspect()
+        sandbox = AspectSandbox(SandboxPolicy({Capability.NETWORK}), aspect.name)
+        aspect.bind(SystemGateway({Capability.NETWORK: object()}, sandbox))
+        vm.insert(aspect, sandbox=sandbox)
+        engine = cls()
+        engine.start()
+        assert aspect.posts == 1
+        assert engine.rpm == 800
+
+    def test_application_code_not_sandboxed(self):
+        vm = ProseVM()
+        cls = fresh_class()
+        vm.load_class(cls)
+        observed = []
+
+        class Peek(Aspect):
+            @before(MethodCut(type="Engine", method="start"))
+            def peek(self, ctx):
+                observed.append(current_sandbox())
+
+        aspect = Peek()
+        sandbox = AspectSandbox(SandboxPolicy.restrictive(), aspect.name)
+        vm.insert(aspect, sandbox=sandbox)
+        engine = cls()
+        engine.start()
+        assert observed == [sandbox]
+        assert current_sandbox() is None

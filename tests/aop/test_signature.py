@@ -1,0 +1,159 @@
+"""Signature language tests."""
+
+import pytest
+
+from repro.aop.signature import REST, MethodSignature, parse_signature
+from repro.errors import PatternSyntaxError
+
+
+class TestParsing:
+    def test_paper_example(self):
+        sig = parse_signature("void *.send*(bytes, ..)")
+        assert sig.return_pattern.pattern == "None"
+        assert sig.type_pattern.pattern == "*"
+        assert sig.method_pattern.pattern == "send*"
+        assert sig.param_patterns[-1] is REST
+
+    def test_java_style_tolerated(self):
+        # 'byte[] x' becomes the type with array suffix stripped.
+        sig = parse_signature("void *.send*(byte[] x, ..)")
+        assert sig.param_patterns[0].pattern == "byte"
+
+    def test_bare_method_name(self):
+        sig = parse_signature("spin")
+        assert sig.type_pattern.pattern == "*"
+        assert sig.method_pattern.pattern == "spin"
+
+    def test_qualified_name_without_params(self):
+        sig = parse_signature("Motor.*")
+        assert sig.type_pattern.pattern == "Motor"
+        assert sig.method_pattern.pattern == "*"
+
+    def test_empty_params(self):
+        sig = parse_signature("Motor.stop()")
+        assert sig.param_patterns == ()
+
+    def test_only_rest(self):
+        sig = parse_signature("Motor.*(..)")
+        assert sig.param_patterns == (REST,)
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_signature("")
+
+    def test_unterminated_params_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_signature("Motor.spin(int")
+
+    def test_nested_parens_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_signature("Motor.spin((int))")
+
+    def test_too_many_tokens_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_signature("public void Motor.spin()")
+
+    def test_rest_must_be_last(self):
+        with pytest.raises(PatternSyntaxError):
+            MethodSignature(param_patterns=(REST, "int"))
+
+    def test_empty_param_rejected(self):
+        with pytest.raises(PatternSyntaxError):
+            parse_signature("Motor.spin(int,,str)")
+
+
+class TestNameMatching:
+    def test_method_pattern(self):
+        sig = parse_signature("*.send*")
+        assert sig.matches_names(("Radio",), "sendBytes")
+        assert not sig.matches_names(("Radio",), "receive")
+
+    def test_type_pattern_any_mro_name(self):
+        sig = parse_signature("Device.*")
+        assert sig.matches_names(("Motor", "Device"), "spin")
+        assert not sig.matches_names(("Radio",), "spin")
+
+    def test_universal_type(self):
+        sig = parse_signature("*.*")
+        assert sig.matches_names(("Anything",), "whatever")
+
+
+class TestCallableMatching:
+    def test_unconstrained_matches_anything(self):
+        sig = parse_signature("Motor.*")
+        assert sig.matches_callable(lambda a, b, c: None)
+
+    def test_param_type_by_annotation(self):
+        sig = parse_signature("* *.f(int)")
+
+        def annotated(self, x: int) -> None: ...
+        def wrong(self, x: str) -> None: ...
+
+        assert sig.matches_callable(annotated)
+        assert not sig.matches_callable(wrong)
+
+    def test_unannotated_param_matches_any_pattern(self):
+        sig = parse_signature("* *.f(bytes)")
+
+        def bare(self, x): ...
+
+        assert sig.matches_callable(bare)
+
+    def test_arity_must_match_without_rest(self):
+        sig = parse_signature("* *.f(int)")
+
+        def two(self, x: int, y: int): ...
+        def zero(self): ...
+
+        assert not sig.matches_callable(two)
+        assert not sig.matches_callable(zero)
+
+    def test_rest_absorbs_extra_params(self):
+        sig = parse_signature("* *.f(int, ..)")
+
+        def many(self, x: int, y: str, z: float): ...
+
+        assert sig.matches_callable(many)
+
+    def test_var_positional_absorbs_patterns(self):
+        sig = parse_signature("* *.f(int, int)")
+
+        def star(self, *values): ...
+
+        assert sig.matches_callable(star)
+
+    def test_return_annotation_matching(self):
+        sig = parse_signature("int *.f")
+
+        def returns_int(self) -> int: ...
+        def returns_str(self) -> str: ...
+        def returns_nothing(self): ...
+
+        assert sig.matches_callable(returns_int)
+        assert not sig.matches_callable(returns_str)
+        assert sig.matches_callable(returns_nothing)  # unannotated matches
+
+    def test_void_aliases_none(self):
+        sig = parse_signature("void *.f")
+
+        def proc(self) -> None: ...
+
+        assert sig.matches_callable(proc)
+
+    def test_empty_params_requires_no_args(self):
+        sig = parse_signature("* *.f()")
+
+        def nullary(self): ...
+        def unary(self, x): ...
+
+        assert sig.matches_callable(nullary)
+        assert not sig.matches_callable(unary)
+
+
+class TestEquality:
+    def test_equal_signatures(self):
+        assert parse_signature("Motor.spin(int)") == parse_signature("Motor.spin(int)")
+
+    def test_hashable(self):
+        sigs = {parse_signature("a.b"), parse_signature("a.b"), parse_signature("a.c")}
+        assert len(sigs) == 2

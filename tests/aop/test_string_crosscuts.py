@@ -1,0 +1,78 @@
+"""String-crosscut ergonomics across all decorators."""
+
+import pytest
+
+from repro.aop import Aspect, ProseVM, after, after_throwing, around, before
+
+from tests.support import fresh_class
+
+
+@pytest.fixture
+def vm():
+    return ProseVM()
+
+
+class TestStringCrosscuts:
+    def test_before_with_signature_text(self, vm):
+        hits = []
+
+        class A(Aspect):
+            @before("Engine.throttle(int)")
+            def advice(self, ctx):
+                hits.append(ctx.args)
+
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(A())
+        cls().throttle(5)
+        assert hits == [(5,)]
+
+    def test_wildcard_signature_with_params(self, vm):
+        hits = []
+
+        class A(Aspect):
+            @before("* *.send*(bytes, ..)")
+            def advice(self, ctx):
+                hits.append(ctx.method_name)
+
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(A())
+        engine = cls()
+        engine.send_telemetry(b"x")
+        engine.throttle(1)  # not a send*
+        assert hits == ["send_telemetry"]
+
+    def test_after_and_around_with_strings(self, vm):
+        order = []
+
+        class A(Aspect):
+            @around("Engine.start")
+            def wrap(self, ctx):
+                order.append("around")
+                return ctx.proceed()
+
+            @after("Engine.start")
+            def post(self, ctx):
+                order.append("after")
+
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(A())
+        cls().start()
+        assert order == ["around", "after"]
+
+    def test_after_throwing_with_string_catches_any_exception(self, vm):
+        caught = []
+
+        class A(Aspect):
+            @after_throwing("Engine.fail")
+            def advice(self, ctx):
+                caught.append(type(ctx.exception).__name__)
+
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(A())
+        with pytest.raises(RuntimeError):
+            cls().fail()
+        assert caught == ["RuntimeError"]

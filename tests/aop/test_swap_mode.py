@@ -1,0 +1,105 @@
+"""Swap-mode weaving tests (the DESIGN §6 ablation).
+
+In swap mode hooks exist only while advised: loading a class plants
+nothing, inserting an aspect installs stubs at exactly the matched join
+points, withdrawing it restores the pristine methods.
+"""
+
+import pytest
+
+from repro.aop import Aspect, MethodCut, ProseVM, RESIDENT, SWAP, before
+from repro.aop.advice import AdviceKind
+from repro.aop.crosscut import FieldWriteCut
+from repro.errors import WeaveError
+
+from tests.support import TraceAspect, fresh_class
+
+
+@pytest.fixture
+def vm():
+    return ProseVM(mode=SWAP)
+
+
+class TestSwapMode:
+    def test_load_installs_nothing(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+        assert not hasattr(cls.start, "__prose_table__")
+        assert "__setattr__" not in vars(cls)
+
+    def test_joinpoints_still_enumerable(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+        assert {jp.member for jp in vm.joinpoints()} >= {"start", "throttle"}
+
+    def test_insert_installs_only_matched_stubs(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+        vm.insert(TraceAspect(type_pattern="Engine", method_pattern="start"))
+        assert hasattr(cls.start, "__prose_table__")
+        assert not hasattr(cls.throttle, "__prose_table__")
+
+    def test_interception_works(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+        trace = TraceAspect(type_pattern="Engine", method_pattern="start")
+        vm.insert(trace)
+        cls().start()
+        assert trace.trace == [("start", ())]
+
+    def test_withdraw_restores_pristine_methods(self, vm):
+        cls = fresh_class()
+        original = vars(cls)["start"]
+        vm.load_class(cls)
+        trace = TraceAspect(type_pattern="Engine", method_pattern="start")
+        vm.insert(trace)
+        vm.withdraw(trace)
+        assert vars(cls)["start"] is original
+
+    def test_field_hook_swapped(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+
+        aspect = Aspect()
+        writes = []
+        aspect.add_advice(
+            AdviceKind.AFTER,
+            FieldWriteCut(type="Engine", field="rpm"),
+            lambda ctx: writes.append(ctx.new_value),
+        )
+        vm.insert(aspect)
+        assert "__setattr__" in vars(cls)
+        engine = cls()
+        engine.rpm = 5
+        assert 5 in writes
+        vm.withdraw(aspect)
+        assert "__setattr__" not in vars(cls)
+
+    def test_two_aspects_one_joinpoint(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+        first = TraceAspect(type_pattern="Engine", method_pattern="start")
+        second = TraceAspect(type_pattern="Engine", method_pattern="start")
+        vm.insert(first)
+        vm.insert(second)
+        vm.withdraw(first)
+        # Still advised by the second: stub stays.
+        assert hasattr(cls.start, "__prose_table__")
+        vm.withdraw(second)
+        assert not hasattr(cls.start, "__prose_table__")
+
+    def test_unload_while_advised(self, vm):
+        cls = fresh_class()
+        vm.load_class(cls)
+        trace = TraceAspect(type_pattern="Engine")
+        vm.insert(trace)
+        vm.unload_class(cls)
+        cls().start()
+        assert not hasattr(cls.start, "__prose_table__")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(WeaveError):
+            ProseVM(mode="hybrid")
+
+    def test_default_mode_is_resident(self):
+        assert ProseVM().mode == RESIDENT

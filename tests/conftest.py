@@ -1,0 +1,20 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh discrete-event simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim: Simulator) -> Network:
+    """A deterministic radio network on ``sim``."""
+    return Network(sim, seed=1234)

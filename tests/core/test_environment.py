@@ -1,0 +1,67 @@
+"""Production hall / environment tests."""
+
+import pytest
+
+from repro.core.environment import ProactiveEnvironment
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position, Region
+
+from tests.support import TraceAspect
+
+
+@pytest.fixture
+def site():
+    platform = ProactivePlatform(seed=3)
+    env = ProactiveEnvironment(platform)
+    return platform, env
+
+
+class TestHalls:
+    def test_add_hall_places_station_at_center(self, site):
+        platform, env = site
+        hall = env.add_hall(Region(0, 0, 40, 40, name="paint-shop"))
+        assert hall.station.node.position == Position(20, 20)
+        assert hall.name == "paint-shop"
+
+    def test_station_radio_covers_whole_hall(self, site):
+        platform, env = site
+        hall = env.add_hall(Region(0, 0, 40, 40, name="big"))
+        for corner in hall.region.corners():
+            assert (
+                hall.station.node.position.distance_to(corner)
+                <= hall.station.node.radio_range
+            )
+
+    def test_policy_installed(self, site):
+        platform, env = site
+        hall = env.add_hall(
+            Region(0, 0, 10, 10, name="a"),
+            policy={"trace": TraceAspect},
+        )
+        assert hall.station.catalog.names() == ["trace"]
+
+    def test_hall_of_locates_node(self, site):
+        platform, env = site
+        env.add_hall(Region(0, 0, 10, 10, name="a"))
+        env.add_hall(Region(100, 0, 110, 10, name="b"))
+        robot = platform.create_mobile_node("robot", Position(5, 5))
+        assert env.hall_of(robot).name == "a"
+
+    def test_hall_of_none_outside(self, site):
+        platform, env = site
+        env.add_hall(Region(0, 0, 10, 10, name="a"))
+        robot = platform.create_mobile_node("robot", Position(50, 50))
+        assert env.hall_of(robot) is None
+
+    def test_hall_named(self, site):
+        platform, env = site
+        env.add_hall(Region(0, 0, 10, 10, name="a"))
+        assert env.hall_named("a").name == "a"
+        with pytest.raises(KeyError):
+            env.hall_named("ghost")
+
+    def test_iteration(self, site):
+        platform, env = site
+        env.add_hall(Region(0, 0, 10, 10, name="a"))
+        env.add_hall(Region(20, 0, 30, 10, name="b"))
+        assert [hall.name for hall in env] == ["a", "b"]

@@ -1,0 +1,130 @@
+"""Discovery client (join protocol) tests."""
+
+import pytest
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceItem, ServiceTemplate
+from repro.net.geometry import Position
+from repro.net.mobility import WaypointMobility
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+@pytest.fixture
+def world(sim, network):
+    base = network.attach(NetworkNode("base", Position(0, 0), radio_range=60))
+    device = network.attach(NetworkNode("device", Position(5, 0), radio_range=60))
+    lookup = LookupService(Transport(base, sim), sim).start()
+    client = DiscoveryClient(Transport(device, sim), sim).start()
+    return lookup, client, device
+
+
+class TestDiscovery:
+    def test_finds_registrar_via_probe(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(0.5)
+        assert client.registrars == ["base"]
+
+    def test_on_registrar_found_fires_once(self, sim, world):
+        lookup, client, _ = world
+        found = []
+        client.on_registrar_found.connect(found.append)
+        sim.run_for(20.0)  # many announces arrive
+        assert found == [] or found == ["base"]  # connected after first announce
+        # the registrar set stays a single entry
+        assert client.registrars == ["base"]
+
+    def test_registrar_lost_after_silence(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(1.0)
+        lost = []
+        client.on_registrar_lost.connect(lost.append)
+        lookup.stop()
+        sim.run_for(60.0)
+        assert lost == ["base"]
+        assert client.registrars == []
+
+    def test_rediscovery_after_loss(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(1.0)
+        lookup.stop()
+        sim.run_for(60.0)
+        lookup.start()
+        sim.run_for(10.0)
+        assert client.registrars == ["base"]
+
+
+class TestRegistrationManagement:
+    def test_register_reaches_known_registrar(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(1.0)
+        registration = client.register(ServiceItem("svc.X", "device"))
+        sim.run_for(1.0)
+        assert lookup.registration_count() == 1
+        assert registration.registered_at() == ["base"]
+
+    def test_register_before_discovery_joins_later(self, sim, world):
+        lookup, client, _ = world
+        registration = client.register(ServiceItem("svc.X", "device"))
+        sim.run_for(10.0)
+        assert registration.registered_at() == ["base"]
+
+    def test_auto_renewal_keeps_registration_alive(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(1.0)
+        client.register(ServiceItem("svc.X", "device"), duration=5.0)
+        sim.run_for(60.0)
+        assert lookup.registration_count() == 1
+
+    def test_cancel_removes_everywhere(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(1.0)
+        registration = client.register(ServiceItem("svc.X", "device"))
+        sim.run_for(1.0)
+        client.cancel(registration)
+        sim.run_for(1.0)
+        assert lookup.registration_count() == 0
+        sim.run_for(60.0)  # and it stays gone (no zombie renewals)
+        assert lookup.registration_count() == 0
+
+    def test_lookup_query(self, sim, world):
+        lookup, client, _ = world
+        sim.run_for(1.0)
+        client.register(ServiceItem("svc.X", "device"))
+        sim.run_for(1.0)
+        results = []
+        client.lookup(ServiceTemplate(interface="svc.*"), results.append)
+        sim.run_for(1.0)
+        assert len(results[0]) == 1
+
+    def test_lookup_without_registrar_returns_empty(self, sim, network):
+        lonely = network.attach(NetworkNode("lonely", Position(500, 500)))
+        client = DiscoveryClient(Transport(lonely, sim), sim).start()
+        results = []
+        client.lookup(ServiceTemplate(), results.append)
+        assert results == [[]]
+
+
+class TestMobilityIntegration:
+    def test_walkaway_expires_registration_and_loses_registrar(self, sim, world):
+        lookup, client, device = world
+        sim.run_for(1.0)
+        client.register(ServiceItem("svc.X", "device"), duration=5.0)
+        sim.run_for(2.0)
+        mobility = WaypointMobility(sim, device, speed=50.0)
+        mobility.go_to(Position(1000, 0))
+        sim.run_for(120.0)
+        assert lookup.registration_count() == 0
+        assert client.registrars == []
+
+    def test_walkback_reregisters(self, sim, world):
+        lookup, client, device = world
+        sim.run_for(1.0)
+        client.register(ServiceItem("svc.X", "device"), duration=5.0)
+        mobility = WaypointMobility(sim, device, speed=50.0)
+        mobility.go_to(Position(1000, 0))
+        sim.run_for(120.0)
+        mobility.go_to(Position(5, 0))
+        sim.run_for(120.0)
+        assert lookup.registration_count() == 1

@@ -1,0 +1,74 @@
+"""Discovery client edges: stop, explicit-registrar lookup, advertising."""
+
+import pytest
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceItem, ServiceTemplate
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+@pytest.fixture
+def world(sim, network):
+    base = network.attach(NetworkNode("base", Position(0, 0), 60))
+    second = network.attach(NetworkNode("base2", Position(0, 10), 60))
+    device = network.attach(NetworkNode("device", Position(5, 0), 60))
+    lookup_one = LookupService(Transport(base, sim), sim).start()
+    lookup_two = LookupService(Transport(second, sim), sim).start()
+    client = DiscoveryClient(Transport(device, sim), sim).start()
+    sim.run_for(1.0)
+    return lookup_one, lookup_two, client
+
+
+class TestClientEdges:
+    def test_registers_with_all_registrars(self, sim, world):
+        lookup_one, lookup_two, client = world
+        client.register(ServiceItem("svc.X", "device"))
+        sim.run_for(1.0)
+        assert lookup_one.registration_count() == 1
+        assert lookup_two.registration_count() == 1
+
+    def test_lookup_with_explicit_registrar(self, sim, world):
+        lookup_one, lookup_two, client = world
+        client.register(ServiceItem("svc.X", "device"))
+        sim.run_for(1.0)
+        lookup_one._registrations.cancel(
+            lookup_one._registrations.active()[0].lease_id
+        )
+        results = []
+        client.lookup(
+            ServiceTemplate(interface="svc.*"), results.append, registrar="base2"
+        )
+        sim.run_for(1.0)
+        assert len(results[0]) == 1
+
+    def test_stop_halts_renewals(self, sim, world):
+        lookup_one, _, client = world
+        client.register(ServiceItem("svc.X", "device"), duration=5.0)
+        sim.run_for(1.0)
+        client.stop()
+        sim.run_for(30.0)
+        # Without renewals, the remote registration lapses.
+        assert lookup_one.registration_count() == 0
+
+    def test_store_service_advertises(self, sim, network, world):
+        from repro.store.database import MovementStore
+        from repro.store.service import STORE_INTERFACE, StoreService
+
+        lookup_one, _, client = world
+        StoreService(MovementStore(), client.transport).advertise(client)
+        sim.run_for(1.0)
+        items = lookup_one.items(ServiceTemplate(interface=STORE_INTERFACE))
+        assert len(items) == 1
+
+    def test_tuplespace_service_advertises(self, sim, network, world):
+        from repro.tuplespace.service import SPACE_INTERFACE, TupleSpaceService
+        from repro.tuplespace.space import TupleSpace
+
+        lookup_one, _, client = world
+        TupleSpaceService(TupleSpace(sim), client.transport, sim).advertise(client)
+        sim.run_for(1.0)
+        items = lookup_one.items(ServiceTemplate(interface=SPACE_INTERFACE))
+        assert len(items) == 1

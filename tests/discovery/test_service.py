@@ -1,0 +1,46 @@
+"""Service item / template tests."""
+
+from repro.discovery.service import ServiceItem, ServiceTemplate
+
+
+def item(**kwargs):
+    defaults = dict(interface="midas.AdaptationService", provider="robot:1:1",
+                    attributes={"midas": "receiver", "hall": "A"})
+    defaults.update(kwargs)
+    return ServiceItem(**defaults)
+
+
+class TestServiceItem:
+    def test_unique_service_ids(self):
+        assert item().service_id != item().service_id
+
+    def test_describe_mentions_interface_and_provider(self):
+        text = item().describe()
+        assert "midas.AdaptationService" in text
+        assert "robot:1:1" in text
+
+
+class TestServiceTemplate:
+    def test_exact_interface_match(self):
+        assert ServiceTemplate(interface="midas.AdaptationService").matches(item())
+
+    def test_wildcard_interface(self):
+        assert ServiceTemplate(interface="midas.*").matches(item())
+        assert not ServiceTemplate(interface="robot.*").matches(item())
+
+    def test_default_template_matches_all(self):
+        assert ServiceTemplate().matches(item())
+
+    def test_attribute_subset_matching(self):
+        assert ServiceTemplate(attributes={"midas": "receiver"}).matches(item())
+        assert ServiceTemplate(attributes={"midas": "receiver", "hall": "A"}).matches(item())
+
+    def test_attribute_value_must_equal(self):
+        assert not ServiceTemplate(attributes={"hall": "B"}).matches(item())
+
+    def test_missing_attribute_fails(self):
+        assert not ServiceTemplate(attributes={"zone": "north"}).matches(item())
+
+    def test_provider_pinning(self):
+        assert ServiceTemplate(provider="robot:1:1").matches(item())
+        assert not ServiceTemplate(provider="robot:2:2").matches(item())

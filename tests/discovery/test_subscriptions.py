@@ -1,0 +1,85 @@
+"""DiscoveryClient remote-event subscription tests."""
+
+import pytest
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.events import EventKind
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceItem, ServiceTemplate
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+@pytest.fixture
+def world(sim, network):
+    infra = network.attach(NetworkNode("infra", Position(0, 0), 60))
+    lookup = LookupService(Transport(infra, sim), sim).start()
+    watcher_node = network.attach(NetworkNode("watcher", Position(5, 0), 60))
+    watcher = DiscoveryClient(Transport(watcher_node, sim), sim).start()
+    provider_node = network.attach(NetworkNode("provider", Position(0, 5), 60))
+    provider = DiscoveryClient(Transport(provider_node, sim), sim).start()
+    sim.run_for(1.0)  # everyone discovered the registrar
+    return lookup, watcher, provider
+
+
+class TestSubscriptions:
+    def test_events_for_future_registrations(self, sim, world):
+        lookup, watcher, provider = world
+        events = []
+        watcher.listen(ServiceTemplate(interface="svc.*"), events.append)
+        sim.run_for(1.0)
+        provider.register(ServiceItem("svc.A", "provider"))
+        sim.run_for(1.0)
+        assert [e.kind for e in events] == [EventKind.REGISTERED]
+        assert events[0].item.interface == "svc.A"
+
+    def test_expiry_event_on_provider_silence(self, sim, network, world):
+        lookup, watcher, provider = world
+        events = []
+        watcher.listen(ServiceTemplate(interface="svc.*"), events.append)
+        sim.run_for(1.0)
+        provider.register(ServiceItem("svc.A", "provider"))
+        sim.run_for(1.0)
+        network.partition("infra", "provider")
+        sim.run_for(60.0)
+        kinds = [e.kind for e in events]
+        assert EventKind.EXPIRED in kinds
+
+    def test_cancel_subscription(self, sim, world):
+        lookup, watcher, provider = world
+        events = []
+        subscription = watcher.listen(ServiceTemplate(interface="svc.*"), events.append)
+        sim.run_for(1.0)
+        watcher.cancel_subscription(subscription)
+        sim.run_for(1.0)
+        provider.register(ServiceItem("svc.A", "provider"))
+        sim.run_for(1.0)
+        assert events == []
+
+    def test_subscription_survives_many_listener_lease_terms(self, sim, world):
+        lookup, watcher, provider = world
+        events = []
+        watcher.listen(
+            ServiceTemplate(interface="svc.*"), events.append, duration=3.0
+        )
+        sim.run_for(30.0)  # many listener-lease terms: renewals keep it alive
+        provider.register(ServiceItem("svc.A", "provider"))
+        sim.run_for(1.0)
+        assert len(events) == 1
+
+    def test_subscription_taken_with_late_registrar(self, sim, network, world):
+        lookup, watcher, provider = world
+        events = []
+        watcher.listen(ServiceTemplate(interface="svc.*"), events.append)
+        # A second registrar appears later, in range of everyone.
+        late_node = network.attach(NetworkNode("late-infra", Position(5, 5), 60))
+        late_lookup = LookupService(Transport(late_node, sim), sim).start()
+        sim.run_for(10.0)
+        provider.register(ServiceItem("svc.A", "provider"))
+        sim.run_for(2.0)
+        # One event per registrar that saw the registration (consumers
+        # must be idempotent, as documented).
+        assert 1 <= len(events) <= 2
+        registered = {e.registrar for e in events}
+        assert registered <= {"infra", "late-infra"}

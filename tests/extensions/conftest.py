@@ -1,0 +1,26 @@
+"""Fixtures for extension tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop.vm import ProseVM
+
+from tests.support import fresh_class
+
+
+@pytest.fixture
+def vm():
+    """A VM that restores every class it instrumented at teardown."""
+    machine = ProseVM()
+    yield machine
+    for cls in list(machine.loaded_classes):
+        machine.unload_class(cls)
+
+
+@pytest.fixture
+def engine_cls(vm):
+    """A freshly instrumented Engine clone."""
+    cls = fresh_class()
+    vm.load_class(cls)
+    return cls

@@ -1,0 +1,74 @@
+"""Access-control extension tests."""
+
+import pytest
+
+from repro.errors import AccessDeniedError
+from repro.extensions.access_control import AccessControl
+from repro.extensions.session import SessionManagement
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import RemoteError, Transport
+
+
+class TestLocalCalls:
+    def test_local_calls_allowed_by_default(self, vm, engine_cls):
+        engine = engine_cls()
+        vm.insert(SessionManagement())
+        control = AccessControl(allowed={"boss"}, type_pattern="Engine")
+        vm.insert(control)
+        engine.start()
+        assert control.granted == 1
+
+    def test_local_calls_denied_when_configured(self, vm, engine_cls):
+        vm.insert(SessionManagement())
+        control = AccessControl(allowed={"boss"}, allow_local=False)
+        vm.insert(control)
+        with pytest.raises(AccessDeniedError):
+            engine_cls().start()
+        assert control.denied == 1
+
+
+class TestRemoteCalls:
+    @pytest.fixture
+    def rig(self, sim, network, vm, engine_cls):
+        server_node = network.attach(NetworkNode("server", Position(0, 0)))
+        authorized = network.attach(NetworkNode("boss", Position(5, 0)))
+        intruder = network.attach(NetworkNode("mallory", Position(0, 5)))
+        server = Transport(server_node, sim)
+        engine = engine_cls()
+        server.register("engine.start", lambda sender, body: engine.start())
+        vm.insert(SessionManagement())
+        control = AccessControl(allowed={"boss"}, type_pattern="Engine")
+        vm.insert(control)
+        return control, Transport(authorized, sim), Transport(intruder, sim), engine
+
+    def test_authorized_caller_allowed(self, sim, rig):
+        control, boss, _, engine = rig
+        boss.request("server", "engine.start")
+        sim.run_for(1.0)
+        assert control.granted == 1
+        assert engine.rpm == 800
+
+    def test_unauthorized_caller_denied_with_exception(self, sim, rig):
+        control, _, mallory, engine = rig
+        errors = []
+        mallory.request("server", "engine.start", on_error=errors.append)
+        sim.run_for(1.0)
+        assert control.denied == 1
+        assert engine.rpm == 0  # application logic never ran
+        assert isinstance(errors[0], RemoteError)
+        assert "not authorized" in str(errors[0])
+
+
+class TestImplicitDependency:
+    def test_requires_session_management(self):
+        assert SessionManagement in AccessControl.REQUIRES
+
+    def test_without_session_all_calls_look_local(self, vm, engine_cls):
+        # Inserted *without* its implicit dependency, the extension sees
+        # no caller identity; allow_local therefore governs everything.
+        engine = engine_cls()
+        control = AccessControl(allowed=set(), allow_local=True)
+        vm.insert(control)
+        engine.start()
+        assert control.granted == 1

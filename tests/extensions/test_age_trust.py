@@ -1,0 +1,78 @@
+"""Age-trust extension tests (§4.6)."""
+
+import pytest
+
+from repro.aop.sandbox import AspectSandbox, Capability, SandboxPolicy, SystemGateway
+from repro.errors import AccessDeniedError
+from repro.extensions.age_trust import AgeTrust
+from repro.robot.hardware import Motor
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def aspect(vm, clock):
+    trust = AgeTrust(min_age=10.0, type_pattern="Device", method_pattern="rotate")
+    sandbox = AspectSandbox(SandboxPolicy.permissive(), trust.name)
+    trust.bind(SystemGateway({Capability.CLOCK: clock}, sandbox))
+    vm.load_class(Motor)
+    vm.insert(trust, sandbox=sandbox)
+    return trust
+
+
+class TestAgeTrust:
+    def test_newborn_device_denied(self, aspect):
+        motor = Motor("m.x")
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)
+        assert aspect.denied == 1
+
+    def test_birth_date_recorded_on_first_sight(self, clock, aspect):
+        motor = Motor("m.x")
+        clock.advance(3.0)
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)
+        assert aspect.birth_date(motor) == 3.0
+
+    def test_aged_device_allowed(self, clock, aspect):
+        motor = Motor("m.x")
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)  # stamps birth at t=0
+        clock.advance(11.0)
+        motor.rotate(1.0)  # now 11s old
+        assert motor.angle == 1.0
+
+    def test_age_of(self, clock, aspect):
+        motor = Motor("m.x")
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)
+        clock.advance(4.0)
+        assert aspect.age_of(motor) == 4.0
+
+    def test_unseen_device_has_no_age(self, aspect):
+        assert aspect.age_of(Motor("ghost")) is None
+
+    def test_devices_aged_independently(self, clock, aspect):
+        old = Motor("old")
+        with pytest.raises(AccessDeniedError):
+            old.rotate(1.0)
+        clock.advance(11.0)
+        young = Motor("young")
+        old.rotate(1.0)  # fine
+        with pytest.raises(AccessDeniedError):
+            young.rotate(1.0)  # just born
+
+    def test_zero_min_age_allows_everyone(self, vm, clock):
+        trust = AgeTrust(min_age=0.0, type_pattern="Device", method_pattern="rotate")
+        sandbox = AspectSandbox(SandboxPolicy.permissive(), trust.name)
+        trust.bind(SystemGateway({Capability.CLOCK: clock}, sandbox))
+        vm.insert(trust, sandbox=sandbox)
+        Motor("m").rotate(1.0)
+
+    def test_negative_min_age_rejected(self):
+        with pytest.raises(ValueError):
+            AgeTrust(min_age=-1.0)

@@ -1,0 +1,102 @@
+"""Billing extension tests."""
+
+from repro.extensions.billing import LOCAL_PRINCIPAL, Billing
+from repro.extensions.session import SessionManagement
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+class TestTariff:
+    def test_flat_tariff_charges_every_call(self, vm, engine_cls):
+        engine = engine_cls()
+        billing = Billing({"*": 0.5}, type_pattern="Engine")
+        vm.insert(billing)
+        engine.start()
+        engine.throttle(1)
+        assert billing.balance(LOCAL_PRINCIPAL) == 1.0
+        assert billing.calls_billed == 2
+
+    def test_pattern_tariff(self, vm, engine_cls):
+        engine = engine_cls()
+        billing = Billing({"send*": 2.0, "throttle": 0.1}, type_pattern="Engine")
+        vm.insert(billing)
+        engine.send_telemetry(b"x")
+        engine.throttle(1)
+        engine.start()  # untariffed
+        assert billing.balance(LOCAL_PRINCIPAL) == 2.1
+        assert billing.calls_billed == 2
+
+    def test_first_matching_pattern_wins(self, vm):
+        billing = Billing({"send*": 2.0, "*": 9.0})
+        assert billing.price_of("send_telemetry") == 2.0
+        assert billing.price_of("start") == 9.0
+
+
+class TestAccounts:
+    def test_remote_callers_billed_individually(self, sim, network, vm, engine_cls):
+        server_node = network.attach(NetworkNode("server", Position(0, 0)))
+        alice = Transport(network.attach(NetworkNode("alice", Position(5, 0))), sim)
+        bob = Transport(network.attach(NetworkNode("bob", Position(0, 5))), sim)
+        server = Transport(server_node, sim)
+        engine = engine_cls()
+        server.register("engine.start", lambda sender, body: engine.start())
+
+        vm.insert(SessionManagement())
+        billing = Billing({"start": 1.0}, type_pattern="Engine")
+        vm.insert(billing)
+
+        alice.request("server", "engine.start")
+        alice.request("server", "engine.start")
+        bob.request("server", "engine.start")
+        sim.run_for(1.0)
+        assert billing.invoice() == {"alice": 2.0, "bob": 1.0}
+
+    def test_requires_session_management(self):
+        assert SessionManagement in Billing.REQUIRES
+
+
+class TestSettlement:
+    def test_shutdown_posts_invoice(self, sim, vm, engine_cls):
+        from repro.midas.remote import ServiceRef
+        from repro.midas.scheduler import SchedulerService
+        from repro.aop.sandbox import (
+            AspectSandbox,
+            Capability,
+            SandboxPolicy,
+            SystemGateway,
+        )
+
+        posts = []
+
+        class FakeCaller:
+            def post(self, ref, body):
+                posts.append((ref, body))
+
+        engine = engine_cls()
+        billing = Billing(
+            {"*": 1.0},
+            type_pattern="Engine",
+            settlement=ServiceRef("base", "billing.settle"),
+        )
+        sandbox = AspectSandbox(SandboxPolicy.permissive(), billing.name)
+        billing.bind(
+            SystemGateway(
+                {
+                    Capability.NETWORK: FakeCaller(),
+                    Capability.SCHEDULER: SchedulerService(sim),
+                },
+                sandbox,
+            )
+        )
+        vm.insert(billing, sandbox=sandbox)
+        engine.start()
+        billing.shutdown()
+        assert len(posts) == 1
+        assert posts[0][1]["invoice"] == {LOCAL_PRINCIPAL: 1.0}
+        assert posts[0][1]["final"] is True
+
+    def test_shutdown_without_settlement_is_quiet(self, vm, engine_cls):
+        billing = Billing({"*": 1.0})
+        vm.insert(billing)
+        billing.shutdown()  # no gateway, no settlement: no error

@@ -1,0 +1,54 @@
+"""Call-logging extension tests."""
+
+from repro.extensions.call_logging import CallLogging
+
+
+class TestCallLogging:
+    def test_records_calls_with_args(self, vm, engine_cls):
+        logging_ext = CallLogging(type_pattern="Engine")
+        engine = engine_cls()
+        vm.insert(logging_ext)
+        engine.throttle(5)
+        entries = logging_ext.entries()
+        assert any(
+            e.method == "throttle" and e.args == (5,) and e.cls == "Engine"
+            for e in entries
+        )
+
+    def test_knows_nothing_of_the_application(self, vm):
+        """Default pattern logs calls of any loaded class (§3.3)."""
+        from tests.support import fresh_class
+
+        logging_ext = CallLogging()
+        vm.insert(logging_ext)
+        cls = fresh_class()
+        vm.load_class(cls)
+        cls("e").start()
+        assert logging_ext.calls_to("start") == 1
+        assert logging_ext.calls_to("__init__") == 1
+
+    def test_ring_buffer_caps_retention(self, vm, engine_cls):
+        logging_ext = CallLogging(type_pattern="Engine", capacity=3)
+        engine = engine_cls()
+        vm.insert(logging_ext)
+        for value in range(10):
+            engine.throttle(value)
+        assert len(logging_ext) == 3
+        assert logging_ext.total_calls == 10
+        assert logging_ext.entries()[-1].args == (9,)
+
+    def test_clear_keeps_total(self, vm, engine_cls):
+        logging_ext = CallLogging(type_pattern="Engine")
+        engine = engine_cls()
+        vm.insert(logging_ext)
+        engine.start()
+        logging_ext.clear()
+        assert len(logging_ext) == 0
+        assert logging_ext.total_calls == 1
+
+    def test_caller_is_none_for_local_calls(self, vm, engine_cls):
+        logging_ext = CallLogging(type_pattern="Engine")
+        engine = engine_cls()
+        vm.insert(logging_ext)
+        engine.start()
+        assert logging_ext.entries()[0].caller is None

@@ -1,0 +1,82 @@
+"""Movement-control extension tests (§4.5)."""
+
+import pytest
+
+from repro.errors import MovementDeniedError
+from repro.extensions.control import ForbiddenRegion, MovementControl
+from repro.robot.plotter import Plotter, build_plotter
+
+
+@pytest.fixture
+def plotter(vm):
+    vm.load_class(Plotter)
+    return build_plotter("robot:1:1")
+
+
+@pytest.fixture
+def control(vm, plotter):
+    aspect = MovementControl(
+        [ForbiddenRegion(40, 40, 60, 60, label="keep-out")]
+    )
+    vm.insert(aspect)
+    return aspect
+
+
+class TestForbiddenRegion:
+    def test_contains(self):
+        region = ForbiddenRegion(0, 0, 10, 10)
+        assert region.contains(5, 5)
+        assert region.contains(0, 10)
+        assert not region.contains(11, 5)
+
+
+class TestMovementControl:
+    def test_allowed_movement_proceeds(self, plotter, control):
+        plotter.move_to(10, 10)
+        assert plotter.position == (10, 10)
+        assert control.movements_checked == 1
+        assert control.movements_denied == 0
+
+    def test_forbidden_movement_blocked_before_hardware(self, plotter, control):
+        with pytest.raises(MovementDeniedError) as info:
+            plotter.move_to(50, 50)
+        assert "keep-out" in str(info.value)
+        assert plotter.position == (0, 0)  # carriage never moved
+        assert plotter.rcx.motor("A").angle == 0.0
+        assert control.movements_denied == 1
+
+    def test_ink_kept_out_of_forbidden_region(self, plotter, control):
+        plotter.pen_down()
+        plotter.move_to(30, 30)
+        with pytest.raises(MovementDeniedError):
+            plotter.move_to(50, 50)
+        plotter.move_to(30, 0)
+        plotter.pen_up()
+        min_x, min_y, max_x, max_y = plotter.canvas.bounding_box()
+        assert max_x < 40 and max_y < 40
+
+    def test_multiple_regions(self, vm, plotter):
+        control = MovementControl(
+            [ForbiddenRegion(0, 50, 10, 60), ForbiddenRegion(50, 0, 60, 10)]
+        )
+        vm.insert(control)
+        with pytest.raises(MovementDeniedError):
+            plotter.move_to(5, 55)
+        with pytest.raises(MovementDeniedError):
+            plotter.move_to(55, 5)
+        plotter.move_to(30, 30)
+
+    def test_withdrawal_lifts_restrictions(self, vm, plotter, control):
+        vm.withdraw(control)
+        plotter.move_to(50, 50)
+        assert plotter.position == (50, 50)
+
+    def test_edge_of_region_is_forbidden(self, plotter, control):
+        with pytest.raises(MovementDeniedError):
+            plotter.move_to(40, 40)
+
+    def test_draw_polyline_stops_at_denial(self, plotter, control):
+        with pytest.raises(MovementDeniedError):
+            plotter.draw_polyline([(0, 0), (30, 30), (50, 50), (70, 70)])
+        # The safe prefix was drawn.
+        assert plotter.canvas.total_ink() > 0

@@ -1,0 +1,73 @@
+"""Encryption extension tests (the §3.1 motivating aspect)."""
+
+import pytest
+
+from repro.extensions.encryption import EncryptionExtension, XorCipher
+
+
+class TestXorCipher:
+    def test_round_trip(self):
+        cipher = XorCipher(b"key")
+        data = b"attack at dawn"
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    def test_ciphertext_differs_from_plaintext(self):
+        cipher = XorCipher(b"key")
+        assert cipher.encrypt(b"hello world") != b"hello world"
+
+    def test_key_matters(self):
+        data = b"secret"
+        assert XorCipher(b"a").encrypt(data) != XorCipher(b"b").encrypt(data)
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            XorCipher(b"")
+
+
+class TestEncryptionExtension:
+    def test_send_methods_encrypted(self, vm, engine_cls):
+        ext = EncryptionExtension(b"hall-key")
+        engine = engine_cls()
+        vm.insert(ext)
+        plaintext = b"telemetry data"
+        on_the_wire = engine.send_telemetry(plaintext)
+        assert on_the_wire != plaintext
+        assert ext.cipher.decrypt(on_the_wire) == plaintext
+        assert ext.encrypted == 1
+
+    def test_receive_methods_decrypted(self, vm, engine_cls):
+        ext = EncryptionExtension(b"hall-key")
+        engine = engine_cls()
+        vm.insert(ext)
+        ciphertext = ext.cipher.encrypt(b"command")
+        assert engine.receive_command(ciphertext) == b"command"
+        assert ext.decrypted == 1
+
+    def test_paper_example_end_to_end(self, vm, engine_cls):
+        """Encrypt on send, decrypt on receive: a transparent channel."""
+        ext = EncryptionExtension(b"shared")
+        engine = engine_cls()
+        vm.insert(ext)
+        wire = engine.send_telemetry(b"position=42")
+        assert engine.receive_command(wire) == b"position=42"
+
+    def test_non_send_methods_untouched(self, vm, engine_cls):
+        ext = EncryptionExtension(b"hall-key")
+        engine = engine_cls()
+        vm.insert(ext)
+        engine.start()
+        assert ext.encrypted == 0
+
+    def test_extra_args_preserved(self, vm, engine_cls):
+        ext = EncryptionExtension(b"hall-key")
+        engine = engine_cls()
+        vm.insert(ext)
+        engine.send_telemetry(b"x", 5)
+        assert engine.log[-1] == "telemetry"
+
+    def test_withdrawal_restores_plaintext(self, vm, engine_cls):
+        ext = EncryptionExtension(b"hall-key")
+        engine = engine_cls()
+        vm.insert(ext)
+        vm.withdraw(ext)
+        assert engine.send_telemetry(b"clear") == b"clear"

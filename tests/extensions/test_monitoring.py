@@ -1,0 +1,125 @@
+"""Hardware monitoring extension tests (Fig. 3b / Fig. 5)."""
+
+import pytest
+
+from repro.aop.sandbox import AspectSandbox, Capability, SandboxPolicy, SystemGateway
+from repro.aop.vm import ProseVM
+from repro.extensions.monitoring import HwMonitoring
+from repro.midas.remote import ServiceRef
+from repro.midas.scheduler import SchedulerService
+from repro.robot.hardware import Motor
+from repro.robot.rcx import RCXBrick
+
+from tests.support import fresh_class
+
+
+class FakeCaller:
+    """A RemoteCaller stand-in capturing posts."""
+
+    def __init__(self):
+        self.posts = []
+
+    def post(self, ref, body):
+        self.posts.append((ref, body))
+
+
+@pytest.fixture
+def rig(sim, vm):
+    # The real Motor class is instrumented; the vm fixture restores it.
+    motor_cls = Motor
+    vm.load_class(motor_cls)
+    caller = FakeCaller()
+    aspect = HwMonitoring(
+        "robot:1:1", ServiceRef("base", "store.append"), flush_interval=1.0
+    )
+    sandbox = AspectSandbox(SandboxPolicy.permissive(), aspect.name)
+    gateway = SystemGateway(
+        {
+            Capability.NETWORK: caller,
+            Capability.CLOCK: sim.clock,
+            Capability.SCHEDULER: SchedulerService(sim),
+        },
+        sandbox,
+    )
+    aspect.bind(gateway)
+    vm.insert(aspect, sandbox=sandbox)
+    return vm, motor_cls, aspect, caller
+
+
+class TestCapture:
+    def test_motor_commands_captured(self, sim, rig):
+        _, motor_cls, aspect, _ = rig
+        motor = motor_cls("m.x")
+        motor.rotate(30.0)
+        assert aspect.records_captured >= 1
+        rotations = [r for r in aspect._buffer if r.command == "rotate"]
+        assert rotations and rotations[0].args == (30.0,)
+        assert rotations[0].device_id == "m.x"
+        assert rotations[0].robot_id == "robot:1:1"
+
+    def test_record_time_from_clock(self, sim, rig):
+        _, motor_cls, aspect, _ = rig
+        motor = motor_cls("m.x")
+        sim.run_for(5.0)
+        motor.rotate(1.0)
+        rotations = [r for r in aspect._buffer if r.command == "rotate"]
+        assert rotations[-1].time == 5.0
+
+
+class TestAsyncShipping:
+    def test_flush_timer_ships_batches(self, sim, rig):
+        _, motor_cls, aspect, caller = rig
+        motor = motor_cls("m.x")
+        motor.rotate(1.0)
+        motor.rotate(2.0)
+        assert caller.posts == []  # buffered locally first
+        sim.run_for(1.5)
+        assert len(caller.posts) == 1
+        ref, body = caller.posts[0]
+        assert ref.operation == "store.append"
+        assert len(body["records"]) >= 2
+        assert aspect.pending == 0
+
+    def test_no_posts_when_idle(self, sim, rig):
+        _, _, _, caller = rig
+        sim.run_for(5.0)
+        assert caller.posts == []
+
+    def test_shutdown_performs_final_flush(self, sim, rig):
+        _, motor_cls, aspect, caller = rig
+        motor_cls("m.x").rotate(9.0)
+        aspect.shutdown()
+        assert len(caller.posts) == 1
+        assert aspect.pending == 0
+        # timer stopped: no further posts
+        sim.run_for(10.0)
+        assert len(caller.posts) == 1
+
+    def test_counts(self, sim, rig):
+        _, motor_cls, aspect, _ = rig
+        motor = motor_cls("m.x")
+        for _ in range(5):
+            motor.rotate(1.0)
+        sim.run_for(2.0)
+        assert aspect.records_shipped >= 5
+
+
+class TestScope:
+    def test_only_motor_classes_monitored(self, sim, rig):
+        vm, _, aspect, _ = rig
+        other = fresh_class()
+        vm.load_class(other)
+        before = aspect.records_captured
+        other().start()
+        assert aspect.records_captured == before
+
+    def test_monitors_rcx_driven_motors(self, sim, rig):
+        from repro.robot.rcx import HardwareMacro
+
+        vm, motor_cls, aspect, caller = rig
+        rcx = RCXBrick("rcx")
+        rcx.attach_motor("A", motor_cls("m.a"))
+        rcx.execute(HardwareMacro("A", "rotate", (15.0,)))
+        sim.run_for(2.0)
+        shipped = [r for _, body in caller.posts for r in body["records"]]
+        assert any(r.device_id == "m.a" and r.command == "rotate" for r in shipped)

@@ -1,0 +1,100 @@
+"""Replication extension + mirror hub tests (§4.5)."""
+
+import pytest
+
+from repro.aop.sandbox import AspectSandbox, Capability, SandboxPolicy, SystemGateway
+from repro.extensions.replication import MirrorHub, ReplicationExtension
+from repro.midas.remote import RemoteCaller
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.robot.plotter import DrawingService, Plotter, build_plotter
+
+
+@pytest.fixture
+def rig(sim, network, vm):
+    """Source plotter on 'robot', hub on 'base', mirror plotter on 'mirror'."""
+    robot_node = network.attach(NetworkNode("robot", Position(0, 0)))
+    base_node = network.attach(NetworkNode("base", Position(5, 0)))
+    mirror_node = network.attach(NetworkNode("mirror", Position(0, 5)))
+
+    robot_transport = Transport(robot_node, sim)
+    base_transport = Transport(base_node, sim)
+    mirror_transport = Transport(mirror_node, sim)
+
+    hub = MirrorHub(base_transport)
+    source = build_plotter("robot:1:1")
+    mirror = build_plotter("robot:2:2")
+    DrawingService(mirror, mirror_transport)
+
+    vm.load_class(Plotter)
+    aspect = ReplicationExtension(hub.feed_ref, robot_id="robot:1:1")
+    sandbox = AspectSandbox(SandboxPolicy.permissive(), aspect.name)
+    aspect.bind(
+        SystemGateway({Capability.NETWORK: RemoteCaller(robot_transport)}, sandbox)
+    )
+    vm.insert(aspect, sandbox=sandbox)
+    return hub, source, mirror, aspect
+
+
+class TestReplication:
+    def test_identical_mirror(self, sim, rig):
+        hub, source, mirror, aspect = rig
+        hub.add_mirror("mirror", scale=1.0)
+        source.draw_polyline([(0, 0), (10, 0), (10, 10)])
+        sim.run_for(2.0)
+        assert mirror.canvas.matches(source.canvas)
+        assert aspect.operations_fed > 0
+
+    def test_scaled_mirror(self, sim, rig):
+        """Replication 'at a scale different from the original' (§4.5)."""
+        hub, source, mirror, _ = rig
+        hub.add_mirror("mirror", scale=2.0)
+        source.draw_polyline([(0, 0), (10, 0), (10, 10)])
+        sim.run_for(2.0)
+        assert mirror.canvas.matches(source.canvas.scaled(2.0))
+        assert mirror.canvas.total_ink() == pytest.approx(
+            2.0 * source.canvas.total_ink()
+        )
+
+    def test_collection_of_mirrors(self, sim, network, rig):
+        hub, source, mirror, _ = rig
+        second_node = network.attach(NetworkNode("mirror2", Position(5, 5)))
+        second = build_plotter("robot:3:3")
+        DrawingService(second, Transport(second_node, sim))
+        hub.add_mirror("mirror", scale=1.0)
+        hub.add_mirror("mirror2", scale=0.5)
+        source.draw_polyline([(0, 0), (8, 0)])
+        sim.run_for(2.0)
+        assert mirror.canvas.total_ink() == pytest.approx(8.0)
+        assert second.canvas.total_ink() == pytest.approx(4.0)
+
+    def test_no_mirrors_no_traffic(self, sim, rig):
+        hub, source, mirror, _ = rig
+        source.draw_polyline([(0, 0), (5, 0)])
+        sim.run_for(2.0)
+        assert mirror.canvas.total_ink() == 0.0
+        assert hub.operations_routed == 0
+
+    def test_remove_mirror(self, sim, rig):
+        hub, source, mirror, _ = rig
+        hub.add_mirror("mirror")
+        source.draw_polyline([(0, 0), (5, 0)])
+        sim.run_for(2.0)
+        hub.remove_mirror("mirror")
+        source.draw_polyline([(0, 10), (5, 10)])
+        sim.run_for(2.0)
+        assert mirror.canvas.stroke_count() == 1
+
+    def test_invalid_scale_rejected(self, rig):
+        hub, _, _, _ = rig
+        with pytest.raises(ValueError):
+            hub.add_mirror("mirror", scale=0.0)
+
+    def test_withdrawn_extension_stops_feeding(self, sim, vm, rig):
+        hub, source, mirror, aspect = rig
+        hub.add_mirror("mirror")
+        vm.withdraw(aspect)
+        source.draw_polyline([(0, 0), (5, 0)])
+        sim.run_for(2.0)
+        assert mirror.canvas.total_ink() == 0.0

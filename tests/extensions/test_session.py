@@ -1,0 +1,83 @@
+"""Session-management extension tests."""
+
+from repro.aop import Aspect, MethodCut, before
+from repro.extensions.session import CALLER_KEY, SessionManagement
+
+
+class TestSessionManagement:
+    def test_local_call_has_no_caller(self, vm, engine_cls):
+        seen = []
+
+        class Reader(Aspect):
+            @before(MethodCut(type="Engine", method="start"), order=50)
+            def read(self, ctx):
+                seen.append(ctx.session.get(CALLER_KEY))
+
+        vm.insert(SessionManagement())
+        vm.insert(Reader())
+        engine_cls().start()
+        assert seen == [None]
+
+    def test_remote_caller_extracted(self, sim, network, vm, engine_cls):
+        from repro.net.geometry import Position
+        from repro.net.node import NetworkNode
+        from repro.net.transport import Transport
+
+        server_node = network.attach(NetworkNode("server", Position(0, 0)))
+        client_node = network.attach(NetworkNode("client", Position(5, 0)))
+        server = Transport(server_node, sim)
+        client = Transport(client_node, sim)
+
+        engine = engine_cls()
+        server.register("engine.start", lambda sender, body: engine.start())
+
+        seen = []
+
+        class Reader(Aspect):
+            @before(MethodCut(type="Engine", method="start"), order=50)
+            def read(self, ctx):
+                seen.append(ctx.session.get(CALLER_KEY))
+
+        vm.insert(SessionManagement())
+        vm.insert(Reader())
+        client.request("server", "engine.start")
+        sim.run_for(1.0)
+        assert seen == ["client"]
+
+    def test_runs_before_default_order_advice(self, vm, engine_cls):
+        order = []
+
+        class Later(Aspect):
+            @before(MethodCut(type="Engine", method="start"))
+            def late(self, ctx):
+                order.append("later")
+
+        session = SessionManagement()
+        session.extract_session_orig = session.extract_session
+
+        def tracking(ctx):
+            order.append("session")
+            session.extract_session_orig(ctx)
+
+        session._instance_advices[0].callback = tracking
+        engine = engine_cls()
+        vm.insert(Later())
+        vm.insert(session)
+        engine.start()
+        assert order == ["session", "later"]
+
+    def test_pattern_restricts_joinpoints(self, vm, engine_cls):
+        session = SessionManagement(type_pattern="Engine", method_pattern="start")
+        vm.insert(session)
+        engine = engine_cls()
+        engine.start()
+        engine.throttle(1)
+        assert session.sessions_started == 1
+
+    def test_counts_sessions(self, vm, engine_cls):
+        session = SessionManagement()
+        vm.insert(session)
+        engine = engine_cls()
+        engine.start()
+        engine.start()
+        assert session.sessions_started >= 2

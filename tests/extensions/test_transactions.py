@@ -1,0 +1,135 @@
+"""Ad-hoc transactions extension tests."""
+
+import pytest
+
+from repro.extensions.transactions import AdHocTransactions
+
+from tests.support import fresh_class
+
+
+class Account:
+    """A toy transactional object."""
+
+    def __init__(self):
+        self.balance = 100
+        self.history = 0
+
+    def transfer(self, amount: int) -> int:
+        self.balance += amount
+        self.history += 1
+        if self.balance < 0:
+            raise ValueError("overdraft")
+        return self.balance
+
+    def deposit_twice(self, amount: int) -> None:
+        self.transfer(amount)
+        self.transfer(amount)
+
+    def risky_batch(self, amount: int) -> None:
+        self.deposit_twice(amount)
+        raise RuntimeError("batch failed after inner commits")
+
+
+@pytest.fixture
+def account_cls(vm):
+    cls = fresh_class(Account)
+    vm.load_class(cls)
+    return cls
+
+
+@pytest.fixture
+def tx(vm):
+    transactions = AdHocTransactions(
+        method_type_pattern="Account",
+        method_pattern="transfer",
+        state_type_pattern="Account",
+    )
+    vm.insert(transactions)
+    return transactions
+
+
+class TestCommit:
+    def test_successful_method_commits(self, account_cls, tx):
+        account = account_cls()
+        assert account.transfer(50) == 150
+        assert account.balance == 150
+        assert tx.commits == 1
+        assert tx.rollbacks == 0
+
+    def test_not_in_transaction_outside_calls(self, account_cls, tx):
+        account = account_cls()
+        assert not tx.in_transaction
+        account.transfer(1)
+        assert not tx.in_transaction
+
+
+class TestRollback:
+    def test_exception_rolls_back_all_writes(self, account_cls, tx):
+        account = account_cls()
+        with pytest.raises(ValueError):
+            account.transfer(-500)
+        assert account.balance == 100  # restored
+        assert account.history == 0  # restored too
+        assert tx.rollbacks == 1
+        assert tx.fields_undone == 2
+
+    def test_writes_outside_transactions_untouched(self, account_cls, tx):
+        account = account_cls()
+        account.balance = 42  # plain write, no transaction open
+        assert account.balance == 42
+        assert tx.fields_undone == 0
+
+    def test_new_field_deleted_on_rollback(self, vm, tx):
+        class Widget:
+            def assemble(self) -> None:
+                self.part = "bolted"
+                raise RuntimeError("assembly failure")
+
+        vm.load_class(Widget)
+        transactions = AdHocTransactions(
+            method_type_pattern="Widget", state_type_pattern="Widget"
+        )
+        vm.insert(transactions)
+        widget = Widget()
+        with pytest.raises(RuntimeError):
+            widget.assemble()
+        assert not hasattr(widget, "part")
+
+
+class TestNesting:
+    def test_nested_commits_fold_into_outer(self, vm, tx):
+        cls = fresh_class(Account)
+        vm.load_class(cls)
+        nested_tx = AdHocTransactions(
+            method_type_pattern="Account",
+            method_pattern="deposit_twice",
+            state_type_pattern="Account",
+        )
+        vm.insert(nested_tx)
+        account = cls()
+        account.deposit_twice(10)
+        assert account.balance == 120
+
+    def test_outer_rollback_undoes_inner_commits(self, vm):
+        cls = fresh_class(Account)
+        vm.load_class(cls)
+        transactions = AdHocTransactions(
+            method_type_pattern="Account",
+            method_pattern="risky_batch",
+            state_type_pattern="Account",
+        )
+        inner = AdHocTransactions(
+            method_type_pattern="Account",
+            method_pattern="transfer",
+            state_type_pattern="Account",
+        )
+        vm.insert(transactions)
+        account = cls()
+        with pytest.raises(RuntimeError):
+            account.risky_batch(10)
+        # The inner transfers succeeded, but the enclosing transaction
+        # rolled the whole batch back.
+        assert account.balance == 100
+        assert account.history == 0
+        assert transactions.rollbacks == 1
+        assert inner.commits == 0  # never inserted; sanity of fixture

@@ -1,0 +1,100 @@
+"""End-to-end reproduction of Fig. 2: the adaptation of a service m_R.
+
+The robot exports a service.  The hall's policy holds three adaptations:
+session management (implicit), access control, and a quality-control
+extension propagating state changes to the hall database.  A remote call
+then passes through exactly the interception sequence of Fig. 2(c):
+session info → access control → body → state-change propagation → reply.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.access_control import AccessControl
+from repro.extensions.session import SessionManagement
+from repro.net.geometry import Position
+from repro.net.transport import RemoteError
+
+from tests.support import Engine, QualityControl, fresh_class
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=21)
+    hall = platform.create_base_station("hall", Position(0, 0))
+
+    state_log = []
+    hall.transport.register(
+        "qc.append", lambda sender, body: state_log.append((sender, body))
+    )
+    from repro.midas.remote import ServiceRef
+
+    hall.add_extension(
+        "access-control",
+        lambda: AccessControl(allowed={"operator"}, type_pattern="Engine"),
+    )
+    hall.add_extension(
+        "quality-control",
+        lambda: QualityControl(
+            ServiceRef("hall", "qc.append"), type_pattern="Engine", field_pattern="rpm"
+        ),
+    )
+
+    robot = platform.create_mobile_node("robot", Position(5, 0))
+    engine_cls = fresh_class()
+    robot.load_class(engine_cls)
+    engine = engine_cls("e1")
+    # The exported service m_R.
+    robot.transport.register(
+        "engine.throttle", lambda sender, body: engine.throttle(body["amount"])
+    )
+
+    operator = platform.create_mobile_node("operator", Position(0, 5))
+    intruder = platform.create_mobile_node("intruder", Position(5, 5))
+    platform.run_for(5.0)  # discovery + adaptation
+    return platform, robot, engine, operator, intruder, state_log
+
+
+class TestFigureTwo:
+    def test_all_adaptations_installed(self, scenario):
+        platform, robot, *_ = scenario
+        names = set(robot.extensions())
+        assert names == {"access-control", "quality-control"}
+        kinds = {type(a) for a in robot.vm.aspects}
+        assert SessionManagement in kinds  # implicit extension
+
+    def test_authorized_call_full_pipeline(self, scenario):
+        platform, robot, engine, operator, _, state_log = scenario
+        replies = []
+        operator.transport.request(
+            "robot", "engine.throttle", {"amount": 50}, on_reply=replies.append
+        )
+        platform.run_for(2.0)
+        assert replies == [50]  # step 5: result returned to the caller
+        assert engine.rpm == 50
+        # Step 4: the state change reached the hall database.
+        assert any(body["field"] == "rpm" and body["value"] == 50
+                   for _, body in state_log)
+
+    def test_unauthorized_call_blocked_before_body(self, scenario):
+        platform, robot, engine, _, intruder, state_log = scenario
+        errors = []
+        intruder.transport.request(
+            "robot", "engine.throttle", {"amount": 50}, on_error=errors.append
+        )
+        platform.run_for(2.0)
+        assert isinstance(errors[0], RemoteError)
+        assert engine.rpm == 0  # body never executed
+        assert state_log == []  # nothing propagated
+
+    def test_robot_carries_no_adaptation_code_after_leaving(self, scenario):
+        """'R needs to carry neither the interception points nor the
+        extensions' — and after leaving, they are gone."""
+        platform, robot, engine, operator, _, state_log = scenario
+        robot.walk_to(Position(2000, 0))
+        platform.run_for(300.0)
+        assert robot.extensions() == []
+        assert robot.vm.aspects == ()
+        # The service still works, unadapted (no access control).
+        engine.throttle(10)
+        assert engine.rpm == 10

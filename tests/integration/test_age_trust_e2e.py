@@ -1,0 +1,75 @@
+"""Age-based trust end to end (§4.6): distributed through MIDAS.
+
+"A proactive context can add an extension that records the 'birth date'
+of a device.  The very same extension may intercept all service
+invocations ... and decide how to proceed depending on the device's age."
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.errors import AccessDeniedError
+from repro.extensions.age_trust import AgeTrust
+from repro.net.geometry import Position
+from repro.robot.hardware import Device, Motor
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=111)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension(
+        "age-trust",
+        lambda: AgeTrust(min_age=30.0, type_pattern="Device", method_pattern="rotate"),
+    )
+    node = platform.create_mobile_node("node", Position(5, 0))
+    for cls in (Device, Motor):
+        node.load_class(cls)
+    platform.run_for(5.0)
+    yield platform, hall, node
+    for cls in (Device, Motor):
+        node.vm.unload_class(cls)
+
+
+class TestAgeTrustE2E:
+    def test_newborn_device_denied_then_trusted(self, scenario):
+        platform, hall, node = scenario
+        assert node.extensions() == ["age-trust"]
+        motor = Motor("m.new")
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)  # birth stamped at sim time ~5
+
+        platform.run_for(31.0)  # the device ages on the simulated clock
+        motor.rotate(1.0)
+        assert motor.angle == 1.0
+
+    def test_ages_tracked_on_platform_clock(self, scenario):
+        platform, hall, node = scenario
+        motor = Motor("m.x")
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)
+        aspect = node.adaptation.find("age-trust").aspect
+        birth = aspect.birth_date(motor)
+        assert birth == pytest.approx(platform.now)
+        platform.run_for(12.0)
+        assert aspect.age_of(motor) == pytest.approx(12.0)
+
+    def test_replacement_resets_birth_records(self, scenario):
+        """Replacing the extension ships a fresh instance: previously
+        earned trust is forgotten — the hall's explicit policy choice
+        when bumping the extension version."""
+        platform, hall, node = scenario
+        motor = Motor("m.x")
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)
+        platform.run_for(31.0)
+        motor.rotate(1.0)  # trusted now
+
+        hall.replace_extension(
+            "age-trust",
+            lambda: AgeTrust(min_age=30.0, type_pattern="Device",
+                             method_pattern="rotate"),
+        )
+        platform.run_for(5.0)
+        with pytest.raises(AccessDeniedError):
+            motor.rotate(1.0)  # newborn again under the new instance

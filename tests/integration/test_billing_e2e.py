@@ -1,0 +1,93 @@
+"""Billing end to end: "accounting modules being added to mobile devices
+... to bill them for the use of services in a given location" (§1).
+
+The hall distributes a billing extension configured with a settlement
+ServiceRef.  Calls are charged per the tariff while the device is in the
+hall; when the device leaves (lease lapses), the extension's shutdown
+posts the final invoice to the hall's billing desk.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.billing import Billing
+from repro.midas.remote import ServiceRef
+from repro.net.geometry import Position
+
+from tests.support import Engine, fresh_class
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=101)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    invoices = []
+    hall.transport.register(
+        "billing.settle", lambda sender, body: invoices.append((sender, body))
+    )
+    hall.add_extension(
+        "billing",
+        lambda: Billing(
+            {"throttle": 0.25, "send*": 1.0},
+            type_pattern="Engine",
+            settlement=ServiceRef("hall", "billing.settle"),
+        ),
+    )
+    laptop = platform.create_mobile_node("laptop", Position(5, 0))
+    cls = fresh_class()
+    laptop.load_class(cls)
+    operator = platform.create_mobile_node("operator", Position(0, 5))
+    platform.run_for(5.0)
+    yield platform, hall, laptop, operator, cls, invoices
+    laptop.vm.unload_class(cls)
+
+
+class TestBillingLifecycle:
+    def test_remote_usage_charged_per_caller(self, scenario):
+        platform, hall, laptop, operator, cls, _ = scenario
+        engine = cls()
+        laptop.transport.register(
+            "engine.throttle", lambda sender, body: engine.throttle(body)
+        )
+        for _ in range(4):
+            operator.transport.request("laptop", "engine.throttle", 10)
+        platform.run_for(2.0)
+        billing = laptop.adaptation.find("billing").aspect
+        assert billing.balance("operator") == pytest.approx(1.0)
+
+    def test_usage_settled_before_departure(self, scenario):
+        """Interim settlements reach the desk while in range, so walking
+        away loses at most one settlement interval of charges."""
+        platform, hall, laptop, operator, cls, invoices = scenario
+        engine = cls()
+        engine.throttle(10)
+        engine.send_telemetry(b"data")
+        platform.run_for(10.0)  # at least one settlement round in range
+        assert invoices
+        laptop.walk_to(Position(2000, 0))
+        platform.run_for(300.0)
+        assert laptop.extensions() == []
+        sender, body = invoices[-1]
+        assert sender == "laptop"
+        assert body["invoice"]["local"] == pytest.approx(1.25)
+
+    def test_unchanged_totals_not_reposted(self, scenario):
+        platform, hall, laptop, operator, cls, invoices = scenario
+        engine = cls()
+        engine.throttle(10)
+        platform.run_for(30.0)  # many settlement intervals, one charge
+        assert len(invoices) == 1
+
+    def test_untariffed_methods_free(self, scenario):
+        platform, hall, laptop, operator, cls, _ = scenario
+        engine = cls()
+        engine.start()
+        billing = laptop.adaptation.find("billing").aspect
+        assert billing.invoice() == {}
+
+    def test_session_management_auto_installed(self, scenario):
+        platform, hall, laptop, *_ = scenario
+        from repro.extensions.session import SessionManagement
+
+        kinds = {type(a) for a in laptop.vm.aspects}
+        assert SessionManagement in kinds

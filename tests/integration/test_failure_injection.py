@@ -1,0 +1,179 @@
+"""Failure injection: the platform under a hostile radio.
+
+The paper's protocols must survive exactly these conditions — that is
+what leases, announcements and renewals are *for*.  We inject packet
+loss, partitions at awkward moments, and base-station restarts, and
+check the system converges back to the intended state.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position
+from repro.net.network import NetworkConfig
+
+from tests.support import Engine, TraceAspect, fresh_class
+
+
+class TestLossyRadio:
+    @pytest.mark.parametrize("loss", [0.1, 0.3])
+    def test_adaptation_converges_despite_loss(self, loss):
+        platform = ProactivePlatform(
+            seed=61, network_config=NetworkConfig(loss_probability=loss)
+        )
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("trace", TraceAspect)
+        node = platform.create_mobile_node("node", Position(5, 0))
+        platform.run_for(60.0)
+        assert node.extensions() == ["trace"]
+
+    def test_extension_stays_alive_despite_loss(self):
+        """Under heavy (30%) loss the extension may occasionally flap —
+        keep-alives abandoned, then reconciliation reinstalls — but the
+        system converges back and flaps stay rare."""
+        platform = ProactivePlatform(
+            seed=62, network_config=NetworkConfig(loss_probability=0.3)
+        )
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("trace", TraceAspect)
+        node = platform.create_mobile_node("node", Position(5, 0))
+        platform.run_for(20.0)
+        assert node.extensions() == ["trace"]
+        withdrawals = []
+        node.adaptation.on_withdrawn.connect(
+            lambda inst, reason: withdrawals.append(reason)
+        )
+        platform.run_for(300.0)  # many lease terms under loss
+        assert node.extensions() == ["trace"]
+        assert len(withdrawals) <= 5
+
+    def test_no_flaps_at_moderate_loss(self):
+        """At 5% loss the keep-alive redundancy absorbs everything."""
+        platform = ProactivePlatform(
+            seed=67, network_config=NetworkConfig(loss_probability=0.05)
+        )
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("trace", TraceAspect)
+        node = platform.create_mobile_node("node", Position(5, 0))
+        platform.run_for(10.0)
+        withdrawals = []
+        node.adaptation.on_withdrawn.connect(
+            lambda inst, reason: withdrawals.append(reason)
+        )
+        platform.run_for(200.0)
+        assert node.extensions() == ["trace"]
+        assert withdrawals == []
+
+
+class TestPartitions:
+    def test_partition_mid_replacement_heals(self):
+        platform = ProactivePlatform(seed=63)
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("trace", lambda: TraceAspect(type_pattern="Engine"))
+        node = platform.create_mobile_node("node", Position(5, 0))
+        platform.run_for(5.0)
+
+        platform.network.partition("hall", "node")
+        # Policy changes while the node is unreachable.
+        hall.replace_extension("trace", lambda: TraceAspect(type_pattern="Turbine"))
+        platform.run_for(60.0)
+        # Old extension lapsed during the partition.
+        assert node.extensions() == []
+
+        platform.network.heal("hall", "node")
+        platform.run_for(60.0)
+        # The node rejoined and received the *new* version.
+        installed = node.adaptation.find("trace")
+        assert installed is not None
+        assert installed.envelope.version == 2
+
+    def test_short_partition_is_invisible(self):
+        """A blip shorter than the lease term loses nothing."""
+        platform = ProactivePlatform(seed=64, lease_duration=10.0)
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("trace", TraceAspect)
+        node = platform.create_mobile_node("node", Position(5, 0))
+        platform.run_for(5.0)
+        withdrawals = []
+        node.adaptation.on_withdrawn.connect(
+            lambda inst, reason: withdrawals.append(reason)
+        )
+        platform.network.partition("hall", "node")
+        platform.run_for(3.0)  # well under the 10s lease
+        platform.network.heal("hall", "node")
+        platform.run_for(30.0)
+        assert withdrawals == []
+        assert node.extensions() == ["trace"]
+
+
+class TestBaseRestart:
+    def test_node_readapted_after_base_replacement(self):
+        """A hall's base station dies and is replaced (same signer —
+        the hall operator re-provisions its key).  Nodes lose their
+        extensions when the leases lapse, then are re-adapted by the
+        replacement."""
+        from repro.midas.trust import Signer
+
+        platform = ProactivePlatform(seed=65)
+        signer = Signer.generate("hall-operator")
+        hall = platform.create_base_station("hall", Position(0, 0), signer=signer)
+        hall.add_extension("trace", TraceAspect)
+        node = platform.create_mobile_node("node", Position(5, 0), trusted=[signer])
+        platform.run_for(5.0)
+        assert node.extensions() == ["trace"]
+
+        # The base station dies.
+        platform.network.detach(hall.node)
+        platform.run_for(120.0)
+        assert node.extensions() == []
+
+        # A replacement comes up under the same operator key.
+        replacement = platform.create_base_station(
+            "hall-2", Position(0, 1), signer=signer
+        )
+        replacement.add_extension("trace", TraceAspect)
+        platform.run_for(120.0)
+        assert node.extensions() == ["trace"]
+        assert node.adaptation.find("trace").base_id == "hall-2"
+
+
+class TestExtensionFaults:
+    def test_faulty_advice_does_not_break_protocols(self):
+        """An extension whose advice raises hurts the intercepted call,
+        never the middleware: leases keep renewing, revocation works."""
+        from tests.support import Engine
+
+        platform = ProactivePlatform(seed=66)
+        hall = platform.create_base_station("hall", Position(0, 0))
+        from tests.support import NetworkUsingAspect
+
+        # NetworkUsingAspect acquires the network capability; deny it so
+        # every interception raises SandboxViolation.
+        from repro.aop.sandbox import Capability, SandboxPolicy
+
+        hall.add_extension("faulty", NetworkUsingAspect)
+        node = platform.create_mobile_node(
+            "node",
+            Position(5, 0),
+            policy=SandboxPolicy({Capability.NETWORK}),
+        )
+        cls = fresh_class()
+        node.load_class(cls)
+        platform.run_for(5.0)
+        assert node.extensions() == ["faulty"]
+
+        engine = cls()
+        # The faulty aspect was *granted* network, so calls succeed; make
+        # it fail by revoking the gateway service underneath it.
+        node.adaptation.find("faulty").aspect.gateway._services.clear()
+        from repro.errors import SandboxViolation
+
+        with pytest.raises(SandboxViolation):
+            engine.start()
+        # The middleware is unimpressed: the lease survives, and the
+        # base can still revoke cleanly.
+        platform.run_for(30.0)
+        assert node.extensions() == ["faulty"]
+        hall.extension_base.revoke("node", "faulty")
+        platform.run_for(2.0)
+        assert node.extensions() == []

@@ -1,0 +1,89 @@
+"""The §1 PDA example: "PDAs entering a building being adapted with an
+encryption layer, a persistence module, and a filter that prevents using
+certain resources."
+
+One building policy, three extensions, one PDA walking in and out.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.errors import AccessDeniedError
+from repro.extensions.access_control import AccessControl
+from repro.extensions.encryption import EncryptionExtension
+from repro.extensions.persistence import OrthogonalPersistence
+from repro.net.geometry import Position
+
+from tests.support import Engine, fresh_class
+
+BUILDING_KEY = b"building-7-wifi-key"
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=81)
+    building = platform.create_base_station("building-7", Position(0, 0))
+    building.add_extension(
+        "encryption", lambda: EncryptionExtension(BUILDING_KEY, type_pattern="Engine")
+    )
+    building.add_extension(
+        "persistence",
+        lambda: OrthogonalPersistence(type_pattern="Engine", identity_attr="engine_id"),
+    )
+    building.add_extension(
+        "resource-filter",
+        lambda: AccessControl(
+            allowed=set(),          # nobody remote
+            allow_local=False,      # and not even local callers
+            type_pattern="Engine",
+            method_pattern="fail",  # the forbidden resource
+        ),
+    )
+    pda = platform.create_mobile_node("pda-7", Position(5, 0))
+    cls = fresh_class()
+    pda.load_class(cls)
+    platform.run_for(5.0)
+    yield platform, building, pda, cls
+    pda.vm.unload_class(cls)
+
+
+class TestPdaInBuilding:
+    def test_all_three_adaptations_installed(self, scenario):
+        platform, building, pda, cls = scenario
+        assert sorted(pda.extensions()) == [
+            "encryption",
+            "persistence",
+            "resource-filter",
+        ]
+
+    def test_traffic_encrypted_inside(self, scenario):
+        platform, building, pda, cls = scenario
+        app = cls("e7")
+        wire = app.send_telemetry(b"meeting notes")
+        assert wire != b"meeting notes"
+        # and transparently decrypted on the receive path
+        assert app.receive_command(wire) == b"meeting notes"
+
+    def test_state_persisted_inside(self, scenario):
+        platform, building, pda, cls = scenario
+        app = cls("e7")
+        app.start()
+        persistence = pda.adaptation.find("persistence").aspect
+        assert persistence.snapshot(app)["rpm"] == 800
+
+    def test_forbidden_resource_blocked(self, scenario):
+        platform, building, pda, cls = scenario
+        app = cls("e7")
+        with pytest.raises(AccessDeniedError):
+            app.fail()  # blocked before the resource is even touched
+        app.start()  # other methods unaffected
+
+    def test_leaving_building_strips_all_policies(self, scenario):
+        platform, building, pda, cls = scenario
+        pda.walk_to(Position(2000, 0))
+        platform.run_for(300.0)
+        assert pda.extensions() == []
+        app = cls("e7")
+        assert app.send_telemetry(b"clear text") == b"clear text"
+        with pytest.raises(RuntimeError):
+            app.fail()  # the *original* failure, not an access denial

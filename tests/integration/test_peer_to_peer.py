@@ -1,0 +1,124 @@
+"""Symmetric (peer-to-peer) extension exchange.
+
+"At one extreme, each node can contain an extension base.  When it joins
+a new community, it distributes its extensions and receives others from
+the existing nodes.  This type of organization is appropriate for
+creating an information system infrastructure in an entirely ad-hoc
+manner." (§3.2)
+
+Each peer here runs the full stack on one transport: lookup service +
+extension base (provider role) and discovery client + adaptation service
+(receiver role).  Two peers meeting in radio range adapt each other.
+"""
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.midas.base import ExtensionBase
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.mobility import WaypointMobility
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+from tests.support import Engine, TraceAspect, fresh_class
+
+
+class Peer:
+    """A node playing both MIDAS roles simultaneously."""
+
+    def __init__(self, sim, network, name, position, extension_name):
+        self.name = name
+        self.signer = Signer.generate(name)
+        self.node = network.attach(NetworkNode(name, position, radio_range=60))
+        self.transport = Transport(self.node, sim)
+        self.vm = ProseVM(name=name)
+
+        # Provider role.
+        self.lookup = LookupService(self.transport, sim).start()
+        self.catalog = ExtensionCatalog(self.signer)
+        self.catalog.add(extension_name, lambda: TraceAspect(type_pattern="Engine"))
+        self.base = ExtensionBase(self.transport, sim, self.catalog)
+        self.base.watch_lookup(self.lookup)
+
+        # Receiver role.
+        self.trust = TrustStore()
+        self.discovery = DiscoveryClient(self.transport, sim).start()
+        self.adaptation = AdaptationService(
+            self.vm,
+            self.transport,
+            sim,
+            self.trust,
+            policy=SandboxPolicy.permissive(),
+            services={
+                Capability.NETWORK: RemoteCaller(self.transport),
+                Capability.CLOCK: sim.clock,
+                Capability.SCHEDULER: SchedulerService(sim),
+            },
+            discovery=self.discovery,
+        ).start()
+
+    def extensions(self):
+        return sorted(inst.name for inst in self.adaptation.installed())
+
+
+@pytest.fixture
+def peers(sim, network):
+    alice = Peer(sim, network, "alice", Position(0, 0), "alice-knowledge")
+    bob = Peer(sim, network, "bob", Position(10, 0), "bob-knowledge")
+    alice.trust.trust_signer(bob.signer)
+    bob.trust.trust_signer(alice.signer)
+    return alice, bob
+
+
+class TestPeerToPeer:
+    def test_mutual_adaptation(self, sim, peers):
+        alice, bob = peers
+        sim.run_for(10.0)
+        assert alice.extensions() == ["bob-knowledge"]
+        assert bob.extensions() == ["alice-knowledge"]
+
+    def test_peer_never_adapts_itself(self, sim, peers):
+        alice, bob = peers
+        sim.run_for(10.0)
+        assert "alice" not in alice.base.adapted_nodes()
+        assert alice.base.adapted_nodes() == ["bob"]
+
+    def test_departure_withdraws_both_sides(self, sim, network, peers):
+        alice, bob = peers
+        sim.run_for(10.0)
+        mobility = WaypointMobility(sim, bob.node, speed=100.0)
+        mobility.go_to(Position(2000, 0))
+        sim.run_for(120.0)
+        assert alice.extensions() == []
+        assert bob.extensions() == []
+        assert alice.base.adapted_nodes() == []
+
+    def test_third_peer_joins_community(self, sim, network, peers):
+        alice, bob = peers
+        sim.run_for(10.0)
+        carol = Peer(sim, network, "carol", Position(5, 5), "carol-knowledge")
+        carol.trust.trust_signer(alice.signer)
+        carol.trust.trust_signer(bob.signer)
+        alice.trust.trust_signer(carol.signer)
+        bob.trust.trust_signer(carol.signer)
+        sim.run_for(15.0)
+        assert carol.extensions() == ["alice-knowledge", "bob-knowledge"]
+        assert "carol-knowledge" in alice.extensions()
+        assert "carol-knowledge" in bob.extensions()
+
+    def test_untrusting_peer_rejects(self, sim, network):
+        alice = Peer(sim, network, "alice", Position(0, 0), "alice-knowledge")
+        bob = Peer(sim, network, "bob", Position(10, 0), "bob-knowledge")
+        # Only alice trusts bob; bob trusts nobody.
+        alice.trust.trust_signer(bob.signer)
+        sim.run_for(10.0)
+        assert alice.extensions() == ["bob-knowledge"]
+        assert bob.extensions() == []

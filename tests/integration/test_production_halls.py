@@ -1,0 +1,116 @@
+"""The introduction's motivating scenario: a robot in production halls.
+
+Three halls with different policies: one logs every movement, one forbids
+certain movements, one mirrors movements to a second robot.  The robot is
+carried from hall to hall; its behaviour follows the local policy, and
+"as soon as the robot fulfills its task and leaves a given production
+hall, the behavior extensions ... added by that hall are discarded."
+"""
+
+import pytest
+
+from repro.core.environment import ProactiveEnvironment
+from repro.core.platform import ProactivePlatform
+from repro.errors import MovementDeniedError
+from repro.extensions.control import ForbiddenRegion, MovementControl
+from repro.extensions.monitoring import HwMonitoring
+from repro.net.geometry import Position, Region
+from repro.robot.hardware import Device, Motor
+from repro.robot.plotter import Plotter, build_plotter
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=31)
+    env = ProactiveEnvironment(platform)
+    logging_hall = env.add_hall(Region(0, 0, 40, 40, name="logging"))
+    control_hall = env.add_hall(Region(200, 0, 240, 40, name="control"))
+
+    logging_hall.set_policy(
+        {
+            "hw-monitoring": lambda: HwMonitoring(
+                "robot:1:1", logging_hall.station.store_ref
+            )
+        }
+    )
+    control_hall.set_policy(
+        {
+            "movement-control": lambda: MovementControl(
+                [ForbiddenRegion(30, 30, 100, 100, label="no-go")]
+            )
+        }
+    )
+
+    robot = platform.create_mobile_node("robot:1:1", Position(20, 20))
+    plotter = build_plotter("robot:1:1")
+    for cls in (Device, Motor, Plotter):
+        robot.load_class(cls)
+    yield platform, env, logging_hall, control_hall, robot, plotter
+    for cls in (Device, Motor, Plotter):
+        robot.vm.unload_class(cls)
+
+
+class TestHallPolicies:
+    def test_logging_hall_logs_movements(self, scenario):
+        platform, env, logging_hall, _, robot, plotter = scenario
+        platform.run_for(5.0)
+        assert robot.extensions() == ["hw-monitoring"]
+        plotter.draw_polyline([(0, 0), (10, 0)])
+        platform.run_for(2.0)
+        assert logging_hall.station.db.count("robot:1:1") > 0
+
+    def test_control_hall_forbids_movements(self, scenario):
+        platform, env, _, control_hall, robot, plotter = scenario
+        robot.walk_to(control_hall.region)
+        platform.run_for(300.0)
+        assert robot.extensions() == ["movement-control"]
+        plotter.move_to(10, 10)  # fine
+        with pytest.raises(MovementDeniedError):
+            plotter.move_to(50, 50)
+
+    def test_extensions_swap_as_robot_moves(self, scenario):
+        platform, env, logging_hall, control_hall, robot, plotter = scenario
+        platform.run_for(5.0)
+        assert robot.extensions() == ["hw-monitoring"]
+
+        robot.walk_to(control_hall.region)
+        platform.run_for(300.0)
+        assert robot.extensions() == ["movement-control"]
+
+        # Leaving the logging hall discarded its extension: movements are
+        # no longer shipped there.
+        before = logging_hall.station.db.count("robot:1:1")
+        plotter.move_to(5, 5)
+        platform.run_for(5.0)
+        assert logging_hall.station.db.count("robot:1:1") == before
+
+    def test_between_halls_no_extensions(self, scenario):
+        platform, env, logging_hall, control_hall, robot, plotter = scenario
+        platform.run_for(5.0)
+        robot.walk_to(Position(120, 20))  # corridor between halls
+        platform.run_for(300.0)
+        assert env.hall_of(robot) is None
+        assert robot.extensions() == []
+        plotter.move_to(50, 50)  # no control extension: allowed
+
+    def test_policy_change_reaches_present_robots(self, scenario):
+        """'Robots already in the hall will be adapted by removing the old
+        extensions and replacing them with the new ones.'"""
+        platform, env, logging_hall, _, robot, plotter = scenario
+        platform.run_for(5.0)
+        other_store = []
+        logging_hall.station.transport.register(
+            "alt.append", lambda sender, body: other_store.append(body)
+        )
+        from repro.midas.remote import ServiceRef
+
+        logging_hall.station.replace_extension(
+            "hw-monitoring",
+            lambda: HwMonitoring(
+                "robot:1:1", ServiceRef(logging_hall.station.node_id, "alt.append")
+            ),
+        )
+        platform.run_for(5.0)
+        plotter.move_to(3, 3)
+        platform.run_for(2.0)
+        assert other_store  # records now go to the new destination

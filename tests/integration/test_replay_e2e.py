@@ -1,0 +1,91 @@
+"""Fig. 6 end to end: record movements via monitoring, then manipulate.
+
+A plotter adapted with HwMonitoring draws a figure; every motor action
+lands in the hall database.  The recorded sequence is then (a) replayed
+onto a second identical plotter — reproducing the drawing exactly — and
+(b) replayed at a different scale — reproducing it amplified.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.monitoring import HwMonitoring
+from repro.net.geometry import Position
+from repro.robot.hardware import Device, Motor
+from repro.robot.plotter import Plotter, build_plotter
+from repro.store.manipulation import MovementSequence, ReplaySession
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=41)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension(
+        "hw-monitoring",
+        lambda: HwMonitoring("robot:1:1", hall.store_ref, flush_interval=0.2),
+    )
+    robot = platform.create_mobile_node("robot:1:1", Position(5, 0))
+    plotter = build_plotter("robot:1:1")
+    for cls in (Device, Motor, Plotter):
+        robot.load_class(cls)
+    platform.run_for(5.0)
+    yield platform, hall, robot, plotter
+    for cls in (Device, Motor, Plotter):
+        robot.vm.unload_class(cls)
+
+
+def draw_house(plotter):
+    plotter.draw_polyline([(0, 0), (20, 0), (20, 15), (0, 15), (0, 0)])
+    plotter.draw_polyline([(0, 15), (10, 25), (20, 15)])
+
+
+class TestRecordAndReplay:
+    def test_all_motor_actions_recorded(self, scenario):
+        platform, hall, robot, plotter = scenario
+        draw_house(plotter)
+        platform.run_for(2.0)
+        records = hall.db.actions_of("robot:1:1")
+        assert len(records) > 10
+        devices = {r.device_id for r in records}
+        assert devices == {
+            "robot:1:1.motor.x",
+            "robot:1:1.motor.y",
+            "robot:1:1.motor.pen",
+        }
+
+    def test_replay_reproduces_drawing(self, scenario):
+        platform, hall, robot, plotter = scenario
+        draw_house(plotter)
+        platform.run_for(2.0)
+
+        replica = build_plotter("replica")
+        sequence = MovementSequence.from_store(hall.db, "robot:1:1")
+        session = ReplaySession(platform.simulator)
+        session.add(sequence, replica.rcx)
+        session.start()
+        platform.run_for(10.0)
+        assert replica.canvas.matches(plotter.canvas)
+
+    def test_scaled_replay_reproduces_amplified(self, scenario):
+        platform, hall, robot, plotter = scenario
+        draw_house(plotter)
+        platform.run_for(2.0)
+
+        replica = build_plotter("replica")
+        sequence = MovementSequence.from_store(hall.db, "robot:1:1").scaled(2.0)
+        session = ReplaySession(platform.simulator)
+        session.add(sequence, replica.rcx)
+        session.start()
+        platform.run_for(10.0)
+        assert replica.canvas.matches(plotter.canvas.scaled(2.0))
+
+    def test_departure_flushes_tail_of_log(self, scenario):
+        """shutdown() ships buffered records before the extension dies,
+        so the last movements before leaving are not lost."""
+        platform, hall, robot, plotter = scenario
+        plotter.move_to(3, 0)
+        # Immediately revoke (before the periodic flush fires).
+        hall.extension_base.revoke_node("robot:1:1")
+        platform.run_for(2.0)
+        commands = [r.command for r in hall.db.actions_of("robot:1:1")]
+        assert "rotate" in commands

@@ -1,0 +1,76 @@
+"""A driving robot in a proactive hall: the full §1 story on wheels.
+
+The rover's radio follows its chassis, so *driving* out of the hall —
+not a disembodied mobility model — is what ends its extensions.  While
+inside, the hall's monitoring extension records every wheel command.
+"""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.monitoring import HwMonitoring
+from repro.net.geometry import Position, Region
+from repro.robot.hardware import Device, Motor
+from repro.robot.rover import ObstacleWorld, Rover
+from repro.robot.tasks import RobotApplication, SequenceTask
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=71)
+    hall = platform.create_base_station("hall", Position(0, 0), radio_range=30)
+    hall.add_extension(
+        "hw-monitoring",
+        lambda: HwMonitoring("rover-1", hall.store_ref, flush_interval=0.2),
+    )
+    node = platform.create_mobile_node("rover-1", Position(2, 0), radio_range=30)
+    for cls in (Device, Motor):
+        node.load_class(cls)
+
+    rover = Rover("rover-1", position=Position(2.0, 0.0))
+    rover.attach_node(node.node)
+    app = RobotApplication(platform.simulator, rover.rcx)
+    platform.run_for(5.0)
+    yield platform, hall, node, rover, app
+    for cls in (Device, Motor):
+        node.vm.unload_class(cls)
+
+
+class TestRoverInHall:
+    def test_wheel_commands_logged_while_inside(self, scenario):
+        platform, hall, node, rover, app = scenario
+        assert node.extensions() == ["hw-monitoring"]
+        run = app.run_task(SequenceTask("patrol", rover.forward_macros(1.0)))
+        platform.run_for(30.0)
+        assert run.finished
+        records = hall.db.actions_of("rover-1")
+        assert records
+        assert all(r.command == "rotate" for r in records)
+        devices = {r.device_id for r in records}
+        assert devices == {"rover-1.motor.left", "rover-1.motor.right"}
+
+    def test_driving_out_withdraws_extensions(self, scenario):
+        platform, hall, node, rover, app = scenario
+        # Drive 50 m east: well outside the 30 m cell.
+        run = app.run_task(
+            SequenceTask("leave", rover.forward_macros(50.0, step_m=1.0))
+        )
+        platform.run_for(600.0)
+        assert run.finished
+        assert rover.position.x > 40.0
+        assert node.node.position.x > 40.0  # radio followed the chassis
+        platform.run_for(60.0)
+        assert node.extensions() == []
+
+    def test_driving_back_readapts(self, scenario):
+        platform, hall, node, rover, app = scenario
+        app.run_task(SequenceTask("leave", rover.forward_macros(50.0, step_m=1.0)))
+        platform.run_for(600.0)
+        assert node.extensions() == []
+        # Turn around, drive home.
+        back = rover.turn_macros(180.0) + rover.forward_macros(50.0, step_m=1.0)
+        app.run_task(SequenceTask("return", back))
+        platform.run_for(600.0)
+        assert rover.position.x < 5.0
+        platform.run_for(30.0)
+        assert node.extensions() == ["hw-monitoring"]

@@ -1,0 +1,90 @@
+"""Security end to end: trust and sandboxing across the full platform.
+
+Two layers per §2.1/§3.2: "making sure that the extension comes from a
+trusted party and making sure that the extension does not access system
+resources if it is not supposed to do so."
+"""
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.core.platform import ProactivePlatform
+from repro.errors import SandboxViolation
+from repro.midas.trust import Signer
+from repro.net.geometry import Position
+
+from tests.support import Engine, NetworkUsingAspect, TraceAspect, fresh_class
+
+
+class TestTrustLayer:
+    def test_rogue_base_station_cannot_adapt(self):
+        platform = ProactivePlatform(seed=51)
+        legit = platform.create_base_station("legit", Position(0, 0))
+        legit.add_extension("trace", TraceAspect)
+        rogue = platform.create_base_station(
+            "rogue", Position(30, 0), signer=Signer.generate("rogue")
+        )
+        rogue.add_extension("backdoor", TraceAspect)
+
+        # The robot trusts only the legitimate hall operator.
+        robot = platform.create_mobile_node(
+            "robot", Position(15, 0), trusted=[legit.signer]
+        )
+        platform.run_for(10.0)
+        assert robot.extensions() == ["trace"]
+        assert "backdoor" not in robot.extensions()
+        rejected = [
+            record
+            for record in rogue.extension_base.activity_for("robot")
+            if record.action == "rejected"
+        ]
+        assert rejected
+
+    def test_forged_signature_rejected(self):
+        """A base whose signer key differs from the trusted key for the
+        same entity name cannot pass verification."""
+        platform = ProactivePlatform(seed=52)
+        impostor_signer = Signer("hall", b"not-the-real-key")
+        impostor = platform.create_base_station(
+            "hall", Position(0, 0), signer=impostor_signer
+        )
+        impostor.add_extension("trace", TraceAspect)
+        robot = platform.create_mobile_node(
+            "robot", Position(5, 0), trusted=[Signer.generate("hall")]
+        )
+        platform.run_for(10.0)
+        assert robot.extensions() == []
+
+
+class TestSandboxLayer:
+    def test_capability_policy_enforced_at_offer_time(self):
+        platform = ProactivePlatform(seed=53)
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("needs-net", NetworkUsingAspect)
+        hall.add_extension("harmless", lambda: TraceAspect(type_pattern="Engine"))
+        robot = platform.create_mobile_node(
+            "robot",
+            Position(5, 0),
+            policy=SandboxPolicy({Capability.CLOCK}),  # no network
+        )
+        platform.run_for(10.0)
+        # Only the harmless extension made it in.
+        assert robot.extensions() == ["harmless"]
+
+    def test_sandbox_restricted_to_declared_capabilities(self):
+        """Even on a permissive node, an extension's sandbox is narrowed
+        to what its envelope declared — undeclared capabilities are
+        denied at run time."""
+        platform = ProactivePlatform(seed=54)
+        hall = platform.create_base_station("hall", Position(0, 0))
+        hall.add_extension("trace", lambda: TraceAspect(type_pattern="Engine"))
+        robot = platform.create_mobile_node("robot", Position(5, 0))
+        cls = fresh_class()
+        robot.load_class(cls)
+        platform.run_for(5.0)
+
+        installed = robot.adaptation.find("trace")
+        # TraceAspect declared no capabilities; its sandbox allows none.
+        assert not installed.sandbox.policy.allows(Capability.NETWORK)
+        with pytest.raises(SandboxViolation):
+            installed.sandbox.require(Capability.NETWORK)

@@ -1,0 +1,97 @@
+"""A whole site under churn: many robots roaming many halls.
+
+Stress-level integration: 3 halls with distinct policies, 6 robots
+walking pseudo-random tours between them for a long simulated span.  At
+every checkpoint each robot carries exactly its current hall's policy
+(or nothing, in the corridors) — locality holds globally, not just in
+two-node scenarios.
+"""
+
+import random
+
+import pytest
+
+from repro.core.environment import ProactiveEnvironment
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position, Region
+
+from tests.support import TraceAspect
+
+
+HALL_SPECS = [
+    ("north", Region(0, 200, 60, 260, name="north")),
+    ("east", Region(200, 0, 260, 60, name="east")),
+    ("south", Region(0, -260, 60, -200, name="south")),
+]
+
+
+@pytest.fixture
+def site():
+    platform = ProactivePlatform(seed=91)
+    env = ProactiveEnvironment(platform)
+    halls = {}
+    for name, region in HALL_SPECS:
+        hall = env.add_hall(region)
+        hall.set_policy({f"{name}-policy": TraceAspect})
+        halls[name] = hall
+    robots = [
+        platform.create_mobile_node(
+            f"robot-{index}", Position(30, 230), radio_range=60
+        )
+        for index in range(6)
+    ]
+    return platform, env, halls, robots
+
+
+class TestSiteChurn:
+    def test_every_robot_carries_its_halls_policy(self, site):
+        platform, env, halls, robots = site
+        rng = random.Random(7)
+        names = list(halls)
+
+        for round_number in range(4):
+            # Everyone picks a hall and walks there (teleport-fast walk
+            # is fine; locality is what we check).
+            destinations = {}
+            for robot in robots:
+                choice = rng.choice(names)
+                destinations[robot.node_id] = choice
+                robot.mobility.stop()
+                robot.mobility.speed = 20.0
+                robot.walk_to(halls[choice].region)
+            platform.run_for(600.0)  # travel + adaptation + churn settle
+
+            for robot in robots:
+                hall_name = destinations[robot.node_id]
+                expected = {f"{hall_name}-policy"}
+                assert set(robot.extensions()) == expected, (
+                    f"round {round_number}: {robot.node_id} in {hall_name} "
+                    f"carries {robot.extensions()}"
+                )
+
+    def test_corridor_means_no_policy(self, site):
+        platform, env, halls, robots = site
+        platform.run_for(30.0)
+        robot = robots[0]
+        robot.mobility.speed = 20.0
+        robot.walk_to(Position(130, 130))  # between all halls
+        platform.run_for(600.0)
+        assert env.hall_of(robot) is None
+        assert robot.extensions() == []
+
+    def test_summary_is_consistent(self, site):
+        platform, env, halls, robots = site
+        platform.run_for(120.0)
+        summary = platform.summary()
+        adapted_by_bases = {
+            node
+            for view in summary["base_stations"].values()
+            for node in view["adapted_nodes"]
+        }
+        holding_nodes = {
+            node_id
+            for node_id, view in summary["mobile_nodes"].items()
+            if view["extensions"]
+        }
+        # Every node holding extensions is tracked by some base.
+        assert holding_nodes <= adapted_by_bases

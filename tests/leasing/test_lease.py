@@ -1,0 +1,52 @@
+"""Lease record tests."""
+
+import pytest
+
+from repro.errors import LeaseExpiredError
+from repro.leasing.lease import Lease, LeaseState
+
+
+def make_lease(duration=10.0, granted_at=0.0):
+    return Lease("lease-1", "node-a", "ext-x", duration, granted_at)
+
+
+class TestLease:
+    def test_initially_active(self):
+        lease = make_lease()
+        assert lease.active
+        assert lease.state is LeaseState.ACTIVE
+
+    def test_expiry_time(self):
+        lease = make_lease(duration=7.0, granted_at=3.0)
+        assert lease.expires_at == 10.0
+
+    def test_remaining(self):
+        lease = make_lease(duration=10.0)
+        assert lease.remaining(now=4.0) == 6.0
+
+    def test_remaining_clamps_at_zero(self):
+        lease = make_lease(duration=10.0)
+        assert lease.remaining(now=50.0) == 0.0
+
+    def test_remaining_zero_when_inactive(self):
+        lease = make_lease()
+        lease.state = LeaseState.CANCELLED
+        assert lease.remaining(now=0.0) == 0.0
+
+    def test_renew_extends_from_now(self):
+        lease = make_lease(duration=10.0)
+        lease._renew(now=8.0)
+        assert lease.expires_at == 18.0
+        assert lease.renewals == 1
+
+    def test_renew_with_new_duration(self):
+        lease = make_lease(duration=10.0)
+        lease._renew(now=5.0, duration=2.0)
+        assert lease.expires_at == 7.0
+        assert lease.duration == 2.0
+
+    def test_renew_inactive_raises(self):
+        lease = make_lease()
+        lease.state = LeaseState.EXPIRED
+        with pytest.raises(LeaseExpiredError):
+            lease._renew(now=1.0)

@@ -1,0 +1,117 @@
+"""Renewal agent tests."""
+
+import pytest
+
+from repro.leasing.renewer import RenewalAgent
+
+
+class FakeRemote:
+    """A scriptable renewal endpoint."""
+
+    def __init__(self):
+        self.renew_calls = 0
+        self.fail = False
+
+    def renew_function(self, tracked, on_success, on_failure):
+        self.renew_calls += 1
+        if self.fail:
+            on_failure(TimeoutError("unreachable"))
+        else:
+            on_success()
+
+
+@pytest.fixture
+def remote():
+    return FakeRemote()
+
+
+@pytest.fixture
+def agent(sim, remote):
+    return RenewalAgent(sim, remote.renew_function, interval=1.0, name="t")
+
+
+class TestTracking:
+    def test_no_renewals_before_tracking(self, sim, remote, agent):
+        sim.run(until=5.0)
+        assert remote.renew_calls == 0
+
+    def test_periodic_renewals_while_tracked(self, sim, remote, agent):
+        agent.track("lease-1", "node-b", duration=2.0)
+        sim.run(until=3.5)
+        assert remote.renew_calls == 3
+
+    def test_forget_stops_renewals(self, sim, remote, agent):
+        agent.track("lease-1", "node-b", duration=2.0)
+        sim.run(until=2.5)
+        agent.forget("lease-1")
+        calls = remote.renew_calls
+        sim.run(until=10.0)
+        assert remote.renew_calls == calls
+
+    def test_multiple_leases_renewed_each_round(self, sim, remote, agent):
+        agent.track("l1", "b", 2.0)
+        agent.track("l2", "c", 2.0)
+        sim.run(until=1.5)
+        assert remote.renew_calls == 2
+
+    def test_tracked_listing(self, agent):
+        agent.track("l1", "b", 2.0, resource="ext-a", context={"k": 1})
+        tracked = agent.tracked()
+        assert len(tracked) == 1
+        assert tracked[0].resource == "ext-a"
+        assert agent.tracking("l1")
+        assert not agent.tracking("l2")
+
+
+class TestFailureHandling:
+    def test_success_resets_failure_count(self, sim, remote, agent):
+        tracked = agent.track("l1", "b", 2.0)
+        remote.fail = True
+        sim.run(until=2.5)  # two failed rounds
+        assert tracked.failures == 2
+        remote.fail = False
+        sim.run(until=3.5)
+        assert tracked.failures == 0
+
+    def test_abandoned_after_max_failures(self, sim, remote, agent):
+        abandoned = []
+        agent.on_abandoned.connect(abandoned.append)
+        agent.track("l1", "b", 2.0)
+        remote.fail = True
+        sim.run(until=10.0)
+        assert len(abandoned) == 1
+        assert abandoned[0].lease_id == "l1"
+        assert not agent.tracking("l1")
+
+    def test_renewals_stop_after_abandonment(self, sim, remote, agent):
+        agent.track("l1", "b", 2.0)
+        remote.fail = True
+        sim.run(until=10.0)
+        calls = remote.renew_calls
+        sim.run(until=20.0)
+        assert remote.renew_calls == calls
+
+    def test_on_renewed_fires(self, sim, remote, agent):
+        renewed = []
+        agent.on_renewed.connect(renewed.append)
+        agent.track("l1", "b", 2.0)
+        sim.run(until=1.5)
+        assert len(renewed) == 1
+
+    def test_other_leases_survive_one_abandonment(self, sim, agent):
+        outcomes = {"good": 0}
+
+        def selective(tracked, on_success, on_failure):
+            if tracked.lease_id == "bad":
+                on_failure(TimeoutError())
+            else:
+                outcomes["good"] += 1
+                on_success()
+
+        agent.renew_function = selective
+        agent.track("bad", "b", 2.0)
+        agent.track("good", "c", 2.0)
+        sim.run(until=10.0)
+        assert not agent.tracking("bad")
+        assert agent.tracking("good")
+        assert outcomes["good"] >= 5

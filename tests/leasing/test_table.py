@@ -1,0 +1,124 @@
+"""Lease table (expiry tracking) tests."""
+
+import pytest
+
+from repro.errors import LeaseDeniedError, LeaseExpiredError
+from repro.leasing.lease import LeaseState
+from repro.leasing.table import LeaseTable
+
+
+@pytest.fixture
+def table(sim):
+    return LeaseTable(sim, name="test")
+
+
+class TestGrant:
+    def test_grant_returns_active_lease(self, sim, table):
+        lease = table.grant("node-a", "ext", duration=5.0)
+        assert lease.active
+        assert lease in table.active()
+
+    def test_non_positive_duration_rejected(self, table):
+        with pytest.raises(LeaseDeniedError):
+            table.grant("a", "x", duration=0.0)
+
+    def test_max_duration_clamps(self, sim):
+        table = LeaseTable(sim, max_duration=5.0)
+        lease = table.grant("a", "x", duration=100.0)
+        assert lease.duration == 5.0
+
+    def test_held_by(self, table):
+        table.grant("a", "x", 5.0)
+        table.grant("a", "y", 5.0)
+        table.grant("b", "z", 5.0)
+        assert len(list(table.held_by("a"))) == 2
+
+
+class TestExpiry:
+    def test_expires_exactly_at_term(self, sim, table):
+        expired = []
+        table.on_expired.connect(lambda lease: expired.append(sim.now))
+        table.grant("a", "x", duration=5.0)
+        sim.run(until=10.0)
+        assert expired == [5.0]
+
+    def test_expired_lease_removed(self, sim, table):
+        lease = table.grant("a", "x", duration=5.0)
+        sim.run(until=10.0)
+        assert lease.state is LeaseState.EXPIRED
+        assert len(table) == 0
+        with pytest.raises(LeaseExpiredError):
+            table.get(lease.lease_id)
+
+    def test_renewal_postpones_expiry(self, sim, table):
+        expired = []
+        table.on_expired.connect(lambda lease: expired.append(sim.now))
+        lease = table.grant("a", "x", duration=5.0)
+        sim.run(until=3.0)
+        table.renew(lease.lease_id)
+        sim.run(until=7.9)
+        assert expired == []
+        sim.run(until=8.1)
+        assert expired == [8.0]
+
+    def test_many_renewals_keep_alive_indefinitely(self, sim, table):
+        lease = table.grant("a", "x", duration=2.0)
+        for round_end in range(1, 20):
+            sim.run(until=float(round_end))
+            table.renew(lease.lease_id)
+        assert lease.active
+        assert lease.renewals == 19
+
+    def test_renew_with_shorter_duration(self, sim, table):
+        lease = table.grant("a", "x", duration=10.0)
+        table.renew(lease.lease_id, duration=1.0)
+        sim.run(until=1.5)
+        assert not lease.active
+
+    def test_renew_unknown_lease_raises(self, table):
+        with pytest.raises(LeaseExpiredError):
+            table.renew("nothing")
+
+    def test_renew_after_expiry_raises(self, sim, table):
+        lease = table.grant("a", "x", duration=1.0)
+        sim.run(until=2.0)
+        with pytest.raises(LeaseExpiredError):
+            table.renew(lease.lease_id)
+
+
+class TestCancel:
+    def test_cancel_fires_signal_not_expired(self, sim, table):
+        cancelled, expired = [], []
+        table.on_cancelled.connect(cancelled.append)
+        table.on_expired.connect(expired.append)
+        lease = table.grant("a", "x", duration=5.0)
+        table.cancel(lease.lease_id)
+        sim.run(until=10.0)
+        assert len(cancelled) == 1
+        assert expired == []
+        assert lease.state is LeaseState.CANCELLED
+
+    def test_cancelled_lease_removed(self, sim, table):
+        lease = table.grant("a", "x", 5.0)
+        table.cancel(lease.lease_id)
+        assert len(table) == 0
+
+    def test_cancel_unknown_raises(self, table):
+        with pytest.raises(LeaseExpiredError):
+            table.cancel("nothing")
+
+
+class TestIndependence:
+    def test_leases_expire_independently(self, sim, table):
+        expired = []
+        table.on_expired.connect(lambda lease: expired.append(lease.resource))
+        table.grant("a", "short", duration=1.0)
+        table.grant("a", "long", duration=10.0)
+        sim.run(until=5.0)
+        assert expired == ["short"]
+        assert len(table) == 1
+
+    def test_contains(self, table):
+        lease = table.grant("a", "x", 5.0)
+        assert lease.lease_id in table
+        assert "other" not in table

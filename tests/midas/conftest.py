@@ -1,0 +1,66 @@
+"""Fixtures for MIDAS protocol tests: one base station, one mobile node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.midas.base import ExtensionBase
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+class MidasWorld:
+    """A wired-up base station + one adaptable device."""
+
+    def __init__(self, sim, network, device_policy: SandboxPolicy | None = None):
+        self.sim = sim
+        self.network = network
+        self.signer = Signer.generate("hall-A")
+
+        self.base_node = network.attach(NetworkNode("base", Position(0, 0), 60))
+        self.base_transport = Transport(self.base_node, sim)
+        self.lookup = LookupService(self.base_transport, sim).start()
+        self.catalog = ExtensionCatalog(self.signer)
+        self.base = ExtensionBase(self.base_transport, sim, self.catalog)
+        self.base.watch_lookup(self.lookup)
+
+        self.device_node = network.attach(NetworkNode("device", Position(5, 0), 60))
+        self.device_transport = Transport(self.device_node, sim)
+        self.vm = ProseVM()
+        self.trust = TrustStore()
+        self.trust.trust_signer(self.signer)
+        self.discovery = DiscoveryClient(self.device_transport, sim).start()
+        self.receiver = AdaptationService(
+            self.vm,
+            self.device_transport,
+            sim,
+            self.trust,
+            policy=device_policy or SandboxPolicy.permissive(),
+            services={
+                Capability.NETWORK: RemoteCaller(self.device_transport),
+                Capability.CLOCK: sim.clock,
+                Capability.SCHEDULER: SchedulerService(sim),
+            },
+            discovery=self.discovery,
+        )
+
+    def start_receiver(self) -> None:
+        self.receiver.start()
+
+    def run(self, seconds: float) -> None:
+        self.sim.run_for(seconds)
+
+
+@pytest.fixture
+def world(sim, network) -> MidasWorld:
+    return MidasWorld(sim, network)

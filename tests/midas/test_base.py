@@ -1,0 +1,83 @@
+"""Extension base (distribution side) tests."""
+
+from repro.net.geometry import Position
+from repro.net.mobility import WaypointMobility
+
+from tests.support import TraceAspect
+
+
+class TestDistribution:
+    def test_adapted_nodes_listing(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        assert world.base.adapted_nodes() == ["device"]
+
+    def test_extension_added_later_not_pushed_automatically(self, world):
+        world.catalog.add("first", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        world.catalog.add("second", TraceAspect)
+        world.run(3.0)
+        # Only a fresh adapt_node (or re-registration) pushes new entries.
+        assert world.base.extensions_on("device") == ["first"]
+        world.base.adapt_node("device")
+        world.run(3.0)
+        assert world.base.extensions_on("device") == ["first", "second"]
+
+    def test_base_never_adapts_itself(self, world):
+        # The base's own lookup sees only the device's adaptation service;
+        # offering to itself is guarded regardless.
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        assert "base" not in world.base.adapted_nodes()
+
+    def test_keepalives_maintain_extension(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(60.0)  # many lease terms
+        assert world.receiver.is_installed("trace")
+
+    def test_activity_log_records_lifecycle(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        actions = [record.action for record in world.base.activity_for("device")]
+        assert actions[:2] == ["offered", "accepted"]
+
+    def test_node_loss_detected_and_logged(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        lost = []
+        world.base.on_node_lost.connect(lost.append)
+        mobility = WaypointMobility(world.sim, world.device_node, speed=100.0)
+        mobility.go_to(Position(2000, 0))
+        world.run(120.0)
+        assert lost == ["device"]
+        assert world.base.adapted_nodes() == []
+        actions = {record.action for record in world.base.activity_for("device")}
+        assert "renewed-lost" in actions or "roamed" in actions
+
+    def test_returning_node_readapted(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        mobility = WaypointMobility(world.sim, world.device_node, speed=100.0)
+        mobility.go_to(Position(2000, 0))
+        world.run(120.0)
+        mobility.go_to(Position(5, 0))
+        world.run(120.0)
+        assert world.base.adapted_nodes() == ["device"]
+        assert world.receiver.is_installed("trace")
+
+    def test_revoke_node_revokes_all(self, world):
+        world.catalog.add("a", TraceAspect)
+        world.catalog.add("b", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        world.base.revoke_node("device")
+        world.run(2.0)
+        assert world.receiver.installed() == []
+        assert world.base.adapted_nodes() == []

@@ -1,0 +1,42 @@
+"""ExtensionBase signal tests."""
+
+from tests.support import NetworkUsingAspect, TraceAspect
+
+
+class TestBaseSignals:
+    def test_on_adapted_fires_per_extension(self, world):
+        adapted = []
+        world.base.on_adapted.connect(lambda node, name: adapted.append((node, name)))
+        world.catalog.add("a", TraceAspect)
+        world.catalog.add("b", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        assert sorted(adapted) == [("device", "a"), ("device", "b")]
+
+    def test_on_rejected_fires_with_reason(self, sim, network):
+        from repro.aop.sandbox import SandboxPolicy
+        from tests.midas.conftest import MidasWorld
+
+        world = MidasWorld(sim, network, device_policy=SandboxPolicy.restrictive())
+        rejections = []
+        world.base.on_rejected.connect(
+            lambda node, name, detail: rejections.append((node, name, detail))
+        )
+        world.catalog.add("needs-net", NetworkUsingAspect)
+        world.start_receiver()
+        world.run(3.0)
+        assert rejections
+        node, name, detail = rejections[0]
+        assert (node, name) == ("device", "needs-net")
+        assert "denied capabilities" in detail
+
+    def test_on_node_lost_once_per_node(self, world):
+        world.catalog.add("a", TraceAspect)
+        world.catalog.add("b", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        lost = []
+        world.base.on_node_lost.connect(lost.append)
+        world.network.partition("base", "device")
+        world.run(90.0)
+        assert lost.count("device") == 1

@@ -1,0 +1,65 @@
+"""Extension catalog tests."""
+
+import pytest
+
+from repro.errors import UnknownExtensionError
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.trust import Signer, TrustStore
+
+from tests.support import TraceAspect
+
+
+@pytest.fixture
+def catalog():
+    return ExtensionCatalog(Signer.generate("hall"))
+
+
+class TestCatalog:
+    def test_add_and_names(self, catalog):
+        catalog.add("trace", TraceAspect)
+        assert catalog.names() == ["trace"]
+        assert "trace" in catalog
+        assert len(catalog) == 1
+
+    def test_seal_produces_fresh_instances(self, catalog):
+        catalog.add("trace", TraceAspect)
+        first = catalog.seal("trace")
+        second = catalog.seal("trace")
+        assert first.envelope_id != second.envelope_id
+
+    def test_sealed_envelope_opens(self, catalog):
+        catalog.add("trace", TraceAspect)
+        trust = TrustStore()
+        trust.trust_signer(catalog.signer)
+        aspect = catalog.seal("trace").open(trust)
+        assert isinstance(aspect, TraceAspect)
+
+    def test_readd_bumps_version(self, catalog):
+        catalog.add("trace", TraceAspect)
+        assert catalog.version_of("trace") == 1
+        catalog.add("trace", lambda: TraceAspect(type_pattern="Engine"))
+        assert catalog.version_of("trace") == 2
+        assert catalog.seal("trace").version == 2
+
+    def test_remove(self, catalog):
+        catalog.add("trace", TraceAspect)
+        catalog.remove("trace")
+        assert "trace" not in catalog
+
+    def test_remove_unknown_raises(self, catalog):
+        with pytest.raises(UnknownExtensionError):
+            catalog.remove("ghost")
+
+    def test_seal_unknown_raises(self, catalog):
+        with pytest.raises(UnknownExtensionError):
+            catalog.seal("ghost")
+
+    def test_factory_must_return_aspect(self, catalog):
+        catalog.add("broken", lambda: object())
+        with pytest.raises(UnknownExtensionError):
+            catalog.seal("broken")
+
+    def test_seal_all(self, catalog):
+        catalog.add("a", TraceAspect)
+        catalog.add("b", TraceAspect)
+        assert [e.name for e in catalog.seal_all()] == ["a", "b"]

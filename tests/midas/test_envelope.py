@@ -1,0 +1,85 @@
+"""Extension envelope tests."""
+
+import pytest
+
+from repro.errors import UntrustedSignerError, VerificationError
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.trust import Signer, TrustStore
+
+from tests.support import TraceAspect
+
+
+@pytest.fixture
+def signer():
+    return Signer.generate("hall")
+
+
+@pytest.fixture
+def store(signer):
+    trust = TrustStore()
+    trust.trust_signer(signer)
+    return trust
+
+
+class TestSeal:
+    def test_seal_produces_signed_payload(self, signer):
+        envelope = ExtensionEnvelope.seal("trace", TraceAspect(), signer)
+        assert envelope.name == "trace"
+        assert envelope.signer == "hall"
+        assert envelope.size > 0
+
+    def test_capabilities_copied_from_aspect(self, signer):
+        from tests.support import NetworkUsingAspect
+
+        envelope = ExtensionEnvelope.seal("net", NetworkUsingAspect(), signer)
+        assert envelope.capabilities == frozenset({"network"})
+
+    def test_unserializable_aspect_rejected(self, signer):
+        aspect = TraceAspect()
+        aspect.unpicklable = lambda: None  # local function: not picklable
+        with pytest.raises(VerificationError):
+            ExtensionEnvelope.seal("bad", aspect, signer)
+
+
+class TestOpen:
+    def test_round_trip(self, signer, store):
+        original = TraceAspect(type_pattern="Engine")
+        envelope = ExtensionEnvelope.seal("trace", original, signer)
+        clone = envelope.open(store)
+        assert type(clone) is TraceAspect
+        assert clone.name == original.name
+        assert clone is not original
+
+    def test_untrusted_signer_rejected_before_deserialization(self, signer):
+        envelope = ExtensionEnvelope.seal("trace", TraceAspect(), signer)
+        with pytest.raises(UntrustedSignerError):
+            envelope.open(TrustStore())
+
+    def test_tampered_payload_rejected(self, signer, store):
+        envelope = ExtensionEnvelope.seal("trace", TraceAspect(), signer)
+        forged = ExtensionEnvelope(
+            name=envelope.name,
+            payload=envelope.payload + b"x",
+            signer=envelope.signer,
+            signature=envelope.signature,
+            capabilities=envelope.capabilities,
+        )
+        with pytest.raises(VerificationError):
+            forged.open(store)
+
+    def test_non_aspect_payload_rejected(self, signer, store):
+        import pickle
+
+        payload = pickle.dumps({"not": "an aspect"})
+        envelope = ExtensionEnvelope(
+            name="bogus",
+            payload=payload,
+            signer=signer.entity,
+            signature=signer.sign(payload),
+        )
+        with pytest.raises(VerificationError):
+            envelope.open(store)
+
+    def test_version_carried(self, signer):
+        envelope = ExtensionEnvelope.seal("trace", TraceAspect(), signer, version=7)
+        assert envelope.version == 7

@@ -1,0 +1,70 @@
+"""Assorted MIDAS edge cases."""
+
+import pytest
+
+from repro.errors import UnknownExtensionError
+
+from tests.support import TraceAspect
+
+
+class TestBaseEdges:
+    def test_replace_unknown_extension_raises(self, world):
+        with pytest.raises(UnknownExtensionError):
+            world.base.replace_extension("ghost", TraceAspect)
+
+    def test_revoke_unknown_is_noop(self, world):
+        world.base.revoke("device", "ghost")  # no error
+        world.base.revoke_node("nobody")
+
+    def test_offer_skips_already_adapted_current_version(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        offered_before = len(
+            [r for r in world.base.activity_log if r.action == "offered"]
+        )
+        world.base.offer("device", "trace")  # live at current version
+        world.run(1.0)
+        offered_after = len(
+            [r for r in world.base.activity_log if r.action == "offered"]
+        )
+        assert offered_after == offered_before
+
+    def test_extension_lease_duration_honored(self, world):
+        world.base.lease_duration = 4.0
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        installed = world.receiver.installed()[0]
+        lease = world.receiver._leases.get(installed.lease_id)
+        assert lease.duration == 4.0
+
+
+class TestReceiverEdges:
+    def test_keepalive_reports_unknown_leases(self, world):
+        replies = []
+        world.base.transport.request(
+            "device",
+            "midas.keepalive",
+            {"lease_ids": ["lease:bogus"]},
+            on_reply=replies.append,
+        )
+        world.run(1.0)
+        assert replies == [{"renewed": [], "unknown": ["lease:bogus"]}]
+
+    def test_revoke_unknown_lease_reports_false(self, world):
+        replies = []
+        world.base.transport.request(
+            "device",
+            "midas.revoke",
+            {"lease_id": "lease:bogus"},
+            on_reply=replies.append,
+        )
+        world.run(1.0)
+        assert replies == [{"revoked": False}]
+
+    def test_start_is_idempotent(self, world):
+        world.start_receiver()
+        world.start_receiver()  # second call must not double-register
+        world.run(3.0)
+        assert world.lookup.registration_count() == 1

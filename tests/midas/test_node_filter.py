@@ -1,0 +1,82 @@
+"""Per-base node-filter tests: a hall with per-device-kind policies."""
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceTemplate
+from repro.midas.base import ExtensionBase
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+from tests.support import TraceAspect
+
+
+def make_device(sim, network, name, role, signer):
+    node = network.attach(NetworkNode(name, Position(5, len(name)), 60))
+    transport = Transport(node, sim)
+    trust = TrustStore()
+    trust.trust_signer(signer)
+    discovery = DiscoveryClient(transport, sim).start()
+    return AdaptationService(
+        ProseVM(name=name),
+        transport,
+        sim,
+        trust,
+        policy=SandboxPolicy.permissive(),
+        services={
+            Capability.NETWORK: RemoteCaller(transport),
+            Capability.CLOCK: sim.clock,
+            Capability.SCHEDULER: SchedulerService(sim),
+        },
+        discovery=discovery,
+        attributes={"role": role},
+    ).start()
+
+
+class TestNodeFilter:
+    def test_only_matching_roles_adapted(self, sim, network):
+        signer = Signer.generate("hall")
+        base_node = network.attach(NetworkNode("base", Position(0, 0), 60))
+        base_transport = Transport(base_node, sim)
+        lookup = LookupService(base_transport, sim).start()
+        catalog = ExtensionCatalog(signer)
+        catalog.add("robot-policy", TraceAspect)
+        base = ExtensionBase(
+            base_transport,
+            sim,
+            catalog,
+            node_filter=ServiceTemplate(attributes={"role": "robot"}),
+        )
+        base.watch_lookup(lookup)
+
+        robot = make_device(sim, network, "robot-1", "robot", signer)
+        pda = make_device(sim, network, "pda-1", "pda", signer)
+        sim.run_for(15.0)
+
+        assert robot.is_installed("robot-policy")
+        assert not pda.is_installed("robot-policy")
+        assert base.adapted_nodes() == ["robot-1"]
+
+    def test_no_filter_adapts_everyone(self, sim, network):
+        signer = Signer.generate("hall")
+        base_node = network.attach(NetworkNode("base", Position(0, 0), 60))
+        base_transport = Transport(base_node, sim)
+        lookup = LookupService(base_transport, sim).start()
+        catalog = ExtensionCatalog(signer)
+        catalog.add("policy", TraceAspect)
+        base = ExtensionBase(base_transport, sim, catalog)
+        base.watch_lookup(lookup)
+
+        make_device(sim, network, "robot-1", "robot", signer)
+        make_device(sim, network, "pda-1", "pda", signer)
+        sim.run_for(15.0)
+        assert base.adapted_nodes() == ["pda-1", "robot-1"]

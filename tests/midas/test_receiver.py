@@ -1,0 +1,178 @@
+"""Adaptation service (extension receiver) tests."""
+
+import pytest
+
+from repro.aop.sandbox import SandboxPolicy
+from repro.midas.receiver import (
+    REASON_LEASE_EXPIRED,
+    REASON_REPLACED,
+    REASON_REVOKED,
+)
+
+from tests.midas.conftest import MidasWorld
+from tests.support import Engine, TraceAspect, NetworkUsingAspect, fresh_class
+
+
+class TestInstallation:
+    def test_discovered_node_receives_catalog(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        assert world.receiver.is_installed("trace")
+        assert world.base.extensions_on("device") == ["trace"]
+
+    def test_installed_extension_intercepts(self, world):
+        world.catalog.add("trace", lambda: TraceAspect(type_pattern="Engine"))
+        cls = fresh_class()
+        world.vm.load_class(cls)
+        world.start_receiver()
+        world.run(3.0)
+        cls().start()
+        installed = world.receiver.find("trace")
+        assert ("start", ()) in installed.aspect.trace
+
+    def test_on_installed_signal(self, world):
+        world.catalog.add("trace", TraceAspect)
+        seen = []
+        world.receiver.on_installed.connect(lambda inst: seen.append(inst.name))
+        world.start_receiver()
+        world.run(3.0)
+        assert seen == ["trace"]
+
+    def test_reoffer_same_version_renews_not_duplicates(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        world.base.offer("device", "trace")
+        world.run(2.0)
+        assert len(world.receiver.installed()) == 1
+        assert len(world.vm.aspects) == 1
+
+
+class TestSecurity:
+    def test_untrusted_signer_rejected(self, sim, network):
+        from repro.midas.trust import Signer
+
+        world = MidasWorld(sim, network)
+        world.trust.revoke(world.signer.entity)
+        world.trust.trust_signer(Signer.generate("someone-else"))
+        world.catalog.add("trace", TraceAspect)
+        rejected = []
+        world.receiver.on_rejected.connect(
+            lambda envelope, error: rejected.append(envelope.name)
+        )
+        world.start_receiver()
+        world.run(5.0)
+        assert not world.receiver.is_installed("trace")
+        assert "trace" in rejected
+        assert world.vm.aspects == ()
+
+    def test_denied_capability_rejected(self, sim, network):
+        world = MidasWorld(sim, network, device_policy=SandboxPolicy.restrictive())
+        world.catalog.add("needs-net", NetworkUsingAspect)
+        world.start_receiver()
+        world.run(5.0)
+        assert not world.receiver.is_installed("needs-net")
+        records = [r.action for r in world.base.activity_for("device")]
+        assert "rejected" in records
+
+
+class TestRevocation:
+    def test_lease_expires_when_base_vanishes(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        withdrawn = []
+        world.receiver.on_withdrawn.connect(
+            lambda inst, reason: withdrawn.append((inst.name, reason))
+        )
+        world.network.partition("base", "device")
+        world.run(60.0)
+        assert ("trace", REASON_LEASE_EXPIRED) in withdrawn
+        assert world.vm.aspects == ()
+
+    def test_base_revoke_removes_extension(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        withdrawn = []
+        world.receiver.on_withdrawn.connect(
+            lambda inst, reason: withdrawn.append(reason)
+        )
+        world.base.revoke("device", "trace")
+        world.run(2.0)
+        assert REASON_REVOKED in withdrawn
+        assert not world.receiver.is_installed("trace")
+
+    def test_shutdown_called_before_withdrawal(self, world):
+        from tests.support import CleanShutdownAspect
+
+        world.catalog.add("clean", CleanShutdownAspect)
+        world.start_receiver()
+        world.run(3.0)
+        aspect = world.receiver.find("clean").aspect
+        world.receiver.withdraw("clean")
+        assert aspect.events == ["shutdown", "withdraw"]
+
+    def test_local_withdraw_returns_false_for_unknown(self, world):
+        assert world.receiver.withdraw("ghost") is False
+
+    def test_stop_withdraws_everything(self, world):
+        world.catalog.add("trace", TraceAspect)
+        world.start_receiver()
+        world.run(3.0)
+        world.receiver.stop()
+        assert world.receiver.installed() == []
+        assert world.vm.aspects == ()
+
+
+class TestReplacement:
+    def test_new_version_replaces_old(self, world):
+        world.catalog.add("trace", lambda: TraceAspect(type_pattern="Engine"))
+        world.start_receiver()
+        world.run(3.0)
+        old = world.receiver.find("trace").aspect
+        reasons = []
+        world.receiver.on_withdrawn.connect(
+            lambda inst, reason: reasons.append(reason)
+        )
+        world.base.replace_extension(
+            "trace", lambda: TraceAspect(type_pattern="Turbine")
+        )
+        world.run(3.0)
+        assert reasons == [REASON_REPLACED]
+        new = world.receiver.find("trace").aspect
+        assert new is not old
+        assert world.receiver.find("trace").envelope.version == 2
+        assert len(world.vm.aspects) == 1
+
+
+class TestImplicitExtensions:
+    def test_requires_auto_inserted(self, world):
+        from repro.extensions.access_control import AccessControl
+        from repro.extensions.session import SessionManagement
+
+        world.catalog.add("access", lambda: AccessControl(allowed={"boss"}))
+        world.start_receiver()
+        world.run(3.0)
+        kinds = {type(aspect) for aspect in world.vm.aspects}
+        assert AccessControl in kinds
+        assert SessionManagement in kinds
+
+    def test_implicit_shared_and_refcounted(self, world):
+        from repro.extensions.access_control import AccessControl
+        from repro.extensions.billing import Billing
+        from repro.extensions.session import SessionManagement
+
+        world.catalog.add("access", lambda: AccessControl(allowed={"boss"}))
+        world.catalog.add("billing", lambda: Billing({"*": 1.0}))
+        world.start_receiver()
+        world.run(3.0)
+        sessions = [a for a in world.vm.aspects if isinstance(a, SessionManagement)]
+        assert len(sessions) == 1  # shared, not duplicated
+        world.receiver.withdraw("access")
+        sessions = [a for a in world.vm.aspects if isinstance(a, SessionManagement)]
+        assert len(sessions) == 1  # still needed by billing
+        world.receiver.withdraw("billing")
+        sessions = [a for a in world.vm.aspects if isinstance(a, SessionManagement)]
+        assert sessions == []  # last user gone

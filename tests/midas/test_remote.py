@@ -1,0 +1,60 @@
+"""ServiceRef / RemoteCaller tests."""
+
+import pickle
+
+import pytest
+
+from repro.midas.remote import RemoteCaller, ServiceRef
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+@pytest.fixture
+def rig(sim, network):
+    a = network.attach(NetworkNode("a", Position(0, 0)))
+    b = network.attach(NetworkNode("b", Position(5, 0)))
+    return Transport(a, sim), Transport(b, sim)
+
+
+class TestServiceRef:
+    def test_is_plain_serializable_data(self):
+        ref = ServiceRef("base", "store.append")
+        clone = pickle.loads(pickle.dumps(ref))
+        assert clone == ref
+
+    def test_equality(self):
+        assert ServiceRef("a", "op") == ServiceRef("a", "op")
+        assert ServiceRef("a", "op") != ServiceRef("a", "other")
+
+
+class TestRemoteCaller:
+    def test_post_is_one_way(self, sim, rig):
+        sender, receiver = rig
+        got = []
+        receiver.register("store.append", lambda src, body: got.append(body))
+        caller = RemoteCaller(sender)
+        caller.post(ServiceRef("b", "store.append"), {"n": 1})
+        sim.run_for(1.0)
+        assert got == [{"n": 1}]
+
+    def test_call_round_trip(self, sim, rig):
+        sender, receiver = rig
+        receiver.register("math.double", lambda src, body: body * 2)
+        caller = RemoteCaller(sender)
+        replies = []
+        caller.call(ServiceRef("b", "math.double"), 21, on_reply=replies.append)
+        sim.run_for(1.0)
+        assert replies == [42]
+
+    def test_call_error_path(self, sim, rig):
+        sender, _ = rig
+        caller = RemoteCaller(sender)
+        errors = []
+        caller.call(ServiceRef("b", "missing.op"), on_error=errors.append)
+        sim.run_for(1.0)
+        assert errors
+
+    def test_local_node_id(self, rig):
+        sender, _ = rig
+        assert RemoteCaller(sender).local_node_id == "a"

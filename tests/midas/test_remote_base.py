@@ -1,0 +1,103 @@
+"""Extension base watching a *remote* registrar (watch_remote).
+
+Topology: the lookup service runs on its own infrastructure node; the
+extension base is a separate node that discovers adaptable devices
+through the Jini event protocol instead of co-hosting the registrar.
+"""
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceTemplate
+from repro.midas.base import ExtensionBase
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.mobility import WaypointMobility
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+from tests.support import TraceAspect
+
+
+@pytest.fixture
+def world(sim, network):
+    # Infrastructure node hosting only the registrar.
+    infra = network.attach(NetworkNode("infra", Position(0, 0), 80))
+    LookupService(Transport(infra, sim), sim).start()
+
+    # The base station: no registrar of its own.
+    signer = Signer.generate("hall")
+    base_node = network.attach(NetworkNode("base", Position(10, 0), 80))
+    base_transport = Transport(base_node, sim)
+    catalog = ExtensionCatalog(signer)
+    catalog.add("trace", TraceAspect)
+    base = ExtensionBase(base_transport, sim, catalog)
+    base_discovery = DiscoveryClient(base_transport, sim).start()
+    base.watch_remote(base_discovery)
+
+    # The device.
+    device_node = network.attach(NetworkNode("device", Position(5, 5), 80))
+    device_transport = Transport(device_node, sim)
+    trust = TrustStore()
+    trust.trust_signer(signer)
+    receiver = AdaptationService(
+        ProseVM(),
+        device_transport,
+        sim,
+        trust,
+        policy=SandboxPolicy.permissive(),
+        services={
+            Capability.NETWORK: RemoteCaller(device_transport),
+            Capability.CLOCK: sim.clock,
+            Capability.SCHEDULER: SchedulerService(sim),
+        },
+        discovery=DiscoveryClient(device_transport, sim).start(),
+    ).start()
+    return base, receiver, device_node
+
+
+class TestRemoteWatching:
+    def test_device_adapted_through_remote_registrar(self, sim, world):
+        base, receiver, _ = world
+        sim.run_for(10.0)
+        assert receiver.is_installed("trace")
+        assert base.adapted_nodes() == ["device"]
+
+    def test_departure_noticed_via_events(self, sim, world):
+        base, receiver, device_node = world
+        sim.run_for(10.0)
+        WaypointMobility(sim, device_node, speed=100.0).go_to(Position(2000, 0))
+        sim.run_for(120.0)
+        assert base.adapted_nodes() == []
+        assert receiver.installed() == []
+
+    def test_late_device_adapted_via_reconcile_or_event(self, sim, network, world):
+        base, _, _ = world
+        sim.run_for(10.0)
+        signer = Signer.generate("hall")
+        late_node = network.attach(NetworkNode("late", Position(5, -5), 80))
+        late_transport = Transport(late_node, sim)
+        trust = TrustStore()
+        trust.trust_signer(signer)
+        late = AdaptationService(
+            ProseVM(),
+            late_transport,
+            sim,
+            trust,
+            policy=SandboxPolicy.permissive(),
+            services={
+                Capability.NETWORK: RemoteCaller(late_transport),
+                Capability.CLOCK: sim.clock,
+                Capability.SCHEDULER: SchedulerService(sim),
+            },
+            discovery=DiscoveryClient(late_transport, sim).start(),
+        ).start()
+        sim.run_for(20.0)
+        assert late.is_installed("trace")

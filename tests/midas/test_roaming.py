@@ -1,0 +1,60 @@
+"""Roaming between two extension bases (the §3.2 roaming algorithm)."""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position
+
+from tests.support import Engine, TraceAspect, fresh_class
+
+
+@pytest.fixture
+def site():
+    platform = ProactivePlatform(seed=5)
+    hall_a = platform.create_base_station("hall-A", Position(0, 0), radio_range=60)
+    hall_b = platform.create_base_station("hall-B", Position(200, 0), radio_range=60)
+    hall_a.add_extension("trace-a", lambda: TraceAspect(type_pattern="Engine"))
+    hall_b.add_extension("trace-b", lambda: TraceAspect(type_pattern="Engine"))
+    robot = platform.create_mobile_node("robot", Position(5, 0), radio_range=60)
+    robot.load_class(fresh_class(Engine))
+    return platform, hall_a, hall_b, robot
+
+
+class TestRoaming:
+    def test_moving_between_halls_swaps_extensions(self, site):
+        platform, hall_a, hall_b, robot = site
+        platform.run_for(5.0)
+        assert robot.extensions() == ["trace-a"]
+
+        robot.walk_to(Position(200, 5))
+        platform.run_for(200.0)
+        assert "trace-b" in robot.extensions()
+        assert "trace-a" not in robot.extensions()
+
+    def test_roaming_notification_drops_leases_at_old_base(self, site):
+        platform, hall_a, hall_b, robot = site
+        platform.run_for(5.0)
+        assert hall_a.extension_base.adapted_nodes() == ["robot"]
+
+        robot.walk_to(Position(200, 5))
+        platform.run_for(200.0)
+        # Hall B announced the arrival; hall A dropped its bookkeeping.
+        assert hall_a.extension_base.adapted_nodes() == []
+        assert hall_b.extension_base.adapted_nodes() == ["robot"]
+        actions = {r.action for r in hall_a.extension_base.activity_for("robot")}
+        assert "roamed" in actions or "renewed-lost" in actions
+
+    def test_peer_bases_linked_automatically(self, site):
+        platform, hall_a, hall_b, _ = site
+        assert "hall-B" in hall_a.extension_base._peer_bases
+        assert "hall-A" in hall_b.extension_base._peer_bases
+
+    def test_round_trip_roaming(self, site):
+        platform, hall_a, hall_b, robot = site
+        platform.run_for(5.0)
+        robot.walk_to(Position(200, 5))
+        platform.run_for(200.0)
+        robot.walk_to(Position(5, 0))
+        platform.run_for(200.0)
+        assert robot.extensions() == ["trace-a"]
+        assert hall_b.extension_base.adapted_nodes() == []

@@ -1,0 +1,30 @@
+"""Scheduler service tests."""
+
+from repro.midas.scheduler import SchedulerService
+
+
+class TestSchedulerService:
+    def test_periodic_timer_started(self, sim):
+        scheduler = SchedulerService(sim)
+        ticks = []
+        timer = scheduler.periodic(1.0, lambda: ticks.append(sim.now))
+        sim.run_for(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+        timer.stop()
+        sim.run_for(5.0)
+        assert len(ticks) == 3
+
+    def test_after_runs_once(self, sim):
+        scheduler = SchedulerService(sim)
+        fired = []
+        scheduler.after(2.0, lambda: fired.append(sim.now))
+        sim.run_for(10.0)
+        assert fired == [2.0]
+
+    def test_after_cancellable(self, sim):
+        scheduler = SchedulerService(sim)
+        fired = []
+        event = scheduler.after(2.0, lambda: fired.append(True))
+        event.cancel()
+        sim.run_for(10.0)
+        assert fired == []

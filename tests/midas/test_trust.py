@@ -1,0 +1,68 @@
+"""Signing and trust-store tests."""
+
+import pytest
+
+from repro.errors import UntrustedSignerError, VerificationError
+from repro.midas.trust import Signer, TrustStore
+
+
+class TestSigner:
+    def test_deterministic_generation(self):
+        assert Signer.generate("hall").export_key() == Signer.generate("hall").export_key()
+
+    def test_different_entities_different_keys(self):
+        assert Signer.generate("a").export_key() != Signer.generate("b").export_key()
+
+    def test_signature_depends_on_payload(self):
+        signer = Signer.generate("hall")
+        assert signer.sign(b"one") != signer.sign(b"two")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(VerificationError):
+            Signer("x", b"")
+
+
+class TestTrustStore:
+    def test_verify_valid_signature(self):
+        signer = Signer.generate("hall")
+        store = TrustStore()
+        store.trust_signer(signer)
+        payload = b"extension bytes"
+        store.verify("hall", payload, signer.sign(payload))  # no raise
+
+    def test_unknown_signer_rejected(self):
+        signer = Signer.generate("hall")
+        store = TrustStore()
+        with pytest.raises(UntrustedSignerError):
+            store.verify("hall", b"data", signer.sign(b"data"))
+
+    def test_tampered_payload_rejected(self):
+        signer = Signer.generate("hall")
+        store = TrustStore()
+        store.trust_signer(signer)
+        signature = signer.sign(b"original")
+        with pytest.raises(VerificationError):
+            store.verify("hall", b"tampered", signature)
+
+    def test_wrong_signer_key_rejected(self):
+        mallory = Signer.generate("mallory")
+        store = TrustStore()
+        store.trust_signer(Signer.generate("hall"))
+        with pytest.raises(VerificationError):
+            store.verify("hall", b"data", mallory.sign(b"data"))
+
+    def test_revoke(self):
+        signer = Signer.generate("hall")
+        store = TrustStore()
+        store.trust_signer(signer)
+        store.revoke("hall")
+        assert not store.trusts("hall")
+        with pytest.raises(UntrustedSignerError):
+            store.verify("hall", b"data", signer.sign(b"data"))
+
+    def test_trusted_entities_listing(self):
+        store = TrustStore()
+        store.trust_signer(Signer.generate("b"))
+        store.trust_signer(Signer.generate("a"))
+        assert store.trusted_entities() == ["a", "b"]
+        assert len(store) == 2

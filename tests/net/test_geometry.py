@@ -1,0 +1,78 @@
+"""Geometry tests."""
+
+import pytest
+
+from repro.net.geometry import ORIGIN, Position, Region
+
+
+class TestPosition:
+    def test_distance(self):
+        assert Position(0, 0).distance_to(Position(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Position(1, 2), Position(-3, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Position(2.5, -1.0)
+        assert p.distance_to(p) == 0.0
+
+    def test_moved_towards_partial(self):
+        moved = Position(0, 0).moved_towards(Position(10, 0), 4.0)
+        assert moved == Position(4.0, 0.0)
+
+    def test_moved_towards_never_overshoots(self):
+        moved = Position(0, 0).moved_towards(Position(1, 0), 100.0)
+        assert moved == Position(1, 0)
+
+    def test_moved_towards_self_stays(self):
+        p = Position(3, 3)
+        assert p.moved_towards(p, 5.0) == p
+
+    def test_moved_towards_diagonal_preserves_direction(self):
+        moved = Position(0, 0).moved_towards(Position(10, 10), 2.0)
+        assert moved.x == pytest.approx(moved.y)
+        assert Position(0, 0).distance_to(moved) == pytest.approx(2.0)
+
+    def test_is_tuple_like(self):
+        x, y = Position(1, 2)
+        assert (x, y) == (1, 2)
+
+    def test_origin(self):
+        assert ORIGIN == Position(0.0, 0.0)
+
+
+class TestRegion:
+    def test_contains_interior_point(self):
+        region = Region(0, 0, 10, 10)
+        assert region.contains(Position(5, 5))
+
+    def test_contains_edge_point(self):
+        region = Region(0, 0, 10, 10)
+        assert region.contains(Position(0, 10))
+
+    def test_excludes_outside_point(self):
+        region = Region(0, 0, 10, 10)
+        assert not region.contains(Position(10.01, 5))
+
+    def test_center(self):
+        assert Region(0, 0, 10, 20).center == Position(5, 10)
+
+    def test_width_height(self):
+        region = Region(1, 2, 4, 10)
+        assert region.width == 3
+        assert region.height == 8
+
+    def test_corners(self):
+        corners = list(Region(0, 0, 2, 3).corners())
+        assert len(corners) == 4
+        assert Position(0, 0) in corners
+        assert Position(2, 3) in corners
+
+    def test_degenerate_region_rejected(self):
+        with pytest.raises(ValueError):
+            Region(5, 0, 4, 10)
+
+    def test_zero_area_region_allowed(self):
+        region = Region(5, 5, 5, 5)
+        assert region.contains(Position(5, 5))

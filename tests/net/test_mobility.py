@@ -1,0 +1,110 @@
+"""Mobility model tests."""
+
+import pytest
+
+from repro.net.geometry import Position, Region
+from repro.net.mobility import WaypointMobility, follow_path
+from repro.net.node import NetworkNode
+
+
+@pytest.fixture
+def node(network):
+    return network.attach(NetworkNode("walker", Position(0, 0)))
+
+
+class TestWaypointMobility:
+    def test_reaches_waypoint(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=2.0)
+        mobility.go_to(Position(10, 0))
+        sim.run_for(10.0)
+        assert node.position == Position(10, 0)
+        assert not mobility.moving
+
+    def test_moves_gradually(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=1.0, step=0.5)
+        mobility.go_to(Position(100, 0))
+        sim.run_for(10.0)
+        assert 0 < node.position.x < 100
+
+    def test_speed_determines_arrival_time(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=5.0)
+        mobility.go_to(Position(10, 0))
+        arrivals = []
+        mobility.on_arrival.connect(lambda wp: arrivals.append(sim.now))
+        sim.run_for(60.0)
+        assert arrivals
+        assert arrivals[0] == pytest.approx(2.0, abs=0.5)
+
+    def test_multiple_waypoints_in_order(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=10.0)
+        visited = []
+        mobility.on_arrival.connect(visited.append)
+        mobility.go_to(Position(10, 0))
+        mobility.go_to(Position(10, 10))
+        sim.run_for(60.0)
+        assert visited == [Position(10, 0), Position(10, 10)]
+
+    def test_region_target_means_center(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=10.0)
+        mobility.go_to(Region(0, 0, 20, 20))
+        sim.run_for(60.0)
+        assert node.position == Position(10, 10)
+
+    def test_stop_halts_in_place(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=1.0)
+        mobility.go_to(Position(100, 0))
+        sim.run_for(5.0)
+        mobility.stop()
+        here = node.position
+        sim.run_for(20.0)
+        assert node.position == here
+        assert not mobility.moving
+
+    def test_on_idle_fires_when_done(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=10.0)
+        idles = []
+        mobility.on_idle.connect(lambda: idles.append(sim.now))
+        mobility.go_to(Position(5, 0))
+        sim.run_for(30.0)
+        assert idles
+
+    def test_eta_estimates_remaining_travel(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=2.0)
+        mobility.go_to(Position(10, 0))
+        mobility.go_to(Position(10, 10))
+        assert mobility.eta() == pytest.approx(10.0)
+
+    def test_node_moved_signal_fires(self, sim, node):
+        moves = []
+        node.on_moved.connect(moves.append)
+        mobility = WaypointMobility(sim, node, speed=1.0)
+        mobility.go_to(Position(3, 0))
+        sim.run_for(10.0)
+        assert moves
+
+    def test_invalid_speed_rejected(self, sim, node):
+        with pytest.raises(ValueError):
+            WaypointMobility(sim, node, speed=0.0)
+
+    def test_go_to_while_moving_appends(self, sim, node):
+        mobility = WaypointMobility(sim, node, speed=10.0)
+        mobility.go_to(Position(10, 0))
+        sim.run_for(0.4)
+        mobility.go_to(Position(20, 0))
+        sim.run_for(60.0)
+        assert node.position == Position(20, 0)
+
+
+class TestFollowPath:
+    def test_walks_full_path_then_calls_done(self, sim, node):
+        done = []
+        follow_path(
+            sim,
+            node,
+            [Position(5, 0), Position(5, 5)],
+            speed=10.0,
+            on_done=lambda: done.append(sim.now),
+        )
+        sim.run_for(60.0)
+        assert node.position == Position(5, 5)
+        assert done

@@ -1,0 +1,82 @@
+"""Network node tests."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.geometry import Position
+from repro.net.message import Message
+from repro.net.node import NetworkNode
+
+
+class TestHandlers:
+    def test_handler_dispatch_by_kind(self, sim, network):
+        node = network.attach(NetworkNode("n"))
+        got = []
+        node.set_handler("ping", got.append)
+        node.deliver(Message("x", "n", "ping", 1))
+        node.deliver(Message("x", "n", "pong", 2))
+        assert len(got) == 1
+
+    def test_unhandled_signal(self, network):
+        node = network.attach(NetworkNode("n"))
+        unhandled = []
+        node.on_unhandled.connect(unhandled.append)
+        node.deliver(Message("x", "n", "mystery"))
+        assert len(unhandled) == 1
+
+    def test_handler_error_contained(self, network):
+        node = network.attach(NetworkNode("n"))
+
+        def broken(message):
+            raise ValueError("handler bug")
+
+        node.set_handler("ping", broken)
+        node.deliver(Message("x", "n", "ping"))  # no raise
+
+    def test_remove_handler(self, network):
+        node = network.attach(NetworkNode("n"))
+        got = []
+        node.set_handler("ping", got.append)
+        node.remove_handler("ping")
+        node.deliver(Message("x", "n", "ping"))
+        assert got == []
+        node.remove_handler("never-there")  # no error
+
+    def test_message_counters(self, sim, network):
+        a = network.attach(NetworkNode("a", Position(0, 0)))
+        b = network.attach(NetworkNode("b", Position(1, 0)))
+        b.set_handler("x", lambda message: None)
+        a.send("b", "x")
+        sim.run()
+        assert a.messages_sent == 1
+        assert b.messages_received == 1
+
+
+class TestDetachedBehaviour:
+    def test_detached_send_is_dropped_silently(self, network):
+        node = NetworkNode("loner")
+        message = node.send("anyone", "ping")
+        assert message.kind == "ping"
+        assert node.messages_sent == 0
+
+    def test_detached_broadcast_is_dropped_silently(self):
+        NetworkNode("loner").broadcast("ping")
+
+
+class TestGeometryAndIdentity:
+    def test_invalid_radio_range(self):
+        with pytest.raises(NetworkError):
+            NetworkNode("n", radio_range=0.0)
+
+    def test_move_to_fires_signal(self, network):
+        node = network.attach(NetworkNode("n", Position(0, 0)))
+        moves = []
+        node.on_moved.connect(moves.append)
+        node.move_to(Position(3, 4))
+        assert moves == [Position(3, 4)]
+        assert node.position == Position(3, 4)
+
+    def test_distance_between_nodes(self, network):
+        a = network.attach(NetworkNode("a", Position(0, 0)))
+        b = network.attach(NetworkNode("b", Position(3, 4)))
+        assert a.distance_to(b) == 5.0

@@ -1,0 +1,63 @@
+"""Property-based tests of canvas geometry (the replication ground truth)."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.robot.world import Canvas
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False)
+points = st.lists(st.tuples(coords, coords), min_size=2, max_size=20)
+scales = st.floats(min_value=0.1, max_value=10.0)
+
+
+def draw(canvas_points):
+    canvas = Canvas()
+    canvas.pen_down(canvas_points[0])
+    for point in canvas_points[1:]:
+        canvas.pen_move(point)
+    canvas.pen_up()
+    return canvas
+
+
+class TestCanvasProperties:
+    @given(points)
+    def test_matches_is_reflexive(self, pts):
+        assert draw(pts).matches(draw(pts))
+
+    @given(points, scales)
+    def test_scaling_multiplies_ink_length(self, pts, factor):
+        canvas = draw(pts)
+        scaled = canvas.scaled(factor)
+        assert math.isclose(
+            scaled.total_ink(), canvas.total_ink() * factor, rel_tol=1e-6, abs_tol=1e-6
+        )
+
+    @given(points, scales, scales)
+    def test_scaling_composes(self, pts, a, b):
+        canvas = draw(pts)
+        twice = canvas.scaled(a).scaled(b)
+        once = canvas.scaled(a * b)
+        assert twice.matches(once, tolerance=1e-6 * max(1.0, a * b) * 1000)
+
+    @given(points)
+    def test_unit_scale_is_identity(self, pts):
+        canvas = draw(pts)
+        assert canvas.scaled(1.0).matches(canvas)
+
+    @given(points)
+    def test_bounding_box_contains_all_points(self, pts):
+        canvas = draw(pts)
+        min_x, min_y, max_x, max_y = canvas.bounding_box()
+        for x, y in canvas.points():
+            assert min_x <= x <= max_x
+            assert min_y <= y <= max_y
+
+    @given(points)
+    def test_ink_nonnegative_and_zero_only_for_dots(self, pts):
+        canvas = draw(pts)
+        ink = canvas.total_ink()
+        assert ink >= 0.0
+        distinct = len(set(pts)) > 1
+        if ink == 0.0:
+            assert not distinct

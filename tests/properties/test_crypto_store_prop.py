@@ -1,0 +1,67 @@
+"""Property-based tests for the cipher, trust and movement store."""
+
+from hypothesis import given, strategies as st
+
+from repro.extensions.encryption import XorCipher
+from repro.midas.trust import Signer, TrustStore
+from repro.store.database import MovementRecord, MovementStore
+
+
+class TestCipherProperties:
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=500))
+    def test_round_trip(self, key, data):
+        cipher = XorCipher(key)
+        assert cipher.decrypt(cipher.encrypt(data)) == data
+
+    @given(st.binary(min_size=1, max_size=32), st.binary(min_size=1, max_size=200))
+    def test_length_preserved(self, key, data):
+        assert len(XorCipher(key).encrypt(data)) == len(data)
+
+
+class TestTrustProperties:
+    @given(st.text(min_size=1, max_size=20), st.binary(max_size=200))
+    def test_sign_verify_round_trip(self, entity, payload):
+        signer = Signer.generate(entity)
+        store = TrustStore()
+        store.trust_signer(signer)
+        store.verify(entity, payload, signer.sign(payload))
+
+    @given(st.binary(min_size=1, max_size=100), st.binary(min_size=1, max_size=100))
+    def test_different_payloads_different_signatures(self, one, two):
+        if one == two:
+            return
+        signer = Signer.generate("e")
+        assert signer.sign(one) != signer.sign(two)
+
+
+times = st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=30)
+
+
+class TestStoreProperties:
+    @given(times)
+    def test_actions_sorted_and_complete(self, time_list):
+        store = MovementStore()
+        for t in sorted(time_list):
+            store.append(MovementRecord("r", "d", "rotate", (1.0,), t))
+        actions = store.actions_of("r")
+        assert [a.time for a in actions] == sorted(time_list)
+
+    @given(times, st.floats(min_value=0, max_value=1000), st.floats(min_value=0, max_value=1000))
+    def test_window_query_is_filter(self, time_list, a, b):
+        since, until = min(a, b), max(a, b)
+        store = MovementStore()
+        for t in sorted(time_list):
+            store.append(MovementRecord("r", "d", "rotate", (1.0,), t))
+        windowed = store.actions_of("r", since=since, until=until)
+        assert [r.time for r in windowed] == [
+            t for t in sorted(time_list) if since <= t <= until
+        ]
+
+    @given(times)
+    def test_time_span_bounds(self, time_list):
+        store = MovementStore()
+        for t in time_list:
+            store.append(MovementRecord("r", "d", "rotate", (1.0,), t))
+        first, last = store.time_span("r")
+        assert first == min(time_list)
+        assert last == max(time_list)

@@ -1,0 +1,91 @@
+"""Property-based tests of the lease state machine.
+
+Invariant under arbitrary interleavings of grant/renew/cancel/advance:
+every lease ends in exactly one of {active, expired, cancelled}; expiry
+fires exactly once per expired lease, at a time >= its last renewal +
+duration; active leases always satisfy expires_at > now.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.errors import LeaseExpiredError
+from repro.leasing.lease import LeaseState
+from repro.leasing.table import LeaseTable
+from repro.sim.kernel import Simulator
+
+# An operation script: each entry is (op, arg)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("grant"), st.floats(min_value=0.5, max_value=10.0)),
+        st.tuples(st.just("renew"), st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("advance"), st.floats(min_value=0.1, max_value=15.0)),
+    ),
+    max_size=30,
+)
+
+
+class TestLeaseStateMachine:
+    @given(ops)
+    def test_invariants_hold_under_any_script(self, script):
+        sim = Simulator()
+        table = LeaseTable(sim, name="prop")
+        expired_events = []
+        cancelled_events = []
+        table.on_expired.connect(lambda lease: expired_events.append(lease.lease_id))
+        table.on_cancelled.connect(lambda lease: cancelled_events.append(lease.lease_id))
+        granted = []
+
+        for op, arg in script:
+            if op == "grant":
+                granted.append(table.grant("holder", "res", duration=arg))
+            elif op == "renew" and granted:
+                lease = granted[arg % len(granted)]
+                try:
+                    table.renew(lease.lease_id)
+                except LeaseExpiredError:
+                    assert not lease.active
+            elif op == "cancel" and granted:
+                lease = granted[arg % len(granted)]
+                try:
+                    table.cancel(lease.lease_id)
+                except LeaseExpiredError:
+                    assert not lease.active
+            elif op == "advance":
+                sim.run_for(arg)
+
+        sim.run_for(100.0)  # drain every pending expiry
+
+        for lease in granted:
+            assert lease.state in (LeaseState.EXPIRED, LeaseState.CANCELLED)
+        # Exactly-once signals, and disjoint outcomes.
+        assert len(expired_events) == len(set(expired_events))
+        assert len(cancelled_events) == len(set(cancelled_events))
+        assert not (set(expired_events) & set(cancelled_events))
+        assert len(expired_events) + len(cancelled_events) == len(granted)
+
+    @given(st.floats(min_value=0.5, max_value=20.0), st.integers(min_value=0, max_value=10))
+    def test_expiry_time_respects_renewals(self, duration, renewal_count):
+        sim = Simulator()
+        table = LeaseTable(sim, name="prop")
+        expiry_times = []
+        table.on_expired.connect(lambda lease: expiry_times.append(sim.now))
+        lease = table.grant("h", "r", duration=duration)
+        for _ in range(renewal_count):
+            sim.run_for(duration / 2)
+            table.renew(lease.lease_id)
+        last_renewal_time = sim.now
+        sim.run_for(duration * 3)
+        assert len(expiry_times) == 1
+        assert abs(expiry_times[0] - (last_renewal_time + duration)) < 1e-9
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10))
+    def test_active_leases_never_past_due(self, durations):
+        sim = Simulator()
+        table = LeaseTable(sim, name="prop")
+        for duration in durations:
+            table.grant("h", "r", duration=duration)
+        checkpoint = min(durations) / 2
+        sim.run_for(checkpoint)
+        for lease in table.active():
+            assert lease.expires_at > sim.now - 1e-9

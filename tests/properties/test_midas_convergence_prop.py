@@ -1,0 +1,85 @@
+"""MIDAS convergence property.
+
+Under *any* interleaving of partitions, heals, policy replacements,
+revocations and time, the system converges to the invariant:
+
+- connected and settled  ⇒ the node holds exactly the hall's catalog
+  (at the current versions);
+- disconnected and settled ⇒ the node holds nothing.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.platform import ProactivePlatform
+from repro.net.geometry import Position
+
+from tests.support import TraceAspect
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("partition"), st.just(0)),
+        st.tuples(st.just("heal"), st.just(0)),
+        st.tuples(st.just("replace"), st.integers(0, 1)),
+        st.tuples(st.just("revoke"), st.integers(0, 1)),
+        st.tuples(st.just("run"), st.floats(min_value=0.5, max_value=20.0)),
+    ),
+    max_size=12,
+)
+
+SETTLE = 90.0  # comfortably past lease terms, reconcile rounds, renewals
+
+
+def build_world(seed=0):
+    platform = ProactivePlatform(seed=seed)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension("ext-0", TraceAspect)
+    hall.add_extension("ext-1", TraceAspect)
+    node = platform.create_mobile_node("node", Position(5, 0))
+    return platform, hall, node
+
+
+class TestConvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(operations, st.integers(0, 9))
+    def test_connected_quiescence_holds_full_policy(self, script, seed):
+        platform, hall, node = build_world(seed)
+        for op, arg in script:
+            if op == "partition":
+                platform.network.partition("hall", "node")
+            elif op == "heal":
+                platform.network.heal("hall", "node")
+            elif op == "replace":
+                hall.replace_extension(f"ext-{arg}", TraceAspect)
+            elif op == "revoke":
+                hall.extension_base.revoke("node", f"ext-{arg}")
+            elif op == "run":
+                platform.run_for(arg)
+
+        platform.network.heal_all()
+        platform.run_for(SETTLE)
+        assert sorted(node.extensions()) == ["ext-0", "ext-1"]
+        # And at the current catalog versions.
+        for name in ("ext-0", "ext-1"):
+            installed = node.adaptation.find(name)
+            assert installed.envelope.version == hall.catalog.version_of(name)
+
+    @settings(max_examples=15, deadline=None)
+    @given(operations, st.integers(0, 9))
+    def test_disconnected_quiescence_holds_nothing(self, script, seed):
+        platform, hall, node = build_world(seed)
+        for op, arg in script:
+            if op == "partition":
+                platform.network.partition("hall", "node")
+            elif op == "heal":
+                platform.network.heal("hall", "node")
+            elif op == "replace":
+                hall.replace_extension(f"ext-{arg}", TraceAspect)
+            elif op == "revoke":
+                hall.extension_base.revoke("node", f"ext-{arg}")
+            elif op == "run":
+                platform.run_for(arg)
+
+        platform.network.partition("hall", "node")
+        platform.run_for(SETTLE)
+        assert node.extensions() == []
+        assert node.vm.aspects == ()

@@ -1,0 +1,76 @@
+"""Property-based tests of the radio network's delivery guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.geometry import Position
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import NetworkNode
+from repro.sim.kernel import Simulator
+
+
+def build_pair(loss=0.0, jitter=0.0005, fifo=True, seed=0):
+    sim = Simulator()
+    network = Network(
+        sim,
+        NetworkConfig(loss_probability=loss, jitter=jitter, fifo_links=fifo),
+        seed=seed,
+    )
+    a = network.attach(NetworkNode("a", Position(0, 0)))
+    b = network.attach(NetworkNode("b", Position(10, 0)))
+    return sim, network, a, b
+
+
+class TestDeliveryProperties:
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=30)
+    def test_fifo_links_preserve_send_order(self, count, seed):
+        sim, network, a, b = build_pair(seed=seed)
+        received = []
+        b.set_handler("seq", lambda msg: received.append(msg.payload))
+        for index in range(count):
+            a.send("b", "seq", index)
+        sim.run()
+        assert received == list(range(count))
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=20)
+    def test_lossless_network_delivers_everything(self, count, seed):
+        sim, network, a, b = build_pair(seed=seed)
+        received = []
+        b.set_handler("seq", lambda msg: received.append(msg.payload))
+        for index in range(count):
+            a.send("b", "seq", index)
+        sim.run()
+        assert len(received) == count
+        assert network.messages_dropped == 0
+
+    @given(
+        st.floats(min_value=0.1, max_value=0.9),
+        st.integers(min_value=0, max_value=99),
+    )
+    @settings(max_examples=20)
+    def test_conservation_under_loss(self, loss, seed):
+        """delivered + dropped == transmitted, always."""
+        sim, network, a, b = build_pair(loss=loss, seed=seed)
+        b.set_handler("x", lambda msg: None)
+        for _ in range(50):
+            a.send("b", "x")
+        sim.run()
+        assert (
+            network.messages_delivered + network.messages_dropped
+            == network.messages_transmitted
+        )
+
+    @given(st.integers(min_value=0, max_value=99))
+    @settings(max_examples=20)
+    def test_same_seed_same_outcome(self, seed):
+        def run():
+            sim, network, a, b = build_pair(loss=0.3, seed=seed)
+            received = []
+            b.set_handler("x", lambda msg: received.append(msg.payload))
+            for index in range(30):
+                a.send("b", "x", index)
+            sim.run()
+            return received
+
+        assert run() == run()

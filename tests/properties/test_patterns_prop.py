@@ -1,0 +1,69 @@
+"""Property-based tests for wildcard patterns and signatures."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.aop.signature import parse_signature
+from repro.util.patterns import WildcardPattern, wildcard_match
+
+identifiers = st.text(alphabet=string.ascii_letters + string.digits + "_", min_size=1, max_size=12)
+texts = st.text(alphabet=string.ascii_letters + string.digits + "_.", max_size=30)
+
+
+class TestWildcardProperties:
+    @given(texts)
+    def test_star_matches_everything(self, text):
+        assert wildcard_match("*", text)
+
+    @given(identifiers)
+    def test_literal_pattern_matches_only_itself(self, word):
+        assert wildcard_match(word, word)
+        assert not wildcard_match(word, word + "x")
+        assert not wildcard_match(word, "x" + word)
+
+    @given(identifiers, texts)
+    def test_prefix_star(self, prefix, tail):
+        assert wildcard_match(prefix + "*", prefix + tail)
+
+    @given(identifiers, texts)
+    def test_star_suffix(self, suffix, head):
+        assert wildcard_match("*" + suffix, head + suffix)
+
+    @given(identifiers, identifiers, texts)
+    def test_infix_star(self, head, tail, middle):
+        assert wildcard_match(head + "*" + tail, head + middle + tail)
+
+    @given(texts)
+    def test_pattern_object_agrees_with_function(self, text):
+        pattern = WildcardPattern("a*b")
+        assert pattern.matches(text) == wildcard_match("a*b", text)
+
+    @given(identifiers)
+    def test_double_star_equivalent_to_single(self, word):
+        assert wildcard_match("**", word)
+        assert wildcard_match("a**b", "a--b") == wildcard_match("a*b", "a--b")
+
+
+class TestSignatureProperties:
+    @given(identifiers, identifiers)
+    def test_parse_qualified_name(self, type_name, method_name):
+        sig = parse_signature(f"{type_name}.{method_name}")
+        assert sig.type_pattern.pattern == type_name
+        assert sig.method_pattern.pattern == method_name
+
+    @given(identifiers, identifiers)
+    def test_parsed_signature_matches_its_own_names(self, type_name, method_name):
+        sig = parse_signature(f"{type_name}.{method_name}")
+        assert sig.matches_names((type_name,), method_name)
+
+    @given(identifiers)
+    def test_bare_name_matches_any_type(self, method_name):
+        sig = parse_signature(method_name)
+        assert sig.matches_names(("Whatever",), method_name)
+
+    @given(st.lists(identifiers, min_size=0, max_size=4))
+    def test_param_list_round_trip(self, params):
+        text = f"Cls.m({', '.join(params)})"
+        sig = parse_signature(text)
+        assert len(sig.param_patterns) == len(params)

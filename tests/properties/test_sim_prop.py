@@ -1,0 +1,56 @@
+"""Property-based tests of the simulation kernel's ordering guarantees."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Simulator
+
+delays = st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50)
+
+
+class TestKernelOrdering:
+    @given(delays)
+    def test_events_fire_in_nondecreasing_time_order(self, delay_list):
+        sim = Simulator()
+        fired_times = []
+        for delay in delay_list:
+            sim.schedule(delay, lambda d=delay: fired_times.append(sim.now))
+        sim.run()
+        assert fired_times == sorted(fired_times)
+        assert len(fired_times) == len(delay_list)
+
+    @given(delays)
+    def test_equal_times_fire_in_fifo_order(self, delay_list):
+        sim = Simulator()
+        fired = []
+        for index, delay in enumerate(delay_list):
+            rounded = round(delay)  # force collisions
+            sim.schedule(rounded, fired.append, (rounded, index))
+        sim.run()
+        for (time_a, seq_a), (time_b, seq_b) in zip(fired, fired[1:]):
+            if time_a == time_b:
+                assert seq_a < seq_b
+
+    @given(delays, st.floats(min_value=0.0, max_value=100.0))
+    def test_run_until_partitions_cleanly(self, delay_list, horizon):
+        sim = Simulator()
+        before, after = [], []
+        for delay in delay_list:
+            target = before if delay <= horizon else after
+            sim.schedule(delay, lambda t=target: t.append(sim.now))
+        sim.run(until=horizon)
+        executed = len(before)
+        assert executed == sum(1 for d in delay_list if d <= horizon)
+        sim.run()
+        assert len(before) + len(after) == len(delay_list)
+
+    @given(delays)
+    def test_identical_schedules_identical_traces(self, delay_list):
+        def trace():
+            sim = Simulator()
+            out = []
+            for index, delay in enumerate(delay_list):
+                sim.schedule(delay, out.append, index)
+            sim.run()
+            return out
+
+        assert trace() == trace()

@@ -1,0 +1,83 @@
+"""Property-based tests of the tuple space."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Simulator
+from repro.tuplespace.space import ANY, Tuple, TupleSpace, TupleTemplate
+
+names = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+field_values = st.one_of(st.integers(-5, 5), names)
+field_dicts = st.dictionaries(names, field_values, max_size=4)
+
+
+class TestMatchingProperties:
+    @given(names, field_dicts)
+    def test_tuple_matches_its_own_template(self, kind, fields):
+        record = Tuple(kind, fields)
+        assert TupleTemplate(kind, fields).matches(record)
+
+    @given(names, field_dicts)
+    def test_empty_template_matches_same_kind(self, kind, fields):
+        assert TupleTemplate(kind).matches(Tuple(kind, fields))
+
+    @given(names, field_dicts)
+    def test_any_fields_match(self, kind, fields):
+        template = TupleTemplate(kind, {key: ANY for key in fields})
+        assert template.matches(Tuple(kind, fields))
+
+    @given(names, names, field_dicts)
+    def test_kind_mismatch_never_matches(self, kind_a, kind_b, fields):
+        if kind_a == kind_b:
+            return
+        assert not TupleTemplate(kind_a, fields).matches(Tuple(kind_b, fields))
+
+    @given(names, field_dicts, names)
+    def test_extra_template_field_requires_presence(self, kind, fields, extra_key):
+        if extra_key in fields:
+            return
+        template = TupleTemplate(kind, {**fields, extra_key: 1})
+        assert not template.matches(Tuple(kind, fields))
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("out"), names),
+        st.tuples(st.just("take"), names),
+        st.tuples(st.just("rd"), names),
+    ),
+    max_size=40,
+)
+
+
+class TestSpaceInvariants:
+    @given(ops)
+    def test_count_accounting(self, script):
+        """len(space) == outs - takes-that-found-something, always."""
+        space = TupleSpace(Simulator())
+        outs = 0
+        takes = 0
+        for op, kind in script:
+            if op == "out":
+                space.out(Tuple(kind), lease_duration=1000.0)
+                outs += 1
+            elif op == "take":
+                if space.take(TupleTemplate(kind)) is not None:
+                    takes += 1
+            else:
+                space.rd(TupleTemplate(kind))  # never changes the count
+            assert len(space) == outs - takes
+
+    @given(ops)
+    def test_rd_take_consistency(self, script):
+        """take finds a tuple exactly when rd does."""
+        space = TupleSpace(Simulator())
+        for op, kind in script:
+            if op == "out":
+                space.out(Tuple(kind), lease_duration=1000.0)
+            else:
+                template = TupleTemplate(kind)
+                visible = space.rd(template) is not None
+                if op == "take":
+                    assert (space.take(template) is not None) == visible

@@ -1,0 +1,79 @@
+"""Resident and swap weaving must be observationally equivalent.
+
+The two modes differ only in *when* hooks are installed; any program
+should produce identical results and identical advice traces under both.
+We drive random call scripts against random advice sets in both modes
+and compare.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.aop import Aspect, MethodCut, ProseVM
+from repro.aop.advice import AdviceKind
+
+METHODS = ("alpha", "beta", "gamma")
+
+
+def make_app_class():
+    namespace = {}
+    for index, name in enumerate(METHODS):
+        exec(  # noqa: S102 - test scaffolding
+            f"def {name}(self, x):\n    return x + {index}", namespace
+        )
+    return type("App", (), namespace)
+
+
+class Recorder(Aspect):
+    def __init__(self, method):
+        super().__init__()
+        self.seen = []
+        self.add_advice(
+            AdviceKind.BEFORE,
+            MethodCut(type="App", method=method),
+            self.record,
+        )
+
+    def record(self, ctx):
+        self.seen.append((ctx.method_name, ctx.args))
+
+
+# A script: list of (action, arg) where action is call/insert/withdraw.
+scripts = st.lists(
+    st.one_of(
+        st.tuples(st.just("call"), st.sampled_from(METHODS), st.integers(-5, 5)),
+        st.tuples(st.just("insert"), st.sampled_from(METHODS), st.just(0)),
+        st.tuples(st.just("withdraw"), st.integers(0, 5), st.just(0)),
+    ),
+    max_size=25,
+)
+
+
+def run_script(mode, script):
+    vm = ProseVM(mode=mode)
+    cls = make_app_class()
+    vm.load_class(cls)
+    app = cls()
+    inserted = []
+    results = []
+    traces = []
+    for action, arg, value in script:
+        if action == "call":
+            results.append(getattr(app, arg)(value))
+        elif action == "insert":
+            aspect = Recorder(arg)
+            vm.insert(aspect)
+            inserted.append(aspect)
+            traces.append(aspect.seen)
+        elif action == "withdraw" and inserted:
+            aspect = inserted[arg % len(inserted)]
+            if vm.is_inserted(aspect):
+                vm.withdraw(aspect)
+    return results, traces
+
+
+class TestModeEquivalence:
+    @given(scripts)
+    def test_results_and_traces_identical(self, script):
+        resident = run_script("resident", script)
+        swap = run_script("swap", script)
+        assert resident == swap

@@ -1,0 +1,82 @@
+"""Device model tests."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.robot.hardware import (
+    LightSensor,
+    Motor,
+    RotationSensor,
+    TouchSensor,
+)
+
+
+class TestMotor:
+    def test_identity(self):
+        assert Motor("m1").get_id() == "m1"
+
+    def test_power_limits(self):
+        motor = Motor("m")
+        motor.set_power(7)
+        assert motor.power == 7
+        with pytest.raises(HardwareError):
+            motor.set_power(8)
+        with pytest.raises(HardwareError):
+            motor.set_power(-1)
+
+    def test_forward_backward_stop(self):
+        motor = Motor("m")
+        motor.forward(3)
+        assert motor.running and motor.direction == 1 and motor.power == 3
+        motor.backward()
+        assert motor.direction == -1
+        motor.stop()
+        assert not motor.running
+
+    def test_rotate_accumulates_angle(self):
+        motor = Motor("m")
+        assert motor.rotate(90.0) == 90.0
+        assert motor.rotate(-30.0) == 60.0
+        assert motor.angle == 60.0
+
+    def test_rotation_observer(self):
+        events = []
+        motor = Motor("m", on_rotate=lambda m, deg: events.append((m.get_id(), deg)))
+        motor.rotate(45.0)
+        assert events == [("m", 45.0)]
+
+    def test_observe_replaces_observer(self):
+        motor = Motor("m")
+        events = []
+        motor.observe(lambda m, deg: events.append(deg))
+        motor.rotate(10.0)
+        assert events == [10.0]
+
+
+class TestSensors:
+    def test_touch_sensor(self):
+        sensor = TouchSensor("bumper")
+        assert sensor.read() is False
+        sensor.press()
+        assert sensor.read() is True
+        sensor.release()
+        assert sensor.read() is False
+
+    def test_light_sensor(self):
+        sensor = LightSensor("eye", level=30)
+        assert sensor.read() == 30
+        sensor.set_level(80)
+        assert sensor.read() == 80
+
+    def test_light_sensor_range(self):
+        sensor = LightSensor("eye")
+        with pytest.raises(HardwareError):
+            sensor.set_level(101)
+        with pytest.raises(HardwareError):
+            sensor.set_level(-1)
+
+    def test_rotation_sensor_tracks_motor(self):
+        motor = Motor("m")
+        sensor = RotationSensor("rot", motor)
+        motor.rotate(120.0)
+        assert sensor.read() == 120.0

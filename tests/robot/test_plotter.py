@@ -1,0 +1,119 @@
+"""Plotter prototype tests."""
+
+import pytest
+
+from repro.discovery.client import DiscoveryClient
+from repro.discovery.registrar import LookupService
+from repro.discovery.service import ServiceTemplate
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.robot.plotter import DRAWING_INTERFACE, DrawingService, build_plotter
+
+
+@pytest.fixture
+def plotter():
+    return build_plotter("robot:1:1")
+
+
+class TestPlotterGeometry:
+    def test_starts_at_origin_pen_up(self, plotter):
+        assert plotter.position == (0.0, 0.0)
+        assert not plotter.pen_is_down
+
+    def test_move_to_updates_position(self, plotter):
+        plotter.move_to(10.0, 5.0)
+        assert plotter.position == (10.0, 5.0)
+
+    def test_movement_goes_through_motors(self, plotter):
+        plotter.move_to(10.0, 5.0)
+        # 0.5 mm per degree
+        assert plotter.rcx.motor("A").angle == pytest.approx(20.0)
+        assert plotter.rcx.motor("B").angle == pytest.approx(10.0)
+
+    def test_pen_down_via_pen_motor(self, plotter):
+        plotter.pen_down()
+        assert plotter.pen_is_down
+        assert plotter.rcx.motor("C").angle == 90.0
+        plotter.pen_up()
+        assert not plotter.pen_is_down
+        assert plotter.rcx.motor("C").angle == 0.0
+
+    def test_pen_operations_idempotent(self, plotter):
+        plotter.pen_down()
+        plotter.pen_down()
+        assert plotter.rcx.motor("C").angle == 90.0
+
+    def test_ink_only_when_pen_down(self, plotter):
+        plotter.move_to(10, 0)  # travel
+        plotter.pen_down()
+        plotter.move_to(20, 0)  # draw
+        plotter.pen_up()
+        plotter.move_to(30, 0)  # travel
+        assert plotter.canvas.total_ink() == pytest.approx(10.0)
+
+    def test_draw_polyline(self, plotter):
+        plotter.draw_polyline([(0, 0), (10, 0), (10, 10)])
+        assert plotter.canvas.stroke_count() == 1
+        assert plotter.canvas.total_ink() == pytest.approx(20.0)
+        assert not plotter.pen_is_down
+
+    def test_empty_polyline_noop(self, plotter):
+        plotter.draw_polyline([])
+        assert plotter.canvas.stroke_count() == 0
+
+    def test_two_polylines_two_strokes(self, plotter):
+        plotter.draw_polyline([(0, 0), (5, 0)])
+        plotter.draw_polyline([(10, 10), (15, 10)])
+        assert plotter.canvas.stroke_count() == 2
+
+    def test_build_plotter_motor_ids(self, plotter):
+        assert plotter.rcx.motor("A").get_id() == "robot:1:1.motor.x"
+        assert plotter.rcx.motor("C").get_id() == "robot:1:1.motor.pen"
+
+
+class TestDrawingService:
+    @pytest.fixture
+    def rig(self, sim, network, plotter):
+        robot_node = network.attach(NetworkNode("robot", Position(0, 0)))
+        client_node = network.attach(NetworkNode("client", Position(5, 0)))
+        service = DrawingService(plotter, Transport(robot_node, sim))
+        client = Transport(client_node, sim)
+        return service, client
+
+    def test_remote_move(self, sim, plotter, rig):
+        _, client = rig
+        client.request("robot", "draw.move_to", {"x": 7.0, "y": 3.0})
+        sim.run_for(1.0)
+        assert plotter.position == (7.0, 3.0)
+
+    def test_remote_pen_and_polyline(self, sim, plotter, rig):
+        _, client = rig
+        client.request("robot", "draw.pen", {"down": True})
+        sim.run_for(1.0)
+        assert plotter.pen_is_down
+        client.request("robot", "draw.polyline", {"points": [(0, 0), (4, 3)]})
+        sim.run_for(1.0)
+        # Axis-sequential gantry: a diagonal inks |dx| + |dy|.
+        assert plotter.canvas.total_ink() == pytest.approx(7.0)
+
+    def test_remote_position_query(self, sim, plotter, rig):
+        _, client = rig
+        plotter.move_to(1.0, 2.0)
+        replies = []
+        client.request("robot", "draw.position", on_reply=replies.append)
+        sim.run_for(1.0)
+        assert replies[0]["position"] == (1.0, 2.0)
+
+    def test_advertises_via_discovery(self, sim, network, plotter, rig):
+        service, client_transport = rig
+        base_node = network.attach(NetworkNode("base", Position(0, 5)))
+        lookup = LookupService(Transport(base_node, sim), sim).start()
+        robot_transport = service.transport
+        discovery = DiscoveryClient(robot_transport, sim).start()
+        sim.run_for(1.0)
+        service.advertise(discovery)
+        sim.run_for(1.0)
+        items = lookup.items(ServiceTemplate(interface=DRAWING_INTERFACE))
+        assert len(items) == 1
+        assert items[0].attributes["robot"] == "robot:1:1"

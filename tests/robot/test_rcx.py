@@ -1,0 +1,88 @@
+"""RCX brick tests."""
+
+import pytest
+
+from repro.errors import HardwareError, HardwareFrozenError
+from repro.robot.hardware import Motor, TouchSensor
+from repro.robot.rcx import HardwareMacro, RCXBrick
+
+
+@pytest.fixture
+def brick():
+    rcx = RCXBrick("rcx-1")
+    rcx.attach_motor("A", Motor("m-a"))
+    rcx.attach_sensor("1", TouchSensor("bumper"))
+    return rcx
+
+
+class TestWiring:
+    def test_motor_and_sensor_lookup(self, brick):
+        assert brick.motor("A").get_id() == "m-a"
+        assert brick.sensor("1").get_id() == "bumper"
+
+    def test_invalid_ports_rejected(self, brick):
+        with pytest.raises(HardwareError):
+            brick.attach_motor("D", Motor("x"))
+        with pytest.raises(HardwareError):
+            brick.attach_sensor("4", TouchSensor("x"))
+        with pytest.raises(HardwareError):
+            brick.attach_motor("1", Motor("x"))  # sensor port
+
+    def test_missing_device_lookup(self, brick):
+        with pytest.raises(HardwareError):
+            brick.motor("B")
+        with pytest.raises(HardwareError):
+            brick.sensor("2")
+
+    def test_devices_listing(self, brick):
+        assert len(brick.devices()) == 2
+
+
+class TestMacroExecution:
+    def test_execute_dispatches_to_device(self, brick):
+        brick.execute(HardwareMacro("A", "rotate", (90.0,)))
+        assert brick.motor("A").angle == 90.0
+        assert brick.macros_executed == 1
+
+    def test_execute_returns_value(self, brick):
+        result = brick.execute(HardwareMacro("A", "rotate", (45.0,)))
+        assert result == 45.0
+
+    def test_sensor_macros_work(self, brick):
+        assert brick.execute(HardwareMacro("1", "read")) is False
+
+    def test_unknown_command_rejected(self, brick):
+        with pytest.raises(HardwareError):
+            brick.execute(HardwareMacro("A", "explode"))
+
+
+class TestFreezing:
+    def test_event_freezes_hardware(self, brick):
+        brick.sensor("1").press()
+        event = brick.raise_event("1", "obstacle")
+        assert brick.frozen
+        assert event.value is True
+        assert event.sensor_id == "bumper"
+
+    def test_event_stops_motors(self, brick):
+        brick.motor("A").forward(5)
+        brick.raise_event("1")
+        assert not brick.motor("A").running
+
+    def test_frozen_brick_refuses_macros(self, brick):
+        brick.raise_event("1")
+        with pytest.raises(HardwareFrozenError):
+            brick.execute(HardwareMacro("A", "rotate", (10.0,)))
+
+    def test_resume_thaws(self, brick):
+        brick.raise_event("1")
+        brick.resume()
+        brick.execute(HardwareMacro("A", "rotate", (10.0,)))
+        assert brick.motor("A").angle == 10.0
+
+    def test_event_signal_fires(self, brick):
+        events = []
+        brick.on_event.connect(events.append)
+        brick.raise_event("1", "test")
+        assert len(events) == 1
+        assert events[0].description == "test"

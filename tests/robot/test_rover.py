@@ -1,0 +1,155 @@
+"""Rover (driving robot) and obstacle world tests."""
+
+import math
+
+import pytest
+
+from repro.net.geometry import Position, Region
+from repro.net.node import NetworkNode
+from repro.robot.rover import ObstacleWorld, Rover
+from repro.robot.tasks import EventDecision, RobotApplication, SequenceTask
+
+
+@pytest.fixture
+def rover():
+    return Rover("rover-1")
+
+
+class TestDriving:
+    def test_forward_moves_along_heading(self, rover):
+        for macro in rover.forward_macros(1.0):
+            rover.rcx.execute(macro)
+        assert rover.position.x == pytest.approx(1.0)
+        assert rover.position.y == pytest.approx(0.0, abs=1e-9)
+
+    def test_turn_changes_heading_not_position(self, rover):
+        for macro in rover.turn_macros(90.0):
+            rover.rcx.execute(macro)
+        assert rover.heading == pytest.approx(90.0)
+        assert rover.position == Position(0.0, 0.0)
+
+    def test_drive_then_turn_then_drive(self, rover):
+        for macro in rover.forward_macros(1.0) + rover.turn_macros(90.0) + rover.forward_macros(0.5):
+            rover.rcx.execute(macro)
+        assert rover.position.x == pytest.approx(1.0)
+        assert rover.position.y == pytest.approx(0.5)
+
+    def test_heading_wraps(self, rover):
+        for macro in rover.turn_macros(270.0) + rover.turn_macros(180.0):
+            rover.rcx.execute(macro)
+        assert rover.heading == pytest.approx(90.0)
+
+    def test_negative_turn_clockwise(self, rover):
+        for macro in rover.turn_macros(-90.0):
+            rover.rcx.execute(macro)
+        assert rover.heading == pytest.approx(270.0)
+
+    def test_node_follows_chassis(self, network, rover):
+        node = network.attach(NetworkNode("rover-1-radio"))
+        rover.attach_node(node)
+        for macro in rover.forward_macros(2.0):
+            rover.rcx.execute(macro)
+        assert node.position.x == pytest.approx(2.0)
+
+
+class TestObstacles:
+    @pytest.fixture
+    def walled(self):
+        world = ObstacleWorld([Region(1.0, -1.0, 2.0, 1.0, name="wall")])
+        return Rover("rover-1", world=world)
+
+    def test_bump_freezes_hardware(self, walled):
+        macros = walled.forward_macros(2.0)
+        from repro.errors import HardwareFrozenError
+
+        with pytest.raises(HardwareFrozenError):
+            for macro in macros:
+                walled.rcx.execute(macro)
+        assert walled.bumps >= 1
+        assert walled.position.x < 1.0 + 1e-9
+
+    def test_event_carries_obstacle_name(self, walled):
+        events = []
+        walled.rcx.on_event.connect(events.append)
+        try:
+            for macro in walled.forward_macros(2.0):
+                walled.rcx.execute(macro)
+        except Exception:
+            pass
+        assert events and "wall" in events[0].description
+
+    def test_task_layer_aborts_on_bump(self, sim, walled):
+        app = RobotApplication(sim, walled.rcx)
+        task = SequenceTask(
+            "cross-the-room",
+            walled.forward_macros(2.0),
+            event_decision=EventDecision.ABORT,
+        )
+        run = app.run_task(task)
+        sim.run_for(60.0)
+        assert run.aborted
+        assert not walled.rcx.frozen
+        assert walled.position.x < 1.0 + 1e-9
+
+    def test_task_can_route_around(self, sim, walled):
+        """Abort on bump, then drive around the wall under a new task."""
+        app = RobotApplication(sim, walled.rcx)
+        run = app.run_task(
+            SequenceTask("ahead", walled.forward_macros(2.0))
+        )
+        sim.run_for(60.0)
+        assert run.aborted
+
+        detour = (
+            walled.turn_macros(90.0)
+            + walled.forward_macros(1.5)
+            + walled.turn_macros(-90.0)
+            + walled.forward_macros(1.5)
+        )
+        second = app.run_task(SequenceTask("detour", detour))
+        sim.run_for(120.0)
+        assert second.finished and not second.aborted
+        assert walled.position.y == pytest.approx(1.5)
+        assert walled.world.blocked(walled.position) is None
+
+
+class TestWorld:
+    def test_blocked_lookup(self):
+        world = ObstacleWorld()
+        world.add(Region(0, 0, 1, 1, name="crate"))
+        assert world.blocked(Position(0.5, 0.5)).name == "crate"
+        assert world.blocked(Position(5, 5)) is None
+
+    def test_ambient_light_everywhere(self):
+        world = ObstacleWorld()
+        assert world.light_at(Position(0, 0)) == 50
+
+    def test_light_zones(self):
+        world = ObstacleWorld(ambient_light=40)
+        world.add_light_zone(Region(0, 0, 2, 2), 90)
+        world.add_light_zone(Region(0.5, 0.5, 1, 1), 10)  # inner shadow
+        assert world.light_at(Position(5, 5)) == 40
+        assert world.light_at(Position(1.5, 1.5)) == 90
+        assert world.light_at(Position(0.7, 0.7)) == 10  # innermost wins
+
+    def test_invalid_light_level_rejected(self):
+        world = ObstacleWorld()
+        with pytest.raises(ValueError):
+            world.add_light_zone(Region(0, 0, 1, 1), 101)
+
+
+class TestLightSensing:
+    def test_eye_reads_world_light_at_position(self):
+        world = ObstacleWorld(ambient_light=30)
+        world.add_light_zone(Region(0.9, -0.5, 2.0, 0.5), 95)
+        rover = Rover("rover-1", world=world)
+        assert rover.eye.read() == 30
+        for macro in rover.forward_macros(1.0):
+            rover.rcx.execute(macro)
+        assert rover.eye.read() == 95
+
+    def test_eye_readable_through_rcx_macro(self):
+        from repro.robot.rcx import HardwareMacro
+
+        rover = Rover("rover-1")
+        assert rover.rcx.execute(HardwareMacro("2", "read")) == 50

@@ -1,0 +1,163 @@
+"""Task layer tests: tasks, events, direct mode, overriding."""
+
+import pytest
+
+from repro.robot.hardware import Motor, TouchSensor
+from repro.robot.rcx import HardwareMacro, RCXBrick
+from repro.robot.tasks import (
+    EventDecision,
+    RobotApplication,
+    SequenceTask,
+    Task,
+)
+
+
+@pytest.fixture
+def rig(sim):
+    rcx = RCXBrick("rcx")
+    rcx.attach_motor("A", Motor("m-a"))
+    rcx.attach_sensor("1", TouchSensor("bumper"))
+    app = RobotApplication(sim, rcx)
+    return rcx, app
+
+
+def macros(count, degrees=10.0, duration=1.0):
+    return [HardwareMacro("A", "rotate", (degrees,), duration) for _ in range(count)]
+
+
+class TestTaskExecution:
+    def test_task_runs_all_macros(self, sim, rig):
+        rcx, app = rig
+        run = app.run_task(SequenceTask("draw", macros(3)))
+        sim.run_for(10.0)
+        assert run.finished and not run.aborted
+        assert run.macros_run == 3
+        assert rcx.motor("A").angle == 30.0
+
+    def test_macros_take_time(self, sim, rig):
+        rcx, app = rig
+        app.run_task(SequenceTask("draw", macros(3, duration=2.0)))
+        sim.run_for(3.0)  # first macro at t=0, second at t=2: two executed
+        assert rcx.motor("A").angle == 20.0
+
+    def test_on_done_signal(self, sim, rig):
+        _, app = rig
+        done = []
+        run = app.run_task(SequenceTask("t", macros(2)))
+        run.on_done.connect(lambda r: done.append(r.finished))
+        sim.run_for(10.0)
+        assert done == [True]
+
+    def test_abort_discards_remaining(self, sim, rig):
+        rcx, app = rig
+        run = app.run_task(SequenceTask("t", macros(10)))
+        sim.run_for(2.5)
+        run.abort()
+        sim.run_for(60.0)
+        assert run.aborted
+        assert rcx.motor("A").angle < 100.0
+
+    def test_new_task_aborts_current(self, sim, rig):
+        _, app = rig
+        first = app.run_task(SequenceTask("first", macros(10)))
+        sim.run_for(2.0)
+        app.run_task(SequenceTask("second", macros(1)))
+        sim.run_for(10.0)
+        assert first.aborted
+        assert app.current_run is None
+
+    def test_custom_task_generator(self, sim, rig):
+        rcx, app = rig
+
+        class Zigzag(Task):
+            def macros(self):
+                yield HardwareMacro("A", "rotate", (10.0,), 0.5)
+                yield HardwareMacro("A", "rotate", (-10.0,), 0.5)
+
+        app.run_task(Zigzag("zigzag"))
+        sim.run_for(5.0)
+        assert rcx.motor("A").angle == 0.0
+
+    def test_failing_macro_aborts_task(self, sim, rig):
+        _, app = rig
+        run = app.run_task(
+            SequenceTask("bad", [HardwareMacro("A", "explode", ())])
+        )
+        sim.run_for(5.0)
+        assert run.aborted
+
+
+class TestEventHandling:
+    def test_abort_decision_ends_task(self, sim, rig):
+        rcx, app = rig
+        run = app.run_task(
+            SequenceTask("t", macros(10), event_decision=EventDecision.ABORT)
+        )
+        sim.run_for(2.5)
+        rcx.sensor("1").press()
+        rcx.raise_event("1", "obstacle")
+        sim.run_for(60.0)
+        assert run.aborted
+        assert not rcx.frozen  # resumed so direct mode still works
+
+    def test_continue_decision_resumes(self, sim, rig):
+        rcx, app = rig
+        run = app.run_task(
+            SequenceTask("t", macros(5), event_decision=EventDecision.CONTINUE)
+        )
+        sim.run_for(1.5)
+        rcx.raise_event("1", "blip")
+        sim.run_for(60.0)
+        assert run.finished and not run.aborted
+        assert rcx.motor("A").angle >= 50.0  # all rotations happened
+
+    def test_event_without_task_just_resumes(self, sim, rig):
+        rcx, app = rig
+        rcx.raise_event("1")
+        assert not rcx.frozen
+
+
+class TestDirectMode:
+    def test_direct_command_executes_immediately(self, rig):
+        rcx, app = rig
+        app.direct_mode.issue(HardwareMacro("A", "rotate", (42.0,)))
+        assert rcx.motor("A").angle == 42.0
+        assert app.direct_mode.commands_issued == 1
+
+    def test_direct_mode_respects_freeze(self, rig):
+        from repro.errors import HardwareFrozenError
+
+        rcx, app = rig
+        rcx.frozen = True
+        with pytest.raises(HardwareFrozenError):
+            app.direct_mode.issue(HardwareMacro("A", "rotate", (1.0,)))
+
+
+class TestOverriding:
+    def test_override_suspends_and_resumes(self, sim, rig):
+        rcx, app = rig
+        original = app.run_task(SequenceTask("long", macros(4, duration=1.0)))
+        sim.run_for(1.5)  # two macros done (t=0, t=1)
+        override = app.override(SequenceTask("urgent", macros(2, degrees=100.0)))
+        sim.run_for(60.0)
+        assert override.finished
+        assert original.finished and not original.aborted
+        # 4 * 10 + 2 * 100
+        assert rcx.motor("A").angle == 240.0
+
+    def test_nested_overrides(self, sim, rig):
+        rcx, app = rig
+        app.run_task(SequenceTask("base", macros(3, duration=2.0)))
+        sim.run_for(0.5)
+        app.override(SequenceTask("mid", macros(2, degrees=5.0, duration=2.0)))
+        sim.run_for(0.5)
+        inner = app.override(SequenceTask("top", macros(1, degrees=1.0)))
+        sim.run_for(60.0)
+        assert inner.finished
+        assert rcx.motor("A").angle == 41.0  # 30 + 10 + 1
+
+    def test_override_with_no_current_task(self, sim, rig):
+        rcx, app = rig
+        run = app.override(SequenceTask("solo", macros(1)))
+        sim.run_for(10.0)
+        assert run.finished

@@ -1,0 +1,96 @@
+"""Task-layer edge cases."""
+
+import pytest
+
+from repro.errors import TaskError
+from repro.robot.hardware import Motor, TouchSensor
+from repro.robot.rcx import HardwareMacro, RCXBrick
+from repro.robot.tasks import (
+    EventDecision,
+    RobotApplication,
+    SequenceTask,
+    Task,
+)
+
+
+@pytest.fixture
+def rig(sim):
+    rcx = RCXBrick("rcx")
+    rcx.attach_motor("A", Motor("m-a"))
+    rcx.attach_sensor("1", TouchSensor("bumper"))
+    return rcx, RobotApplication(sim, rcx)
+
+
+def macros(n, duration=1.0):
+    return [HardwareMacro("A", "rotate", (10.0,), duration) for _ in range(n)]
+
+
+class TestEdgeCases:
+    def test_empty_task_finishes_immediately(self, sim, rig):
+        _, app = rig
+        run = app.run_task(SequenceTask("empty", []))
+        sim.run_for(1.0)
+        assert run.finished and not run.aborted
+        assert run.macros_run == 0
+
+    def test_resume_finished_task_raises(self, sim, rig):
+        _, app = rig
+        run = app.run_task(SequenceTask("t", macros(1)))
+        sim.run_for(10.0)
+        with pytest.raises(TaskError):
+            run.resume()
+
+    def test_resume_unsuspended_is_noop(self, sim, rig):
+        _, app = rig
+        run = app.run_task(SequenceTask("t", macros(3)))
+        run.resume()  # not suspended: nothing happens
+        sim.run_for(10.0)
+        assert run.finished
+
+    def test_abort_twice_is_idempotent(self, sim, rig):
+        _, app = rig
+        run = app.run_task(SequenceTask("t", macros(5)))
+        sim.run_for(1.5)
+        run.abort()
+        run.abort()
+        assert run.aborted
+
+    def test_suspend_finished_task_harmless(self, sim, rig):
+        _, app = rig
+        run = app.run_task(SequenceTask("t", macros(1)))
+        sim.run_for(10.0)
+        run.suspend()  # harmless after completion
+        assert run.finished
+
+    def test_continue_reissues_interrupted_macro(self, sim, rig):
+        """On CONTINUE the interrupted command is re-executed, so the
+        final rotation total includes the retried macro."""
+        rcx, app = rig
+        run = app.run_task(
+            SequenceTask("t", macros(3), event_decision=EventDecision.CONTINUE)
+        )
+        sim.run_for(0.5)  # first macro executed at t=0
+        rcx.raise_event("1", "blip")  # interrupts between macros
+        sim.run_for(30.0)
+        assert run.finished
+        # At least the 3 scheduled rotations happened (a re-issue may add one).
+        assert rcx.motor("A").angle >= 30.0
+
+    def test_base_task_defaults(self):
+        task = Task("bare")
+        with pytest.raises(NotImplementedError):
+            next(iter(task.macros()))
+        from repro.robot.rcx import SensorEvent
+
+        assert task.on_event(SensorEvent("1", "s", True)) is EventDecision.ABORT
+
+    def test_override_of_override_unwinds_in_order(self, sim, rig):
+        rcx, app = rig
+        base = app.run_task(SequenceTask("base", macros(2, duration=2.0)))
+        sim.run_for(0.5)
+        mid = app.override(SequenceTask("mid", macros(1, duration=2.0)))
+        sim.run_for(0.5)
+        top = app.override(SequenceTask("top", macros(1, duration=0.5)))
+        sim.run_for(60.0)
+        assert top.finished and mid.finished and base.finished
+        assert app.current_run is None

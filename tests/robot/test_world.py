@@ -1,0 +1,144 @@
+"""Canvas tests."""
+
+import pytest
+
+from repro.robot.world import Canvas
+
+
+class TestPenProtocol:
+    def test_blank_canvas(self):
+        canvas = Canvas()
+        assert canvas.stroke_count() == 0
+        assert canvas.total_ink() == 0.0
+        assert canvas.bounding_box() is None
+
+    def test_single_stroke(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((3, 4))
+        canvas.pen_up()
+        assert canvas.stroke_count() == 1
+        assert canvas.total_ink() == 5.0
+
+    def test_pen_up_movement_leaves_no_ink(self):
+        canvas = Canvas()
+        canvas.pen_move((10, 10))
+        assert canvas.total_ink() == 0.0
+
+    def test_multiple_strokes(self):
+        canvas = Canvas()
+        for start in (0, 10):
+            canvas.pen_down((start, 0))
+            canvas.pen_move((start + 5, 0))
+            canvas.pen_up()
+        assert canvas.stroke_count() == 2
+        assert canvas.total_ink() == 10.0
+
+    def test_pen_down_idempotent(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_down((5, 5))  # ignored: already down
+        canvas.pen_move((1, 0))
+        canvas.pen_up()
+        assert canvas.stroke_count() == 1
+
+    def test_duplicate_points_collapsed(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((0, 0))
+        canvas.pen_move((1, 0))
+        canvas.pen_up()
+        assert canvas.strokes[0] == [(0, 0), (1, 0)]
+
+    def test_bounding_box(self):
+        canvas = Canvas()
+        canvas.pen_down((1, 2))
+        canvas.pen_move((5, -3))
+        canvas.pen_up()
+        assert canvas.bounding_box() == (1, -3, 5, 2)
+
+    def test_clear(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((1, 1))
+        canvas.clear()
+        assert canvas.stroke_count() == 0
+        assert not canvas.drawing
+
+
+class TestComparisons:
+    def make_l_shape(self, scale=1.0):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((10 * scale, 0))
+        canvas.pen_move((10 * scale, 10 * scale))
+        canvas.pen_up()
+        return canvas
+
+    def test_matches_identical(self):
+        assert self.make_l_shape().matches(self.make_l_shape())
+
+    def test_matches_rejects_different_geometry(self):
+        assert not self.make_l_shape().matches(self.make_l_shape(scale=2.0))
+
+    def test_scaled(self):
+        big = self.make_l_shape().scaled(2.0)
+        assert big.matches(self.make_l_shape(scale=2.0))
+        assert big.total_ink() == pytest.approx(40.0)
+
+    def test_matches_with_tolerance(self):
+        slightly_off = Canvas()
+        slightly_off.pen_down((0, 0.0001))
+        slightly_off.pen_move((10, 0))
+        slightly_off.pen_move((10, 10))
+        slightly_off.pen_up()
+        assert self.make_l_shape().matches(slightly_off, tolerance=0.01)
+
+    def test_points_in_order(self):
+        canvas = self.make_l_shape()
+        assert list(canvas.points()) == [(0, 0), (10, 0), (10, 10)]
+
+
+class TestRender:
+    def test_blank_canvas_renders_empty(self):
+        assert Canvas().render() == ""
+
+    def test_dimensions(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((10, 10))
+        canvas.pen_up()
+        rendered = canvas.render(width=20, height=10)
+        lines = rendered.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_horizontal_line_fills_bottom_row(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((10, 0))
+        canvas.pen_up()
+        lines = canvas.render(width=10, height=3).split("\n")
+        assert lines[-1].count("#") == 10
+
+    def test_diagonal_has_ink_in_both_corners(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((10, 10))
+        canvas.pen_up()
+        lines = canvas.render(width=10, height=10).split("\n")
+        assert lines[-1][0] == "#"  # bottom-left (origin)
+        assert lines[0][-1] == "#"  # top-right
+
+    def test_single_dot(self):
+        canvas = Canvas()
+        canvas.pen_down((5, 5))
+        canvas.pen_up()
+        assert "#" in canvas.render(width=5, height=5)
+
+    def test_custom_ink_character(self):
+        canvas = Canvas()
+        canvas.pen_down((0, 0))
+        canvas.pen_move((1, 0))
+        canvas.pen_up()
+        assert "*" in canvas.render(ink="*")

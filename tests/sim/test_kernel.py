@@ -1,0 +1,170 @@
+"""Simulation kernel tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import SimClock, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_same_time_fires_in_fifo_order(self, sim):
+        fired = []
+        for index in range(5):
+            sim.schedule(1.0, fired.append, index)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_time_advances_to_event_time(self, sim):
+        times = []
+        sim.schedule(3.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [3.5]
+
+    def test_schedule_at_absolute_time(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        event_times = []
+        sim.schedule_at(4.0, lambda: event_times.append(sim.now))
+        sim.run()
+        assert event_times == [4.0]
+
+    def test_kwargs_passed_through(self, sim):
+        got = {}
+        sim.schedule(0.0, lambda **kw: got.update(kw), key="value")
+        sim.run()
+        assert got == {"key": "value"}
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_callback_can_schedule_more_events(self, sim):
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(1.0, lambda: fired.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_callback_can_schedule_at_current_time(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(0.0, fired.append, "now"))
+        sim.run()
+        assert fired == ["now"]
+        assert sim.now == 1.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_pending_excludes_cancelled(self, sim):
+        keep = sim.schedule(1.0, lambda: None)
+        drop = sim.schedule(1.0, lambda: None)
+        drop.cancel()
+        assert sim.pending == 1
+        assert keep is not None
+
+
+class TestRun:
+    def test_run_returns_step_count(self, sim):
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        assert sim.run() == 3
+
+    def test_run_until_leaves_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(3.0, fired.append, "out")
+        sim.run(until=2.0)
+        assert fired == ["in"]
+        assert sim.pending == 1
+
+    def test_run_until_includes_boundary_events(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "edge")
+        sim.run(until=2.0)
+        assert fired == ["edge"]
+
+    def test_run_until_advances_time_even_with_empty_queue(self, sim):
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_for_is_relative(self, sim):
+        sim.run(until=5.0)
+        fired = []
+        sim.schedule(2.0, fired.append, "x")
+        sim.run_for(2.0)
+        assert fired == ["x"]
+        assert sim.now == 7.0
+
+    def test_run_for_negative_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.run_for(-1.0)
+
+    def test_max_steps_bounds_execution(self, sim):
+        def reschedule():
+            sim.schedule(1.0, reschedule)
+
+        sim.schedule(1.0, reschedule)
+        steps = sim.run(max_steps=10)
+        assert steps == 10
+
+    def test_not_reentrant(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(0.0, sim.run)
+            sim.run()
+
+    def test_step_returns_false_on_empty_queue(self, sim):
+        assert sim.step() is False
+
+
+class TestSimClock:
+    def test_tracks_simulator_time(self, sim):
+        clock = SimClock(sim)
+        assert clock.now() == 0.0
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert clock.now() == 4.0
+
+    def test_simulator_exposes_clock(self, sim):
+        assert sim.clock.now() == sim.now
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def run_once() -> list:
+            simulator = Simulator()
+            trace = []
+            for index in range(20):
+                simulator.schedule((index * 7) % 5 + 0.1, trace.append, index)
+            simulator.run()
+            return trace
+
+        assert run_once() == run_once()

@@ -1,0 +1,107 @@
+"""Generator-process tests."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim.process import Process, sleep
+
+
+class TestProcess:
+    def test_runs_to_completion(self, sim):
+        log = []
+
+        def worker():
+            log.append(("start", sim.now))
+            yield sleep(5.0)
+            log.append(("middle", sim.now))
+            yield sleep(2.5)
+            log.append(("end", sim.now))
+
+        process = Process(sim, worker())
+        sim.run()
+        assert log == [("start", 0.0), ("middle", 5.0), ("end", 7.5)]
+        assert not process.alive
+
+    def test_zero_sleep_yields_control(self, sim):
+        log = []
+
+        def worker():
+            log.append("a")
+            yield sleep(0.0)
+            log.append("b")
+
+        Process(sim, worker())
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_on_exit_fires(self, sim):
+        exits = []
+
+        def worker():
+            yield sleep(1.0)
+
+        process = Process(sim, worker())
+        process.on_exit.connect(exits.append)
+        sim.run()
+        assert exits == [process]
+
+    def test_stop_terminates_early(self, sim):
+        log = []
+
+        def worker():
+            log.append("start")
+            yield sleep(10.0)
+            log.append("never")
+
+        process = Process(sim, worker())
+        sim.run(until=5.0)
+        process.stop()
+        sim.run()
+        assert log == ["start"]
+        assert not process.alive
+
+    def test_stop_is_idempotent(self, sim):
+        def worker():
+            yield sleep(1.0)
+
+        process = Process(sim, worker())
+        process.stop()
+        process.stop()
+
+    def test_failure_captured_not_raised(self, sim):
+        def worker():
+            yield sleep(1.0)
+            raise RuntimeError("broken robot")
+
+        process = Process(sim, worker())
+        sim.run()
+        assert isinstance(process.failure, RuntimeError)
+        assert not process.alive
+
+    def test_yielding_wrong_type_kills_process(self, sim):
+        def worker():
+            yield 42
+
+        process = Process(sim, worker())
+        sim.run()
+        assert isinstance(process.failure, ProcessError)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ProcessError):
+            sleep(-1.0)
+
+    def test_two_processes_interleave(self, sim):
+        log = []
+
+        def maker(name, period):
+            def worker():
+                for _ in range(3):
+                    log.append((name, sim.now))
+                    yield sleep(period)
+            return worker
+
+        Process(sim, maker("fast", 1.0)())
+        Process(sim, maker("slow", 2.0)())
+        sim.run()
+        assert ("fast", 2.0) in log
+        assert ("slow", 4.0) in log

@@ -1,0 +1,76 @@
+"""Periodic timer tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.timers import PeriodicTimer
+
+
+class TestPeriodicTimer:
+    def test_first_tick_after_one_interval(self, sim):
+        ticks = []
+        PeriodicTimer(sim, 2.0, lambda: ticks.append(sim.now)).start()
+        sim.run(until=2.0)
+        assert ticks == [2.0]
+
+    def test_ticks_repeat(self, sim):
+        ticks = []
+        PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now)).start()
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_stop_halts_ticking(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None).start()
+        sim.run(until=2.5)
+        timer.stop()
+        before = timer.ticks
+        sim.run(until=10.0)
+        assert timer.ticks == before
+
+    def test_stop_from_inside_callback(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+        timer.start()
+        sim.run(until=10.0)
+        assert timer.ticks == 1
+        assert not timer.running
+
+    def test_restart_after_stop(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None).start()
+        sim.run(until=1.5)
+        timer.stop()
+        timer.start()
+        sim.run(until=3.0)
+        assert timer.ticks == 2  # t=1.0 and t=2.5
+
+    def test_start_is_idempotent(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.start()
+        timer.start()
+        sim.run(until=1.0)
+        assert timer.ticks == 1
+
+    def test_callback_error_does_not_kill_timer(self, sim):
+        calls = []
+
+        def flaky():
+            calls.append(sim.now)
+            if len(calls) == 1:
+                raise ValueError("transient")
+
+        PeriodicTimer(sim, 1.0, flaky).start()
+        sim.run(until=3.0)
+        assert len(calls) == 3
+
+    def test_non_positive_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, 0.0, lambda: None)
+        with pytest.raises(SimulationError):
+            PeriodicTimer(sim, -1.0, lambda: None)
+
+    def test_running_property(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        assert not timer.running
+        timer.start()
+        assert timer.running
+        timer.stop()
+        assert not timer.running

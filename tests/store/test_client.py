@@ -1,0 +1,92 @@
+"""HallClient (the Fig. 6 tool) tests."""
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.monitoring import HwMonitoring
+from repro.net.geometry import Position
+from repro.robot.hardware import Device, Motor
+from repro.robot.plotter import Plotter, build_plotter
+from repro.store.client import HallClient
+
+
+@pytest.fixture
+def scenario():
+    platform = ProactivePlatform(seed=131)
+    hall = platform.create_base_station("hall", Position(0, 0))
+    hall.add_extension(
+        "hw-monitoring",
+        lambda: HwMonitoring("robot:1:1", hall.store_ref, flush_interval=0.2),
+    )
+    robot = platform.create_mobile_node("robot:1:1", Position(5, 0))
+    for cls in (Device, Motor, Plotter):
+        robot.load_class(cls)
+    plotter = build_plotter("robot:1:1")
+
+    operator = platform.create_mobile_node("operator", Position(0, 5))
+    client = HallClient(
+        operator.transport, platform.simulator, discovery=operator.discovery
+    )
+    platform.run_for(5.0)
+    plotter.draw_polyline([(0, 0), (10, 0), (10, 10)])
+    platform.run_for(2.0)
+    yield platform, hall, plotter, client
+    for cls in (Device, Motor, Plotter):
+        robot.vm.unload_class(cls)
+
+
+class TestHallClient:
+    def test_finds_store_through_discovery(self, scenario):
+        platform, hall, plotter, client = scenario
+        stores = []
+        client.find_stores(stores.append)
+        platform.run_for(1.0)
+        assert stores == [["hall"]]
+
+    def test_lists_robots_and_actions(self, scenario):
+        platform, hall, plotter, client = scenario
+        robots = []
+        client.list_robots("hall", robots.append)
+        platform.run_for(1.0)
+        assert robots == [["robot:1:1"]]
+
+        actions = []
+        client.action_list("hall", "robot:1:1", actions.append)
+        platform.run_for(1.0)
+        assert actions and len(actions[0]) > 0
+        assert all(record.robot_id == "robot:1:1" for record in actions[0])
+
+    def test_replicate_selection_at_scale(self, scenario):
+        platform, hall, plotter, client = scenario
+        actions = []
+        client.action_list("hall", "robot:1:1", actions.append)
+        platform.run_for(1.0)
+
+        selection = client.select(actions[0])
+        replica = build_plotter("replica")
+        session = client.replicate(selection, replica.rcx, scale=2.0)
+        platform.run_for(10.0)
+        assert session.macros_replayed == len(selection)
+        assert replica.canvas.matches(plotter.canvas.scaled(2.0))
+
+    def test_replay_interaction_between_robots(self, scenario):
+        platform, hall, plotter, client = scenario
+        actions = []
+        client.action_list("hall", "robot:1:1", actions.append)
+        platform.run_for(1.0)
+        selection = client.select(actions[0])
+
+        one, two = build_plotter("replay-1"), build_plotter("replay-2")
+        session = client.replay_interaction(
+            [(selection, one.rcx), (selection, two.rcx)]
+        )
+        platform.run_for(10.0)
+        assert one.canvas.matches(plotter.canvas)
+        assert two.canvas.matches(plotter.canvas)
+
+    def test_find_stores_without_discovery(self, scenario):
+        platform, hall, plotter, client = scenario
+        bare = HallClient(client.transport, platform.simulator)
+        results = []
+        bare.find_stores(results.append)
+        assert results == [[]]

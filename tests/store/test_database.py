@@ -1,0 +1,76 @@
+"""Movement store tests."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.store.database import MovementRecord, MovementStore
+
+
+def record(robot="robot:1:1", device="m.x", command="rotate", args=(10.0,), time=0.0):
+    return MovementRecord(robot, device, command, args, time)
+
+
+@pytest.fixture
+def store():
+    db = MovementStore()
+    for t in range(5):
+        db.append(record(time=float(t)))
+    db.append(record(robot="robot:2:2", device="m.y", command="stop", args=(), time=2.0))
+    return db
+
+
+class TestAppend:
+    def test_append_and_count(self, store):
+        assert store.count() == 6
+        assert store.count("robot:1:1") == 5
+        assert store.count("robot:2:2") == 1
+        assert store.count("ghost") == 0
+
+    def test_append_many(self):
+        db = MovementStore()
+        stored = db.append_many([record(time=1.0), record(time=2.0)])
+        assert stored == 2
+        assert len(db) == 2
+
+    def test_robots_listing(self, store):
+        assert store.robots() == ["robot:1:1", "robot:2:2"]
+
+    def test_unique_record_ids(self):
+        assert record().record_id != record().record_id
+
+
+class TestQueries:
+    def test_actions_of_in_time_order(self, store):
+        actions = store.actions_of("robot:1:1")
+        assert [r.time for r in actions] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_time_window(self, store):
+        actions = store.actions_of("robot:1:1", since=1.0, until=3.0)
+        assert [r.time for r in actions] == [1.0, 2.0, 3.0]
+
+    def test_device_filter(self, store):
+        store.append(record(device="m.pen", time=9.0))
+        actions = store.actions_of("robot:1:1", device_id="m.pen")
+        assert len(actions) == 1
+
+    def test_command_filter(self, store):
+        assert store.actions_of("robot:2:2", command="stop")
+        assert store.actions_of("robot:2:2", command="rotate") == []
+
+    def test_empty_window_rejected(self, store):
+        with pytest.raises(QueryError):
+            store.actions_of("robot:1:1", since=5.0, until=1.0)
+
+    def test_time_span(self, store):
+        assert store.time_span("robot:1:1") == (0.0, 4.0)
+        assert store.time_span("ghost") is None
+
+    def test_describe_row(self):
+        row = record().describe()
+        assert "robot:1:1" in row
+        assert "rotate" in row
+
+    def test_clear(self, store):
+        store.clear()
+        assert len(store) == 0
+        assert store.robots() == []

@@ -1,0 +1,65 @@
+"""Movement store snapshot/load tests."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.store.database import MovementRecord, MovementStore
+
+
+def build_store(records=5):
+    store = MovementStore(name="hall-A")
+    for index in range(records):
+        store.append(
+            MovementRecord(
+                "robot:1:1", "m.x", "rotate", (float(index),), float(index)
+            )
+        )
+    return store
+
+
+class TestSnapshotLoad:
+    def test_round_trip(self, tmp_path):
+        store = build_store()
+        path = tmp_path / "db.jsonl"
+        assert store.snapshot(path) == 5
+
+        restored = MovementStore.load(path, name="hall-A")
+        assert restored.count() == 5
+        assert [r.args for r in restored.actions_of("robot:1:1")] == [
+            (0.0,), (1.0,), (2.0,), (3.0,), (4.0,)
+        ]
+
+    def test_record_ids_preserved(self, tmp_path):
+        store = build_store(2)
+        path = tmp_path / "db.jsonl"
+        store.snapshot(path)
+        restored = MovementStore.load(path)
+        original_ids = [r.record_id for r in store.all_records()]
+        restored_ids = [r.record_id for r in restored.all_records()]
+        assert restored_ids == original_ids
+
+    def test_empty_store_round_trip(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        MovementStore().snapshot(path)
+        assert MovementStore.load(path).count() == 0
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(StoreError):
+            MovementStore.load(tmp_path / "nothing.jsonl")
+
+    def test_corrupt_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "db.jsonl"
+        build_store(1).snapshot(path)
+        path.write_text(path.read_text() + '{"robot_id": "x"}\n')
+        with pytest.raises(StoreError) as info:
+            MovementStore.load(path)
+        assert "line 2" in str(info.value)
+
+    def test_queries_survive_reload(self, tmp_path):
+        store = build_store()
+        path = tmp_path / "db.jsonl"
+        store.snapshot(path)
+        restored = MovementStore.load(path)
+        windowed = restored.actions_of("robot:1:1", since=1.0, until=3.0)
+        assert len(windowed) == 3
+        assert restored.time_span("robot:1:1") == (0.0, 4.0)

@@ -1,0 +1,157 @@
+"""Movement sequence manipulation and replay tests."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.robot.hardware import Motor
+from repro.robot.rcx import RCXBrick
+from repro.store.database import MovementRecord, MovementStore
+from repro.store.manipulation import (
+    MovementSequence,
+    ReplaySession,
+    plotter_port_map,
+)
+
+
+def plotter_records(robot="robot:1:1", t0=0.0):
+    """Records of drawing a 10x10 L: x+20deg, y+20deg (0.5mm/deg)."""
+    return [
+        MovementRecord(robot, f"{robot}.motor.pen", "rotate", (90.0,), t0 + 0.0),
+        MovementRecord(robot, f"{robot}.motor.x", "rotate", (20.0,), t0 + 1.0),
+        MovementRecord(robot, f"{robot}.motor.y", "rotate", (20.0,), t0 + 2.0),
+        MovementRecord(robot, f"{robot}.motor.pen", "rotate", (-90.0,), t0 + 3.0),
+    ]
+
+
+def fresh_brick():
+    rcx = RCXBrick("replica")
+    rcx.attach_motor("A", Motor("rep.x"))
+    rcx.attach_motor("B", Motor("rep.y"))
+    rcx.attach_motor("C", Motor("rep.pen"))
+    return rcx
+
+
+class TestMovementSequence:
+    def test_from_store_sorted_by_time(self):
+        store = MovementStore()
+        for rec in reversed(plotter_records()):
+            store.append(rec)
+        seq = MovementSequence.from_store(store, "robot:1:1")
+        assert [r.time for r in seq.records] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_duration(self):
+        seq = MovementSequence(plotter_records())
+        assert seq.duration() == 3.0
+        assert MovementSequence([]).duration() == 0.0
+
+    def test_scaled_scales_rotations_only(self):
+        seq = MovementSequence(plotter_records()).scaled(2.0)
+        x_rotation = [r for r in seq.records if r.device_id.endswith("motor.x")][0]
+        assert x_rotation.args == (40.0,)
+
+    def test_scaled_preserves_times(self):
+        seq = MovementSequence(plotter_records()).scaled(3.0)
+        assert [r.time for r in seq.records] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(QueryError):
+            MovementSequence(plotter_records()).scaled(0.0)
+
+    def test_slice(self):
+        seq = MovementSequence(plotter_records()).slice(1.0, 2.0)
+        assert len(seq) == 2
+
+    def test_rotation_span(self):
+        seq = MovementSequence(plotter_records())
+        assert seq.rotation_span("robot:1:1.motor.pen") == 0.0  # +90 - 90
+        assert seq.rotation_span("robot:1:1.motor.x") == 20.0
+
+    def test_port_map_derivation(self):
+        mapping = plotter_port_map(plotter_records())
+        assert mapping["robot:1:1.motor.x"] == "A"
+        assert mapping["robot:1:1.motor.pen"] == "C"
+
+    def test_to_macros_relative_times(self):
+        seq = MovementSequence(plotter_records(t0=100.0))
+        macros = seq.to_macros(plotter_port_map(seq.records))
+        assert [offset for offset, _ in macros] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_to_macros_skips_unmapped_devices(self):
+        records = plotter_records()
+        records.append(MovementRecord("robot:1:1", "sensor.1", "read", (), 4.0))
+        macros = MovementSequence(records).to_macros(plotter_port_map(records))
+        assert len(macros) == 4
+
+
+class TestReplaySession:
+    def test_replays_all_macros_onto_hardware(self, sim):
+        brick = fresh_brick()
+        session = ReplaySession(sim)
+        session.add(MovementSequence(plotter_records()), brick)
+        scheduled = session.start()
+        sim.run_for(10.0)
+        assert scheduled == 4
+        assert session.macros_replayed == 4
+        assert brick.motor("A").angle == 20.0
+        assert brick.motor("C").angle == 0.0
+
+    def test_replay_preserves_relative_timing(self, sim):
+        brick = fresh_brick()
+        session = ReplaySession(sim)
+        session.add(MovementSequence(plotter_records(t0=50.0)), brick)
+        session.start()
+        sim.run_for(1.5)  # offsets 0.0 and 1.0 have fired
+        assert brick.motor("A").angle == 20.0
+        assert brick.motor("B").angle == 0.0
+
+    def test_time_scale_stretches_replay(self, sim):
+        brick = fresh_brick()
+        session = ReplaySession(sim, time_scale=2.0)
+        session.add(MovementSequence(plotter_records()), brick)
+        session.start()
+        sim.run_for(3.0)  # original offset 2.0 now at 4.0: y not yet
+        assert brick.motor("B").angle == 0.0
+        sim.run_for(10.0)
+        assert brick.motor("B").angle == 20.0
+
+    def test_multi_robot_alignment(self, sim):
+        """Two robots recorded at different absolute times replay with the
+        right relative offsets (the paper's failure-reproduction case)."""
+        brick_one, brick_two = fresh_brick(), fresh_brick()
+        session = ReplaySession(sim)
+        session.add(MovementSequence(plotter_records(t0=100.0)), brick_one)
+        session.add(MovementSequence(plotter_records(robot="r2", t0=101.5)), brick_two)
+        session.start()
+        sim.run_for(1.6)  # t=1.5 relative: robot 2's pen-down fires
+        assert brick_one.motor("A").angle == 20.0  # its offset-1.0 fired
+        assert brick_two.motor("C").angle == 90.0
+        assert brick_two.motor("A").angle == 0.0  # its offset-1.0 is at 2.5
+
+    def test_on_done_fires(self, sim):
+        brick = fresh_brick()
+        session = ReplaySession(sim)
+        session.add(MovementSequence(plotter_records()), brick)
+        done = []
+        session.on_done.connect(lambda s: done.append(s.macros_replayed))
+        session.start()
+        sim.run_for(10.0)
+        assert done == [4]
+
+    def test_empty_session_done_immediately(self, sim):
+        session = ReplaySession(sim)
+        done = []
+        session.on_done.connect(lambda s: done.append(True))
+        assert session.start() == 0
+        assert done == [True]
+
+    def test_invalid_time_scale_rejected(self, sim):
+        with pytest.raises(QueryError):
+            ReplaySession(sim, time_scale=0.0)
+
+    def test_scaled_replay_draws_scaled_rotations(self, sim):
+        brick = fresh_brick()
+        session = ReplaySession(sim)
+        session.add(MovementSequence(plotter_records()).scaled(2.5), brick)
+        session.start()
+        sim.run_for(10.0)
+        assert brick.motor("A").angle == 50.0

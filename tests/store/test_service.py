@@ -1,0 +1,70 @@
+"""Store network service tests."""
+
+import pytest
+
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import RemoteError, Transport
+from repro.store.database import MovementRecord, MovementStore
+from repro.store.service import APPEND, QUERY, ROBOTS, StoreService
+
+
+@pytest.fixture
+def rig(sim, network):
+    base = network.attach(NetworkNode("base", Position(0, 0)))
+    robot = network.attach(NetworkNode("robot", Position(5, 0)))
+    store = MovementStore()
+    service = StoreService(store, Transport(base, sim))
+    client = Transport(robot, sim)
+    return store, service, client
+
+
+def sample_records(n=3):
+    return [
+        MovementRecord("robot", "m.x", "rotate", (10.0,), float(t)) for t in range(n)
+    ]
+
+
+class TestStoreService:
+    def test_remote_append(self, sim, rig):
+        store, _, client = rig
+        replies = []
+        client.request("base", APPEND, {"records": sample_records()},
+                       on_reply=replies.append)
+        sim.run_for(1.0)
+        assert replies == [{"stored": 3}]
+        assert store.count("robot") == 3
+
+    def test_append_rejects_non_records(self, sim, rig):
+        _, _, client = rig
+        errors = []
+        client.request("base", APPEND, {"records": [{"fake": 1}]},
+                       on_error=errors.append)
+        sim.run_for(1.0)
+        assert isinstance(errors[0], RemoteError)
+
+    def test_remote_query(self, sim, rig):
+        store, _, client = rig
+        store.append_many(sample_records(5))
+        results = []
+        client.request("base", QUERY, {"robot_id": "robot", "since": 1.0, "until": 3.0},
+                       on_reply=lambda body: results.append(body["records"]))
+        sim.run_for(1.0)
+        assert [r.time for r in results[0]] == [1.0, 2.0, 3.0]
+
+    def test_remote_robots_listing(self, sim, rig):
+        store, _, client = rig
+        store.append_many(sample_records(1))
+        results = []
+        client.request("base", ROBOTS, on_reply=lambda body: results.append(body["robots"]))
+        sim.run_for(1.0)
+        assert results == [["robot"]]
+
+    def test_records_survive_network_copy(self, sim, rig):
+        """Records round-trip through the deep-copying radio unchanged."""
+        store, _, client = rig
+        original = sample_records(1)[0]
+        client.request("base", APPEND, {"records": [original]})
+        sim.run_for(1.0)
+        stored = store.actions_of("robot")[0]
+        assert stored == original

@@ -1,0 +1,160 @@
+"""Shared test application code.
+
+Aspects and application classes used across the suite live here at module
+level so they are picklable (extension envelopes serialize aspect
+instances with :mod:`pickle`, mirroring code shipping in the original
+platform).
+
+IMPORTANT: :class:`ProseVM.load_class` rewrites classes *in place*, so
+tests must not instrument these shared classes directly — use the
+``fresh_*`` factories, which clone a class per test.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop import Aspect, Capability, MethodCut, REST, before
+from repro.aop.advice import AdviceKind
+from repro.aop.crosscut import FieldWriteCut
+
+
+class Engine:
+    """A toy application class with annotated methods."""
+
+    def __init__(self, engine_id: str = "engine-0"):
+        self.engine_id = engine_id
+        self.rpm = 0
+        self.log: list[str] = []
+
+    def start(self) -> None:
+        self.log.append("start")
+        self.rpm = 800
+
+    def throttle(self, amount: int) -> int:
+        self.rpm += amount
+        return self.rpm
+
+    def send_telemetry(self, data: bytes, priority: int = 0) -> bytes:
+        self.log.append("telemetry")
+        return data
+
+    def receive_command(self, data: bytes) -> bytes:
+        self.log.append("command")
+        return data
+
+    def fail(self) -> None:
+        raise RuntimeError("engine failure")
+
+    def get_id(self) -> str:
+        return self.engine_id
+
+
+class Turbine(Engine):
+    """A subclass, for MRO-based type-pattern tests."""
+
+    def spool(self, rate: float) -> float:
+        self.rpm += int(rate * 100)
+        return rate
+
+
+def fresh_class(base: type = Engine) -> type:
+    """A per-test clone of an application class (safe to instrument).
+
+    The clone carries copies of the base's own methods in its own class
+    dict, so instrumenting it never touches the shared original.
+
+    Limitation: methods using zero-argument ``super()`` keep their
+    compiled ``__class__`` cell pointing at the *original* class and will
+    break on clone instances.  For such classes, instrument the real
+    class in a VM fixture that unloads at teardown instead.
+    """
+    namespace = {
+        key: value
+        for key, value in vars(base).items()
+        if key not in ("__dict__", "__weakref__")
+    }
+    return type(base.__name__, base.__bases__, namespace)
+
+
+class TraceAspect(Aspect):
+    """Records every interception into ``self.trace`` (picklable)."""
+
+    def __init__(self, type_pattern: str = "*", method_pattern: str = "*"):
+        super().__init__()
+        self.trace: list[tuple[str, tuple]] = []
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type=type_pattern, method=method_pattern, params=(REST,)),
+            callback=self.record,
+        )
+
+    def record(self, ctx) -> None:
+        self.trace.append((ctx.method_name, ctx.args))
+
+
+class FieldTraceAspect(Aspect):
+    """Records field writes into ``self.writes``."""
+
+    def __init__(self, type_pattern: str = "*", field_pattern: str = "*"):
+        super().__init__()
+        self.writes: list[tuple[str, Any, Any]] = []
+        self.add_advice(
+            kind=AdviceKind.AFTER,
+            crosscut=FieldWriteCut(type=type_pattern, field=field_pattern),
+            callback=self.record,
+        )
+
+    def record(self, ctx) -> None:
+        self.writes.append((ctx.field, ctx.old_value, ctx.new_value))
+
+
+class CleanShutdownAspect(TraceAspect):
+    """Records its lifecycle order (shutdown before withdrawal)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.events: list[str] = []
+
+    def shutdown(self) -> None:
+        self.events.append("shutdown")
+
+    def on_withdraw(self, vm) -> None:
+        self.events.append("withdraw")
+
+
+class QualityControl(Aspect):
+    """Fig. 2's quality-assurance extension: propagates state changes
+    (field writes) of the adapted service to the base station."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.NETWORK})
+
+    def __init__(self, owner, type_pattern: str = "*", field_pattern: str = "*"):
+        super().__init__()
+        self.owner = owner
+        self.propagated = 0
+        self.add_advice(
+            kind=AdviceKind.AFTER,
+            crosscut=FieldWriteCut(type=type_pattern, field=field_pattern),
+            callback=self.propagate,
+        )
+
+    def propagate(self, ctx) -> None:
+        caller = self.gateway.acquire(Capability.NETWORK)
+        caller.post(self.owner, {"field": ctx.field, "value": ctx.new_value})
+        self.propagated += 1
+
+
+class NetworkUsingAspect(Aspect):
+    """An aspect whose advice needs the network capability (sandbox tests)."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.NETWORK})
+
+    def __init__(self):
+        super().__init__()
+        self.posts = 0
+
+    @before(MethodCut(type="*", method="start"))
+    def touch_network(self, ctx) -> None:
+        self.gateway.acquire(Capability.NETWORK)
+        self.posts += 1

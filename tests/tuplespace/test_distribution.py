@@ -1,0 +1,189 @@
+"""Tuple-space extension distribution tests (the §4.6 future work)."""
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.tuplespace.distribution import TupleSpaceAcquirer, TupleSpaceDistributor
+from repro.tuplespace.service import TupleSpaceClient, TupleSpaceService
+from repro.tuplespace.space import TupleSpace
+
+from tests.support import Engine, TraceAspect, fresh_class
+
+
+class SpaceWorld:
+    """Space host + publishing base + pulling node."""
+
+    def __init__(self, sim, network, node_scope=None, trusted=True):
+        self.sim = sim
+        self.signer = Signer.generate("hall-A")
+
+        host = network.attach(NetworkNode("space-host", Position(0, 0)))
+        self.space = TupleSpace(sim)
+        TupleSpaceService(self.space, Transport(host, sim), sim)
+
+        base_node = network.attach(NetworkNode("base", Position(3, 0)))
+        self.catalog = ExtensionCatalog(self.signer)
+        self.catalog.add("trace", lambda: TraceAspect(type_pattern="Engine"))
+        self.distributor = TupleSpaceDistributor(
+            self.catalog,
+            TupleSpaceClient(Transport(base_node, sim), "space-host"),
+            sim,
+            scope={"hall": "A"},
+            tuple_lease=10.0,
+        )
+
+        device = network.attach(NetworkNode("device", Position(5, 0)))
+        self.vm = ProseVM()
+        trust = TrustStore()
+        if trusted:
+            trust.trust_signer(self.signer)
+        device_transport = Transport(device, sim)
+        self.adaptation = AdaptationService(
+            self.vm,
+            device_transport,
+            sim,
+            trust,
+            policy=SandboxPolicy.permissive(),
+            services={
+                Capability.NETWORK: RemoteCaller(device_transport),
+                Capability.CLOCK: sim.clock,
+                Capability.SCHEDULER: SchedulerService(sim),
+            },
+        )
+        self.acquirer = TupleSpaceAcquirer(
+            self.adaptation,
+            TupleSpaceClient(device_transport, "space-host"),
+            sim,
+            scope=node_scope if node_scope is not None else {"hall": "A"},
+            refresh_interval=1.0,
+            installation_lease=5.0,
+        )
+
+
+@pytest.fixture
+def world(sim, network):
+    return SpaceWorld(sim, network)
+
+
+class TestAcquisition:
+    def test_node_pulls_matching_extension(self, sim, world):
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        assert world.adaptation.is_installed("trace")
+
+    def test_publish_before_node_exists_still_works(self, sim, world):
+        """The space decouples provider and receiver in time."""
+        world.distributor.publish()
+        sim.run_for(5.0)  # policy sits in the space, nobody around
+        world.acquirer.start()
+        sim.run_for(3.0)
+        assert world.adaptation.is_installed("trace")
+
+    def test_scope_mismatch_not_pulled(self, sim, network):
+        world = SpaceWorld(sim, network, node_scope={"hall": "B"})
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(5.0)
+        assert not world.adaptation.is_installed("trace")
+
+    def test_untrusted_publisher_rejected(self, sim, network):
+        world = SpaceWorld(sim, network, trusted=False)
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(5.0)
+        assert not world.adaptation.is_installed("trace")
+
+    def test_installed_extension_intercepts(self, sim, world):
+        cls = fresh_class()
+        world.vm.load_class(cls)
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        cls().start()
+        aspect = world.adaptation.find("trace").aspect
+        assert ("start", ()) in aspect.trace
+
+
+class TestLocality:
+    def test_retracting_tuple_withdraws_extension(self, sim, world):
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        assert world.adaptation.is_installed("trace")
+        withdrawn = []
+        world.adaptation.on_withdrawn.connect(
+            lambda inst, reason: withdrawn.append(reason)
+        )
+        world.distributor.retract("trace")
+        sim.run_for(10.0)  # installation lease lapses without renewal
+        assert not world.adaptation.is_installed("trace")
+        assert "lease-expired" in withdrawn
+
+    def test_publisher_death_withdraws_everywhere(self, sim, world):
+        """If the distributor stops refreshing, tuples lapse and so do
+        the extensions they carried — no orphaned policy."""
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        world.distributor._refresher.stop()  # simulate publisher crash
+        sim.run_for(30.0)
+        assert len(world.space) == 0
+        assert not world.adaptation.is_installed("trace")
+
+    def test_acquirer_keeps_renewing_while_tuple_lives(self, sim, world):
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(30.0)  # several installation lease terms
+        assert world.adaptation.is_installed("trace")
+
+
+class TestPartitions:
+    def test_partition_from_space_withdraws_then_heals(self, sim, network, world):
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        assert world.adaptation.is_installed("trace")
+
+        network.partition("space-host", "device")
+        sim.run_for(30.0)  # renewals can't reach the space; lease lapses
+        assert not world.adaptation.is_installed("trace")
+
+        network.heal("space-host", "device")
+        sim.run_for(10.0)  # next refresh re-reads the space and reinstalls
+        assert world.adaptation.is_installed("trace")
+
+    def test_publisher_partition_tolerated_within_tuple_lease(self, sim, network, world):
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        network.partition("space-host", "base")
+        sim.run_for(4.0)  # tuple lease is 10s; refreshes missed but alive
+        assert world.adaptation.is_installed("trace")
+        network.heal("space-host", "base")
+        sim.run_for(30.0)
+        assert world.adaptation.is_installed("trace")
+
+
+class TestReplacement:
+    def test_replace_extension_reaches_holders(self, sim, world):
+        world.distributor.publish()
+        world.acquirer.start()
+        sim.run_for(3.0)
+        old = world.adaptation.find("trace").aspect
+        world.distributor.replace_extension(
+            "trace", lambda: TraceAspect(type_pattern="Turbine")
+        )
+        sim.run_for(5.0)
+        new = world.adaptation.find("trace")
+        assert new.aspect is not old
+        assert new.envelope.version == 2

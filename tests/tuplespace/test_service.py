@@ -1,0 +1,113 @@
+"""Tuple space network service tests."""
+
+import pytest
+
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.tuplespace.service import TupleSpaceClient, TupleSpaceService
+from repro.tuplespace.space import Tuple, TupleSpace, TupleTemplate
+
+
+@pytest.fixture
+def rig(sim, network):
+    host = network.attach(NetworkNode("host", Position(0, 0)))
+    user = network.attach(NetworkNode("user", Position(5, 0)))
+    space = TupleSpace(sim)
+    service = TupleSpaceService(space, Transport(host, sim), sim)
+    client = TupleSpaceClient(Transport(user, sim), "host")
+    return space, service, client
+
+
+def record(name="x"):
+    return Tuple("midas.extension", {"name": name})
+
+
+class TestRemoteOperations:
+    def test_remote_out_and_rd(self, sim, rig):
+        space, _, client = rig
+        client.out(record("a"))
+        sim.run_for(1.0)
+        assert len(space) == 1
+        results = []
+        client.rd(TupleTemplate("midas.extension"), results.append)
+        sim.run_for(1.0)
+        assert len(results[0]) == 1
+        assert results[0][0].fields["name"] == "a"
+
+    def test_remote_take(self, sim, rig):
+        space, _, client = rig
+        client.out(record("a"))
+        sim.run_for(1.0)
+        taken = []
+        client.take(TupleTemplate("midas.extension"), taken.append)
+        sim.run_for(1.0)
+        assert taken[0].fields["name"] == "a"
+        assert len(space) == 0
+
+    def test_remote_renew_and_retract(self, sim, rig):
+        space, _, client = rig
+        lease_ids = []
+        client.out(record("a"), lease_duration=3.0, on_done=lease_ids.append)
+        sim.run_for(1.0)
+        for _ in range(3):
+            client.renew(lease_ids[0])
+            sim.run_for(2.0)
+        assert len(space) == 1
+        client.retract(lease_ids[0])
+        sim.run_for(1.0)
+        assert len(space) == 0
+
+    def test_tuples_deep_copied_across_radio(self, sim, rig):
+        space, _, client = rig
+        original = Tuple("midas.extension", {"name": "a", "tags": ["x"]})
+        client.out(original)
+        sim.run_for(1.0)
+        original.fields["tags"].append("mutated")
+        stored = space.rd(TupleTemplate("midas.extension"))
+        assert stored.fields["tags"] == ["x"]
+
+
+class TestRemoteListen:
+    def test_listener_gets_existing_and_future(self, sim, rig):
+        space, _, client = rig
+        client.out(record("early"))
+        sim.run_for(1.0)
+        seen = []
+        client.listen(TupleTemplate("midas.extension"),
+                      lambda t: seen.append(t.fields["name"]))
+        sim.run_for(1.0)
+        client.out(record("late"))
+        sim.run_for(1.0)
+        assert seen == ["early", "late"]
+
+    def test_listener_lease_expires(self, sim, rig):
+        space, _, client = rig
+        seen = []
+        client.listen(
+            TupleTemplate("midas.extension"),
+            lambda t: seen.append(t),
+            duration=3.0,
+        )
+        sim.run_for(5.0)  # listener lease lapses
+        client.out(record("after"))
+        sim.run_for(1.0)
+        assert seen == []
+
+    def test_listener_renewable(self, sim, rig):
+        space, _, client = rig
+        seen = []
+        lease_ids = []
+        client.listen(
+            TupleTemplate("midas.extension"),
+            lambda t: seen.append(t),
+            duration=3.0,
+            on_registered=lease_ids.append,
+        )
+        sim.run_for(1.0)
+        for _ in range(3):
+            client.renew(lease_ids[0])
+            sim.run_for(2.0)
+        client.out(record("still-listening"))
+        sim.run_for(1.0)
+        assert len(seen) == 1

@@ -1,0 +1,102 @@
+"""Several environments sharing one tuple space."""
+
+import pytest
+
+from repro.aop.sandbox import Capability, SandboxPolicy
+from repro.aop.vm import ProseVM
+from repro.midas.catalog import ExtensionCatalog
+from repro.midas.receiver import AdaptationService
+from repro.midas.remote import RemoteCaller
+from repro.midas.scheduler import SchedulerService
+from repro.midas.trust import Signer, TrustStore
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.tuplespace.distribution import TupleSpaceAcquirer, TupleSpaceDistributor
+from repro.tuplespace.service import TupleSpaceClient, TupleSpaceService
+from repro.tuplespace.space import TupleSpace
+
+from tests.support import TraceAspect
+
+
+def make_publisher(sim, network, name, scope, signers_registry):
+    signer = Signer.generate(name)
+    signers_registry.append(signer)
+    node = network.attach(NetworkNode(name, Position(1, len(name)), 80))
+    catalog = ExtensionCatalog(signer)
+    catalog.add(f"{name}-policy", TraceAspect)
+    return TupleSpaceDistributor(
+        catalog,
+        TupleSpaceClient(Transport(node, sim), "space-host"),
+        sim,
+        scope=scope,
+        tuple_lease=10.0,
+    )
+
+
+def make_subscriber(sim, network, name, scope, signers):
+    node = network.attach(NetworkNode(name, Position(5, len(name)), 80))
+    transport = Transport(node, sim)
+    trust = TrustStore()
+    for signer in signers:
+        trust.trust_signer(signer)
+    adaptation = AdaptationService(
+        ProseVM(name=name),
+        transport,
+        sim,
+        trust,
+        policy=SandboxPolicy.permissive(),
+        services={
+            Capability.NETWORK: RemoteCaller(transport),
+            Capability.CLOCK: sim.clock,
+            Capability.SCHEDULER: SchedulerService(sim),
+        },
+    )
+    TupleSpaceAcquirer(
+        adaptation,
+        TupleSpaceClient(transport, "space-host"),
+        sim,
+        scope=scope,
+        refresh_interval=1.0,
+        installation_lease=5.0,
+    ).start()
+    return adaptation
+
+
+@pytest.fixture
+def shared(sim, network):
+    host = network.attach(NetworkNode("space-host", Position(0, 0), 80))
+    space = TupleSpace(sim, name="site")
+    TupleSpaceService(space, Transport(host, sim), sim)
+    signers: list[Signer] = []
+    hall_a = make_publisher(sim, network, "hall-A", {"hall": "A"}, signers)
+    hall_b = make_publisher(sim, network, "hall-B", {"hall": "B"}, signers)
+    hall_a.publish()
+    hall_b.publish()
+    robot_a = make_subscriber(sim, network, "robot-a", {"hall": "A"}, signers)
+    robot_b = make_subscriber(sim, network, "robot-b", {"hall": "B"}, signers)
+    sim.run_for(5.0)
+    return space, hall_a, hall_b, robot_a, robot_b
+
+
+class TestSharedSpace:
+    def test_scoped_pull(self, shared):
+        space, hall_a, hall_b, robot_a, robot_b = shared
+        assert [i.name for i in robot_a.installed()] == ["hall-A-policy"]
+        assert [i.name for i in robot_b.installed()] == ["hall-B-policy"]
+        assert len(space) == 2
+
+    def test_retraction_scoped_to_publisher(self, sim, shared):
+        space, hall_a, hall_b, robot_a, robot_b = shared
+        hall_a.retract_all()
+        sim.run_for(15.0)
+        assert robot_a.installed() == []
+        assert [i.name for i in robot_b.installed()] == ["hall-B-policy"]
+
+    def test_one_publisher_crash_leaves_other_intact(self, sim, shared):
+        space, hall_a, hall_b, robot_a, robot_b = shared
+        hall_a._refresher.stop()  # hall A's operator dies
+        sim.run_for(40.0)
+        assert robot_a.installed() == []
+        assert [i.name for i in robot_b.installed()] == ["hall-B-policy"]
+        assert len(space) == 1

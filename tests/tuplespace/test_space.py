@@ -1,0 +1,123 @@
+"""Tuple space core tests."""
+
+import pytest
+
+from repro.tuplespace.space import ANY, Tuple, TupleSpace, TupleTemplate
+
+
+@pytest.fixture
+def space(sim):
+    return TupleSpace(sim)
+
+
+def extension_tuple(name="monitoring", hall="A"):
+    return Tuple("midas.extension", {"name": name, "hall": hall})
+
+
+class TestMatching:
+    def test_kind_must_match(self):
+        template = TupleTemplate("midas.extension")
+        assert template.matches(extension_tuple())
+        assert not template.matches(Tuple("other.kind"))
+
+    def test_field_subset(self):
+        template = TupleTemplate("midas.extension", {"hall": "A"})
+        assert template.matches(extension_tuple(hall="A"))
+        assert not template.matches(extension_tuple(hall="B"))
+
+    def test_any_wildcard(self):
+        template = TupleTemplate("midas.extension", {"hall": ANY})
+        assert template.matches(extension_tuple(hall="A"))
+        assert template.matches(extension_tuple(hall="B"))
+        assert not template.matches(Tuple("midas.extension", {"name": "x"}))
+
+    def test_empty_template_matches_kind(self):
+        assert TupleTemplate("midas.extension").matches(extension_tuple())
+
+
+class TestOperations:
+    def test_out_then_rd(self, space):
+        record = extension_tuple()
+        space.out(record)
+        assert space.rd(TupleTemplate("midas.extension")) == record
+        assert len(space) == 1
+
+    def test_rd_is_nondestructive(self, space):
+        space.out(extension_tuple())
+        space.rd(TupleTemplate("midas.extension"))
+        assert len(space) == 1
+
+    def test_rd_all_oldest_first(self, space):
+        first, second = extension_tuple("a"), extension_tuple("b")
+        space.out(first)
+        space.out(second)
+        assert space.rd_all(TupleTemplate("midas.extension")) == [first, second]
+
+    def test_take_removes(self, space):
+        record = extension_tuple()
+        space.out(record)
+        taken = space.take(TupleTemplate("midas.extension"))
+        assert taken == record
+        assert len(space) == 0
+
+    def test_take_on_empty_returns_none(self, space):
+        assert space.take(TupleTemplate("midas.extension")) is None
+
+    def test_rd_no_match_returns_none(self, space):
+        space.out(extension_tuple(hall="A"))
+        assert space.rd(TupleTemplate("midas.extension", {"hall": "Z"})) is None
+
+
+class TestLeases:
+    def test_tuple_expires(self, sim, space):
+        space.out(extension_tuple(), lease_duration=5.0)
+        sim.run_for(6.0)
+        assert len(space) == 0
+
+    def test_renew_keeps_alive(self, sim, space):
+        lease_id = space.out(extension_tuple(), lease_duration=5.0)
+        for _ in range(4):
+            sim.run_for(3.0)
+            space.renew(lease_id)
+        assert len(space) == 1
+
+    def test_retract(self, sim, space):
+        lease_id = space.out(extension_tuple(), lease_duration=60.0)
+        space.retract(lease_id)
+        assert len(space) == 0
+
+    def test_removed_signal_reasons(self, sim, space):
+        reasons = []
+        space.on_removed.connect(lambda record, reason: reasons.append(reason))
+        space.out(extension_tuple("a"), lease_duration=1.0)
+        space.out(extension_tuple("b"), lease_duration=60.0)
+        sim.run_for(2.0)  # a expires
+        space.take(TupleTemplate("midas.extension", {"name": "b"}))
+        assert "expired" in reasons and "taken" in reasons
+
+
+class TestNotify:
+    def test_existing_tuples_delivered_immediately(self, space):
+        space.out(extension_tuple())
+        seen = []
+        space.notify(TupleTemplate("midas.extension"), seen.append)
+        assert len(seen) == 1
+
+    def test_future_tuples_delivered(self, space):
+        seen = []
+        space.notify(TupleTemplate("midas.extension"), seen.append)
+        space.out(extension_tuple())
+        assert len(seen) == 1
+
+    def test_non_matching_not_delivered(self, space):
+        seen = []
+        space.notify(TupleTemplate("midas.extension", {"hall": "Z"}), seen.append)
+        space.out(extension_tuple(hall="A"))
+        assert seen == []
+
+    def test_cancel_stops_delivery(self, space):
+        seen = []
+        cancel = space.notify(TupleTemplate("midas.extension"), seen.append)
+        cancel()
+        space.out(extension_tuple())
+        assert seen == []

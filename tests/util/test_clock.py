@@ -1,0 +1,60 @@
+"""Clock abstraction tests."""
+
+import pytest
+
+from repro.errors import ClockError
+from repro.util.clock import ManualClock, SystemClock
+
+
+class TestSystemClock:
+    def test_monotonic(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert second >= first
+
+    def test_returns_float(self):
+        assert isinstance(SystemClock().now(), float)
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_defaults_to_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance_moves_time(self):
+        clock = ManualClock()
+        clock.advance(2.5)
+        assert clock.now() == 2.5
+
+    def test_advance_returns_new_time(self):
+        clock = ManualClock(1.0)
+        assert clock.advance(1.0) == 2.0
+
+    def test_advance_accumulates(self):
+        clock = ManualClock()
+        clock.advance(1.0)
+        clock.advance(0.5)
+        assert clock.now() == 1.5
+
+    def test_negative_advance_rejected(self):
+        clock = ManualClock()
+        with pytest.raises(ClockError):
+            clock.advance(-0.1)
+
+    def test_set_jumps_forward(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+
+    def test_set_backwards_rejected(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ClockError):
+            clock.set(4.9)
+
+    def test_set_to_same_time_allowed(self):
+        clock = ManualClock(5.0)
+        clock.set(5.0)
+        assert clock.now() == 5.0

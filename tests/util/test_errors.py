@@ -1,0 +1,40 @@
+"""Exception hierarchy tests."""
+
+import inspect
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import ReproError, SandboxViolation
+
+
+class TestHierarchy:
+    def test_every_library_error_derives_from_repro_error(self):
+        for name, obj in vars(errors).items():
+            if inspect.isclass(obj) and issubclass(obj, Exception):
+                assert issubclass(obj, ReproError), f"{name} outside hierarchy"
+
+    def test_family_catch(self):
+        with pytest.raises(ReproError):
+            raise errors.LeaseExpiredError("gone")
+
+    def test_subfamily_relationships(self):
+        assert issubclass(errors.RequestTimeout, errors.TransportError)
+        assert issubclass(errors.TransportError, errors.NetworkError)
+        assert issubclass(errors.SandboxViolation, errors.AopError)
+        assert issubclass(errors.UntrustedSignerError, errors.MidasError)
+        assert issubclass(errors.HardwareFrozenError, errors.RobotError)
+
+
+class TestSandboxViolation:
+    def test_carries_capability_and_aspect(self):
+        violation = SandboxViolation("network", "monitor#1")
+        assert violation.capability == "network"
+        assert violation.aspect_name == "monitor#1"
+        assert "monitor#1" in str(violation)
+        assert "network" in str(violation)
+
+    def test_anonymous_extension(self):
+        violation = SandboxViolation("store")
+        assert violation.aspect_name is None
+        assert "extension" in str(violation)

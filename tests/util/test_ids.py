@@ -1,0 +1,51 @@
+"""Identifier generation tests."""
+
+import threading
+
+from repro.util.ids import IdGenerator, fresh_id
+
+
+class TestIdGenerator:
+    def test_sequential_per_prefix(self):
+        gen = IdGenerator()
+        assert gen.next("a") == "a:0"
+        assert gen.next("a") == "a:1"
+
+    def test_prefixes_count_independently(self):
+        gen = IdGenerator()
+        gen.next("a")
+        assert gen.next("b") == "b:0"
+
+    def test_instances_are_independent(self):
+        first, second = IdGenerator(), IdGenerator()
+        first.next("x")
+        assert second.next("x") == "x:0"
+
+    def test_reset_restarts_counters(self):
+        gen = IdGenerator()
+        gen.next("a")
+        gen.reset()
+        assert gen.next("a") == "a:0"
+
+    def test_no_duplicates_under_concurrency(self):
+        gen = IdGenerator()
+        seen: list[str] = []
+
+        def worker():
+            for _ in range(200):
+                seen.append(gen.next("t"))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == len(set(seen)) == 800
+
+
+class TestFreshId:
+    def test_unique_across_calls(self):
+        assert fresh_id("test-prefix") != fresh_id("test-prefix")
+
+    def test_uses_prefix(self):
+        assert fresh_id("widget").startswith("widget:")

@@ -1,0 +1,58 @@
+"""Wildcard pattern tests."""
+
+from repro.util.patterns import WildcardPattern, wildcard_match
+
+
+class TestWildcardMatch:
+    def test_literal_match(self):
+        assert wildcard_match("spin", "spin")
+
+    def test_literal_mismatch(self):
+        assert not wildcard_match("spin", "spun")
+
+    def test_star_matches_everything(self):
+        assert wildcard_match("*", "")
+        assert wildcard_match("*", "anything at all")
+
+    def test_prefix_pattern(self):
+        assert wildcard_match("send*", "sendBytes")
+        assert wildcard_match("send*", "send")
+        assert not wildcard_match("send*", "resend")
+
+    def test_suffix_pattern(self):
+        assert wildcard_match("*Sensor", "TouchSensor")
+        assert not wildcard_match("*Sensor", "SensorArray")
+
+    def test_infix_pattern(self):
+        assert wildcard_match("get*Value", "getRawValue")
+        assert not wildcard_match("get*Value", "getValueNow")
+
+    def test_multiple_stars(self):
+        assert wildcard_match("*o*o*", "robot motor")
+        assert not wildcard_match("*o*o*", "ox")
+
+    def test_anchored_both_ends(self):
+        assert not wildcard_match("pin", "spinning")
+
+    def test_regex_metacharacters_are_literal(self):
+        assert wildcard_match("a.b", "a.b")
+        assert not wildcard_match("a.b", "axb")
+        assert wildcard_match("f(x)*", "f(x) = y")
+
+
+class TestWildcardPattern:
+    def test_matches(self):
+        assert WildcardPattern("Motor*").matches("MotorProxy")
+
+    def test_is_universal(self):
+        assert WildcardPattern("*").is_universal
+        assert not WildcardPattern("*a").is_universal
+
+    def test_equality_and_hash(self):
+        assert WildcardPattern("x*") == WildcardPattern("x*")
+        assert hash(WildcardPattern("x*")) == hash(WildcardPattern("x*"))
+        assert WildcardPattern("x*") != WildcardPattern("y*")
+
+    def test_usable_in_sets(self):
+        patterns = {WildcardPattern("a"), WildcardPattern("a"), WildcardPattern("b")}
+        assert len(patterns) == 2

@@ -1,0 +1,82 @@
+"""Signal (pub/sub) tests."""
+
+from repro.util.signal import Signal
+
+
+class TestSignal:
+    def test_fire_reaches_listener(self):
+        signal = Signal("s")
+        got = []
+        signal.connect(got.append)
+        signal.fire(42)
+        assert got == [42]
+
+    def test_fire_with_kwargs(self):
+        signal = Signal("s")
+        got = []
+        signal.connect(lambda a, b=None: got.append((a, b)))
+        signal.fire(1, b=2)
+        assert got == [(1, 2)]
+
+    def test_multiple_listeners_all_called_in_order(self):
+        signal = Signal("s")
+        order = []
+        signal.connect(lambda: order.append("first"))
+        signal.connect(lambda: order.append("second"))
+        signal.fire()
+        assert order == ["first", "second"]
+
+    def test_disconnect(self):
+        signal = Signal("s")
+        got = []
+        listener = got.append
+        signal.connect(listener)
+        signal.disconnect(listener)
+        signal.fire(1)
+        assert got == []
+
+    def test_disconnect_unknown_listener_is_noop(self):
+        Signal("s").disconnect(lambda: None)
+
+    def test_listener_error_does_not_stop_others(self):
+        signal = Signal("s")
+        got = []
+
+        def bad():
+            raise ValueError("boom")
+
+        signal.connect(bad)
+        signal.connect(lambda: got.append("ok"))
+        errors = signal.fire()
+        assert got == ["ok"]
+        assert len(errors) == 1
+        assert isinstance(errors[0], ValueError)
+
+    def test_connect_returns_listener_for_decorator_use(self):
+        signal = Signal("s")
+
+        @signal.connect
+        def listener():
+            pass
+
+        assert len(signal) == 1
+        assert listener is not None
+
+    def test_listener_added_during_fire_not_called_this_round(self):
+        signal = Signal("s")
+        got = []
+
+        def adder():
+            signal.connect(lambda: got.append("late"))
+
+        signal.connect(adder)
+        signal.fire()
+        assert got == []
+        signal.fire()
+        assert got == ["late"]
+
+    def test_len_counts_listeners(self):
+        signal = Signal("s")
+        assert len(signal) == 0
+        signal.connect(lambda: None)
+        assert len(signal) == 1

@@ -1,0 +1,96 @@
+"""Workload kernel correctness tests."""
+
+import pytest
+
+from repro.aop import ProseVM
+from repro.workloads.kernels import (
+    CompressKernel,
+    DbKernel,
+    RayKernel,
+    Vec3,
+    workload_classes,
+)
+from repro.workloads.suite import WorkloadSuite
+
+
+class TestCompressKernel:
+    def test_round_trip(self):
+        kernel = CompressKernel(size=256)
+        packed = kernel.compress(kernel.data)
+        assert kernel.decompress(packed) == kernel.data
+
+    def test_run_once_returns_compressed_size(self):
+        kernel = CompressKernel(size=256)
+        assert 0 < kernel.run_once() <= 2 * 256
+
+    def test_deterministic_data(self):
+        assert CompressKernel(seed=3).data == CompressKernel(seed=3).data
+        assert CompressKernel(seed=3).data != CompressKernel(seed=4).data
+
+    def test_compresses_runs(self):
+        kernel = CompressKernel()
+        packed = kernel.compress(b"a" * 100)
+        assert len(packed) == 2
+
+
+class TestDbKernel:
+    def test_crud_cycle(self):
+        db = DbKernel(rows=10)
+        db.insert(1, "alice", 100)
+        assert db.lookup(1) == ("alice", 100)
+        assert db.update(1, 50) == 150
+        assert db.delete(1)
+        assert db.lookup(1) is None
+        assert not db.delete(1)
+
+    def test_run_once_checksum_stable(self):
+        assert DbKernel(rows=20).run_once() == DbKernel(rows=20).run_once()
+
+    def test_run_once_leaves_table_empty(self):
+        db = DbKernel(rows=20)
+        db.run_once()
+        assert db.lookup(0) is None
+
+
+class TestRayKernel:
+    def test_vector_arithmetic(self):
+        v = Vec3(1, 2, 3).add(Vec3(1, 1, 1)).sub(Vec3(0, 0, 1)).scale(2.0)
+        assert (v.x, v.y, v.z) == (4.0, 6.0, 6.0)
+        assert Vec3(1, 0, 0).dot(Vec3(0, 1, 0)) == 0.0
+
+    def test_some_rays_hit(self):
+        hits = RayKernel(rays=20).run_once()
+        assert 0 < hits < 400
+
+    def test_intersect_miss(self):
+        kernel = RayKernel()
+        assert kernel.intersect(Vec3(0, 0, 0), Vec3(0, 1, 0)) is None
+
+    def test_intersect_hit_distance(self):
+        kernel = RayKernel()
+        distance = kernel.intersect(Vec3(0, 0, 0), Vec3(0, 0, 1))
+        assert distance == pytest.approx(5.0 - 1.5**0.5)
+
+
+class TestSuite:
+    def test_suite_runs(self):
+        suite = WorkloadSuite(compress_size=128, db_rows=20, rays=10)
+        assert suite.run(2) > 0
+
+    def test_suite_behaves_identically_when_instrumented(self):
+        plain = WorkloadSuite(compress_size=128, db_rows=20, rays=10).run_once()
+        vm = ProseVM()
+        for cls in workload_classes():
+            vm.load_class(cls)
+        try:
+            instrumented = WorkloadSuite(
+                compress_size=128, db_rows=20, rays=10
+            ).run_once()
+        finally:
+            for cls in workload_classes():
+                vm.unload_class(cls)
+        assert instrumented == plain
+
+    def test_time_iterations_positive(self):
+        suite = WorkloadSuite(compress_size=64, db_rows=10, rays=5)
+        assert suite.time_iterations(1) > 0.0
