@@ -13,12 +13,14 @@ from repro import Position, ProactivePlatform
 from repro.extensions import HwMonitoring
 from repro.robot import Device, Motor, Plotter, build_plotter
 from repro.store import MovementSequence
+from repro.telemetry import text_summary
 
 ROBOT_ID = "robot:1:1"
 
 
 def main() -> None:
     platform = ProactivePlatform()
+    platform.enable_telemetry()
 
     # The production hall: base station + movement database.
     hall = platform.create_base_station("hall-A", Position(0, 0))
@@ -72,6 +74,11 @@ def main() -> None:
 
     for cls in (Device, Motor, Plotter):
         robot.vm.unload_class(cls)
+
+    # What the run looked like, as recorded by the telemetry subsystem.
+    registry = platform.disable_telemetry()
+    print()
+    print(text_summary(registry, title="plotter_monitoring — telemetry"))
     print("\nplotter_monitoring OK")
 
 

@@ -12,6 +12,7 @@ Run:  python examples/quickstart.py
 
 from repro import Aspect, MethodCut, Position, ProactivePlatform, ProseVM, before
 from repro.extensions import CallLogging
+from repro.telemetry import text_summary
 
 
 class Thermostat:
@@ -62,6 +63,7 @@ def part_one_local_weaving() -> None:
 def part_two_proactive_adaptation() -> None:
     print("\n== Part 2: MIDAS — the environment adapts the node ==")
     platform = ProactivePlatform()
+    platform.enable_telemetry()
 
     # The environment: a base station whose policy logs every call.
     hall = platform.create_base_station("hall-A", Position(0, 0))
@@ -89,6 +91,11 @@ def part_two_proactive_adaptation() -> None:
     platform.run_for(300.0)
     print(f"  extensions after leaving   : {device.extensions()}")
     device.vm.unload_class(Thermostat)
+
+    # What the run looked like, as recorded by the telemetry subsystem.
+    registry = platform.disable_telemetry()
+    print()
+    print(text_summary(registry, title="quickstart — telemetry"))
 
 
 def main() -> None:

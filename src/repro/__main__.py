@@ -5,6 +5,7 @@ Usage::
     python -m repro                 # list scenarios
     python -m repro quickstart      # run one
     python -m repro --all           # run every scenario
+    python -m repro telemetry       # traced MIDAS lifecycle demo
 """
 
 from __future__ import annotations
@@ -37,6 +38,12 @@ def run_scenario(name: str) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "telemetry":
+        from repro.telemetry.cli import main as telemetry_main
+
+        return telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -22,12 +22,14 @@ Field-write join points use a stubbed ``__setattr__``
 from __future__ import annotations
 
 import functools
+from time import perf_counter
 from typing import Any, Callable
 
 from repro.aop.advice import Advice, AdviceKind
 from repro.aop.context import ExecutionContext, FieldWriteContext, _MISSING
 from repro.aop.crosscut import ExceptionCut, FieldWriteCut
 from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.telemetry import runtime as _telemetry
 
 # Stub call-target styles.
 INSTANCE = "instance"
@@ -52,6 +54,7 @@ class MethodHookTable:
         "on_state_change",
         "_entries",
         "_seq",
+        "_jp_label",
     )
 
     def __init__(
@@ -75,6 +78,8 @@ class MethodHookTable:
             kind: [] for kind in AdviceKind
         }
         self._seq = 0
+        # Telemetry label, precomputed so dispatch never formats strings.
+        self._jp_label = f"{joinpoint.cls.__name__}.{joinpoint.member}"
 
     @property
     def advised(self) -> bool:
@@ -155,23 +160,55 @@ class MethodHookTable:
         else:
             original = self.original
         table = self
+        jp_label = self._jp_label
+        telemetry_cell = _telemetry.cell()
 
         def dispatch(target: Any, args: tuple, kwargs: dict) -> Any:
             table.interceptions += 1
-            ctx = ExecutionContext(joinpoint, target, args, kwargs, original, arounds)
-            for callback in befores:
-                callback(ctx)
+            recorder = telemetry_cell[0]
+            if recorder is None:
+                # Untimed path: identical to the timed one below, kept
+                # inline so an uninstrumented interception pays only the
+                # cell read and this branch.
+                ctx = ExecutionContext(
+                    joinpoint, target, args, kwargs, original, arounds
+                )
+                for callback in befores:
+                    callback(ctx)
+                try:
+                    ctx.result = ctx.proceed()
+                except BaseException as exc:
+                    ctx.exception = exc
+                    for crosscut, callback in throwers:
+                        if not isinstance(crosscut, ExceptionCut) or crosscut.accepts(exc):
+                            callback(ctx)
+                    raise
+                for callback in afters:
+                    callback(ctx)
+                return ctx.result
+            start = perf_counter()
             try:
-                ctx.result = ctx.proceed()
-            except BaseException as exc:
-                ctx.exception = exc
-                for crosscut, callback in throwers:
-                    if not isinstance(crosscut, ExceptionCut) or crosscut.accepts(exc):
-                        callback(ctx)
-                raise
-            for callback in afters:
-                callback(ctx)
-            return ctx.result
+                ctx = ExecutionContext(
+                    joinpoint, target, args, kwargs, original, arounds
+                )
+                for callback in befores:
+                    callback(ctx)
+                try:
+                    ctx.result = ctx.proceed()
+                except BaseException as exc:
+                    ctx.exception = exc
+                    for crosscut, callback in throwers:
+                        if not isinstance(crosscut, ExceptionCut) or crosscut.accepts(exc):
+                            callback(ctx)
+                    raise
+                for callback in afters:
+                    callback(ctx)
+                return ctx.result
+            finally:
+                recorder.observe(
+                    "prose.dispatch", perf_counter() - start, joinpoint=jp_label
+                )
+                recorder.count("prose.interceptions", 1, joinpoint=jp_label)
 
         self.cell[0] = dispatch
         if not was_active and self.on_state_change is not None:
@@ -388,6 +425,8 @@ class FieldHookTable:
             self.original_setattr(target, field, value)
             return
         self.interceptions += 1
+        recorder = _telemetry.cell()[0]
+        start = perf_counter() if recorder is not None else 0.0
         befores, afters, joinpoint = chain
         old = target.__dict__.get(field, _MISSING) if hasattr(target, "__dict__") else _MISSING
         ctx = FieldWriteContext(joinpoint, target, field, old, value)
@@ -396,6 +435,10 @@ class FieldHookTable:
         self.original_setattr(target, field, ctx.new_value)
         for callback in afters:
             callback(ctx)
+        if recorder is not None:
+            label = f"{joinpoint.cls.__name__}.{field}"
+            recorder.observe("prose.dispatch", perf_counter() - start, joinpoint=label)
+            recorder.count("prose.field_interceptions", 1, joinpoint=label)
 
     def __repr__(self) -> str:
         return f"<FieldHookTable {self.cls.__name__} advice={self.advice_count()}>"

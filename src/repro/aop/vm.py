@@ -42,6 +42,7 @@ from repro.errors import (
     NotWovenError,
     WeaveError,
 )
+from repro.telemetry import runtime as _telemetry
 
 logger = logging.getLogger(__name__)
 
@@ -101,15 +102,35 @@ class _Insertion:
 
 
 class VMStats:
-    """Aggregate counters over a VM's lifetime."""
+    """Aggregate counters over a VM's lifetime.
 
-    __slots__ = ("classes_loaded", "methods_stubbed", "inserts", "withdrawals")
+    Since the telemetry subsystem exists this is a thin compatibility
+    view: every increment also feeds the global recorder as a
+    ``prose.vm.<field>`` counter labelled with the VM's name, while the
+    attributes keep their original always-available integer semantics.
+    """
 
-    def __init__(self):
+    __slots__ = ("classes_loaded", "methods_stubbed", "inserts", "withdrawals",
+                 "_vm")
+
+    #: Attributes mirrored as ``prose.vm.*`` counters.
+    FIELDS = ("classes_loaded", "methods_stubbed", "inserts", "withdrawals")
+
+    def __init__(self, vm: str = "prose"):
         self.classes_loaded = 0
         self.methods_stubbed = 0
         self.inserts = 0
         self.withdrawals = 0
+        self._vm = vm
+
+    def note(self, field: str, amount: int = 1) -> None:
+        """Bump ``field`` locally and in the installed metrics registry."""
+        setattr(self, field, getattr(self, field) + amount)
+        _telemetry.get_recorder().count(f"prose.vm.{field}", amount, vm=self._vm)
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters, keyed by field name."""
+        return {field: getattr(self, field) for field in self.FIELDS}
 
     def __repr__(self) -> str:
         return (
@@ -140,7 +161,7 @@ class ProseVM:
             raise WeaveError(f"unknown weaving mode {mode!r}")
         self.name = name
         self.mode = mode
-        self.stats = VMStats()
+        self.stats = VMStats(vm=name)
         self._loaded: dict[type, _LoadedClass] = {}
         self._insertions: dict[Aspect, _Insertion] = {}
 
@@ -203,10 +224,10 @@ class ProseVM:
                 self._install_method_stub(record, name, table)
             else:
                 table.on_state_change = self._swap_method_hook(record, name)
-            self.stats.methods_stubbed += 1
+            self.stats.note("methods_stubbed")
 
         self._stub_setattr(record)
-        self.stats.classes_loaded += 1
+        self.stats.note("classes_loaded")
 
         # Late loading: weave already-inserted aspects through the new class.
         for insertion in self._insertions.values():
@@ -374,7 +395,7 @@ class ProseVM:
         self._insertions[aspect] = insertion
         for record in self._loaded.values():
             self._register_on_class(insertion, record)
-        self.stats.inserts += 1
+        self.stats.note("inserts")
         aspect.on_insert(self)
 
     def withdraw(self, aspect: Aspect) -> None:
@@ -384,7 +405,7 @@ class ProseVM:
             raise NotWovenError(f"{aspect!r} is not inserted in this VM")
         for table in insertion.tables:
             table.remove_aspect(aspect)
-        self.stats.withdrawals += 1
+        self.stats.note("withdrawals")
         aspect.on_withdraw(self)
 
     def withdraw_all(self) -> None:

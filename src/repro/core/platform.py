@@ -41,6 +41,8 @@ from repro.net.transport import Transport
 from repro.sim.kernel import Simulator
 from repro.store.database import MovementStore
 from repro.store.service import APPEND, STORE_INTERFACE, StoreService
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import runtime as _telemetry
 
 
 class BaseStation:
@@ -169,6 +171,9 @@ class ProactivePlatform:
         self.lease_duration = lease_duration
         self.base_stations: dict[str, BaseStation] = {}
         self.mobile_nodes: dict[str, MobileNode] = {}
+        #: The telemetry registry, once :meth:`enable_telemetry` runs.
+        self.telemetry: MetricsRegistry | None = None
+        self._previous_recorder: _telemetry.Recorder | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -243,6 +248,35 @@ class ProactivePlatform:
         return self.simulator.run(max_steps=max_steps)
 
     # -- observability ----------------------------------------------------------------
+
+    def enable_telemetry(
+        self, registry: MetricsRegistry | None = None
+    ) -> MetricsRegistry:
+        """Install a metrics registry on the simulator's clock.
+
+        Every instrumented point in the stack (advice dispatch, transport,
+        MIDAS lifecycle, leases, tuple spaces) starts reporting here; the
+        registry's timestamps are virtual time, so exports are
+        deterministic.  Returns the registry (pass your own to share one
+        across platforms).  Call :meth:`disable_telemetry` to restore the
+        previous recorder.
+        """
+        if self.telemetry is not None:
+            return self.telemetry
+        registry = registry or MetricsRegistry(clock=self.simulator.clock)
+        self._previous_recorder = _telemetry.install(registry)
+        self.telemetry = registry
+        return registry
+
+    def disable_telemetry(self) -> MetricsRegistry | None:
+        """Uninstall this platform's registry; returns it for inspection."""
+        registry = self.telemetry
+        if registry is None:
+            return None
+        _telemetry.install(self._previous_recorder)
+        self._previous_recorder = None
+        self.telemetry = None
+        return registry
 
     def summary(self) -> dict:
         """A snapshot of the world's counters, for dashboards and tests.

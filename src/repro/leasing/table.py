@@ -15,6 +15,7 @@ from typing import Any, Iterator
 from repro.errors import LeaseDeniedError, LeaseExpiredError
 from repro.leasing.lease import Lease, LeaseState
 from repro.sim.kernel import Event, Simulator
+from repro.telemetry import runtime as _telemetry
 from repro.util.ids import fresh_id
 from repro.util.signal import Signal
 
@@ -57,6 +58,7 @@ class LeaseTable:
         lease = Lease(fresh_id("lease"), holder, resource, granted, self.simulator.now)
         self._leases[lease.lease_id] = lease
         self._schedule_expiry(lease)
+        _telemetry.get_recorder().count("lease.granted", table=self.name)
         return lease
 
     def renew(self, lease_id: str, duration: float | None = None) -> Lease:
@@ -65,6 +67,7 @@ class LeaseTable:
         granted = self._clamp(duration) if duration is not None else None
         lease._renew(self.simulator.now, granted)
         self._schedule_expiry(lease)
+        _telemetry.get_recorder().count("lease.renewed", table=self.name)
         return lease
 
     def cancel(self, lease_id: str) -> Lease:
@@ -72,6 +75,7 @@ class LeaseTable:
         lease = self.get(lease_id)
         lease.state = LeaseState.CANCELLED
         self._drop(lease)
+        _telemetry.get_recorder().count("lease.cancelled", table=self.name)
         self.on_cancelled.fire(lease)
         return lease
 
@@ -119,6 +123,14 @@ class LeaseTable:
             return  # renewed or cancelled since this event was scheduled
         lease.state = LeaseState.EXPIRED
         self._drop(lease)
+        recorder = _telemetry.get_recorder()
+        recorder.count("lease.expired", table=self.name)
+        recorder.event(
+            "lease.expired",
+            table=self.name,
+            holder=lease.holder,
+            resource=str(lease.resource),
+        )
         self.on_expired.fire(lease)
 
     def _drop(self, lease: Lease) -> None:

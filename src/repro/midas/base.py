@@ -39,6 +39,7 @@ from repro.midas.receiver import ADAPTATION_INTERFACE, KEEPALIVE, OFFER, REVOKE
 from repro.net.transport import Transport
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer
+from repro.telemetry import runtime as _telemetry
 from repro.util.signal import Signal
 
 logger = logging.getLogger(__name__)
@@ -63,13 +64,24 @@ class AdaptationRecord:
 class _Adapted:
     """Base-side record of one extension live on one node."""
 
-    __slots__ = ("node_id", "name", "version", "lease_id")
+    __slots__ = ("node_id", "name", "version", "lease_id", "trace")
 
-    def __init__(self, node_id: str, name: str, version: int, lease_id: str):
+    def __init__(
+        self,
+        node_id: str,
+        name: str,
+        version: int,
+        lease_id: str,
+        trace: "_telemetry.SpanContext | None" = None,
+    ):
         self.node_id = node_id
         self.name = name
         self.version = version
         self.lease_id = lease_id
+        #: Span context of the offer that installed this extension; later
+        #: keepalives and revocations parent under it, so the whole
+        #: lifecycle forms one trace.
+        self.trace = trace
 
 
 class ExtensionBase:
@@ -210,6 +222,18 @@ class ExtensionBase:
             return  # already adapted with the current version
         envelope = self.catalog.seal(name)
         self._log(node_id, name, "offered", f"v{envelope.version}")
+        recorder = _telemetry.get_recorder()
+        # The offer roots a fresh trace (parent=None): the receiver-side
+        # install and every later keepalive/revoke hang under it.
+        span = recorder.start_span(
+            "midas.offer",
+            parent=None,
+            node=self.node_id,
+            target=node_id,
+            extension=name,
+            version=envelope.version,
+        )
+        recorder.count("midas.offers", node=self.node_id, extension=name)
 
         def on_reply(body: dict) -> None:
             lease_id = body["lease_id"]
@@ -217,7 +241,7 @@ class ExtensionBase:
             if previous is not None and previous.lease_id != lease_id:
                 self._renewer.forget(previous.lease_id)
             self._adapted[(node_id, name)] = _Adapted(
-                node_id, name, envelope.version, lease_id
+                node_id, name, envelope.version, lease_id, trace=span.context
             )
             if not self._renewer.tracking(lease_id):
                 self._renewer.track(
@@ -228,19 +252,22 @@ class ExtensionBase:
                     context=node_id,
                 )
             self._log(node_id, name, "accepted", f"lease={lease_id}")
+            span.end(lease_id=lease_id)
             self.on_adapted.fire(node_id, name)
 
         def on_error(error: Exception) -> None:
             self._log(node_id, name, "rejected", str(error))
+            span.end(status="error", error=str(error))
             self.on_rejected.fire(node_id, name, str(error))
 
-        self.transport.request(
-            node_id,
-            OFFER,
-            {"envelope": envelope, "duration": self.lease_duration},
-            on_reply=on_reply,
-            on_error=on_error,
-        )
+        with span.activate():
+            self.transport.request(
+                node_id,
+                OFFER,
+                {"envelope": envelope, "duration": self.lease_duration},
+                on_reply=on_reply,
+                on_error=on_error,
+            )
 
     # -- revocation & replacement ----------------------------------------------------------
 
@@ -250,9 +277,22 @@ class ExtensionBase:
         if live is None:
             return
         self._renewer.forget(live.lease_id)
-        self.transport.request(
-            node_id, REVOKE, {"lease_id": live.lease_id, "reason": reason}
+        span = _telemetry.get_recorder().start_span(
+            "midas.revoke",
+            parent=live.trace,
+            node=self.node_id,
+            target=node_id,
+            extension=name,
+            reason=reason,
         )
+        with span.activate():
+            self.transport.request(
+                node_id,
+                REVOKE,
+                {"lease_id": live.lease_id, "reason": reason},
+                on_reply=lambda body: span.end(revoked=bool(body.get("revoked"))),
+                on_error=lambda error: span.end(status="error", error=str(error)),
+            )
         self._log(node_id, name, "revoked", reason)
 
     def revoke_node(self, node_id: str, reason: str = "revoked") -> None:
@@ -316,21 +356,37 @@ class ExtensionBase:
         on_success: Callable[[], None],
         on_failure: Callable[[Exception], None],
     ) -> None:
+        live = self._adapted.get((tracked.context, tracked.resource))
+        span = _telemetry.get_recorder().start_span(
+            "midas.keepalive",
+            parent=live.trace if live is not None else None,
+            node=self.node_id,
+            target=tracked.peer,
+            extension=tracked.resource,
+        )
+
         def on_reply(body: dict) -> None:
             if tracked.lease_id in body.get("renewed", ()):
+                span.end()
                 on_success()
             else:
+                span.end(status="error", error="lease unknown at peer")
                 on_failure(UnknownExtensionError(
                     f"lease {tracked.lease_id} unknown at {tracked.peer}"
                 ))
 
-        self.transport.request(
-            tracked.peer,
-            KEEPALIVE,
-            {"lease_ids": [tracked.lease_id]},
-            on_reply=on_reply,
-            on_error=on_failure,
-        )
+        def on_error(error: Exception) -> None:
+            span.end(status="error", error=str(error))
+            on_failure(error)
+
+        with span.activate():
+            self.transport.request(
+                tracked.peer,
+                KEEPALIVE,
+                {"lease_ids": [tracked.lease_id]},
+                on_reply=on_reply,
+                on_error=on_error,
+            )
 
     def _renewal_abandoned(self, tracked: TrackedLease) -> None:
         node_id: str = tracked.context

@@ -34,6 +34,7 @@ from repro.midas.envelope import ExtensionEnvelope
 from repro.midas.trust import TrustStore
 from repro.net.transport import Transport
 from repro.sim.kernel import Simulator
+from repro.telemetry import runtime as _telemetry
 from repro.util.signal import Signal
 
 logger = logging.getLogger(__name__)
@@ -215,6 +216,9 @@ class AdaptationService:
             self.on_rejected.fire(envelope, exc)
             raise
 
+    def _telemetry_event(self, name: str, **fields: Any) -> None:
+        _telemetry.get_recorder().event(name, node=self.node_id, **fields)
+
     def _accept(
         self, base_id: str, envelope: ExtensionEnvelope, duration: float
     ) -> dict[str, Any]:
@@ -227,36 +231,56 @@ class AdaptationService:
             # Newer version: replacement of an obsolete extension (§3.2).
             self._withdraw(existing, REASON_REPLACED)
 
-        # 1. Security: verify *before* deserialization.
-        aspect = envelope.open(self.trust_store)
+        recorder = _telemetry.get_recorder()
+        try:
+            with recorder.span(
+                "midas.install",
+                node=self.node_id,
+                extension=envelope.name,
+                base=base_id,
+            ):
+                # 1. Security: verify *before* deserialization.
+                aspect = envelope.open(self.trust_store)
 
-        # 2. Capabilities: the node's preferences must cover the request.
-        denied = [
-            capability
-            for capability in sorted(envelope.capabilities)
-            if not self.policy.allows(capability)
-        ]
-        if denied:
-            raise DistributionError(
-                f"extension {envelope.name!r} requires denied capabilities {denied}"
+                # 2. Capabilities: the node's preferences must cover the request.
+                denied = [
+                    capability
+                    for capability in sorted(envelope.capabilities)
+                    if not self.policy.allows(capability)
+                ]
+                if denied:
+                    raise DistributionError(
+                        f"extension {envelope.name!r} requires denied "
+                        f"capabilities {denied}"
+                    )
+
+                # 3. Implicit extensions (e.g. session management for access
+                # control).
+                implicit = self._resolve_implicit(aspect)
+
+                # 4. Sandbox + gateway, then insertion through the PROSE API.
+                sandbox = AspectSandbox(
+                    self.policy.restricted_to(envelope.capabilities), aspect.name
+                )
+                aspect.bind(SystemGateway(self._services, sandbox))
+                self.vm.insert(aspect, sandbox=sandbox)
+
+                lease = self._leases.grant(base_id, envelope.name, duration)
+        except MidasError:
+            recorder.count(
+                "midas.rejections", node=self.node_id, extension=envelope.name
             )
-
-        # 3. Implicit extensions (e.g. session management for access control).
-        implicit = self._resolve_implicit(aspect)
-
-        # 4. Sandbox + gateway, then insertion through the PROSE API.
-        sandbox = AspectSandbox(
-            self.policy.restricted_to(envelope.capabilities), aspect.name
-        )
-        aspect.bind(SystemGateway(self._services, sandbox))
-        self.vm.insert(aspect, sandbox=sandbox)
-
-        lease = self._leases.grant(base_id, envelope.name, duration)
+            raise
         installed = InstalledExtension(
             envelope, aspect, lease.lease_id, base_id, sandbox, implicit
         )
         self._installed[lease.lease_id] = installed
         logger.debug("%s: installed %s from %s", self.node_id, envelope.name, base_id)
+        recorder.count("midas.installs", node=self.node_id, extension=envelope.name)
+        self._telemetry_event(
+            "midas.installed", extension=envelope.name, base=base_id,
+            lease_id=lease.lease_id,
+        )
         self.on_installed.fire(installed)
         return {"lease_id": lease.lease_id, "duration": lease.duration}
 
@@ -299,14 +323,19 @@ class AdaptationService:
     # -- keep-alive and revocation -----------------------------------------------------------
 
     def _serve_keepalive(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
-        renewed: list[str] = []
-        unknown: list[str] = []
-        for lease_id in body["lease_ids"]:
-            if lease_id in self._leases:
-                self._leases.renew(lease_id, body.get("duration"))
-                renewed.append(lease_id)
-            else:
-                unknown.append(lease_id)
+        recorder = _telemetry.get_recorder()
+        with recorder.span("midas.renew", node=self.node_id, base=sender) as span:
+            renewed: list[str] = []
+            unknown: list[str] = []
+            for lease_id in body["lease_ids"]:
+                if lease_id in self._leases:
+                    self._leases.renew(lease_id, body.get("duration"))
+                    renewed.append(lease_id)
+                else:
+                    unknown.append(lease_id)
+            recorder.count("midas.keepalives", len(renewed), node=self.node_id)
+            span.attrs["renewed"] = len(renewed)
+            span.attrs["unknown"] = len(unknown)
         return {"renewed": renewed, "unknown": unknown}
 
     def _serve_revoke(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
@@ -314,7 +343,13 @@ class AdaptationService:
         installed = self._installed.get(lease_id)
         if installed is None:
             return {"revoked": False}
-        self._withdraw(installed, body.get("reason", REASON_REVOKED))
+        with _telemetry.get_recorder().span(
+            "midas.withdraw",
+            node=self.node_id,
+            extension=installed.name,
+            reason=body.get("reason", REASON_REVOKED),
+        ):
+            self._withdraw(installed, body.get("reason", REASON_REVOKED))
         return {"revoked": True}
 
     def _lease_expired(self, lease: Lease) -> None:
@@ -334,6 +369,15 @@ class AdaptationService:
         return True
 
     def _withdraw(self, installed: InstalledExtension, reason: str) -> None:
+        _telemetry.get_recorder().count(
+            "midas.withdrawals", node=self.node_id, reason=reason
+        )
+        self._telemetry_event(
+            "midas.withdrawn",
+            extension=installed.name,
+            reason=reason,
+            base=installed.base_id,
+        )
         self._installed.pop(installed.lease_id, None)
         if installed.lease_id in self._leases:
             self._leases.cancel(installed.lease_id)

@@ -26,6 +26,12 @@ class Message:
     kind: str
     payload: Any = None
     message_id: str = field(default_factory=lambda: fresh_id("msg"))
+    #: Telemetry trace context (wire form of
+    #: :class:`repro.telemetry.spans.SpanContext`), stamped by the sending
+    #: node when an operation span is active there.  None on ordinary
+    #: traffic; handlers on the receiving node run under this context, so
+    #: cross-node protocol chains share one trace id.
+    trace: dict | None = None
 
     @property
     def is_broadcast(self) -> bool:

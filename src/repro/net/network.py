@@ -216,6 +216,7 @@ class Network:
                 message.kind,
                 copy.deepcopy(message.payload),
                 message.message_id,
+                trace=message.trace,
             )
         self.messages_delivered += 1
         destination.deliver(message)

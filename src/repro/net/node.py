@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.errors import NetworkError
 from repro.net.geometry import ORIGIN, Position
 from repro.net.message import BROADCAST, Message
+from repro.telemetry import runtime as _telemetry
 from repro.util.signal import Signal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -66,7 +67,10 @@ class NetworkNode:
         A detached node's sends vanish silently — its software may still
         be running, but the radio is gone (crash/power-off model).
         """
-        message = Message(self.node_id, destination, kind, payload)
+        message = Message(
+            self.node_id, destination, kind, payload,
+            trace=_telemetry.current_wire(),
+        )
         if self.network is None:
             logger.debug("node %s is detached; dropping %r", self.node_id, message)
             return message
@@ -76,7 +80,10 @@ class NetworkNode:
 
     def broadcast(self, kind: str, payload: Any = None) -> Message:
         """Send to every node currently in radio range."""
-        message = Message(self.node_id, BROADCAST, kind, payload)
+        message = Message(
+            self.node_id, BROADCAST, kind, payload,
+            trace=_telemetry.current_wire(),
+        )
         if self.network is None:
             logger.debug("node %s is detached; dropping %r", self.node_id, message)
             return message
@@ -95,8 +102,22 @@ class NetworkNode:
         self._handlers.pop(kind, None)
 
     def deliver(self, message: Message) -> None:
-        """Called by the network when a message arrives at this node."""
+        """Called by the network when a message arrives at this node.
+
+        If the message carries a telemetry trace context, the handler
+        runs under it, so spans it opens join the sender's trace.
+        """
         self.messages_received += 1
+        if message.trace is None:
+            self._dispatch(message)
+            return
+        token = _telemetry.activate_wire(message.trace)
+        try:
+            self._dispatch(message)
+        finally:
+            _telemetry.deactivate(token)
+
+    def _dispatch(self, message: Message) -> None:
         handler = self._handlers.get(message.kind)
         if handler is None:
             self.on_unhandled.fire(message)

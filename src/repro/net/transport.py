@@ -24,6 +24,7 @@ from repro.errors import RequestTimeout, TransportError
 from repro.net.message import Message
 from repro.net.node import NetworkNode
 from repro.sim.kernel import Event, Simulator
+from repro.telemetry import runtime as _telemetry
 from repro.util.ids import fresh_id
 
 logger = logging.getLogger(__name__)
@@ -81,7 +82,7 @@ OperationHandler = Callable[[str, Any], Any]  # (sender_id, body) -> reply body
 
 
 class _Pending:
-    __slots__ = ("on_reply", "on_error", "timeout_event", "operation")
+    __slots__ = ("on_reply", "on_error", "timeout_event", "operation", "sent_at")
 
     def __init__(
         self,
@@ -89,11 +90,14 @@ class _Pending:
         on_reply: OnReply | None,
         on_error: OnError | None,
         timeout_event: Event,
+        sent_at: float,
     ):
         self.operation = operation
         self.on_reply = on_reply
         self.on_error = on_error
         self.timeout_event = timeout_event
+        #: Simulated send instant, for round-trip-time telemetry.
+        self.sent_at = sent_at
 
 
 class Transport:
@@ -153,9 +157,12 @@ class Transport:
             deadline, self._handle_timeout, request_id
         )
         self._pending[request_id] = _Pending(
-            operation, on_reply, on_error, timeout_event
+            operation, on_reply, on_error, timeout_event, self.simulator.now
         )
         self.requests_sent += 1
+        _telemetry.get_recorder().count(
+            "net.transport.requests", node=self.node.node_id, operation=operation
+        )
         self.node.send(
             destination, _REQUEST, _RequestBody(request_id, operation, body)
         )
@@ -180,6 +187,11 @@ class Transport:
             )
         else:
             self.requests_served += 1
+            _telemetry.get_recorder().count(
+                "net.transport.served",
+                node=self.node.node_id,
+                operation=req.operation,
+            )
             token = _caller.set(message.source)
             try:
                 result = handler(message.source, req.body)
@@ -199,6 +211,18 @@ class Transport:
         if pending is None:
             return  # late reply after timeout: drop
         pending.timeout_event.cancel()
+        recorder = _telemetry.get_recorder()
+        recorder.observe(
+            "net.transport.rtt",
+            self.simulator.now - pending.sent_at,
+            operation=reply.operation,
+        )
+        recorder.count(
+            "net.transport.replies",
+            node=self.node.node_id,
+            operation=reply.operation,
+            outcome="error" if reply.error is not None else "ok",
+        )
         if reply.error is not None:
             self._fail(pending, RemoteError(reply.operation, reply.error))
         elif pending.on_reply is not None:
@@ -225,8 +249,21 @@ class Transport:
     def _handle_timeout(self, request_id: str) -> None:
         pending = self._pending.pop(request_id, None)
         if pending is None:
-            return
+            return  # already answered (or already timed out): at most once
         self.timeouts += 1
+        recorder = _telemetry.get_recorder()
+        recorder.count(
+            "net.transport.timeouts",
+            node=self.node.node_id,
+            operation=pending.operation,
+        )
+        recorder.event(
+            "transport.timeout",
+            node=self.node.node_id,
+            operation=pending.operation,
+            request_id=request_id,
+            waited=self.simulator.now - pending.sent_at,
+        )
         self._fail(
             pending,
             RequestTimeout(

@@ -1,0 +1,59 @@
+"""Telemetry: metrics, spans, and lifecycle tracing for the platform.
+
+The paper's evaluation is all about measured overhead — weaving cost,
+interception latency, lease behaviour over a lossy radio.  This package
+gives the reproduction a first-class way to observe itself:
+
+- :class:`~repro.telemetry.registry.MetricsRegistry` — counters, gauges,
+  and fixed-bucket histograms, stamped by any
+  :class:`~repro.util.clock.Clock` (deterministic under simulation);
+- :mod:`~repro.telemetry.spans` — spans with parent/child links whose
+  context rides on network messages, so one MIDAS offer→install→renew
+  chain is a single trace across nodes;
+- :mod:`~repro.telemetry.export` — JSONL dumps and text summaries;
+- :mod:`~repro.telemetry.runtime` — the process-global recorder the
+  instrumented platform reports to (a no-op unless one is installed).
+
+Quick use::
+
+    from repro.telemetry import MetricsRegistry, runtime, text_summary
+
+    registry = MetricsRegistry(clock=platform.simulator.clock)
+    with runtime.recording(registry):
+        ...  # run the platform
+    print(text_summary(registry))
+
+or simply ``platform.enable_telemetry()``.  See ``docs/observability.md``
+for the metric and span naming scheme.
+"""
+
+from repro.telemetry.export import read_jsonl, text_summary, write_jsonl
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+)
+from repro.telemetry.registry import MetricsRegistry, TelemetryEvent
+from repro.telemetry.runtime import NullRecorder, Recorder, recording
+from repro.telemetry.spans import NULL_SPAN, Span, SpanContext
+from repro.telemetry import runtime
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "NullRecorder",
+    "Recorder",
+    "Span",
+    "SpanContext",
+    "TelemetryEvent",
+    "read_jsonl",
+    "recording",
+    "runtime",
+    "text_summary",
+    "write_jsonl",
+]

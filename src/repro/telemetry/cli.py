@@ -1,0 +1,135 @@
+"""The ``python -m repro telemetry`` subcommand.
+
+Two modes:
+
+- ``python -m repro telemetry demo [--export PATH] [--quiet]`` — run a
+  small simulated MIDAS lifecycle (offer → install → keep-alive renewals
+  → revoke) with a registry on the simulation clock, then print the text
+  summary.  The run asserts that the whole lifecycle forms one connected
+  trace across the base and the receiver node.
+- ``python -m repro telemetry summary PATH`` — load a JSONL export and
+  print the same summary, proving the dump round-trips.
+
+``demo`` is also the doubled-as integration smoke test used by CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable
+
+from repro.telemetry import runtime
+from repro.telemetry.export import read_jsonl, text_summary, write_jsonl
+from repro.telemetry.registry import MetricsRegistry
+
+
+def run_demo(
+    export: str | None = None,
+    out: Callable[[str], None] = print,
+    quiet: bool = False,
+) -> MetricsRegistry:
+    """Run the offer→install→renew→revoke lifecycle under telemetry.
+
+    Returns the populated registry (the global recorder is restored on
+    exit).  Raises ``SystemExit`` if the MIDAS spans do not form a single
+    connected trace — the demo doubles as an end-to-end check.
+    """
+    from repro import Position, ProactivePlatform
+    from repro.extensions import CallLogging
+
+    platform = ProactivePlatform()
+    registry = platform.enable_telemetry()
+    try:
+        hall = platform.create_base_station("hall-A", Position(0, 0))
+        hall.add_extension(
+            "call-log", lambda: CallLogging(type_pattern="Thermostat")
+        )
+        device = platform.create_mobile_node("pda-1", Position(10, 0))
+
+        class Thermostat:
+            def __init__(self) -> None:
+                self.target = 21.0
+
+            def set_target(self, degrees: float) -> float:
+                self.target = degrees
+                return self.target
+
+        device.load_class(Thermostat)
+
+        platform.run_for(6.0)  # discovery, offer, signed install
+        thermostat = Thermostat()
+        for step in range(4):
+            thermostat.set_target(19.0 + step)
+        platform.run_for(8.0)  # a few keep-alive renewal rounds
+        hall.extension_base.revoke(device.node_id, "call-log")
+        platform.run_for(2.0)
+
+        midas_spans = [
+            span for span in registry.spans if span.name.startswith("midas.")
+        ]
+        trace_ids = {span.trace_id for span in midas_spans}
+        if not quiet:
+            out(text_summary(registry, title="telemetry demo — MIDAS lifecycle"))
+            out("")
+            out(
+                f"midas spans: {len(midas_spans)} across "
+                f"{len(trace_ids)} trace(s)"
+            )
+        if len(trace_ids) != 1:
+            raise SystemExit(
+                f"expected one connected MIDAS trace, got {len(trace_ids)}"
+            )
+        if export is not None:
+            count = write_jsonl(registry, export)
+            if not quiet:
+                out(f"exported {count} records to {export}")
+        return registry
+    finally:
+        platform.disable_telemetry()
+
+
+def summarize(path: str, out: Callable[[str], None] = print) -> None:
+    """Print the text summary of a JSONL export."""
+    records = read_jsonl(path)
+    out(text_summary(records, title=f"telemetry summary — {path}"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro telemetry",
+        description="Observe the platform: run the demo or summarize an export.",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    demo = subparsers.add_parser(
+        "demo", help="run a simulated MIDAS lifecycle under telemetry"
+    )
+    demo.add_argument(
+        "--export", metavar="PATH", help="also write a JSONL dump to PATH"
+    )
+    demo.add_argument(
+        "--quiet", action="store_true", help="suppress the summary output"
+    )
+
+    summary = subparsers.add_parser(
+        "summary", help="print the text summary of a JSONL export"
+    )
+    summary.add_argument("path", help="JSONL file written by --export")
+
+    args = parser.parse_args(argv)
+    if args.command == "summary":
+        try:
+            records = read_jsonl(args.path)
+        except (OSError, ValueError) as error:
+            parser.error(f"cannot read export {args.path!r}: {error}")
+        print(text_summary(records, title=f"telemetry summary — {args.path}"))
+        return 0
+    # Default to the demo so a bare `python -m repro telemetry` shows value.
+    export = getattr(args, "export", None)
+    quiet = bool(getattr(args, "quiet", False))
+    run_demo(export=export, quiet=quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

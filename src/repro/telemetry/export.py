@@ -1,0 +1,183 @@
+"""Exporters: JSONL dumps and human-readable text summaries.
+
+Both exporters work on *records* — the plain-dict form produced by
+:meth:`MetricsRegistry.to_records` and round-tripped through JSONL — so
+the same summary code renders a live registry and a file loaded back
+from disk identically (that symmetry is what the CLI's
+``telemetry summary`` relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Iterable, Union
+
+from repro.telemetry.metrics import format_labels
+from repro.telemetry.registry import MetricsRegistry
+
+Records = list[dict[str, Any]]
+_Source = Union[MetricsRegistry, Iterable[dict[str, Any]]]
+
+#: Traces rendered in full by :func:`text_summary` before eliding.
+MAX_TRACES_SHOWN = 5
+
+
+def _records_of(source: _Source) -> Records:
+    if isinstance(source, MetricsRegistry):
+        return source.to_records()
+    return list(source)
+
+
+def write_jsonl(source: _Source, destination: Union[str, Path, IO[str]]) -> int:
+    """Write one JSON record per line; returns the record count."""
+    records = _records_of(source)
+    if hasattr(destination, "write"):
+        for record in records:
+            destination.write(json.dumps(record, sort_keys=True) + "\n")
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_jsonl(source: Union[str, Path, IO[str]]) -> Records:
+    """Load records written by :func:`write_jsonl` (blank lines skipped)."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        lines = Path(source).read_text(encoding="utf-8").splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def _label_suffix(record: dict[str, Any]) -> str:
+    return format_labels(tuple(sorted(record.get("labels", {}).items())))
+
+
+def _histogram_stats(record: dict[str, Any]) -> str:
+    count = record["count"]
+    if not count:
+        return "n=0"
+    mean = record["sum"] / count
+    quantiles = _quantiles_from_buckets(record, (0.5, 0.95))
+    return (
+        f"n={count} mean={_si(mean)} p50={_si(quantiles[0])} "
+        f"p95={_si(quantiles[1])} max={_si(record['max'])}"
+    )
+
+
+def _quantiles_from_buckets(
+    record: dict[str, Any], qs: tuple[float, ...]
+) -> list[float]:
+    buckets, counts, total = record["buckets"], record["counts"], record["count"]
+    out = []
+    for q in qs:
+        rank = q * total
+        seen = 0
+        value = record["max"] or 0.0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                value = buckets[index] if index < len(buckets) else (record["max"] or 0.0)
+                break
+        out.append(value)
+    return out
+
+
+def _si(value: float | None) -> str:
+    """Render seconds-ish floats compactly (1.2ms, 340us, 2.5s)."""
+    if value is None:
+        return "-"
+    magnitude = abs(value)
+    for threshold, scale, unit in ((1.0, 1.0, "s"), (1e-3, 1e3, "ms"), (1e-6, 1e6, "us")):
+        if magnitude >= threshold:
+            return f"{value * scale:.3g}{unit}"
+    return f"{value * 1e9:.3g}ns" if magnitude > 0 else "0s"
+
+
+def _span_tree_lines(spans: list[dict[str, Any]]) -> list[str]:
+    by_parent: dict[str | None, list[dict[str, Any]]] = {}
+    ids = {span["span_id"] for span in spans}
+    for span in spans:
+        parent = span["parent_id"] if span["parent_id"] in ids else None
+        by_parent.setdefault(parent, []).append(span)
+    for children in by_parent.values():
+        children.sort(key=lambda s: (s["start"], s["span_id"]))
+
+    lines: list[str] = []
+
+    def walk(parent: str | None, depth: int) -> None:
+        for span in by_parent.get(parent, ()):
+            node = f" @{span['node']}" if span.get("node") else ""
+            end = span["end"]
+            window = (
+                f"t={span['start']:.3f}..{end:.3f}" if end is not None
+                else f"t={span['start']:.3f}.. (open)"
+            )
+            status = span["status"] or "open"
+            lines.append(f"{'  ' * depth}- {span['name']}{node} {window} [{status}]")
+            walk(span["span_id"], depth + 1)
+
+    walk(None, 0)
+    return lines
+
+
+def text_summary(source: _Source, title: str | None = None) -> str:
+    """A human-readable digest of counters, histograms, events and traces."""
+    records = _records_of(source)
+    meta = next((r for r in records if r["type"] == "meta"), None)
+    counters = sorted(
+        (r for r in records if r["type"] == "counter"),
+        key=lambda r: (r["name"], sorted(r.get("labels", {}).items())),
+    )
+    gauges = sorted(
+        (r for r in records if r["type"] == "gauge"),
+        key=lambda r: (r["name"], sorted(r.get("labels", {}).items())),
+    )
+    histograms = sorted(
+        (r for r in records if r["type"] == "histogram"),
+        key=lambda r: (r["name"], sorted(r.get("labels", {}).items())),
+    )
+    events = [r for r in records if r["type"] == "event"]
+    spans = [r for r in records if r["type"] == "span"]
+
+    header = title or (f"telemetry summary — {meta['name']}" if meta else "telemetry summary")
+    lines = [header, "=" * len(header)]
+
+    if counters:
+        lines += ["", "counters:"]
+        lines += [
+            f"  {r['name']}{_label_suffix(r)} = {r['value']:g}" for r in counters
+        ]
+    if gauges:
+        lines += ["", "gauges:"]
+        lines += [f"  {r['name']}{_label_suffix(r)} = {r['value']:g}" for r in gauges]
+    if histograms:
+        lines += ["", "histograms:"]
+        lines += [
+            f"  {r['name']}{_label_suffix(r)}  {_histogram_stats(r)}"
+            for r in histograms
+        ]
+    if events:
+        lines += ["", f"events: {len(events)}"]
+        by_name: dict[str, int] = {}
+        for record in events:
+            by_name[record["name"]] = by_name.get(record["name"], 0) + 1
+        lines += [f"  {name} x{count}" for name, count in sorted(by_name.items())]
+
+    if spans:
+        traces: dict[str, list[dict[str, Any]]] = {}
+        for span in spans:
+            traces.setdefault(span["trace_id"], []).append(span)
+        lines += ["", f"traces: {len(traces)} ({len(spans)} spans)"]
+        for index, (trace_id, trace_spans) in enumerate(sorted(traces.items())):
+            if index >= MAX_TRACES_SHOWN:
+                lines.append(f"  ... and {len(traces) - MAX_TRACES_SHOWN} more traces")
+                break
+            lines.append(f"  trace {trace_id}:")
+            lines += ["  " + line for line in _span_tree_lines(trace_spans)]
+
+    if len(lines) == 2:
+        lines.append("(empty)")
+    return "\n".join(lines)

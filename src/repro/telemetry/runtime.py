@@ -1,0 +1,119 @@
+"""The process-global recorder the instrumented platform reports to.
+
+Call sites across the stack (advice dispatch, transport, MIDAS, leases,
+tuple spaces) never hold a registry directly; they read the one installed
+here.  By default nothing is installed and every operation hits
+:class:`NullRecorder` — empty methods, so an uninstrumented run pays only
+an attribute read per telemetry point.
+
+The *hot* call site — PROSE advice dispatch — cannot even afford a
+function call when telemetry is off, so the installed recorder also lives
+in a one-element list (:func:`cell`).  Dispatch closures capture that
+list once at weave time and test ``cell[0] is None`` per interception,
+exactly like the advice cells of :mod:`repro.aop.hooks`.
+
+Install a registry with :func:`install` (or the :func:`recording` context
+manager); :func:`reset` returns to the no-op default.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.telemetry.spans import (  # noqa: F401 - re-exported for call sites
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    activate,
+    activate_wire,
+    current_context,
+    current_wire,
+    deactivate,
+)
+
+
+class Recorder:
+    """The interface instrumentation reports to.  All methods no-ops here.
+
+    :class:`~repro.telemetry.registry.MetricsRegistry` is the real
+    implementation; this base doubles as the null recorder so that a
+    custom recorder only overrides what it cares about.
+    """
+
+    #: Dispatch closures branch on this (via :func:`cell`) before paying
+    #: for timing; custom recorders should leave it True.
+    enabled = False
+
+    def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        """Increment the counter ``name`` with ``labels``."""
+
+    def gauge(self, name: str, value: float, **labels: Any) -> None:
+        """Set the gauge ``name`` with ``labels``."""
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        """Record ``value`` into the histogram ``name`` with ``labels``."""
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Record a timestamped lifecycle event."""
+
+    def start_span(
+        self, name: str, parent: Any = ..., **attrs: Any
+    ) -> Any:
+        """Start a span (ended by the caller).  Returns :data:`NULL_SPAN` here."""
+        return NULL_SPAN
+
+    def span(self, name: str, **attrs: Any) -> Any:
+        """A span for ``with`` use.  Returns :data:`NULL_SPAN` here."""
+        return NULL_SPAN
+
+
+class NullRecorder(Recorder):
+    """Explicit name for the default do-nothing recorder."""
+
+
+_NULL = NullRecorder()
+
+#: The hot-path cell: ``[None]`` while disabled, ``[recorder]`` otherwise.
+_cell: list[Recorder | None] = [None]
+
+
+def cell() -> list[Recorder | None]:
+    """The one-element recorder cell (captured by dispatch closures)."""
+    return _cell
+
+
+def get_recorder() -> Recorder:
+    """The installed recorder, or the shared null recorder."""
+    recorder = _cell[0]
+    return _NULL if recorder is None else recorder
+
+
+def enabled() -> bool:
+    """True while a real recorder is installed."""
+    return _cell[0] is not None
+
+
+def install(recorder: Recorder | None) -> Recorder | None:
+    """Install ``recorder`` process-wide; returns the previous one (or None).
+
+    Passing None uninstalls (same as :func:`reset`).
+    """
+    previous = _cell[0]
+    _cell[0] = recorder
+    return previous
+
+
+def reset() -> None:
+    """Return to the default no-op recorder."""
+    _cell[0] = None
+
+
+@contextmanager
+def recording(recorder: Recorder) -> Iterator[Recorder]:
+    """Scope ``recorder`` as the global recorder for a ``with`` block."""
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)

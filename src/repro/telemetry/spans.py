@@ -1,0 +1,245 @@
+"""Spans: timed operations linked into cross-node traces.
+
+A *span* is one named operation with a start and end time; spans link to
+a parent span to form a tree, and every span in a tree shares a
+``trace_id``.  The ambient *current* span context is held in a
+:mod:`contextvars` variable so that nested operations parent themselves
+automatically, and :class:`~repro.net.message.Message` envelopes carry the
+context over the (simulated) radio — a MIDAS offer on a base station and
+the matching install on the receiver therefore belong to one trace.
+
+Timestamps come from whatever clock the recording registry uses, so a
+simulation run produces deterministic virtual-time spans while a live
+deployment gets wall-clock ones.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.util.ids import fresh_id
+
+#: Status of a finished span.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+_current: contextvars.ContextVar["SpanContext | None"] = contextvars.ContextVar(
+    "telemetry_current_span", default=None
+)
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a span: ``(trace_id, span_id)``."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> dict[str, str]:
+        """Serializable form carried on network messages."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, str]) -> "SpanContext":
+        """Rebuild a context from its wire form."""
+        return cls(wire["trace_id"], wire["span_id"])
+
+
+def current_context() -> SpanContext | None:
+    """The ambient span context, if any operation is active."""
+    return _current.get()
+
+
+def current_wire() -> dict[str, str] | None:
+    """The ambient context in wire form, or None (for message stamping)."""
+    context = _current.get()
+    return context.to_wire() if context is not None else None
+
+
+def activate(context: SpanContext | None) -> contextvars.Token:
+    """Make ``context`` ambient; returns a token for :func:`deactivate`."""
+    return _current.set(context)
+
+
+def activate_wire(wire: dict[str, str]) -> contextvars.Token:
+    """Make a wire-form context ambient (used on message delivery)."""
+    return _current.set(SpanContext.from_wire(wire))
+
+
+def deactivate(token: contextvars.Token) -> None:
+    """Restore the ambient context saved in ``token``."""
+    _current.reset(token)
+
+
+class _Activation:
+    """Context manager that makes a span ambient without ending it."""
+
+    __slots__ = ("_context", "_token")
+
+    def __init__(self, context: SpanContext | None):
+        self._context = context
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> "_Activation":
+        self._token = _current.set(self._context)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+
+
+class Span:
+    """One recorded operation.
+
+    Usable two ways:
+
+    - as a context manager — activates itself on entry, ends on exit
+      (status ``error`` if an exception escapes);
+    - manually — :meth:`activate` scopes the ambient context around e.g.
+      an asynchronous send, and :meth:`end` is called later from the
+      reply callback.
+    """
+
+    __slots__ = ("name", "context", "parent_id", "node", "start", "end_time",
+                 "status", "attrs", "_on_end", "_token")
+
+    def __init__(
+        self,
+        name: str,
+        context: SpanContext,
+        parent_id: str | None,
+        start: float,
+        attrs: dict[str, Any] | None = None,
+        node: str | None = None,
+        on_end: Callable[["Span"], None] | None = None,
+    ):
+        self.name = name
+        self.context = context
+        self.parent_id = parent_id
+        self.node = node
+        self.start = start
+        self.end_time: float | None = None
+        self.status: str | None = None
+        self.attrs: dict[str, Any] = dict(attrs or {})
+        self._on_end = on_end
+        self._token: contextvars.Token | None = None
+
+    @property
+    def trace_id(self) -> str:
+        """The trace this span belongs to."""
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        """This span's own id."""
+        return self.context.span_id
+
+    @property
+    def ended(self) -> bool:
+        """True once :meth:`end` has run."""
+        return self.end_time is not None
+
+    def activate(self) -> _Activation:
+        """Scope the ambient context to this span (does not end it)."""
+        return _Activation(self.context)
+
+    def end(self, status: str = STATUS_OK, **attrs: Any) -> None:
+        """Finish the span (idempotent); extra ``attrs`` are merged in."""
+        if self.end_time is not None:
+            return
+        self.attrs.update(attrs)
+        self.status = status
+        callback = self._on_end
+        self._on_end = None
+        if callback is not None:
+            callback(self)
+
+    def __enter__(self) -> "Span":
+        self._token = _current.set(self.context)
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._token is not None:
+            _current.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.end(status=STATUS_ERROR, error=repr(exc))
+        else:
+            self.end()
+
+    def to_record(self) -> dict[str, Any]:
+        """The exportable (JSONL) form of this span."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end_time,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        state = self.status if self.ended else "open"
+        return f"<Span {self.name} trace={self.trace_id} {state}>"
+
+
+class NullSpan:
+    """The do-nothing span handed out while no recorder is installed.
+
+    A single shared instance supports the full :class:`Span` surface —
+    context manager, :meth:`activate`, :meth:`end` — at zero cost and
+    without touching the ambient context.
+    """
+
+    __slots__ = ()
+
+    name = "null"
+    context: SpanContext | None = None
+    parent_id: str | None = None
+    node: str | None = None
+    trace_id = ""
+    span_id = ""
+    ended = False
+
+    @property
+    def attrs(self) -> dict[str, Any]:
+        # A fresh throwaway dict per access: writes vanish instead of
+        # accumulating on shared state.
+        return {}
+
+    def activate(self) -> "NullSpan":
+        return self
+
+    def end(self, status: str = STATUS_OK, **attrs: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullSpan>"
+
+
+#: The shared no-op span.
+NULL_SPAN = NullSpan()
+
+
+def new_context(parent: SpanContext | None) -> tuple[SpanContext, str | None]:
+    """Mint a child context under ``parent`` (or a fresh root trace).
+
+    Returns ``(context, parent_span_id)``.
+    """
+    if parent is None:
+        return SpanContext(fresh_id("trace"), fresh_id("span")), None
+    return SpanContext(parent.trace_id, fresh_id("span")), parent.span_id

@@ -22,6 +22,7 @@ from typing import Any, Callable, Mapping
 
 from repro.leasing.table import LeaseTable
 from repro.sim.kernel import Simulator
+from repro.telemetry import runtime as _telemetry
 from repro.util.ids import fresh_id
 from repro.util.signal import Signal
 
@@ -118,6 +119,9 @@ class TupleSpace:
         self._tuples[record.tuple_id] = record
         lease = self._leases.grant(publisher, record.tuple_id, lease_duration)
         self._lease_of[record.tuple_id] = lease.lease_id
+        recorder = _telemetry.get_recorder()
+        recorder.count("tuplespace.out", space=self.name, kind=record.kind)
+        recorder.gauge("tuplespace.size", len(self._tuples), space=self.name)
         self.on_out.fire(record)
         for template, listener in list(self._listeners):
             if template.matches(record):
@@ -126,6 +130,9 @@ class TupleSpace:
 
     def rd(self, template: TupleTemplate) -> Tuple | None:
         """One matching tuple (oldest first), non-destructively; or None."""
+        _telemetry.get_recorder().count(
+            "tuplespace.rd", space=self.name, kind=template.kind
+        )
         for record in self._tuples.values():
             if template.matches(record):
                 return record
@@ -141,6 +148,9 @@ class TupleSpace:
         if record is None:
             return None
         self._remove(record.tuple_id, cancel_lease=True)
+        recorder = _telemetry.get_recorder()
+        recorder.count("tuplespace.take", space=self.name, kind=template.kind)
+        recorder.gauge("tuplespace.size", len(self._tuples), space=self.name)
         self.on_removed.fire(record, "taken")
         return record
 
@@ -182,6 +192,9 @@ class TupleSpace:
             record = self._tuples.get(tuple_id)
             if record is not None:
                 self._remove(tuple_id, cancel_lease=False)
+                _telemetry.get_recorder().gauge(
+                    "tuplespace.size", len(self._tuples), space=self.name
+                )
                 self.on_removed.fire(record, reason)
 
         return handler

@@ -182,6 +182,54 @@ class TestSelfAndEdgeCases:
         assert seen == [None, 0, ""]
 
 
+class TestTimeoutSemantics:
+    def test_timeout_fails_pending_exactly_once(self, sim, network, pair):
+        """The timeout consumes the pending entry: on_error fires once,
+        and a stray second timeout callback for the same id is a no-op."""
+        client, _ = pair
+        network.partition("a", "b")
+        errors = []
+        request_id = client.request("b", "op", on_error=errors.append, timeout=1.0)
+        sim.run()
+        assert len(errors) == 1
+        assert isinstance(errors[0], RequestTimeout)
+        assert client.timeouts == 1
+        # A duplicate firing (e.g. a stale scheduled event) must not
+        # re-fail the request or bump the counter.
+        client._handle_timeout(request_id)
+        assert len(errors) == 1
+        assert client.timeouts == 1
+
+    def test_timeout_emits_metric_and_event(self, sim, network, pair):
+        from repro.telemetry import MetricsRegistry, runtime
+
+        client, _ = pair
+        network.partition("a", "b")
+        registry = MetricsRegistry(clock=sim.clock)
+        with runtime.recording(registry):
+            client.request("b", "slow.op", timeout=1.0)
+            sim.run()
+        assert registry.counter_value(
+            "net.transport.timeouts", node="a", operation="slow.op"
+        ) == 1
+        timeout_events = [e for e in registry.events if e.name == "transport.timeout"]
+        assert len(timeout_events) == 1
+        assert timeout_events[0].fields["operation"] == "slow.op"
+        assert timeout_events[0].fields["waited"] == pytest.approx(1.0)
+
+    def test_reply_after_timeout_records_no_rtt(self, sim, pair):
+        from repro.telemetry import MetricsRegistry, runtime
+
+        client, server = pair
+        server.register("op", lambda sender, body: "late")
+        registry = MetricsRegistry(clock=sim.clock)
+        with runtime.recording(registry):
+            client.request("b", "op", timeout=0.0001)
+            sim.run()
+        assert registry.counter_total("net.transport.timeouts") == 1
+        assert registry.histogram("net.transport.rtt", operation="op") is None
+
+
 class TestRegistration:
     def test_unregister(self, sim, pair):
         client, server = pair

@@ -1,0 +1,22 @@
+"""Telemetry fixtures: every test starts and ends with no recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, runtime
+
+
+@pytest.fixture(autouse=True)
+def clean_recorder():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.fixture
+def registry(sim) -> MetricsRegistry:
+    """A registry on the simulator clock, installed globally for the test."""
+    registry = MetricsRegistry(clock=sim.clock)
+    runtime.install(registry)
+    return registry

@@ -1,0 +1,33 @@
+"""The ``python -m repro telemetry`` subcommand."""
+
+from repro.__main__ import main as repro_main
+from repro.telemetry import runtime
+from repro.telemetry.cli import main, run_demo
+
+
+class TestDemo:
+    def test_demo_produces_single_trace_and_restores_recorder(self):
+        lines: list[str] = []
+        registry = run_demo(out=lines.append)
+        midas = [s for s in registry.spans if s.name.startswith("midas.")]
+        assert len({s.trace_id for s in midas}) == 1
+        assert not runtime.enabled()  # recorder restored on exit
+        assert any("traces: 1" in line for line in lines)
+
+    def test_demo_export_round_trips_through_summary(self, tmp_path, capsys):
+        path = tmp_path / "demo.jsonl"
+        assert main(["demo", "--quiet", "--export", str(path)]) == 0
+        assert path.exists()
+        assert main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "midas.offer" in out
+        assert "traces: 1" in out
+
+    def test_bare_invocation_defaults_to_demo(self, capsys):
+        assert main([]) == 0
+        assert "midas spans" in capsys.readouterr().out
+
+
+class TestMainDelegation:
+    def test_repro_main_routes_telemetry(self, capsys):
+        assert repro_main(["telemetry", "demo", "--quiet"]) == 0

@@ -1,0 +1,87 @@
+"""JSONL round-trip and the shared text summary."""
+
+import io
+
+from repro.telemetry import MetricsRegistry, runtime
+from repro.telemetry.export import read_jsonl, text_summary, write_jsonl
+from repro.util.clock import Clock
+
+
+class FrozenClock(Clock):
+    """Repeated ``to_records()`` calls must stamp identical metadata."""
+
+    def now(self) -> float:
+        return 42.0
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry(name="unit", clock=FrozenClock())
+    runtime.install(registry)
+    registry.count("hits", 3, node="a")
+    registry.gauge("depth", 2, queue="q")
+    registry.observe("latency", 0.002, op="x")
+    registry.event("thing.happened", node="a")
+    with registry.span("outer", node="a"):
+        with registry.span("inner", node="b"):
+            pass
+    runtime.reset()
+    return registry
+
+
+class TestJsonlRoundTrip:
+    def test_write_read_identity(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        count = write_jsonl(registry, path)
+        records = read_jsonl(path)
+        assert len(records) == count
+        assert records == registry.to_records()
+
+    def test_file_object_round_trip(self):
+        registry = populated_registry()
+        buffer = io.StringIO()
+        write_jsonl(registry, buffer)
+        buffer.seek(0)
+        assert read_jsonl(buffer) == registry.to_records()
+
+    def test_meta_record_first(self):
+        records = populated_registry().to_records()
+        assert records[0]["type"] == "meta"
+        assert records[0]["name"] == "unit"
+
+
+class TestTextSummary:
+    def test_live_and_loaded_render_identically(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(registry, path)
+        live = text_summary(registry, title="t")
+        loaded = text_summary(read_jsonl(path), title="t")
+        assert live == loaded
+
+    def test_sections_present(self):
+        summary = text_summary(populated_registry())
+        assert "counters:" in summary
+        assert "hits{node=a} = 3" in summary
+        assert "gauges:" in summary
+        assert "histograms:" in summary
+        assert "latency{op=x}" in summary
+        assert "thing.happened x1" in summary
+        assert "traces: 1 (2 spans)" in summary
+
+    def test_span_tree_indented_under_parent(self):
+        summary = text_summary(populated_registry())
+        lines = summary.splitlines()
+        outer = next(line for line in lines if "outer" in line)
+        inner = next(line for line in lines if "inner" in line)
+        assert len(inner) - len(inner.lstrip()) > len(outer) - len(outer.lstrip())
+
+    def test_empty_registry(self):
+        assert "(empty)" in text_summary(MetricsRegistry())
+
+    def test_many_traces_elided(self):
+        registry = MetricsRegistry()
+        for _ in range(8):
+            with registry.span("op", parent=None):
+                pass
+        assert "more traces" in text_summary(registry)

@@ -1,0 +1,128 @@
+"""Span lifecycle, ambient context, and cross-node propagation."""
+
+import pytest
+
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.telemetry import MetricsRegistry, NULL_SPAN, runtime
+from repro.telemetry.spans import SpanContext
+
+
+@pytest.fixture
+def registry(sim):
+    registry = MetricsRegistry(clock=sim.clock)
+    runtime.install(registry)
+    return registry
+
+
+class TestSpanBasics:
+    def test_context_manager_records_ok(self, sim, registry):
+        with registry.span("work", node="a", detail=1):
+            pass
+        (span,) = registry.finished_spans("work")
+        assert span.status == "ok"
+        assert span.node == "a"
+        assert span.attrs == {"detail": 1}
+
+    def test_exception_marks_error(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.span("work"):
+                raise RuntimeError("boom")
+        (span,) = registry.finished_spans("work")
+        assert span.status == "error"
+        assert "boom" in span.attrs["error"]
+
+    def test_end_is_idempotent(self, registry):
+        span = registry.start_span("work")
+        span.end(extra=1)
+        span.end(status="error")
+        (finished,) = registry.finished_spans("work")
+        assert finished.status == "ok"
+        assert finished.attrs == {"extra": 1}
+        assert len(registry.spans) == 1
+
+    def test_times_come_from_registry_clock(self, sim, registry):
+        span = registry.start_span("work")
+        sim.schedule(2.0, span.end)
+        sim.run()
+        assert span.start == 0.0
+        assert span.end_time == 2.0
+
+    def test_open_spans_appear_in_records(self, registry):
+        registry.start_span("open.work")
+        records = [r for r in registry.to_records() if r["type"] == "span"]
+        assert records[0]["name"] == "open.work"
+        assert records[0]["end"] is None
+
+
+class TestParenting:
+    def test_nested_spans_share_trace(self, registry):
+        with registry.span("outer") as outer:
+            with registry.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+
+    def test_parent_none_forces_new_root(self, registry):
+        with registry.span("outer") as outer:
+            root = registry.start_span("root", parent=None)
+            assert root.trace_id != outer.trace_id
+            assert root.parent_id is None
+            root.end()
+
+    def test_explicit_parent_context_joins_trace(self, registry):
+        first = registry.start_span("first")
+        first.end()
+        later = registry.start_span("later", parent=first.context)
+        assert later.trace_id == first.trace_id
+        assert later.parent_id == first.span_id
+
+    def test_activate_scopes_ambient_context(self, registry):
+        span = registry.start_span("op")
+        assert runtime.current_context() is None
+        with span.activate():
+            assert runtime.current_context() == span.context
+        assert runtime.current_context() is None
+        span.end()
+
+
+class TestNullSpan:
+    def test_full_surface_is_noop(self):
+        assert runtime.get_recorder().start_span("x") is NULL_SPAN
+        with NULL_SPAN as span:
+            with span.activate():
+                assert runtime.current_context() is None
+        span.end(status="error")
+        span.attrs["junk"] = 1
+        assert NULL_SPAN.attrs == {}  # writes vanish
+
+
+class TestWirePropagation:
+    def test_context_round_trips_wire_form(self):
+        context = SpanContext("trace:1", "span:2")
+        assert SpanContext.from_wire(context.to_wire()) == context
+
+    def test_message_carries_trace_across_nodes(self, sim, network, registry):
+        a = network.attach(NetworkNode("a", Position(0, 0)))
+        b = network.attach(NetworkNode("b", Position(5, 0)))
+        seen: list[SpanContext | None] = []
+        b.set_handler("ping", lambda message: seen.append(runtime.current_context()))
+
+        span = registry.start_span("op")
+        with span.activate():
+            a.send("b", "ping")
+        span.end()
+        sim.run()
+        assert seen == [span.context]
+        # ... and the ambient context is restored after delivery.
+        assert runtime.current_context() is None
+
+    def test_untraced_message_has_no_context(self, sim, network, registry):
+        a = network.attach(NetworkNode("a", Position(0, 0)))
+        b = network.attach(NetworkNode("b", Position(5, 0)))
+        message = a.send("b", "ping")
+        assert message.trace is None
+
+    def test_no_recorder_no_wire_overhead(self, sim, network):
+        a = network.attach(NetworkNode("a", Position(0, 0)))
+        network.attach(NetworkNode("b", Position(5, 0)))
+        assert a.send("b", "ping").trace is None
