@@ -26,6 +26,8 @@ from repro.discovery.client import DiscoveryClient
 from repro.discovery.registrar import LookupService
 from repro.discovery.service import ServiceItem
 from repro.extensions.replication import MirrorHub
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.leasing.table import DEFAULT_DURATION
 from repro.midas.base import ExtensionBase
 from repro.midas.catalog import ExtensionCatalog
@@ -38,6 +40,7 @@ from repro.net.mobility import WaypointMobility
 from repro.net.network import Network, NetworkConfig
 from repro.net.node import DEFAULT_RADIO_RANGE, NetworkNode
 from repro.net.transport import Transport
+from repro.resilience.policy import RetryPolicy
 from repro.sim.kernel import Simulator
 from repro.store.database import MovementStore
 from repro.store.service import APPEND, STORE_INTERFACE, StoreService
@@ -62,7 +65,11 @@ class BaseStation:
         self.lookup = LookupService(self.transport, platform.simulator)
         self.catalog = ExtensionCatalog(signer)
         self.extension_base = ExtensionBase(
-            self.transport, platform.simulator, self.catalog, lease_duration
+            self.transport,
+            platform.simulator,
+            self.catalog,
+            lease_duration,
+            retry_policy=platform.retry_policy,
         )
         self.extension_base.watch_lookup(self.lookup)
         self.db = MovementStore(name=f"{node.node_id}.db")
@@ -94,6 +101,26 @@ class BaseStation:
         """Change the hall policy: swap the extension on every adapted node."""
         self.extension_base.replace_extension(name, factory)
 
+    # -- crash / restart ---------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Crash model: lose everything in memory.
+
+        Leased registrations, listener subscriptions, the adapted-node
+        map, in-flight requests — gone.  The hall database, the signing
+        key, the catalog and the locally registered items are durable and
+        survive into the restart.
+        """
+        self.transport.reset_volatile()
+        self.lookup.reset_volatile()
+        self.extension_base.reset_volatile()
+
+    def recover(self) -> None:
+        """Restart: announce immediately so nodes in range re-register
+        (and the reconciler then re-adapts them) without waiting out a
+        full announce interval."""
+        self.lookup.announce()
+
     def __repr__(self) -> str:
         return f"<BaseStation {self.node_id} catalog={self.catalog.names()}>"
 
@@ -112,7 +139,9 @@ class MobileNode:
         self.node = node
         self.vm = ProseVM(name=node.node_id)
         self.transport = Transport(node, platform.simulator)
-        self.discovery = DiscoveryClient(self.transport, platform.simulator)
+        self.discovery = DiscoveryClient(
+            self.transport, platform.simulator, retry_policy=platform.retry_policy
+        )
         self.trust_store = trust_store
         self.mobility = WaypointMobility(platform.simulator, node)
         services = {
@@ -153,6 +182,25 @@ class MobileNode:
         """Names of the extensions currently live on this node."""
         return [installed.name for installed in self.adaptation.installed()]
 
+    # -- crash / restart ---------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Crash model: lose everything in memory.
+
+        Installed extensions, known registrars, held leases and pending
+        requests vanish; the trust store and sandbox policy (the node's
+        provisioning) survive into the restart.
+        """
+        self.transport.reset_volatile()
+        self.adaptation.reset_volatile()
+        self.discovery.reset_volatile()
+
+    def recover(self) -> None:
+        """Restart: re-advertise the adaptation service and probe for
+        registrars, so bases re-adapt this node within one reconcile."""
+        self.adaptation.start()
+        self.discovery.probe()
+
     def __repr__(self) -> str:
         return f"<MobileNode {self.node_id} extensions={self.extensions()}>"
 
@@ -165,12 +213,19 @@ class ProactivePlatform:
         seed: int = 0,
         network_config: NetworkConfig | None = None,
         lease_duration: float = DEFAULT_DURATION,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.simulator = Simulator()
         self.network = Network(self.simulator, config=network_config, seed=seed)
         self.lease_duration = lease_duration
+        #: Resilience policy handed to every base and mobile node built
+        #: here (retrying offers/registrations, keepalive backoff); None
+        #: keeps the classic reconcile-only behavior.
+        self.retry_policy = retry_policy
         self.base_stations: dict[str, BaseStation] = {}
         self.mobile_nodes: dict[str, MobileNode] = {}
+        #: The injector run by :meth:`install_faults`, if any.
+        self.fault_injector: FaultInjector | None = None
         #: The telemetry registry, once :meth:`enable_telemetry` runs.
         self.telemetry: MetricsRegistry | None = None
         self._previous_recorder: _telemetry.Recorder | None = None
@@ -246,6 +301,50 @@ class ProactivePlatform:
     def run_until_idle(self, max_steps: int = 100_000) -> int:
         """Drain the event queue (bounded; periodic timers never drain)."""
         return self.simulator.run(max_steps=max_steps)
+
+    # -- fault injection ---------------------------------------------------------------
+
+    def install_faults(self, plan: FaultPlan) -> FaultInjector:
+        """Run ``plan`` against this world, with full crash semantics.
+
+        Message rules hook the network; scheduled crashes detach the node
+        *and* wipe its volatile state (leases, registrations, installed
+        extensions, in-flight requests — durable stores and keys
+        survive); restarts reattach it and kick recovery (announce /
+        probe + re-advertise).  Clock skews replace the skewed nodes'
+        CLOCK service.  Deterministic: the plan draws on the network's
+        seeded RNG and the simulation clock only.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.uninstall()
+        injector = FaultInjector(self.network, self.simulator, plan)
+        injector.on_crash.connect(self._node_crashed)
+        injector.on_restart.connect(self._node_restarted)
+        injector.install()
+        for skew in plan.clock_skews:
+            mobile = self.mobile_nodes.get(skew.node_id)
+            if mobile is not None:
+                mobile.provide_service(
+                    Capability.CLOCK, injector.clock_for(skew.node_id)
+                )
+        self.fault_injector = injector
+        return injector
+
+    def _node_crashed(self, node_id: str) -> None:
+        station = self.base_stations.get(node_id)
+        if station is not None:
+            station.reset_volatile()
+        mobile = self.mobile_nodes.get(node_id)
+        if mobile is not None:
+            mobile.reset_volatile()
+
+    def _node_restarted(self, node_id: str) -> None:
+        station = self.base_stations.get(node_id)
+        if station is not None:
+            station.recover()
+        mobile = self.mobile_nodes.get(node_id)
+        if mobile is not None:
+            mobile.recover()
 
     # -- observability ----------------------------------------------------------------
 

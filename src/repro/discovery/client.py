@@ -33,7 +33,9 @@ from repro.discovery.registrar import (
 )
 from repro.discovery.service import ServiceItem, ServiceTemplate
 from repro.leasing.renewer import RenewalAgent, TrackedLease
-from repro.net.transport import Transport
+from repro.net.transport import RemoteError, Transport
+from repro.resilience.client import ResilientClient
+from repro.resilience.policy import RetryPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer
 from repro.util.signal import Signal
@@ -97,11 +99,26 @@ class DiscoveryClient:
         transport: Transport,
         simulator: Simulator,
         announce_interval: float = DEFAULT_ANNOUNCE_INTERVAL,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.transport = transport
         self.simulator = simulator
         self.node_id = transport.node.node_id
         self.announce_interval = announce_interval
+        #: When a policy is given, register/listen requests retry with
+        #: backoff + circuit breaking and renewals back off on failure;
+        #: None keeps the classic fire-and-reconcile behavior.
+        self.retry_policy = retry_policy
+        self._client = (
+            ResilientClient(
+                transport,
+                simulator,
+                policy=retry_policy,
+                name=f"{self.node_id}.discovery",
+            )
+            if retry_policy is not None
+            else None
+        )
         #: Fires with (registrar_id,) when a new registrar is heard.
         self.on_registrar_found = Signal(f"{self.node_id}.on_registrar_found")
         #: Fires with (registrar_id,) when a registrar goes silent.
@@ -115,6 +132,7 @@ class DiscoveryClient:
             simulator,
             self._renew_lease,
             name=f"{self.node_id}.discovery",
+            backoff=retry_policy,
         )
         self._renewer.on_abandoned.connect(self._lease_abandoned)
         self._reaper = PeriodicTimer(
@@ -141,6 +159,39 @@ class DiscoveryClient:
     def probe(self) -> None:
         """Actively solicit announcements from registrars in range."""
         self.transport.broadcast(PROBE, {})
+
+    def reset_volatile(self) -> None:
+        """Crash model: forget everything learned from the network.
+
+        Known registrars, held leases and in-flight renewals vanish; the
+        *declared* registrations and subscriptions survive (they are the
+        application's configuration) and will be re-taken at every
+        registrar heard after restart.
+        """
+        for tracked in self._renewer.tracked():
+            self._renewer.forget(tracked.lease_id)
+        for registration in self._registrations:
+            registration.leases.clear()
+        for subscription in self._subscriptions:
+            subscription.leases.clear()
+        self._registrars.clear()
+
+    def _request(
+        self,
+        destination: str,
+        operation: str,
+        body: Any,
+        on_reply: Callable[[Any], None],
+        on_error: Callable[[Exception], None],
+    ) -> None:
+        if self._client is not None:
+            self._client.call(
+                destination, operation, body, on_reply=on_reply, on_error=on_error
+            )
+        else:
+            self.transport.request(
+                destination, operation, body, on_reply=on_reply, on_error=on_error
+            )
 
     # -- registrar set -----------------------------------------------------------------
 
@@ -238,7 +289,7 @@ class DiscoveryClient:
                 context=registration,
             )
 
-        self.transport.request(
+        self._request(
             registrar,
             REGISTER,
             {"item": registration.item, "duration": registration.duration},
@@ -303,7 +354,7 @@ class DiscoveryClient:
                 context=subscription,
             )
 
-        self.transport.request(
+        self._request(
             registrar,
             LISTEN,
             {
@@ -348,12 +399,22 @@ class DiscoveryClient:
         on_success: Callable[[], None],
         on_failure: Callable[[Exception], None],
     ) -> None:
+        def on_error(exc: Exception) -> None:
+            if isinstance(exc, RemoteError):
+                # The registrar answered but no longer knows the lease —
+                # it expired there, or the registrar crashed and lost its
+                # table.  Retrying cannot revive it; abandon immediately
+                # so ``_lease_abandoned`` takes a fresh registration now.
+                self._renewer.abandon(tracked.lease_id)
+                return
+            on_failure(exc)
+
         self.transport.request(
             tracked.peer,
             RENEW,
             {"lease_id": tracked.lease_id},
             on_reply=lambda body: on_success(),
-            on_error=on_failure,
+            on_error=on_error,
         )
 
     def _lease_abandoned(self, tracked: TrackedLease) -> None:

@@ -111,6 +111,24 @@ class LookupService:
         """Stop announcing (registrations keep expiring naturally)."""
         self._announcer.stop()
 
+    def reset_volatile(self) -> None:
+        """Crash model: all leased state vanishes, silently.
+
+        Leased registrations and listener subscriptions are in-memory
+        only; locally registered items are part of the co-hosted
+        process's configuration and come back with it.  Clients discover
+        the loss when their next renewal is refused and must re-register
+        (their reconciliation loop does exactly that).
+        """
+        self._registrations.reset_volatile()
+        self._listeners.reset_volatile()
+
+    def announce(self) -> None:
+        """Broadcast one announcement immediately (besides the periodic
+        cadence) — e.g. right after a restart, so clients in range
+        re-register without waiting out the announce interval."""
+        self._announce()
+
     # -- queries (local convenience) ------------------------------------------------
 
     def register_local(self, item: ServiceItem) -> None:

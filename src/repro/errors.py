@@ -53,6 +53,23 @@ class RequestTimeout(TransportError):
     """A request did not receive a reply within its deadline."""
 
 
+class CircuitOpenError(TransportError):
+    """A request was rejected locally because the peer's circuit is open."""
+
+    def __init__(self, peer: str, operation: str = ""):
+        self.peer = peer
+        self.operation = operation
+        super().__init__(f"circuit to {peer!r} is open ({operation or 'any'})")
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class FaultPlanError(ReproError):
+    """A fault plan is malformed (unknown action, bad window, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # AOP engine (PROSE)
 # ---------------------------------------------------------------------------

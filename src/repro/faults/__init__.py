@@ -1,0 +1,41 @@
+"""Deterministic fault injection.
+
+The paper's premise is that its protocols — leases, announcements,
+renewals, roaming — exist *because* the radio environment is hostile
+(§3.2's "locality in time").  This package turns that hostility into a
+first-class, reproducible input: declarative :class:`FaultPlan`\\ s
+(drop/delay/duplicate/reorder messages, crash and restart nodes, flap
+links, skew clocks) executed by a :class:`FaultInjector` hooked into the
+simulated network, with every injected fault recorded in telemetry.
+
+Chaos runs are exactly reproducible: all randomness comes from the
+network's seeded RNG and all timing from the simulation clock.
+
+Typical use, via the platform::
+
+    plan = FaultPlan().drop(probability=0.2).crash("hall", at=30, down_for=8)
+    platform.install_faults(plan)
+    platform.run_for(120.0)
+"""
+
+from repro.faults.clock import SkewedClock
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    ClockSkew,
+    CrashSchedule,
+    FaultPlan,
+    LinkFlap,
+    MessageMatch,
+    MessageRule,
+)
+
+__all__ = [
+    "ClockSkew",
+    "CrashSchedule",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFlap",
+    "MessageMatch",
+    "MessageRule",
+    "SkewedClock",
+]

@@ -1,0 +1,33 @@
+"""Skewed per-node clock views.
+
+The platform shares one virtual clock, but real devices do not: a PDA's
+clock gains a second an hour, a base station is a step behind NTP.  A
+:class:`SkewedClock` wraps any :class:`~repro.util.clock.Clock` with an
+offset and a drift rate, giving one node a *wrong but consistent* view
+of time — exactly what lease-expiry and renewal logic must tolerate.
+"""
+
+from __future__ import annotations
+
+from repro.util.clock import Clock
+
+
+class SkewedClock(Clock):
+    """``now() = base.now() * (1 + drift) + offset``.
+
+    ``drift`` is seconds gained per base second (0.001 = +1 ms/s);
+    monotonicity is preserved for any ``drift > -1``.
+    """
+
+    def __init__(self, base: Clock, offset: float = 0.0, drift: float = 0.0):
+        if drift <= -1.0:
+            raise ValueError(f"drift must be > -1, got {drift}")
+        self.base = base
+        self.offset = offset
+        self.drift = drift
+
+    def now(self) -> float:
+        return self.base.now() * (1.0 + self.drift) + self.offset
+
+    def __repr__(self) -> str:
+        return f"<SkewedClock offset={self.offset} drift={self.drift}>"

@@ -9,19 +9,43 @@ registrations alive at the lookup service.
 
 Each lease is renewed on its *own* schedule — every
 ``RENEW_FRACTION × duration`` seconds — so a 2-second registration and a
-30-second extension lease coexist under one agent.  Renewal failures are
-counted per lease; after ``max_failures`` consecutive failures the lease
-is abandoned locally and ``on_abandoned`` fires — the remote side's own
-expiry will (or already did) clean up there.
+30-second extension lease coexist under one agent.  At most one renewal
+per lease is in flight at a time: a round that comes due while the
+previous one is still outstanding is *coalesced* (skipped, with the
+schedule kept), never stacked.
+
+Failure handling comes in two flavors:
+
+- **legacy counting** (no ``backoff``): failures are counted per lease
+  and after ``max_failures`` consecutive failures the lease is abandoned
+  locally — ``on_abandoned`` fires and the remote side's own expiry
+  cleans up there;
+- **backoff** (a :class:`~repro.resilience.policy.RetryPolicy`): a
+  failed renewal is retried after an exponentially growing, seeded-
+  jittered delay (capped at the renewal period) instead of waiting a
+  full period, and the lease is abandoned only once the peer has been
+  *silent* for the same overall budget the counting mode allows
+  (``max_failures × period``).  Denser attempts under loss, identical
+  patience — convergence improves without abandoning earlier.
+
+Either way, :meth:`abandon` lets a caller give up immediately — e.g. on
+a reply proving the peer no longer knows the lease (it crashed and lost
+its table), where waiting out more failures is pointless.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Any, Callable
+import random
+import zlib
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.sim.kernel import Event, Simulator
+from repro.telemetry import runtime as _telemetry
 from repro.util.signal import Signal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.policy import RetryPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -46,7 +70,10 @@ RenewFunction = Callable[
 class TrackedLease:
     """A lease the agent is responsible for renewing."""
 
-    __slots__ = ("lease_id", "peer", "resource", "duration", "failures", "context")
+    __slots__ = (
+        "lease_id", "peer", "resource", "duration", "failures", "context",
+        "last_success",
+    )
 
     def __init__(
         self,
@@ -63,6 +90,9 @@ class TrackedLease:
         self.failures = 0
         #: Arbitrary caller data carried along (e.g. the extension id).
         self.context = context
+        #: Simulated time of the last successful renewal (or of tracking
+        #: start) — the silence deadline in backoff mode measures from here.
+        self.last_success = 0.0
 
     def __repr__(self) -> str:
         return (
@@ -81,6 +111,8 @@ class RenewalAgent:
         interval: float | None = None,
         max_failures: int = DEFAULT_MAX_FAILURES,
         name: str = "renewer",
+        backoff: "RetryPolicy | None" = None,
+        rng: random.Random | None = None,
     ):
         self.simulator = simulator
         self.renew_function = renew_function
@@ -88,12 +120,18 @@ class RenewalAgent:
         self.interval = interval
         self.max_failures = max_failures
         self.name = name
+        #: Retry policy for failed renewals; None keeps legacy counting.
+        self.backoff = backoff
+        # Seeded per agent name: deterministic, decorrelated between nodes.
+        self._rng = rng or random.Random(zlib.crc32(name.encode()))
         #: Fires with (tracked_lease,) when renewals have failed too often.
         self.on_abandoned = Signal(f"{name}.on_abandoned")
         #: Fires with (tracked_lease,) on every successful renewal.
         self.on_renewed = Signal(f"{name}.on_renewed")
         self._tracked: dict[str, TrackedLease] = {}
         self._timers: dict[str, Event] = {}
+        self._in_flight: set[str] = set()
+        self.coalesced = 0
         self._stopped = False
 
     # -- tracking ----------------------------------------------------------------
@@ -108,6 +146,7 @@ class RenewalAgent:
     ) -> TrackedLease:
         """Start renewing ``lease_id`` held with ``peer``."""
         tracked = TrackedLease(lease_id, peer, duration, resource, context)
+        tracked.last_success = self.simulator.now
         self._tracked[lease_id] = tracked
         self._stopped = False
         self._schedule(tracked)
@@ -119,6 +158,22 @@ class RenewalAgent:
         timer = self._timers.pop(lease_id, None)
         if timer is not None:
             timer.cancel()
+        self._in_flight.discard(lease_id)
+        return tracked
+
+    def abandon(self, lease_id: str) -> TrackedLease | None:
+        """Give up on a lease immediately and fire ``on_abandoned``.
+
+        For callers that *know* the lease is dead (e.g. the peer answered
+        "never heard of it" after a crash) — skipping the remaining
+        failure budget so recovery can start now.
+        """
+        tracked = self.forget(lease_id)
+        if tracked is not None:
+            _telemetry.get_recorder().count(
+                "lease.renewals.abandoned", agent=self.name, outcome="fast"
+            )
+            self.on_abandoned.fire(tracked)
         return tracked
 
     def tracked(self) -> list[TrackedLease]:
@@ -135,6 +190,7 @@ class RenewalAgent:
         for timer in self._timers.values():
             timer.cancel()
         self._timers.clear()
+        self._in_flight.clear()
 
     def __len__(self) -> int:
         return len(self._tracked)
@@ -146,11 +202,22 @@ class RenewalAgent:
             return self.interval
         return max(tracked.duration * RENEW_FRACTION, 0.001)
 
-    def _schedule(self, tracked: TrackedLease) -> None:
+    def _silence_budget(self, tracked: TrackedLease) -> float:
+        """How long a peer may stay silent before the lease is abandoned
+        (backoff mode).  Matches the legacy counting budget exactly:
+        ``max_failures`` consecutive period-spaced failures."""
+        return self.max_failures * self._period_of(tracked)
+
+    def _schedule(self, tracked: TrackedLease, delay: float | None = None) -> None:
         if self._stopped:
             return
+        old = self._timers.pop(tracked.lease_id, None)
+        if old is not None:
+            old.cancel()
         self._timers[tracked.lease_id] = self.simulator.schedule(
-            self._period_of(tracked), self._renew_now, tracked.lease_id
+            self._period_of(tracked) if delay is None else delay,
+            self._renew_now,
+            tracked.lease_id,
         )
 
     def _renew_now(self, lease_id: str) -> None:
@@ -158,40 +225,72 @@ class RenewalAgent:
         tracked = self._tracked.get(lease_id)
         if tracked is None:
             return
+        if lease_id in self._in_flight:
+            # A round came due while the previous renewal is still on the
+            # wire: coalesce — keep the cadence, never stack requests.
+            self.coalesced += 1
+            _telemetry.get_recorder().count(
+                "lease.renewals.coalesced", agent=self.name
+            )
+            self._schedule(tracked)
+            return
+        self._in_flight.add(lease_id)
+        # Schedule the next round *before* invoking the renew function: a
+        # renewal in flight does not delay the cadence, and an outcome
+        # callback that fires synchronously (tests, local peers) must be
+        # able to override this timer with a backoff retry.
+        self._schedule(tracked)
         self.renew_function(
             tracked,
             self._success_callback(tracked),
             self._failure_callback(tracked),
         )
-        # Schedule the next round immediately; outcome callbacks only
-        # adjust failure counters.  A renewal in flight does not delay
-        # the schedule (the period is short relative to the term).
-        self._schedule(tracked)
 
     def _success_callback(self, tracked: TrackedLease) -> Callable[[], None]:
         def on_success() -> None:
+            self._in_flight.discard(tracked.lease_id)
             if tracked.lease_id in self._tracked:
                 tracked.failures = 0
+                tracked.last_success = self.simulator.now
                 self.on_renewed.fire(tracked)
 
         return on_success
 
     def _failure_callback(self, tracked: TrackedLease) -> Callable[[Exception], None]:
         def on_failure(error: Exception) -> None:
+            self._in_flight.discard(tracked.lease_id)
             if tracked.lease_id not in self._tracked:
                 return
             tracked.failures += 1
             logger.debug(
-                "%s: renewal of %s failed (%d/%d): %s",
+                "%s: renewal of %s failed (%d): %s",
                 self.name,
                 tracked.lease_id,
                 tracked.failures,
-                self.max_failures,
                 error,
             )
-            if tracked.failures >= self.max_failures:
+            if self.backoff is None:
+                if tracked.failures >= self.max_failures:
+                    self.forget(tracked.lease_id)
+                    self.on_abandoned.fire(tracked)
+                return
+            silence = self.simulator.now - tracked.last_success
+            if silence >= self._silence_budget(tracked):
                 self.forget(tracked.lease_id)
+                _telemetry.get_recorder().count(
+                    "lease.renewals.abandoned", agent=self.name, outcome="silence"
+                )
                 self.on_abandoned.fire(tracked)
+                return
+            # Retry sooner than the next period, backing off per failure.
+            delay = min(
+                self.backoff.backoff(tracked.failures, self._rng),
+                self._period_of(tracked),
+            )
+            _telemetry.get_recorder().count(
+                "lease.renewals.retried", agent=self.name
+            )
+            self._schedule(tracked, delay=delay)
 
         return on_failure
 

@@ -102,6 +102,20 @@ class LeaseTable:
     def __contains__(self, lease_id: str) -> bool:
         return lease_id in self._leases
 
+    # -- crash support -----------------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Forget every lease silently (crash model: memory wipe).
+
+        No ``on_expired``/``on_cancelled`` fires — a crashed process
+        cannot run cleanup; holders discover the loss when their next
+        renewal is refused.
+        """
+        for event in self._expiry_events.values():
+            event.cancel()
+        self._expiry_events.clear()
+        self._leases.clear()
+
     # -- plumbing ----------------------------------------------------------------------
 
     def _clamp(self, duration: float) -> float:

@@ -37,6 +37,8 @@ from repro.leasing.renewer import RenewalAgent, TrackedLease
 from repro.midas.catalog import ExtensionCatalog, ExtensionFactory
 from repro.midas.receiver import ADAPTATION_INTERFACE, KEEPALIVE, OFFER, REVOKE
 from repro.net.transport import Transport
+from repro.resilience.client import ResilientClient
+from repro.resilience.policy import RetryPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.timers import PeriodicTimer
 from repro.telemetry import runtime as _telemetry
@@ -94,11 +96,17 @@ class ExtensionBase:
         catalog: ExtensionCatalog,
         lease_duration: float = DEFAULT_EXTENSION_LEASE,
         node_filter: "ServiceTemplate | None" = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.transport = transport
         self.simulator = simulator
         self.catalog = catalog
         self.lease_duration = lease_duration
+        #: When set, offers and revocations retry with backoff (bounded
+        #: by the lease term — an offer older than that is stale anyway)
+        #: and keepalive failures back off instead of waiting full
+        #: periods.  None keeps the classic reconcile-only behavior.
+        self.retry_policy = retry_policy
         #: Optional template restricting which adaptation services this
         #: base adapts (e.g. only nodes advertising ``{"role": "robot"}``)
         #: — a hall can have per-device-kind policies.
@@ -119,10 +127,41 @@ class ExtensionBase:
             simulator,
             self._send_keepalive,
             name=f"{self.node_id}.extensions",
+            backoff=retry_policy,
         )
         self._renewer.on_abandoned.connect(self._renewal_abandoned)
+        if retry_policy is not None:
+            # Unless the caller budgeted explicitly, stop retrying an
+            # offer/revoke after one lease term — it is stale by then and
+            # the reconciler owns recovery.
+            effective = (
+                retry_policy
+                if retry_policy.deadline is not None
+                else retry_policy.with_deadline(lease_duration)
+            )
+            self._client: ResilientClient | None = ResilientClient(
+                transport, simulator, policy=effective, name=f"{self.node_id}.base"
+            )
+        else:
+            self._client = None
         self._reconciler: PeriodicTimer | None = None
         transport.register(ROAMED, self._serve_roamed)
+
+    # -- crash support -----------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Crash model: forget who was adapted; keep the catalog.
+
+        The catalog (the hall's policy) and the activity log are durable;
+        the map of live extensions and the leases being kept alive are
+        memory.  After restart the reconciler re-adapts every node it
+        still sees registered — receivers treat the re-offer of a version
+        they already run as a plain lease refresh, so recovery is
+        idempotent.
+        """
+        for tracked in self._renewer.tracked():
+            self._renewer.forget(tracked.lease_id)
+        self._adapted.clear()
 
     # -- discovery wiring --------------------------------------------------------
 
@@ -261,7 +300,7 @@ class ExtensionBase:
             self.on_rejected.fire(node_id, name, str(error))
 
         with span.activate():
-            self.transport.request(
+            self._request(
                 node_id,
                 OFFER,
                 {"envelope": envelope, "duration": self.lease_duration},
@@ -286,7 +325,7 @@ class ExtensionBase:
             reason=reason,
         )
         with span.activate():
-            self.transport.request(
+            self._request(
                 node_id,
                 REVOKE,
                 {"lease_id": live.lease_id, "reason": reason},
@@ -294,6 +333,23 @@ class ExtensionBase:
                 on_error=lambda error: span.end(status="error", error=str(error)),
             )
         self._log(node_id, name, "revoked", reason)
+
+    def _request(
+        self,
+        node_id: str,
+        operation: str,
+        body: dict,
+        on_reply: Callable,
+        on_error: Callable,
+    ) -> None:
+        if self._client is not None:
+            self._client.call(
+                node_id, operation, body, on_reply=on_reply, on_error=on_error
+            )
+        else:
+            self.transport.request(
+                node_id, operation, body, on_reply=on_reply, on_error=on_error
+            )
 
     def revoke_node(self, node_id: str, reason: str = "revoked") -> None:
         """Revoke every extension this base holds on ``node_id``."""
@@ -370,10 +426,13 @@ class ExtensionBase:
                 span.end()
                 on_success()
             else:
+                # The node answered but no longer holds the lease — it
+                # withdrew the extension (expiry during a lossy spell) or
+                # crashed and lost everything.  No number of keepalives
+                # can revive a dead lease: abandon now, so the reconciler
+                # re-offers on its next pass instead of lease-terms later.
                 span.end(status="error", error="lease unknown at peer")
-                on_failure(UnknownExtensionError(
-                    f"lease {tracked.lease_id} unknown at {tracked.peer}"
-                ))
+                self._renewer.abandon(tracked.lease_id)
 
         def on_error(error: Exception) -> None:
             span.end(status="error", error=str(error))

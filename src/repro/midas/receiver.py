@@ -51,6 +51,7 @@ REASON_LEASE_EXPIRED = "lease-expired"
 REASON_REVOKED = "revoked"
 REASON_REPLACED = "replaced"
 REASON_LOCAL = "local-request"
+REASON_CRASH = "crash"
 
 
 class InstalledExtension:
@@ -150,6 +151,20 @@ class AdaptationService:
         if self.discovery is not None and self._registration is not None:
             self.discovery.cancel(self._registration)
             self._registration = None
+
+    def reset_volatile(self) -> None:
+        """Crash model: every installed extension vanishes with memory.
+
+        Extensions are volatile by design — "the extension is immediately
+        withdrawn" when not kept alive (§3.2) — so a crash simply loses
+        them all, leases included.  Calling :meth:`start` after restart
+        re-advertises the (empty) adaptation service; bases re-offer on
+        their next reconcile.
+        """
+        for installed in list(self._installed.values()):
+            self._withdraw(installed, REASON_CRASH)
+        self._leases.reset_volatile()
+        self._registration = None
 
     # -- node-local services exposed to extensions ---------------------------------
 

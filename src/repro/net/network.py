@@ -14,7 +14,8 @@ from __future__ import annotations
 import copy
 import logging
 import random
-from typing import Iterator
+from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.errors import UnknownNodeError
 from repro.net.message import Message
@@ -54,6 +55,31 @@ class NetworkConfig:
         self.fifo_links = fifo_links
 
 
+@dataclass(frozen=True)
+class FaultVerdict:
+    """What a fault hook wants done with one message.
+
+    ``drop_reason`` set means the message dies (counted and reported
+    like any other drop).  Otherwise it is delivered ``copies`` times,
+    each ``extra_delay`` seconds later than physics alone would allow;
+    ``bypass_fifo`` exempts it from link-FIFO ordering so it can
+    overtake earlier traffic (reordering).
+    """
+
+    drop_reason: str | None = None
+    extra_delay: float = 0.0
+    copies: int = 1
+    bypass_fifo: bool = False
+
+
+#: Hook signature: (message, source, destination) -> verdict or None.
+#: None means "no opinion" — the message takes the normal path.
+FaultHook = Callable[[Message, NetworkNode, NetworkNode], "FaultVerdict | None"]
+
+#: Shared "no opinion" verdict, so the unfaulted path allocates nothing.
+_CLEAN = FaultVerdict()
+
+
 class Network:
     """A simulated wireless network over the discrete-event kernel."""
 
@@ -72,11 +98,21 @@ class Network:
         self._partitions: set[frozenset[str]] = set()
         self._wired: set[frozenset[str]] = set()
         self._link_clock: dict[tuple[str, str], float] = {}
+        #: Optional fault-injection hook (see :mod:`repro.faults`).  None
+        #: keeps transmission on the exact unfaulted code path — no call,
+        #: no RNG draw — so chaos tooling costs nothing when unused.
+        self.fault_hook: FaultHook | None = None
         #: Fires with (message, reason) when a message cannot be delivered.
         self.on_drop = Signal("network.on_drop")
         self.messages_transmitted = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+
+    @property
+    def rng(self) -> random.Random:
+        """The network's seeded RNG (shared with fault injection so one
+        seed reproduces an entire chaos run)."""
+        return self._rng
 
     # -- membership --------------------------------------------------------------
 
@@ -110,7 +146,14 @@ class Network:
     # -- partitions ----------------------------------------------------------------
 
     def partition(self, node_a: str, node_b: str) -> None:
-        """Forcibly sever the link between two nodes (fault injection)."""
+        """Forcibly sever the link between two nodes (fault injection).
+
+        Messages already in flight on the link were transmitted before
+        the wall went up and still arrive — only *detaching* a node kills
+        its in-flight traffic.  Accounting stays consistent either way:
+        every unicast transmission ends in exactly one delivery or one
+        counted drop.
+        """
         self._partitions.add(frozenset((node_a, node_b)))
 
     def heal(self, node_a: str, node_b: str) -> None:
@@ -180,20 +223,32 @@ class Network:
         if not self.reachable(source, destination):
             self._drop(message, "out of range")
             return
+        verdict = _CLEAN
+        if self.fault_hook is not None:
+            verdict = self.fault_hook(message, source, destination) or _CLEAN
+            if verdict.drop_reason is not None:
+                self._drop(message, verdict.drop_reason)
+                return
         if (
             self.config.loss_probability > 0
             and self._rng.random() < self.config.loss_probability
         ):
             self._drop(message, "radio loss")
             return
-        deliver_at = self.simulator.now + self._latency(source, destination)
-        if self.config.fifo_links:
-            link = (source.node_id, destination.node_id)
-            deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
-            self._link_clock[link] = deliver_at
-        self.simulator.schedule_at(
-            deliver_at, self._deliver, message, destination.node_id
-        )
+        fifo = self.config.fifo_links and not verdict.bypass_fifo
+        for _ in range(verdict.copies):
+            deliver_at = (
+                self.simulator.now
+                + self._latency(source, destination)
+                + verdict.extra_delay
+            )
+            if fifo:
+                link = (source.node_id, destination.node_id)
+                deliver_at = max(deliver_at, self._link_clock.get(link, 0.0))
+                self._link_clock[link] = deliver_at
+            self.simulator.schedule_at(
+                deliver_at, self._deliver, message, destination.node_id
+            )
 
     def _latency(self, source: NetworkNode, destination: NetworkNode) -> float:
         distance = source.distance_to(destination)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import contextvars
 import logging
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -35,6 +36,11 @@ _NOTIFY = "transport.notify"
 
 #: Seconds a request waits for its reply before failing.
 DEFAULT_TIMEOUT = 2.0
+
+#: Served request ids remembered for at-most-once execution.  A
+#: duplicated request (radio echo, injected duplicate) within the window
+#: re-sends the cached reply instead of re-running the handler.
+DEDUP_WINDOW = 128
 
 _caller: contextvars.ContextVar[str | None] = contextvars.ContextVar(
     "transport_current_caller", default=None
@@ -114,9 +120,17 @@ class Transport:
         self.default_timeout = default_timeout
         self._handlers: dict[str, OperationHandler] = {}
         self._pending: dict[str, _Pending] = {}
+        #: request id -> reply already sent, for at-most-once execution.
+        self._served: OrderedDict[str, _ReplyBody] = OrderedDict()
         self.requests_sent = 0
         self.requests_served = 0
         self.timeouts = 0
+        #: Replies that arrived with no pending request (late after a
+        #: timeout, or wire duplicates of an answered request).  Each is
+        #: dropped exactly once and never re-fires ``on_reply``.
+        self.stray_replies = 0
+        #: Wire-duplicated requests answered from the served cache.
+        self.duplicate_requests = 0
         node.set_handler(_REQUEST, self._handle_request)
         node.set_handler(_REPLY, self._handle_reply)
         node.set_handler(_NOTIFY, self._handle_notify)
@@ -176,10 +190,37 @@ class Transport:
         """One-way message to every node in radio range."""
         self.node.broadcast(_NOTIFY, _RequestBody("", operation, body))
 
+    # -- crash support -----------------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Forget all in-flight client state (crash model: memory wipe).
+
+        Pending callbacks never fire and their timeout events are
+        cancelled; the served-request cache is cleared too, so a
+        restarted server answers old duplicates by re-executing — which
+        is why handlers must stay idempotent.
+        """
+        for pending in self._pending.values():
+            pending.timeout_event.cancel()
+        self._pending.clear()
+        self._served.clear()
+
     # -- plumbing ---------------------------------------------------------------------
 
     def _handle_request(self, message: Message) -> None:
         req: _RequestBody = message.payload
+        cached = self._served.get(req.request_id)
+        if cached is not None:
+            # At-most-once: a duplicated request must not re-run the
+            # handler; the caller just gets the original answer again.
+            self.duplicate_requests += 1
+            _telemetry.get_recorder().count(
+                "net.transport.duplicate_requests",
+                node=self.node.node_id,
+                operation=req.operation,
+            )
+            self.node.send(message.source, _REPLY, cached)
+            return
         handler = self._handlers.get(req.operation)
         if handler is None:
             reply = _ReplyBody(
@@ -203,13 +244,36 @@ class Transport:
                 reply = _ReplyBody(req.request_id, req.operation, None, str(exc))
             finally:
                 _caller.reset(token)
+        self._remember_served(req.request_id, reply)
         self.node.send(message.source, _REPLY, reply)
+
+    def _remember_served(self, request_id: str, reply: _ReplyBody) -> None:
+        if not request_id:
+            return
+        self._served[request_id] = reply
+        while len(self._served) > DEDUP_WINDOW:
+            self._served.popitem(last=False)
 
     def _handle_reply(self, message: Message) -> None:
         reply: _ReplyBody = message.payload
         pending = self._pending.pop(reply.request_id, None)
         if pending is None:
-            return  # late reply after timeout: drop
+            # Late (after timeout) or duplicated reply: drop exactly once,
+            # visibly — duplicate injection relies on this being counted.
+            self.stray_replies += 1
+            recorder = _telemetry.get_recorder()
+            recorder.count(
+                "net.transport.stray_replies",
+                node=self.node.node_id,
+                operation=reply.operation,
+            )
+            recorder.event(
+                "transport.stray_reply",
+                node=self.node.node_id,
+                operation=reply.operation,
+                request_id=reply.request_id,
+            )
+            return
         pending.timeout_event.cancel()
         recorder = _telemetry.get_recorder()
         recorder.observe(

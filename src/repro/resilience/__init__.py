@@ -1,0 +1,34 @@
+"""Recovery policy as a pluggable layer.
+
+Every protocol client above the raw transport (extension delivery, lease
+renewal, discovery registration) faces the same hostile radio, and the
+paper's answer — leases, renewals, reconciliation — assumes requests are
+retried rather than abandoned on the first lost datagram.  Following the
+policy-free-middleware argument (Dearle et al.), the *mechanism* lives
+here and the *policy* is data:
+
+- :class:`RetryPolicy` — exponential backoff with seeded jitter and an
+  overall deadline budget;
+- :class:`CircuitBreaker` — per-peer failure accounting that stops
+  hammering a peer that is clearly down, with half-open probing;
+- :class:`ResilientClient` — a transport-side client combining both:
+  ``call()`` looks like ``Transport.request`` but retries retryable
+  failures under the policy and fails fast while a peer's circuit is
+  open.
+
+Everything is driven by the simulation clock and seeded RNGs, so chaos
+runs are reproducible; every retry and breaker transition is recorded
+through the telemetry runtime.
+"""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+from repro.resilience.client import ResilientClient
+from repro.resilience.policy import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "BreakerState",
+    "CircuitBreaker",
+    "NO_RETRY",
+    "ResilientClient",
+    "RetryPolicy",
+]

@@ -1,0 +1,154 @@
+"""Per-peer circuit breakers.
+
+When a peer stops answering, every further request costs a full timeout
+of silence and a round of radio traffic.  A :class:`CircuitBreaker`
+tracks consecutive failures per peer and, past a threshold, *opens*:
+calls fail immediately and locally.  After ``recovery_time`` the breaker
+turns *half-open* and lets a single probe through — its outcome decides
+between closing (peer is back) and re-opening (still gone).
+
+The breaker reads time from a :class:`~repro.util.clock.Clock`, so in a
+simulation the whole open/half-open dance is deterministic virtual time.
+State transitions are recorded as telemetry events
+(``resilience.breaker``), which makes "why did this request never go on
+the wire" visible in traces.
+"""
+
+from __future__ import annotations
+
+import enum
+import logging
+
+from repro.telemetry import runtime as _telemetry
+from repro.util.clock import Clock
+
+logger = logging.getLogger(__name__)
+
+#: Consecutive failures that open a circuit.
+DEFAULT_FAILURE_THRESHOLD = 5
+#: Seconds an open circuit waits before allowing a half-open probe.
+DEFAULT_RECOVERY_TIME = 10.0
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure accounting for one peer, with half-open probing."""
+
+    __slots__ = (
+        "peer",
+        "owner",
+        "clock",
+        "failure_threshold",
+        "recovery_time",
+        "state",
+        "failures",
+        "opened_at",
+        "probe_in_flight",
+        "times_opened",
+    )
+
+    def __init__(
+        self,
+        peer: str,
+        clock: Clock,
+        failure_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        recovery_time: float = DEFAULT_RECOVERY_TIME,
+        owner: str = "",
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.peer = peer
+        self.owner = owner
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.state = BreakerState.CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        #: True while the single half-open probe is outstanding.
+        self.probe_in_flight = False
+        self.times_opened = 0
+
+    # -- gatekeeping ------------------------------------------------------------
+
+    def allows(self) -> bool:
+        """May a request to this peer go on the wire right now?
+
+        An open breaker flips to half-open once ``recovery_time`` has
+        elapsed; the first caller after that gets the probe slot, later
+        callers are rejected until the probe resolves.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.clock.now() - self.opened_at >= self.recovery_time:
+                self._transition(BreakerState.HALF_OPEN)
+            else:
+                return False
+        # Half-open: exactly one probe at a time.
+        if self.probe_in_flight:
+            return False
+        self.probe_in_flight = True
+        return True
+
+    # -- outcome reporting --------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A request to the peer completed (any reply counts as alive)."""
+        self.probe_in_flight = False
+        self.failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        """A request to the peer failed to complete (timeout-class)."""
+        self.probe_in_flight = False
+        self.failures += 1
+        if self.state is BreakerState.HALF_OPEN:
+            self._reopen()
+        elif (
+            self.state is BreakerState.CLOSED
+            and self.failures >= self.failure_threshold
+        ):
+            self._reopen()
+
+    # -- plumbing ------------------------------------------------------------------
+
+    def _reopen(self) -> None:
+        self.opened_at = self.clock.now()
+        self.times_opened += 1
+        self._transition(BreakerState.OPEN)
+
+    def _transition(self, state: BreakerState) -> None:
+        previous, self.state = self.state, state
+        logger.debug(
+            "breaker %s->%s: %s -> %s", self.owner, self.peer,
+            previous.value, state.value,
+        )
+        recorder = _telemetry.get_recorder()
+        recorder.count(
+            "resilience.breaker.transitions",
+            owner=self.owner,
+            peer=self.peer,
+            to=state.value,
+        )
+        recorder.event(
+            "resilience.breaker",
+            owner=self.owner,
+            peer=self.peer,
+            state=state.value,
+            failures=self.failures,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.owner}->{self.peer} {self.state.value} "
+            f"failures={self.failures}>"
+        )

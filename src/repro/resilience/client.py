@@ -1,0 +1,279 @@
+"""The retrying request client.
+
+:class:`ResilientClient` wraps one node's :class:`~repro.net.transport.Transport`
+with recovery policy: failed requests are retried under a
+:class:`~repro.resilience.policy.RetryPolicy` (exponential backoff,
+seeded jitter, deadline budget) and every peer gets a
+:class:`~repro.resilience.breaker.CircuitBreaker` so a dead peer costs
+one timeout, not one per call.
+
+The call contract is the transport's: exactly one of ``on_reply`` /
+``on_error`` fires, later, never synchronously inside :meth:`call`.
+Each retry is a *fresh* transport request (new request id) — the server
+side never sees the same id twice, so reply matching stays exact.
+Timeout-class failures are retryable; a :class:`RemoteError` means the
+request arrived and the handler raised, which a retry would only repeat
+(opt in per policy for known-transient faults).
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import zlib
+from typing import Any
+
+from repro.errors import CircuitOpenError, RequestTimeout
+from repro.net.transport import OnError, OnReply, RemoteError, Transport
+from repro.resilience.breaker import (
+    DEFAULT_FAILURE_THRESHOLD,
+    DEFAULT_RECOVERY_TIME,
+    CircuitBreaker,
+)
+from repro.resilience.policy import NO_RETRY, RetryPolicy
+from repro.sim.kernel import Simulator
+from repro.telemetry import runtime as _telemetry
+
+logger = logging.getLogger(__name__)
+
+
+class ResilientClient:
+    """Retry + circuit-breaker front end over one node's transport."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        simulator: Simulator,
+        policy: RetryPolicy | None = None,
+        failure_threshold: int | None = DEFAULT_FAILURE_THRESHOLD,
+        recovery_time: float = DEFAULT_RECOVERY_TIME,
+        rng: random.Random | None = None,
+        name: str | None = None,
+    ):
+        self.transport = transport
+        self.simulator = simulator
+        self.policy = policy or NO_RETRY
+        #: None disables circuit breaking entirely.
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.name = name or f"{transport.node.node_id}.client"
+        # Seeded per client name: deterministic jitter, decorrelated
+        # between nodes.
+        self._rng = rng or random.Random(zlib.crc32(self.name.encode()))
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self.retries = 0
+        self.exhausted = 0
+        self.rejected = 0
+
+    # -- breakers ----------------------------------------------------------------
+
+    def breaker(self, peer: str) -> CircuitBreaker | None:
+        """The breaker guarding ``peer`` (None if breaking is disabled)."""
+        if self.failure_threshold is None:
+            return None
+        breaker = self._breakers.get(peer)
+        if breaker is None:
+            breaker = self._breakers[peer] = CircuitBreaker(
+                peer,
+                self.simulator.clock,
+                failure_threshold=self.failure_threshold,
+                recovery_time=self.recovery_time,
+                owner=self.name,
+            )
+        return breaker
+
+    # -- calls -------------------------------------------------------------------
+
+    def call(
+        self,
+        destination: str,
+        operation: str,
+        body: Any = None,
+        on_reply: OnReply | None = None,
+        on_error: OnError | None = None,
+        timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        """Send a request, retrying under the policy until it succeeds.
+
+        Exactly one of the callbacks fires, asynchronously.  ``policy``
+        overrides the client default for this call.
+        """
+        effective = policy or self.policy
+        started = self.simulator.now
+        self._attempt(
+            destination, operation, body, on_reply, on_error,
+            timeout, effective, attempt=1, started=started, last_error=None,
+        )
+
+    def _attempt(
+        self,
+        destination: str,
+        operation: str,
+        body: Any,
+        on_reply: OnReply | None,
+        on_error: OnError | None,
+        timeout: float | None,
+        policy: RetryPolicy,
+        attempt: int,
+        started: float,
+        last_error: Exception | None,
+    ) -> None:
+        breaker = self.breaker(destination)
+        if breaker is not None and not breaker.allows():
+            self._breaker_rejected(
+                destination, operation, body, on_reply, on_error,
+                timeout, policy, attempt, started,
+            )
+            return
+
+        per_attempt = (
+            timeout if timeout is not None else self.transport.default_timeout
+        )
+        if policy.deadline is not None:
+            remaining = policy.deadline - (self.simulator.now - started)
+            per_attempt = max(min(per_attempt, remaining), 1e-6)
+
+        def reply(result: Any) -> None:
+            if breaker is not None:
+                breaker.record_success()
+            if on_reply is not None:
+                on_reply(result)
+
+        def error(exc: Exception) -> None:
+            self._failed(
+                exc, destination, operation, body, on_reply, on_error,
+                timeout, policy, attempt, started, breaker,
+            )
+
+        self.transport.request(
+            destination, operation, body,
+            on_reply=reply, on_error=error, timeout=per_attempt,
+        )
+
+    def _failed(
+        self,
+        exc: Exception,
+        destination: str,
+        operation: str,
+        body: Any,
+        on_reply: OnReply | None,
+        on_error: OnError | None,
+        timeout: float | None,
+        policy: RetryPolicy,
+        attempt: int,
+        started: float,
+        breaker: CircuitBreaker | None,
+    ) -> None:
+        # A RemoteError means the peer is alive and answering; only
+        # transport-level silence counts against its breaker.
+        if breaker is not None:
+            if isinstance(exc, RemoteError):
+                breaker.record_success()
+            else:
+                breaker.record_failure()
+        if not self._retryable(exc, policy):
+            self._give_up(exc, operation, destination, attempt, on_error)
+            return
+        backoff = policy.backoff(attempt, self._rng)
+        elapsed = self.simulator.now - started
+        if not policy.allows_retry(attempt, elapsed, backoff):
+            self.exhausted += 1
+            _telemetry.get_recorder().count(
+                "resilience.exhausted",
+                client=self.name,
+                operation=operation,
+                peer=destination,
+            )
+            self._give_up(exc, operation, destination, attempt, on_error)
+            return
+        self.retries += 1
+        recorder = _telemetry.get_recorder()
+        recorder.count(
+            "resilience.retries",
+            client=self.name,
+            operation=operation,
+            peer=destination,
+        )
+        recorder.event(
+            "resilience.retry",
+            client=self.name,
+            operation=operation,
+            peer=destination,
+            attempt=attempt,
+            backoff=backoff,
+            error=type(exc).__name__,
+        )
+        self.simulator.schedule(
+            backoff,
+            self._attempt,
+            destination, operation, body, on_reply, on_error,
+            timeout, policy, attempt + 1, started, exc,
+        )
+
+    def _breaker_rejected(
+        self,
+        destination: str,
+        operation: str,
+        body: Any,
+        on_reply: OnReply | None,
+        on_error: OnError | None,
+        timeout: float | None,
+        policy: RetryPolicy,
+        attempt: int,
+        started: float,
+    ) -> None:
+        """The breaker refused the attempt: treat as an instant failure.
+
+        Retries still back off — one of them may land in the breaker's
+        half-open window and become the probe.
+        """
+        self.rejected += 1
+        _telemetry.get_recorder().count(
+            "resilience.breaker.rejected",
+            client=self.name,
+            operation=operation,
+            peer=destination,
+        )
+        exc = CircuitOpenError(destination, operation)
+        backoff = policy.backoff(attempt, self._rng)
+        elapsed = self.simulator.now - started
+        if policy.allows_retry(attempt, elapsed, backoff):
+            self.retries += 1
+            self.simulator.schedule(
+                backoff,
+                self._attempt,
+                destination, operation, body, on_reply, on_error,
+                timeout, policy, attempt + 1, started, exc,
+            )
+        else:
+            self.simulator.schedule(
+                0.0, self._give_up, exc, operation, destination, attempt, on_error
+            )
+
+    @staticmethod
+    def _retryable(exc: Exception, policy: RetryPolicy) -> bool:
+        if isinstance(exc, RemoteError):
+            return policy.retry_remote_errors
+        return isinstance(exc, (RequestTimeout, CircuitOpenError))
+
+    def _give_up(
+        self,
+        exc: Exception,
+        operation: str,
+        destination: str,
+        attempt: int,
+        on_error: OnError | None,
+    ) -> None:
+        logger.debug(
+            "%s: %s to %s failed for good after %d attempt(s): %s",
+            self.name, operation, destination, attempt, exc,
+        )
+        if on_error is not None:
+            on_error(exc)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResilientClient {self.name} retries={self.retries} "
+            f"breakers={len(self._breakers)}>"
+        )

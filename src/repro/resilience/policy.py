@@ -1,0 +1,88 @@
+"""Retry policies: exponential backoff, seeded jitter, deadline budgets.
+
+A :class:`RetryPolicy` is immutable data — the same policy object can be
+shared by every client on a node (or every node in a simulation).  All
+randomness is drawn from the caller's ``random.Random``, so a seeded run
+retries at exactly the same instants every time.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client retries a failed request.
+
+    ``max_attempts`` counts the *initial* attempt too: ``1`` means never
+    retry.  ``deadline`` bounds the whole exchange — a retry is only
+    scheduled while ``now + backoff`` stays within ``deadline`` seconds
+    of the first send, so a policy can promise "keep trying for one
+    lease term, then give up".
+    """
+
+    max_attempts: int = 3
+    initial_backoff: float = 0.25
+    multiplier: float = 2.0
+    max_backoff: float = 5.0
+    #: Fraction of each backoff randomized away (0 = none, 0.5 = the
+    #: delay lands uniformly in [0.5·b, b]).  Jitter decorrelates the
+    #: retry storms of many clients that failed at the same instant.
+    jitter: float = 0.5
+    #: Overall time budget in seconds from the first send; None = only
+    #: ``max_attempts`` bounds the exchange.
+    deadline: float | None = None
+    #: Retry replies that carry a remote exception (usually a bad idea —
+    #: the request *arrived*; only enable for known-transient faults).
+    retry_remote_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry number ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        base = self.initial_backoff * self.multiplier ** (attempt - 1)
+        base = min(base, self.max_backoff)
+        if self.jitter and base > 0:
+            base -= rng.uniform(0, self.jitter * base)
+        return base
+
+    def allows_retry(self, attempt: int, elapsed: float, backoff: float) -> bool:
+        """May attempt ``attempt + 1`` start, ``elapsed`` s after the first?"""
+        if attempt >= self.max_attempts:
+            return False
+        if self.deadline is not None and elapsed + backoff >= self.deadline:
+            return False
+        return True
+
+    def with_deadline(self, deadline: float | None) -> "RetryPolicy":
+        """A copy of this policy with a different deadline budget."""
+        return replace(self, deadline=deadline)
+
+    def worst_case_duration(self, per_attempt_timeout: float) -> float:
+        """Upper bound on how long an exchange under this policy can take."""
+        total = 0.0
+        for attempt in range(1, self.max_attempts + 1):
+            total += per_attempt_timeout
+            if attempt < self.max_attempts:
+                total += min(
+                    self.initial_backoff * self.multiplier ** (attempt - 1),
+                    self.max_backoff,
+                )
+        if self.deadline is not None:
+            return min(total, self.deadline + per_attempt_timeout)
+        return total if math.isfinite(total) else self.deadline or total
+
+
+#: The do-nothing policy: a single attempt, no backoff.  Clients built on
+#: :class:`~repro.resilience.client.ResilientClient` behave exactly like
+#: bare ``Transport.request`` under it.
+NO_RETRY = RetryPolicy(max_attempts=1, initial_backoff=0.0, jitter=0.0)

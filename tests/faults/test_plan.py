@@ -1,0 +1,115 @@
+"""Fault-plan validation, matching, and serialization."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    DELAY,
+    DROP,
+    CrashSchedule,
+    FaultPlan,
+    LinkFlap,
+    MessageMatch,
+    MessageRule,
+)
+
+
+class TestValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(FaultPlanError):
+            MessageRule("explode")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(FaultPlanError):
+            MessageRule(DROP, probability=1.5)
+
+    def test_duplicate_needs_two_copies(self):
+        with pytest.raises(FaultPlanError):
+            MessageRule("duplicate", copies=1)
+
+    def test_crash_time_must_be_nonnegative(self):
+        with pytest.raises(FaultPlanError):
+            CrashSchedule("n", at=-1.0)
+
+    def test_crash_down_for_must_be_positive(self):
+        with pytest.raises(FaultPlanError):
+            CrashSchedule("n", at=0.0, down_for=0.0)
+
+    def test_flap_period_must_exceed_down_time(self):
+        with pytest.raises(FaultPlanError):
+            LinkFlap("a", "b", period=1.0, down_for=1.0)
+
+
+class TestMatching:
+    def test_wildcards_match_everything(self):
+        match = MessageMatch()
+        assert match.matches(5.0, "transport.request", "lookup.renew", "a", "b")
+
+    def test_operation_pattern(self):
+        match = MessageMatch(operation="lookup.*")
+        assert match.matches(0.0, "k", "lookup.renew", "a", "b")
+        assert not match.matches(0.0, "k", "midas.offer", "a", "b")
+
+    def test_time_window_is_half_open(self):
+        match = MessageMatch(after=2.0, before=5.0)
+        assert not match.matches(1.9, "k", "op", "a", "b")
+        assert match.matches(2.0, "k", "op", "a", "b")
+        assert not match.matches(5.0, "k", "op", "a", "b")
+
+    def test_endpoint_patterns(self):
+        match = MessageMatch(source="hall", destination="robot-*")
+        assert match.matches(0.0, "k", "op", "hall", "robot-1")
+        assert not match.matches(0.0, "k", "op", "hall", "pda")
+        assert not match.matches(0.0, "k", "op", "robot-1", "robot-2")
+
+    def test_max_count_budgets_rule(self):
+        rule = MessageRule(DROP, max_count=2)
+        rng = random.Random(0)
+        assert rule.applies(0.0, "k", "op", "a", "b", rng)
+        rule.injected = 2
+        assert not rule.applies(0.0, "k", "op", "a", "b", rng)
+
+    def test_probability_uses_given_rng(self):
+        rule = MessageRule(DROP, probability=0.5)
+        rng_a, rng_b = random.Random(42), random.Random(42)
+        outcomes_a = [rule.applies(0.0, "k", "op", "a", "b", rng_a) for _ in range(20)]
+        outcomes_b = [rule.applies(0.0, "k", "op", "a", "b", rng_b) for _ in range(20)]
+        assert outcomes_a == outcomes_b
+        assert any(outcomes_a) and not all(outcomes_a)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        plan = (
+            FaultPlan()
+            .drop(operation="midas.offer", probability=0.2, max_count=3)
+            .delay(extra=0.5, jitter=0.1, kind="transport.reply")
+            .duplicate(copies=3, between=(1.0, 9.0))
+            .reorder(source="hall")
+            .crash("hall", at=30.0, down_for=8.0)
+            .crash("pda", at=50.0)
+            .flap_link("hall", "robot", period=4.0, down_for=1.0, between=(0.0, 20.0))
+            .skew_clock("robot", offset=0.25, drift=0.001)
+        )
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.to_dict() == plan.to_dict()
+        assert len(rebuilt.message_rules) == 4
+        assert rebuilt.crashes == plan.crashes
+        assert rebuilt.link_flaps == plan.link_flaps
+        assert rebuilt.clock_skews == plan.clock_skews
+
+    def test_injected_counter_not_serialized(self):
+        plan = FaultPlan().drop()
+        plan.message_rules[0].injected = 7
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.message_rules[0].injected == 0
+
+    def test_builder_defaults(self):
+        plan = FaultPlan().delay(extra=0.25)
+        rule = plan.message_rules[0]
+        assert rule.action == DELAY
+        assert rule.match.before == math.inf
+        assert rule.extra_delay == 0.25

@@ -1,0 +1,113 @@
+"""Partition/heal with messages in flight: accounting stays consistent.
+
+Every unicast transmission must end in exactly one delivery or one
+counted drop, whatever happens to the link while the message is on it.
+"""
+
+import pytest
+
+from repro.net.geometry import Position
+from repro.net.network import Network, NetworkConfig
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+
+
+@pytest.fixture
+def pair(sim, network):
+    a = network.attach(NetworkNode("a", Position(0, 0)))
+    b = network.attach(NetworkNode("b", Position(5, 0)))
+    return a, b
+
+
+class TestInFlightSemantics:
+    def test_message_in_flight_survives_partition(self, sim, network, pair):
+        a, b = pair
+        received = []
+        b.set_handler("k", lambda message: received.append(message.payload))
+        a.send("b", "k", "sent-before-wall")
+        # The wall goes up while the message is on the air.
+        network.partition("a", "b")
+        sim.run()
+        assert received == ["sent-before-wall"]
+        assert network.messages_delivered == 1
+        assert network.messages_dropped == 0
+
+    def test_message_sent_after_partition_is_dropped(self, sim, network, pair):
+        a, b = pair
+        received = []
+        b.set_handler("k", lambda message: received.append(message.payload))
+        network.partition("a", "b")
+        a.send("b", "k", "into-the-wall")
+        sim.run()
+        assert received == []
+        assert network.messages_dropped == 1
+
+    def test_heal_mid_flight_does_not_double_deliver(self, sim, network, pair):
+        a, b = pair
+        received = []
+        b.set_handler("k", lambda message: received.append(message.payload))
+        a.send("b", "k", "m1")
+        network.partition("a", "b")
+        network.heal("a", "b")
+        sim.run()
+        assert received == ["m1"]
+        assert network.messages_transmitted == 1
+        assert network.messages_delivered == 1
+
+    def test_detach_mid_flight_drops_with_reason(self, sim, network, pair):
+        a, b = pair
+        drops = []
+        network.on_drop.connect(lambda message, reason: drops.append(reason))
+        a.send("b", "k", "doomed")
+        network.detach(b)
+        sim.run()
+        assert drops == ["destination detached in flight"]
+        assert network.messages_dropped == 1
+        assert network.messages_delivered == 0
+
+
+class TestAccounting:
+    def test_every_unicast_ends_in_delivery_or_drop(self, sim):
+        network = Network(sim, seed=99, config=NetworkConfig(loss_probability=0.2))
+        a = network.attach(NetworkNode("a", Position(0, 0)))
+        b = network.attach(NetworkNode("b", Position(5, 0)))
+        b.set_handler("k", lambda message: None)
+        for i in range(60):
+            sim.schedule_at(i * 0.1, a.send, "b", "k", i)
+        # A partition window opens and closes while traffic flows.
+        sim.schedule_at(2.0, network.partition, "a", "b")
+        sim.schedule_at(4.0, network.heal, "a", "b")
+        sim.run()
+        assert network.messages_transmitted == 60
+        assert (
+            network.messages_delivered + network.messages_dropped
+            == network.messages_transmitted
+        )
+        assert network.messages_delivered > 0
+        assert network.messages_dropped > 0
+
+    def test_request_reply_accounting_through_partition_cycle(self, sim, network, pair):
+        a, b = pair
+        client, server = Transport(a, sim), Transport(b, sim)
+        server.register("ping", lambda sender, body: "pong")
+        outcomes = []
+        for i in range(10):
+            sim.schedule_at(
+                i * 1.0,
+                lambda: client.request(
+                    "b", "ping",
+                    on_reply=lambda _: outcomes.append("ok"),
+                    on_error=lambda _: outcomes.append("fail"),
+                    timeout=0.5,
+                ),
+            )
+        sim.schedule_at(2.5, network.partition, "a", "b")
+        sim.schedule_at(6.5, network.heal, "a", "b")
+        sim.run()
+        assert len(outcomes) == 10  # exactly one outcome per request
+        assert outcomes.count("fail") == 4  # t = 3, 4, 5, 6
+        # Requests during the outage were dropped and counted.
+        assert (
+            network.messages_delivered + network.messages_dropped
+            == network.messages_transmitted
+        )

@@ -1,0 +1,90 @@
+"""Circuit-breaker state machine."""
+
+import pytest
+
+from repro.resilience import BreakerState, CircuitBreaker
+
+
+@pytest.fixture
+def breaker(sim):
+    return CircuitBreaker("peer", sim.clock, failure_threshold=3, recovery_time=5.0)
+
+
+class TestClosed:
+    def test_starts_closed_and_allowing(self, breaker):
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+
+    def test_failures_below_threshold_stay_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+
+    def test_success_resets_failure_count(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestOpen:
+    def _open(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_opens_at_threshold(self, breaker):
+        self._open(breaker)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.times_opened == 1
+
+    def test_open_rejects_before_recovery_time(self, sim, breaker):
+        self._open(breaker)
+        sim.run_for(4.9)
+        assert not breaker.allows()
+
+    def test_half_open_after_recovery_time(self, sim, breaker):
+        self._open(breaker)
+        sim.run_for(5.0)
+        assert breaker.allows()
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestHalfOpen:
+    def _half_open(self, sim, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+        sim.run_for(5.0)
+        assert breaker.allows()  # takes the probe slot
+
+    def test_single_probe_slot(self, sim, breaker):
+        self._half_open(sim, breaker)
+        assert not breaker.allows()  # probe outstanding
+
+    def test_probe_success_closes(self, sim, breaker):
+        self._half_open(sim, breaker)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allows()
+
+    def test_probe_failure_reopens(self, sim, breaker):
+        self._half_open(sim, breaker)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allows()
+        assert breaker.times_opened == 2
+
+    def test_reopened_breaker_waits_full_recovery_again(self, sim, breaker):
+        self._half_open(sim, breaker)
+        breaker.record_failure()
+        sim.run_for(4.0)
+        assert not breaker.allows()
+        sim.run_for(1.0)
+        assert breaker.allows()
+
+
+def test_threshold_must_be_positive(sim):
+    with pytest.raises(ValueError):
+        CircuitBreaker("peer", sim.clock, failure_threshold=0)

@@ -1,0 +1,254 @@
+"""ResilientClient: retries, deadlines, breaker integration."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, RequestTimeout
+from repro.net.geometry import Position
+from repro.net.node import NetworkNode
+from repro.net.transport import RemoteError, Transport
+from repro.resilience import BreakerState, ResilientClient, RetryPolicy
+
+
+@pytest.fixture
+def world(sim, network):
+    a = network.attach(NetworkNode("a", Position(0, 0)))
+    b = network.attach(NetworkNode("b", Position(5, 0)))
+    return Transport(a, sim), Transport(b, sim)
+
+
+def make_client(sim, transport, **kwargs):
+    kwargs.setdefault("policy", RetryPolicy(max_attempts=4, initial_backoff=0.2))
+    return ResilientClient(transport, sim, **kwargs)
+
+
+class TestRetries:
+    def test_clean_call_is_plain_request(self, sim, world):
+        transport, server = world
+        server.register("ping", lambda sender, body: "pong")
+        client = make_client(sim, transport)
+        replies = []
+        client.call("b", "ping", on_reply=replies.append)
+        sim.run()
+        assert replies == ["pong"]
+        assert client.retries == 0
+
+    def test_retry_succeeds_after_transient_outage(self, sim, network, world):
+        transport, server = world
+        server.register("ping", lambda sender, body: "pong")
+        network.partition("a", "b")
+        sim.schedule_at(2.0, network.heal, "a", "b")
+        client = make_client(sim, transport)
+        replies, errors = [], []
+        client.call(
+            "b", "ping", on_reply=replies.append, on_error=errors.append, timeout=1.0
+        )
+        sim.run()
+        assert replies == ["pong"]
+        assert errors == []
+        assert client.retries >= 1
+
+    def test_exhaustion_reports_last_underlying_error(self, sim, network, world):
+        transport, _ = world
+        network.partition("a", "b")
+        client = make_client(
+            sim, transport, policy=RetryPolicy(max_attempts=2, initial_backoff=0.1)
+        )
+        errors = []
+        client.call("b", "ping", on_error=errors.append, timeout=0.5)
+        sim.run()
+        assert isinstance(errors[0], RequestTimeout)
+        assert client.exhausted == 1
+        assert transport.requests_sent == 2  # initial + one retry
+
+    def test_remote_errors_not_retried_by_default(self, sim, world):
+        transport, server = world
+
+        def broken(sender, body):
+            raise ValueError("boom")
+
+        server.register("boom", broken)
+        client = make_client(sim, transport)
+        errors = []
+        client.call("b", "boom", on_error=errors.append)
+        sim.run()
+        assert isinstance(errors[0], RemoteError)
+        assert client.retries == 0
+
+    def test_remote_errors_retried_when_policy_opts_in(self, sim, world):
+        transport, server = world
+        calls = []
+
+        def flaky(sender, body):
+            calls.append(sender)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        server.register("flaky", flaky)
+        client = make_client(
+            sim,
+            transport,
+            policy=RetryPolicy(
+                max_attempts=5, initial_backoff=0.1, retry_remote_errors=True
+            ),
+        )
+        replies = []
+        client.call("b", "flaky", on_reply=replies.append)
+        sim.run()
+        assert replies == ["ok"]
+        assert len(calls) == 3
+
+    def test_deadline_stops_retrying(self, sim, network, world):
+        transport, _ = world
+        network.partition("a", "b")
+        client = make_client(
+            sim,
+            transport,
+            policy=RetryPolicy(
+                max_attempts=100, initial_backoff=0.5, jitter=0.0, deadline=4.0
+            ),
+        )
+        errors = []
+        client.call("b", "ping", on_error=errors.append, timeout=1.0)
+        sim.run()
+        assert errors
+        # Gave up within (roughly) the deadline, not after 100 attempts.
+        assert sim.now < 8.0
+        assert transport.requests_sent < 10
+
+    def test_each_retry_is_a_fresh_request_id(self, sim, network, world):
+        transport, server = world
+        seen = []
+        server.register("ping", lambda sender, body: "pong")
+        original = transport.request
+
+        def spying_request(destination, operation, body=None, **kwargs):
+            request_id = original(destination, operation, body, **kwargs)
+            seen.append(request_id)
+            return request_id
+
+        transport.request = spying_request
+        network.partition("a", "b")
+        sim.schedule_at(1.5, network.heal, "a", "b")
+        client = make_client(sim, transport)
+        client.call("b", "ping", timeout=1.0)
+        sim.run()
+        assert len(seen) >= 2
+        assert len(set(seen)) == len(seen)
+
+
+class TestBreakerIntegration:
+    def test_breaker_opens_after_repeated_silence(self, sim, network, world):
+        transport, _ = world
+        network.partition("a", "b")
+        client = make_client(
+            sim,
+            transport,
+            policy=RetryPolicy(max_attempts=1),
+            failure_threshold=3,
+        )
+        for i in range(4):
+            sim.schedule_at(i * 2.0, client.call, "b", "ping", None, None, None, 0.5)
+        sim.run()
+        assert client.breaker("b").state is BreakerState.OPEN
+
+    def test_open_breaker_rejects_locally(self, sim, network, world):
+        transport, _ = world
+        network.partition("a", "b")
+        client = make_client(
+            sim,
+            transport,
+            policy=RetryPolicy(max_attempts=1),
+            failure_threshold=2,
+            recovery_time=60.0,
+        )
+        errors = []
+        for i in range(3):
+            sim.schedule_at(
+                i * 2.0,
+                client.call,
+                "b", "ping", None, None, errors.append, 0.5,
+            )
+        sent_before = None
+
+        def snapshot():
+            nonlocal sent_before
+            sent_before = transport.requests_sent
+
+        sim.schedule_at(3.9, snapshot)
+        sim.run()
+        # The third call was rejected without touching the wire.
+        assert transport.requests_sent == sent_before
+        assert client.rejected == 1
+        assert isinstance(errors[-1], CircuitOpenError)
+
+    def test_half_open_probe_closes_breaker_on_recovery(self, sim, network, world):
+        transport, server = world
+        server.register("ping", lambda sender, body: "pong")
+        network.partition("a", "b")
+        client = make_client(
+            sim,
+            transport,
+            policy=RetryPolicy(max_attempts=1),
+            failure_threshold=2,
+            recovery_time=3.0,
+        )
+        replies = []
+        for i in range(2):
+            sim.schedule_at(i * 1.0, client.call, "b", "ping", None, None, None, 0.5)
+        sim.schedule_at(2.0, network.heal, "a", "b")
+        sim.schedule_at(
+            6.0, client.call, "b", "ping", None, replies.append, None, None
+        )
+        sim.run()
+        assert replies == ["pong"]
+        assert client.breaker("b").state is BreakerState.CLOSED
+
+    def test_remote_error_does_not_trip_breaker(self, sim, world):
+        transport, server = world
+
+        def broken(sender, body):
+            raise ValueError("boom")
+
+        server.register("boom", broken)
+        client = make_client(
+            sim, transport, policy=RetryPolicy(max_attempts=1), failure_threshold=1
+        )
+        client.call("b", "boom")
+        sim.run()
+        # The peer answered; the breaker must treat that as liveness.
+        assert client.breaker("b").state is BreakerState.CLOSED
+
+    def test_breaking_can_be_disabled(self, sim, network, world):
+        transport, _ = world
+        client = make_client(sim, transport, failure_threshold=None)
+        assert client.breaker("b") is None
+
+
+class TestDeterminism:
+    def test_same_seeds_same_retry_schedule(self, sim, network, world):
+        transport, _ = world
+        network.partition("a", "b")
+
+        def schedule(client):
+            instants = []
+            original = transport.request
+
+            def spying(destination, operation, body=None, **kwargs):
+                instants.append(sim.now)
+                return original(destination, operation, body, **kwargs)
+
+            transport.request = spying
+            client.call("b", "ping", timeout=0.5)
+            sim.run()
+            transport.request = original
+            return instants
+
+        first = schedule(make_client(sim, transport, name="x"))
+        second = schedule(make_client(sim, transport, name="x"))
+        assert len(first) > 1
+        # approx: the second run starts at a later sim.now, so the same
+        # backoff deltas accumulate different float round-off.
+        assert [b - a for a, b in zip(first, first[1:])] == pytest.approx(
+            [b - a for a, b in zip(second, second[1:])]
+        )

@@ -1,0 +1,88 @@
+"""RetryPolicy math."""
+
+import random
+
+import pytest
+
+from repro.resilience import NO_RETRY, RetryPolicy
+
+
+class TestBackoff:
+    def test_exponential_growth_without_jitter(self):
+        policy = RetryPolicy(initial_backoff=0.5, multiplier=2.0, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.backoff(1, rng) == 0.5
+        assert policy.backoff(2, rng) == 1.0
+        assert policy.backoff(3, rng) == 2.0
+
+    def test_capped_at_max_backoff(self):
+        policy = RetryPolicy(
+            initial_backoff=1.0, multiplier=10.0, max_backoff=3.0, jitter=0.0
+        )
+        assert policy.backoff(5, random.Random(0)) == 3.0
+
+    def test_jitter_subtracts_bounded_fraction(self):
+        policy = RetryPolicy(initial_backoff=1.0, multiplier=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(1, 30):
+            delay = policy.backoff(attempt, rng)
+            assert 0.5 <= delay <= 1.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff(i, random.Random(3)) for i in range(1, 5)]
+        b = [policy.backoff(i, random.Random(3)) for i in range(1, 5)]
+        assert a == b
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0, random.Random(0))
+
+
+class TestLimits:
+    def test_max_attempts_bounds_retries(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.allows_retry(2, elapsed=0.0, backoff=0.1)
+        assert not policy.allows_retry(3, elapsed=0.0, backoff=0.1)
+
+    def test_deadline_bounds_elapsed_plus_backoff(self):
+        policy = RetryPolicy(max_attempts=100, deadline=5.0)
+        assert policy.allows_retry(1, elapsed=3.0, backoff=1.0)
+        assert not policy.allows_retry(1, elapsed=4.5, backoff=0.6)
+
+    def test_with_deadline_returns_new_policy(self):
+        policy = RetryPolicy()
+        bounded = policy.with_deadline(7.5)
+        assert bounded.deadline == 7.5
+        assert policy.deadline is None
+        assert bounded.max_attempts == policy.max_attempts
+
+    def test_at_least_one_attempt_required(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_jitter_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestWorstCase:
+    def test_sums_timeouts_and_backoffs(self):
+        policy = RetryPolicy(
+            max_attempts=3, initial_backoff=1.0, multiplier=2.0, jitter=0.0
+        )
+        # 3 × 2.0 s timeouts + backoffs of 1.0 and 2.0.
+        assert policy.worst_case_duration(2.0) == pytest.approx(9.0)
+
+    def test_deadline_caps_worst_case(self):
+        policy = RetryPolicy(max_attempts=50, deadline=10.0)
+        assert policy.worst_case_duration(2.0) <= 12.0
+
+
+class TestNoRetry:
+    def test_single_attempt(self):
+        assert NO_RETRY.max_attempts == 1
+        assert not NO_RETRY.allows_retry(1, elapsed=0.0, backoff=0.0)
+
+    def test_zero_backoff(self):
+        assert NO_RETRY.backoff(1, random.Random(0)) == 0.0
