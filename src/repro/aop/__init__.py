@@ -30,6 +30,7 @@ from repro.aop.aspect import (
     before,
 )
 from repro.aop.context import ExecutionContext, FieldWriteContext
+from repro.aop.hooks import AdviceContainment
 from repro.aop.crosscut import (
     REST,
     Crosscut,
@@ -50,6 +51,7 @@ from repro.aop.vm import RESIDENT, SWAP, ProseVM
 
 __all__ = [
     "Advice",
+    "AdviceContainment",
     "AdviceKind",
     "Aspect",
     "AspectSandbox",

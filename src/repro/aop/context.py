@@ -28,9 +28,12 @@ class ExecutionContext:
         "result",
         "exception",
         "session",
+        "proceeded",
+        "escaped",
         "_original",
         "_arounds",
         "_depth",
+        "_last_proceed",
     )
 
     def __init__(
@@ -57,9 +60,18 @@ class ExecutionContext:
         #: session-management extension stores caller identity here for the
         #: access-control extension to read (Fig. 2, steps 2-3).
         self.session: dict[str, Any] = {}
+        #: Number of :meth:`proceed` calls that completed normally.  The
+        #: supervision layer reads this to tell whether a failing
+        #: ``around`` advice already ran the rest of the chain.
+        self.proceeded = 0
+        #: The exception (if any) that escaped :meth:`proceed` — i.e. one
+        #: raised by the application (or deeper advice), not by the advice
+        #: currently on top.  Containment barriers let it pass through.
+        self.escaped: BaseException | None = None
         self._original = original
         self._arounds = arounds
         self._depth = -1
+        self._last_proceed: Any = None
 
     @property
     def method_name(self) -> str:
@@ -77,10 +89,17 @@ class ExecutionContext:
         self._depth += 1
         try:
             if self._depth < len(self._arounds):
-                return self._arounds[self._depth](self)
-            return self._original(self.target, *self.args, **self.kwargs)
+                value = self._arounds[self._depth](self)
+            else:
+                value = self._original(self.target, *self.args, **self.kwargs)
+        except BaseException as exc:
+            self.escaped = exc
+            raise
         finally:
             self._depth -= 1
+        self.proceeded += 1
+        self._last_proceed = value
+        return value
 
     def __repr__(self) -> str:
         return f"<ExecutionContext {self.joinpoint.class_name}.{self.method_name}>"

@@ -37,6 +37,31 @@ CLASS = "class"
 STATIC = "static"
 
 
+class AdviceContainment:
+    """Weaver-level containment hook applied to advice at weave time.
+
+    When an aspect is inserted with a containment object
+    (:meth:`ProseVM.insert(..., containment=...)`), every advice callback
+    is passed through :meth:`wrap` *after* sandbox wrapping, so the
+    containment layer is outermost: it sees everything the advice does —
+    exceptions it raises, sandbox violations it triggers, time it burns —
+    before any of it reaches the application call path.
+
+    The base implementation is transparent.  The extension supervisor
+    (:mod:`repro.supervision`) subclasses this to build its error
+    barrier; custom runtimes can install their own (e.g. an
+    advice-profiling wrapper) without touching the weaver.
+    """
+
+    __slots__ = ()
+
+    def wrap(
+        self, advice: Advice, callback: Callable[..., Any]
+    ) -> Callable[..., Any]:
+        """Return the callback to weave in place of ``callback``."""
+        return callback
+
+
 def _sort_key(entry: tuple[int, int, Any]) -> tuple[int, int]:
     order, seq, _ = entry
     return (order, seq)

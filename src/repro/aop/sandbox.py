@@ -27,6 +27,7 @@ import contextvars
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import SandboxViolation
+from repro.telemetry import runtime as _telemetry
 
 
 class Capability:
@@ -161,17 +162,35 @@ class SystemGateway:
         self._sandbox = sandbox
 
     def acquire(self, capability: str) -> Any:
-        """Return the service registered under ``capability`` or raise."""
+        """Return the service registered under ``capability`` or raise.
+
+        Every denial — whether the sandbox policy refuses the capability
+        or no service is registered under it — is counted as a
+        ``sandbox.violation`` (labelled by extension and capability)
+        before the :class:`SandboxViolation` propagates, so audits do not
+        depend on the extension surfacing the error.
+        """
         sandbox = self._sandbox or current_sandbox()
         if sandbox is not None:
-            sandbox.require(capability)
+            try:
+                sandbox.require(capability)
+            except SandboxViolation:
+                self._count_violation(capability, sandbox.aspect_name)
+                raise
         try:
             return self._services[capability]
         except KeyError:
-            raise SandboxViolation(
-                capability,
-                sandbox.aspect_name if sandbox else None,
-            ) from None
+            who = sandbox.aspect_name if sandbox else None
+            self._count_violation(capability, who)
+            raise SandboxViolation(capability, who) from None
+
+    @staticmethod
+    def _count_violation(capability: str, aspect_name: str | None) -> None:
+        _telemetry.get_recorder().count(
+            "sandbox.violation",
+            extension=aspect_name or "unknown",
+            capability=capability,
+        )
 
     def offers(self, capability: str) -> bool:
         """True if a service is registered under ``capability``."""

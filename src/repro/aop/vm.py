@@ -30,6 +30,7 @@ from repro.aop.hooks import (
     CLASS,
     INSTANCE,
     STATIC,
+    AdviceContainment,
     FieldHookTable,
     MethodHookTable,
     make_method_stub,
@@ -85,18 +86,20 @@ class _LoadedClass:
 class _Insertion:
     """Bookkeeping for one inserted aspect."""
 
-    __slots__ = ("aspect", "advices", "sandbox", "tables")
+    __slots__ = ("aspect", "advices", "sandbox", "containment", "tables")
 
     def __init__(
         self,
         aspect: Aspect,
         advices: list[tuple[Advice, Callable[..., Any]]],
         sandbox: AspectSandbox | None,
+        containment: "AdviceContainment | None" = None,
     ):
         self.aspect = aspect
-        # (advice, possibly-sandbox-wrapped callback) pairs
+        # (advice, possibly-sandbox/containment-wrapped callback) pairs
         self.advices = advices
         self.sandbox = sandbox
+        self.containment = containment
         # tables currently holding entries for this aspect
         self.tables: set[MethodHookTable | FieldHookTable] = set()
 
@@ -370,11 +373,20 @@ class ProseVM:
         """True if ``aspect`` is currently woven into this VM."""
         return aspect in self._insertions
 
-    def insert(self, aspect: Aspect, sandbox: AspectSandbox | None = None) -> None:
+    def insert(
+        self,
+        aspect: Aspect,
+        sandbox: AspectSandbox | None = None,
+        containment: AdviceContainment | None = None,
+    ) -> None:
         """Weave ``aspect`` through all loaded classes, atomically visible.
 
         If ``sandbox`` is given, every advice callback runs with that
-        sandbox current (see :mod:`repro.aop.sandbox`).
+        sandbox current (see :mod:`repro.aop.sandbox`).  If
+        ``containment`` is given, each (sandbox-wrapped) callback is
+        additionally passed through its :meth:`AdviceContainment.wrap`,
+        making the containment barrier the outermost layer around the
+        foreign code.
         """
         if aspect in self._insertions:
             raise WeaveError(f"{aspect!r} is already inserted")
@@ -390,8 +402,10 @@ class ProseVM:
             callback = advice.callback
             if sandbox is not None:
                 callback = sandbox.wrap(callback)
+            if containment is not None:
+                callback = containment.wrap(advice, callback)
             advices.append((advice, callback))
-        insertion = _Insertion(aspect, advices, sandbox)
+        insertion = _Insertion(aspect, advices, sandbox, containment)
         self._insertions[aspect] = insertion
         for record in self._loaded.values():
             self._register_on_class(insertion, record)

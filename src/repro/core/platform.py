@@ -43,6 +43,7 @@ from repro.net.transport import Transport
 from repro.resilience.policy import RetryPolicy
 from repro.sim.kernel import Simulator
 from repro.store.database import MovementStore
+from repro.supervision import SupervisionPolicy
 from repro.store.service import APPEND, STORE_INTERFACE, StoreService
 from repro.telemetry import MetricsRegistry
 from repro.telemetry import runtime as _telemetry
@@ -134,6 +135,8 @@ class MobileNode:
         node: NetworkNode,
         trust_store: TrustStore,
         policy: SandboxPolicy,
+        attributes: Mapping[str, object] | None = None,
+        supervision: SupervisionPolicy | None = None,
     ):
         self.platform = platform
         self.node = node
@@ -157,9 +160,16 @@ class MobileNode:
             policy=policy,
             services=services,
             discovery=self.discovery,
+            attributes=attributes,
+            supervision=supervision,
         )
         self.discovery.start()
         self.adaptation.start()
+
+    @property
+    def supervisor(self):
+        """This node's extension supervisor (None when unsupervised)."""
+        return self.adaptation.supervisor
 
     @property
     def node_id(self) -> str:
@@ -214,6 +224,7 @@ class ProactivePlatform:
         network_config: NetworkConfig | None = None,
         lease_duration: float = DEFAULT_DURATION,
         retry_policy: RetryPolicy | None = None,
+        supervision: SupervisionPolicy | None = None,
     ):
         self.simulator = Simulator()
         self.network = Network(self.simulator, config=network_config, seed=seed)
@@ -222,6 +233,9 @@ class ProactivePlatform:
         #: here (retrying offers/registrations, keepalive backoff); None
         #: keeps the classic reconcile-only behavior.
         self.retry_policy = retry_policy
+        #: Supervision policy handed to every mobile node built here;
+        #: None keeps the classic unsupervised (zero-overhead) dispatch.
+        self.supervision = supervision
         self.base_stations: dict[str, BaseStation] = {}
         self.mobile_nodes: dict[str, MobileNode] = {}
         #: The injector run by :meth:`install_faults`, if any.
@@ -264,12 +278,17 @@ class ProactivePlatform:
         radio_range: float = DEFAULT_RADIO_RANGE,
         trusted: Iterable[Signer] = (),
         policy: SandboxPolicy | None = None,
+        attributes: Mapping[str, object] | None = None,
+        supervision: SupervisionPolicy | None = None,
     ) -> MobileNode:
         """Stand up an adaptable mobile node.
 
         ``trusted`` provisions the node's trust store; by default every
         *currently existing* base station's signer is trusted (override
-        with an explicit list for security experiments).
+        with an explicit list for security experiments).  ``attributes``
+        go on the advertised adaptation service (e.g. ``{"class":
+        "robot"}`` scopes base-side quarantine marks to a device class);
+        ``supervision`` overrides the platform-wide policy for this node.
         """
         node = self.network.attach(NetworkNode(node_id, position, radio_range))
         trust_store = TrustStore()
@@ -283,6 +302,8 @@ class ProactivePlatform:
             node,
             trust_store,
             policy or SandboxPolicy.permissive(),
+            attributes=attributes,
+            supervision=supervision or self.supervision,
         )
         self.mobile_nodes[node_id] = mobile
         return mobile
@@ -406,6 +427,14 @@ class ProactivePlatform:
                     "extensions": node.extensions(),
                     "classes_loaded": node.vm.stats.classes_loaded,
                     "interceptions": node.vm.interception_count(),
+                    "quarantined": (
+                        []
+                        if node.supervisor is None
+                        else [
+                            health.aspect_name
+                            for health in node.supervisor.quarantined()
+                        ]
+                    ),
                 }
                 for node_id, node in self.mobile_nodes.items()
             },

@@ -98,6 +98,15 @@ class AdviceError(AopError):
     """Advice code raised an error that the engine chose to surface."""
 
 
+class AdviceBudgetExceeded(AdviceError):
+    """Advice exhausted its supervision step budget and was aborted."""
+
+    def __init__(self, advice_label: str, budget: int):
+        self.advice_label = advice_label
+        self.budget = budget
+        super().__init__(f"advice {advice_label!r} exceeded its step budget ({budget})")
+
+
 class SandboxViolation(AopError):
     """Extension code attempted a resource access its sandbox policy denies."""
 

@@ -18,6 +18,13 @@ Typical use, via the platform::
     platform.run_for(120.0)
 """
 
+from repro.faults.advice import (
+    BUDGET_OVERRUN,
+    FAULT_MODES,
+    RAISE_ON_KTH,
+    VIOLATION_PROBE,
+    FaultyExtension,
+)
 from repro.faults.clock import SkewedClock
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
@@ -30,12 +37,17 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "BUDGET_OVERRUN",
     "ClockSkew",
     "CrashSchedule",
+    "FAULT_MODES",
     "FaultInjector",
     "FaultPlan",
+    "FaultyExtension",
     "LinkFlap",
     "MessageMatch",
     "MessageRule",
+    "RAISE_ON_KTH",
     "SkewedClock",
+    "VIOLATION_PROBE",
 ]

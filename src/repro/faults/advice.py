@@ -1,0 +1,103 @@
+"""Advice-level fault injectors.
+
+The rest of this package attacks the *network* (dropped messages,
+crashes, clock skew); this module attacks the *extensions themselves*,
+so supervision (:mod:`repro.supervision`) can be driven deterministically:
+
+- ``RAISE_ON_KTH`` — the advice raises on every K-th interception;
+- ``BUDGET_OVERRUN`` — the advice burns a fixed number of interpreter
+  steps on every K-th interception (tripping a policy ``step_budget``);
+- ``VIOLATION_PROBE`` — the advice acquires a capability it never
+  declared on every K-th interception (tripping the sandbox).
+
+:class:`FaultyExtension` is an ordinary :class:`~repro.aop.aspect.Aspect`
+and lives at module level, so it is picklable — it can be sealed into an
+:class:`~repro.midas.envelope.ExtensionEnvelope` and distributed by a
+real extension base, which is exactly how the chaos suites use it.
+Determinism comes for free: misbehavior is a pure function of the
+interception count, never of wall time or randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.crosscut import REST, MethodCut
+from repro.aop.sandbox import Capability
+from repro.errors import FaultPlanError
+
+#: Raise ``RuntimeError`` on every K-th interception.
+RAISE_ON_KTH = "raise-on-kth"
+#: Burn ``spin_steps`` interpreter steps on every K-th interception.
+BUDGET_OVERRUN = "budget-overrun"
+#: Acquire an undeclared capability on every K-th interception.
+VIOLATION_PROBE = "violation-probe"
+
+FAULT_MODES = (RAISE_ON_KTH, BUDGET_OVERRUN, VIOLATION_PROBE)
+
+
+class FaultyExtension(Aspect):
+    """A deterministically misbehaving extension.
+
+    ``every=3`` means interceptions 3, 6, 9, ... misbehave while the
+    others run clean — the shape the supervision chaos demo needs (an
+    extension that works most of the time but strikes out inside the
+    policy window).  ``every=1`` misbehaves on every interception.
+
+    Note the aspect *declares no capabilities*: in ``VIOLATION_PROBE``
+    mode its gateway acquisition is denied by the restricted sandbox
+    MIDAS builds from the (empty) declared set, even on permissive nodes.
+    """
+
+    def __init__(
+        self,
+        mode: str = RAISE_ON_KTH,
+        every: int = 3,
+        spin_steps: int = 10_000,
+        capability: str = Capability.STORE,
+        type_pattern: str = "*",
+        method_pattern: str = "*",
+    ):
+        if mode not in FAULT_MODES:
+            raise FaultPlanError(f"unknown advice fault mode {mode!r}")
+        if every < 1:
+            raise FaultPlanError(f"every must be >= 1, got {every}")
+        if spin_steps < 1:
+            raise FaultPlanError(f"spin_steps must be >= 1, got {spin_steps}")
+        super().__init__()
+        self.mode = mode
+        self.every = every
+        self.spin_steps = spin_steps
+        self.capability = capability
+        #: Total interceptions seen (misbehaving or not).
+        self.calls = 0
+        #: Interception ordinals (1-based) on which this aspect misbehaved.
+        self.misbehaved: list[int] = []
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(
+                type=type_pattern, method=method_pattern, params=(REST,)
+            ),
+            callback=self.misbehave,
+        )
+
+    def misbehave(self, ctx: Any) -> None:
+        self.calls += 1
+        if self.calls % self.every != 0:
+            return
+        self.misbehaved.append(self.calls)
+        if self.mode == RAISE_ON_KTH:
+            raise RuntimeError(
+                f"injected advice fault on call {self.calls} "
+                f"at {ctx.method_name!r}"
+            )
+        if self.mode == BUDGET_OVERRUN:
+            sink = 0
+            for step in range(self.spin_steps):
+                sink += step
+            return
+        # VIOLATION_PROBE: the sandbox built from our (empty) declared
+        # capability set denies this and SandboxViolation escapes.
+        self.gateway.acquire(self.capability)

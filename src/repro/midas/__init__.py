@@ -24,7 +24,11 @@ Roles are symmetric: a node may run a base, a receiver, or both
 from repro.midas.base import AdaptationRecord, ExtensionBase
 from repro.midas.catalog import ExtensionCatalog
 from repro.midas.envelope import ExtensionEnvelope
-from repro.midas.receiver import AdaptationService, InstalledExtension
+from repro.midas.receiver import (
+    REASON_QUARANTINED,
+    AdaptationService,
+    InstalledExtension,
+)
 from repro.midas.remote import RemoteCaller, ServiceRef
 from repro.midas.trust import Signer, TrustStore
 
@@ -35,6 +39,7 @@ __all__ = [
     "ExtensionCatalog",
     "ExtensionEnvelope",
     "InstalledExtension",
+    "REASON_QUARANTINED",
     "RemoteCaller",
     "ServiceRef",
     "Signer",

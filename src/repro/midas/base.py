@@ -35,7 +35,13 @@ from repro.discovery.service import ServiceItem, ServiceTemplate
 from repro.errors import UnknownExtensionError
 from repro.leasing.renewer import RenewalAgent, TrackedLease
 from repro.midas.catalog import ExtensionCatalog, ExtensionFactory
-from repro.midas.receiver import ADAPTATION_INTERFACE, KEEPALIVE, OFFER, REVOKE
+from repro.midas.receiver import (
+    ADAPTATION_INTERFACE,
+    HEALTH,
+    KEEPALIVE,
+    OFFER,
+    REVOKE,
+)
 from repro.net.transport import Transport
 from repro.resilience.client import ResilientClient
 from repro.resilience.policy import RetryPolicy
@@ -119,9 +125,15 @@ class ExtensionBase:
         self.on_rejected = Signal(f"{self.node_id}.on_rejected")
         #: Fires with (node_id,) when a node's renewals are abandoned.
         self.on_node_lost = Signal(f"{self.node_id}.on_node_lost")
+        #: Fires with (node_id, extension_name, report_body) when a node
+        #: reports it quarantined one of our extensions.
+        self.on_quarantined = Signal(f"{self.node_id}.on_quarantined")
 
         self.activity_log: list[AdaptationRecord] = []
         self._adapted: dict[tuple[str, str], _Adapted] = {}  # (node, name) -> record
+        #: node_id -> advertised node class ("class" service attribute),
+        #: used to scope quarantine marks to a whole class of devices.
+        self._node_classes: dict[str, str] = {}
         self._peer_bases: list[str] = []
         self._renewer = RenewalAgent(
             simulator,
@@ -146,6 +158,7 @@ class ExtensionBase:
             self._client = None
         self._reconciler: PeriodicTimer | None = None
         transport.register(ROAMED, self._serve_roamed)
+        transport.register(HEALTH, self._serve_health)
 
     # -- crash support -----------------------------------------------------------
 
@@ -233,6 +246,9 @@ class ExtensionBase:
             return  # never adapt ourselves
         if self.node_filter is not None and not self.node_filter.matches(item):
             return  # outside this base's policy scope
+        self._node_classes[item.provider] = str(
+            item.attributes.get("class", item.provider)
+        )
         self.adapt_node(item.provider)
 
     def _service_gone(self, item: ServiceItem, kind: object = None) -> None:
@@ -259,6 +275,18 @@ class ExtensionBase:
         live = self._adapted.get((node_id, name))
         if live is not None and live.version >= self.catalog.version_of(name):
             return  # already adapted with the current version
+        node_class = self._node_classes.get(node_id, node_id)
+        if not self.catalog.is_healthy(name, node_class):
+            # This version was quarantined on this class of node; hold it
+            # back until the catalog publishes a newer one.  No activity
+            # log entry — the reconciler hits this every period.
+            _telemetry.get_recorder().count(
+                "midas.offers_suppressed",
+                node=self.node_id,
+                extension=name,
+                node_class=node_class,
+            )
+            return
         envelope = self.catalog.seal(name)
         self._log(node_id, name, "offered", f"v{envelope.version}")
         recorder = _telemetry.get_recorder()
@@ -370,6 +398,56 @@ class ExtensionBase:
             if ext_name == name:
                 self._log(node_id, name, "replaced", f"v{self.catalog.version_of(name)}")
                 self.offer(node_id, name)
+
+    # -- receiver health reports -----------------------------------------------------------
+
+    def _serve_health(self, sender: str, body: dict) -> None:
+        """A receiver quarantined one of our extensions: believe it.
+
+        The catalog entry is marked unhealthy for the reporter's node
+        class, so the reconciler stops re-offering the bad version to
+        that class of device; publishing a fixed version (catalog
+        version bump) heals the mark.  The base-side lease record is
+        dropped — the receiver already withdrew locally.
+        """
+        name = str(body.get("extension", ""))
+        node_class = str(body.get("node_class", sender))
+        version = body.get("version")
+        if name in self.catalog:
+            self.catalog.mark_unhealthy(
+                name, node_class, int(version) if version is not None else None
+            )
+        live = self._adapted.pop((sender, name), None)
+        if live is not None:
+            self._renewer.forget(live.lease_id)
+        offender = body.get("offender", name)
+        strikes = body.get("strikes") or []
+        detail = f"offender={offender} strikes={len(strikes)} class={node_class}"
+        self._log(sender, name, "quarantined", detail)
+        recorder = _telemetry.get_recorder()
+        recorder.count(
+            "midas.quarantines",
+            node=self.node_id,
+            extension=name,
+            node_class=node_class,
+        )
+        recorder.event(
+            "midas.quarantine_reported",
+            node=self.node_id,
+            reporter=sender,
+            extension=name,
+            offender=offender,
+            node_class=node_class,
+        )
+        logger.info(
+            "%s: %s quarantined %s (%s); suppressing offers to class %s",
+            self.node_id,
+            sender,
+            name,
+            offender,
+            node_class,
+        )
+        self.on_quarantined.fire(sender, name, body)
 
     # -- roaming ------------------------------------------------------------------------------
 

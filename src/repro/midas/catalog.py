@@ -20,12 +20,16 @@ ExtensionFactory = Callable[[], Aspect]
 
 
 class _Entry:
-    __slots__ = ("name", "factory", "version")
+    __slots__ = ("name", "factory", "version", "unhealthy")
 
     def __init__(self, name: str, factory: ExtensionFactory):
         self.name = name
         self.factory = factory
         self.version = 1
+        #: node_class -> version that was reported unhealthy there.  The
+        #: extension stays suppressed for that class until a newer
+        #: version is published (``add`` bumps past the mark).
+        self.unhealthy: dict[str, int] = {}
 
 
 class ExtensionCatalog:
@@ -58,6 +62,37 @@ class ExtensionCatalog:
     def names(self) -> list[str]:
         """All catalog entry names, in insertion order."""
         return list(self._entries)
+
+    # -- health -----------------------------------------------------------------
+
+    def mark_unhealthy(
+        self, name: str, node_class: str, version: int | None = None
+    ) -> None:
+        """Record that ``version`` misbehaved on nodes of ``node_class``.
+
+        Defaults to the current version.  Marks never regress: a stale
+        report about an older version cannot re-poison a newer one.
+        """
+        entry = self._require(name)
+        marked = entry.version if version is None else version
+        if marked > entry.unhealthy.get(node_class, 0):
+            entry.unhealthy[node_class] = marked
+
+    def is_healthy(self, name: str, node_class: str) -> bool:
+        """False while the current version is marked bad for ``node_class``.
+
+        Unknown names are vacuously healthy (nothing to suppress).
+        Publishing a fixed extension via :meth:`add` bumps the version
+        past the mark and heals the pair automatically.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            return True
+        return entry.unhealthy.get(node_class, 0) < entry.version
+
+    def unhealthy_classes(self, name: str) -> dict[str, int]:
+        """The node classes where ``name`` is marked, with the bad version."""
+        return dict(self._require(name).unhealthy)
 
     def version_of(self, name: str) -> int:
         """Current version of ``name``."""

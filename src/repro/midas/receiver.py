@@ -23,17 +23,19 @@ import logging
 from typing import Any, Mapping
 
 from repro.aop.aspect import Aspect
+from repro.aop.hooks import AdviceContainment
 from repro.aop.sandbox import AspectSandbox, SandboxPolicy, SystemGateway
 from repro.aop.vm import ProseVM
 from repro.discovery.client import DiscoveryClient
 from repro.discovery.service import ServiceItem
-from repro.errors import DistributionError, MidasError
+from repro.errors import DependencyError, DistributionError, MidasError
 from repro.leasing.lease import Lease
 from repro.leasing.table import LeaseTable
 from repro.midas.envelope import ExtensionEnvelope
 from repro.midas.trust import TrustStore
 from repro.net.transport import Transport
 from repro.sim.kernel import Simulator
+from repro.supervision import ExtensionHealth, ExtensionSupervisor, SupervisionPolicy
 from repro.telemetry import runtime as _telemetry
 from repro.util.signal import Signal
 
@@ -42,6 +44,8 @@ logger = logging.getLogger(__name__)
 OFFER = "midas.offer"
 KEEPALIVE = "midas.keepalive"
 REVOKE = "midas.revoke"
+#: One-way report a receiver sends its base when it quarantines an extension.
+HEALTH = "midas.health"
 
 #: The Jini interface name the adaptation service advertises under.
 ADAPTATION_INTERFACE = "midas.AdaptationService"
@@ -52,12 +56,21 @@ REASON_REVOKED = "revoked"
 REASON_REPLACED = "replaced"
 REASON_LOCAL = "local-request"
 REASON_CRASH = "crash"
+REASON_QUARANTINED = "quarantined"
 
 
 class InstalledExtension:
     """One live extension on this node."""
 
-    __slots__ = ("envelope", "aspect", "lease_id", "base_id", "sandbox", "implicit")
+    __slots__ = (
+        "envelope",
+        "aspect",
+        "lease_id",
+        "base_id",
+        "sandbox",
+        "implicit",
+        "trace",
+    )
 
     def __init__(
         self,
@@ -67,6 +80,7 @@ class InstalledExtension:
         base_id: str,
         sandbox: AspectSandbox,
         implicit: list[Aspect],
+        trace: Any = None,
     ):
         self.envelope = envelope
         self.aspect = aspect
@@ -75,6 +89,9 @@ class InstalledExtension:
         self.sandbox = sandbox
         #: Implicit (dependency) aspects inserted on behalf of this one.
         self.implicit = implicit
+        #: Span context of the install, so later lifecycle spans (renewal,
+        #: quarantine, withdrawal) join the same trace.
+        self.trace = trace
 
     @property
     def name(self) -> str:
@@ -86,6 +103,38 @@ class InstalledExtension:
             f"<InstalledExtension {self.name} v{self.envelope.version} "
             f"from {self.base_id}>"
         )
+
+
+class _InstallTransaction:
+    """Undo log for one :meth:`AdaptationService._accept`.
+
+    Every state mutation made during an install registers its inverse;
+    on failure :meth:`rollback` runs the inverses in reverse order, each
+    one individually guarded so a broken undo step cannot strand the
+    ones behind it.  A committed transaction drops its log — the install
+    is then permanent and withdrawal is the normal lifecycle's job.
+    """
+
+    __slots__ = ("_undo", "rolled_back")
+
+    def __init__(self) -> None:
+        self._undo: list[Any] = []
+        self.rolled_back = False
+
+    def add_undo(self, step: Any) -> None:
+        self._undo.append(step)
+
+    def commit(self) -> None:
+        self._undo.clear()
+
+    def rollback(self) -> None:
+        self.rolled_back = bool(self._undo)
+        for step in reversed(self._undo):
+            try:
+                step()
+            except Exception as exc:  # noqa: BLE001 - keep unwinding
+                logger.warning("install rollback step failed: %s", exc)
+        self._undo.clear()
 
 
 class AdaptationService:
@@ -101,6 +150,7 @@ class AdaptationService:
         services: Mapping[str, Any] | None = None,
         discovery: DiscoveryClient | None = None,
         attributes: Mapping[str, Any] | None = None,
+        supervision: SupervisionPolicy | None = None,
     ):
         self.vm = vm
         self.transport = transport
@@ -126,6 +176,15 @@ class AdaptationService:
         # Implicit aspects shared between extensions, refcounted by class.
         self._implicit: dict[type, tuple[Aspect, int]] = {}
         self._registration = None
+
+        #: Optional advice supervisor; None keeps the classic zero-overhead
+        #: dispatch (no containment wrapper is woven at all).
+        self.supervisor: ExtensionSupervisor | None = None
+        if supervision is not None:
+            self.supervisor = ExtensionSupervisor(
+                simulator, supervision, node_id=self.node_id
+            )
+            self.supervisor.on_quarantine.connect(self._quarantined)
 
         transport.register(OFFER, self._serve_offer)
         transport.register(KEEPALIVE, self._serve_keepalive)
@@ -247,13 +306,17 @@ class AdaptationService:
             self._withdraw(existing, REASON_REPLACED)
 
         recorder = _telemetry.get_recorder()
+        txn = _InstallTransaction()
+        trace = None
         try:
             with recorder.span(
                 "midas.install",
                 node=self.node_id,
                 extension=envelope.name,
                 base=base_id,
-            ):
+            ) as span:
+                trace = getattr(span, "context", None)
+
                 # 1. Security: verify *before* deserialization.
                 aspect = envelope.open(self.trust_store)
 
@@ -270,24 +333,40 @@ class AdaptationService:
                     )
 
                 # 3. Implicit extensions (e.g. session management for access
-                # control).
-                implicit = self._resolve_implicit(aspect)
+                # control), transitively, dependencies first.
+                implicit = self._resolve_implicit(aspect, txn)
 
                 # 4. Sandbox + gateway, then insertion through the PROSE API.
                 sandbox = AspectSandbox(
                     self.policy.restricted_to(envelope.capabilities), aspect.name
                 )
                 aspect.bind(SystemGateway(self._services, sandbox))
-                self.vm.insert(aspect, sandbox=sandbox)
+                txn.add_undo(lambda: self._retract(aspect))
+                self.vm.insert(
+                    aspect, sandbox=sandbox, containment=self._guard_for(aspect)
+                )
 
                 lease = self._leases.grant(base_id, envelope.name, duration)
-        except MidasError:
+                txn.add_undo(lambda: self._undo_lease(lease.lease_id))
+        except Exception:
+            # Atomicity: any failure mid-install restores the exact
+            # pre-offer state — no dependency stays woven, no lease stays
+            # granted, no refcount stays bumped.
+            txn.rollback()
             recorder.count(
                 "midas.rejections", node=self.node_id, extension=envelope.name
             )
+            if txn.rolled_back:
+                recorder.count(
+                    "midas.rollbacks", node=self.node_id, extension=envelope.name
+                )
+                self._telemetry_event(
+                    "midas.rolled_back", extension=envelope.name, base=base_id
+                )
             raise
+        txn.commit()
         installed = InstalledExtension(
-            envelope, aspect, lease.lease_id, base_id, sandbox, implicit
+            envelope, aspect, lease.lease_id, base_id, sandbox, implicit, trace
         )
         self._installed[lease.lease_id] = installed
         logger.debug("%s: installed %s from %s", self.node_id, envelope.name, base_id)
@@ -299,22 +378,108 @@ class AdaptationService:
         self.on_installed.fire(installed)
         return {"lease_id": lease.lease_id, "duration": lease.duration}
 
-    def _resolve_implicit(self, aspect: Aspect) -> list[Aspect]:
+    def _guard_for(self, aspect: Aspect) -> AdviceContainment | None:
+        return None if self.supervisor is None else self.supervisor.guard(aspect)
+
+    def _implicit_chain(self, root: type) -> list[type]:
+        """Transitive ``REQUIRES`` closure of ``root``, dependencies first.
+
+        Post-order, so an implicit extension is always inserted before
+        anything that requires it.  A cycle is a packaging error and
+        raises :class:`~repro.errors.DependencyError` before any state
+        changes.
+        """
+        order: list[type] = []
+        seen: set[type] = set()
+        stack: set[type] = {root}
+
+        def visit(cls: type) -> None:
+            for dependency_class in cls.REQUIRES:
+                if dependency_class in stack:
+                    raise DependencyError(
+                        f"cyclic REQUIRES involving {dependency_class.__name__}"
+                    )
+                if dependency_class in seen:
+                    continue
+                stack.add(dependency_class)
+                try:
+                    visit(dependency_class)
+                finally:
+                    stack.discard(dependency_class)
+                seen.add(dependency_class)
+                order.append(dependency_class)
+
+        visit(root)
+        return order
+
+    def _resolve_implicit(
+        self, aspect: Aspect, txn: _InstallTransaction
+    ) -> list[Aspect]:
         resolved: list[Aspect] = []
-        for dependency_class in type(aspect).REQUIRES:
+        for dependency_class in self._implicit_chain(type(aspect)):
             entry = self._implicit.get(dependency_class)
             if entry is None:
                 dependency = dependency_class()
                 sandbox = AspectSandbox(self.policy, dependency.name)
                 dependency.bind(SystemGateway(self._services, sandbox))
-                self.vm.insert(dependency, sandbox=sandbox)
+                txn.add_undo(
+                    lambda cls=dependency_class, dep=dependency: (
+                        self._undo_new_implicit(cls, dep)
+                    )
+                )
+                self.vm.insert(
+                    dependency,
+                    sandbox=sandbox,
+                    containment=self._guard_for(dependency),
+                )
                 self._implicit[dependency_class] = (dependency, 1)
-                resolved.append(dependency)
             else:
                 dependency, count = entry
                 self._implicit[dependency_class] = (dependency, count + 1)
-                resolved.append(dependency)
+                txn.add_undo(
+                    lambda cls=dependency_class: self._undo_shared_implicit(cls)
+                )
+            resolved.append(dependency)
         return resolved
+
+    def _undo_new_implicit(self, dependency_class: type, dependency: Aspect) -> None:
+        self._implicit.pop(dependency_class, None)
+        self._retract(dependency)
+
+    def _undo_shared_implicit(self, dependency_class: type) -> None:
+        entry = self._implicit.get(dependency_class)
+        if entry is not None:
+            aspect, count = entry
+            self._implicit[dependency_class] = (aspect, max(1, count - 1))
+
+    def _undo_lease(self, lease_id: str) -> None:
+        if lease_id in self._leases:
+            self._leases.cancel(lease_id)
+
+    def _retract(self, aspect: Aspect) -> None:
+        """Shutdown + unweave one aspect, tolerating broken hooks."""
+        self._guarded(aspect.shutdown, "shutdown", aspect.name)
+        if self.vm.is_inserted(aspect):
+            self._guarded(
+                lambda: self.vm.withdraw(aspect), "withdraw", aspect.name
+            )
+        if self.supervisor is not None:
+            self.supervisor.release(aspect)
+
+    def _guarded(self, step: Any, stage: str, name: str) -> None:
+        try:
+            step()
+        except Exception as exc:  # noqa: BLE001 - cleanup must not abort
+            logger.warning(
+                "%s: %s of %s failed during withdrawal: %s",
+                self.node_id,
+                stage,
+                name,
+                exc,
+            )
+            _telemetry.get_recorder().count(
+                "midas.withdraw_errors", node=self.node_id, stage=stage
+            )
 
     def _release_implicit(self, implicit: list[Aspect]) -> None:
         for dependency in implicit:
@@ -324,8 +489,7 @@ class AdaptationService:
             aspect, count = entry
             if count <= 1:
                 del self._implicit[type(dependency)]
-                aspect.shutdown()
-                self.vm.withdraw(aspect)
+                self._retract(aspect)
             else:
                 self._implicit[type(dependency)] = (aspect, count - 1)
 
@@ -384,6 +548,14 @@ class AdaptationService:
         return True
 
     def _withdraw(self, installed: InstalledExtension, reason: str) -> None:
+        """Remove one extension, guaranteed to run to completion.
+
+        The bookkeeping (installed map, lease) is cleared *first* and
+        every step that executes extension code — ``shutdown()``, the
+        unweave, implicit-dependency release — is individually guarded,
+        so a throwing shutdown hook can neither abort lease cleanup nor
+        leave the extension listed as installed.
+        """
         _telemetry.get_recorder().count(
             "midas.withdrawals", node=self.node_id, reason=reason
         )
@@ -396,16 +568,86 @@ class AdaptationService:
         self._installed.pop(installed.lease_id, None)
         if installed.lease_id in self._leases:
             self._leases.cancel(installed.lease_id)
-        try:
-            installed.aspect.shutdown()
-        except Exception as exc:  # noqa: BLE001 - shutdown must not block removal
-            logger.warning(
-                "%s: shutdown of %s failed: %s", self.node_id, installed.name, exc
-            )
-        if self.vm.is_inserted(installed.aspect):
-            self.vm.withdraw(installed.aspect)
+        self._retract(installed.aspect)
         self._release_implicit(installed.implicit)
         self.on_withdrawn.fire(installed, reason)
+
+    # -- quarantine ---------------------------------------------------------------------------
+
+    def _quarantined(self, aspect: Aspect, health: ExtensionHealth) -> None:
+        """Supervisor verdict: withdraw the offender and tell its base.
+
+        ``aspect`` may be an explicitly installed extension or an
+        implicit dependency; in the latter case every installed
+        extension that pulled it in is withdrawn (the dependency itself
+        goes away with the last reference).  Dispatch safety: advice
+        chains capture immutable tuples, so withdrawing synchronously
+        from inside an interception is safe — the quarantined advice is
+        also short-circuited by its guard from this moment on.
+        """
+        victims = [
+            installed
+            for installed in self._installed.values()
+            if installed.aspect is aspect
+        ]
+        if not victims:
+            victims = [
+                installed
+                for installed in self._installed.values()
+                if any(dep is aspect for dep in installed.implicit)
+            ]
+        recorder = _telemetry.get_recorder()
+        for victim in victims:
+            # The logical (catalog) name when the offender is the victim
+            # itself; the aspect's own name for implicit dependencies.
+            offender = victim.name if victim.aspect is aspect else health.aspect_name
+            span = recorder.start_span(
+                "midas.quarantine",
+                parent=victim.trace,
+                node=self.node_id,
+                extension=victim.name,
+                offender=offender,
+            )
+            try:
+                with span.activate():
+                    self._report_health(victim, health, offender)
+                    self._withdraw(victim, REASON_QUARANTINED)
+            finally:
+                span.end()
+
+    def _report_health(
+        self, victim: InstalledExtension, health: ExtensionHealth, offender: str
+    ) -> None:
+        """One-way ``midas.health`` report to the victim's base.
+
+        Best-effort: pull-installed extensions have no live base (their
+        ``base_id`` names a tuple space), so delivery failures are
+        logged, never raised — the local withdrawal must proceed
+        regardless.
+        """
+        body = {
+            "extension": victim.name,
+            "version": victim.envelope.version,
+            "lease_id": victim.lease_id,
+            "node_class": str(self._attributes.get("class", self.node_id)),
+            "reason": REASON_QUARANTINED,
+            "offender": offender,
+            "contained": health.contained,
+            "strikes": [strike.as_dict() for strike in health.strikes],
+        }
+        _telemetry.get_recorder().count(
+            "midas.health_reports", node=self.node_id, extension=victim.name
+        )
+        try:
+            self.transport.notify(victim.base_id, HEALTH, body)
+        except Exception as exc:  # noqa: BLE001 - report is best-effort
+            logger.warning(
+                "%s: could not report quarantine of %s to %s: %s",
+                self.node_id,
+                victim.name,
+                victim.base_id,
+                exc,
+            )
 
     def __repr__(self) -> str:
         return f"<AdaptationService {self.node_id} installed={len(self._installed)}>"

@@ -1,0 +1,38 @@
+"""Extension supervision — fault containment, budgets, and quarantine.
+
+The platform weaves *foreign* code into running applications, so the
+receiver needs a supervisor standing between every woven advice and the
+application it extends.  :class:`SupervisionPolicy` is the configuration
+(budgets, strike rule, passthrough exceptions);
+:class:`ExtensionSupervisor` does the work — its :meth:`~supervisor
+.ExtensionSupervisor.guard` objects plug into the weaver's
+:class:`~repro.aop.hooks.AdviceContainment` hook, and its
+:attr:`~supervisor.ExtensionSupervisor.on_quarantine` signal tells the
+MIDAS receiver when an extension must be withdrawn and reported.
+
+See ``docs/supervision.md`` for the full lifecycle.
+"""
+
+from repro.supervision.policy import (
+    STRIKE_BUDGET,
+    STRIKE_ERROR,
+    STRIKE_KINDS,
+    STRIKE_VIOLATION,
+    SupervisionPolicy,
+)
+from repro.supervision.supervisor import (
+    ExtensionHealth,
+    ExtensionSupervisor,
+    Strike,
+)
+
+__all__ = [
+    "ExtensionHealth",
+    "ExtensionSupervisor",
+    "STRIKE_BUDGET",
+    "STRIKE_ERROR",
+    "STRIKE_KINDS",
+    "STRIKE_VIOLATION",
+    "Strike",
+    "SupervisionPolicy",
+]

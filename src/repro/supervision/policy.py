@@ -1,0 +1,82 @@
+"""Supervision policies — what a receiver tolerates from foreign advice.
+
+A :class:`SupervisionPolicy` is pure data: the budgets one advice
+execution must respect, the exception types an extension may
+*intentionally* raise into the application (policy vetoes like
+``AccessDeniedError``), and the strike rule (N strikes inside a sliding
+window) that escalates repeated containment into quarantine.
+
+Policies are immutable; derive variants with :func:`dataclasses.replace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FaultPlanError, ReproError
+
+#: Strike kinds recorded by the supervisor.
+STRIKE_ERROR = "error"
+STRIKE_BUDGET = "budget"
+STRIKE_VIOLATION = "violation"
+
+STRIKE_KINDS = (STRIKE_ERROR, STRIKE_BUDGET, STRIKE_VIOLATION)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Containment and quarantine knobs for one receiver.
+
+    - ``max_strikes`` / ``strike_window``: an extension collecting
+      ``max_strikes`` strikes within ``strike_window`` simulated seconds
+      is quarantined (withdrawn, reported to its base).
+    - ``step_budget``: maximum interpreter line-events one advice
+      execution may burn.  Enforced *preemptively* with a trace function
+      — a runaway loop is aborted mid-flight with
+      :class:`~repro.errors.AdviceBudgetExceeded` — and deterministic
+      (line counts do not depend on wall time).  Code the advice
+      ``proceed()``s into is excluded from the count.  ``None`` disables
+      the tracer entirely (zero overhead).
+    - ``time_budget``: wall-clock seconds one advice execution may take,
+      checked *post hoc* (Python cannot preempt on time); exceeding it
+      records a budget strike but keeps the advice's result.  Not
+      deterministic under simulation — prefer ``step_budget`` in tests.
+    - ``contain``: when False the supervisor only records strikes and
+      re-raises, for observe-only rollouts of a new policy.
+    - ``quarantine``: when False strikes never escalate — containment
+      keeps absorbing faults forever (pure error-barrier mode).
+    - ``passthrough``: exception types advice may raise deliberately to
+      the application (vetoes, denials).  Defaults to the platform's own
+      :class:`~repro.errors.ReproError` family; sandbox violations and
+      budget overruns are always treated as faults regardless.
+    """
+
+    max_strikes: int = 3
+    strike_window: float = 30.0
+    step_budget: int | None = None
+    time_budget: float | None = None
+    contain: bool = True
+    quarantine: bool = True
+    passthrough: tuple[type[BaseException], ...] = (ReproError,)
+
+    def __post_init__(self) -> None:
+        if self.max_strikes < 1:
+            raise FaultPlanError(f"max_strikes must be >= 1, got {self.max_strikes}")
+        if self.strike_window <= 0:
+            raise FaultPlanError(
+                f"strike_window must be > 0, got {self.strike_window}"
+            )
+        if self.step_budget is not None and self.step_budget < 1:
+            raise FaultPlanError(f"step_budget must be >= 1, got {self.step_budget}")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise FaultPlanError(f"time_budget must be > 0, got {self.time_budget}")
+
+    @classmethod
+    def lenient(cls) -> "SupervisionPolicy":
+        """Contain everything, never quarantine (pure error barrier)."""
+        return cls(quarantine=False)
+
+    @classmethod
+    def observing(cls) -> "SupervisionPolicy":
+        """Record strikes but let faults propagate (dry-run rollout)."""
+        return cls(contain=False, quarantine=False)

@@ -1,0 +1,399 @@
+"""The per-receiver extension supervisor.
+
+The paper's aspect sandbox promises that foreign advice "cannot touch
+system resources"; this module adds the missing half of the containment
+story — foreign advice cannot *break the application it rides in*
+either.  An :class:`ExtensionSupervisor` hands the weaver a containment
+object (:meth:`guard`) per inserted aspect; the resulting barrier wraps
+every advice callback and
+
+- **contains faults**: an exception escaping the advice is absorbed
+  instead of propagating into the application call (``around`` advice
+  that failed before proceeding is replaced by a plain ``proceed()`` so
+  the application path stays intact);
+- **enforces budgets**: an optional deterministic *step budget* aborts
+  runaway advice mid-loop via a trace function, and an optional
+  wall-clock *time budget* records overruns post hoc;
+- **accounts violations**: :class:`~repro.errors.SandboxViolation`
+  escaping advice is contained and recorded as its own strike kind;
+- **escalates**: N strikes inside the policy's sliding window quarantine
+  the extension — its advice stops running immediately and
+  :attr:`on_quarantine` fires so the owner (the MIDAS receiver) can
+  withdraw it, shutdown notification first, and report to its base.
+
+Exceptions the platform treats as *intentional* (policy vetoes such as
+``AccessDeniedError`` — anything in ``policy.passthrough``) pass through
+untouched, as do exceptions that an ``around`` advice merely relayed
+from the application via ``proceed()``.
+
+Everything the supervisor observes lands in telemetry
+(``supervision.contained`` / ``supervision.quarantined`` counters and
+events), and all strike timestamps come from the simulation clock, so
+supervised chaos runs stay deterministic.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+from typing import Any, Callable
+
+from repro.aop.advice import Advice, AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.context import ExecutionContext
+from repro.aop.hooks import AdviceContainment
+from repro.errors import AdviceBudgetExceeded, SandboxViolation
+from repro.sim.kernel import Simulator
+from repro.supervision.policy import (
+    STRIKE_BUDGET,
+    STRIKE_ERROR,
+    STRIKE_VIOLATION,
+    SupervisionPolicy,
+)
+from repro.telemetry import runtime as _telemetry
+from repro.util.signal import Signal
+
+_PROCEED_CODE = ExecutionContext.proceed.__code__
+
+
+class Strike:
+    """One contained fault: when, what kind, where, and why."""
+
+    __slots__ = ("time", "kind", "joinpoint", "detail")
+
+    def __init__(self, time: float, kind: str, joinpoint: str, detail: str):
+        self.time = time
+        self.kind = kind
+        self.joinpoint = joinpoint
+        self.detail = detail
+
+    def as_dict(self) -> dict[str, Any]:
+        """Wire-safe form (carried on ``midas.health`` reports)."""
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "joinpoint": self.joinpoint,
+            "detail": self.detail,
+        }
+
+    def __repr__(self) -> str:
+        return f"<Strike {self.kind} at {self.joinpoint} t={self.time:.3f}>"
+
+
+class ExtensionHealth:
+    """Supervision record of one supervised aspect."""
+
+    __slots__ = ("aspect_name", "strikes", "contained", "quarantined",
+                 "quarantined_at")
+
+    def __init__(self, aspect_name: str):
+        self.aspect_name = aspect_name
+        #: Strikes inside the current window (older ones are pruned).
+        self.strikes: list[Strike] = []
+        #: Total faults contained over this aspect's lifetime.
+        self.contained = 0
+        self.quarantined = False
+        self.quarantined_at: float | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """Summary used by reports and :meth:`ExtensionSupervisor.snapshot`."""
+        return {
+            "extension": self.aspect_name,
+            "contained": self.contained,
+            "recent_strikes": [strike.as_dict() for strike in self.strikes],
+            "quarantined": self.quarantined,
+            "quarantined_at": self.quarantined_at,
+        }
+
+    def __repr__(self) -> str:
+        flag = " QUARANTINED" if self.quarantined else ""
+        return f"<ExtensionHealth {self.aspect_name} contained={self.contained}{flag}>"
+
+
+def _call_with_step_budget(
+    callback: Callable[..., Any], ctx: Any, budget: int, label: str
+) -> Any:
+    """Run ``callback(ctx)`` aborting it once ``budget`` line events pass.
+
+    Counting is suspended for everything executed under
+    :meth:`ExecutionContext.proceed` — the application's own code (and
+    deeper advice, which has its own barrier) is never charged to this
+    advice.  The previous trace function is restored on exit, so nested
+    supervised advice composes.
+    """
+    state = {"steps": 0, "suspended": 0}
+
+    def pause(frame: Any, event: str, arg: Any) -> Any:
+        if event == "return":
+            state["suspended"] -= 1
+        return pause
+
+    def count(frame: Any, event: str, arg: Any) -> Any:
+        if event == "line":
+            state["steps"] += 1
+            if state["steps"] > budget:
+                raise AdviceBudgetExceeded(label, budget)
+        return count
+
+    def tracer(frame: Any, event: str, arg: Any) -> Any:
+        if event != "call":
+            return None
+        if frame.f_code is _PROCEED_CODE:
+            state["suspended"] += 1
+            return pause
+        if state["suspended"]:
+            return None
+        return count
+
+    previous = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        return callback(ctx)
+    finally:
+        sys.settrace(previous)
+
+
+class _AspectGuard(AdviceContainment):
+    """The containment object handed to ``ProseVM.insert`` for one aspect."""
+
+    __slots__ = ("_supervisor", "_aspect", "_health")
+
+    def __init__(
+        self,
+        supervisor: "ExtensionSupervisor",
+        aspect: Aspect,
+        health: ExtensionHealth,
+    ):
+        self._supervisor = supervisor
+        self._aspect = aspect
+        self._health = health
+
+    def wrap(
+        self, advice: Advice, callback: Callable[..., Any]
+    ) -> Callable[..., Any]:
+        supervisor = self._supervisor
+        aspect = self._aspect
+        health = self._health
+        policy = supervisor.policy
+        is_around = advice.kind is AdviceKind.AROUND
+        label = f"{aspect.name}.{advice.name or 'advice'}"
+        step_budget = policy.step_budget
+        time_budget = policy.time_budget
+        contain = self._contain
+
+        # The barrier sits on every interception's hot path, so the
+        # closure is specialized per configuration: with no budgets
+        # configured (the default), the no-fault path is one attribute
+        # check and a (zero-cost in CPython 3.11+) try block.
+        if step_budget is None and time_budget is None:
+            if is_around:
+                def contained(ctx: Any) -> Any:
+                    if health.quarantined:
+                        return ctx.proceed()
+                    proceeded_before = ctx.proceeded
+                    try:
+                        return callback(ctx)
+                    except BaseException as exc:  # noqa: BLE001 - the barrier
+                        return contain(ctx, exc, label, True, proceeded_before)
+            else:
+                def contained(ctx: Any) -> Any:
+                    if health.quarantined:
+                        return None
+                    try:
+                        return callback(ctx)
+                    except BaseException as exc:  # noqa: BLE001 - the barrier
+                        return contain(ctx, exc, label, False, 0)
+        else:
+            def contained(ctx: Any) -> Any:
+                if health.quarantined:
+                    # The offender is on its way out (or refused
+                    # withdrawal): never run its advice again, but keep
+                    # the application path alive.
+                    return ctx.proceed() if is_around else None
+                proceeded_before = ctx.proceeded if is_around else 0
+                start = perf_counter() if time_budget is not None else 0.0
+                try:
+                    if step_budget is not None:
+                        result = _call_with_step_budget(
+                            callback, ctx, step_budget, label
+                        )
+                    else:
+                        result = callback(ctx)
+                except BaseException as exc:  # noqa: BLE001 - the barrier
+                    return contain(ctx, exc, label, is_around, proceeded_before)
+                if time_budget is not None:
+                    elapsed = perf_counter() - start
+                    if elapsed > time_budget:
+                        supervisor._strike(
+                            aspect,
+                            health,
+                            STRIKE_BUDGET,
+                            label,
+                            RuntimeError(
+                                f"advice ran {elapsed * 1e3:.2f} ms, "
+                                f"budget {time_budget * 1e3:.2f} ms"
+                            ),
+                        )
+                return result
+
+        contained.__name__ = getattr(callback, "__name__", "advice")
+        contained.__prose_supervised__ = aspect  # type: ignore[attr-defined]
+        return contained
+
+    def _contain(
+        self,
+        ctx: Any,
+        exc: BaseException,
+        label: str,
+        is_around: bool,
+        proceeded_before: int,
+    ) -> Any:
+        """The barrier's slow path: triage, strike, pick a safe fallback.
+
+        Runs inside the ``except`` block of the wrapped advice, so a bare
+        ``raise`` re-raises the original exception with its traceback.
+        """
+        supervisor = self._supervisor
+        policy = supervisor.policy
+        if is_around and ctx.escaped is exc:
+            raise  # the application's own exception, relayed by proceed()
+        if isinstance(exc, AdviceBudgetExceeded):
+            kind = STRIKE_BUDGET
+        elif isinstance(exc, SandboxViolation):
+            kind = STRIKE_VIOLATION
+        elif isinstance(exc, policy.passthrough) or not isinstance(exc, Exception):
+            raise  # intentional platform exception / interpreter exit
+        else:
+            kind = STRIKE_ERROR
+        supervisor._strike(self._aspect, self._health, kind, label, exc)
+        if not policy.contain:
+            raise
+        if is_around:
+            if ctx.proceeded == proceeded_before:
+                # The advice died before running the rest of the chain:
+                # proceed on its behalf so the application call still
+                # happens.
+                return ctx.proceed()
+            return ctx._last_proceed
+        return None
+
+
+class ExtensionSupervisor:
+    """Tracks the health of every supervised aspect on one receiver."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        policy: SupervisionPolicy | None = None,
+        node_id: str = "node",
+    ):
+        self.simulator = simulator
+        self.policy = policy or SupervisionPolicy()
+        self.node_id = node_id
+        #: Fires with (aspect, health) the moment an extension crosses
+        #: the strike threshold.  Listener errors are isolated (Signal
+        #: semantics), so a broken owner cannot corrupt advice dispatch.
+        self.on_quarantine = Signal(f"{node_id}.on_quarantine")
+        self._health: dict[Aspect, ExtensionHealth] = {}
+
+    # -- weaver integration ------------------------------------------------------
+
+    def guard(self, aspect: Aspect) -> AdviceContainment:
+        """The containment object to pass to ``ProseVM.insert`` for ``aspect``."""
+        health = self._health.get(aspect)
+        if health is None:
+            health = ExtensionHealth(aspect.name)
+            self._health[aspect] = health
+        return _AspectGuard(self, aspect, health)
+
+    def release(self, aspect: Aspect) -> None:
+        """Drop the health record of a withdrawn aspect."""
+        self._health.pop(aspect, None)
+
+    # -- queries ------------------------------------------------------------------
+
+    def health_of(self, aspect: Aspect) -> ExtensionHealth | None:
+        """The health record of ``aspect``, if it is supervised."""
+        return self._health.get(aspect)
+
+    def supervised(self) -> list[ExtensionHealth]:
+        """Health records of every currently supervised aspect."""
+        return list(self._health.values())
+
+    def quarantined(self) -> list[ExtensionHealth]:
+        """Health records currently in quarantine."""
+        return [health for health in self._health.values() if health.quarantined]
+
+    def snapshot(self) -> dict[str, Any]:
+        """Serializable summary (for dashboards / platform summaries)."""
+        return {
+            "node": self.node_id,
+            "policy": {
+                "max_strikes": self.policy.max_strikes,
+                "strike_window": self.policy.strike_window,
+                "step_budget": self.policy.step_budget,
+                "time_budget": self.policy.time_budget,
+            },
+            "extensions": [health.as_dict() for health in self._health.values()],
+        }
+
+    # -- strike accounting --------------------------------------------------------
+
+    def _strike(
+        self,
+        aspect: Aspect,
+        health: ExtensionHealth,
+        kind: str,
+        joinpoint: str,
+        exc: BaseException,
+    ) -> None:
+        now = self.simulator.now
+        policy = self.policy
+        strike = Strike(now, kind, joinpoint, f"{type(exc).__name__}: {exc}")
+        health.contained += 1
+        health.strikes.append(strike)
+        horizon = now - policy.strike_window
+        if health.strikes[0].time <= horizon:
+            health.strikes = [s for s in health.strikes if s.time > horizon]
+        recorder = _telemetry.get_recorder()
+        recorder.count(
+            "supervision.contained",
+            node=self.node_id,
+            extension=health.aspect_name,
+            kind=kind,
+        )
+        recorder.event(
+            "supervision.contained",
+            node=self.node_id,
+            extension=health.aspect_name,
+            kind=kind,
+            joinpoint=joinpoint,
+            detail=strike.detail,
+        )
+        if (
+            policy.quarantine
+            and not health.quarantined
+            and len(health.strikes) >= policy.max_strikes
+        ):
+            health.quarantined = True
+            health.quarantined_at = now
+            recorder.count(
+                "supervision.quarantined",
+                node=self.node_id,
+                extension=health.aspect_name,
+            )
+            recorder.event(
+                "supervision.quarantined",
+                node=self.node_id,
+                extension=health.aspect_name,
+                strikes=len(health.strikes),
+                window=policy.strike_window,
+            )
+            self.on_quarantine.fire(aspect, health)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ExtensionSupervisor {self.node_id} "
+            f"supervised={len(self._health)} "
+            f"quarantined={len(self.quarantined())}>"
+        )

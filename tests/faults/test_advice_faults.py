@@ -1,0 +1,108 @@
+"""Advice-level fault injectors (FaultyExtension modes)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.aop import AspectSandbox, ProseVM, SandboxPolicy, SystemGateway
+from repro.errors import FaultPlanError
+from repro.faults import (
+    BUDGET_OVERRUN,
+    RAISE_ON_KTH,
+    VIOLATION_PROBE,
+    FaultyExtension,
+)
+from repro.supervision import (
+    STRIKE_BUDGET,
+    STRIKE_ERROR,
+    STRIKE_VIOLATION,
+    ExtensionSupervisor,
+    SupervisionPolicy,
+)
+
+from tests.support import Engine, fresh_class
+
+
+def woven(sim, aspect, policy=None, services=None):
+    vm = ProseVM()
+    supervisor = ExtensionSupervisor(sim, policy or SupervisionPolicy(max_strikes=99))
+    sandbox = AspectSandbox(SandboxPolicy.restrictive(), aspect.name)
+    aspect.bind(SystemGateway(services or {}, sandbox))
+    cls = fresh_class(Engine)
+    vm.load_class(cls)
+    vm.insert(aspect, sandbox=sandbox, containment=supervisor.guard(aspect))
+    return supervisor, cls()
+
+
+class TestFaultModes:
+    def test_raise_mode_misbehaves_on_every_kth_call(self, sim):
+        aspect = FaultyExtension(
+            mode=RAISE_ON_KTH, every=3, method_pattern="throttle"
+        )
+        supervisor, engine = woven(sim, aspect)
+        for _ in range(9):
+            engine.throttle(1)  # contained; never reaches the app
+        assert aspect.calls == 9
+        assert aspect.misbehaved == [3, 6, 9]
+        health = supervisor.health_of(aspect)
+        assert health.contained == 3
+        assert {s.kind for s in health.strikes} == {STRIKE_ERROR}
+
+    def test_budget_mode_trips_the_step_budget(self, sim):
+        aspect = FaultyExtension(
+            mode=BUDGET_OVERRUN, every=2, spin_steps=10_000,
+            method_pattern="throttle",
+        )
+        supervisor, engine = woven(
+            sim, aspect, policy=SupervisionPolicy(max_strikes=99, step_budget=500)
+        )
+        engine.throttle(1)  # clean call, cheap advice
+        engine.throttle(1)  # overrun, aborted mid-spin
+        health = supervisor.health_of(aspect)
+        assert health.contained == 1
+        assert health.strikes[0].kind == STRIKE_BUDGET
+
+    def test_violation_mode_trips_the_sandbox(self, sim):
+        aspect = FaultyExtension(
+            mode=VIOLATION_PROBE, every=1, method_pattern="throttle"
+        )
+        # The service exists on the node; the (empty) declared capability
+        # set still denies it.
+        supervisor, engine = woven(sim, aspect, services={"store": object()})
+        engine.throttle(1)
+        health = supervisor.health_of(aspect)
+        assert health.strikes[0].kind == STRIKE_VIOLATION
+        assert aspect.misbehaved == [1]
+
+    def test_determinism_is_a_function_of_call_count_only(self, sim):
+        first = FaultyExtension(every=4, method_pattern="throttle")
+        supervisor_a, engine_a = woven(sim, first)
+        second = FaultyExtension(every=4, method_pattern="throttle")
+        supervisor_b, engine_b = woven(sim, second)
+        for _ in range(12):
+            engine_a.throttle(1)
+            engine_b.throttle(1)
+        assert first.misbehaved == second.misbehaved == [4, 8, 12]
+
+
+class TestValidationAndDistribution:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"mode": "nonsense"},
+            {"every": 0},
+            {"spin_steps": 0},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(FaultPlanError):
+            FaultyExtension(**kwargs)
+
+    def test_picklable_for_envelope_distribution(self):
+        aspect = FaultyExtension(every=3, method_pattern="throttle")
+        clone = pickle.loads(pickle.dumps(aspect))
+        assert clone.mode == RAISE_ON_KTH
+        assert clone.every == 3
+        assert clone.calls == 0

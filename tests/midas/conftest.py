@@ -22,7 +22,14 @@ from repro.net.transport import Transport
 class MidasWorld:
     """A wired-up base station + one adaptable device."""
 
-    def __init__(self, sim, network, device_policy: SandboxPolicy | None = None):
+    def __init__(
+        self,
+        sim,
+        network,
+        device_policy: SandboxPolicy | None = None,
+        supervision=None,
+        device_attributes=None,
+    ):
         self.sim = sim
         self.network = network
         self.signer = Signer.generate("hall-A")
@@ -52,6 +59,8 @@ class MidasWorld:
                 Capability.SCHEDULER: SchedulerService(sim),
             },
             discovery=self.discovery,
+            attributes=device_attributes,
+            supervision=supervision,
         )
 
     def start_receiver(self) -> None:

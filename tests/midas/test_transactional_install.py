@@ -1,0 +1,169 @@
+"""Transactional adaptation: all-or-nothing installs, hardened withdrawal.
+
+A failed install of a deep implicit-dependency (REQUIRES) chain must
+leave the receiver byte-identical to its pre-offer state: zero aspects
+woven, zero leases, zero refcounts.  And withdrawal must run to
+completion even when extension hooks throw.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DependencyError, MidasError
+from repro.midas.envelope import ExtensionEnvelope
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import runtime as _telemetry
+
+from tests.support import (
+    CHAIN_FAIL_AT,
+    BrokenShutdownAspect,
+    ChainSibling,
+    ChainTop,
+    CyclicA,
+    Engine,
+    fresh_class,
+)
+
+
+@pytest.fixture(autouse=True)
+def reset_chain_fault():
+    yield
+    CHAIN_FAIL_AT["target"] = None
+
+
+@pytest.fixture
+def registry(sim):
+    reg = MetricsRegistry(clock=sim.clock)
+    previous = _telemetry.install(reg)
+    yield reg
+    _telemetry.install(previous)
+
+
+def sealed(world, name, aspect):
+    return ExtensionEnvelope.seal(name, aspect, world.signer)
+
+
+def receiver_state(world) -> dict:
+    """Everything observable about the receiver's adaptation state."""
+    return {
+        "installed": sorted(ext.name for ext in world.receiver.installed()),
+        "leases": len(world.receiver._leases),
+        "implicit": {
+            cls.__name__: count
+            for cls, (aspect, count) in world.receiver._implicit.items()
+        },
+        "aspects": len(world.vm.aspects),
+        "advised": len(world.vm.advised_joinpoints()),
+    }
+
+
+class TestDeepChainInstall:
+    def test_three_deep_chain_installs_dependencies_first(self, world):
+        world.receiver.install_envelope(sealed(world, "top", ChainTop()))
+        installed = world.receiver.find("top")
+        names = [type(dep).__name__ for dep in installed.implicit]
+        assert names == ["ChainLeaf", "ChainMid"]  # dependencies first
+        assert receiver_state(world)["implicit"] == {"ChainLeaf": 1, "ChainMid": 1}
+
+        # All three layers observe the same interception.
+        cls = fresh_class(Engine)
+        world.vm.load_class(cls)
+        cls().throttle(1)
+        assert installed.aspect.seen == 1
+        assert all(dep.seen == 1 for dep in installed.implicit)
+
+    @pytest.mark.parametrize("fail_at", ["ChainLeaf", "ChainMid", "ChainTop"])
+    def test_failure_at_any_depth_rolls_back_completely(
+        self, world, registry, fail_at
+    ):
+        before = receiver_state(world)
+        assert before == {
+            "installed": [],
+            "leases": 0,
+            "implicit": {},
+            "aspects": 0,
+            "advised": 0,
+        }
+        CHAIN_FAIL_AT["target"] = fail_at
+        with pytest.raises(RuntimeError, match="injected on_insert failure"):
+            world.receiver.install_envelope(sealed(world, "top", ChainTop()))
+        assert receiver_state(world) == before
+        assert registry.counter_total("midas.rollbacks") == 1
+        assert registry.counter_total("midas.rejections") == 1
+
+        # The receiver is not poisoned: the same chain installs cleanly
+        # once the fault is gone.
+        CHAIN_FAIL_AT["target"] = None
+        world.receiver.install_envelope(sealed(world, "top", ChainTop()))
+        assert world.receiver.is_installed("top")
+
+    def test_rollback_preserves_shared_dependency_refcounts(
+        self, world, registry
+    ):
+        world.receiver.install_envelope(sealed(world, "sibling", ChainSibling()))
+        assert receiver_state(world)["implicit"] == {"ChainLeaf": 1}
+        survivor = world.receiver.find("sibling")
+        leaf = survivor.implicit[0]
+
+        CHAIN_FAIL_AT["target"] = "ChainMid"
+        with pytest.raises(RuntimeError):
+            world.receiver.install_envelope(sealed(world, "top", ChainTop()))
+
+        # The shared leaf is still woven with its original refcount; the
+        # new mid-link was retracted.
+        assert receiver_state(world)["implicit"] == {"ChainLeaf": 1}
+        assert world.vm.is_inserted(leaf)
+        assert world.receiver.is_installed("sibling")
+
+    def test_cyclic_requires_is_rejected_before_any_state_change(self, world):
+        before = receiver_state(world)
+        with pytest.raises(DependencyError, match="cyclic REQUIRES"):
+            world.receiver.install_envelope(sealed(world, "cyclic", CyclicA()))
+        assert receiver_state(world) == before
+
+    def test_rejection_counts_no_rollback_when_nothing_staged(
+        self, world, registry
+    ):
+        # A capability denial happens before any weaving: a rejection is
+        # counted but no rollback event is emitted (nothing to undo).
+        from repro.aop.sandbox import SandboxPolicy
+        from tests.support import NetworkUsingAspect
+
+        world.receiver.policy = SandboxPolicy.restrictive()
+        with pytest.raises(MidasError):
+            world.receiver.install_envelope(
+                sealed(world, "needs-net", NetworkUsingAspect())
+            )
+        assert registry.counter_total("midas.rejections") == 1
+        assert registry.counter_total("midas.rollbacks") == 0
+
+
+class TestHardenedWithdrawal:
+    def test_broken_shutdown_cannot_abort_lease_cleanup(self, world, registry):
+        lease_id = world.receiver.install_envelope(
+            sealed(world, "broken", BrokenShutdownAspect())
+        )
+        installed = world.receiver.find("broken")
+        events = []
+        world.receiver.on_withdrawn.connect(
+            lambda ext, reason: events.append((ext.name, reason))
+        )
+
+        assert world.receiver.withdraw("broken")
+
+        assert not world.receiver.is_installed("broken")
+        assert lease_id not in world.receiver._leases
+        assert not world.vm.is_inserted(installed.aspect)
+        assert events == [("broken", "local-request")]
+        assert registry.counter_value(
+            "midas.withdraw_errors", node="device", stage="shutdown"
+        ) == 1
+
+    def test_stop_withdraws_everything_despite_broken_hooks(self, world):
+        world.receiver.install_envelope(sealed(world, "broken", BrokenShutdownAspect()))
+        world.receiver.install_envelope(sealed(world, "top", ChainTop()))
+        world.receiver.stop()
+        assert world.receiver.installed() == []
+        assert len(world.receiver._leases) == 0
+        assert world.vm.aspects == ()

@@ -1,0 +1,101 @@
+"""Install-rollback property: a failed install is perfectly invisible.
+
+For any fault point in the implicit-dependency chain, any amount of
+pre-existing shared state, and any order of attempts, a failed install
+leaves the receiver exactly as it was before the offer — and never
+poisons later clean installs.  Examples are derandomized (fixed seeds),
+so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.midas.envelope import ExtensionEnvelope
+from repro.net.network import Network
+from repro.sim.kernel import Simulator
+
+from tests.midas.conftest import MidasWorld
+from tests.support import CHAIN_FAIL_AT, ChainSibling, ChainTop
+
+FAULT_POINTS = ["ChainLeaf", "ChainMid", "ChainTop"]
+
+
+@pytest.fixture(autouse=True)
+def reset_chain_fault():
+    yield
+    CHAIN_FAIL_AT["target"] = None
+
+
+def build_world(seed: int) -> MidasWorld:
+    sim = Simulator()
+    return MidasWorld(sim, Network(sim, seed=seed))
+
+
+def snapshot(world: MidasWorld) -> tuple:
+    return (
+        tuple(sorted(ext.name for ext in world.receiver.installed())),
+        len(world.receiver._leases),
+        tuple(
+            sorted(
+                (cls.__name__, count)
+                for cls, (_, count) in world.receiver._implicit.items()
+            )
+        ),
+        len(world.vm.aspects),
+        len(world.vm.advised_joinpoints()),
+    )
+
+
+class TestRollbackProperty:
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    @given(
+        fault_point=st.sampled_from(FAULT_POINTS),
+        sibling_first=st.booleans(),
+        attempts=st.integers(min_value=1, max_value=3),
+        seed=st.sampled_from([7, 21, 99]),
+    )
+    def test_failed_install_is_invisible(
+        self, fault_point, sibling_first, attempts, seed
+    ):
+        # Hypothesis runs many examples inside one test call: reset the
+        # module-level fault switch at the start of every example.
+        CHAIN_FAIL_AT["target"] = None
+        world = build_world(seed)
+        if sibling_first:
+            world.receiver.install_envelope(
+                ExtensionEnvelope.seal("sibling", ChainSibling(), world.signer)
+            )
+        before = snapshot(world)
+
+        CHAIN_FAIL_AT["target"] = fault_point
+        # A leaf fault cannot fire when the sibling already installed the
+        # leaf: the shared instance is reused, no on_insert runs.
+        expect_failure = not (sibling_first and fault_point == "ChainLeaf")
+        for _ in range(attempts):
+            if expect_failure:
+                with pytest.raises(RuntimeError):
+                    world.receiver.install_envelope(
+                        ExtensionEnvelope.seal("top", ChainTop(), world.signer)
+                    )
+                assert snapshot(world) == before  # byte-identical each time
+            else:
+                world.receiver.install_envelope(
+                    ExtensionEnvelope.seal("top", ChainTop(), world.signer)
+                )
+                assert world.receiver.is_installed("top")
+
+        # The fault clears and the same extension installs cleanly: the
+        # failed attempts left nothing behind to conflict with.
+        CHAIN_FAIL_AT["target"] = None
+        world.receiver.install_envelope(
+            ExtensionEnvelope.seal("top", ChainTop(), world.signer)
+        )
+        assert world.receiver.is_installed("top")
+        implicit = {
+            cls.__name__: count
+            for cls, (_, count) in world.receiver._implicit.items()
+        }
+        expected_leaf = 2 if sibling_first else 1
+        assert implicit == {"ChainLeaf": expected_leaf, "ChainMid": 1}

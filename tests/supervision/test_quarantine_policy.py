@@ -1,0 +1,166 @@
+"""MIDAS-level quarantine lifecycle: withdraw, report, suppress, heal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import FaultyExtension
+from repro.midas.receiver import REASON_QUARANTINED
+from repro.supervision import SupervisionPolicy
+from repro.telemetry import MetricsRegistry
+from repro.telemetry import runtime as _telemetry
+
+from tests.midas.conftest import MidasWorld
+from tests.support import Engine, NeedsFlakySession, TraceAspect, fresh_class
+
+
+@pytest.fixture
+def registry(sim):
+    reg = MetricsRegistry(clock=sim.clock)
+    previous = _telemetry.install(reg)
+    yield reg
+    _telemetry.install(previous)
+
+
+@pytest.fixture
+def supervised_world(sim, network) -> MidasWorld:
+    return MidasWorld(
+        sim,
+        network,
+        supervision=SupervisionPolicy(max_strikes=3, strike_window=30.0),
+        device_attributes={"class": "robot"},
+    )
+
+
+def adapt(world: MidasWorld, **extensions) -> object:
+    """Register extensions, connect the device, return a driven Engine."""
+    for name, factory in extensions.items():
+        world.catalog.add(name, factory)
+    world.start_receiver()
+    world.run(5.0)
+    cls = fresh_class(Engine)
+    world.vm.load_class(cls)
+    return cls()
+
+
+class TestQuarantineLifecycle:
+    def test_offender_quarantined_and_withdrawn(
+        self, supervised_world, registry
+    ):
+        world = supervised_world
+        engine = adapt(
+            world,
+            saboteur=lambda: FaultyExtension(every=3, method_pattern="throttle"),
+            tracer=TraceAspect,
+        )
+        assert world.receiver.is_installed("saboteur")
+
+        withdrawn = []
+        world.receiver.on_withdrawn.connect(
+            lambda installed, reason: withdrawn.append((installed.name, reason))
+        )
+        # Strikes land on interceptions 3, 6 and 9; none of them reaches
+        # the application.
+        for amount in range(1, 10):
+            engine.throttle(1)
+        assert ("saboteur", REASON_QUARANTINED) in withdrawn
+        assert not world.receiver.is_installed("saboteur")
+        assert world.receiver.is_installed("tracer")  # innocents untouched
+        assert registry.counter_total("supervision.quarantined") == 1
+
+    def test_base_marks_catalog_and_stops_reoffering(
+        self, supervised_world, registry
+    ):
+        world = supervised_world
+        engine = adapt(
+            world,
+            saboteur=lambda: FaultyExtension(every=3, method_pattern="throttle"),
+        )
+        reports = []
+        world.base.on_quarantined.connect(
+            lambda node, name, body: reports.append((node, name, body))
+        )
+        for _ in range(9):
+            engine.throttle(1)
+        world.run(2.0)  # deliver the midas.health report
+
+        assert reports and reports[0][:2] == ("device", "saboteur")
+        assert reports[0][2]["offender"] == "saboteur"
+        assert len(reports[0][2]["strikes"]) == 3
+        assert not world.catalog.is_healthy("saboteur", "robot")
+        assert world.catalog.is_healthy("saboteur", "other-class")
+        assert any(
+            record.action == "quarantined"
+            for record in world.base.activity_for("device")
+        )
+
+        # Reconcile rounds keep running, but the bad version is held back.
+        world.run(60.0)
+        assert not world.receiver.is_installed("saboteur")
+        assert registry.counter_value(
+            "midas.quarantines",
+            node="base",
+            extension="saboteur",
+            node_class="robot",
+        ) == 1
+        assert registry.counter_total("midas.offers_suppressed") > 0
+
+    def test_publishing_new_version_heals_quarantine(self, supervised_world):
+        world = supervised_world
+        engine = adapt(
+            world,
+            saboteur=lambda: FaultyExtension(every=3, method_pattern="throttle"),
+        )
+        for _ in range(9):
+            engine.throttle(1)
+        world.run(30.0)
+        assert not world.receiver.is_installed("saboteur")
+
+        # The hall publishes a fixed version: the version bump heals the
+        # mark and the reconciler re-adapts the device.
+        world.base.replace_extension("saboteur", TraceAspect)
+        assert world.catalog.is_healthy("saboteur", "robot")
+        world.run(30.0)
+        assert world.receiver.is_installed("saboteur")
+
+    def test_quarantined_implicit_dependency_withdraws_dependents(
+        self, supervised_world, registry
+    ):
+        world = supervised_world
+        engine = adapt(world, monitor=NeedsFlakySession)
+        assert world.receiver.is_installed("monitor")
+        dependency = world.receiver.find("monitor").implicit[0]
+
+        for _ in range(3):
+            engine.throttle(1)
+        world.run(2.0)
+
+        # The flaky dependency struck out; its dependent was withdrawn
+        # (shutdown first), taking the dependency with it.
+        assert not world.receiver.is_installed("monitor")
+        assert not world.vm.is_inserted(dependency)
+        assert world.receiver.installed() == []
+        assert registry.counter_value(
+            "midas.withdrawals", node="device", reason=REASON_QUARANTINED
+        ) == 1
+
+    def test_quarantine_spans_join_the_install_trace(
+        self, supervised_world, registry
+    ):
+        world = supervised_world
+        engine = adapt(
+            world,
+            saboteur=lambda: FaultyExtension(every=3, method_pattern="throttle"),
+        )
+        for _ in range(9):
+            engine.throttle(1)
+        world.run(2.0)
+
+        for spans in registry.traces().values():
+            names = {span.name for span in spans}
+            if "midas.quarantine" in names:
+                assert "midas.install" in names
+                assert "midas.offer" in names
+                break
+        else:
+            pytest.fail("no trace contains the quarantine span")

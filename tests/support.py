@@ -158,3 +158,87 @@ class NetworkUsingAspect(Aspect):
     def touch_network(self, ctx) -> None:
         self.gateway.acquire(Capability.NETWORK)
         self.posts += 1
+
+
+# -- supervision / transactional-install support ------------------------------
+
+#: Module-level fault switch for the REQUIRES-chain classes below: set to
+#: a class name ("ChainLeaf" / "ChainMid" / "ChainTop") to make that link's
+#: ``on_insert`` raise, simulating a failure at a chosen point of a deep
+#: implicit-dependency install.  Reset to None after each test.
+CHAIN_FAIL_AT: dict[str, Any] = {"target": None}
+
+
+class _ChainLink(Aspect):
+    """Base for the 3-deep REQUIRES chain used by rollback tests."""
+
+    def __init__(self):
+        super().__init__()
+        self.seen = 0
+        self.add_advice(
+            kind=AdviceKind.BEFORE,
+            crosscut=MethodCut(type="*", method="throttle", params=(REST,)),
+            callback=self.observe,
+        )
+
+    def observe(self, ctx) -> None:
+        self.seen += 1
+
+    def on_insert(self, vm) -> None:
+        if CHAIN_FAIL_AT["target"] == type(self).__name__:
+            raise RuntimeError(f"injected on_insert failure in {type(self).__name__}")
+
+
+class ChainLeaf(_ChainLink):
+    """Deepest implicit dependency (no REQUIRES of its own)."""
+
+
+class ChainMid(_ChainLink):
+    """Middle link: requires the leaf."""
+
+    REQUIRES = (ChainLeaf,)
+
+
+class ChainTop(_ChainLink):
+    """The explicitly offered extension: requires mid (hence leaf)."""
+
+    REQUIRES = (ChainMid,)
+
+
+class ChainSibling(_ChainLink):
+    """Another explicit extension sharing the leaf dependency."""
+
+    REQUIRES = (ChainLeaf,)
+
+
+class CyclicA(Aspect):
+    """REQUIRES cycle (with CyclicB) — a packaging error."""
+
+
+class CyclicB(Aspect):
+    """REQUIRES cycle (with CyclicA) — a packaging error."""
+
+
+CyclicA.REQUIRES = (CyclicB,)
+CyclicB.REQUIRES = (CyclicA,)
+
+
+class BrokenShutdownAspect(TraceAspect):
+    """Shutdown hook that always raises (withdrawal-robustness tests)."""
+
+    def shutdown(self) -> None:
+        raise RuntimeError("broken shutdown hook")
+
+
+class FlakySessionAspect(Aspect):
+    """An implicit dependency whose advice always raises."""
+
+    @before(MethodCut(type="*", method="throttle"))
+    def explode(self, ctx) -> None:
+        raise RuntimeError("flaky session")
+
+
+class NeedsFlakySession(TraceAspect):
+    """An explicit extension dragging in the flaky implicit dependency."""
+
+    REQUIRES = (FlakySessionAspect,)
