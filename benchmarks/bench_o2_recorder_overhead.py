@@ -1,0 +1,158 @@
+"""O2 — flight-recorder overhead on the interception hot path.
+
+The flight recorder's contract (the PR-1 no-op pattern, extended): the
+hub hangs off a :class:`MetricsRegistry` and only ever sees events that
+already passed through an *installed* registry.  Therefore:
+
+- **disabled** (no recorder installed — the default): constructing a
+  hub must change nothing on the hot path; dispatch still pays only the
+  closed-over-cell ``is None`` test.  Gate: ≤2% over the E2-style
+  baseline measured in the same process.
+- **enabled** (registry installed, hub attached): interception itself
+  emits metrics, not lifecycle events, so attaching a hub may add at
+  most the registry's own event-routing slack.  Gate: ≤10% over the
+  same workload on a registry *without* a hub.
+
+Both gates compare min-of-trials measurements taken back-to-back in one
+process, plus a small absolute epsilon, so scheduler noise on a loaded
+CI box does not produce false failures.  Run standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_o2_recorder_overhead.py
+"""
+
+import time
+
+import pytest
+
+from repro.aop import Aspect, MethodCut, ProseVM, before
+from repro.telemetry import FlightRecorderHub, MetricsRegistry, runtime
+
+#: Relative budgets from the issue, plus an absolute floor that keeps
+#: sub-microsecond comparisons from flapping on timer resolution.
+DISABLED_BUDGET = 1.02
+ENABLED_BUDGET = 1.10
+EPSILON_SECONDS = 50e-9
+
+TRIALS = 5
+CALLS = 50_000
+
+
+class Target:
+    def noop(self) -> None:
+        pass
+
+
+class DoNothing(Aspect):
+    @before(MethodCut(type="Target", method="noop"))
+    def advice(self, ctx):
+        pass
+
+
+def _per_call_seconds(fn, calls: int = CALLS) -> float:
+    fn()  # warm
+    start = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - start) / calls
+
+
+def _best_per_call(fn, trials: int = TRIALS) -> float:
+    """Min over several trials — the least-noisy estimate of true cost."""
+    return min(_per_call_seconds(fn) for _ in range(trials))
+
+
+@pytest.fixture
+def woven_target(vm):
+    vm.load_class(Target)
+    vm.insert(DoNothing())
+    return Target()
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_recorder():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.mark.benchmark(group="o2-recorder")
+def test_o2_disabled_hub_is_free(benchmark, woven_target):
+    """A constructed-but-unreachable hub must not tax disabled dispatch."""
+    baseline = _best_per_call(woven_target.noop)
+    # The hub exists and is attached to a registry, but the registry is
+    # not installed — the dispatch closure still takes the no-op branch.
+    registry = MetricsRegistry(flight=FlightRecorderHub())
+    assert registry.flight is not None
+    with_hub = _best_per_call(woven_target.noop)
+
+    benchmark.extra_info["baseline_per_call_us"] = round(baseline * 1e6, 4)
+    benchmark.extra_info["with_idle_hub_per_call_us"] = round(with_hub * 1e6, 4)
+    ratio = with_hub / baseline
+    benchmark.extra_info["disabled_ratio"] = round(ratio, 3)
+    assert with_hub <= baseline * DISABLED_BUDGET + EPSILON_SECONDS, (
+        f"disabled-path recorder overhead {ratio:.3f}x exceeds "
+        f"{DISABLED_BUDGET}x budget"
+    )
+    benchmark(woven_target.noop)
+
+
+@pytest.mark.benchmark(group="o2-recorder")
+def test_o2_enabled_hub_within_budget(benchmark, woven_target):
+    """Recording with a hub attached stays within 10% of recording without."""
+    plain_registry = MetricsRegistry()
+    with runtime.recording(plain_registry):
+        without_hub = _best_per_call(woven_target.noop)
+
+    hub_registry = MetricsRegistry(flight=FlightRecorderHub())
+    with runtime.recording(hub_registry):
+        with_hub = _best_per_call(woven_target.noop)
+        benchmark(woven_target.noop)
+    assert hub_registry.counter_total("prose.interceptions") > 0
+
+    benchmark.extra_info["without_hub_per_call_us"] = round(without_hub * 1e6, 4)
+    benchmark.extra_info["with_hub_per_call_us"] = round(with_hub * 1e6, 4)
+    ratio = with_hub / without_hub
+    benchmark.extra_info["enabled_ratio"] = round(ratio, 3)
+    assert with_hub <= without_hub * ENABLED_BUDGET + EPSILON_SECONDS, (
+        f"enabled recorder overhead {ratio:.3f}x exceeds {ENABLED_BUDGET}x budget"
+    )
+
+
+@pytest.mark.benchmark(group="o2-recorder")
+def test_o2_event_routing_cost(benchmark):
+    """The hub's true cost center: one ``registry.event()`` with routing.
+
+    Reported (not gated): the per-event cost of the ring append on top of
+    the registry's own event bookkeeping."""
+    plain = MetricsRegistry()
+    cost_plain = _best_per_call(lambda: plain.event("lease.renewed", node="n"))
+    hub_registry = MetricsRegistry(flight=FlightRecorderHub())
+    cost_hub = _best_per_call(lambda: hub_registry.event("lease.renewed", node="n"))
+    benchmark.extra_info["event_plain_per_call_us"] = round(cost_plain * 1e6, 4)
+    benchmark.extra_info["event_with_hub_per_call_us"] = round(cost_hub * 1e6, 4)
+    benchmark.extra_info["event_routing_ratio"] = round(cost_hub / cost_plain, 3)
+    benchmark(lambda: hub_registry.event("lease.renewed", node="n"))
+
+
+def test_o2_disabled_hub_records_nothing(vm):
+    """Behavioral half of the gate: with the registry uninstalled, no
+    event reaches the hub — its rings stay empty no matter how much the
+    instrumented application runs."""
+    vm.load_class(Target)
+    vm.insert(DoNothing())
+    target = Target()
+    hub = FlightRecorderHub()
+    MetricsRegistry(flight=hub)  # attached, never installed
+    for _ in range(100):
+        target.noop()
+    assert hub.nodes() == []
+
+    # Installed, the same workload routes weave/lifecycle events only —
+    # per-call interception still records nothing on the rings.
+    registry = MetricsRegistry(flight=hub)
+    with runtime.recording(registry):
+        for _ in range(100):
+            target.noop()
+        registry.event("lease.granted", table="robot.extensions")
+    assert hub.nodes() == ["robot"]
+    assert hub.recorder("robot").recorded == 1

@@ -6,6 +6,7 @@ Usage::
     python -m repro quickstart      # run one
     python -m repro --all           # run every scenario
     python -m repro telemetry       # traced MIDAS lifecycle demo
+    python -m repro inspect         # node health: extensions, leases, breakers
 """
 
 from __future__ import annotations
@@ -44,6 +45,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.telemetry.cli import main as telemetry_main
 
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "inspect":
+        from repro.telemetry.inspect import main as inspect_main
+
+        return inspect_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -74,6 +74,7 @@ class MethodHookTable:
         "joinpoint",
         "original",
         "style",
+        "owner",
         "cell",
         "interceptions",
         "on_state_change",
@@ -87,10 +88,14 @@ class MethodHookTable:
         joinpoint: JoinPoint,
         original: Callable[..., Any],
         style: str = INSTANCE,
+        owner: str = "prose",
     ):
         self.joinpoint = joinpoint
         self.original = original
         self.style = style
+        #: Name of the VM (= node id on platform nodes) owning this hook;
+        #: stamps dispatch-error events onto the right flight ring.
+        self.owner = owner
         #: Optional observer called with (table, active) when the hook
         #: transitions between advised and unadvised (swap-mode weaving).
         self.on_state_change: Callable[["MethodHookTable", bool], None] | None = None
@@ -186,6 +191,7 @@ class MethodHookTable:
             original = self.original
         table = self
         jp_label = self._jp_label
+        owner = self.owner
         telemetry_cell = _telemetry.cell()
 
         def dispatch(target: Any, args: tuple, kwargs: dict) -> Any:
@@ -225,6 +231,12 @@ class MethodHookTable:
                     for crosscut, callback in throwers:
                         if not isinstance(crosscut, ExceptionCut) or crosscut.accepts(exc):
                             callback(ctx)
+                    recorder.event(
+                        "prose.dispatch_error",
+                        node=owner,
+                        joinpoint=jp_label,
+                        error=type(exc).__name__,
+                    )
                     raise
                 for callback in afters:
                     callback(ctx)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import inspect
 import logging
+from time import perf_counter
 from typing import Any, Callable, Iterator
 
 from repro.aop.advice import Advice, AdviceKind
@@ -114,7 +115,7 @@ class VMStats:
     """
 
     __slots__ = ("classes_loaded", "methods_stubbed", "inserts", "withdrawals",
-                 "_vm")
+                 "weave_seconds", "_vm")
 
     #: Attributes mirrored as ``prose.vm.*`` counters.
     FIELDS = ("classes_loaded", "methods_stubbed", "inserts", "withdrawals")
@@ -124,6 +125,8 @@ class VMStats:
         self.methods_stubbed = 0
         self.inserts = 0
         self.withdrawals = 0
+        #: Cumulative weave/unweave time (mirrors ``ProseVM.weave_seconds``).
+        self.weave_seconds = 0.0
         self._vm = vm
 
     def note(self, field: str, amount: int = 1) -> None:
@@ -131,9 +134,13 @@ class VMStats:
         setattr(self, field, getattr(self, field) + amount)
         _telemetry.get_recorder().count(f"prose.vm.{field}", amount, vm=self._vm)
 
-    def as_dict(self) -> dict[str, int]:
-        """All counters, keyed by field name."""
-        return {field: getattr(self, field) for field in self.FIELDS}
+    def as_dict(self) -> dict[str, int | float]:
+        """All counters (plus cumulative weave time), keyed by field name."""
+        out: dict[str, int | float] = {
+            field: getattr(self, field) for field in self.FIELDS
+        }
+        out["weave_seconds"] = self.weave_seconds
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -165,6 +172,13 @@ class ProseVM:
         self.name = name
         self.mode = mode
         self.stats = VMStats(vm=name)
+        #: Optional :class:`~repro.telemetry.profiler.JoinPointProfiler`
+        #: (duck-typed: anything with ``wrap(advice, callback)`` and
+        #: ``record_weave(vm, operation, seconds)``).  Attach *before*
+        #: inserting aspects — wrapping happens at weave time.
+        self.profiler: Any = None
+        #: Cumulative seconds spent weaving and unweaving aspects.
+        self.weave_seconds = 0.0
         self._loaded: dict[type, _LoadedClass] = {}
         self._insertions: dict[Aspect, _Insertion] = {}
 
@@ -218,7 +232,10 @@ class ProseVM:
                 continue  # already a stub (e.g. inherited from a loaded base)
             original = _unwrap(raw)
             table = MethodHookTable(
-                JoinPoint(JoinPointKind.METHOD, cls, name), original, style
+                JoinPoint(JoinPointKind.METHOD, cls, name),
+                original,
+                style,
+                owner=self.name,
             )
             if not inherited:
                 record.saved_attrs[name] = raw
@@ -390,6 +407,7 @@ class ProseVM:
         """
         if aspect in self._insertions:
             raise WeaveError(f"{aspect!r} is already inserted")
+        start = perf_counter()
         advices = []
         for advice in aspect.advices():
             if isinstance(advice.crosscut, FieldWriteCut) and advice.kind not in (
@@ -402,6 +420,10 @@ class ProseVM:
             callback = advice.callback
             if sandbox is not None:
                 callback = sandbox.wrap(callback)
+            if self.profiler is not None:
+                # Inside containment: the barrier still sees (and may
+                # suppress) advice failures, the profiler still times them.
+                callback = self.profiler.wrap(advice, callback)
             if containment is not None:
                 callback = containment.wrap(advice, callback)
             advices.append((advice, callback))
@@ -410,6 +432,7 @@ class ProseVM:
         for record in self._loaded.values():
             self._register_on_class(insertion, record)
         self.stats.note("inserts")
+        self._note_weave("prose.weave", "insert", aspect, perf_counter() - start)
         aspect.on_insert(self)
 
     def withdraw(self, aspect: Aspect) -> None:
@@ -417,10 +440,32 @@ class ProseVM:
         insertion = self._insertions.pop(aspect, None)
         if insertion is None:
             raise NotWovenError(f"{aspect!r} is not inserted in this VM")
+        start = perf_counter()
         for table in insertion.tables:
             table.remove_aspect(aspect)
         self.stats.note("withdrawals")
+        self._note_weave("prose.unweave", "withdraw", aspect, perf_counter() - start)
         aspect.on_withdraw(self)
+
+    def _note_weave(
+        self, event: str, operation: str, aspect: Aspect, seconds: float
+    ) -> None:
+        """Account one (un)weave: cumulative total, telemetry, profiler."""
+        self.weave_seconds += seconds
+        self.stats.weave_seconds = self.weave_seconds
+        recorder = _telemetry.get_recorder()
+        if recorder.enabled:
+            recorder.observe(
+                "prose.weave_seconds", seconds, vm=self.name, operation=operation
+            )
+            recorder.event(
+                event,
+                node=self.name,
+                aspect=type(aspect).__name__,
+                seconds=seconds,
+            )
+        if self.profiler is not None:
+            self.profiler.record_weave(self.name, operation, seconds)
 
     def withdraw_all(self) -> None:
         """Withdraw every inserted aspect (in reverse insertion order)."""

@@ -47,6 +47,12 @@ from repro.supervision import SupervisionPolicy
 from repro.store.service import APPEND, STORE_INTERFACE, StoreService
 from repro.telemetry import MetricsRegistry
 from repro.telemetry import runtime as _telemetry
+from repro.telemetry.recorder import FlightRecorderHub
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.profiler import JoinPointProfiler
 
 
 class BaseStation:
@@ -242,6 +248,8 @@ class ProactivePlatform:
         self.fault_injector: FaultInjector | None = None
         #: The telemetry registry, once :meth:`enable_telemetry` runs.
         self.telemetry: MetricsRegistry | None = None
+        #: The join-point profiler, once :meth:`enable_profiler` runs.
+        self.profiler: "JoinPointProfiler | None" = None
         self._previous_recorder: _telemetry.Recorder | None = None
 
     # -- construction -----------------------------------------------------------
@@ -305,6 +313,8 @@ class ProactivePlatform:
             attributes=attributes,
             supervision=supervision or self.supervision,
         )
+        if self.profiler is not None:
+            mobile.vm.profiler = self.profiler
         self.mobile_nodes[node_id] = mobile
         return mobile
 
@@ -370,7 +380,10 @@ class ProactivePlatform:
     # -- observability ----------------------------------------------------------------
 
     def enable_telemetry(
-        self, registry: MetricsRegistry | None = None
+        self,
+        registry: MetricsRegistry | None = None,
+        flight: bool = True,
+        dump_dir: str | None = None,
     ) -> MetricsRegistry:
         """Install a metrics registry on the simulator's clock.
 
@@ -380,13 +393,37 @@ class ProactivePlatform:
         deterministic.  Returns the registry (pass your own to share one
         across platforms).  Call :meth:`disable_telemetry` to restore the
         previous recorder.
+
+        Unless ``flight=False``, a :class:`FlightRecorderHub` is attached
+        (if the registry doesn't already carry one) so lifecycle events
+        also land on per-node flight rings; ``dump_dir`` makes crashes
+        and quarantines auto-dump the affected node's ring there.
         """
         if self.telemetry is not None:
             return self.telemetry
         registry = registry or MetricsRegistry(clock=self.simulator.clock)
+        if flight and registry.flight is None:
+            registry.flight = FlightRecorderHub(
+                clock=self.simulator.clock, dump_dir=dump_dir
+            )
         self._previous_recorder = _telemetry.install(registry)
         self.telemetry = registry
         return registry
+
+    def enable_profiler(self, profiler: "JoinPointProfiler | None" = None):
+        """Attach a join-point profiler to every mobile node's VM.
+
+        Nodes created *after* this call are profiled too.  Attach before
+        the scenario runs: advice woven earlier is not re-wrapped.
+        Returns the profiler.
+        """
+        from repro.telemetry.profiler import JoinPointProfiler
+
+        if self.profiler is None:
+            self.profiler = profiler or JoinPointProfiler()
+            for mobile in self.mobile_nodes.values():
+                mobile.vm.profiler = self.profiler
+        return self.profiler
 
     def disable_telemetry(self) -> MetricsRegistry | None:
         """Uninstall this platform's registry; returns it for inspection."""

@@ -119,6 +119,8 @@ class DiscoveryClient:
             if retry_policy is not None
             else None
         )
+        #: Public read access for inspection (breaker states, retry stats).
+        self.resilient_client = self._client
         #: Fires with (registrar_id,) when a new registrar is heard.
         self.on_registrar_found = Signal(f"{self.node_id}.on_registrar_found")
         #: Fires with (registrar_id,) when a registrar goes silent.

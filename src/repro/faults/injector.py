@@ -138,15 +138,22 @@ class FaultInjector:
     def _record(self, rule: MessageRule, message: Message, operation: str) -> None:
         recorder = _telemetry.get_recorder()
         recorder.count("faults.injected", action=rule.action)
-        recorder.event(
-            "fault.injected",
-            action=rule.action,
-            kind=message.kind,
-            operation=operation,
-            source=message.source,
-            destination=message.destination,
-            message_id=message.message_id,
-        )
+        fields = {
+            "action": rule.action,
+            "kind": message.kind,
+            "operation": operation,
+            "source": message.source,
+            "destination": message.destination,
+            "message_id": message.message_id,
+        }
+        # Faults strike in transit, where no span is ambient — the
+        # faulted message's own wire context ties the event to the trace
+        # whose request just died.
+        trace = getattr(message, "trace", None)
+        if trace:
+            fields["trace_id"] = trace.get("trace_id")
+            fields["span_id"] = trace.get("span_id")
+        recorder.event("fault.injected", **fields)
 
     # -- crash / restart --------------------------------------------------------------
 

@@ -58,7 +58,16 @@ class LeaseTable:
         lease = Lease(fresh_id("lease"), holder, resource, granted, self.simulator.now)
         self._leases[lease.lease_id] = lease
         self._schedule_expiry(lease)
-        _telemetry.get_recorder().count("lease.granted", table=self.name)
+        recorder = _telemetry.get_recorder()
+        recorder.count("lease.granted", table=self.name)
+        if recorder.enabled:
+            recorder.event(
+                "lease.granted",
+                table=self.name,
+                holder=holder,
+                resource=str(resource),
+                duration=granted,
+            )
         return lease
 
     def renew(self, lease_id: str, duration: float | None = None) -> Lease:
@@ -67,7 +76,16 @@ class LeaseTable:
         granted = self._clamp(duration) if duration is not None else None
         lease._renew(self.simulator.now, granted)
         self._schedule_expiry(lease)
-        _telemetry.get_recorder().count("lease.renewed", table=self.name)
+        recorder = _telemetry.get_recorder()
+        recorder.count("lease.renewed", table=self.name)
+        if recorder.enabled:
+            recorder.event(
+                "lease.renewed",
+                table=self.name,
+                holder=lease.holder,
+                resource=str(lease.resource),
+                expires_at=lease.expires_at,
+            )
         return lease
 
     def cancel(self, lease_id: str) -> Lease:

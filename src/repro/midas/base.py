@@ -156,6 +156,8 @@ class ExtensionBase:
             )
         else:
             self._client = None
+        #: Public read access for inspection (breaker states, retry stats).
+        self.resilient_client = self._client
         self._reconciler: PeriodicTimer | None = None
         transport.register(ROAMED, self._serve_roamed)
         transport.register(HEALTH, self._serve_health)

@@ -237,6 +237,11 @@ class AdaptationService:
         """All live extensions, in installation order."""
         return list(self._installed.values())
 
+    @property
+    def leases(self) -> LeaseTable:
+        """The node's extension lease table (read it, don't mutate it)."""
+        return self._leases
+
     def is_installed(self, name: str) -> bool:
         """True if an extension with logical name ``name`` is live."""
         return any(ext.name == name for ext in self._installed.values())

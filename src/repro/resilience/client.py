@@ -37,6 +37,23 @@ from repro.telemetry import runtime as _telemetry
 logger = logging.getLogger(__name__)
 
 
+def _under(context: Any, fn: Any, *args: Any) -> Any:
+    """Run ``fn`` with ``context`` ambient (no-op when context is None).
+
+    Retries and breaker bookkeeping run from timer callbacks, where the
+    originating request's span context is long gone — re-activating the
+    context captured at :meth:`ResilientClient.call` time keeps their
+    telemetry events stamped onto the right trace.
+    """
+    if context is None:
+        return fn(*args)
+    token = _telemetry.activate(context)
+    try:
+        return fn(*args)
+    finally:
+        _telemetry.deactivate(token)
+
+
 class ResilientClient:
     """Retry + circuit-breaker front end over one node's transport."""
 
@@ -66,6 +83,10 @@ class ResilientClient:
         self.rejected = 0
 
     # -- breakers ----------------------------------------------------------------
+
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        """All breakers this client has minted so far, keyed by peer."""
+        return dict(self._breakers)
 
     def breaker(self, peer: str) -> CircuitBreaker | None:
         """The breaker guarding ``peer`` (None if breaking is disabled)."""
@@ -104,6 +125,7 @@ class ResilientClient:
         self._attempt(
             destination, operation, body, on_reply, on_error,
             timeout, effective, attempt=1, started=started, last_error=None,
+            context=_telemetry.current_context(),
         )
 
     def _attempt(
@@ -118,12 +140,13 @@ class ResilientClient:
         attempt: int,
         started: float,
         last_error: Exception | None,
+        context: Any = None,
     ) -> None:
         breaker = self.breaker(destination)
-        if breaker is not None and not breaker.allows():
+        if breaker is not None and not _under(context, breaker.allows):
             self._breaker_rejected(
                 destination, operation, body, on_reply, on_error,
-                timeout, policy, attempt, started,
+                timeout, policy, attempt, started, context,
             )
             return
 
@@ -136,14 +159,15 @@ class ResilientClient:
 
         def reply(result: Any) -> None:
             if breaker is not None:
-                breaker.record_success()
+                _under(context, breaker.record_success)
             if on_reply is not None:
                 on_reply(result)
 
         def error(exc: Exception) -> None:
-            self._failed(
+            _under(
+                context, self._failed,
                 exc, destination, operation, body, on_reply, on_error,
-                timeout, policy, attempt, started, breaker,
+                timeout, policy, attempt, started, breaker, context,
             )
 
         self.transport.request(
@@ -164,6 +188,7 @@ class ResilientClient:
         attempt: int,
         started: float,
         breaker: CircuitBreaker | None,
+        context: Any = None,
     ) -> None:
         # A RemoteError means the peer is alive and answering; only
         # transport-level silence counts against its breaker.
@@ -208,7 +233,7 @@ class ResilientClient:
             backoff,
             self._attempt,
             destination, operation, body, on_reply, on_error,
-            timeout, policy, attempt + 1, started, exc,
+            timeout, policy, attempt + 1, started, exc, context,
         )
 
     def _breaker_rejected(
@@ -222,6 +247,7 @@ class ResilientClient:
         policy: RetryPolicy,
         attempt: int,
         started: float,
+        context: Any = None,
     ) -> None:
         """The breaker refused the attempt: treat as an instant failure.
 
@@ -244,7 +270,7 @@ class ResilientClient:
                 backoff,
                 self._attempt,
                 destination, operation, body, on_reply, on_error,
-                timeout, policy, attempt + 1, started, exc,
+                timeout, policy, attempt + 1, started, exc, context,
             )
         else:
             self.simulator.schedule(

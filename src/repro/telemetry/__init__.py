@@ -10,9 +10,18 @@ gives the reproduction a first-class way to observe itself:
 - :mod:`~repro.telemetry.spans` — spans with parent/child links whose
   context rides on network messages, so one MIDAS offer→install→renew
   chain is a single trace across nodes;
-- :mod:`~repro.telemetry.export` — JSONL dumps and text summaries;
+- :mod:`~repro.telemetry.export` — JSONL dumps and text/JSON summaries;
 - :mod:`~repro.telemetry.runtime` — the process-global recorder the
-  instrumented platform reports to (a no-op unless one is installed).
+  instrumented platform reports to (a no-op unless one is installed);
+- :mod:`~repro.telemetry.recorder` — per-node flight-recorder rings of
+  lifecycle events, auto-dumped on crash/quarantine;
+- :mod:`~repro.telemetry.timeline` / :mod:`~repro.telemetry.query` —
+  happens-before-merged causal timelines with a composable query API
+  (``timeline.events(kind).on(node).before(other)``);
+- :mod:`~repro.telemetry.profiler` — per-(joinpoint, extension) latency
+  histograms with exemplar traces, plus VM weave-cost accounting;
+- :mod:`~repro.telemetry.inspect` — live node-health reports
+  (``python -m repro inspect``).
 
 Quick use::
 
@@ -27,23 +36,35 @@ or simply ``platform.enable_telemetry()``.  See ``docs/observability.md``
 for the metric and span naming scheme.
 """
 
-from repro.telemetry.export import read_jsonl, text_summary, write_jsonl
+from repro.telemetry.export import json_summary, read_jsonl, text_summary, write_jsonl
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
 )
+from repro.telemetry.profiler import JoinPointProfiler
+from repro.telemetry.query import TimelineQuery
+from repro.telemetry.recorder import (
+    FlightEvent,
+    FlightRecorder,
+    FlightRecorderHub,
+)
 from repro.telemetry.registry import MetricsRegistry, TelemetryEvent
 from repro.telemetry.runtime import NullRecorder, Recorder, recording
 from repro.telemetry.spans import NULL_SPAN, Span, SpanContext
+from repro.telemetry.timeline import Timeline
 from repro.telemetry import runtime
 
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightEvent",
+    "FlightRecorder",
+    "FlightRecorderHub",
     "Gauge",
     "Histogram",
+    "JoinPointProfiler",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullRecorder",
@@ -51,6 +72,9 @@ __all__ = [
     "Span",
     "SpanContext",
     "TelemetryEvent",
+    "Timeline",
+    "TimelineQuery",
+    "json_summary",
     "read_jsonl",
     "recording",
     "runtime",

@@ -1,14 +1,17 @@
 """The ``python -m repro telemetry`` subcommand.
 
-Two modes:
+Three modes:
 
 - ``python -m repro telemetry demo [--export PATH] [--quiet]`` — run a
   small simulated MIDAS lifecycle (offer → install → keep-alive renewals
   → revoke) with a registry on the simulation clock, then print the text
   summary.  The run asserts that the whole lifecycle forms one connected
   trace across the base and the receiver node.
-- ``python -m repro telemetry summary PATH`` — load a JSONL export and
-  print the same summary, proving the dump round-trips.
+- ``python -m repro telemetry summary PATH [--format text|json]`` — load
+  a JSONL export and print its summary (text, or machine-readable JSON).
+- ``python -m repro telemetry profile`` — run the same lifecycle with a
+  join-point profiler attached and print per-(joinpoint, extension)
+  latency plus weave-cost accounting.
 
 ``demo`` is also the doubled-as integration smoke test used by CI.
 """
@@ -16,11 +19,63 @@ Two modes:
 from __future__ import annotations
 
 import argparse
-from typing import Callable
+import json
+from typing import Any, Callable, NamedTuple
 
-from repro.telemetry import runtime
-from repro.telemetry.export import read_jsonl, text_summary, write_jsonl
+from repro.telemetry.export import json_summary, read_jsonl, text_summary, write_jsonl
 from repro.telemetry.registry import MetricsRegistry
+
+
+class DemoWorld(NamedTuple):
+    """The shared demo wiring: one hall, one PDA, one woven Thermostat."""
+
+    platform: Any
+    registry: MetricsRegistry | None
+    hall: Any
+    device: Any
+    thermostat_cls: type
+
+
+def build_demo_world(
+    telemetry: bool = True,
+    profiler: bool = False,
+    supervised: bool = False,
+    retry_policy: Any = None,
+) -> DemoWorld:
+    """Stand up the canonical demo world (hall-A + pda-1 + Thermostat).
+
+    The same wiring backs ``telemetry demo``, ``telemetry profile`` and
+    ``repro inspect`` — and mirrors ``examples/quickstart.py``.  The
+    Thermostat class is defined per call so repeated runs in one process
+    each weave a fresh class.
+    """
+    from repro import Position, ProactivePlatform
+    from repro.extensions import CallLogging
+    from repro.supervision import SupervisionPolicy
+
+    platform = ProactivePlatform(
+        supervision=SupervisionPolicy() if supervised else None,
+        retry_policy=retry_policy,
+    )
+    registry = platform.enable_telemetry() if telemetry else None
+    if profiler:
+        platform.enable_profiler()
+    hall = platform.create_base_station("hall-A", Position(0, 0))
+    hall.add_extension(
+        "call-log", lambda: CallLogging(type_pattern="Thermostat")
+    )
+    device = platform.create_mobile_node("pda-1", Position(10, 0))
+
+    class Thermostat:
+        def __init__(self) -> None:
+            self.target = 21.0
+
+        def set_target(self, degrees: float) -> float:
+            self.target = degrees
+            return self.target
+
+    device.load_class(Thermostat)
+    return DemoWorld(platform, registry, hall, device, Thermostat)
 
 
 def run_demo(
@@ -34,34 +89,16 @@ def run_demo(
     exit).  Raises ``SystemExit`` if the MIDAS spans do not form a single
     connected trace — the demo doubles as an end-to-end check.
     """
-    from repro import Position, ProactivePlatform
-    from repro.extensions import CallLogging
-
-    platform = ProactivePlatform()
-    registry = platform.enable_telemetry()
+    world = build_demo_world(telemetry=True)
+    platform, registry = world.platform, world.registry
+    assert registry is not None
     try:
-        hall = platform.create_base_station("hall-A", Position(0, 0))
-        hall.add_extension(
-            "call-log", lambda: CallLogging(type_pattern="Thermostat")
-        )
-        device = platform.create_mobile_node("pda-1", Position(10, 0))
-
-        class Thermostat:
-            def __init__(self) -> None:
-                self.target = 21.0
-
-            def set_target(self, degrees: float) -> float:
-                self.target = degrees
-                return self.target
-
-        device.load_class(Thermostat)
-
         platform.run_for(6.0)  # discovery, offer, signed install
-        thermostat = Thermostat()
+        thermostat = world.thermostat_cls()
         for step in range(4):
             thermostat.set_target(19.0 + step)
         platform.run_for(8.0)  # a few keep-alive renewal rounds
-        hall.extension_base.revoke(device.node_id, "call-log")
+        world.hall.extension_base.revoke(world.device.node_id, "call-log")
         platform.run_for(2.0)
 
         midas_spans = [
@@ -84,6 +121,31 @@ def run_demo(
             if not quiet:
                 out(f"exported {count} records to {export}")
         return registry
+    finally:
+        platform.disable_telemetry()
+
+
+def run_profile(
+    out: Callable[[str], None] = print, quiet: bool = False
+) -> "Any":
+    """Run the demo lifecycle under a join-point profiler; print its report.
+
+    Returns the profiler so tests can assert on its entries.
+    """
+    world = build_demo_world(telemetry=True, profiler=True)
+    platform = world.platform
+    try:
+        platform.run_for(6.0)
+        thermostat = world.thermostat_cls()
+        for step in range(8):
+            thermostat.set_target(18.0 + step)
+        platform.run_for(8.0)
+        world.hall.extension_base.revoke(world.device.node_id, "call-log")
+        platform.run_for(2.0)
+        profiler = platform.profiler
+        if not quiet:
+            out(profiler.report())
+        return profiler
     finally:
         platform.disable_telemetry()
 
@@ -112,9 +174,20 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     summary = subparsers.add_parser(
-        "summary", help="print the text summary of a JSONL export"
+        "summary", help="print the summary of a JSONL export"
     )
     summary.add_argument("path", help="JSONL file written by --export")
+    summary.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is machine-readable and stable)",
+    )
+
+    subparsers.add_parser(
+        "profile",
+        help="run the demo lifecycle under a join-point profiler",
+    )
 
     args = parser.parse_args(argv)
     if args.command == "summary":
@@ -122,7 +195,13 @@ def main(argv: list[str] | None = None) -> int:
             records = read_jsonl(args.path)
         except (OSError, ValueError) as error:
             parser.error(f"cannot read export {args.path!r}: {error}")
-        print(text_summary(records, title=f"telemetry summary — {args.path}"))
+        if args.format == "json":
+            print(json.dumps(json_summary(records), indent=2, sort_keys=True))
+        else:
+            print(text_summary(records, title=f"telemetry summary — {args.path}"))
+        return 0
+    if args.command == "profile":
+        run_profile()
         return 0
     # Default to the demo so a bare `python -m repro telemetry` shows value.
     export = getattr(args, "export", None)

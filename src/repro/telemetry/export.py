@@ -43,12 +43,30 @@ def write_jsonl(source: _Source, destination: Union[str, Path, IO[str]]) -> int:
 
 
 def read_jsonl(source: Union[str, Path, IO[str]]) -> Records:
-    """Load records written by :func:`write_jsonl` (blank lines skipped)."""
+    """Load records written by :func:`write_jsonl` (blank lines skipped).
+
+    A truncated or corrupted line — half-written dump from a crashed
+    process, stray shell output in the file — is *skipped and counted*
+    rather than aborting the whole load: when any line fails to parse, a
+    final ``{"type": "read_errors", "malformed_lines": n}`` record is
+    appended so summaries can surface the damage.
+    """
     if hasattr(source, "read"):
         lines = source.read().splitlines()
     else:
         lines = Path(source).read_text(encoding="utf-8").splitlines()
-    return [json.loads(line) for line in lines if line.strip()]
+    records: Records = []
+    malformed = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            malformed += 1
+    if malformed:
+        records.append({"type": "read_errors", "malformed_lines": malformed})
+    return records
 
 
 def _label_suffix(record: dict[str, Any]) -> str:
@@ -141,6 +159,10 @@ def text_summary(source: _Source, title: str | None = None) -> str:
     )
     events = [r for r in records if r["type"] == "event"]
     spans = [r for r in records if r["type"] == "span"]
+    flights = [r for r in records if r["type"] == "flight"]
+    malformed = sum(
+        r.get("malformed_lines", 0) for r in records if r["type"] == "read_errors"
+    )
 
     header = title or (f"telemetry summary — {meta['name']}" if meta else "telemetry summary")
     lines = [header, "=" * len(header)]
@@ -166,6 +188,14 @@ def text_summary(source: _Source, title: str | None = None) -> str:
             by_name[record["name"]] = by_name.get(record["name"], 0) + 1
         lines += [f"  {name} x{count}" for name, count in sorted(by_name.items())]
 
+    if flights:
+        nodes = sorted({r["node"] for r in flights})
+        lines += [
+            "",
+            f"flight recorder: {len(flights)} events on {len(nodes)} node(s) "
+            f"({', '.join(nodes)})",
+        ]
+
     if spans:
         traces: dict[str, list[dict[str, Any]]] = {}
         for span in spans:
@@ -178,6 +208,82 @@ def text_summary(source: _Source, title: str | None = None) -> str:
             lines.append(f"  trace {trace_id}:")
             lines += ["  " + line for line in _span_tree_lines(trace_spans)]
 
+    if malformed:
+        lines += ["", f"warning: {malformed} malformed line(s) skipped while reading"]
+
     if len(lines) == 2:
         lines.append("(empty)")
     return "\n".join(lines)
+
+
+def json_summary(source: _Source) -> dict[str, Any]:
+    """A machine-readable digest of the same records :func:`text_summary` shows.
+
+    The shape is stable for scripting (``repro telemetry summary --format
+    json``): every value is a plain JSON type, histogram quantiles are
+    bucket-resolution like the text rendering, and any malformed lines
+    counted by :func:`read_jsonl` appear under ``malformed_lines``.
+    """
+    records = _records_of(source)
+    meta = next((r for r in records if r["type"] == "meta"), None)
+
+    def metric(record: dict[str, Any]) -> dict[str, Any]:
+        return {
+            "name": record["name"],
+            "labels": dict(record.get("labels", {})),
+            "value": record["value"],
+        }
+
+    def histogram(record: dict[str, Any]) -> dict[str, Any]:
+        count = record["count"]
+        quantiles = _quantiles_from_buckets(record, (0.5, 0.95)) if count else [None, None]
+        return {
+            "name": record["name"],
+            "labels": dict(record.get("labels", {})),
+            "count": count,
+            "sum": record["sum"],
+            "mean": (record["sum"] / count) if count else None,
+            "p50": quantiles[0],
+            "p95": quantiles[1],
+            "max": record["max"],
+        }
+
+    events = [r for r in records if r["type"] == "event"]
+    events_by_name: dict[str, int] = {}
+    for record in events:
+        events_by_name[record["name"]] = events_by_name.get(record["name"], 0) + 1
+
+    spans = [r for r in records if r["type"] == "span"]
+    trace_ids = {span["trace_id"] for span in spans}
+
+    flights = [r for r in records if r["type"] == "flight"]
+    flights_by_node: dict[str, int] = {}
+    for record in flights:
+        flights_by_node[record["node"]] = flights_by_node.get(record["node"], 0) + 1
+
+    return {
+        "meta": dict(meta) if meta else None,
+        "counters": sorted(
+            (metric(r) for r in records if r["type"] == "counter"),
+            key=lambda m: (m["name"], sorted(m["labels"].items())),
+        ),
+        "gauges": sorted(
+            (metric(r) for r in records if r["type"] == "gauge"),
+            key=lambda m: (m["name"], sorted(m["labels"].items())),
+        ),
+        "histograms": sorted(
+            (histogram(r) for r in records if r["type"] == "histogram"),
+            key=lambda h: (h["name"], sorted(h["labels"].items())),
+        ),
+        "events": {"total": len(events), "by_name": dict(sorted(events_by_name.items()))},
+        "spans": {"total": len(spans), "traces": len(trace_ids)},
+        "flight": {
+            "total": len(flights),
+            "by_node": dict(sorted(flights_by_node.items())),
+        },
+        "malformed_lines": sum(
+            r.get("malformed_lines", 0)
+            for r in records
+            if r["type"] == "read_errors"
+        ),
+    }

@@ -1,0 +1,193 @@
+"""A small composable query language over causal timelines.
+
+Integration tests should state causal invariants, not peek at counters:
+
+    strikes = timeline.events("supervision.contained").on("robot")
+    quarantine = timeline.events("supervision.quarantined").first()
+    assert strikes.count() == 3
+    assert strikes.precedes(timeline.events("midas.withdrawn"))
+
+Every combinator returns a *new* immutable query, so queries compose and
+can be reused as anchors for ordering (``a.before(b)``, ``a.after(b)``).
+Ordering is the merged happens-before order of the underlying
+:class:`~repro.telemetry.timeline.Timeline` — comparisons only work
+between queries over the same timeline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Union
+
+from repro.telemetry.recorder import FlightEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.timeline import Timeline
+
+#: Ordering anchors accept a query, a single event, or an event list.
+Anchor = Union["TimelineQuery", FlightEvent, list[FlightEvent]]
+
+
+class TimelineQuery:
+    """An immutable, ordered selection of events on one timeline."""
+
+    __slots__ = ("_timeline", "_events")
+
+    def __init__(self, timeline: "Timeline", events: tuple[FlightEvent, ...]):
+        self._timeline = timeline
+        self._events = events
+
+    # -- filters (each returns a new query) --------------------------------------
+
+    def kind(self, kind: str) -> "TimelineQuery":
+        """Only events of this kind (``supervision.quarantined``, ...)."""
+        return self._derive(e for e in self._events if e.kind == kind)
+
+    def on(self, node: str) -> "TimelineQuery":
+        """Only events recorded on this node's ring."""
+        return self._derive(e for e in self._events if e.node == node)
+
+    def within(self, trace_id: str) -> "TimelineQuery":
+        """Only events stamped with this trace id."""
+        return self._derive(e for e in self._events if e.trace_id == trace_id)
+
+    def traced(self) -> "TimelineQuery":
+        """Only events that carry *some* trace stamp."""
+        return self._derive(e for e in self._events if e.trace_id is not None)
+
+    def where(self, **fields: Any) -> "TimelineQuery":
+        """Only events whose payload matches every given field exactly."""
+        return self._derive(
+            e
+            for e in self._events
+            if all(e.fields.get(key) == value for key, value in fields.items())
+        )
+
+    def matching(self, predicate: Callable[[FlightEvent], bool]) -> "TimelineQuery":
+        """Only events satisfying an arbitrary predicate."""
+        return self._derive(e for e in self._events if predicate(e))
+
+    def between(self, start: float, end: float) -> "TimelineQuery":
+        """Only events with ``start <= time <= end``."""
+        return self._derive(e for e in self._events if start <= e.time <= end)
+
+    # -- ordering ----------------------------------------------------------------
+
+    def before(self, other: Anchor) -> "TimelineQuery":
+        """Events strictly before the *earliest* event of ``other``.
+
+        Empty ``other`` selects nothing (there is no anchor to be before).
+        """
+        bound = self._anchor_positions(other)
+        if not bound:
+            return self._derive(())
+        earliest = min(bound)
+        return self._derive(
+            e for e in self._events if self._timeline.position(e) < earliest
+        )
+
+    def after(self, other: Anchor) -> "TimelineQuery":
+        """Events strictly after the *latest* event of ``other``."""
+        bound = self._anchor_positions(other)
+        if not bound:
+            return self._derive(())
+        latest = max(bound)
+        return self._derive(
+            e for e in self._events if self._timeline.position(e) > latest
+        )
+
+    def precedes(self, other: Anchor) -> bool:
+        """True when every event here is before every event of ``other``.
+
+        Both sides must be non-empty — an invariant asserted over nothing
+        is a test bug, so vacuous truth is rejected.
+        """
+        mine = [self._timeline.position(e) for e in self._events]
+        theirs = self._anchor_positions(other)
+        if not mine or not theirs:
+            raise ValueError(
+                "precedes() needs events on both sides "
+                f"(left={len(mine)}, right={len(theirs)})"
+            )
+        return max(mine) < min(theirs)
+
+    def follows(self, other: Anchor) -> bool:
+        """True when every event here is after every event of ``other``."""
+        mine = [self._timeline.position(e) for e in self._events]
+        theirs = self._anchor_positions(other)
+        if not mine or not theirs:
+            raise ValueError(
+                "follows() needs events on both sides "
+                f"(left={len(mine)}, right={len(theirs)})"
+            )
+        return min(mine) > max(theirs)
+
+    # -- access ------------------------------------------------------------------
+
+    def all(self) -> list[FlightEvent]:
+        """The selected events, in merged timeline order."""
+        return list(self._events)
+
+    def first(self) -> FlightEvent:
+        """The earliest selected event (ValueError when empty)."""
+        if not self._events:
+            raise ValueError("query selected no events")
+        return self._events[0]
+
+    def last(self) -> FlightEvent:
+        """The latest selected event (ValueError when empty)."""
+        if not self._events:
+            raise ValueError("query selected no events")
+        return self._events[-1]
+
+    def one(self) -> FlightEvent:
+        """The single selected event (ValueError unless exactly one)."""
+        if len(self._events) != 1:
+            raise ValueError(f"expected exactly one event, query selected {len(self._events)}")
+        return self._events[0]
+
+    def count(self) -> int:
+        """How many events the query selected."""
+        return len(self._events)
+
+    @property
+    def exists(self) -> bool:
+        """True when the query selected at least one event."""
+        return bool(self._events)
+
+    def trace_ids(self) -> set[str]:
+        """The distinct trace ids stamped on the selected events."""
+        return {e.trace_id for e in self._events if e.trace_id is not None}
+
+    def nodes(self) -> set[str]:
+        """The distinct nodes the selected events were recorded on."""
+        return {e.node for e in self._events}
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _derive(self, events: Any) -> "TimelineQuery":
+        return TimelineQuery(self._timeline, tuple(events))
+
+    def _anchor_positions(self, other: Anchor) -> list[int]:
+        if isinstance(other, TimelineQuery):
+            if other._timeline is not self._timeline:
+                raise ValueError("cannot compare queries over different timelines")
+            events: Any = other._events
+        elif isinstance(other, FlightEvent):
+            events = (other,)
+        else:
+            events = other
+        return [self._timeline.position(e) for e in events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[FlightEvent]:
+        return iter(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __repr__(self) -> str:
+        kinds = sorted({e.kind for e in self._events})
+        shown = ", ".join(kinds[:4]) + ("…" if len(kinds) > 4 else "")
+        return f"<TimelineQuery {len(self._events)} events [{shown}]>"

@@ -26,6 +26,7 @@ from repro.telemetry.metrics import (
     LabelKey,
     label_key,
 )
+from repro.telemetry.recorder import FlightRecorderHub
 from repro.telemetry.runtime import Recorder
 from repro.telemetry.spans import Span, SpanContext, new_context
 from repro.util.clock import Clock, SystemClock
@@ -68,9 +69,14 @@ class MetricsRegistry(Recorder):
         max_spans: int = DEFAULT_RETENTION,
         max_events: int = DEFAULT_RETENTION,
         default_buckets: Iterable[float] = DEFAULT_BUCKETS,
+        flight: FlightRecorderHub | None = None,
     ):
         self.name = name
         self.clock = clock or SystemClock()
+        #: Optional flight-recorder hub: every lifecycle event this
+        #: registry records is also routed to the per-node ring of the
+        #: node it names.  ``platform.enable_telemetry()`` attaches one.
+        self.flight = flight
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
@@ -105,8 +111,21 @@ class MetricsRegistry(Recorder):
         histogram.observe(value)
 
     def event(self, name: str, **fields: Any) -> None:
-        """Record a lifecycle event stamped with the registry clock."""
-        self.events.append(TelemetryEvent(self.clock.now(), name, fields))
+        """Record a lifecycle event stamped with the registry clock.
+
+        When a trace context is ambient (an active span, or a message's
+        wire context activated around its delivery), the event carries
+        its trace/span ids — so chaos timelines stay connected.  Call
+        sites may pass explicit ``trace_id``/``span_id`` to override.
+        """
+        context = runtime.current_context()
+        if context is not None:
+            fields.setdefault("trace_id", context.trace_id)
+            fields.setdefault("span_id", context.span_id)
+        now = self.clock.now()
+        self.events.append(TelemetryEvent(now, name, fields))
+        if self.flight is not None:
+            self.flight.record(name, fields, time=now)
 
     def start_span(
         self,
@@ -223,6 +242,8 @@ class MetricsRegistry(Recorder):
         records.extend(e.to_record() for e in self.events)
         records.extend(s.to_record() for s in self.spans)
         records.extend(s.to_record() for s in self._open_spans.values())
+        if self.flight is not None:
+            records.extend(self.flight.to_records())
         return records
 
     # -- plumbing ----------------------------------------------------------------

@@ -14,8 +14,9 @@ from repro.core.platform import ProactivePlatform
 from repro.faults import FaultPlan
 from repro.net.geometry import Position
 from repro.resilience import RetryPolicy
+from repro.telemetry import Timeline
 
-from tests.support import TraceAspect
+from tests.support import TraceAspect, export_artifacts
 
 SEEDS = [7, 21, 99]
 
@@ -70,12 +71,18 @@ def run_lifecycle(seed: int):
         assert robot.extensions() == ["trace"]
         assert hall.extension_base.adapted_nodes() == ["robot"]
 
-        # The faults really happened and are visible in the trace.
+        # The faults really happened, and the causal timeline orders
+        # them: the hall crashed, then restarted, and the copy that
+        # survived to the end was installed on the robot's ring.
         assert injector.faults_injected > 0
-        event_names = {event.name for event in registry.events}
-        assert "fault.crash" in event_names
-        assert "fault.restart" in event_names
         assert registry.counter_total("faults.injected") > 0
+        timeline = Timeline.from_hub(registry.flight)
+        crash = timeline.events("fault.crash").on("hall")
+        restart = timeline.events("fault.restart").on("hall")
+        assert crash.count() == 1 and restart.count() == 1
+        assert crash.precedes(restart)
+        installs_seen = timeline.events("midas.installed").on("robot")
+        assert installs_seen.exists
 
         # Clean retirement on a clean radio: the hall drops the policy
         # (else the reconciler would re-offer it) and revokes; both
@@ -88,13 +95,24 @@ def run_lifecycle(seed: int):
         assert hall.extension_base.adapted_nodes() == []
         assert robot.adaptation._leases.active() == []
 
+        # Retirement is causally ordered too: every install strictly
+        # precedes the revocation withdrawal on the robot's own ring.
+        final = Timeline.from_hub(registry.flight)
+        revoked = final.events("midas.withdrawn").on("robot").where(reason="revoked")
+        assert revoked.exists
+        assert final.events("midas.installed").on("robot").precedes(revoked)
+
         return {
             "installs": installs,
             "faults": injector.faults_injected,
             "delivered": platform.network.messages_delivered,
             "dropped": platform.network.messages_dropped,
+            # The flight timeline itself must replay identically — node,
+            # kind and virtual time only (trace ids are process-global).
+            "flight": [(e.node, e.kind, e.time) for e in final],
         }
     finally:
+        export_artifacts(f"chaos-lifecycle-{seed}", registry)
         platform.disable_telemetry()
 
 

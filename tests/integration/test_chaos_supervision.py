@@ -17,8 +17,9 @@ from repro.core.platform import ProactivePlatform
 from repro.faults import FaultyExtension
 from repro.net.geometry import Position
 from repro.supervision import STRIKE_ERROR, SupervisionPolicy
+from repro.telemetry import Timeline
 
-from tests.support import Engine, TraceAspect, fresh_class
+from tests.support import Engine, TraceAspect, export_artifacts, fresh_class
 
 SEEDS = [7, 21, 99]
 
@@ -98,6 +99,29 @@ def run_chaos(seed: int) -> dict:
         else:
             pytest.fail("no trace connects offer, install and quarantine")
 
+        # The same arc, as a causal invariant on the merged timeline:
+        # three contained strikes on the robot, then the quarantine, then
+        # the withdrawal it forces, then the health report on the hall.
+        timeline = Timeline.from_hub(registry.flight)
+        strikes = timeline.events("supervision.contained").on("robot")
+        quarantine = timeline.events("supervision.quarantined").on("robot")
+        withdrawal = (
+            timeline.events("midas.withdrawn").on("robot").where(reason="quarantined")
+        )
+        report = timeline.events("midas.quarantine_reported").on("hall")
+        assert strikes.count() == 3
+        assert quarantine.count() == 1
+        assert strikes.precedes(quarantine)
+        assert quarantine.precedes(withdrawal)
+        assert withdrawal.precedes(report)
+        # The report rides the install's trace: the hall can walk from
+        # the misbehaviour straight back to the offer that shipped it.
+        install = (
+            timeline.events("midas.installed").on("robot").where(extension="saboteur")
+        )
+        assert install.exists
+        assert report.trace_ids() <= install.trace_ids()
+
         return {
             "quarantines": quarantines,
             "withdrawn": withdrawn,
@@ -106,8 +130,12 @@ def run_chaos(seed: int) -> dict:
             "suppressed": registry.counter_total("midas.offers_suppressed"),
             "delivered": platform.network.messages_delivered,
             "rpm": engine.rpm,
+            # Node/kind/time of every flight event must replay (trace
+            # ids are process-global and excluded on purpose).
+            "flight": [(e.node, e.kind, e.time) for e in timeline],
         }
     finally:
+        export_artifacts(f"chaos-supervision-{seed}", registry)
         platform.disable_telemetry()
 
 

@@ -12,11 +12,35 @@ tests must not instrument these shared classes directly — use the
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
 from typing import Any
 
 from repro.aop import Aspect, Capability, MethodCut, REST, before
 from repro.aop.advice import AdviceKind
 from repro.aop.crosscut import FieldWriteCut
+
+
+def export_artifacts(name: str, registry: Any) -> Path | None:
+    """Write a telemetry JSONL export + per-node flight dumps for triage.
+
+    No-op unless ``REPRO_ARTIFACTS_DIR`` is set: CI sets it for the chaos
+    and supervision jobs and uploads the directory when a job fails, so a
+    red run ships the full causal timeline along with the assertion
+    message.  Locally (unset) this costs nothing.  Returns the directory
+    written, or ``None`` when disabled.
+    """
+    root = os.environ.get("REPRO_ARTIFACTS_DIR")
+    if not root or registry is None:
+        return None
+    from repro.telemetry import write_jsonl
+
+    directory = Path(root) / name
+    directory.mkdir(parents=True, exist_ok=True)
+    write_jsonl(registry, directory / "telemetry.jsonl")
+    if getattr(registry, "flight", None) is not None:
+        registry.flight.dump_all(directory)
+    return directory
 
 
 class Engine:

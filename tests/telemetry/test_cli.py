@@ -1,8 +1,10 @@
 """The ``python -m repro telemetry`` subcommand."""
 
+import json
+
 from repro.__main__ import main as repro_main
 from repro.telemetry import runtime
-from repro.telemetry.cli import main, run_demo
+from repro.telemetry.cli import main, run_demo, run_profile
 
 
 class TestDemo:
@@ -28,6 +30,49 @@ class TestDemo:
         assert "midas spans" in capsys.readouterr().out
 
 
+class TestJsonSummary:
+    def test_summary_format_json_is_machine_readable(self, tmp_path, capsys):
+        path = tmp_path / "demo.jsonl"
+        assert main(["demo", "--quiet", "--export", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["summary", str(path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["spans"]["traces"] == 1
+        assert summary["events"]["total"] > 0
+        assert summary["flight"]["total"] > 0
+        assert set(summary["flight"]["by_node"]) == {"hall-A", "pda-1"}
+        assert summary["malformed_lines"] == 0
+
+    def test_malformed_lines_surface_in_json_summary(self, tmp_path, capsys):
+        path = tmp_path / "demo.jsonl"
+        assert main(["demo", "--quiet", "--export", str(path)]) == 0
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{broken\n")
+        capsys.readouterr()
+        assert main(["summary", str(path), "--format", "json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["malformed_lines"] == 1
+
+
+class TestProfile:
+    def test_run_profile_reports_demo_joinpoints(self):
+        lines: list[str] = []
+        profiler = run_profile(out=lines.append)
+        assert profiler.entry("Thermostat.set_target", "CallLogging") is not None
+        report = "\n".join(lines)
+        assert "Thermostat.set_target" in report
+        assert "weave cost" in report
+        assert not runtime.enabled()
+
+    def test_profile_subcommand(self, capsys):
+        assert main(["profile"]) == 0
+        assert "join-point profile" in capsys.readouterr().out
+
+
 class TestMainDelegation:
     def test_repro_main_routes_telemetry(self, capsys):
         assert repro_main(["telemetry", "demo", "--quiet"]) == 0
+
+    def test_repro_main_routes_inspect(self, capsys):
+        assert repro_main(["inspect", "pda-1"]) == 0
+        assert "pda-1 (mobile)" in capsys.readouterr().out

@@ -1,9 +1,16 @@
-"""JSONL round-trip and the shared text summary."""
+"""JSONL round-trip, the shared text summary, and the JSON summary."""
 
 import io
+import json
 
 from repro.telemetry import MetricsRegistry, runtime
-from repro.telemetry.export import read_jsonl, text_summary, write_jsonl
+from repro.telemetry.export import (
+    _label_suffix,
+    json_summary,
+    read_jsonl,
+    text_summary,
+    write_jsonl,
+)
 from repro.util.clock import Clock
 
 
@@ -85,3 +92,91 @@ class TestTextSummary:
             with registry.span("op", parent=None):
                 pass
         assert "more traces" in text_summary(registry)
+
+
+class TestSummaryEdgeCases:
+    def empty_histogram_record(self) -> dict:
+        from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram, label_key
+
+        return Histogram("empty", label_key({}), DEFAULT_BUCKETS).to_record()
+
+    def test_empty_histogram_renders_n_zero(self):
+        records = [{"type": "meta", "name": "u", "exported_at": 0.0}]
+        records.append(self.empty_histogram_record())
+        assert "empty  n=0" in text_summary(records, title="t")
+
+    def test_empty_histogram_json_quantiles_are_null(self):
+        records = [self.empty_histogram_record()]
+        histogram = json_summary(records)["histograms"][0]
+        assert histogram["count"] == 0
+        assert histogram["mean"] is None
+        assert histogram["p50"] is None
+        assert histogram["p95"] is None
+
+    def test_single_bucket_histogram_quantiles(self):
+        from repro.telemetry.metrics import Histogram, label_key
+
+        histogram = Histogram("one", label_key({}), buckets=(1.0,))
+        for value in (0.2, 0.4, 0.6):
+            histogram.observe(value)
+        summary = json_summary([histogram.to_record()])["histograms"][0]
+        # Every observation landed in the only bucket, so both quantiles
+        # resolve to its upper bound.
+        assert summary["p50"] == 1.0
+        assert summary["p95"] == 1.0
+        assert summary["mean"] == (0.2 + 0.4 + 0.6) / 3
+
+    def test_label_suffix_sorts_unordered_labels(self):
+        record = {"labels": {"zeta": "1", "alpha": "2"}}
+        assert _label_suffix(record) == "{alpha=2, zeta=1}"
+
+    def test_label_suffix_empty_labels(self):
+        assert _label_suffix({"labels": {}}) == ""
+        assert _label_suffix({}) == ""
+
+
+class TestMalformedLines:
+    def test_read_jsonl_skips_and_counts(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(registry, path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+            handle.write("\n")  # blank lines are not damage
+            handle.write("[1, 2\n")
+        records = read_jsonl(path)
+        assert records[-1] == {"type": "read_errors", "malformed_lines": 2}
+        # The intact records still loaded.
+        assert records[:-1] == registry.to_records()
+
+    def test_text_summary_warns_about_malformed(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(populated_registry(), path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("oops\n")
+        assert "1 malformed line(s)" in text_summary(read_jsonl(path), title="t")
+
+
+class TestJsonSummary:
+    def test_live_and_loaded_summaries_equal(self, tmp_path):
+        registry = populated_registry()
+        path = tmp_path / "dump.jsonl"
+        write_jsonl(registry, path)
+        live = json_summary(registry)
+        loaded = json_summary(read_jsonl(path))
+        assert live == loaded
+        # The structure is JSON-clean (no sets, no objects).
+        assert json.loads(json.dumps(live)) == live
+
+    def test_sections(self):
+        summary = json_summary(populated_registry())
+        assert summary["meta"]["name"] == "unit"
+        assert summary["counters"][0] == {
+            "name": "hits",
+            "labels": {"node": "a"},
+            "value": 3.0,
+        }
+        assert summary["events"] == {"total": 1, "by_name": {"thing.happened": 1}}
+        assert summary["spans"] == {"total": 2, "traces": 1}
+        assert summary["flight"] == {"total": 0, "by_node": {}}
+        assert summary["malformed_lines"] == 0

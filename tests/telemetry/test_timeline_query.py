@@ -1,0 +1,174 @@
+"""Merged causal timelines and the composable trace-query engine."""
+
+import pytest
+
+from repro.telemetry import Timeline
+from repro.telemetry.recorder import FlightRecorderHub
+from repro.util.clock import Clock
+
+
+class FrozenClock(Clock):
+    def now(self) -> float:
+        return 0.0
+
+
+def make_hub() -> FlightRecorderHub:
+    """A tiny two-node history: offer → install → strikes → quarantine."""
+    hub = FlightRecorderHub(clock=FrozenClock())
+    hub.record(
+        "midas.offered", {"node": "hall", "extension": "x", "trace_id": "t1"}, time=1.0
+    )
+    hub.record(
+        "midas.installed", {"node": "robot", "extension": "x", "trace_id": "t1"}, time=2.0
+    )
+    hub.record("supervision.contained", {"node": "robot", "kind": "error"}, time=3.0)
+    hub.record("supervision.contained", {"node": "robot", "kind": "error"}, time=3.0)
+    hub.record(
+        "supervision.quarantined", {"node": "robot", "extension": "x"}, time=4.0
+    )
+    hub.record(
+        "midas.quarantine_reported", {"node": "hall", "trace_id": "t1"}, time=5.0
+    )
+    return hub
+
+
+class TestTimelineMerge:
+    def test_merged_order_is_time_node_seq(self):
+        timeline = Timeline.from_hub(make_hub())
+        assert [event.kind for event in timeline] == [
+            "midas.offered",
+            "midas.installed",
+            "supervision.contained",
+            "supervision.contained",
+            "supervision.quarantined",
+            "midas.quarantine_reported",
+        ]
+
+    def test_same_instant_ties_break_by_node_then_seq(self):
+        hub = FlightRecorderHub(clock=FrozenClock())
+        hub.record("b", {"node": "zeta"}, time=1.0)
+        hub.record("a", {"node": "alpha"}, time=1.0)
+        hub.record("c", {"node": "alpha"}, time=1.0)
+        timeline = Timeline(hub.events())
+        assert [(e.node, e.seq) for e in timeline] == [
+            ("alpha", 0),
+            ("alpha", 1),
+            ("zeta", 0),
+        ]
+
+    def test_from_records_skips_non_flight(self):
+        hub = make_hub()
+        records = [{"type": "meta", "name": "x"}] + hub.to_records()
+        assert len(Timeline.from_records(records)) == len(hub.events())
+
+    def test_from_dumps_merges_per_node_files(self, tmp_path):
+        hub = make_hub()
+        paths = hub.dump_all(tmp_path)
+        timeline = Timeline.from_dumps(paths)
+        assert [e.kind for e in timeline] == [
+            e.kind for e in Timeline.from_hub(hub)
+        ]
+
+    def test_nodes_kinds_traces(self):
+        timeline = Timeline.from_hub(make_hub())
+        assert timeline.nodes() == ["hall", "robot"]
+        assert "supervision.quarantined" in timeline.kinds()
+        assert set(timeline.traces()) == {"t1"}
+        assert timeline.trace("t1").count() == 3
+        assert timeline.trace("missing").count() == 0
+
+    def test_position_rejects_foreign_events(self):
+        timeline = Timeline.from_hub(make_hub())
+        other = Timeline.from_hub(make_hub())
+        with pytest.raises(ValueError):
+            timeline.position(next(iter(other)))
+
+    def test_render_shows_merged_order(self):
+        timeline = Timeline.from_hub(make_hub())
+        rendered = timeline.render()
+        assert rendered.index("midas.offered") < rendered.index("quarantine_reported")
+        assert "[t1]" in rendered
+        assert len(timeline.render(limit=2).splitlines()) == 2
+
+
+class TestQueryFilters:
+    def timeline(self) -> Timeline:
+        return Timeline.from_hub(make_hub())
+
+    def test_kind_on_where(self):
+        timeline = self.timeline()
+        strikes = timeline.events("supervision.contained").on("robot")
+        assert strikes.count() == 2
+        assert timeline.events().where(extension="x").count() == 3
+        assert timeline.events().on("hall").nodes() == {"hall"}
+
+    def test_within_and_traced(self):
+        timeline = self.timeline()
+        assert timeline.events().within("t1").count() == 3
+        assert timeline.events().traced().trace_ids() == {"t1"}
+
+    def test_matching_and_between(self):
+        timeline = self.timeline()
+        assert timeline.events().matching(lambda e: e.time > 4.0).count() == 1
+        assert timeline.events().between(2.0, 3.0).count() == 3
+
+    def test_accessors(self):
+        timeline = self.timeline()
+        quarantine = timeline.events("supervision.quarantined")
+        assert quarantine.exists
+        assert quarantine.one().node == "robot"
+        assert timeline.events().first().kind == "midas.offered"
+        assert timeline.events().last().kind == "midas.quarantine_reported"
+        with pytest.raises(ValueError):
+            timeline.events("missing.kind").first()
+        with pytest.raises(ValueError):
+            timeline.events("supervision.contained").one()
+
+
+class TestQueryOrdering:
+    def timeline(self) -> Timeline:
+        return Timeline.from_hub(make_hub())
+
+    def test_before_and_after(self):
+        timeline = self.timeline()
+        quarantine = timeline.events("supervision.quarantined")
+        assert [e.kind for e in timeline.events().before(quarantine)] == [
+            "midas.offered",
+            "midas.installed",
+            "supervision.contained",
+            "supervision.contained",
+        ]
+        assert [e.kind for e in timeline.events().after(quarantine)] == [
+            "midas.quarantine_reported"
+        ]
+
+    def test_before_empty_anchor_selects_nothing(self):
+        timeline = self.timeline()
+        assert not timeline.events().before(timeline.events("missing.kind")).exists
+        assert not timeline.events().after(timeline.events("missing.kind")).exists
+
+    def test_precedes_and_follows(self):
+        timeline = self.timeline()
+        strikes = timeline.events("supervision.contained")
+        quarantine = timeline.events("supervision.quarantined")
+        assert strikes.precedes(quarantine)
+        assert quarantine.follows(strikes)
+        assert not quarantine.precedes(strikes)
+
+    def test_precedes_rejects_vacuous_truth(self):
+        timeline = self.timeline()
+        empty = timeline.events("missing.kind")
+        with pytest.raises(ValueError):
+            empty.precedes(timeline.events())
+        with pytest.raises(ValueError):
+            timeline.events().follows(empty)
+
+    def test_anchor_accepts_single_event(self):
+        timeline = self.timeline()
+        install = timeline.events("midas.installed").one()
+        assert timeline.events("midas.offered").precedes(install)
+
+    def test_cross_timeline_comparison_rejected(self):
+        first, second = self.timeline(), self.timeline()
+        with pytest.raises(ValueError):
+            first.events().precedes(second.events())
