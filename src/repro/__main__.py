@@ -7,6 +7,7 @@ Usage::
     python -m repro --all           # run every scenario
     python -m repro telemetry       # traced MIDAS lifecycle demo
     python -m repro inspect         # node health: extensions, leases, breakers
+    python -m repro vet <target>    # statically vet extension modules
 """
 
 from __future__ import annotations
@@ -49,6 +50,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.telemetry.inspect import main as inspect_main
 
         return inspect_main(argv[1:])
+    if argv and argv[0] == "vet":
+        from repro.vetting.cli import main as vet_main
+
+        return vet_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -44,6 +44,7 @@ from repro.aop.sandbox import (
     Capability,
     SandboxPolicy,
     SystemGateway,
+    UnknownCapabilityWarning,
     current_sandbox,
 )
 from repro.aop.signature import MethodSignature, parse_signature
@@ -71,6 +72,7 @@ __all__ = [
     "SWAP",
     "SandboxPolicy",
     "SystemGateway",
+    "UnknownCapabilityWarning",
     "after",
     "after_throwing",
     "around",

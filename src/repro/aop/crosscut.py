@@ -37,6 +37,18 @@ class Crosscut(ABC):
         name-only matching (field join points pass None).
         """
 
+    def overlaps(self, other: "Crosscut") -> bool:
+        """Symbolic interference check: can both cuts select one join point?
+
+        Evaluated over the patterns alone, without a loaded class set —
+        this is what pre-insertion vetting (:mod:`repro.vetting`) uses to
+        reason about extensions that are not woven yet.  Conservative in
+        one documented direction: two *anchored* type names are treated
+        as disjoint even though subclassing could make both match the
+        same class through its MRO.
+        """
+        return False
+
 
 class MethodCut(Crosscut):
     """Selects method join points by wildcard signature.
@@ -81,6 +93,13 @@ class MethodCut(Crosscut):
             return True
         return self.signature.matches_callable(func)
 
+    def overlaps(self, other: Crosscut) -> bool:
+        if not isinstance(other, MethodCut):
+            return False
+        return self.signature.type_pattern.overlaps(
+            other.signature.type_pattern
+        ) and self.signature.method_pattern.overlaps(other.signature.method_pattern)
+
     def __repr__(self) -> str:
         return f"MethodCut({self.signature!r})"
 
@@ -106,6 +125,13 @@ class FieldWriteCut(Crosscut):
         if self.type_pattern.is_universal:
             return True
         return any(self.type_pattern.matches(name) for name in joinpoint.mro_names())
+
+    def overlaps(self, other: Crosscut) -> bool:
+        if not isinstance(other, FieldWriteCut):
+            return False
+        return self.type_pattern.overlaps(
+            other.type_pattern
+        ) and self.field_pattern.overlaps(other.field_pattern)
 
     def __repr__(self) -> str:
         return (
@@ -155,6 +181,20 @@ class ExceptionCut(Crosscut):
     def accepts(self, exc: BaseException) -> bool:
         """Run-time filter: does this cut care about ``exc``?"""
         return self.exception is None or isinstance(exc, self.exception)
+
+    def overlaps(self, other: Crosscut) -> bool:
+        if not isinstance(other, ExceptionCut):
+            return False
+        if not (
+            self.signature.type_pattern.overlaps(other.signature.type_pattern)
+            and self.signature.method_pattern.overlaps(other.signature.method_pattern)
+        ):
+            return False
+        if self.exception is None or other.exception is None:
+            return True
+        return issubclass(self.exception, other.exception) or issubclass(
+            other.exception, self.exception
+        )
 
     def __repr__(self) -> str:
         exc = self.exception.__name__ if self.exception else "*"

@@ -24,10 +24,20 @@ reproduction's tests and experiments exercise.
 from __future__ import annotations
 
 import contextvars
+import warnings
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import SandboxViolation
 from repro.telemetry import runtime as _telemetry
+
+
+class UnknownCapabilityWarning(UserWarning):
+    """A policy names a capability not in :data:`Capability.ALL`.
+
+    Custom capabilities are legal (nodes may expose bespoke services
+    under any name), but a misspelling here is otherwise only caught at
+    ``acquire`` time, deep inside advice — hence the warning.
+    """
 
 
 class Capability:
@@ -54,15 +64,47 @@ class Capability:
         TRANSACTIONS,
     )
 
+    @classmethod
+    def is_known(cls, name: str) -> bool:
+        """True if ``name`` is one of the well-known capabilities."""
+        return name in cls.ALL
+
 
 class SandboxPolicy:
-    """An immutable set of allowed capabilities."""
+    """An immutable set of allowed capabilities.
+
+    Capability names are validated at construction: names outside
+    :data:`Capability.ALL` raise :class:`UnknownCapabilityWarning` (a
+    warning — custom capabilities are legal) or, with ``strict=True``
+    (used by the static vetter), raise ``ValueError`` so typos like
+    ``"newtork"`` cannot slip through to ``acquire`` time.
+    """
 
     __slots__ = ("_allowed", "_allow_all")
 
-    def __init__(self, allowed: Iterable[str] = (), allow_all: bool = False):
+    def __init__(
+        self,
+        allowed: Iterable[str] = (),
+        allow_all: bool = False,
+        strict: bool = False,
+    ):
         self._allowed = frozenset(allowed)
         self._allow_all = allow_all
+        unknown = sorted(
+            name for name in self._allowed if not Capability.is_known(name)
+        )
+        if unknown:
+            if strict:
+                raise ValueError(
+                    f"unknown capabilities in sandbox policy: {unknown} "
+                    f"(known: {sorted(Capability.ALL)})"
+                )
+            warnings.warn(
+                f"sandbox policy names unknown capabilities {unknown}; "
+                "a typo here only fails at acquire time",
+                UnknownCapabilityWarning,
+                stacklevel=2,
+            )
 
     @classmethod
     def permissive(cls) -> "SandboxPolicy":

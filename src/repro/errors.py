@@ -173,6 +173,17 @@ class DependencyError(MidasError):
     """An implicit (required) extension could not be resolved."""
 
 
+class VettingError(MidasError):
+    """Static vetting found install-blocking defects in an extension."""
+
+    def __init__(self, message: str, report: object = None):
+        #: The offending :class:`~repro.vetting.report.VetReport`, when
+        #: the rejection came from an actual vet run (None for e.g. a
+        #: tampered report hash).
+        self.report = report
+        super().__init__(message)
+
+
 class DistributionError(MidasError):
     """An extension base failed to deliver an extension to a receiver."""
 

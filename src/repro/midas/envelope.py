@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from repro.aop.aspect import Aspect
 from repro.errors import VerificationError
@@ -45,6 +46,12 @@ class ExtensionEnvelope:
     envelope_id: str = field(default_factory=lambda: fresh_id("ext"))
     #: Version counter used by extension replacement.
     version: int = 1
+    #: Serialized :class:`~repro.vetting.report.VetReport` produced at
+    #: publish time, or None for the legacy unvetted path.
+    vet_report: Mapping | None = None
+    #: Signature by ``signer`` over the report's canonical digest, so a
+    #: receiver can trust the publish-time verdict without re-analyzing.
+    vet_signature: bytes | None = None
 
     @classmethod
     def seal(
@@ -53,6 +60,8 @@ class ExtensionEnvelope:
         aspect: Aspect,
         signer: Signer,
         version: int = 1,
+        vet_report: Mapping | None = None,
+        vet_signature: bytes | None = None,
     ) -> "ExtensionEnvelope":
         """Serialize and sign a configured aspect instance."""
         try:
@@ -68,6 +77,8 @@ class ExtensionEnvelope:
             signature=signer.sign(payload),
             capabilities=frozenset(aspect.REQUIRED_CAPABILITIES),
             version=version,
+            vet_report=vet_report,
+            vet_signature=vet_signature,
         )
 
     def open(self, trust_store: TrustStore) -> Aspect:
@@ -84,6 +95,28 @@ class ExtensionEnvelope:
                 f"(got {type(aspect).__name__})"
             )
         return aspect
+
+    def verify_vet_report(self, trust_store: TrustStore):
+        """Authenticate and parse the shipped vet report.
+
+        Returns the parsed :class:`~repro.vetting.report.VetReport`
+        (truthy) when a signed report travels with the envelope, or None
+        when the envelope carries no report (legacy, unvetted path).
+        Raises :class:`~repro.errors.VerificationError` when a report is
+        present but its digest signature does not check out — a tampered
+        verdict is worse than no verdict.
+        """
+        if self.vet_report is None:
+            return None
+        from repro.vetting.report import VetReport
+
+        if self.vet_signature is None:
+            raise VerificationError(
+                f"extension {self.name!r} ships a vet report without a signature"
+            )
+        report = VetReport.from_dict(self.vet_report)
+        trust_store.verify(self.signer, report.digest(), self.vet_signature)
+        return report
 
     @property
     def size(self) -> int:

@@ -28,7 +28,12 @@ from repro.aop.sandbox import AspectSandbox, SandboxPolicy, SystemGateway
 from repro.aop.vm import ProseVM
 from repro.discovery.client import DiscoveryClient
 from repro.discovery.service import ServiceItem
-from repro.errors import DependencyError, DistributionError, MidasError
+from repro.errors import (
+    DependencyError,
+    DistributionError,
+    MidasError,
+    VettingError,
+)
 from repro.leasing.lease import Lease
 from repro.leasing.table import LeaseTable
 from repro.midas.envelope import ExtensionEnvelope
@@ -151,6 +156,7 @@ class AdaptationService:
         discovery: DiscoveryClient | None = None,
         attributes: Mapping[str, Any] | None = None,
         supervision: SupervisionPolicy | None = None,
+        vetting: str = "verify",
     ):
         self.vm = vm
         self.transport = transport
@@ -158,6 +164,15 @@ class AdaptationService:
         self.trust_store = trust_store
         #: What this node is willing to grant extensions (preferences).
         self.policy = policy or SandboxPolicy.permissive()
+        #: How the node treats publish-time vet verdicts:
+        #: ``"trust"`` skips the check; ``"verify"`` (default)
+        #: authenticates a shipped report's digest signature and refuses
+        #: reports that carry errors (unvetted legacy envelopes are
+        #: admitted but counted); ``"revet"`` re-runs the static analyzer
+        #: on the deserialized aspect before insertion.
+        if vetting not in ("trust", "verify", "revet"):
+            raise ValueError(f"unknown vetting mode {vetting!r}")
+        self.vetting = vetting
         self.discovery = discovery
         self.node_id = transport.node.node_id
         self._services = dict(services or {})
@@ -325,7 +340,10 @@ class AdaptationService:
                 # 1. Security: verify *before* deserialization.
                 aspect = envelope.open(self.trust_store)
 
-                # 2. Capabilities: the node's preferences must cover the request.
+                # 2. Static vetting verdict (publish-time report or re-run).
+                self._vet_gate(envelope, aspect, base_id)
+
+                # 3. Capabilities: the node's preferences must cover the request.
                 denied = [
                     capability
                     for capability in sorted(envelope.capabilities)
@@ -337,11 +355,11 @@ class AdaptationService:
                         f"capabilities {denied}"
                     )
 
-                # 3. Implicit extensions (e.g. session management for access
+                # 4. Implicit extensions (e.g. session management for access
                 # control), transitively, dependencies first.
                 implicit = self._resolve_implicit(aspect, txn)
 
-                # 4. Sandbox + gateway, then insertion through the PROSE API.
+                # 5. Sandbox + gateway, then insertion through the PROSE API.
                 sandbox = AspectSandbox(
                     self.policy.restricted_to(envelope.capabilities), aspect.name
                 )
@@ -386,6 +404,55 @@ class AdaptationService:
     def _guard_for(self, aspect: Aspect) -> AdviceContainment | None:
         return None if self.supervisor is None else self.supervisor.guard(aspect)
 
+    def _vet_gate(
+        self, envelope: ExtensionEnvelope, aspect: Aspect, base_id: str
+    ) -> None:
+        """Refuse extensions whose static vetting verdict blocks install.
+
+        In ``"verify"`` mode the publish-time report travels in the
+        envelope; its digest signature is authenticated against the
+        trust store (a forged or tampered report is a verification
+        failure) and any error-severity finding refuses the install.
+        ``"revet"`` ignores the shipped verdict and re-runs the analyzer
+        locally against the capabilities the sandbox will actually grant.
+        """
+        if self.vetting == "trust":
+            return
+        if self.vetting == "verify":
+            report = envelope.verify_vet_report(self.trust_store)
+            if report is None:
+                # Legacy unvetted envelope: admit, but leave a trace so
+                # operators can find bases that skip the vetted path.
+                _telemetry.get_recorder().count(
+                    "midas.unvetted", node=self.node_id, extension=envelope.name
+                )
+                return
+        else:  # revet: re-derive the verdict from the deserialized aspect
+            from repro.vetting.vetter import Vetter
+
+            report = Vetter().vet_instance(
+                aspect,
+                extension=envelope.name,
+                declared=envelope.capabilities,
+            )
+        if report.has_errors:
+            recorder = _telemetry.get_recorder()
+            recorder.count(
+                "midas.vet_rejections", node=self.node_id, extension=envelope.name
+            )
+            self._telemetry_event(
+                "midas.vet_rejected",
+                extension=envelope.name,
+                stage="install",
+                base=base_id,
+                rules=sorted({f.rule for f in report.errors()}),
+            )
+            raise VettingError(
+                f"extension {envelope.name!r} refused by vetting: "
+                + "; ".join(f.message for f in report.errors()),
+                report=report,
+            )
+
     def _implicit_chain(self, root: type) -> list[type]:
         """Transitive ``REQUIRES`` closure of ``root``, dependencies first.
 
@@ -396,25 +463,25 @@ class AdaptationService:
         """
         order: list[type] = []
         seen: set[type] = set()
-        stack: set[type] = {root}
 
-        def visit(cls: type) -> None:
+        def visit(cls: type, path: list[type]) -> None:
             for dependency_class in cls.REQUIRES:
-                if dependency_class in stack:
+                if dependency_class in path:
+                    # Name the whole cycle (A -> B -> A), not just one
+                    # participant — with transitive chains the offender
+                    # is rarely the class the offer was for.
+                    cycle = path[path.index(dependency_class):] + [dependency_class]
                     raise DependencyError(
-                        f"cyclic REQUIRES involving {dependency_class.__name__}"
+                        "cyclic REQUIRES chain: "
+                        + " -> ".join(entry.__name__ for entry in cycle)
                     )
                 if dependency_class in seen:
                     continue
-                stack.add(dependency_class)
-                try:
-                    visit(dependency_class)
-                finally:
-                    stack.discard(dependency_class)
+                visit(dependency_class, path + [dependency_class])
                 seen.add(dependency_class)
                 order.append(dependency_class)
 
-        visit(root)
+        visit(root, [root])
         return order
 
     def _resolve_implicit(

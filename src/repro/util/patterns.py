@@ -27,6 +27,44 @@ def wildcard_match(pattern: str, text: str) -> bool:
     return _compile(pattern).match(text) is not None
 
 
+@lru_cache(maxsize=4096)
+def wildcard_overlaps(first: str, second: str) -> bool:
+    """True if some string matches *both* wildcard patterns.
+
+    This is the symbolic question static crosscut-interference analysis
+    asks: can two patterns ever select the same name?  ``send*`` and
+    ``*Bytes`` overlap (``sendBytes``); ``send*`` and ``recv*`` do not.
+
+    >>> wildcard_overlaps("send*", "*Bytes")
+    True
+    >>> wildcard_overlaps("send*", "recv*")
+    False
+    """
+    memo: dict[tuple[int, int], bool] = {}
+
+    def walk(i: int, j: int) -> bool:
+        key = (i, j)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        if i == len(first) and j == len(second):
+            result = True
+        elif i < len(first) and first[i] == "*":
+            # The star matches nothing, or absorbs one more character of
+            # whatever the other pattern will produce.
+            result = walk(i + 1, j) or (j < len(second) and walk(i, j + 1))
+        elif j < len(second) and second[j] == "*":
+            result = walk(i, j + 1) or (i < len(first) and walk(i + 1, j))
+        elif i < len(first) and j < len(second) and first[i] == second[j]:
+            result = walk(i + 1, j + 1)
+        else:
+            result = False
+        memo[key] = result
+        return result
+
+    return walk(0, 0)
+
+
 class WildcardPattern:
     """A reusable compiled wildcard pattern.
 
@@ -47,10 +85,20 @@ class WildcardPattern:
         """Return True if ``text`` matches this pattern."""
         return self._regex.match(text) is not None
 
+    def overlaps(self, other: "WildcardPattern | str") -> bool:
+        """True if some string matches both this pattern and ``other``."""
+        other_pattern = other.pattern if isinstance(other, WildcardPattern) else other
+        return wildcard_overlaps(self.pattern, other_pattern)
+
     @property
     def is_universal(self) -> bool:
         """True if this pattern matches every string (it is just ``*``)."""
         return self.pattern == "*"
+
+    @property
+    def is_anchored(self) -> bool:
+        """True if this pattern contains no wildcard (a literal name)."""
+        return "*" not in self.pattern
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, WildcardPattern) and other.pattern == self.pattern

@@ -1,0 +1,75 @@
+"""Static vetting of extensions before publication and installation.
+
+The sandbox, budgets, and supervisor (PRs 1–4) contain misbehaving
+extensions *at run time*; this package moves the same defect classes to
+*before insertion*, where the paper's catalog/adaptation pipeline can
+refuse them outright:
+
+- :mod:`repro.vetting.footprint` — AST capability-footprint inference,
+  gateway-bypass and budget-hazard detection;
+- :mod:`repro.vetting.interference` — symbolic crosscut-overlap analysis
+  between extensions (and within one);
+- :mod:`repro.vetting.vetter` — the orchestrating :class:`Vetter`,
+  adding declaration diffs and ``REQUIRES``-cycle checks;
+- :mod:`repro.vetting.report` — the :class:`VetReport` / :class:`Finding`
+  data model, with a canonical digest the catalog signs into envelopes;
+- :mod:`repro.vetting.cli` — the ``python -m repro vet`` entry point.
+"""
+
+from repro.vetting.footprint import (
+    ClassFootprint,
+    capability_footprint,
+    clear_caches,
+    instance_entry_points,
+)
+from repro.vetting.interference import (
+    DEFAULT_ALLOWLIST,
+    AdviceShape,
+    ExtensionSummary,
+    interference_findings,
+    self_interference_findings,
+    summarize,
+    summarize_class,
+)
+from repro.vetting.report import (
+    ERROR,
+    INFO,
+    SEVERITIES,
+    WARNING,
+    Finding,
+    VetReport,
+    report_digest,
+)
+from repro.vetting.vetter import (
+    Vetter,
+    requires_closure,
+    requires_cycle,
+    vet_class,
+    vet_instance,
+)
+
+__all__ = [
+    "AdviceShape",
+    "ClassFootprint",
+    "DEFAULT_ALLOWLIST",
+    "ERROR",
+    "ExtensionSummary",
+    "Finding",
+    "INFO",
+    "SEVERITIES",
+    "VetReport",
+    "Vetter",
+    "WARNING",
+    "capability_footprint",
+    "clear_caches",
+    "instance_entry_points",
+    "interference_findings",
+    "report_digest",
+    "requires_closure",
+    "requires_cycle",
+    "self_interference_findings",
+    "summarize",
+    "summarize_class",
+    "vet_class",
+    "vet_instance",
+]

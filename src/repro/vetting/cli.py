@@ -1,0 +1,131 @@
+"""``python -m repro vet`` — static vetting from the command line.
+
+Targets are dotted module names (``repro.extensions.access_control``) or
+filesystem paths; a directory is walked recursively for ``*.py`` files.
+Every :class:`~repro.aop.aspect.Aspect` subclass *defined* in a target
+module is vetted at class level, and interference is checked across the
+whole target set, so a CI job over ``src/repro/extensions`` sees exactly
+the catalog's view of the bundled extensions.
+
+Exit status is 1 when any report carries an error-severity finding,
+0 otherwise — suitable for a CI gate.  ``--json`` emits the reports as a
+JSON array; ``--strict`` escalates capability-name hygiene to errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import json
+import sys
+from pathlib import Path
+from types import ModuleType
+
+from repro.aop.aspect import Aspect
+from repro.vetting import interference as I
+from repro.vetting.report import VetReport
+from repro.vetting.vetter import Vetter
+
+
+def _load_path(path: Path) -> ModuleType:
+    """Import a file path as an anonymous module."""
+    name = f"_vet_target_{path.stem}_{abs(hash(str(path))) % 10**8}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot load {path}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _resolve_targets(targets: list[str]) -> list[ModuleType]:
+    modules: list[ModuleType] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if file.name.startswith("_"):
+                    continue
+                modules.append(_load_path(file))
+        elif path.is_file():
+            modules.append(_load_path(path))
+        else:
+            modules.append(importlib.import_module(target))
+    return modules
+
+
+def _aspect_classes(module: ModuleType) -> list[type]:
+    """Aspect subclasses defined (not merely imported) in ``module``."""
+    classes = []
+    for value in vars(module).values():
+        if (
+            isinstance(value, type)
+            and issubclass(value, Aspect)
+            and value is not Aspect
+            and value.__module__ == module.__name__
+        ):
+            classes.append(value)
+    return classes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro vet",
+        description="Statically vet extension aspect classes.",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="dotted module names, .py files, or directories",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit reports as a JSON array"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="escalate capability-name hygiene findings to errors",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        modules = _resolve_targets(args.targets)
+    except (ImportError, OSError, SyntaxError) as exc:
+        print(f"repro vet: cannot load target: {exc}", file=sys.stderr)
+        return 2
+
+    classes: list[type] = []
+    for module in modules:
+        classes.extend(_aspect_classes(module))
+    if not classes:
+        print("repro vet: no Aspect subclasses found in targets", file=sys.stderr)
+        return 2
+
+    vetter = Vetter(strict=args.strict)
+    summaries = {cls: I.summarize_class(cls) for cls in classes}
+    reports: list[VetReport] = []
+    for cls in classes:
+        against = [
+            summary for other, summary in summaries.items() if other is not cls
+        ]
+        reports.append(vetter.vet_class(cls, against=against))
+
+    failed = any(report.has_errors for report in reports)
+    if args.json:
+        print(json.dumps([report.as_dict() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+        errors = sum(len(report.errors()) for report in reports)
+        warnings = sum(len(report.warnings()) for report in reports)
+        print(
+            f"vetted {len(reports)} aspect class(es): "
+            f"{errors} error(s), {warnings} warning(s)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,594 @@
+"""Capability-footprint inference — AST analysis of advice classes.
+
+The sandbox and supervisor catch misbehaving extensions only *after*
+advice has run on the mobile node; this module finds the same classes of
+defects before insertion by walking the aspect class's source:
+
+- every ``gateway.acquire(Capability.X)`` (or string-literal capability)
+  reachable from an advice entry point — advice methods declared with
+  decorators, callbacks registered through ``self.add_advice(...)``, and
+  the lifecycle hooks — following helper-method calls transitively;
+- **gateway bypasses**: direct use of ambient-authority modules
+  (``socket``, ``os``, ``time``, ``random``, ...), the ``open``/``eval``
+  family of builtins, and attribute reads into :mod:`repro.net` /
+  :mod:`repro.store` internals that skip the capability check (a small
+  sanctioned set of pure helpers, e.g. ``current_caller``, is exempt);
+- **budget hazards**: ``while True`` loops with no reachable ``break`` /
+  ``return`` / ``raise``, and (mutual) recursion among reachable
+  methods — both of which the supervisor's step budget would otherwise
+  only catch mid-flight.
+
+Analysis is per *class* (sources don't change at run time), cached, and
+merged across the MRO so helpers inherited from intermediate bases are
+followed.  Classes without retrievable source (REPL, exec) degrade to a
+single informational finding rather than a false "clean".
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import sys
+import textwrap
+from dataclasses import dataclass, field
+
+from repro.aop.aspect import Aspect
+from repro.aop.sandbox import Capability
+from repro.vetting import report as R
+
+#: Modules whose direct use inside advice bypasses the gateway: ambient
+#: I/O, process control, and nondeterminism sources (the simulated clock
+#: and seeded RNG must be reached through capabilities).
+BANNED_MODULES = frozenset(
+    {
+        "socket",
+        "os",
+        "sys",
+        "subprocess",
+        "time",
+        "random",
+        "threading",
+        "multiprocessing",
+        "shutil",
+        "pathlib",
+        "urllib",
+        "http",
+        "requests",
+        "ftplib",
+    }
+)
+
+#: Builtins that reach the host system directly.
+BANNED_BUILTINS = frozenset({"open", "eval", "exec", "compile", "__import__"})
+
+#: Dotted prefixes that are platform internals: advice must go through
+#: the gateway, not import the transport or the store directly.
+INTERNAL_PREFIXES = ("repro.net", "repro.store")
+
+#: Internal symbols advice may use anyway: pure data types and
+#: context-variable reads that carry no ambient authority.
+SANCTIONED_INTERNALS = frozenset(
+    {
+        "repro.net.transport.current_caller",
+        "repro.store.database.MovementRecord",
+    }
+)
+
+#: Lifecycle hooks that run node-side, inside the extension's sandbox.
+LIFECYCLE_HOOKS = ("on_insert", "on_withdraw", "shutdown")
+
+_SPEC_ATTR = "_prose_advice_specs"
+
+
+@dataclass
+class _MethodInfo:
+    """Facts extracted from one method's AST."""
+
+    owner: str
+    name: str
+    lineno: int = 0
+    self_calls: set[str] = field(default_factory=set)
+    #: (capability name or None-for-dynamic, lineno, raw source text)
+    acquires: list[tuple[str | None, int, str]] = field(default_factory=list)
+    #: Advice callback names registered via ``self.add_advice(...)``.
+    registered_callbacks: set[str] = field(default_factory=set)
+    #: (rule, message, lineno) gateway-bypass style findings.
+    bypasses: list[tuple[str, str, int]] = field(default_factory=list)
+    #: Line numbers of ``while True`` loops with no bounded exit.
+    unbounded_loops: list[int] = field(default_factory=list)
+
+
+@dataclass
+class _ClassAst:
+    """Cached AST-level facts for one class."""
+
+    cls_name: str
+    methods: dict[str, _MethodInfo] = field(default_factory=dict)
+    source_available: bool = True
+
+
+@dataclass
+class ClassFootprint:
+    """The merged, reachability-filtered result for one concrete class."""
+
+    cls_name: str
+    #: capability -> locations ("method:lineno") where it is acquired.
+    acquired: dict[str, list[str]] = field(default_factory=dict)
+    #: Locations of acquires whose capability is not a static constant.
+    dynamic_acquires: list[str] = field(default_factory=list)
+    #: Findings produced during analysis (bypasses, hazards, no-source).
+    findings: list[R.Finding] = field(default_factory=list)
+    #: Methods the analysis considered advice-reachable.
+    entry_points: set[str] = field(default_factory=set)
+    reachable: set[str] = field(default_factory=set)
+
+    @property
+    def capabilities(self) -> frozenset[str]:
+        return frozenset(self.acquired)
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no dynamic acquire blurs the footprint."""
+        return not self.dynamic_acquires
+
+
+# -- module import maps -----------------------------------------------------
+
+_module_imports_cache: dict[str, dict[str, str]] = {}
+
+
+def _module_import_map(module_name: str) -> dict[str, str]:
+    """local alias -> dotted origin, from the defining module's imports."""
+    cached = _module_imports_cache.get(module_name)
+    if cached is not None:
+        return cached
+    aliases: dict[str, str] = {}
+    module = sys.modules.get(module_name)
+    if module is not None:
+        try:
+            tree = ast.parse(inspect.getsource(module))
+        except (OSError, TypeError, SyntaxError):
+            tree = None
+        if tree is not None:
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        bound = alias.asname or alias.name.partition(".")[0]
+                        target = alias.name if alias.asname else bound
+                        aliases[bound] = target
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        aliases[bound] = f"{node.module}.{alias.name}"
+    _module_imports_cache[module_name] = aliases
+    return aliases
+
+
+# -- per-method extraction --------------------------------------------------
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render a ``Name``/``Attribute`` chain as a dotted path, if pure."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _resolve_capability(arg: ast.AST) -> tuple[str | None, bool]:
+    """(capability, resolved) for the first ``acquire`` argument."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, True
+    if (
+        isinstance(arg, ast.Attribute)
+        and isinstance(arg.value, ast.Name)
+        and arg.value.id == "Capability"
+    ):
+        value = getattr(Capability, arg.attr, None)
+        if isinstance(value, str):
+            return value, True
+        # Capability.NEWTORK — an attribute that does not exist: surfaces
+        # as AttributeError at run time, report as unresolvable here.
+        return None, False
+    return None, False
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Extracts acquires, bypasses, hazards and self-calls of one method."""
+
+    def __init__(self, info: _MethodInfo, aliases: dict[str, str]):
+        self.info = info
+        self.aliases = aliases
+        self._local_imports: dict[str, str] = {}
+
+    # -- imports inside the method body (always suspicious) -----------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.partition(".")[0]
+            self._local_imports[alias.asname or root] = alias.name
+            if root in BANNED_MODULES:
+                self.info.bypasses.append(
+                    (
+                        R.RULE_GATEWAY_BYPASS,
+                        f"imports {alias.name!r} inside advice code",
+                        node.lineno,
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        root = module.partition(".")[0]
+        for alias in node.names:
+            self._local_imports[alias.asname or alias.name] = f"{module}.{alias.name}"
+        if root in BANNED_MODULES:
+            self.info.bypasses.append(
+                (
+                    R.RULE_GATEWAY_BYPASS,
+                    f"imports from {module!r} inside advice code",
+                    node.lineno,
+                )
+            )
+        elif module.startswith(INTERNAL_PREFIXES):
+            for alias in node.names:
+                full = f"{module}.{alias.name}"
+                if full not in SANCTIONED_INTERNALS:
+                    self.info.bypasses.append(
+                        (
+                            R.RULE_INTERNAL_REACH,
+                            f"imports platform internal {full!r}",
+                            node.lineno,
+                        )
+                    )
+        self.generic_visit(node)
+
+    # -- calls --------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "acquire" and node.args:
+                capability, resolved = _resolve_capability(node.args[0])
+                raw = ast.unparse(node.args[0])
+                self.info.acquires.append(
+                    (capability if resolved else None, node.lineno, raw)
+                )
+            elif func.attr == "add_advice" and self._is_self(func.value):
+                self._record_callback(node)
+            elif self._is_self(func.value):
+                self.info.self_calls.add(func.attr)
+        elif isinstance(func, ast.Name) and func.id in BANNED_BUILTINS:
+            self.info.bypasses.append(
+                (
+                    R.RULE_GATEWAY_BYPASS,
+                    f"calls builtin {func.id}() directly",
+                    node.lineno,
+                )
+            )
+        self.generic_visit(node)
+
+    def _record_callback(self, node: ast.Call) -> None:
+        callback: ast.AST | None = None
+        for keyword in node.keywords:
+            if keyword.arg == "callback":
+                callback = keyword.value
+        if callback is None and len(node.args) >= 3:
+            callback = node.args[2]
+        if (
+            isinstance(callback, ast.Attribute)
+            and self._is_self(callback.value)
+        ):
+            self.info.registered_callbacks.add(callback.attr)
+
+    @staticmethod
+    def _is_self(node: ast.AST) -> bool:
+        return isinstance(node, ast.Name) and node.id == "self"
+
+    # -- name / attribute uses ----------------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            # Conservative reachability: a bare ``self.X`` reference may
+            # hand the method to a scheduler/timer; non-method attributes
+            # are filtered out later by the method table.
+            self.info.self_calls.add(node.attr)
+        dotted = _dotted(node)
+        if dotted is not None:
+            self._check_dotted(dotted, node.lineno)
+            return  # don't re-flag the chain's root Name
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            self._check_dotted(node.id, node.lineno)
+
+    def _check_dotted(self, dotted: str, lineno: int) -> None:
+        head, _, rest = dotted.partition(".")
+        origin = self._local_imports.get(head) or self.aliases.get(head)
+        if origin is None:
+            origin = dotted if head in BANNED_MODULES else None
+        if origin is None:
+            return
+        full = f"{origin}.{rest}" if rest else origin
+        root = origin.partition(".")[0]
+        if root in BANNED_MODULES:
+            self.info.bypasses.append(
+                (
+                    R.RULE_GATEWAY_BYPASS,
+                    f"uses {full!r} directly instead of the gateway",
+                    lineno,
+                )
+            )
+        elif full.startswith(INTERNAL_PREFIXES) and not any(
+            full == symbol or full.startswith(symbol + ".")
+            for symbol in SANCTIONED_INTERNALS
+        ):
+            self.info.bypasses.append(
+                (
+                    R.RULE_INTERNAL_REACH,
+                    f"reaches into platform internal {full!r}",
+                    lineno,
+                )
+            )
+
+    # -- loops --------------------------------------------------------------
+
+    def visit_While(self, node: ast.While) -> None:
+        test = node.test
+        is_forever = isinstance(test, ast.Constant) and test.value is True
+        if is_forever and not _has_bounded_exit(node):
+            self.info.unbounded_loops.append(node.lineno)
+        self.generic_visit(node)
+
+
+def _has_bounded_exit(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Break, ast.Return, ast.Raise)):
+            return True
+    return False
+
+
+# -- per-class extraction ---------------------------------------------------
+
+_class_ast_cache: dict[type, _ClassAst] = {}
+
+
+def _analyze_class_ast(cls: type) -> _ClassAst:
+    cached = _class_ast_cache.get(cls)
+    if cached is not None:
+        return cached
+    result = _ClassAst(cls_name=cls.__name__)
+    try:
+        source = textwrap.dedent(inspect.getsource(cls))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        result.source_available = False
+        _class_ast_cache[cls] = result
+        return result
+    class_node = next(
+        (node for node in tree.body if isinstance(node, ast.ClassDef)), None
+    )
+    if class_node is None:
+        result.source_available = False
+        _class_ast_cache[cls] = result
+        return result
+    aliases = _module_import_map(cls.__module__)
+    for node in class_node.body:
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        info = _MethodInfo(owner=cls.__name__, name=node.name, lineno=node.lineno)
+        visitor = _MethodVisitor(info, aliases)
+        for statement in node.body:
+            visitor.visit(statement)
+        result.methods[node.name] = info
+    _class_ast_cache[cls] = result
+    return result
+
+
+def _analysis_classes(cls: type) -> list[type]:
+    """The MRO slice to analyze: the class and bases below Aspect."""
+    out = []
+    for klass in cls.__mro__:
+        if klass in (Aspect, object):
+            break
+        out.append(klass)
+    return out
+
+
+def _decorator_advice_names(cls: type) -> set[str]:
+    names: set[str] = set()
+    for klass in cls.__mro__:
+        for attr_name, func in vars(klass).items():
+            if getattr(func, _SPEC_ATTR, None):
+                names.add(attr_name)
+    return names
+
+
+# -- the public entry point -------------------------------------------------
+
+_footprint_cache: dict[tuple[type, frozenset[str]], ClassFootprint] = {}
+
+
+def capability_footprint(
+    cls: type, extra_entry_points: frozenset[str] = frozenset()
+) -> ClassFootprint:
+    """Infer the capability footprint of ``cls``.
+
+    ``extra_entry_points`` names additional advice callbacks known only
+    at instance level (e.g. callables handed to ``add_advice`` after
+    construction).  Results are cached per (class, extra entry points).
+    """
+    key = (cls, extra_entry_points)
+    cached = _footprint_cache.get(key)
+    if cached is not None:
+        return cached
+
+    footprint = ClassFootprint(cls_name=cls.__name__)
+    merged: dict[str, _MethodInfo] = {}
+    any_source = False
+    for klass in reversed(_analysis_classes(cls)):
+        analysis = _analyze_class_ast(klass)
+        if analysis.source_available:
+            any_source = True
+        merged.update(analysis.methods)  # derived definitions win
+    if not any_source:
+        footprint.findings.append(
+            R.Finding(
+                R.RULE_NO_SOURCE,
+                R.WARNING,
+                f"source of {cls.__name__} unavailable; static analysis skipped",
+                subject=cls.__name__,
+            )
+        )
+        _footprint_cache[key] = footprint
+        return footprint
+
+    entries: set[str] = set(extra_entry_points)
+    entries.update(_decorator_advice_names(cls))
+    entries.update(hook for hook in LIFECYCLE_HOOKS if hook in merged)
+    for info in merged.values():
+        entries.update(info.registered_callbacks)
+    entries &= set(merged)  # only methods we actually have source for
+    footprint.entry_points = set(entries)
+
+    # Reachability over the self-call graph.
+    reachable: set[str] = set()
+    frontier = list(entries)
+    while frontier:
+        name = frontier.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        info = merged.get(name)
+        if info is None:
+            continue
+        for callee in info.self_calls:
+            if callee in merged and callee not in reachable:
+                frontier.append(callee)
+    footprint.reachable = reachable
+
+    for name in sorted(reachable):
+        info = merged.get(name)
+        if info is None:
+            continue
+        location = lambda line: f"{info.owner}.{name}:{line}"  # noqa: E731
+        for capability, lineno, raw in info.acquires:
+            if capability is not None:
+                footprint.acquired.setdefault(capability, []).append(
+                    location(lineno)
+                )
+            else:
+                footprint.dynamic_acquires.append(location(lineno))
+                footprint.findings.append(
+                    R.Finding(
+                        R.RULE_DYNAMIC_ACQUIRE,
+                        R.INFO,
+                        f"acquire({raw}) is not statically resolvable; "
+                        "the footprint is a lower bound",
+                        subject=cls.__name__,
+                        location=location(lineno),
+                    )
+                )
+        for rule, message, lineno in info.bypasses:
+            footprint.findings.append(
+                R.Finding(
+                    rule,
+                    R.ERROR,
+                    message,
+                    subject=cls.__name__,
+                    location=location(lineno),
+                )
+            )
+        for lineno in info.unbounded_loops:
+            footprint.findings.append(
+                R.Finding(
+                    R.RULE_UNBOUNDED_LOOP,
+                    R.ERROR,
+                    "'while True' without a bounded exit would only die at "
+                    "the supervisor's step budget",
+                    subject=cls.__name__,
+                    location=location(lineno),
+                )
+            )
+
+    footprint.findings.extend(_recursion_findings(cls.__name__, merged, reachable))
+    _footprint_cache[key] = footprint
+    return footprint
+
+
+def _recursion_findings(
+    cls_name: str, merged: dict[str, _MethodInfo], reachable: set[str]
+) -> list[R.Finding]:
+    """Cycles in the reachable self-call graph (direct or mutual)."""
+    findings: list[R.Finding] = []
+    reported: set[frozenset[str]] = set()
+
+    def dfs(name: str, stack: list[str]) -> None:
+        info = merged.get(name)
+        if info is None:
+            return
+        for callee in sorted(info.self_calls):
+            if callee not in reachable or callee not in merged:
+                continue
+            if callee in stack:
+                cycle = stack[stack.index(callee):] + [callee]
+                cycle_key = frozenset(cycle)
+                if cycle_key not in reported:
+                    reported.add(cycle_key)
+                    path = " -> ".join(cycle)
+                    findings.append(
+                        R.Finding(
+                            R.RULE_RECURSION,
+                            R.WARNING,
+                            f"recursion reachable from advice: {path}; "
+                            "depth is bounded only by the step budget",
+                            subject=cls_name,
+                            location=cycle[0],
+                        )
+                    )
+                continue
+            dfs(callee, stack + [callee])
+
+    for entry in sorted(reachable):
+        dfs(entry, [entry])
+    return findings
+
+
+def instance_entry_points(aspect: Aspect) -> frozenset[str]:
+    """Callback method names of an aspect instance's registered advices.
+
+    Complements the static ``add_advice`` extraction: callbacks attached
+    after ``__init__`` (or through indirection the AST walk cannot see)
+    are still found here, as long as they are bound methods of the
+    aspect itself.
+    """
+    names: set[str] = set()
+    # Decorator advices are already static entry points; only the
+    # imperatively registered list can add new callbacks here.
+    for advice in aspect._instance_advices:
+        callback = advice.callback
+        bound_self = getattr(callback, "__self__", None)
+        func = getattr(callback, "__func__", None)
+        if bound_self is aspect and func is not None:
+            names.add(func.__name__)
+    return frozenset(names)
+
+
+def clear_caches() -> None:
+    """Drop all memoized analyses (tests redefining classes use this)."""
+    from repro.vetting.interference import clear_shape_cache
+    from repro.vetting.vetter import _vet_cache
+
+    _class_ast_cache.clear()
+    _footprint_cache.clear()
+    _module_imports_cache.clear()
+    _vet_cache.clear()
+    clear_shape_cache()

@@ -1,0 +1,252 @@
+"""Crosscut interference analysis — symbolic join-point overlap.
+
+Composing independently authored extensions is only safe if someone
+reasons about what happens when their crosscuts select the same join
+points.  This module does that reasoning *symbolically* — over the
+wildcard patterns themselves (:meth:`Crosscut.overlaps`), without a
+loaded class set — so the catalog can check a new extension against
+everything already published, and a receiver against everything already
+installed:
+
+- two ``around`` advices that can wrap the same method are an error:
+  either may short-circuit ``proceed()`` and silently disable the other;
+- overlapping field-write advices are reported as possible shadowed
+  writes (one advice overwriting what another just journaled);
+- any other overlap is informational — stacking *before* advices is the
+  normal composition model (Fig. 2's session → access-control → rest
+  sequence relies on it).
+
+Intentional stacks are allowlisted by class-name pair; the default
+allowlist covers the paper's own session + access-control combination.
+Findings against allowlisted pairs are downgraded to info rather than
+suppressed, so the report still documents the interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aop.advice import AdviceKind
+from repro.aop.aspect import Aspect
+from repro.aop.crosscut import Crosscut, ExceptionCut, FieldWriteCut, MethodCut
+from repro.vetting import report as R
+
+_SPEC_ATTR = "_prose_advice_specs"
+
+#: Class-name pairs whose join-point sharing is by design.  The paper's
+#: implicit-extension pattern *requires* session management to stack
+#: under its dependents at shared join points.
+DEFAULT_ALLOWLIST: frozenset[frozenset[str]] = frozenset(
+    {
+        frozenset({"SessionManagement", "AccessControl"}),
+        frozenset({"SessionManagement", "Billing"}),
+        frozenset({"SessionManagement", "CallLogging"}),
+    }
+)
+
+
+@dataclass(frozen=True)
+class AdviceShape:
+    """The symbolic footprint of one advice: who, what kind, where."""
+
+    aspect_class: str
+    advice_name: str
+    kind: AdviceKind
+    crosscut: Crosscut
+
+    def describe(self) -> str:
+        return (
+            f"{self.aspect_class}.{self.advice_name} "
+            f"({self.kind.name.lower()} {self.crosscut!r})"
+        )
+
+
+@dataclass(frozen=True)
+class ExtensionSummary:
+    """Everything interference analysis needs to know about one extension.
+
+    Stored by the catalog per published entry, so checking a new
+    publication against N existing ones never re-instantiates them.
+    """
+
+    extension: str
+    aspect_class: str
+    shapes: tuple[AdviceShape, ...] = field(default_factory=tuple)
+
+
+_class_shape_cache: dict[type, tuple[AdviceShape, ...]] = {}
+
+
+def shapes_of_class(cls: type) -> tuple[AdviceShape, ...]:
+    """Advice shapes declared with decorators on ``cls`` (static view).
+
+    Cached per class: decorator specs are fixed at class creation, and
+    publish-time vetting calls this for every catalog entry it compares
+    against.
+    """
+    cached = _class_shape_cache.get(cls)
+    if cached is not None:
+        return cached
+    shapes: list[AdviceShape] = []
+    seen: set[str] = set()
+    for klass in cls.__mro__:
+        for attr_name, func in vars(klass).items():
+            if attr_name in seen:
+                continue
+            specs = getattr(func, _SPEC_ATTR, None)
+            if not specs:
+                continue
+            seen.add(attr_name)
+            for spec in specs:
+                shapes.append(
+                    AdviceShape(cls.__name__, attr_name, spec.kind, spec.crosscut)
+                )
+    result = tuple(shapes)
+    _class_shape_cache[cls] = result
+    return result
+
+
+def shapes_of_instance(aspect: Aspect) -> tuple[AdviceShape, ...]:
+    """All advice shapes of a configured instance (decorators + add_advice).
+
+    Decorator shapes come from the cached class walk; imperatively
+    registered advice is read off the instance's own list — no bound
+    :class:`~repro.aop.advice.Advice` objects are rebuilt just to be
+    summarized.
+    """
+    shapes = list(shapes_of_class(type(aspect)))
+    for advice in aspect._instance_advices:
+        name = advice.name or getattr(advice.callback, "__name__", "advice")
+        shapes.append(
+            AdviceShape(type(aspect).__name__, name, advice.kind, advice.crosscut)
+        )
+    return tuple(shapes)
+
+
+def clear_shape_cache() -> None:
+    """Drop cached class shapes (tests redefining classes use this)."""
+    _class_shape_cache.clear()
+
+
+def summarize(extension: str, aspect: Aspect) -> ExtensionSummary:
+    """Symbolic summary of a configured aspect instance."""
+    return ExtensionSummary(
+        extension=extension,
+        aspect_class=type(aspect).__name__,
+        shapes=shapes_of_instance(aspect),
+    )
+
+
+def summarize_class(cls: type) -> ExtensionSummary:
+    """Symbolic summary from the class alone (CLI / pre-instantiation)."""
+    return ExtensionSummary(
+        extension=cls.__name__, aspect_class=cls.__name__, shapes=shapes_of_class(cls)
+    )
+
+
+def _allowlisted(
+    first: ExtensionSummary,
+    second: ExtensionSummary,
+    allowlist: frozenset[frozenset[str]],
+) -> bool:
+    pair_classes = frozenset({first.aspect_class, second.aspect_class})
+    pair_names = frozenset({first.extension, second.extension})
+    return pair_classes in allowlist or pair_names in allowlist
+
+
+def interference_findings(
+    candidate: ExtensionSummary,
+    against: ExtensionSummary,
+    allowlist: frozenset[frozenset[str]] = DEFAULT_ALLOWLIST,
+) -> list[R.Finding]:
+    """Overlap findings between two extensions' advice sets."""
+    downgrade = _allowlisted(candidate, against, allowlist)
+    findings: list[R.Finding] = []
+    for mine in candidate.shapes:
+        for theirs in against.shapes:
+            if not mine.crosscut.overlaps(theirs.crosscut):
+                continue
+            findings.append(
+                _overlap_finding(candidate, mine, against, theirs, downgrade)
+            )
+    return findings
+
+
+def self_interference_findings(
+    summary: ExtensionSummary,
+) -> list[R.Finding]:
+    """Around/around conflicts *within* one extension's own advice set.
+
+    A single extension wrapping the same method with two around advices
+    is almost always a packaging error (one of them loses the ability to
+    observe the real join point).
+    """
+    findings: list[R.Finding] = []
+    shapes = summary.shapes
+    for index, mine in enumerate(shapes):
+        for theirs in shapes[index + 1:]:
+            if mine.kind is not AdviceKind.AROUND:
+                continue
+            if theirs.kind is not AdviceKind.AROUND:
+                continue
+            if mine.advice_name == theirs.advice_name:
+                continue
+            if mine.crosscut.overlaps(theirs.crosscut):
+                findings.append(
+                    R.Finding(
+                        R.RULE_AROUND_CONFLICT,
+                        R.WARNING,
+                        f"{mine.describe()} and {theirs.describe()} can wrap "
+                        "the same method within one extension",
+                        subject=summary.extension,
+                    )
+                )
+    return findings
+
+
+def _overlap_finding(
+    candidate: ExtensionSummary,
+    mine: AdviceShape,
+    against: ExtensionSummary,
+    theirs: AdviceShape,
+    downgrade: bool,
+) -> R.Finding:
+    subject = f"{candidate.extension}~{against.extension}"
+    both_around = (
+        mine.kind is AdviceKind.AROUND and theirs.kind is AdviceKind.AROUND
+    )
+    if both_around and isinstance(mine.crosscut, MethodCut):
+        severity = R.INFO if downgrade else R.ERROR
+        return R.Finding(
+            R.RULE_AROUND_CONFLICT,
+            severity,
+            f"{mine.describe()} and {theirs.describe()} can both wrap the "
+            "same method; either may short-circuit the other"
+            + (" (allowlisted stack)" if downgrade else ""),
+            subject=subject,
+        )
+    if isinstance(mine.crosscut, FieldWriteCut):
+        severity = R.INFO if downgrade else R.WARNING
+        return R.Finding(
+            R.RULE_FIELD_SHADOWING,
+            severity,
+            f"{mine.describe()} and {theirs.describe()} advise overlapping "
+            "field writes; later advice can shadow what earlier advice saw"
+            + (" (allowlisted stack)" if downgrade else ""),
+            subject=subject,
+        )
+    if isinstance(mine.crosscut, ExceptionCut):
+        return R.Finding(
+            R.RULE_CROSSCUT_OVERLAP,
+            R.INFO,
+            f"{mine.describe()} and {theirs.describe()} observe overlapping "
+            "exception families",
+            subject=subject,
+        )
+    return R.Finding(
+        R.RULE_CROSSCUT_OVERLAP,
+        R.INFO,
+        f"{mine.describe()} and {theirs.describe()} share join points "
+        "(ordinary advice stacking)",
+        subject=subject,
+    )

@@ -1,0 +1,204 @@
+"""Vet reports — the structured verdict of a static analysis pass.
+
+A :class:`VetReport` is what travels with an extension: the catalog signs
+its canonical digest into the envelope at publish time, and the receiver
+either verifies that digest or re-derives the whole report before the
+transactional install.  Findings are plain data (rule id, severity,
+message, subject, location) so reports serialize to JSON for the CLI and
+to a dict for the envelope without carrying live objects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: Severity levels, in increasing order of consequence.
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+SEVERITIES = (INFO, WARNING, ERROR)
+
+# -- rule ids ---------------------------------------------------------------
+
+#: ``gateway.acquire`` of a capability missing from the declared set.
+RULE_UNDER_DECLARED = "capability.under-declared"
+#: Declared capability never acquired anywhere reachable (least privilege).
+RULE_OVER_DECLARED = "capability.over-declared"
+#: Declared capability name outside :data:`Capability.ALL` (likely typo).
+RULE_UNKNOWN_CAPABILITY = "capability.unknown-name"
+#: ``acquire`` argument could not be resolved statically.
+RULE_DYNAMIC_ACQUIRE = "capability.dynamic-acquire"
+#: Direct use of a banned module / builtin instead of the gateway.
+RULE_GATEWAY_BYPASS = "sandbox.gateway-bypass"
+#: Reach into repro.net / repro.store internals from advice code.
+RULE_INTERNAL_REACH = "sandbox.internal-reach"
+#: ``while True`` without a bounded exit inside reachable advice code.
+RULE_UNBOUNDED_LOOP = "budget.unbounded-loop"
+#: (Mutual) recursion among methods reachable from advice.
+RULE_RECURSION = "budget.recursion"
+#: Cyclic ``REQUIRES`` dependency chain.
+RULE_REQUIRES_CYCLE = "requires.cycle"
+#: Two around advices can share a method join point.
+RULE_AROUND_CONFLICT = "crosscut.around-conflict"
+#: Overlapping crosscuts between advices (non-around, informational).
+RULE_CROSSCUT_OVERLAP = "crosscut.overlap"
+#: Overlapping field-write crosscuts (possible shadowed writes).
+RULE_FIELD_SHADOWING = "crosscut.field-shadowing"
+#: Source unavailable; static analysis skipped for the class.
+RULE_NO_SOURCE = "analysis.no-source"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One defect (or observation) the vetter produced."""
+
+    rule: str
+    severity: str
+    message: str
+    #: The class (or extension pair) the finding is about.
+    subject: str = ""
+    #: ``method:lineno`` within the subject's source, when known.
+    location: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "subject": self.subject,
+            "location": self.location,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=str(data["rule"]),
+            severity=str(data["severity"]),
+            message=str(data["message"]),
+            subject=str(data.get("subject", "")),
+            location=str(data.get("location", "")),
+        )
+
+    def render(self) -> str:
+        where = f" [{self.subject}{':' if self.location else ''}{self.location}]"
+        return f"{self.severity.upper():7s} {self.rule}{where} {self.message}"
+
+
+@dataclass
+class VetReport:
+    """The full verdict on one extension."""
+
+    #: Logical extension name (catalog name) or the class name when the
+    #: report was produced outside a catalog (CLI over a module).
+    extension: str
+    #: Dotted name of the vetted aspect class.
+    aspect_class: str
+    findings: list[Finding] = field(default_factory=list)
+    #: True when the vetter ran with strict severity escalation.
+    strict: bool = False
+    #: Memoized canonical digest; findings mutations invalidate it.
+    _digest_cache: bytes | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def add(
+        self,
+        rule: str,
+        severity: str,
+        message: str,
+        subject: str = "",
+        location: str = "",
+    ) -> Finding:
+        finding = Finding(rule, severity, message, subject, location)
+        self.findings.append(finding)
+        self._digest_cache = None
+        return finding
+
+    def extend(self, findings: list[Finding]) -> None:
+        self.findings.extend(findings)
+        self._digest_cache = None
+
+    # -- verdicts -----------------------------------------------------------
+
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(f.severity == ERROR for f in self.findings)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing blocks installation."""
+        return not self.has_errors
+
+    # -- serialization ------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "extension": self.extension,
+            "aspect_class": self.aspect_class,
+            "strict": self.strict,
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "VetReport":
+        return cls(
+            extension=str(data["extension"]),
+            aspect_class=str(data["aspect_class"]),
+            strict=bool(data.get("strict", False)),
+            findings=[Finding.from_dict(f) for f in data.get("findings", [])],
+        )
+
+    def digest(self) -> bytes:
+        """Canonical content hash — what the catalog's signer signs.
+
+        Computed over a deterministic encoding of the report's fields
+        (finding order included), so the receiver can recompute it from
+        the dict that traveled in the envelope and detect any tampering
+        with the findings.  Memoized: a catalog signs and re-seals the
+        same accepted report many times; the receiver recomputes on a
+        freshly parsed report, which is the tamper check.
+        """
+        if self._digest_cache is None:
+            canonical = repr(
+                (
+                    self.extension,
+                    self.aspect_class,
+                    self.strict,
+                    tuple(
+                        (f.rule, f.severity, f.message, f.subject, f.location)
+                        for f in self.findings
+                    ),
+                )
+            ).encode()
+            self._digest_cache = hashlib.sha256(canonical).digest()
+        return self._digest_cache
+
+    def render(self) -> str:
+        """Human-readable multi-line report for the CLI."""
+        head = (
+            f"{self.extension} ({self.aspect_class}): "
+            f"{len(self.errors())} error(s), {len(self.warnings())} warning(s)"
+        )
+        if not self.findings:
+            return f"{head}\n  clean"
+        body = "\n".join(f"  {finding.render()}" for finding in self.findings)
+        return f"{head}\n{body}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<VetReport {self.extension} errors={len(self.errors())} "
+            f"warnings={len(self.warnings())}>"
+        )
+
+
+def report_digest(report_dict: dict) -> bytes:
+    """Digest of a report already in dict form (the envelope's copy)."""
+    return VetReport.from_dict(report_dict).digest()

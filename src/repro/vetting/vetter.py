@@ -1,0 +1,297 @@
+"""The vetter — orchestrates every static check into one report.
+
+One :class:`Vetter` instance holds the analysis options (strictness,
+interference allowlist) and produces :class:`~repro.vetting.report.VetReport`
+objects for aspect classes or configured instances:
+
+1. **Declared-capability hygiene** — names outside ``Capability.ALL``
+   are warnings (errors in strict mode): a typo like ``"newtork"``
+   otherwise survives until ``acquire`` raises mid-advice.
+2. **Capability-footprint diff** — statically acquired capabilities the
+   declaration misses are install-blocking errors (the advice would die
+   mid-flight with ``SandboxViolation``); declared-but-never-acquired
+   capabilities are least-privilege warnings.  ``REQUIRES`` dependencies
+   are analyzed against *their own* declarations (their sandbox is the
+   node policy, so gaps there are warnings, not errors).
+3. **Gateway bypasses and budget hazards** — carried over from
+   :mod:`repro.vetting.footprint` (errors and warnings respectively).
+4. **REQUIRES cycles** — reported with the full path (A -> B -> A),
+   matching what the receiver would raise at install time.
+5. **Crosscut interference** — within the extension and against every
+   summary handed in (the catalog's published set, a node's installed
+   set), per :mod:`repro.vetting.interference`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.aop.aspect import Aspect
+from repro.aop.crosscut import Crosscut, ExceptionCut, FieldWriteCut, MethodCut
+from repro.aop.sandbox import Capability
+from repro.vetting import footprint as F
+from repro.vetting import interference as I
+from repro.vetting import report as R
+from repro.vetting.interference import DEFAULT_ALLOWLIST, ExtensionSummary
+
+
+def _crosscut_key(cut: Crosscut) -> tuple:
+    """Value-based hash key for a crosscut (instances are per-aspect)."""
+    if isinstance(cut, MethodCut):
+        return ("method", cut.signature)
+    if isinstance(cut, ExceptionCut):
+        return ("exception", cut.signature, cut.exception)
+    if isinstance(cut, FieldWriteCut):
+        return ("field", cut.type_pattern.pattern, cut.field_pattern.pattern)
+    return ("other", type(cut).__qualname__, repr(cut))
+
+
+def _summary_key(summary: ExtensionSummary) -> tuple:
+    return (
+        summary.extension,
+        summary.aspect_class,
+        tuple(
+            (shape.advice_name, shape.kind, _crosscut_key(shape.crosscut))
+            for shape in summary.shapes
+        ),
+    )
+
+
+#: Memoized full-analysis results.  Every input the verdict depends on is
+#: part of the key (class identity — source is cached per class object
+#: anyway — declared set, advice shapes by value, entry points, the
+#: against-set's shapes, and the vetter options), so a hit is exactly a
+#: re-vet of an unchanged configuration: the catalog's steady state when
+#: a hall re-publishes its policy.  Cleared by
+#: :func:`repro.vetting.footprint.clear_caches`.
+_vet_cache: dict[tuple, R.VetReport] = {}
+
+
+def requires_cycle(cls: type) -> list[str] | None:
+    """The first ``REQUIRES`` cycle reachable from ``cls``, as a path.
+
+    Returns e.g. ``["CycleA", "CycleB", "CycleA"]`` — the same shape the
+    receiver's install-time error names — or None when the dependency
+    graph is acyclic.
+    """
+
+    def visit(klass: type, stack: list[type]) -> list[str] | None:
+        for dependency in getattr(klass, "REQUIRES", ()):
+            if dependency in stack:
+                cycle = stack[stack.index(dependency):] + [dependency]
+                return [entry.__name__ for entry in cycle]
+            found = visit(dependency, stack + [dependency])
+            if found is not None:
+                return found
+        return None
+
+    return visit(cls, [cls])
+
+
+def requires_closure(cls: type) -> list[type]:
+    """Transitive ``REQUIRES`` closure of ``cls`` (dependencies only).
+
+    Assumes :func:`requires_cycle` returned None; silently stops
+    descending into any back edge otherwise.
+    """
+    order: list[type] = []
+    seen: set[type] = set()
+
+    def visit(klass: type) -> None:
+        for dependency in getattr(klass, "REQUIRES", ()):
+            if dependency in seen:
+                continue
+            seen.add(dependency)
+            visit(dependency)
+            order.append(dependency)
+
+    visit(cls)
+    return order
+
+
+class Vetter:
+    """Configured static analyzer for extensions."""
+
+    def __init__(
+        self,
+        strict: bool = False,
+        allowlist: Iterable[frozenset[str]] | None = None,
+    ):
+        #: Strict mode escalates capability-name hygiene findings to
+        #: errors; footprint errors are blocking either way.
+        self.strict = strict
+        self.allowlist: frozenset[frozenset[str]] = (
+            DEFAULT_ALLOWLIST
+            if allowlist is None
+            else frozenset(frozenset(pair) for pair in allowlist)
+        )
+
+    # -- entry points --------------------------------------------------------
+
+    def vet_instance(
+        self,
+        aspect: Aspect,
+        extension: str | None = None,
+        declared: Iterable[str] | None = None,
+        against: Sequence[ExtensionSummary] = (),
+        summary: ExtensionSummary | None = None,
+    ) -> R.VetReport:
+        """Vet a configured aspect instance (the catalog/receiver path).
+
+        ``declared`` defaults to the class's ``REQUIRED_CAPABILITIES``;
+        a receiver passes the envelope's capability set instead, which
+        is what its sandbox will actually be narrowed to.  A caller that
+        already summarized the instance (the catalog keeps summaries per
+        entry) passes ``summary`` to skip re-deriving it.
+        """
+        cls = type(aspect)
+        name = extension or aspect.name
+        declared_set = frozenset(
+            cls.REQUIRED_CAPABILITIES if declared is None else declared
+        )
+        if summary is None:
+            summary = I.summarize(name, aspect)
+        extra_entries = F.instance_entry_points(aspect)
+        return self._vet(
+            cls, name, declared_set, summary, extra_entries, against
+        )
+
+    def vet_class(
+        self,
+        cls: type,
+        extension: str | None = None,
+        against: Sequence[ExtensionSummary] = (),
+    ) -> R.VetReport:
+        """Vet an aspect class without instantiating it (the CLI path).
+
+        Only decorator-declared advice is visible for interference;
+        crosscuts configured in ``__init__`` are still covered by the
+        footprint walk (callback extraction from ``add_advice`` calls).
+        """
+        name = extension or cls.__name__
+        declared_set = frozenset(cls.REQUIRED_CAPABILITIES)
+        summary = I.summarize_class(cls)
+        return self._vet(cls, name, declared_set, summary, frozenset(), against)
+
+    # -- the pipeline --------------------------------------------------------
+
+    def _vet(
+        self,
+        cls: type,
+        name: str,
+        declared: frozenset[str],
+        summary: ExtensionSummary,
+        extra_entries: frozenset[str],
+        against: Sequence[ExtensionSummary],
+    ) -> R.VetReport:
+        cache_key = (
+            cls,
+            name,
+            declared,
+            _summary_key(summary),
+            extra_entries,
+            tuple(_summary_key(other) for other in against),
+            self.strict,
+            self.allowlist,
+        )
+        cached = _vet_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        report = R.VetReport(
+            extension=name,
+            aspect_class=f"{cls.__module__}.{cls.__qualname__}",
+            strict=self.strict,
+        )
+        self._check_declared_names(report, cls.__name__, declared)
+        cycle = requires_cycle(cls)
+        if cycle is not None:
+            report.add(
+                R.RULE_REQUIRES_CYCLE,
+                R.ERROR,
+                f"cyclic REQUIRES chain: {' -> '.join(cycle)}",
+                subject=cls.__name__,
+            )
+            dependencies: list[type] = []
+        else:
+            dependencies = requires_closure(cls)
+
+        self._check_footprint(report, cls, declared, extra_entries, root=True)
+        for dependency in dependencies:
+            self._check_footprint(
+                report,
+                dependency,
+                frozenset(dependency.REQUIRED_CAPABILITIES),
+                frozenset(),
+                root=False,
+            )
+
+        report.extend(I.self_interference_findings(summary))
+        for other in against:
+            if other.extension == name:
+                continue  # re-publication: don't interfere with ourselves
+            report.extend(
+                I.interference_findings(summary, other, self.allowlist)
+            )
+        _vet_cache[cache_key] = report
+        return report
+
+    def _check_declared_names(
+        self, report: R.VetReport, subject: str, declared: frozenset[str]
+    ) -> None:
+        for capability in sorted(declared):
+            if not Capability.is_known(capability):
+                report.add(
+                    R.RULE_UNKNOWN_CAPABILITY,
+                    R.ERROR if self.strict else R.WARNING,
+                    f"declared capability {capability!r} is not a known "
+                    f"capability (known: {sorted(Capability.ALL)})",
+                    subject=subject,
+                )
+
+    def _check_footprint(
+        self,
+        report: R.VetReport,
+        cls: type,
+        declared: frozenset[str],
+        extra_entries: frozenset[str],
+        root: bool,
+    ) -> None:
+        footprint = F.capability_footprint(cls, extra_entries)
+        report.extend(footprint.findings)
+        if any(f.rule == R.RULE_NO_SOURCE for f in footprint.findings):
+            return  # nothing to diff against
+        acquired = footprint.capabilities
+        for capability in sorted(acquired - declared):
+            sites = ", ".join(footprint.acquired[capability][:3])
+            # The root extension's sandbox is narrowed to its declared
+            # set — an undeclared acquire dies with SandboxViolation
+            # mid-advice.  Dependencies run under the full node policy,
+            # so their declaration gaps are hygiene warnings.
+            report.add(
+                R.RULE_UNDER_DECLARED,
+                R.ERROR if root else R.WARNING,
+                f"advice acquires {capability!r} but the declaration "
+                f"omits it (at {sites})",
+                subject=cls.__name__,
+            )
+        if footprint.is_exact:
+            for capability in sorted(declared - acquired):
+                if not Capability.is_known(capability):
+                    continue  # already reported as an unknown name
+                report.add(
+                    R.RULE_OVER_DECLARED,
+                    R.WARNING,
+                    f"declared capability {capability!r} is never acquired "
+                    "by reachable advice code (least privilege)",
+                    subject=cls.__name__,
+                )
+
+
+def vet_instance(aspect: Aspect, **kwargs) -> R.VetReport:
+    """Module-level convenience: vet with default options."""
+    return Vetter().vet_instance(aspect, **kwargs)
+
+
+def vet_class(cls: type, **kwargs) -> R.VetReport:
+    """Module-level convenience: vet a class with default options."""
+    return Vetter().vet_class(cls, **kwargs)

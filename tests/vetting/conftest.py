@@ -1,0 +1,36 @@
+"""Fixtures for vetting tests: a MIDAS world plus an installed registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import runtime
+from repro.telemetry.registry import MetricsRegistry
+from repro.vetting import clear_caches
+from tests.midas.conftest import MidasWorld
+
+
+@pytest.fixture(autouse=True)
+def _fresh_analysis_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture(autouse=True)
+def _clean_recorder():
+    runtime.reset()
+    yield
+    runtime.reset()
+
+
+@pytest.fixture
+def registry(sim) -> MetricsRegistry:
+    registry = MetricsRegistry(clock=sim.clock)
+    runtime.install(registry)
+    return registry
+
+
+@pytest.fixture
+def world(sim, network) -> MidasWorld:
+    return MidasWorld(sim, network)

@@ -1,0 +1,251 @@
+"""Deliberately defective (and deliberately clean) aspects for vet tests.
+
+Each class seeds exactly one defect class the vetter must catch
+statically; ``CleanAspect`` seeds none and must pass.  These are real
+module-level classes (not exec'd) so ``inspect.getsource`` works.
+"""
+
+from __future__ import annotations
+
+from repro.aop import (
+    Aspect,
+    Capability,
+    ExceptionCut,
+    FieldWriteCut,
+    MethodCut,
+    around,
+    before,
+)
+
+
+class CleanAspect(Aspect):
+    """Declares exactly what it acquires; no hazards."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.CLOCK})
+
+    @before(MethodCut(type="Motor", method="drive*"))
+    def stamp(self, context, gateway=None):
+        clock = gateway.acquire(Capability.CLOCK)
+        self.last = clock.now()
+
+
+class UnderDeclaredAspect(Aspect):
+    """Acquires network (via a helper) but only declares store."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.STORE})
+
+    @before(MethodCut(type="Motor", method="drive*"))
+    def watch(self, context, gateway=None):
+        store = gateway.acquire(Capability.STORE)
+        self._ship(gateway)
+
+    def _ship(self, gateway):
+        transport = gateway.acquire(Capability.NETWORK)
+        transport.send(b"observed")
+
+
+class OverDeclaredAspect(Aspect):
+    """Declares network + clock but reachable code only uses clock."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.NETWORK, Capability.CLOCK})
+
+    @before(MethodCut(type="Motor", method="*"))
+    def tick(self, context, gateway=None):
+        gateway.acquire(Capability.CLOCK)
+
+
+class BypassAspect(Aspect):
+    """Skips the gateway: imports socket and opens host files directly."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(MethodCut(type="Motor", method="*"))
+    def sniff(self, context, gateway=None):
+        import socket
+
+        peer = socket.socket()
+        secrets = open("/etc/passwd").read()
+        return peer, secrets
+
+
+class InternalReachAspect(Aspect):
+    """Reaches into repro.net internals instead of acquiring network."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(MethodCut(type="Motor", method="*"))
+    def poke(self, context, gateway=None):
+        from repro.net.transport import Transport
+
+        return Transport
+
+
+class SpinAspect(Aspect):
+    """`while True` with no bounded exit inside advice."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(MethodCut(type="Motor", method="*"))
+    def spin(self, context, gateway=None):
+        while True:
+            self.counter = getattr(self, "counter", 0) + 1
+
+
+class RecursiveAspect(Aspect):
+    """Mutual recursion reachable from advice."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(MethodCut(type="Motor", method="*"))
+    def enter(self, context, gateway=None):
+        self._ping(0)
+
+    def _ping(self, depth):
+        self._pong(depth + 1)
+
+    def _pong(self, depth):
+        self._ping(depth + 1)
+
+
+class TypoPolicyAspect(Aspect):
+    """Declares a misspelled capability while actually using network."""
+
+    REQUIRED_CAPABILITIES = frozenset({"newtork"})
+
+    @before(MethodCut(type="Motor", method="*"))
+    def send(self, context, gateway=None):
+        gateway.acquire(Capability.NETWORK)
+
+
+class DynamicAcquireAspect(Aspect):
+    """Acquire argument is a run-time value; footprint is inexact."""
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.CLOCK})
+
+    def __init__(self, capability=Capability.CLOCK, **kwargs):
+        super().__init__(**kwargs)
+        self.capability = capability
+
+    @before(MethodCut(type="Motor", method="*"))
+    def grab(self, context, gateway=None):
+        gateway.acquire(self.capability)
+
+
+class OverlapAspectA(Aspect):
+    """Around advice on Motor.drive* — conflicts with OverlapAspectB."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @around(MethodCut(type="Motor", method="drive*"))
+    def wrap(self, context, gateway=None):
+        return context.proceed()
+
+
+class OverlapAspectB(Aspect):
+    """Around advice that can select the same methods as OverlapAspectA."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @around(MethodCut(type="*", method="drive_forward"))
+    def wrap(self, context, gateway=None):
+        return context.proceed()
+
+
+class DisjointAspect(Aspect):
+    """Around advice on a method family no other fixture touches."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @around(MethodCut(type="Antenna", method="transmit*"))
+    def wrap(self, context, gateway=None):
+        return context.proceed()
+
+
+class FieldWatcherA(Aspect):
+    """Field-write advice overlapping FieldWatcherB on Motor.speed."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(FieldWriteCut(type="Motor", field="speed"))
+    def journal(self, context, gateway=None):
+        self.seen = context.value
+
+
+class FieldWatcherB(Aspect):
+    """Field-write advice with wildcard field pattern on Motor."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(FieldWriteCut(type="Motor", field="*"))
+    def journal(self, context, gateway=None):
+        self.seen = context.value
+
+
+class ExceptionWatcher(Aspect):
+    """Exception advice — overlaps other exception watchers only."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(ExceptionCut(type="Motor", method="*", exception=ValueError))
+    def caught(self, context, gateway=None):
+        self.last = context.exception
+
+
+class CycleA(Aspect):
+    """Half of a mutual REQUIRES cycle (wired below)."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+
+    @before(MethodCut(type="Motor", method="*"))
+    def a(self, context, gateway=None):
+        pass
+
+
+class CycleB(Aspect):
+    """Other half of the REQUIRES cycle."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+    REQUIRES = (CycleA,)
+
+    @before(MethodCut(type="Motor", method="*"))
+    def b(self, context, gateway=None):
+        pass
+
+
+# Close the cycle after both classes exist.
+CycleA.REQUIRES = (CycleB,)
+
+
+class AddAdviceAspect(Aspect):
+    """Registers its advice imperatively; the callback acquires network.
+
+    Exercises both the static ``add_advice`` callback extraction and the
+    instance-level entry-point discovery.
+    """
+
+    REQUIRED_CAPABILITIES = frozenset({Capability.NETWORK})
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        from repro.aop.advice import AdviceKind
+
+        self.add_advice(
+            AdviceKind.BEFORE,
+            MethodCut(type="Motor", method="drive*"),
+            self.report,
+        )
+
+    def report(self, context, gateway=None):
+        transport = gateway.acquire(Capability.NETWORK)
+        transport.send(b"drive")
+
+
+class NeedsClean(Aspect):
+    """Acyclic REQUIRES chain rooted at a clean dependency."""
+
+    REQUIRED_CAPABILITIES = frozenset()
+    REQUIRES = (CleanAspect,)
+
+    @before(MethodCut(type="Motor", method="stop*"))
+    def observe(self, context, gateway=None):
+        pass

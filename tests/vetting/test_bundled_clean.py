@@ -1,0 +1,64 @@
+"""Regression gate: every bundled extension must vet clean, strictly.
+
+If a future change to a bundled extension introduces an undeclared
+acquire, a gateway bypass, or a conflicting crosscut, this is the test
+that goes red — the same check CI runs via ``python -m repro vet``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro.extensions
+from repro.aop.aspect import Aspect
+from repro.vetting import Vetter, summarize_class
+
+
+def _bundled_classes() -> list[type]:
+    classes: list[type] = []
+    for module_info in pkgutil.iter_modules(repro.extensions.__path__):
+        module = importlib.import_module(
+            f"repro.extensions.{module_info.name}"
+        )
+        for value in vars(module).values():
+            if (
+                isinstance(value, type)
+                and issubclass(value, Aspect)
+                and value is not Aspect
+                and value.__module__ == module.__name__
+            ):
+                classes.append(value)
+    return classes
+
+
+BUNDLED = _bundled_classes()
+
+
+def test_the_bundle_is_not_empty():
+    assert len(BUNDLED) >= 10
+
+
+@pytest.mark.parametrize("cls", BUNDLED, ids=lambda cls: cls.__name__)
+def test_bundled_extension_vets_clean_in_strict_mode(cls):
+    vetter = Vetter(strict=True)
+    against = [
+        summarize_class(other) for other in BUNDLED if other is not cls
+    ]
+    report = vetter.vet_class(cls, against=against)
+    assert report.clean, report.render()
+
+
+def test_bundled_set_has_no_warnings_either(capsys):
+    vetter = Vetter(strict=True)
+    summaries = {cls: summarize_class(cls) for cls in BUNDLED}
+    total_warnings = 0
+    for cls in BUNDLED:
+        against = [s for other, s in summaries.items() if other is not cls]
+        report = vetter.vet_class(cls, against=against)
+        total_warnings += len(report.warnings())
+        if report.warnings():
+            print(report.render())
+    assert total_warnings == 0

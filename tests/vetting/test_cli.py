@@ -1,0 +1,83 @@
+"""The ``python -m repro vet`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.vetting.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = Path(__file__).resolve().parent / "fixtures.py"
+
+
+class TestInProcess:
+    def test_clean_module_exits_zero(self, capsys):
+        status = main(["repro.extensions.session"])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "SessionManagement" in out
+        assert "clean" in out
+
+    def test_fixture_file_exits_one_on_errors(self, capsys):
+        status = main([str(FIXTURES)])
+        out = capsys.readouterr().out
+        assert status == 1
+        assert "capability.under-declared" in out
+        assert "sandbox.gateway-bypass" in out
+        assert "budget.unbounded-loop" in out
+        assert "requires.cycle" in out
+        assert "crosscut.around-conflict" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        status = main(["--json", str(FIXTURES)])
+        out = capsys.readouterr().out
+        assert status == 1
+        reports = json.loads(out)
+        by_name = {report["extension"]: report for report in reports}
+        assert "CleanAspect" in by_name
+        assert by_name["CleanAspect"]["findings"] == [] or not any(
+            f["severity"] == "error"
+            for f in by_name["CleanAspect"]["findings"]
+        )
+        rules = {
+            f["rule"]
+            for report in reports
+            for f in report["findings"]
+        }
+        assert "capability.under-declared" in rules
+
+    def test_strict_escalates_hygiene_findings(self, capsys):
+        relaxed = main(["repro.extensions.session"])
+        assert relaxed == 0
+        strict = main(["--strict", "repro.extensions.session"])
+        assert strict == 0  # bundled extensions stay clean even strictly
+
+    def test_directory_target_walks_recursively(self, capsys):
+        status = main([str(REPO_ROOT / "src" / "repro" / "extensions")])
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "HwMonitoring" in out
+
+    def test_unknown_target_exits_two(self, capsys):
+        status = main(["no.such.module.anywhere"])
+        assert status == 2
+
+    def test_module_without_aspects_exits_two(self, capsys):
+        status = main(["repro.errors"])
+        assert status == 2
+
+
+class TestAsSubprocess:
+    def test_python_dash_m_repro_vet(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "vet", "repro.extensions.session"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "SessionManagement" in result.stdout

@@ -1,0 +1,152 @@
+"""Crosscut edge cases: wildcard semantics, subclass families, overlaps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aop.crosscut import ExceptionCut, FieldWriteCut, MethodCut
+from repro.aop.joinpoint import JoinPoint, JoinPointKind
+from repro.util.patterns import WildcardPattern, wildcard_overlaps
+
+
+class Motor:
+    def drive_forward(self):
+        return "fwd"
+
+    def drive_back(self):
+        return "back"
+
+    def stop(self):
+        return "stop"
+
+
+class TurboMotor(Motor):
+    pass
+
+
+def _method_jp(cls, member):
+    return JoinPoint(JoinPointKind.METHOD, cls, member)
+
+
+class TestWildcardOverlaps:
+    @pytest.mark.parametrize(
+        ("first", "second", "expected"),
+        [
+            ("drive*", "drive_forward", True),
+            ("drive*", "*forward", True),
+            ("drive*", "stop", False),
+            ("*", "anything", True),
+            ("*", "*", True),
+            ("a*c", "ab*", True),
+            ("a*c", "b*", False),
+            ("", "", True),
+            ("", "*", True),
+            ("", "a", False),
+            ("*a", "a*", True),  # the single string "a" matches both
+            ("ab", "ab", True),
+            ("ab", "ac", False),
+        ],
+    )
+    def test_pattern_pairs(self, first, second, expected):
+        assert wildcard_overlaps(first, second) is expected
+        # Overlap is symmetric by construction.
+        assert wildcard_overlaps(second, first) is expected
+
+    def test_wildcard_pattern_exposes_overlap_and_anchoring(self):
+        assert WildcardPattern("drive*").overlaps(WildcardPattern("*forward"))
+        assert not WildcardPattern("drive*").is_anchored
+        assert WildcardPattern("drive_forward").is_anchored
+
+
+class TestMethodCutOverlap:
+    def test_wildcard_method_vs_anchored_name(self):
+        wide = MethodCut(type="Motor", method="drive*")
+        narrow = MethodCut(type="*", method="drive_forward")
+        assert wide.overlaps(narrow)
+        assert narrow.overlaps(wide)
+
+    def test_anchored_type_names_are_treated_as_disjoint(self):
+        # Documented conservative approximation: Motor vs TurboMotor are
+        # different anchored names, even though MRO matching at run time
+        # would let a Motor-typed cut fire on TurboMotor instances.
+        first = MethodCut(type="Motor", method="*")
+        second = MethodCut(type="TurboMotor", method="*")
+        assert not first.overlaps(second)
+
+    def test_anchored_methods_must_be_equal(self):
+        assert not MethodCut(type="*", method="drive_forward").overlaps(
+            MethodCut(type="*", method="drive_back")
+        )
+        assert MethodCut(type="*", method="stop").overlaps(
+            MethodCut(type="*", method="stop")
+        )
+
+    def test_method_cut_never_overlaps_other_kinds(self):
+        cut = MethodCut(type="*", method="*")
+        assert not cut.overlaps(FieldWriteCut(type="*", field="*"))
+        assert not cut.overlaps(ExceptionCut(type="*", method="*"))
+
+    def test_wildcard_matching_still_respects_mro_at_runtime(self):
+        # Sanity: the run-time semantics the approximation deviates from.
+        cut = MethodCut(type="Motor", method="drive*")
+        assert cut.matches(_method_jp(TurboMotor, "drive_forward"))
+
+
+class TestExceptionCutSubclasses:
+    def test_accepts_subclass_instances(self):
+        cut = ExceptionCut(type="*", method="*", exception=ArithmeticError)
+        assert cut.accepts(ZeroDivisionError())
+        assert cut.accepts(ArithmeticError())
+        assert not cut.accepts(ValueError())
+
+    def test_accepts_everything_when_family_is_open(self):
+        cut = ExceptionCut(type="*", method="*")
+        assert cut.accepts(BaseException())
+
+    def test_overlap_requires_related_families(self):
+        base = ExceptionCut(type="*", method="*", exception=ArithmeticError)
+        sub = ExceptionCut(type="*", method="*", exception=ZeroDivisionError)
+        sibling = ExceptionCut(type="*", method="*", exception=KeyError)
+        assert base.overlaps(sub)
+        assert sub.overlaps(base)
+        assert not base.overlaps(sibling)
+
+    def test_open_family_overlaps_any(self):
+        open_cut = ExceptionCut(type="*", method="*")
+        narrow = ExceptionCut(type="*", method="*", exception=KeyError)
+        assert open_cut.overlaps(narrow)
+        assert narrow.overlaps(open_cut)
+
+    def test_disjoint_signatures_block_overlap_despite_family(self):
+        first = ExceptionCut(type="Motor", method="drive*", exception=ValueError)
+        second = ExceptionCut(type="Motor", method="stop", exception=ValueError)
+        assert not first.overlaps(second)
+
+
+class TestFieldWriteCutCombos:
+    @pytest.mark.parametrize(
+        ("first", "second", "expected"),
+        [
+            # type wildcard x field anchored
+            (dict(type="*", field="speed"), dict(type="Motor", field="speed"), True),
+            # type anchored x field wildcard
+            (dict(type="Motor", field="*"), dict(type="Motor", field="speed"), True),
+            # both wildcards
+            (dict(type="*", field="*"), dict(type="Robot", field="state"), True),
+            # anchored fields differ
+            (dict(type="Motor", field="speed"), dict(type="Motor", field="rpm"), False),
+            # anchored types differ (conservative disjointness)
+            (dict(type="Motor", field="speed"), dict(type="Robot", field="speed"), False),
+            # wildcard field families that cannot meet
+            (dict(type="*", field="speed_*"), dict(type="*", field="rpm_*"), False),
+            # wildcard field families that can meet
+            (dict(type="*", field="s*"), dict(type="*", field="*d"), True),
+        ],
+    )
+    def test_combinations(self, first, second, expected):
+        assert FieldWriteCut(**first).overlaps(FieldWriteCut(**second)) is expected
+
+    def test_field_cut_never_overlaps_method_cut(self):
+        assert not FieldWriteCut(type="*", field="*").overlaps(
+            MethodCut(type="*", method="*")
+        )

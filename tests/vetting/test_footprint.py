@@ -1,0 +1,125 @@
+"""Capability-footprint inference over the seeded fixture aspects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vetting import capability_footprint, clear_caches, instance_entry_points
+from repro.vetting import report as R
+from tests.vetting import fixtures as fx
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestAcquireDiscovery:
+    def test_clean_aspect_footprint_is_exact(self):
+        footprint = capability_footprint(fx.CleanAspect)
+        assert footprint.capabilities == {"clock"}
+        assert footprint.is_exact
+        assert footprint.findings == []
+
+    def test_helper_methods_are_followed_transitively(self):
+        footprint = capability_footprint(fx.UnderDeclaredAspect)
+        assert footprint.capabilities == {"store", "network"}
+        # The network acquire happens in the helper, with its location.
+        (site,) = footprint.acquired["network"]
+        assert "_ship" in site
+
+    def test_string_literal_and_attribute_forms_both_resolve(self):
+        # CleanAspect uses Capability.CLOCK; session fixture below uses both.
+        footprint = capability_footprint(fx.OverDeclaredAspect)
+        assert footprint.capabilities == {"clock"}
+
+    def test_dynamic_acquire_makes_footprint_inexact(self):
+        footprint = capability_footprint(fx.DynamicAcquireAspect)
+        assert not footprint.is_exact
+        rules = [finding.rule for finding in footprint.findings]
+        assert R.RULE_DYNAMIC_ACQUIRE in rules
+
+    def test_add_advice_callback_is_an_entry_point_statically(self):
+        footprint = capability_footprint(fx.AddAdviceAspect)
+        assert "report" in footprint.entry_points
+        assert footprint.capabilities == {"network"}
+
+    def test_instance_entry_points_find_bound_callbacks(self):
+        aspect = fx.AddAdviceAspect()
+        assert "report" in instance_entry_points(aspect)
+
+
+class TestBypassDetection:
+    def test_banned_import_and_open_are_errors(self):
+        footprint = capability_footprint(fx.BypassAspect)
+        rules = [finding.rule for finding in footprint.findings]
+        assert rules.count(R.RULE_GATEWAY_BYPASS) >= 2
+        messages = " ".join(finding.message for finding in footprint.findings)
+        assert "socket" in messages
+        assert "open()" in messages
+        assert all(
+            finding.severity == R.ERROR
+            for finding in footprint.findings
+            if finding.rule == R.RULE_GATEWAY_BYPASS
+        )
+
+    def test_internal_reach_is_flagged(self):
+        footprint = capability_footprint(fx.InternalReachAspect)
+        rules = {finding.rule for finding in footprint.findings}
+        assert R.RULE_INTERNAL_REACH in rules
+
+
+class TestBudgetHazards:
+    def test_unbounded_while_true_is_an_error(self):
+        footprint = capability_footprint(fx.SpinAspect)
+        (finding,) = [
+            f for f in footprint.findings if f.rule == R.RULE_UNBOUNDED_LOOP
+        ]
+        assert finding.severity == R.ERROR
+        assert "spin" in finding.location
+
+    def test_mutual_recursion_is_a_warning_with_the_cycle(self):
+        footprint = capability_footprint(fx.RecursiveAspect)
+        (finding,) = [
+            f for f in footprint.findings if f.rule == R.RULE_RECURSION
+        ]
+        assert finding.severity == R.WARNING
+        assert "_ping" in finding.message and "_pong" in finding.message
+
+    def test_bounded_while_true_is_not_flagged(self):
+        class Bounded(fx.Aspect):
+            REQUIRED_CAPABILITIES = frozenset()
+
+            @fx.before(fx.MethodCut(type="Motor", method="*"))
+            def poll(self, context, gateway=None):
+                while True:
+                    break
+
+        footprint = capability_footprint(Bounded)
+        # Local classes have no retrievable source in some interpreters;
+        # either way there must be no unbounded-loop error.
+        assert not any(
+            f.rule == R.RULE_UNBOUNDED_LOOP for f in footprint.findings
+        )
+
+
+class TestDegradation:
+    def test_exec_defined_class_degrades_to_no_source_warning(self):
+        namespace: dict = {}
+        exec(
+            "from repro.aop import Aspect\n"
+            "class Ghost(Aspect):\n"
+            "    REQUIRED_CAPABILITIES = frozenset()\n",
+            namespace,
+        )
+        footprint = capability_footprint(namespace["Ghost"])
+        (finding,) = footprint.findings
+        assert finding.rule == R.RULE_NO_SOURCE
+        assert footprint.capabilities == frozenset()
+
+    def test_results_are_cached_per_class(self):
+        first = capability_footprint(fx.CleanAspect)
+        second = capability_footprint(fx.CleanAspect)
+        assert first is second

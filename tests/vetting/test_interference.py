@@ -1,0 +1,102 @@
+"""Crosscut interference analysis between (and within) extensions."""
+
+from __future__ import annotations
+
+from repro.vetting import (
+    DEFAULT_ALLOWLIST,
+    interference_findings,
+    self_interference_findings,
+    summarize,
+    summarize_class,
+)
+from repro.vetting import report as R
+from tests.vetting import fixtures as fx
+
+
+def _pair(a, b, allowlist=DEFAULT_ALLOWLIST):
+    return interference_findings(
+        summarize_class(a), summarize_class(b), allowlist
+    )
+
+
+class TestAroundConflicts:
+    def test_overlapping_around_advices_are_an_error(self):
+        findings = _pair(fx.OverlapAspectA, fx.OverlapAspectB)
+        (finding,) = findings
+        assert finding.rule == R.RULE_AROUND_CONFLICT
+        assert finding.severity == R.ERROR
+        assert "OverlapAspectA" in finding.message
+        assert "OverlapAspectB" in finding.message
+
+    def test_disjoint_arounds_are_silent(self):
+        assert _pair(fx.OverlapAspectA, fx.DisjointAspect) == []
+
+    def test_allowlisted_pair_downgrades_to_info(self):
+        allowlist = frozenset(
+            {frozenset({"OverlapAspectA", "OverlapAspectB"})}
+        )
+        (finding,) = _pair(fx.OverlapAspectA, fx.OverlapAspectB, allowlist)
+        assert finding.severity == R.INFO
+        assert "allowlisted" in finding.message
+
+    def test_allowlist_matches_extension_names_too(self):
+        candidate = summarize_class(fx.OverlapAspectA)
+        other = summarize_class(fx.OverlapAspectB)
+        by_name = frozenset(
+            {frozenset({candidate.extension, other.extension})}
+        )
+        (finding,) = interference_findings(candidate, other, by_name)
+        assert finding.severity == R.INFO
+
+
+class TestFieldAndExceptionOverlap:
+    def test_field_write_overlap_warns_about_shadowing(self):
+        (finding,) = _pair(fx.FieldWatcherA, fx.FieldWatcherB)
+        assert finding.rule == R.RULE_FIELD_SHADOWING
+        assert finding.severity == R.WARNING
+
+    def test_exception_overlap_is_informational(self):
+        (finding,) = _pair(fx.ExceptionWatcher, fx.ExceptionWatcher)
+        assert finding.rule == R.RULE_CROSSCUT_OVERLAP
+        assert finding.severity == R.INFO
+
+    def test_before_advices_stacking_is_informational(self):
+        (finding,) = _pair(fx.CleanAspect, fx.UnderDeclaredAspect)
+        assert finding.rule == R.RULE_CROSSCUT_OVERLAP
+        assert finding.severity == R.INFO
+        assert "stacking" in finding.message
+
+
+class TestSelfInterference:
+    def test_two_around_advices_in_one_extension_warn(self):
+        class DoubleWrap(fx.Aspect):
+            REQUIRED_CAPABILITIES = frozenset()
+
+            @fx.around(fx.MethodCut(type="Motor", method="drive*"))
+            def outer(self, context, gateway=None):
+                return context.proceed()
+
+            @fx.around(fx.MethodCut(type="*", method="drive_forward"))
+            def inner(self, context, gateway=None):
+                return context.proceed()
+
+        (finding,) = self_interference_findings(summarize_class(DoubleWrap))
+        assert finding.rule == R.RULE_AROUND_CONFLICT
+        assert finding.severity == R.WARNING
+
+    def test_single_around_does_not_self_conflict(self):
+        assert self_interference_findings(summarize_class(fx.OverlapAspectA)) == []
+
+
+class TestInstanceSummaries:
+    def test_instance_summary_sees_add_advice_registrations(self):
+        aspect = fx.AddAdviceAspect()
+        summary = summarize("adder", aspect)
+        assert summary.extension == "adder"
+        assert any(shape.advice_name == "report" for shape in summary.shapes)
+
+    def test_instance_and_class_summaries_agree_for_decorators(self):
+        by_class = summarize_class(fx.OverlapAspectA)
+        by_instance = summarize("a", fx.OverlapAspectA())
+        assert len(by_class.shapes) == len(by_instance.shapes)
+        assert by_class.shapes[0].kind is by_instance.shapes[0].kind

@@ -1,0 +1,60 @@
+"""SandboxPolicy capability-name validation (warn by default, strict raises)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.aop import Capability, SandboxPolicy, UnknownCapabilityWarning
+
+
+class TestConstruction:
+    def test_known_names_construct_silently(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            policy = SandboxPolicy({Capability.NETWORK, Capability.CLOCK})
+        assert policy.allows("network")
+
+    def test_unknown_name_warns_by_default(self):
+        with pytest.warns(UnknownCapabilityWarning, match="newtork"):
+            policy = SandboxPolicy({"newtork"})
+        # Warned, not rejected: custom capabilities remain legal.
+        assert policy.allows("newtork")
+
+    def test_unknown_name_raises_in_strict_mode(self):
+        with pytest.raises(ValueError, match="newtork"):
+            SandboxPolicy({"newtork"}, strict=True)
+
+    def test_strict_mode_accepts_known_names(self):
+        policy = SandboxPolicy({Capability.STORE}, strict=True)
+        assert policy.allows("store")
+
+    def test_permissive_and_restrictive_never_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SandboxPolicy.permissive()
+            SandboxPolicy.restrictive()
+
+    def test_restricted_to_keeps_only_the_intersection(self):
+        policy = SandboxPolicy({Capability.NETWORK, Capability.STORE})
+        narrowed = policy.restricted_to({Capability.NETWORK, Capability.CLOCK})
+        assert narrowed.allows("network")
+        assert not narrowed.allows("store")
+        assert not narrowed.allows("clock")
+
+    def test_error_message_lists_the_known_capabilities(self):
+        with pytest.raises(ValueError) as excinfo:
+            SandboxPolicy({"newtork"}, strict=True)
+        for name in Capability.ALL:
+            assert name in str(excinfo.value)
+
+
+class TestCapabilityIsKnown:
+    def test_all_well_known_names(self):
+        for name in Capability.ALL:
+            assert Capability.is_known(name)
+
+    def test_unknown_names(self):
+        assert not Capability.is_known("newtork")
+        assert not Capability.is_known("")

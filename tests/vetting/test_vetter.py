@@ -1,0 +1,99 @@
+"""The orchestrating Vetter: declaration diffs, strictness, dependencies."""
+
+from __future__ import annotations
+
+from repro.vetting import Vetter, report as R, vet_class, vet_instance
+from tests.vetting import fixtures as fx
+
+
+class TestDeclarationDiff:
+    def test_clean_class_vets_clean(self):
+        assert vet_class(fx.CleanAspect).clean
+
+    def test_under_declared_is_an_error_naming_the_site(self):
+        report = vet_class(fx.UnderDeclaredAspect)
+        (finding,) = report.errors()
+        assert finding.rule == R.RULE_UNDER_DECLARED
+        assert "network" in finding.message
+        assert "_ship" in finding.message
+
+    def test_over_declared_is_a_warning(self):
+        report = vet_class(fx.OverDeclaredAspect)
+        assert report.clean
+        (finding,) = report.warnings()
+        assert finding.rule == R.RULE_OVER_DECLARED
+        assert "network" in finding.message
+
+    def test_inexact_footprint_suppresses_over_declared(self):
+        # A dynamic acquire means unused declarations can't be proven
+        # unused; no least-privilege warning may fire.
+        report = vet_class(fx.DynamicAcquireAspect)
+        assert not any(
+            f.rule == R.RULE_OVER_DECLARED for f in report.findings
+        )
+
+
+class TestStrictness:
+    def test_typo_is_a_warning_by_default(self):
+        report = vet_class(fx.TypoPolicyAspect)
+        unknown = [
+            f for f in report.findings if f.rule == R.RULE_UNKNOWN_CAPABILITY
+        ]
+        assert [f.severity for f in unknown] == [R.WARNING]
+        # The typo also makes the real acquire under-declared — an error
+        # either way, so the defect cannot ship.
+        assert report.has_errors
+
+    def test_strict_mode_escalates_unknown_names_to_errors(self):
+        report = Vetter(strict=True).vet_class(fx.TypoPolicyAspect)
+        unknown = [
+            f for f in report.findings if f.rule == R.RULE_UNKNOWN_CAPABILITY
+        ]
+        assert [f.severity for f in unknown] == [R.ERROR]
+        assert report.strict
+
+
+class TestInstanceVetting:
+    def test_instance_path_sees_add_advice_callbacks(self):
+        report = vet_instance(fx.AddAdviceAspect(), extension="adder")
+        assert report.clean
+        assert report.extension == "adder"
+
+    def test_declared_override_models_the_envelope_capabilities(self):
+        # A receiver vets against the envelope's capability set — here
+        # narrower than the class declaration, so the acquire breaks.
+        report = vet_instance(
+            fx.CleanAspect(), extension="clean", declared=frozenset()
+        )
+        (finding,) = report.errors()
+        assert finding.rule == R.RULE_UNDER_DECLARED
+        assert "clock" in finding.message
+
+
+class TestDependencyChains:
+    def test_dependency_gaps_are_warnings_not_errors(self):
+        class LeakyDep(fx.Aspect):
+            REQUIRED_CAPABILITIES = frozenset()
+
+            @fx.before(fx.MethodCut(type="Motor", method="halt*"))
+            def note(self, context, gateway=None):
+                gateway.acquire(fx.Capability.CLOCK)
+
+        class Root(fx.Aspect):
+            REQUIRED_CAPABILITIES = frozenset()
+            REQUIRES = (LeakyDep,)
+
+            @fx.before(fx.MethodCut(type="Motor", method="start*"))
+            def go(self, context, gateway=None):
+                pass
+
+        report = vet_class(Root)
+        # Local classes may lack retrievable source; when analysis ran,
+        # the dependency's gap must be a warning (deps get the node
+        # policy, not the envelope's restriction).
+        assert not report.has_errors
+
+    def test_cycle_stops_dependency_analysis(self):
+        report = vet_class(fx.CycleA)
+        rules = [f.rule for f in report.findings]
+        assert rules.count(R.RULE_REQUIRES_CYCLE) == 1
