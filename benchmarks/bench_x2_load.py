@@ -1,0 +1,156 @@
+"""X2 — closed-loop load against the pipelined extension base.
+
+The paper evaluates adaptation one node at a time; X2 asks what a whole
+hall of nodes does to a base station.  A closed population of N protocol
+stubs (think time Z = 0.2 s) drives install/renew/revoke mixes through
+the base's accept-queue → worker-pool pipeline (service demand
+S = 0.04 s per job), and the measured stable-window throughput and
+response time are compared against the exact closed-M/M/n model.
+
+Two sweeps, two knees:
+
+- **offered load** (clients at 2 workers): throughput grows ~linearly
+  with N until the asymptotic knee ``N* = (Z + S) * n / S = 12``, then
+  flattens at the service ceiling ``n / S = 50 op/s`` while response
+  time grows linearly with N (every extra client just queues);
+- **workers** (1/2/4 at N = 32): a saturated single worker caps at
+  ``1 / S = 25 op/s``; adding workers raises the ceiling almost
+  linearly until the population can no longer keep them busy.
+
+Below saturation (utilization < 0.8) the measured mean response time
+must match the closed-M/M/n prediction within ±25% — the same assertion
+CI runs in ``tests/loadgen/test_mmn_validation.py``.  Derived metrics
+land in ``extra_info`` and one summary row per full run is appended to
+``BENCH_load.json`` (see ``conftest.append_bench_row``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import append_bench_row
+from repro.loadgen import Scenario, closed_mmn, run_scenario
+from repro.loadgen.analysis import saturation_point
+from repro.loadgen.harness import LoadReport
+
+THINK = 0.2
+SERVICE = 0.04
+SEED = 7
+
+CLIENT_SWEEP = [4, 8, 16, 24, 32]
+WORKER_SWEEP = [1, 2, 4]
+
+_cache: dict[tuple[int, int], LoadReport] = {}
+
+
+def run_point(workers: int, clients: int) -> LoadReport:
+    """One sweep point (memoized — several tests share the grid)."""
+    key = (workers, clients)
+    if key not in _cache:
+        _cache[key] = run_scenario(
+            Scenario(
+                name=f"x2-w{workers}-n{clients}",
+                clients=clients,
+                think_time=THINK,
+                service_time=SERVICE,
+                workers=workers,
+                duration=30.0,
+                warmup=6.0,
+                window=2.0,
+                seed=SEED,
+            )
+        )
+    return _cache[key]
+
+
+def _annotate(benchmark, report: LoadReport) -> None:
+    predicted = report.predicted
+    benchmark.extra_info.update(
+        measured_throughput=report.stable["throughput"],
+        measured_response=report.stable["latency"]["mean"],
+        predicted_throughput=predicted["throughput"],
+        predicted_response=predicted["response_time"],
+        utilization=report.station["utilization"],
+        model_gap=report.model_gap,
+        stable_windows=report.stable["windows"],
+    )
+
+
+@pytest.mark.benchmark(group="x2-load-clients")
+@pytest.mark.parametrize("clients", CLIENT_SWEEP)
+def test_x2_offered_load_sweep(benchmark, clients):
+    """Throughput/latency curve over population size at 2 workers."""
+    report = benchmark.pedantic(run_point, args=(2, clients), rounds=1, iterations=1)
+    _annotate(benchmark, report)
+    predicted = report.predicted
+    assert report.stable["windows"] >= 4, "run never stabilized"
+    if predicted["utilization"] < 0.8:
+        assert report.model_gap is not None and report.model_gap <= 0.25, (
+            f"N={clients}: measured R {report.stable['latency']['mean']:.4f}s "
+            f"vs closed-M/M/2 {predicted['response_time']:.4f}s "
+            f"(gap {report.model_gap:.1%})"
+        )
+
+
+@pytest.mark.benchmark(group="x2-load-workers")
+@pytest.mark.parametrize("workers", WORKER_SWEEP)
+def test_x2_worker_sweep(benchmark, workers):
+    """Saturation throughput over worker count at N=32."""
+    report = benchmark.pedantic(run_point, args=(workers, 32), rounds=1, iterations=1)
+    _annotate(benchmark, report)
+    assert report.stable["windows"] >= 4, "run never stabilized"
+
+
+def test_x2_saturation_knee():
+    """Past the knee the station, not the population, sets throughput."""
+    knee = saturation_point(THINK, SERVICE, servers=2)
+    assert knee == pytest.approx(12.0)
+    ceiling = 2 / SERVICE  # 50 op/s
+    below = run_point(2, 4).stable["throughput"]
+    above = [run_point(2, n).stable["throughput"] for n in (16, 24, 32)]
+    # Below the knee: throughput tracks N / (Z + S), far from the ceiling.
+    assert below == pytest.approx(4 / (THINK + SERVICE), rel=0.15)
+    # Above it: pinned to the service ceiling, growing by < 10% per step.
+    for measured in above:
+        assert measured == pytest.approx(ceiling, rel=0.15)
+    assert above[-1] <= above[0] * 1.10 + 1e-9
+
+
+def test_x2_multiworker_beats_single_worker():
+    """More workers must raise the saturated ceiling (the tentpole claim)."""
+    single = run_point(1, 32).stable["throughput"]
+    quad = run_point(4, 32).stable["throughput"]
+    assert single == pytest.approx(1 / SERVICE, rel=0.15)  # ~25 op/s
+    assert quad > 2.5 * single
+
+
+def test_x2_record_trajectory_row(record_property):
+    """Summarize the grid into one BENCH_load.json trajectory row."""
+    row = {
+        "bench": "x2_load",
+        "think_time": THINK,
+        "service_time": SERVICE,
+        "seed": SEED,
+        "clients_sweep": {
+            str(n): {
+                "throughput": round(run_point(2, n).stable["throughput"], 3),
+                "response_mean": round(
+                    run_point(2, n).stable["latency"]["mean"], 5
+                ),
+                "predicted_response": round(
+                    closed_mmn(n, THINK, SERVICE, 2)["response_time"], 5
+                ),
+                "model_gap": round(run_point(2, n).model_gap or 0.0, 4),
+            }
+            for n in CLIENT_SWEEP
+        },
+        "workers_sweep": {
+            str(w): {
+                "throughput": round(run_point(w, 32).stable["throughput"], 3),
+                "utilization": round(run_point(w, 32).station["utilization"], 3),
+            }
+            for w in WORKER_SWEEP
+        },
+    }
+    path = append_bench_row("load", row)
+    record_property("bench_rows_path", str(path))

@@ -12,15 +12,41 @@ Benchmarks measure two different things and label them clearly:
 
 from __future__ import annotations
 
+import json
 import sys
 from pathlib import Path
 
 import pytest
 
 # Make the test-suite support module importable from benchmarks too.
-sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
 
 from repro.aop.vm import ProseVM  # noqa: E402
+
+
+def append_bench_row(name: str, row: dict) -> Path:
+    """Append one machine-readable trajectory row to ``BENCH_<name>.json``.
+
+    The file at the repo root holds a JSON list of rows, one per recorded
+    run, so derived metrics can be tracked across commits without
+    scraping pytest-benchmark output.  Rows should contain only
+    deterministic, simulation-derived numbers (plus explicit context like
+    a git revision if the caller wants it) — not wall-clock noise.
+    """
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    rows = json.loads(path.read_text(encoding="utf-8")) if path.exists() else []
+    rows.append(row)
+    path.write_text(
+        json.dumps(rows, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+@pytest.fixture
+def bench_trajectory():
+    """Fixture handle on :func:`append_bench_row` for benchmark modules."""
+    return append_bench_row
 
 
 @pytest.fixture

@@ -8,6 +8,7 @@ Usage::
     python -m repro telemetry       # traced MIDAS lifecycle demo
     python -m repro inspect         # node health: extensions, leases, breakers
     python -m repro vet <target>    # statically vet extension modules
+    python -m repro loadgen         # closed-loop load runs + M/M/n checks
 """
 
 from __future__ import annotations
@@ -54,6 +55,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.vetting.cli import main as vet_main
 
         return vet_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        from repro.loadgen.cli import main as loadgen_main
+
+        return loadgen_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

@@ -31,6 +31,7 @@ from repro.faults.plan import FaultPlan
 from repro.leasing.table import DEFAULT_DURATION
 from repro.midas.base import ExtensionBase
 from repro.midas.catalog import ExtensionCatalog
+from repro.midas.pipeline import PipelineConfig
 from repro.midas.receiver import AdaptationService
 from repro.midas.remote import RemoteCaller, ServiceRef
 from repro.midas.scheduler import SchedulerService
@@ -77,6 +78,7 @@ class BaseStation:
             self.catalog,
             lease_duration,
             retry_policy=platform.retry_policy,
+            pipeline=platform.pipeline,
         )
         self.extension_base.watch_lookup(self.lookup)
         self.db = MovementStore(name=f"{node.node_id}.db")
@@ -231,10 +233,14 @@ class ProactivePlatform:
         lease_duration: float = DEFAULT_DURATION,
         retry_policy: RetryPolicy | None = None,
         supervision: SupervisionPolicy | None = None,
+        pipeline: PipelineConfig | None = None,
     ):
         self.simulator = Simulator()
         self.network = Network(self.simulator, config=network_config, seed=seed)
         self.lease_duration = lease_duration
+        #: Pipeline shape handed to every base station built here; None
+        #: keeps the classic inline (single-worker, zero-service) mode.
+        self.pipeline = pipeline
         #: Resilience policy handed to every base and mobile node built
         #: here (retrying offers/registrations, keepalive backoff); None
         #: keeps the classic reconcile-only behavior.

@@ -188,6 +188,10 @@ class DistributionError(MidasError):
     """An extension base failed to deliver an extension to a receiver."""
 
 
+class PipelineOverloadError(MidasError):
+    """A base-station pipeline shed work because its accept queue is full."""
+
+
 # ---------------------------------------------------------------------------
 # Robot substrate
 # ---------------------------------------------------------------------------

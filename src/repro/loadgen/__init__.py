@@ -1,0 +1,42 @@
+"""Closed-loop load generation and queueing-theoretic analysis.
+
+The paper evaluates adaptation costs one node at a time; validating a
+"heavy traffic" claim needs the measurement discipline of the closed-
+system middleware studies (memtier clients → net thread → worker pool):
+
+- :mod:`repro.loadgen.scenario` — a declarative experiment spec: N
+  virtual clients, think time, an operation mix
+  (install/renew/revoke/discovery), the base station's pipeline shape,
+  warmup/measurement windows, one seed;
+- :mod:`repro.loadgen.client` — closed-loop virtual clients on the
+  deterministic sim kernel, each with at most one outstanding operation
+  against the base station;
+- :mod:`repro.loadgen.windows` — windowed statistics: warmup trim,
+  stable-window detection, per-window throughput / latency /
+  queue-depth;
+- :mod:`repro.loadgen.analysis` — operational laws (utilization,
+  Little, interactive response time) and M/M/1 / M/M/n / closed M/M/n
+  models, validated against the measured response times;
+- :mod:`repro.loadgen.harness` — wires it all together:
+  ``run_scenario(spec) -> LoadReport``.
+
+Run from the command line with ``python -m repro loadgen``.
+"""
+
+from repro.loadgen.analysis import closed_mmn, mm1_metrics, mmn_metrics
+from repro.loadgen.harness import LoadReport, run_scenario
+from repro.loadgen.scenario import OPERATIONS, Scenario
+from repro.loadgen.windows import Window, WindowedCollector, stable_span
+
+__all__ = [
+    "OPERATIONS",
+    "LoadReport",
+    "Scenario",
+    "Window",
+    "WindowedCollector",
+    "closed_mmn",
+    "mm1_metrics",
+    "mmn_metrics",
+    "run_scenario",
+    "stable_span",
+]

@@ -1,0 +1,231 @@
+"""Queueing models and operational laws for load-run validation.
+
+Three model families, in increasing fidelity to the harness:
+
+- **operational laws** — distribution-free identities (utilization law,
+  Little's law, interactive response-time law).  They must hold for any
+  measured run up to sampling error; a violation means the measurement
+  is wrong, not the system.
+- **open M/M/1 / M/M/n** (:func:`mm1_metrics`, :func:`mmn_metrics`,
+  Erlang C) — classic fixed-arrival-rate predictions.  Useful below
+  saturation where the closed loop approximates a Poisson source.
+- **closed M/M/n** (:func:`closed_mmn`) — the exact birth–death chain
+  for ``N`` clients with exponential think time ``Z`` sharing ``n``
+  exponential servers of demand ``S`` (the machine-repairman model with
+  ``n`` repairmen).  This is the model the harness actually implements,
+  so its predictions are the ones the validation tests assert against.
+
+All times are in the same unit (virtual seconds); rates are per that
+unit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+# ---------------------------------------------------------------------------
+# Operational laws (distribution-free)
+# ---------------------------------------------------------------------------
+
+
+def utilization_law(throughput: float, service_time: float, servers: int = 1) -> float:
+    """Per-server utilization ``U = X * S / n``."""
+    if servers < 1:
+        raise ValueError(f"need >= 1 server, got {servers}")
+    return throughput * service_time / servers
+
+
+def littles_law(throughput: float, response_time: float) -> float:
+    """Mean population ``L = X * R``."""
+    return throughput * response_time
+
+
+def interactive_response_time(
+    clients: int, throughput: float, think_time: float
+) -> float:
+    """Closed-system response-time law ``R = N / X - Z``."""
+    if throughput <= 0:
+        return math.inf
+    return clients / throughput - think_time
+
+
+def operational_checks(
+    *,
+    clients: int,
+    think_time: float,
+    throughput: float,
+    response_time: float,
+    service_time: float,
+    servers: int,
+) -> dict[str, Any]:
+    """Cross-check a measured run against the operational laws.
+
+    Returns the law-derived quantities plus the relative gap between the
+    measured response time and the interactive response-time law — the
+    single best smoke test of a closed-loop measurement.
+    """
+    law_r = interactive_response_time(clients, throughput, think_time)
+    gap = (
+        abs(response_time - law_r) / law_r
+        if law_r not in (0.0, math.inf)
+        else math.inf
+    )
+    return {
+        "utilization": utilization_law(throughput, service_time, servers),
+        "population_in_system": littles_law(throughput, response_time),
+        "response_time_law": law_r,
+        "response_time_measured": response_time,
+        "response_time_gap": gap,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Open models
+# ---------------------------------------------------------------------------
+
+
+def mm1_metrics(arrival_rate: float, service_time: float) -> dict[str, float]:
+    """Open M/M/1 predictions for Poisson arrivals at ``arrival_rate``."""
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError(
+            f"need arrival_rate >= 0 and service_time > 0, "
+            f"got {arrival_rate}/{service_time}"
+        )
+    rho = arrival_rate * service_time
+    if rho >= 1.0:
+        return {
+            "rho": rho,
+            "response_time": math.inf,
+            "wait_time": math.inf,
+            "number_in_system": math.inf,
+            "queue_length": math.inf,
+        }
+    response = service_time / (1.0 - rho)
+    return {
+        "rho": rho,
+        "response_time": response,
+        "wait_time": response - service_time,
+        "number_in_system": rho / (1.0 - rho),
+        "queue_length": rho * rho / (1.0 - rho),
+    }
+
+
+def erlang_c(arrival_rate: float, service_time: float, servers: int) -> float:
+    """Erlang-C probability that an open-M/M/n arrival must queue."""
+    if servers < 1:
+        raise ValueError(f"need >= 1 server, got {servers}")
+    offered = arrival_rate * service_time  # offered load in Erlangs
+    rho = offered / servers
+    if rho >= 1.0:
+        return 1.0
+    # Iterative Erlang-B, then the B->C conversion: numerically stable
+    # for large server counts (no big factorials).
+    blocking = 1.0
+    for k in range(1, servers + 1):
+        blocking = offered * blocking / (k + offered * blocking)
+    return blocking / (1.0 - rho * (1.0 - blocking))
+
+
+def mmn_metrics(
+    arrival_rate: float, service_time: float, servers: int
+) -> dict[str, float]:
+    """Open M/M/n predictions for Poisson arrivals at ``arrival_rate``."""
+    if arrival_rate < 0 or service_time <= 0:
+        raise ValueError(
+            f"need arrival_rate >= 0 and service_time > 0, "
+            f"got {arrival_rate}/{service_time}"
+        )
+    if servers == 1:
+        metrics = mm1_metrics(arrival_rate, service_time)
+        metrics["queue_probability"] = metrics["rho"]
+        return metrics
+    rho = arrival_rate * service_time / servers
+    if rho >= 1.0:
+        return {
+            "rho": rho,
+            "queue_probability": 1.0,
+            "response_time": math.inf,
+            "wait_time": math.inf,
+            "number_in_system": math.inf,
+            "queue_length": math.inf,
+        }
+    queue_probability = erlang_c(arrival_rate, service_time, servers)
+    wait = queue_probability * service_time / (servers * (1.0 - rho))
+    return {
+        "rho": rho,
+        "queue_probability": queue_probability,
+        "response_time": service_time + wait,
+        "wait_time": wait,
+        "number_in_system": arrival_rate * (service_time + wait),
+        "queue_length": arrival_rate * wait,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Closed model (what the harness actually is)
+# ---------------------------------------------------------------------------
+
+
+def closed_mmn(
+    clients: int, think_time: float, service_time: float, servers: int
+) -> dict[str, float]:
+    """Exact closed M/M/n predictions via the birth–death chain.
+
+    ``k`` counts clients at the station (queued or in service); the
+    remaining ``N - k`` are thinking.  Transition rates: arrivals
+    ``(N - k) / Z``, completions ``min(k, n) / S``.  Both think and
+    service are exponential, matching the harness defaults; with fixed
+    think/service times the chain is approximate (and the validation
+    tolerance absorbs the difference).
+    """
+    if clients < 1 or servers < 1:
+        raise ValueError(f"need >= 1 client and server, got {clients}/{servers}")
+    if service_time <= 0 or think_time < 0:
+        raise ValueError(
+            f"need service_time > 0 and think_time >= 0, "
+            f"got {service_time}/{think_time}"
+        )
+    if think_time == 0:
+        # Zero think: all clients permanently at the station.
+        throughput = min(clients, servers) / service_time
+        return {
+            "throughput": throughput,
+            "response_time": clients / throughput,
+            "utilization": min(1.0, clients / servers),
+            "number_at_station": float(clients),
+            "queue_length": float(max(0, clients - servers)),
+        }
+    # Unnormalized stationary probabilities via detailed balance:
+    # p[k+1] = p[k] * arrival(k) / completion(k+1).
+    weights = [1.0]
+    for k in range(clients):
+        arrival = (clients - k) / think_time
+        completion = min(k + 1, servers) / service_time
+        weights.append(weights[-1] * arrival / completion)
+    total = sum(weights)
+    probabilities = [weight / total for weight in weights]
+    throughput = sum(
+        p * min(k, servers) / service_time for k, p in enumerate(probabilities)
+    )
+    at_station = sum(k * p for k, p in enumerate(probabilities))
+    in_service = sum(min(k, servers) * p for k, p in enumerate(probabilities))
+    return {
+        "throughput": throughput,
+        # Little's law at the station; equals N / X - Z identically.
+        "response_time": at_station / throughput,
+        "utilization": in_service / servers,
+        "number_at_station": at_station,
+        "queue_length": at_station - in_service,
+    }
+
+
+def saturation_point(think_time: float, service_time: float, servers: int) -> float:
+    """Asymptotic-bound knee ``N* = (Z + S) * n / S`` of a closed system.
+
+    Below ``N*`` clients the bottleneck is the population (throughput
+    grows ~linearly); above it the station saturates at ``n / S``.
+    """
+    if service_time <= 0:
+        raise ValueError(f"need service_time > 0, got {service_time}")
+    return (think_time + service_time) * servers / service_time

@@ -1,0 +1,122 @@
+"""The ``python -m repro loadgen`` subcommand.
+
+Run a closed-loop load scenario against a pipelined base station and
+print a windowed report::
+
+    python -m repro loadgen                      # list presets
+    python -m repro loadgen smoke                # run a preset
+    python -m repro loadgen mmn --json           # machine-readable report
+    python -m repro loadgen --spec scenario.json # run a spec from disk
+    python -m repro loadgen smoke --clients 16 --workers 4 --seed 3
+
+Overrides (``--clients``, ``--workers``, ``--think``, ``--service``,
+``--duration``, ``--seed``, ...) apply on top of the preset or spec, so
+sweeps are shell loops.  ``--windows`` adds the per-window table to the
+text report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.loadgen.harness import run_scenario
+from repro.loadgen.scenario import PRESETS, Scenario
+
+
+def _build_scenario(args: argparse.Namespace) -> Scenario:
+    if args.spec is not None:
+        scenario = Scenario.from_file(args.spec)
+    elif args.preset is not None:
+        scenario = PRESETS[args.preset]
+    else:
+        scenario = Scenario(name="custom")
+    overrides = {
+        "clients": args.clients,
+        "workers": args.workers,
+        "dispatch": args.dispatch,
+        "think_time": args.think,
+        "service_time": args.service,
+        "duration": args.duration,
+        "warmup": args.warmup,
+        "window": args.window,
+        "queue_capacity": args.queue_capacity,
+        "seed": args.seed,
+    }
+    changes = {key: value for key, value in overrides.items() if value is not None}
+    if changes:
+        scenario = scenario.replace(**changes)
+    return scenario.validate()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description=(
+            "Closed-loop load generation against a pipelined extension "
+            "base, with windowed statistics and M/M/n validation."
+        ),
+    )
+    parser.add_argument(
+        "preset",
+        nargs="?",
+        choices=sorted(PRESETS),
+        help="preset scenario to run (omit with no --spec to list them)",
+    )
+    parser.add_argument("--spec", help="JSON scenario spec file (overrides preset)")
+    parser.add_argument("--clients", type=int, help="closed population size")
+    parser.add_argument("--workers", type=int, help="pipeline worker count")
+    parser.add_argument(
+        "--dispatch", choices=("shared", "rr", "shard"), help="dispatch mode"
+    )
+    parser.add_argument("--think", type=float, help="mean think time (s)")
+    parser.add_argument("--service", type=float, help="mean service demand (s)")
+    parser.add_argument("--duration", type=float, help="measured duration (s)")
+    parser.add_argument("--warmup", type=float, help="warmup before measuring (s)")
+    parser.add_argument("--window", type=float, help="statistics window (s)")
+    parser.add_argument(
+        "--queue-capacity", type=int, help="accept-queue bound (sheds beyond it)"
+    )
+    parser.add_argument("--seed", type=int, help="random seed")
+    parser.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    parser.add_argument(
+        "--windows", action="store_true", help="include the per-window table"
+    )
+    args = parser.parse_args(argv)
+
+    if args.preset is None and args.spec is None:
+        print("Available presets (python -m repro loadgen <name>):\n")
+        for name, preset in sorted(PRESETS.items()):
+            mix = {op: round(w, 3) for op, w in preset.normalized_mix().items()}
+            print(
+                f"  {name:10s} N={preset.clients} Z={preset.think_time}s "
+                f"S={preset.service_time}s workers={preset.workers} mix={mix}"
+            )
+        return 0
+
+    report = run_scenario(_build_scenario(args))
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    for line in report.summary_lines():
+        print(line)
+    if args.windows:
+        print(f"\n{'win':>4} {'X op/s':>8} {'R mean':>9} {'depth':>6}  in span")
+        first, last = report.span
+        for window in report.windows:
+            mean = window.mean_latency
+            print(
+                f"{window.index:>4} {window.throughput:>8.2f} "
+                f"{'-' if mean is None else format(mean * 1000, '.2f') + 'ms':>9} "
+                f"{window.samples.get('queue_depth', 0):>6.0f}  "
+                f"{'*' if first <= window.index < last else ''}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,205 @@
+"""Declarative load-experiment specifications.
+
+A :class:`Scenario` is everything one closed-loop experiment needs —
+population, think time, operation mix, the base station's pipeline
+shape, measurement windows, and a seed — in one JSON-serializable
+record, so a run is reproducible from its spec alone and sweeps are
+plain loops over ``replace()``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.midas.pipeline import PipelineConfig
+
+#: The operations a virtual client can draw from its mix.
+#:
+#: ``install``    force-offer one catalog extension (offer → verify →
+#:                install/refresh → lease grant, one pipeline job);
+#: ``renew``      batch-renew every lease the base holds on the client
+#:                (one pipeline job, one keepalive round);
+#: ``revoke``     revoke one installed extension (one pipeline job;
+#:                falls back to ``install`` when nothing is installed);
+#: ``discovery``  re-register the client's adaptation service with the
+#:                base's registrar (served by the registrar inline —
+#:                no pipeline job unless the client is missing
+#:                extensions, which re-offers them).
+OPERATIONS = ("install", "renew", "revoke", "discovery")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One closed-loop load experiment, fully determined by its fields."""
+
+    name: str = "scenario"
+    #: Closed population: each client has at most one outstanding
+    #: operation and thinks between completions.
+    clients: int = 8
+    #: Mean think time (virtual seconds) between operations.
+    think_time: float = 0.5
+    think_distribution: str = "exponential"  # or "fixed"
+    #: Measured phase length (virtual seconds), after ``warmup``.
+    duration: float = 60.0
+    warmup: float = 5.0
+    #: Statistics window length (virtual seconds).
+    window: float = 1.0
+    #: Operation mix weights (normalized; keys from :data:`OPERATIONS`).
+    mix: dict[str, float] = field(
+        default_factory=lambda: {"install": 0.6, "renew": 0.25, "revoke": 0.15}
+    )
+    #: Extensions published in the base's catalog.
+    catalog_size: int = 4
+    # -- base-station pipeline shape ------------------------------------------
+    workers: int = 1
+    dispatch: str = "shared"
+    queue_capacity: int | None = None
+    #: Mean simulated service demand per pipeline job at the base.
+    service_time: float = 0.02
+    service_distribution: str = "exponential"
+    # -- world ----------------------------------------------------------------
+    seed: int = 0
+    #: Long by default so background lease renewals do not pollute the
+    #: measured mix (clients drive renewals explicitly instead).
+    lease_duration: float = 3600.0
+    #: Register each client's adaptation service with the base's lookup
+    #: (the initial adaptation wave then happens during warmup).
+    register_clients: bool = True
+    #: Radio latency; near-zero keeps network time out of the station
+    #: model so M/M/n predictions are clean.  Raise it to study the
+    #: effect of wire time on closed-loop throughput.
+    net_latency: float = 0.0001
+    net_jitter: float = 0.0
+    loss_probability: float = 0.0
+    #: Client-side deadline per operation; an overrun counts as an error
+    #: and the client moves on (keeps the loop alive under shedding).
+    op_timeout: float = 30.0
+
+    # -- derived ---------------------------------------------------------------
+
+    def pipeline_config(self) -> PipelineConfig:
+        """The base station's :class:`PipelineConfig` for this scenario."""
+        return PipelineConfig(
+            workers=self.workers,
+            dispatch=self.dispatch,
+            queue_capacity=self.queue_capacity,
+            service_time=self.service_time,
+            service_distribution=self.service_distribution,
+            seed=self.seed,
+        )
+
+    def normalized_mix(self) -> dict[str, float]:
+        """The mix with weights scaled to sum to 1.0."""
+        total = sum(self.mix.values())
+        return {op: weight / total for op, weight in self.mix.items() if weight > 0}
+
+    def validate(self) -> "Scenario":
+        """Raise :class:`SimulationError` on an unrunnable spec."""
+        if self.clients < 1:
+            raise SimulationError(f"need >= 1 client, got {self.clients}")
+        if self.think_time < 0:
+            raise SimulationError(f"think time must be >= 0, got {self.think_time}")
+        if self.think_distribution not in ("fixed", "exponential"):
+            raise SimulationError(
+                f"unknown think distribution {self.think_distribution!r}"
+            )
+        if self.duration <= 0 or self.warmup < 0:
+            raise SimulationError(
+                f"need duration > 0 and warmup >= 0, got "
+                f"{self.duration}/{self.warmup}"
+            )
+        if not 0 < self.window <= self.duration:
+            raise SimulationError(
+                f"window must be in (0, duration], got {self.window}"
+            )
+        if self.catalog_size < 1:
+            raise SimulationError(f"need >= 1 extension, got {self.catalog_size}")
+        unknown = sorted(set(self.mix) - set(OPERATIONS))
+        if unknown:
+            raise SimulationError(
+                f"unknown operations in mix: {unknown}; expected {OPERATIONS}"
+            )
+        if any(weight < 0 for weight in self.mix.values()):
+            raise SimulationError("mix weights must be >= 0")
+        if sum(self.mix.values()) <= 0:
+            raise SimulationError("mix weights must sum to > 0")
+        if self.op_timeout <= 0:
+            raise SimulationError(f"op timeout must be > 0, got {self.op_timeout}")
+        self.pipeline_config().validate()
+        return self
+
+    def replace(self, **changes: Any) -> "Scenario":
+        """A copy with ``changes`` applied (sweep helper)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form of this scenario."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Scenario":
+        """Build (and validate) a scenario from :meth:`to_dict` output."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SimulationError(f"unknown scenario fields: {unknown}")
+        return cls(**data).validate()
+
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "Scenario":
+        """Load a scenario spec from a JSON file."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+#: Ready-made scenarios for the CLI and CI smoke runs.
+PRESETS: dict[str, Scenario] = {
+    # Small and fast: a deterministic end-to-end exercise of every op.
+    "smoke": Scenario(
+        name="smoke",
+        clients=4,
+        think_time=0.2,
+        duration=10.0,
+        warmup=2.0,
+        window=1.0,
+        mix={"install": 0.5, "renew": 0.2, "revoke": 0.2, "discovery": 0.1},
+        catalog_size=2,
+        workers=2,
+        service_time=0.01,
+        seed=42,
+    ),
+    # Moderately loaded M/M/2 validation point (rho ~ 0.55).
+    "mmn": Scenario(
+        name="mmn",
+        clients=12,
+        think_time=0.4,
+        duration=80.0,
+        warmup=8.0,
+        window=2.0,
+        mix={"install": 0.6, "renew": 0.25, "revoke": 0.15},
+        catalog_size=4,
+        workers=2,
+        service_time=0.04,
+        seed=7,
+    ),
+    # Saturated single worker: the queue is the story.
+    "saturate": Scenario(
+        name="saturate",
+        clients=32,
+        think_time=0.2,
+        duration=60.0,
+        warmup=10.0,
+        window=2.0,
+        mix={"install": 0.7, "renew": 0.2, "revoke": 0.1},
+        catalog_size=4,
+        workers=1,
+        service_time=0.04,
+        seed=7,
+    ),
+}

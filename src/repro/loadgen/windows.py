@@ -1,0 +1,222 @@
+"""Windowed statistics for closed-loop load runs.
+
+Raw per-operation completions are bucketed into fixed-length windows of
+virtual time.  Analysis then *trims* (warmup happens before the
+collector starts) and *selects*: :func:`stable_span` finds the longest
+consecutive run of windows whose throughput stays within a tolerance of
+the run's median — the "stable window" discipline from the closed-system
+middleware studies, which keeps ramp-up and tail-off out of the numbers
+that feed the queueing models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any
+
+from repro.util.clock import Clock
+
+
+def percentile(values: list[float], q: float) -> float | None:
+    """Nearest-rank ``q``-percentile of ``values`` (None if empty)."""
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"percentile must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+@dataclass
+class Window:
+    """One statistics window: completions, latencies, and point samples."""
+
+    index: int
+    start: float
+    end: float
+    completions: int = 0
+    errors: int = 0
+    per_op: dict[str, int] = field(default_factory=dict)
+    #: Latencies of *successful* operations completed in this window.
+    latencies: list[float] = field(default_factory=list)
+    #: Point-in-time samples taken at the window boundary (queue depth,
+    #: in-service count, ...).
+    samples: dict[str, float] = field(default_factory=dict)
+    #: Cumulative station counters snapped at the window boundary —
+    #: consecutive snapshots difference into exact per-window station
+    #: stats.
+    snapshot: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        """Successful completions per virtual second."""
+        return self.completions / self.length if self.length > 0 else 0.0
+
+    @property
+    def mean_latency(self) -> float | None:
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "end": self.end,
+            "completions": self.completions,
+            "errors": self.errors,
+            "per_op": dict(sorted(self.per_op.items())),
+            "throughput": self.throughput,
+            "latency_mean": self.mean_latency,
+            "latency_p95": percentile(self.latencies, 0.95),
+            "samples": dict(sorted(self.samples.items())),
+        }
+
+
+class WindowedCollector:
+    """Buckets operation completions into fixed windows of virtual time.
+
+    The collector is *armed* at the end of warmup (:meth:`begin`);
+    completions recorded before that are dropped, so warmup trim is
+    structural rather than a post-processing step.
+    """
+
+    def __init__(self, clock: Clock, window: float):
+        if window <= 0:
+            raise ValueError(f"window length must be > 0, got {window}")
+        self.clock = clock
+        self.window = window
+        self.started_at: float | None = None
+        self._windows: dict[int, Window] = {}
+
+    def begin(self) -> None:
+        """Arm the collector; windows are measured from this instant."""
+        self.started_at = self.clock.now()
+
+    @property
+    def armed(self) -> bool:
+        return self.started_at is not None
+
+    def _window_at(self, now: float) -> Window | None:
+        if self.started_at is None or now < self.started_at:
+            return None
+        index = int((now - self.started_at) / self.window)
+        existing = self._windows.get(index)
+        if existing is None:
+            start = self.started_at + index * self.window
+            existing = self._windows[index] = Window(index, start, start + self.window)
+        return existing
+
+    def record(self, op: str, latency: float, ok: bool = True) -> None:
+        """Record one completed operation at the current instant."""
+        window = self._window_at(self.clock.now())
+        if window is None:
+            return
+        if ok:
+            window.completions += 1
+            window.per_op[op] = window.per_op.get(op, 0) + 1
+            window.latencies.append(latency)
+        else:
+            window.errors += 1
+
+    def sample(self, values: dict[str, float]) -> None:
+        """Attach point-in-time samples to the current window."""
+        window = self._window_at(self.clock.now())
+        if window is not None:
+            window.samples.update(values)
+
+    def snapshot(self, counters: dict[str, float]) -> None:
+        """Attach a cumulative-counter snapshot to the current window."""
+        window = self._window_at(self.clock.now())
+        if window is not None:
+            window.snapshot = dict(counters)
+
+    def finalize(self) -> list[Window]:
+        """All complete-or-started windows in order (gaps filled empty)."""
+        if self.started_at is None or not self._windows:
+            return []
+        last = max(self._windows)
+        return [
+            self._windows.get(
+                index,
+                Window(
+                    index,
+                    self.started_at + index * self.window,
+                    self.started_at + (index + 1) * self.window,
+                ),
+            )
+            for index in range(last + 1)
+        ]
+
+
+def stable_span(
+    throughputs: list[float], tolerance: float = 0.15, min_windows: int = 4
+) -> tuple[int, int]:
+    """The longest run of windows with throughput near the run median.
+
+    Returns ``(first, last_exclusive)`` indices of the longest
+    consecutive span in which every value lies within ``tolerance`` of
+    the span's median (for an all-zero span, every value must be zero).
+    Returns ``(0, 0)`` when no span of at least ``min_windows`` windows
+    qualifies — the run never stabilized and its aggregate numbers
+    should not feed a model.
+    """
+    if min_windows < 1:
+        raise ValueError(f"min_windows must be >= 1, got {min_windows}")
+    n = len(throughputs)
+    best = (0, 0)
+    for start in range(n):
+        for end in range(start + min_windows, n + 1):
+            span = throughputs[start:end]
+            mid = median(span)
+            if mid == 0:
+                ok = all(value == 0 for value in span)
+            else:
+                ok = all(abs(value - mid) <= tolerance * mid for value in span)
+            if ok and end - start > best[1] - best[0]:
+                best = (start, end)
+    return best
+
+
+def aggregate(windows: list[Window], span: tuple[int, int]) -> dict[str, Any]:
+    """Aggregate statistics over ``windows[span[0]:span[1]]``."""
+    chosen = windows[span[0]:span[1]]
+    if not chosen:
+        return {
+            "windows": 0,
+            "completions": 0,
+            "errors": 0,
+            "throughput": 0.0,
+            "per_op": {},
+            "latency": None,
+        }
+    latencies = [value for window in chosen for value in window.latencies]
+    completions = sum(window.completions for window in chosen)
+    length = sum(window.length for window in chosen)
+    per_op: dict[str, int] = {}
+    for window in chosen:
+        for op, count in window.per_op.items():
+            per_op[op] = per_op.get(op, 0) + count
+    throughputs = [window.throughput for window in chosen]
+    return {
+        "windows": len(chosen),
+        "completions": completions,
+        "errors": sum(window.errors for window in chosen),
+        "throughput": completions / length if length > 0 else 0.0,
+        "throughput_min": min(throughputs),
+        "throughput_max": max(throughputs),
+        "per_op": dict(sorted(per_op.items())),
+        "latency": {
+            "mean": sum(latencies) / len(latencies) if latencies else None,
+            "p50": percentile(latencies, 0.50),
+            "p95": percentile(latencies, 0.95),
+            "p99": percentile(latencies, 0.99),
+            "max": max(latencies) if latencies else None,
+        },
+    }

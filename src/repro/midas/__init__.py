@@ -24,6 +24,7 @@ Roles are symmetric: a node may run a base, a receiver, or both
 from repro.midas.base import AdaptationRecord, ExtensionBase
 from repro.midas.catalog import ExtensionCatalog
 from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.pipeline import AcceptQueuePipeline, PipelineConfig
 from repro.midas.receiver import (
     REASON_QUARANTINED,
     AdaptationService,
@@ -33,8 +34,10 @@ from repro.midas.remote import RemoteCaller, ServiceRef
 from repro.midas.trust import Signer, TrustStore
 
 __all__ = [
+    "AcceptQueuePipeline",
     "AdaptationRecord",
     "AdaptationService",
+    "PipelineConfig",
     "ExtensionBase",
     "ExtensionCatalog",
     "ExtensionEnvelope",

@@ -20,6 +20,16 @@ An :class:`ExtensionBase`:
   point in time") and implements the paper's simple roaming algorithm:
   peer bases are told when a node arrives here, so they stop renewing
   the leases they hold for it.
+
+The base's event handling has two execution modes.  By default
+(``pipeline=None``) every piece of work — an offer, a keepalive round, a
+health report — runs inline in the callback that triggered it, exactly
+as a small hall wants.  Handing the constructor a
+:class:`~repro.midas.pipeline.PipelineConfig` interposes an explicit
+accept-queue → worker-pool station (:mod:`repro.midas.pipeline`) in
+front of the same work: jobs wait for one of N simulated workers, hold
+it for a service time, and can be shed under overload — which is what
+load experiments measure.
 """
 
 from __future__ import annotations
@@ -32,9 +42,10 @@ from repro.discovery.client import DiscoveryClient
 from repro.discovery.events import EventKind, RemoteEvent
 from repro.discovery.registrar import LookupService
 from repro.discovery.service import ServiceItem, ServiceTemplate
-from repro.errors import UnknownExtensionError
+from repro.errors import PipelineOverloadError, UnknownExtensionError
 from repro.leasing.renewer import RenewalAgent, TrackedLease
 from repro.midas.catalog import ExtensionCatalog, ExtensionFactory
+from repro.midas.pipeline import AcceptQueuePipeline, PipelineConfig
 from repro.midas.receiver import (
     ADAPTATION_INTERFACE,
     HEALTH,
@@ -103,11 +114,22 @@ class ExtensionBase:
         lease_duration: float = DEFAULT_EXTENSION_LEASE,
         node_filter: "ServiceTemplate | None" = None,
         retry_policy: RetryPolicy | None = None,
+        pipeline: PipelineConfig | None = None,
     ):
         self.transport = transport
         self.simulator = simulator
         self.catalog = catalog
         self.lease_duration = lease_duration
+        #: The accept-queue → worker-pool station all base work runs
+        #: through, or None for the classic inline single-worker mode
+        #: (byte-identical to the pre-pipeline behavior).
+        self.pipeline: AcceptQueuePipeline | None = (
+            AcceptQueuePipeline(
+                simulator, pipeline, name=f"{transport.node.node_id}.base"
+            )
+            if pipeline is not None
+            else None
+        )
         #: When set, offers and revocations retry with backoff (bounded
         #: by the lease term — an offer older than that is stale anyway)
         #: and keepalive failures back off instead of waiting full
@@ -128,6 +150,9 @@ class ExtensionBase:
         #: Fires with (node_id, extension_name, report_body) when a node
         #: reports it quarantined one of our extensions.
         self.on_quarantined = Signal(f"{self.node_id}.on_quarantined")
+        #: Fires with (node_id, extension_name, ok) when a revocation
+        #: resolves — ok=False for remote errors, timeouts, or shedding.
+        self.on_revoked = Signal(f"{self.node_id}.on_revoked")
 
         self.activity_log: list[AdaptationRecord] = []
         self._adapted: dict[tuple[str, str], _Adapted] = {}  # (node, name) -> record
@@ -162,6 +187,28 @@ class ExtensionBase:
         transport.register(ROAMED, self._serve_roamed)
         transport.register(HEALTH, self._serve_health)
 
+    # -- work dispatch -----------------------------------------------------------
+
+    def _submit(
+        self,
+        key: str,
+        kind: str,
+        fn: Callable[[], None],
+        on_shed: "Callable[[PipelineOverloadError], None] | None" = None,
+    ) -> bool:
+        """Run one unit of base work inline, or queue it on the pipeline.
+
+        Without a pipeline this *is* the classic code path: ``fn`` runs
+        synchronously, in the exact place the inline implementation ran,
+        so default-configured bases behave byte-identically.  With a
+        pipeline the work waits for a worker; False means it was shed
+        (``on_shed``, if any, already fired).
+        """
+        if self.pipeline is None:
+            fn()
+            return True
+        return self.pipeline.submit(key, kind, fn, on_shed=on_shed)
+
     # -- crash support -----------------------------------------------------------
 
     def reset_volatile(self) -> None:
@@ -177,6 +224,8 @@ class ExtensionBase:
         for tracked in self._renewer.tracked():
             self._renewer.forget(tracked.lease_id)
         self._adapted.clear()
+        if self.pipeline is not None:
+            self.pipeline.reset_volatile()
 
     # -- discovery wiring --------------------------------------------------------
 
@@ -272,10 +321,16 @@ class ExtensionBase:
             # of a node that never left.
             self._announce_roaming(node_id)
 
-    def offer(self, node_id: str, name: str) -> None:
-        """Offer one catalog extension to one node."""
+    def offer(self, node_id: str, name: str, force: bool = False) -> None:
+        """Offer one catalog extension to one node.
+
+        ``force=True`` re-offers even a version the node already holds —
+        the receiver treats that as a plain lease refresh, so it is safe
+        and is what load generators and recovery tooling use to produce
+        a real end-to-end offer round.
+        """
         live = self._adapted.get((node_id, name))
-        if live is not None and live.version >= self.catalog.version_of(name):
+        if not force and live is not None and live.version >= self.catalog.version_of(name):
             return  # already adapted with the current version
         node_class = self._node_classes.get(node_id, node_id)
         if not self.catalog.is_healthy(name, node_class):
@@ -289,6 +344,17 @@ class ExtensionBase:
                 node_class=node_class,
             )
             return
+
+        def on_shed(error: PipelineOverloadError) -> None:
+            self._log(node_id, name, "rejected", str(error))
+            self.on_rejected.fire(node_id, name, str(error))
+
+        self._submit(
+            node_id, "offer", lambda: self._do_offer(node_id, name), on_shed=on_shed
+        )
+
+    def _do_offer(self, node_id: str, name: str) -> None:
+        """The worker half of :meth:`offer`: seal, send, track the reply."""
         envelope = self.catalog.seal(name)
         self._log(node_id, name, "offered", f"v{envelope.version}")
         recorder = _telemetry.get_recorder()
@@ -340,12 +406,33 @@ class ExtensionBase:
 
     # -- revocation & replacement ----------------------------------------------------------
 
-    def revoke(self, node_id: str, name: str, reason: str = "revoked") -> None:
-        """Actively revoke one extension from one node."""
+    def revoke(self, node_id: str, name: str, reason: str = "revoked") -> bool:
+        """Actively revoke one extension from one node.
+
+        Returns True when a live adaptation existed (so a revocation was
+        initiated); :attr:`on_revoked` later reports how it resolved.
+        """
         live = self._adapted.pop((node_id, name), None)
         if live is None:
-            return
+            return False
         self._renewer.forget(live.lease_id)
+
+        def on_shed(error: PipelineOverloadError) -> None:
+            self._log(node_id, name, "revoked", f"shed: {error}")
+            self.on_revoked.fire(node_id, name, False)
+
+        self._submit(
+            node_id,
+            "revoke",
+            lambda: self._do_revoke(live, node_id, name, reason),
+            on_shed=on_shed,
+        )
+        return True
+
+    def _do_revoke(
+        self, live: _Adapted, node_id: str, name: str, reason: str
+    ) -> None:
+        """The worker half of :meth:`revoke`: send and log."""
         span = _telemetry.get_recorder().start_span(
             "midas.revoke",
             parent=live.trace,
@@ -354,13 +441,22 @@ class ExtensionBase:
             extension=name,
             reason=reason,
         )
+
+        def on_reply(body: dict) -> None:
+            span.end(revoked=bool(body.get("revoked")))
+            self.on_revoked.fire(node_id, name, bool(body.get("revoked")))
+
+        def on_error(error: Exception) -> None:
+            span.end(status="error", error=str(error))
+            self.on_revoked.fire(node_id, name, False)
+
         with span.activate():
             self._request(
                 node_id,
                 REVOKE,
                 {"lease_id": live.lease_id, "reason": reason},
-                on_reply=lambda body: span.end(revoked=bool(body.get("revoked"))),
-                on_error=lambda error: span.end(status="error", error=str(error)),
+                on_reply=on_reply,
+                on_error=on_error,
             )
         self._log(node_id, name, "revoked", reason)
 
@@ -387,6 +483,77 @@ class ExtensionBase:
             if node == node_id:
                 self.revoke(node_id, name, reason)
 
+    def renew_node(
+        self,
+        node_id: str,
+        on_done: Callable[[int], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
+        """Renew every lease held on ``node_id`` now, in one batch.
+
+        A single ``midas.keepalive`` request carries all of the node's
+        lease ids (the receiver renews them in one pass), ahead of the
+        per-lease renewal schedule.  Useful after a roaming return or a
+        recovery — and the natural "renew" operation for closed-loop
+        load generators.  ``on_done`` receives the number of leases the
+        peer confirmed.
+        """
+        lease_ids = sorted(
+            live.lease_id
+            for (node, _), live in self._adapted.items()
+            if node == node_id
+        )
+        if not lease_ids:
+            if on_done is not None:
+                on_done(0)
+            return
+
+        def on_shed(error: PipelineOverloadError) -> None:
+            if on_error is not None:
+                on_error(error)
+
+        self._submit(
+            node_id,
+            "renew",
+            lambda: self._do_renew_node(node_id, lease_ids, on_done, on_error),
+            on_shed=on_shed,
+        )
+
+    def _do_renew_node(
+        self,
+        node_id: str,
+        lease_ids: list[str],
+        on_done: Callable[[int], None] | None,
+        on_error: Callable[[Exception], None] | None,
+    ) -> None:
+        span = _telemetry.get_recorder().start_span(
+            "midas.keepalive",
+            parent=None,
+            node=self.node_id,
+            target=node_id,
+            batch=len(lease_ids),
+        )
+
+        def on_reply(body: dict) -> None:
+            renewed = body.get("renewed", ())
+            span.end(renewed=len(renewed))
+            if on_done is not None:
+                on_done(len(renewed))
+
+        def on_fail(error: Exception) -> None:
+            span.end(status="error", error=str(error))
+            if on_error is not None:
+                on_error(error)
+
+        with span.activate():
+            self.transport.request(
+                node_id,
+                KEEPALIVE,
+                {"lease_ids": lease_ids},
+                on_reply=on_reply,
+                on_error=on_fail,
+            )
+
     def replace_extension(self, name: str, factory: ExtensionFactory) -> None:
         """Swap the catalog entry for ``name`` and re-adapt all its holders.
 
@@ -404,6 +571,9 @@ class ExtensionBase:
     # -- receiver health reports -----------------------------------------------------------
 
     def _serve_health(self, sender: str, body: dict) -> None:
+        self._submit(sender, "health", lambda: self._handle_health(sender, body))
+
+    def _handle_health(self, sender: str, body: dict) -> None:
         """A receiver quarantined one of our extensions: believe it.
 
         The catalog entry is marked unhealthy for the reporter's node
@@ -463,6 +633,9 @@ class ExtensionBase:
             self.transport.notify(peer, ROAMED, {"node_id": node_id})
 
     def _serve_roamed(self, sender: str, body: dict) -> None:
+        self._submit(sender, "roamed", lambda: self._handle_roamed(sender, body))
+
+    def _handle_roamed(self, sender: str, body: dict) -> None:
         node_id = body["node_id"]
         if any(node == node_id for (node, _) in self._adapted):
             logger.debug(
@@ -487,6 +660,22 @@ class ExtensionBase:
     # -- keep-alive plumbing -------------------------------------------------------------------------
 
     def _send_keepalive(
+        self,
+        tracked: TrackedLease,
+        on_success: Callable[[], None],
+        on_failure: Callable[[Exception], None],
+    ) -> None:
+        # Shedding a keepalive looks like any other send failure to the
+        # renewal agent: it backs off and retries within the silence
+        # budget, so a transient overload does not abandon leases.
+        self._submit(
+            tracked.peer,
+            "renew",
+            lambda: self._do_keepalive(tracked, on_success, on_failure),
+            on_shed=on_failure,
+        )
+
+    def _do_keepalive(
         self,
         tracked: TrackedLease,
         on_success: Callable[[], None],

@@ -1,0 +1,333 @@
+"""The base station's accept-queue → worker-pool pipeline.
+
+The classic :class:`~repro.midas.base.ExtensionBase` handles every event
+inline: a discovery registration, a health report or a keepalive round
+runs to completion inside the callback that delivered it.  That is the
+right default for a hall with a handful of devices, but it makes the
+base an infinitely fast server — useless for studying how it behaves
+under sustained load.
+
+This module gives the base an explicit service station, modeled on the
+memtier → net-thread → worker-pool middleware design the queueing
+literature studies: arriving work is appended to an accept queue,
+dispatched to one of ``workers`` simulated workers, held for a service
+time, then executed.  Dispatch is either a single shared queue (idle
+workers pull — an M/M/n station), round-robin, or sharded by a stable
+hash of the work item's key (node id), so all work for one node lands on
+one worker.  A bounded queue sheds arrivals beyond capacity, and every
+stage is surfaced in telemetry: queue-depth gauges, wait/service/sojourn
+histograms, and submitted/completed/shed counters.
+
+Everything runs on the deterministic simulation kernel — a worker is a
+chain of scheduled events, not a thread — so load experiments are
+exactly reproducible per seed.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import zlib
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import PipelineOverloadError, SimulationError
+from repro.sim.kernel import Simulator
+from repro.telemetry import runtime as _telemetry
+
+logger = logging.getLogger(__name__)
+
+#: Dispatch disciplines: one shared queue (M/M/n), round-robin
+#: assignment at arrival, or sharding by key so per-node work is
+#: serialized on one worker.
+DISPATCH_MODES = ("shared", "rr", "shard")
+
+#: Service-time draws: every job costs exactly ``service_time``, or an
+#: exponential with that mean (the M in M/M/n).
+SERVICE_DISTRIBUTIONS = ("fixed", "exponential")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Tunable shape of a base station's service pipeline.
+
+    ``workers`` simulated workers each take one job at a time;
+    ``service_time`` is the (mean) virtual seconds a job occupies its
+    worker.  ``queue_capacity`` bounds the number of *waiting* jobs
+    across all queues (None = unbounded); arrivals beyond it are shed.
+    """
+
+    workers: int = 1
+    dispatch: str = "shared"
+    queue_capacity: int | None = None
+    service_time: float = 0.0
+    service_distribution: str = "fixed"
+    seed: int = 0
+
+    def validate(self) -> "PipelineConfig":
+        """Raise :class:`SimulationError` on a nonsensical configuration."""
+        if self.workers < 1:
+            raise SimulationError(f"pipeline needs >= 1 worker, got {self.workers}")
+        if self.dispatch not in DISPATCH_MODES:
+            raise SimulationError(
+                f"unknown dispatch {self.dispatch!r}; expected one of {DISPATCH_MODES}"
+            )
+        if self.queue_capacity is not None and self.queue_capacity < 0:
+            raise SimulationError(
+                f"queue capacity must be >= 0, got {self.queue_capacity}"
+            )
+        if self.service_time < 0:
+            raise SimulationError(
+                f"service time must be >= 0, got {self.service_time}"
+            )
+        if self.service_distribution not in SERVICE_DISTRIBUTIONS:
+            raise SimulationError(
+                f"unknown service distribution {self.service_distribution!r}; "
+                f"expected one of {SERVICE_DISTRIBUTIONS}"
+            )
+        return self
+
+
+class _Job:
+    """One unit of base-station work waiting for (or holding) a worker."""
+
+    __slots__ = ("key", "kind", "fn", "enqueued_at")
+
+    def __init__(self, key: str, kind: str, fn: Callable[[], Any], enqueued_at: float):
+        self.key = key
+        self.kind = kind
+        self.fn = fn
+        self.enqueued_at = enqueued_at
+
+
+class _Worker:
+    """State of one simulated worker: its queue (rr/shard) and busy flag."""
+
+    __slots__ = ("index", "queue", "busy", "event")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.queue: deque[_Job] = deque()
+        self.busy = False
+        #: The pending completion event while busy (for crash resets).
+        self.event = None
+
+
+class AcceptQueuePipeline:
+    """An n-server queueing station for base-station work items.
+
+    :meth:`submit` either queues the job (True) or sheds it (False) when
+    the configured capacity is exhausted — the caller's ``on_shed``
+    receives a :class:`PipelineOverloadError` so protocol-level error
+    paths (rejection signals, renewal backoff) still fire.
+
+    Cumulative statistics (:meth:`stats`) are exact sums, independent of
+    histogram bucket resolution, so load analysis can compute mean wait,
+    service and sojourn times without quantization error.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: PipelineConfig | None = None,
+        name: str = "pipeline",
+    ):
+        self.simulator = simulator
+        self.config = (config or PipelineConfig()).validate()
+        self.name = name
+        self._workers = [_Worker(i) for i in range(self.config.workers)]
+        #: Shared accept queue (``dispatch="shared"``); idle workers pull.
+        self._shared: deque[_Job] = deque()
+        self._rr_next = 0
+        self._rng = random.Random(f"pipeline:{self.config.seed}")
+        # Exact cumulative accounting (see stats()).
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.failed = 0
+        self.wait_seconds = 0.0
+        self.service_seconds = 0.0
+        #: Virtual instant the station first accepted work — utilization
+        #: denominators start here rather than at construction.
+        self.first_arrival: float | None = None
+
+    # -- intake -----------------------------------------------------------------
+
+    def submit(
+        self,
+        key: str,
+        kind: str,
+        fn: Callable[[], Any],
+        on_shed: Callable[[PipelineOverloadError], None] | None = None,
+    ) -> bool:
+        """Queue ``fn`` for execution by a worker; False if shed.
+
+        ``key`` routes sharded dispatch (and labels nothing — telemetry
+        is per ``kind`` to keep cardinality bounded).
+        """
+        capacity = self.config.queue_capacity
+        if capacity is not None and self.depth() >= capacity:
+            self.shed += 1
+            _telemetry.get_recorder().count(
+                "midas.pipeline.shed", station=self.name, kind=kind
+            )
+            logger.debug("%s: shed %s job for %s (queue full)", self.name, kind, key)
+            if on_shed is not None:
+                on_shed(
+                    PipelineOverloadError(
+                        f"{self.name}: {kind} job for {key} shed "
+                        f"(queue at capacity {capacity})"
+                    )
+                )
+            return False
+        job = _Job(key, kind, fn, self.simulator.now)
+        if self.first_arrival is None:
+            self.first_arrival = self.simulator.now
+        self.submitted += 1
+        _telemetry.get_recorder().count(
+            "midas.pipeline.submitted", station=self.name, kind=kind
+        )
+        worker = self._assign(job)
+        if worker is None:
+            self._shared.append(job)
+            self._gauge_depth()
+            self._kick_idle()
+        else:
+            worker.queue.append(job)
+            self._gauge_depth()
+            if not worker.busy:
+                self._begin(worker)
+        return True
+
+    def _assign(self, job: _Job) -> _Worker | None:
+        """Pick the worker for ``job`` (None = shared queue)."""
+        if self.config.dispatch == "shared":
+            return None
+        if self.config.dispatch == "rr":
+            worker = self._workers[self._rr_next]
+            self._rr_next = (self._rr_next + 1) % len(self._workers)
+            return worker
+        # Stable across processes and runs (hash() is randomized).
+        shard = zlib.crc32(job.key.encode("utf-8")) % len(self._workers)
+        return self._workers[shard]
+
+    def _kick_idle(self) -> None:
+        for worker in self._workers:
+            if not worker.busy and self._shared:
+                self._begin(worker)
+
+    # -- service ----------------------------------------------------------------
+
+    def _begin(self, worker: _Worker) -> None:
+        job = worker.queue.popleft() if worker.queue else self._shared.popleft()
+        worker.busy = True
+        wait = self.simulator.now - job.enqueued_at
+        self.wait_seconds += wait
+        service = self._draw_service()
+        recorder = _telemetry.get_recorder()
+        recorder.observe(
+            "midas.pipeline.wait", wait, station=self.name, kind=job.kind
+        )
+        self._gauge_depth()
+        worker.event = self.simulator.schedule(
+            service, self._complete, worker, job, service
+        )
+
+    def _draw_service(self) -> float:
+        mean = self.config.service_time
+        if mean <= 0.0:
+            return 0.0
+        if self.config.service_distribution == "exponential":
+            return self._rng.expovariate(1.0 / mean)
+        return mean
+
+    def _complete(self, worker: _Worker, job: _Job, service: float) -> None:
+        worker.event = None
+        self.service_seconds += service
+        self.completed += 1
+        recorder = _telemetry.get_recorder()
+        recorder.observe(
+            "midas.pipeline.service", service, station=self.name, kind=job.kind
+        )
+        recorder.observe(
+            "midas.pipeline.sojourn",
+            self.simulator.now - job.enqueued_at,
+            station=self.name,
+            kind=job.kind,
+        )
+        recorder.count(
+            "midas.pipeline.completed", station=self.name, kind=job.kind
+        )
+        try:
+            job.fn()
+        except Exception as exc:  # noqa: BLE001 - one bad job must not stall the pool
+            self.failed += 1
+            recorder.count(
+                "midas.pipeline.failed", station=self.name, kind=job.kind
+            )
+            logger.warning("%s: %s job for %s failed: %s",
+                           self.name, job.kind, job.key, exc)
+        worker.busy = False
+        if worker.queue or self._shared:
+            self._begin(worker)
+
+    # -- crash support ----------------------------------------------------------
+
+    def reset_volatile(self) -> None:
+        """Crash model: queued and in-service work evaporates.
+
+        Counters (durable accounting) survive; a restarted base's
+        reconciler re-generates whatever work mattered.
+        """
+        self._shared.clear()
+        for worker in self._workers:
+            worker.queue.clear()
+            worker.busy = False
+            if worker.event is not None:
+                worker.event.cancel()
+                worker.event = None
+        self._gauge_depth()
+
+    # -- introspection ----------------------------------------------------------
+
+    def depth(self) -> int:
+        """Jobs currently waiting (excluding the ones in service)."""
+        return len(self._shared) + sum(len(w.queue) for w in self._workers)
+
+    def in_service(self) -> int:
+        """Jobs currently holding a worker."""
+        return sum(1 for worker in self._workers if worker.busy)
+
+    @property
+    def idle(self) -> bool:
+        """True when no job is queued or in service."""
+        return self.depth() == 0 and self.in_service() == 0
+
+    def stats(self) -> dict[str, Any]:
+        """An exact cumulative snapshot (cheap; safe to sample per window)."""
+        return {
+            "workers": self.config.workers,
+            "dispatch": self.config.dispatch,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "depth": self.depth(),
+            "in_service": self.in_service(),
+            "wait_seconds": self.wait_seconds,
+            "service_seconds": self.service_seconds,
+        }
+
+    def _gauge_depth(self) -> None:
+        recorder = _telemetry.get_recorder()
+        recorder.gauge("midas.pipeline.depth", self.depth(), station=self.name)
+        recorder.gauge(
+            "midas.pipeline.in_service", self.in_service(), station=self.name
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<AcceptQueuePipeline {self.name} workers={self.config.workers} "
+            f"dispatch={self.config.dispatch} depth={self.depth()}>"
+        )

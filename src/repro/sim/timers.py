@@ -74,7 +74,10 @@ class PeriodicTimer:
             self.callback()
         except Exception as exc:  # noqa: BLE001 - keep periodic work alive
             logger.warning("timer %s callback failed: %s", self.name, exc)
-        if not self._stopped:
+        # The callback may have re-armed the timer itself (stop() then
+        # start() inside the fire); scheduling again here would fork a
+        # second concurrent tick chain.
+        if not self._stopped and self._event is None:
             self._event = self.simulator.schedule(self.interval, self._tick)
 
     def __repr__(self) -> str:

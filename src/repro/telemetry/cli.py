@@ -22,7 +22,13 @@ import argparse
 import json
 from typing import Any, Callable, NamedTuple
 
-from repro.telemetry.export import json_summary, read_jsonl, text_summary, write_jsonl
+from repro.telemetry.export import (
+    DEFAULT_QUANTILES,
+    json_summary,
+    read_jsonl,
+    text_summary,
+    write_jsonl,
+)
 from repro.telemetry.registry import MetricsRegistry
 
 
@@ -183,6 +189,15 @@ def main(argv: list[str] | None = None) -> int:
         default="text",
         help="output format (json is machine-readable and stable)",
     )
+    summary.add_argument(
+        "--quantiles",
+        default=None,
+        metavar="Q[,Q...]",
+        help=(
+            "comma-separated histogram quantiles in (0, 1), e.g. "
+            "'0.5,0.99,0.999' (default: 0.5,0.95,0.99)"
+        ),
+    )
 
     subparsers.add_parser(
         "profile",
@@ -195,10 +210,35 @@ def main(argv: list[str] | None = None) -> int:
             records = read_jsonl(args.path)
         except (OSError, ValueError) as error:
             parser.error(f"cannot read export {args.path!r}: {error}")
+        quantiles = DEFAULT_QUANTILES
+        if args.quantiles is not None:
+            try:
+                quantiles = tuple(
+                    float(q) for q in args.quantiles.split(",") if q.strip()
+                )
+                if not quantiles:
+                    raise ValueError("no quantiles given")
+                for q in quantiles:
+                    if not 0.0 < q < 1.0:
+                        raise ValueError(f"quantile {q} not in (0, 1)")
+            except ValueError as error:
+                parser.error(f"bad --quantiles {args.quantiles!r}: {error}")
         if args.format == "json":
-            print(json.dumps(json_summary(records), indent=2, sort_keys=True))
+            print(
+                json.dumps(
+                    json_summary(records, quantiles=quantiles),
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
         else:
-            print(text_summary(records, title=f"telemetry summary — {args.path}"))
+            print(
+                text_summary(
+                    records,
+                    title=f"telemetry summary — {args.path}",
+                    quantiles=quantiles,
+                )
+            )
         return 0
     if args.command == "profile":
         run_profile()

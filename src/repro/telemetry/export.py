@@ -22,6 +22,24 @@ _Source = Union[MetricsRegistry, Iterable[dict[str, Any]]]
 #: Traces rendered in full by :func:`text_summary` before eliding.
 MAX_TRACES_SHOWN = 5
 
+#: Histogram quantiles summaries report unless the caller overrides them.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _check_quantiles(quantiles: tuple[float, ...]) -> tuple[float, ...]:
+    quantiles = tuple(quantiles)
+    if not quantiles:
+        raise ValueError("need at least one quantile")
+    for q in quantiles:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantiles must be in (0, 1), got {q}")
+    return quantiles
+
+
+def quantile_label(q: float) -> str:
+    """The conventional name of quantile ``q`` (0.5 -> 'p50', 0.999 -> 'p99.9')."""
+    return f"p{q * 100:g}"
+
 
 def _records_of(source: _Source) -> Records:
     if isinstance(source, MetricsRegistry):
@@ -73,16 +91,19 @@ def _label_suffix(record: dict[str, Any]) -> str:
     return format_labels(tuple(sorted(record.get("labels", {}).items())))
 
 
-def _histogram_stats(record: dict[str, Any]) -> str:
+def _histogram_stats(
+    record: dict[str, Any], quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+) -> str:
     count = record["count"]
     if not count:
         return "n=0"
     mean = record["sum"] / count
-    quantiles = _quantiles_from_buckets(record, (0.5, 0.95))
-    return (
-        f"n={count} mean={_si(mean)} p50={_si(quantiles[0])} "
-        f"p95={_si(quantiles[1])} max={_si(record['max'])}"
+    values = _quantiles_from_buckets(record, quantiles)
+    rendered = " ".join(
+        f"{quantile_label(q)}={_si(value)}" for q, value in zip(quantiles, values)
     )
+    middle = f" {rendered}" if rendered else ""
+    return f"n={count} mean={_si(mean)}{middle} max={_si(record['max'])}"
 
 
 def _quantiles_from_buckets(
@@ -141,8 +162,18 @@ def _span_tree_lines(spans: list[dict[str, Any]]) -> list[str]:
     return lines
 
 
-def text_summary(source: _Source, title: str | None = None) -> str:
-    """A human-readable digest of counters, histograms, events and traces."""
+def text_summary(
+    source: _Source,
+    title: str | None = None,
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+) -> str:
+    """A human-readable digest of counters, histograms, events and traces.
+
+    ``quantiles`` picks the histogram quantiles shown (bucket-resolution,
+    each in the open interval (0, 1)); the default adds tail visibility
+    with p99 alongside the classic p50/p95.
+    """
+    quantiles = _check_quantiles(quantiles)
     records = _records_of(source)
     meta = next((r for r in records if r["type"] == "meta"), None)
     counters = sorted(
@@ -178,7 +209,7 @@ def text_summary(source: _Source, title: str | None = None) -> str:
     if histograms:
         lines += ["", "histograms:"]
         lines += [
-            f"  {r['name']}{_label_suffix(r)}  {_histogram_stats(r)}"
+            f"  {r['name']}{_label_suffix(r)}  {_histogram_stats(r, quantiles)}"
             for r in histograms
         ]
     if events:
@@ -216,14 +247,18 @@ def text_summary(source: _Source, title: str | None = None) -> str:
     return "\n".join(lines)
 
 
-def json_summary(source: _Source) -> dict[str, Any]:
+def json_summary(
+    source: _Source, quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+) -> dict[str, Any]:
     """A machine-readable digest of the same records :func:`text_summary` shows.
 
     The shape is stable for scripting (``repro telemetry summary --format
     json``): every value is a plain JSON type, histogram quantiles are
-    bucket-resolution like the text rendering, and any malformed lines
-    counted by :func:`read_jsonl` appear under ``malformed_lines``.
+    bucket-resolution like the text rendering (one ``p<q>`` key per
+    requested quantile, e.g. ``p50``/``p95``/``p99``), and any malformed
+    lines counted by :func:`read_jsonl` appear under ``malformed_lines``.
     """
+    quantiles = _check_quantiles(quantiles)
     records = _records_of(source)
     meta = next((r for r in records if r["type"] == "meta"), None)
 
@@ -236,17 +271,23 @@ def json_summary(source: _Source) -> dict[str, Any]:
 
     def histogram(record: dict[str, Any]) -> dict[str, Any]:
         count = record["count"]
-        quantiles = _quantiles_from_buckets(record, (0.5, 0.95)) if count else [None, None]
-        return {
+        values = (
+            _quantiles_from_buckets(record, quantiles)
+            if count
+            else [None] * len(quantiles)
+        )
+        summary = {
             "name": record["name"],
             "labels": dict(record.get("labels", {})),
             "count": count,
             "sum": record["sum"],
             "mean": (record["sum"] / count) if count else None,
-            "p50": quantiles[0],
-            "p95": quantiles[1],
-            "max": record["max"],
         }
+        summary.update(
+            (quantile_label(q), value) for q, value in zip(quantiles, values)
+        )
+        summary["max"] = record["max"]
+        return summary
 
     events = [r for r in records if r["type"] == "event"]
     events_by_name: dict[str, int] = {}

@@ -1,0 +1,176 @@
+"""Queueing-model tests against hand-computed and identity values."""
+
+import math
+
+import pytest
+
+from repro.loadgen.analysis import (
+    closed_mmn,
+    erlang_c,
+    interactive_response_time,
+    littles_law,
+    mm1_metrics,
+    mmn_metrics,
+    operational_checks,
+    saturation_point,
+    utilization_law,
+)
+
+
+class TestOperationalLaws:
+    def test_utilization_law(self):
+        assert utilization_law(10.0, 0.05) == pytest.approx(0.5)
+        assert utilization_law(10.0, 0.05, servers=2) == pytest.approx(0.25)
+
+    def test_utilization_law_rejects_no_servers(self):
+        with pytest.raises(ValueError):
+            utilization_law(1.0, 1.0, servers=0)
+
+    def test_littles_law(self):
+        assert littles_law(4.0, 0.5) == pytest.approx(2.0)
+
+    def test_interactive_response_time(self):
+        # N=10, X=8/s, Z=1s -> R = 10/8 - 1 = 0.25
+        assert interactive_response_time(10, 8.0, 1.0) == pytest.approx(0.25)
+
+    def test_interactive_response_time_zero_throughput(self):
+        assert interactive_response_time(10, 0.0, 1.0) == math.inf
+
+    def test_operational_checks_consistent_measurement(self):
+        # A perfectly law-consistent measurement has zero gap.
+        clients, think, x = 10, 1.0, 8.0
+        r = clients / x - think
+        checks = operational_checks(
+            clients=clients,
+            think_time=think,
+            throughput=x,
+            response_time=r,
+            service_time=0.1,
+            servers=2,
+        )
+        assert checks["response_time_gap"] == pytest.approx(0.0)
+        assert checks["utilization"] == pytest.approx(0.4)
+        assert checks["population_in_system"] == pytest.approx(x * r)
+
+
+class TestMM1:
+    def test_textbook_half_load(self):
+        # rho=0.5: R = S/(1-rho) = 2S, L = 1, Lq = 0.5
+        metrics = mm1_metrics(5.0, 0.1)
+        assert metrics["rho"] == pytest.approx(0.5)
+        assert metrics["response_time"] == pytest.approx(0.2)
+        assert metrics["number_in_system"] == pytest.approx(1.0)
+        assert metrics["queue_length"] == pytest.approx(0.5)
+
+    def test_saturated_returns_infinities(self):
+        metrics = mm1_metrics(10.0, 0.1)
+        assert metrics["response_time"] == math.inf
+        assert metrics["number_in_system"] == math.inf
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_metrics(-1.0, 0.1)
+        with pytest.raises(ValueError):
+            mm1_metrics(1.0, 0.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_rho(self):
+        # With n=1, P(queue) = rho for M/M/1.
+        assert erlang_c(5.0, 0.1, 1) == pytest.approx(0.5)
+
+    def test_textbook_two_servers(self):
+        # a=1 Erlang, n=2: C = 1/3 (standard table value).
+        assert erlang_c(10.0, 0.1, 2) == pytest.approx(1.0 / 3.0)
+
+    def test_overloaded_queues_certainly(self):
+        assert erlang_c(30.0, 0.1, 2) == 1.0
+
+    def test_light_load_rarely_queues(self):
+        assert erlang_c(1.0, 0.1, 4) < 0.001
+
+
+class TestMMN:
+    def test_single_server_matches_mm1(self):
+        mm1 = mm1_metrics(5.0, 0.1)
+        mmn = mmn_metrics(5.0, 0.1, servers=1)
+        for key in ("rho", "response_time", "wait_time", "number_in_system"):
+            assert mmn[key] == pytest.approx(mm1[key])
+
+    def test_two_servers_at_one_erlang(self):
+        # a=1, n=2, rho=0.5: Wq = C * S / (n (1-rho)) = (1/3) * 0.1 / 1
+        metrics = mmn_metrics(10.0, 0.1, servers=2)
+        assert metrics["rho"] == pytest.approx(0.5)
+        assert metrics["wait_time"] == pytest.approx(0.1 / 3.0)
+        assert metrics["response_time"] == pytest.approx(0.1 + 0.1 / 3.0)
+
+    def test_more_servers_means_less_waiting(self):
+        waits = [mmn_metrics(18.0, 0.1, n)["wait_time"] for n in (2, 4, 8)]
+        assert waits[0] > waits[1] > waits[2]
+
+    def test_saturated_returns_infinities(self):
+        assert mmn_metrics(30.0, 0.1, 2)["response_time"] == math.inf
+
+
+class TestClosedMMN:
+    def test_response_time_law_identity(self):
+        # R = N/X - Z must hold *exactly* in the closed chain.
+        for clients, think, service, servers in [
+            (4, 0.5, 0.05, 1),
+            (12, 0.4, 0.04, 2),
+            (32, 0.2, 0.04, 4),
+        ]:
+            metrics = closed_mmn(clients, think, service, servers)
+            law = clients / metrics["throughput"] - think
+            assert metrics["response_time"] == pytest.approx(law)
+
+    def test_single_client_never_queues(self):
+        # One client alternates think/service: X = 1/(Z+S), R = S.
+        metrics = closed_mmn(1, 0.9, 0.1, 1)
+        assert metrics["throughput"] == pytest.approx(1.0)
+        assert metrics["response_time"] == pytest.approx(0.1)
+        assert metrics["queue_length"] == pytest.approx(0.0)
+
+    def test_heavy_population_saturates_at_service_ceiling(self):
+        metrics = closed_mmn(100, 0.2, 0.04, 2)
+        assert metrics["throughput"] == pytest.approx(2 / 0.04, rel=0.01)
+        assert metrics["utilization"] == pytest.approx(1.0, abs=0.01)
+
+    def test_zero_think_time(self):
+        metrics = closed_mmn(5, 0.0, 0.1, 2)
+        assert metrics["throughput"] == pytest.approx(20.0)
+        assert metrics["number_at_station"] == 5.0
+        assert metrics["queue_length"] == 3.0
+
+    def test_population_conservation(self):
+        # Station population + thinking population = N (Little's law on
+        # the think station: thinking = X * Z).
+        metrics = closed_mmn(12, 0.4, 0.04, 2)
+        thinking = metrics["throughput"] * 0.4
+        assert metrics["number_at_station"] + thinking == pytest.approx(12.0)
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            closed_mmn(0, 0.5, 0.1, 1)
+        with pytest.raises(ValueError):
+            closed_mmn(1, 0.5, 0.0, 1)
+        with pytest.raises(ValueError):
+            closed_mmn(1, -0.5, 0.1, 1)
+
+
+class TestSaturationPoint:
+    def test_knee_formula(self):
+        # Z=0.2, S=0.04, n=2: N* = 0.24 * 2 / 0.04 = 12
+        assert saturation_point(0.2, 0.04, 2) == pytest.approx(12.0)
+
+    def test_knee_separates_regimes(self):
+        knee = saturation_point(0.2, 0.04, 2)
+        below = closed_mmn(int(knee) - 6, 0.2, 0.04, 2)
+        above = closed_mmn(int(knee) * 3, 0.2, 0.04, 2)
+        # Below the knee throughput tracks N/(Z+S); above it the ceiling.
+        assert below["throughput"] == pytest.approx(6 / 0.24, rel=0.1)
+        assert above["throughput"] == pytest.approx(2 / 0.04, rel=0.02)
+
+    def test_zero_service_rejected(self):
+        with pytest.raises(ValueError):
+            saturation_point(0.2, 0.0, 1)

@@ -1,0 +1,71 @@
+"""CI validation gate: measured response times must match closed M/M/n.
+
+These are the acceptance assertions from the X2 experiment, pinned to
+fixed seeds so CI is deterministic: below saturation the measured mean
+response time over the stable window must land within ±25% of the
+closed-M/M/n prediction, and a multi-worker pipeline must push a
+saturated station to materially higher throughput than one worker.
+"""
+
+import pytest
+
+from repro.loadgen.analysis import closed_mmn
+from repro.loadgen.harness import run_scenario
+from repro.loadgen.scenario import PRESETS
+
+TOLERANCE = 0.25
+
+
+@pytest.fixture(scope="module")
+def mmn_report():
+    return run_scenario(PRESETS["mmn"])
+
+
+class TestModelValidation:
+    def test_run_stabilizes(self, mmn_report):
+        first, last = mmn_report.span
+        assert last - first >= 4
+        assert mmn_report.overall["errors"] == 0
+
+    def test_prediction_is_below_saturation(self, mmn_report):
+        # The gate only makes sense below the knee — guard the preset.
+        assert mmn_report.predicted["utilization"] < 0.8
+
+    def test_response_time_within_25_percent_of_closed_mmn(self, mmn_report):
+        gap = mmn_report.model_gap
+        assert gap is not None
+        assert gap <= TOLERANCE, (
+            f"measured R {mmn_report.stable['latency']['mean']:.4f}s vs "
+            f"predicted {mmn_report.predicted['response_time']:.4f}s "
+            f"({gap * 100:.1f}% > {TOLERANCE * 100:.0f}%)"
+        )
+
+    def test_throughput_within_25_percent_of_closed_mmn(self, mmn_report):
+        measured = mmn_report.stable["throughput"]
+        predicted = mmn_report.predicted["throughput"]
+        assert abs(measured - predicted) / predicted <= TOLERANCE
+
+    def test_station_utilization_tracks_prediction(self, mmn_report):
+        measured = mmn_report.station["utilization"]
+        predicted = mmn_report.predicted["utilization"]
+        assert abs(measured - predicted) / predicted <= TOLERANCE
+
+
+class TestMultiWorkerSpeedup:
+    def test_workers_raise_saturated_throughput(self):
+        # Saturated station (N=32, Z=0.2, S=0.04): one worker caps at
+        # 1/S = 25 op/s; four workers must beat 2.5x that.
+        base = PRESETS["saturate"].replace(duration=30.0, warmup=6.0)
+        single = run_scenario(base)
+        quad = run_scenario(base.replace(workers=4, name="saturate-w4"))
+        ceiling = 1.0 / base.service_time
+        assert single.stable["throughput"] == pytest.approx(ceiling, rel=0.10)
+        assert quad.stable["throughput"] > 2.5 * single.stable["throughput"]
+
+    def test_saturated_throughput_matches_model_too(self):
+        # Even at saturation the *closed* model stays exact (unlike the
+        # open M/M/1, which predicts infinity).
+        report = run_scenario(PRESETS["saturate"].replace(duration=30.0, warmup=6.0))
+        predicted = closed_mmn(32, 0.2, 0.04, 1)
+        measured = report.stable["throughput"]
+        assert abs(measured - predicted["throughput"]) / predicted["throughput"] < 0.10

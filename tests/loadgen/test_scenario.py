@@ -1,0 +1,93 @@
+"""Scenario spec validation and (de)serialization tests."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadgen.scenario import OPERATIONS, PRESETS, Scenario
+
+
+class TestValidation:
+    def test_default_scenario_is_valid(self):
+        Scenario().validate()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"clients": 0},
+            {"think_time": -0.1},
+            {"think_distribution": "uniform"},
+            {"duration": 0.0},
+            {"warmup": -1.0},
+            {"window": 0.0},
+            {"window": 100.0, "duration": 10.0},
+            {"catalog_size": 0},
+            {"mix": {"teleport": 1.0}},
+            {"mix": {"install": -0.5, "renew": 1.0}},
+            {"mix": {"install": 0.0}},
+            {"op_timeout": 0.0},
+            {"workers": 0},
+        ],
+    )
+    def test_bad_specs_rejected(self, changes):
+        with pytest.raises(SimulationError):
+            Scenario(**changes).validate()
+
+    def test_presets_all_validate(self):
+        for name, preset in PRESETS.items():
+            assert preset.validate().name == name
+
+    def test_operations_cover_default_mix(self):
+        assert set(Scenario().mix) <= set(OPERATIONS)
+
+
+class TestMix:
+    def test_normalized_mix_sums_to_one(self):
+        scenario = Scenario(mix={"install": 3.0, "renew": 1.0})
+        mix = scenario.normalized_mix()
+        assert sum(mix.values()) == pytest.approx(1.0)
+        assert mix["install"] == pytest.approx(0.75)
+
+    def test_normalized_mix_drops_zero_weights(self):
+        scenario = Scenario(mix={"install": 1.0, "revoke": 0.0})
+        assert set(scenario.normalized_mix()) == {"install"}
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        original = PRESETS["mmn"]
+        assert Scenario.from_dict(original.to_dict()) == original
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = Scenario().to_dict()
+        data["velocity"] = 3
+        with pytest.raises(SimulationError, match="velocity"):
+            Scenario.from_dict(data)
+
+    def test_from_dict_validates(self):
+        data = Scenario().to_dict()
+        data["clients"] = 0
+        with pytest.raises(SimulationError):
+            Scenario.from_dict(data)
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(Scenario(name="disk", clients=3).to_dict()))
+        loaded = Scenario.from_file(path)
+        assert loaded.name == "disk"
+        assert loaded.clients == 3
+
+    def test_replace_returns_modified_copy(self):
+        base = Scenario()
+        tweaked = base.replace(clients=99)
+        assert tweaked.clients == 99
+        assert base.clients != 99
+
+    def test_pipeline_config_mirrors_scenario(self):
+        scenario = Scenario(workers=3, dispatch="rr", service_time=0.5, seed=11)
+        config = scenario.pipeline_config()
+        assert config.workers == 3
+        assert config.dispatch == "rr"
+        assert config.service_time == 0.5
+        assert config.seed == 11

@@ -1,0 +1,189 @@
+"""Windowed-statistics tests: bucketing, stable spans, aggregation."""
+
+import pytest
+
+from repro.loadgen.windows import (
+    Window,
+    WindowedCollector,
+    aggregate,
+    percentile,
+    stable_span,
+)
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+class TestPercentile:
+    def test_empty_returns_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 11)]  # 1..10
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 0.5) == 5.0  # round(0.5 * 9) = 4 -> values[4]
+        assert percentile(values, 1.0) == 10.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 1.0) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestCollector:
+    def test_records_before_begin_are_dropped(self, clock):
+        collector = WindowedCollector(clock, window=1.0)
+        collector.record("install", 0.1)
+        assert not collector.armed
+        assert collector.finalize() == []
+
+    def test_completions_bucket_by_time(self, clock):
+        collector = WindowedCollector(clock, window=1.0)
+        collector.begin()
+        collector.record("install", 0.1)
+        clock.advance(0.5)
+        collector.record("renew", 0.2)
+        clock.advance(1.0)  # t=1.5 -> window 1
+        collector.record("install", 0.3)
+        windows = collector.finalize()
+        assert len(windows) == 2
+        assert windows[0].completions == 2
+        assert windows[0].per_op == {"install": 1, "renew": 1}
+        assert windows[1].completions == 1
+
+    def test_windows_measured_from_begin_not_zero(self, clock):
+        clock.advance(10.0)
+        collector = WindowedCollector(clock, window=2.0)
+        collector.begin()
+        clock.advance(1.0)
+        collector.record("install", 0.1)
+        (window,) = collector.finalize()
+        assert window.start == 10.0
+        assert window.end == 12.0
+
+    def test_errors_counted_separately(self, clock):
+        collector = WindowedCollector(clock, window=1.0)
+        collector.begin()
+        collector.record("install", 0.1, ok=True)
+        collector.record("install", 5.0, ok=False)
+        (window,) = collector.finalize()
+        assert window.completions == 1
+        assert window.errors == 1
+        assert window.latencies == [0.1]  # error latency excluded
+
+    def test_finalize_fills_gaps_with_empty_windows(self, clock):
+        collector = WindowedCollector(clock, window=1.0)
+        collector.begin()
+        collector.record("install", 0.1)
+        clock.advance(3.5)
+        collector.record("install", 0.1)
+        windows = collector.finalize()
+        assert [w.completions for w in windows] == [1, 0, 0, 1]
+        assert windows[2].throughput == 0.0
+
+    def test_samples_and_snapshot_attach_to_current_window(self, clock):
+        collector = WindowedCollector(clock, window=1.0)
+        collector.begin()
+        collector.sample({"depth": 3.0})
+        collector.snapshot({"completed": 17.0})
+        (window,) = collector.finalize()
+        assert window.samples == {"depth": 3.0}
+        assert window.snapshot == {"completed": 17.0}
+
+    def test_non_positive_window_rejected(self, clock):
+        with pytest.raises(ValueError):
+            WindowedCollector(clock, window=0.0)
+
+    def test_throughput_is_per_second(self, clock):
+        collector = WindowedCollector(clock, window=2.0)
+        collector.begin()
+        for _ in range(6):
+            collector.record("install", 0.1)
+        (window,) = collector.finalize()
+        assert window.throughput == pytest.approx(3.0)
+
+
+class TestStableSpan:
+    def test_flat_run_is_fully_stable(self):
+        assert stable_span([10.0] * 6) == (0, 6)
+
+    def test_ramp_up_is_excluded(self):
+        values = [1.0, 4.0, 9.9, 10.0, 10.1, 9.9, 10.0]
+        first, last = stable_span(values)
+        assert first == 2
+        assert last == 7
+
+    def test_no_qualifying_span_returns_empty(self):
+        # Monotone doubling: no 4-window run stays within 15% of median.
+        assert stable_span([1.0, 2.0, 4.0, 8.0, 16.0]) == (0, 0)
+
+    def test_too_few_windows_returns_empty(self):
+        assert stable_span([10.0, 10.0], min_windows=4) == (0, 0)
+
+    def test_min_windows_one_accepts_single_window(self):
+        assert stable_span([5.0], min_windows=1) == (0, 1)
+
+    def test_all_zero_run_counts_as_stable(self):
+        assert stable_span([0.0] * 5) == (0, 5)
+
+    def test_zero_median_span_with_nonzero_value_rejected(self):
+        # median 0 but one non-zero value: not a stable all-idle span.
+        assert stable_span([0.0, 0.0, 0.0, 7.0], min_windows=4) == (0, 0)
+
+    def test_longest_span_wins(self):
+        values = [10.0] * 4 + [100.0] + [20.0] * 6
+        assert stable_span(values) == (5, 11)
+
+    def test_bad_min_windows_rejected(self):
+        with pytest.raises(ValueError):
+            stable_span([1.0], min_windows=0)
+
+
+class TestAggregate:
+    def make_window(self, index, completions, latencies, errors=0):
+        window = Window(index, float(index), float(index + 1))
+        window.completions = completions
+        window.errors = errors
+        window.latencies = list(latencies)
+        window.per_op = {"install": completions}
+        return window
+
+    def test_empty_span_aggregate(self):
+        result = aggregate([], (0, 0))
+        assert result["windows"] == 0
+        assert result["throughput"] == 0.0
+        assert result["latency"] is None
+
+    def test_aggregate_over_span_only(self):
+        windows = [
+            self.make_window(0, 1, [9.0]),  # outside span
+            self.make_window(1, 4, [0.1, 0.2, 0.3, 0.4]),
+            self.make_window(2, 4, [0.1, 0.1, 0.2, 0.2], errors=1),
+        ]
+        result = aggregate(windows, (1, 3))
+        assert result["windows"] == 2
+        assert result["completions"] == 8
+        assert result["errors"] == 1
+        assert result["throughput"] == pytest.approx(4.0)
+        assert result["per_op"] == {"install": 8}
+        assert result["latency"]["mean"] == pytest.approx(0.2)
+        assert result["latency"]["max"] == 0.4
+        assert 9.0 not in [result["latency"]["p99"]]
+
+    def test_throughput_min_max(self):
+        windows = [
+            self.make_window(0, 2, [0.1, 0.1]),
+            self.make_window(1, 6, [0.1] * 6),
+        ]
+        result = aggregate(windows, (0, 2))
+        assert result["throughput_min"] == pytest.approx(2.0)
+        assert result["throughput_max"] == pytest.approx(6.0)

@@ -1,0 +1,170 @@
+"""Accept-queue → worker-pool pipeline tests."""
+
+import pytest
+
+from repro.errors import PipelineOverloadError, SimulationError
+from repro.midas.pipeline import AcceptQueuePipeline, PipelineConfig
+
+
+def make(sim, **overrides):
+    defaults = dict(workers=1, service_time=1.0, service_distribution="fixed")
+    defaults.update(overrides)
+    return AcceptQueuePipeline(sim, PipelineConfig(**defaults), name="test")
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        PipelineConfig().validate()
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"workers": 0},
+            {"dispatch": "magic"},
+            {"queue_capacity": -1},
+            {"service_time": -1.0},
+            {"service_distribution": "pareto"},
+        ],
+    )
+    def test_bad_configs_rejected(self, changes):
+        with pytest.raises(SimulationError):
+            PipelineConfig(**changes).validate()
+
+
+class TestSingleWorker:
+    def test_jobs_run_in_fifo_order_after_service(self, sim):
+        done = []
+        pipe = make(sim)
+        pipe.submit("a", "offer", lambda: done.append(("a", sim.now)))
+        pipe.submit("b", "offer", lambda: done.append(("b", sim.now)))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 2.0)]
+
+    def test_zero_service_still_defers_to_event(self, sim):
+        # Even with service_time=0 the job runs via the queue, not inline.
+        done = []
+        pipe = make(sim, service_time=0.0)
+        pipe.submit("a", "offer", lambda: done.append(sim.now))
+        assert done == []
+        sim.run()
+        assert done == [0.0]
+
+    def test_wait_and_service_accounting_exact(self, sim):
+        pipe = make(sim)
+        pipe.submit("a", "offer", lambda: None)
+        pipe.submit("b", "offer", lambda: None)
+        sim.run()
+        stats = pipe.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 2
+        assert stats["service_seconds"] == pytest.approx(2.0)
+        assert stats["wait_seconds"] == pytest.approx(1.0)  # b waited for a
+
+    def test_failed_job_counted_and_pipeline_continues(self, sim):
+        done = []
+        pipe = make(sim)
+        pipe.submit("a", "offer", lambda: 1 / 0)
+        pipe.submit("b", "offer", lambda: done.append("b"))
+        sim.run()
+        assert done == ["b"]
+        assert pipe.stats()["failed"] == 1
+        assert pipe.stats()["completed"] == 2  # both consumed a worker
+
+
+class TestDispatch:
+    def test_multiple_workers_run_concurrently(self, sim):
+        done = []
+        pipe = make(sim, workers=2)
+        for key in ("a", "b", "c"):
+            pipe.submit(key, "offer", lambda key=key: done.append((key, sim.now)))
+        sim.run()
+        assert done == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_rr_spreads_jobs_round_robin(self, sim):
+        done = []
+        pipe = make(sim, workers=2, dispatch="rr")
+        for index in range(4):
+            pipe.submit("same-key", "offer", lambda i=index: done.append((i, sim.now)))
+        sim.run()
+        assert done == [(0, 1.0), (1, 1.0), (2, 2.0), (3, 2.0)]
+
+    def test_shard_keeps_a_key_on_one_worker(self, sim):
+        done = []
+        pipe = make(sim, workers=4, dispatch="shard")
+        for index in range(3):
+            pipe.submit("node-7", "offer", lambda i=index: done.append((i, sim.now)))
+        sim.run()
+        # Same key -> same worker -> strictly serial service.
+        assert done == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_shard_is_deterministic_across_pipelines(self, sim):
+        from repro.midas.pipeline import _Job
+
+        first = make(sim, workers=4, dispatch="shard")
+        second = make(sim, workers=4, dispatch="shard")
+        jobs = [_Job(f"node-{i}", "offer", lambda: None, 0.0) for i in range(16)]
+        picks = [first._assign(job).index for job in jobs]
+        assert picks == [second._assign(job).index for job in jobs]
+        assert len(set(picks)) > 1  # keys actually spread across workers
+
+
+class TestBackpressure:
+    def test_overflow_sheds_newest_job(self, sim):
+        shed = []
+        pipe = make(sim, queue_capacity=1)
+        assert pipe.submit("a", "offer", lambda: None) is True  # in service
+        assert pipe.submit("b", "offer", lambda: None) is True  # queued
+        accepted = pipe.submit("c", "offer", lambda: None, on_shed=shed.append)
+        assert accepted is False
+        assert len(shed) == 1 and isinstance(shed[0], PipelineOverloadError)
+        sim.run()
+        stats = pipe.stats()
+        assert stats["shed"] == 1
+        assert stats["completed"] == 2
+
+    def test_capacity_frees_up_as_jobs_finish(self, sim):
+        pipe = make(sim, queue_capacity=1)
+        pipe.submit("a", "offer", lambda: None)
+        pipe.submit("b", "offer", lambda: None)
+        sim.run_for(1.0)  # a finished, b in service, queue empty
+        assert pipe.submit("c", "offer", lambda: None) is True
+
+
+class TestExponentialService:
+    def test_durations_vary_but_stay_deterministic(self, sim):
+        from repro.sim.kernel import Simulator
+
+        def run(seed):
+            simulator = Simulator()
+            done = []
+            pipe = AcceptQueuePipeline(
+                simulator,
+                PipelineConfig(
+                    service_time=0.5, service_distribution="exponential", seed=seed
+                ),
+                name="exp",
+            )
+            for i in range(5):
+                pipe.submit(str(i), "offer", lambda: done.append(simulator.now))
+            simulator.run()
+            return done
+
+        assert run(1) == run(1)
+        assert run(1) != run(2)
+        assert len(set(run(1))) == 5  # draws actually vary
+
+
+class TestResetVolatile:
+    def test_reset_drops_queued_work_but_keeps_counters(self, sim):
+        done = []
+        pipe = make(sim)
+        pipe.submit("a", "offer", lambda: done.append("a"))
+        pipe.submit("b", "offer", lambda: done.append("b"))
+        sim.run_for(1.0)  # a completed; b now in service
+        pipe.reset_volatile()
+        sim.run()
+        assert done == ["a"]  # b's service event was cancelled
+        stats = pipe.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 1
+        assert pipe.idle

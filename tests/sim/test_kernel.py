@@ -92,6 +92,59 @@ class TestCancellation:
         assert keep is not None
 
 
+class TestLazyDeletion:
+    """Cancel marks the heap entry; removal happens at pop time."""
+
+    def test_cancelled_entries_stay_queued_until_popped(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+        for event in events[:4]:
+            event.cancel()
+        # Accounting views disagree by design: the heap still holds all
+        # five entries, but only one of them is pending work.
+        assert len(sim._queue) == 5
+        assert sim.pending == 1
+        sim.run()
+        assert len(sim._queue) == 0
+        assert sim.pending == 0
+
+    def test_run_step_count_excludes_cancelled(self, sim):
+        live = [sim.schedule(1.0, lambda: None) for _ in range(3)]
+        sim.schedule(0.5, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None).cancel()
+        assert live and sim.run() == 3
+
+    def test_step_skips_cancelled_head_and_fires_next(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "dead").cancel()
+        sim.schedule(2.0, fired.append, "live")
+        assert sim.step() is True
+        assert fired == ["live"]
+        assert sim.now == 2.0
+
+    def test_cancelled_head_does_not_consume_max_steps(self, sim):
+        fired = []
+        sim.schedule(0.5, fired.append, "dead").cancel()
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.run(max_steps=2) == 2
+        assert fired == ["a", "b"]
+
+    def test_cancel_after_fire_is_harmless(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        sim.run()
+        event.cancel()  # too late, but must not corrupt accounting
+        assert fired == ["x"]
+        assert sim.pending == 0
+
+    def test_time_does_not_advance_to_cancelled_events(self, sim):
+        sim.schedule(1.0, lambda: None)
+        late = sim.schedule(9.0, lambda: None)
+        late.cancel()
+        sim.run()
+        assert sim.now == 1.0
+
+
 class TestRun:
     def test_run_returns_step_count(self, sim):
         for _ in range(3):

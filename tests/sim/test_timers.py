@@ -74,3 +74,53 @@ class TestPeriodicTimer:
         assert timer.running
         timer.stop()
         assert not timer.running
+
+    def test_stop_at_fire_instant_cancels_the_tick(self, sim):
+        # An event at the exact fire time, scheduled *before* the timer
+        # was armed, runs first (FIFO) — its stop() must win.
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        sim.schedule(1.0, timer.stop)
+        timer.start()
+        sim.run(until=5.0)
+        assert timer.ticks == 0
+        assert not timer.running
+
+    def test_restart_resets_the_phase(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now)).start()
+        sim.run(until=0.5)
+        timer.stop()
+        timer.start()  # re-armed mid-interval: a full interval from *now*
+        sim.run(until=2.9)
+        assert ticks == [1.5, 2.5]
+
+    def test_rearm_from_inside_callback_keeps_ticking(self, sim):
+        ticks = []
+
+        def bounce():
+            ticks.append(sim.now)
+            timer.stop()
+            timer.start()  # stop+start inside the fire: cadence unbroken
+
+        timer = PeriodicTimer(sim, 1.0, bounce).start()
+        sim.run(until=3.0)
+        assert ticks == [1.0, 2.0, 3.0]
+        assert timer.running
+
+    def test_restart_long_after_stop(self, sim):
+        ticks = []
+        timer = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+        timer.start()
+        sim.run(until=1.0)
+        timer.stop()
+        sim.run(until=5.0)
+        timer.start()
+        sim.run(until=6.5)
+        assert ticks == [1.0, 6.0]
+
+    def test_stop_before_start_is_harmless(self, sim):
+        timer = PeriodicTimer(sim, 1.0, lambda: None)
+        timer.stop()
+        timer.start()
+        sim.run(until=1.0)
+        assert timer.ticks == 1

@@ -180,3 +180,61 @@ class TestJsonSummary:
         assert summary["spans"] == {"total": 2, "traces": 1}
         assert summary["flight"] == {"total": 0, "by_node": {}}
         assert summary["malformed_lines"] == 0
+
+
+class TestQuantileOptions:
+    def many_valued_histogram(self):
+        from repro.telemetry.metrics import DEFAULT_BUCKETS, Histogram, label_key
+
+        histogram = Histogram("lat", label_key({}), DEFAULT_BUCKETS)
+        for i in range(1, 101):
+            histogram.observe(i / 1000.0)  # 1ms .. 100ms
+        return histogram
+
+    def test_default_quantiles_include_p99(self):
+        from repro.telemetry.export import DEFAULT_QUANTILES
+
+        assert DEFAULT_QUANTILES == (0.5, 0.95, 0.99)
+        summary = json_summary([self.many_valued_histogram().to_record()])
+        histogram = summary["histograms"][0]
+        assert set(histogram) >= {"p50", "p95", "p99"}
+        assert histogram["p50"] <= histogram["p95"] <= histogram["p99"]
+
+    def test_p99_appears_in_text_summary(self):
+        records = [
+            {"type": "meta", "name": "u", "exported_at": 0.0},
+            self.many_valued_histogram().to_record(),
+        ]
+        assert "p99=" in text_summary(records, title="t")
+
+    def test_custom_quantiles_change_the_keys(self):
+        record = self.many_valued_histogram().to_record()
+        summary = json_summary([record], quantiles=(0.25, 0.999))
+        histogram = summary["histograms"][0]
+        assert "p25" in histogram
+        assert "p99.9" in histogram
+        assert "p50" not in histogram
+        text = text_summary(
+            [{"type": "meta", "name": "u", "exported_at": 0.0}, record],
+            title="t",
+            quantiles=(0.25, 0.999),
+        )
+        assert "p25=" in text and "p99.9=" in text
+
+    def test_quantile_label_formatting(self):
+        from repro.telemetry.export import quantile_label
+
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.95) == "p95"
+        assert quantile_label(0.999) == "p99.9"
+        assert quantile_label(0.25) == "p25"
+
+    def test_out_of_range_quantiles_rejected(self):
+        import pytest
+
+        record = self.many_valued_histogram().to_record()
+        for bad in ((0.0,), (1.0,), (0.5, 1.5), (-0.1,), ()):
+            with pytest.raises(ValueError):
+                json_summary([record], quantiles=bad)
+            with pytest.raises(ValueError):
+                text_summary([record], title="t", quantiles=bad)
