@@ -1,0 +1,210 @@
+"""X1 — fleet-scale lifecycle: install + renew + revoke across 100k nodes.
+
+The paper's evaluation adapts one node at a time; X1 asks what the
+platform's *protocols* cost when the population is five orders of
+magnitude larger than a demo hall.  A :class:`~repro.fleet.FleetBuilder`
+world (sharded kernel, registrar tree, array-backed leaves) runs the
+full extension lifecycle:
+
+- distribute: one sealed envelope, verified once per registrar, fanned
+  out to cluster heads as epoch handoffs;
+- steady state: per-region leaf sweeps renew ~100k leases per interval
+  while 15% of leaves churn out and expire; registrars keep ~200 head
+  leases alive at the base with one ``renew_batch`` round trip each;
+- withdraw: fleet-wide revocation back down the tree.
+
+Scale knobs come from the environment so CI can smoke-test the same
+scenario at 10k leaves (``FLEET_LEAVES``), with a throughput floor gate
+(``FLEET_FLOOR_OPS``).  One summary row per full run — leaf-ops/sec,
+kernel events/sec, per-epoch wall time, peak RSS, and the run's
+determinism fingerprint — is appended to ``BENCH_fleet.json``.
+
+The module also pins the headline batching claim in isolation: at 10k
+leases, sweep-mode tables + batch-mode renewal consume ≥10× (in practice
+~1000×) fewer kernel timer events than exact per-lease timers.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+
+import pytest
+
+from conftest import append_bench_row
+from repro.fleet import FleetBuilder
+from repro.leasing.renewer import RenewalAgent
+from repro.leasing.table import LeaseTable
+from repro.sim.kernel import Simulator
+
+#: Fleet size; CI sets 10_000 for the smoke lane, the default is the
+#: full experiment.
+LEAVES = int(os.environ.get("FLEET_LEAVES", "100000"))
+#: Leaf-operations/sec floor the smoke lane gates on.  Deliberately ~50×
+#: under the measured ~2.8M ops/s so only a real regression trips it.
+FLOOR_OPS = float(os.environ.get("FLEET_FLOOR_OPS", "50000"))
+
+SEED = 7
+SHARDS = 4
+EPOCHS_STEADY = 60
+EPOCHS_DRAIN = 5
+
+_cache: dict[str, dict] = {}
+
+
+def run_fleet(leaves: int = LEAVES, shards: int = SHARDS, seed: int = SEED) -> dict:
+    """Build and drive one full lifecycle; returns timing + fleet stats."""
+    key = f"{leaves}:{shards}:{seed}"
+    if key in _cache:
+        return _cache[key]
+    built_at = time.perf_counter()
+    fleet = FleetBuilder(leaves=leaves, shards=shards, seed=seed).build()
+    drive_at = time.perf_counter()
+    fleet.distribute("fleet-policy")
+    fleet.run_epochs(EPOCHS_STEADY)
+    fleet.withdraw("fleet-policy")
+    fleet.run_epochs(EPOCHS_DRAIN)
+    done_at = time.perf_counter()
+    stats = fleet.stats()
+    drive_wall = done_at - drive_at
+    epochs = EPOCHS_STEADY + EPOCHS_DRAIN
+    result = {
+        "fleet": fleet,
+        "stats": stats,
+        "fingerprint": fleet.fingerprint(),
+        "build_wall": drive_at - built_at,
+        "drive_wall": drive_wall,
+        "wall_per_epoch": drive_wall / epochs,
+        "leaf_ops_per_sec": stats["leaf_ops"] / drive_wall,
+        "kernel_events_per_sec": stats["kernel_events"] / drive_wall,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    _cache[key] = result
+    return result
+
+
+@pytest.mark.benchmark(group="x1-fleet")
+def test_x1_fleet_lifecycle(benchmark):
+    """The headline run: full lifecycle at LEAVES nodes."""
+    result = benchmark.pedantic(run_fleet, rounds=1, iterations=1)
+    stats = result["stats"]
+    benchmark.extra_info.update(
+        leaves=stats["leaves"],
+        leaf_ops=stats["leaf_ops"],
+        leaf_ops_per_sec=result["leaf_ops_per_sec"],
+        wall_per_epoch=result["wall_per_epoch"],
+        peak_rss_kb=result["peak_rss_kb"],
+        fingerprint=result["fingerprint"],
+    )
+    # Every leaf completed the lifecycle: installed once, then revoked or
+    # churned out — nothing left mid-flight.
+    population = stats["population"]
+    assert population["idle"] == 0 and population["offered"] == 0
+    assert population["installed"] == 0
+    assert population["revoked"] + population["expired"] == stats["leaves"]
+    # The base served O(registrars), not O(leaves): head leases alive,
+    # one envelope verification per registrar.
+    assert stats["envelopes_verified"] == stats["registrars"]
+    assert stats["head_leases"] == stats["heads"]
+
+
+def test_x1_throughput_floor():
+    """The CI gate: a fleet run must clear FLOOR_OPS leaf-ops/sec."""
+    result = run_fleet()
+    assert result["leaf_ops_per_sec"] >= FLOOR_OPS, (
+        f"fleet throughput regressed: {result['leaf_ops_per_sec']:,.0f} "
+        f"leaf-ops/sec < floor {FLOOR_OPS:,.0f}"
+    )
+
+
+def test_x1_fixed_seed_is_deterministic():
+    """Two fresh builds of the same seeded scenario digest identically."""
+    first = run_fleet()["fingerprint"]
+    # A second build from scratch (bypassing the memo) must replay it.
+    fleet = FleetBuilder(leaves=LEAVES, shards=SHARDS, seed=SEED).build()
+    fleet.distribute("fleet-policy")
+    fleet.run_epochs(EPOCHS_STEADY)
+    fleet.withdraw("fleet-policy")
+    fleet.run_epochs(EPOCHS_DRAIN)
+    assert fleet.fingerprint() == first
+
+
+# -- the batching claim, isolated ------------------------------------------------
+
+
+def lease_timer_events(batched: bool, leases: int = 10_000, horizon: float = 20.0) -> int:
+    """Kernel events consumed keeping ``leases`` alive for ``horizon`` s.
+
+    Exact mode: one expiry timer per lease (rescheduled per renewal) and
+    one renewal timer per lease per period.  Batched mode: one sweep
+    timer per table plus one batch timer per agent, whatever the lease
+    count.
+    """
+    sim = Simulator()
+    table = LeaseTable(
+        sim, name="bench", sweep_interval=2.0 if batched else None
+    )
+
+    def renew(tracked, on_success, on_failure):
+        table.renew(tracked.lease_id)
+        on_success()
+
+    agent = RenewalAgent(
+        sim, renew, interval=2.0, batch_interval=2.0 if batched else None
+    )
+    for index in range(leases):
+        lease = table.grant(f"holder-{index}", index, duration=10.0)
+        agent.track(lease.lease_id, "base", duration=10.0)
+    steps = sim.run(until=horizon)
+    agent.stop()
+    return steps
+
+
+@pytest.mark.benchmark(group="x1-batching")
+def test_x1_batched_sweeps_cut_timer_events_10x(benchmark):
+    """ISSUE acceptance: ≥10× fewer timer events at 10k nodes."""
+    batched = benchmark.pedantic(
+        lease_timer_events, args=(True,), rounds=1, iterations=1
+    )
+    exact = lease_timer_events(False)
+    ratio = exact / batched
+    benchmark.extra_info.update(
+        exact_events=exact, batched_events=batched, ratio=ratio
+    )
+    assert ratio >= 10.0, f"batched sweeps only {ratio:.1f}x fewer events"
+
+
+def test_x1_record_trajectory_row(record_property):
+    """Append the machine-readable row for this run to BENCH_fleet.json."""
+    result = run_fleet()
+    stats = result["stats"]
+    exact = lease_timer_events(False)
+    batched = lease_timer_events(True)
+    row = {
+        "bench": "x1-fleet",
+        "leaves": stats["leaves"],
+        "heads": stats["heads"],
+        "registrars": stats["registrars"],
+        "regions": stats["regions"],
+        "shards": stats["shards"],
+        "epochs": stats["epochs"],
+        "leaf_ops": stats["leaf_ops"],
+        "events_per_sec": round(result["leaf_ops_per_sec"]),
+        "kernel_events_per_sec": round(result["kernel_events_per_sec"]),
+        "wall_per_epoch_ms": round(result["wall_per_epoch"] * 1000.0, 3),
+        "drive_wall_s": round(result["drive_wall"], 3),
+        "build_wall_s": round(result["build_wall"], 3),
+        "peak_rss_kb": result["peak_rss_kb"],
+        "renew_batches": stats["renew_batches"],
+        "envelopes_verified": stats["envelopes_verified"],
+        "handoffs": stats["handoffs"],
+        "timer_events_exact_10k": exact,
+        "timer_events_batched_10k": batched,
+        "timer_event_ratio": round(exact / batched, 1),
+        "fingerprint": result["fingerprint"],
+        "seed": SEED,
+    }
+    path = append_bench_row("fleet", row)
+    record_property("bench_row", row)
+    record_property("bench_file", str(path))

@@ -70,7 +70,11 @@ class BaseStation:
         self.node = node
         self.signer = signer
         self.transport = Transport(node, platform.simulator)
-        self.lookup = LookupService(self.transport, platform.simulator)
+        self.lookup = LookupService(
+            self.transport,
+            platform.simulator,
+            sweep_interval=platform.lease_sweep_interval,
+        )
         self.catalog = ExtensionCatalog(signer)
         self.extension_base = ExtensionBase(
             self.transport,
@@ -79,6 +83,7 @@ class BaseStation:
             lease_duration,
             retry_policy=platform.retry_policy,
             pipeline=platform.pipeline,
+            renew_batch_interval=platform.renew_batch_interval,
         )
         self.extension_base.watch_lookup(self.lookup)
         self.db = MovementStore(name=f"{node.node_id}.db")
@@ -234,10 +239,18 @@ class ProactivePlatform:
         retry_policy: RetryPolicy | None = None,
         supervision: SupervisionPolicy | None = None,
         pipeline: PipelineConfig | None = None,
+        lease_sweep_interval: float | None = None,
+        renew_batch_interval: float | None = None,
     ):
         self.simulator = Simulator()
         self.network = Network(self.simulator, config=network_config, seed=seed)
         self.lease_duration = lease_duration
+        #: Fleet-scale batching knobs (see :mod:`repro.fleet`): lease
+        #: tables sweep in batches instead of one timer per lease, and
+        #: base keepalives ride one sweep timer per station.  ``None``
+        #: keeps the classic exact per-lease timers.
+        self.lease_sweep_interval = lease_sweep_interval
+        self.renew_batch_interval = renew_batch_interval
         #: Pipeline shape handed to every base station built here; None
         #: keeps the classic inline (single-worker, zero-service) mode.
         self.pipeline = pipeline

@@ -1,0 +1,235 @@
+"""The sharded kernel: per-region event queues synced at epoch boundaries.
+
+One global event heap is the structural ceiling on fleet size — every
+lease timer, every discovery announcement, every renewal of 100k nodes
+contends on one ``heapq`` and one total order.  The fleet kernel
+partitions the world into **regions** (the unit of simulation locality:
+a hall, a cell, a neighborhood of leaf nodes) and runs each region's
+events on its own heap, so cost per epoch is O(events *per region*), and
+``pending``/scheduling never touch another region's queue.
+
+Determinism is kept by construction:
+
+- **Within a region** events run exactly as on a single
+  :class:`~repro.sim.kernel.Simulator` — same (time, seq) order, same
+  FIFO tie-breaks — because each region *is* a ``Simulator``.
+- **Between regions** the only communication channel is
+  :meth:`ShardedKernel.handoff`: the message is buffered and delivered
+  at the next **epoch boundary**, in a deterministic global order
+  ``(send_time, source_region, per-region sequence)``.  Cross-region
+  latency is therefore quantized to at most one epoch — the documented
+  price of sharding — and the interleaving *inside* an epoch can never
+  leak across a region boundary.
+
+Regions are grouped onto **shards** (execution heaps): ``shards=1``
+degenerates to one shared heap, ``shards=R`` gives every region its
+own.  Because regions only interact through the quantized handoff
+buffer, the shard count changes memory layout and heap sizes but not
+behavior — the property ``tests/fleet/test_determinism.py`` locks in.
+Shard execution inside an epoch is sequential today (pure python), but
+the barrier discipline is exactly what a multi-process executor needs,
+so the shape is load-bearing, not cosmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Simulator
+
+__all__ = ["RegionHandoff", "ShardedKernel"]
+
+
+class RegionHandoff:
+    """One buffered cross-region message awaiting the epoch barrier."""
+
+    __slots__ = ("time", "source", "seq", "destination", "fn", "args")
+
+    def __init__(
+        self,
+        time: float,
+        source: int,
+        seq: int,
+        destination: int,
+        fn: Callable[..., Any],
+        args: tuple[Any, ...],
+    ):
+        self.time = time
+        self.source = source
+        self.seq = seq
+        self.destination = destination
+        self.fn = fn
+        self.args = args
+
+    def sort_key(self) -> tuple[float, int, int]:
+        # Shard-count independent: send time, source region, and the
+        # per-region handoff sequence are all properties of the *region*
+        # timeline, never of the heap it happened to run on.
+        return (self.time, self.source, self.seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RegionHandoff t={self.time:.3f} {self.source}->{self.destination}>"
+        )
+
+
+class ShardedKernel:
+    """Per-region event queues with epoch-barrier synchronization.
+
+    ``regions`` logical regions are mapped onto ``shards`` execution
+    heaps (``region % shards``, stable).  Region 0 is conventionally the
+    *base region* — :class:`~repro.fleet.population.FleetBuilder` aligns
+    it with the platform simulator so the base station, its transport
+    and its pipeline run unmodified on shard 0.
+    """
+
+    def __init__(
+        self,
+        regions: int,
+        epoch: float,
+        shards: int | None = None,
+        shard0: Simulator | None = None,
+        start: float = 0.0,
+    ):
+        if regions < 1:
+            raise SimulationError(f"need >= 1 region, got {regions}")
+        if epoch <= 0:
+            raise SimulationError(f"epoch must be positive, got {epoch}")
+        self.regions = regions
+        self.epoch = epoch
+        self.shards = min(shards if shards is not None else regions, regions)
+        if self.shards < 1:
+            raise SimulationError(f"need >= 1 shard, got {self.shards}")
+        start = shard0.now if shard0 is not None else start
+        self._shards: list[Simulator] = [
+            shard0 if (index == 0 and shard0 is not None) else Simulator(start)
+            for index in range(self.shards)
+        ]
+        self._handoffs: list[RegionHandoff] = []
+        self._handoff_seq: list[int] = [0] * regions
+        self.time = start
+        self.epochs = 0
+        #: Total events executed across all shards (all epochs).
+        self.events_processed = 0
+        #: Cross-region messages delivered so far.
+        self.handoffs_delivered = 0
+        #: Events executed per epoch (appended once per barrier).
+        self.epoch_events: list[int] = []
+
+    # -- topology ----------------------------------------------------------------
+
+    def shard_of(self, region: int) -> int:
+        """Which execution heap ``region`` runs on (stable mapping)."""
+        self._check_region(region)
+        return region % self.shards
+
+    def simulator(self, region: int) -> Simulator:
+        """The simulator a region's events execute on.
+
+        Several regions may share one simulator (that is the point of
+        sharding); callers must treat it as *their region's* clock and
+        schedule cross-region work only via :meth:`handoff`.
+        """
+        return self._shards[self.shard_of(region)]
+
+    # -- scheduling --------------------------------------------------------------
+
+    def schedule(
+        self, region: int, delay: float, fn: Callable[..., Any], *args: Any
+    ):
+        """Schedule region-local work ``delay`` seconds from region-now."""
+        return self.simulator(region).schedule(delay, fn, *args)
+
+    def handoff(
+        self,
+        source: int,
+        destination: int,
+        fn: Callable[..., Any],
+        *args: Any,
+    ) -> RegionHandoff:
+        """Send ``fn(*args)`` to ``destination``, arriving next barrier.
+
+        The *only* legal cross-region channel.  Works same-shard too —
+        quantization must not depend on where regions happen to live, or
+        the shard count would become observable.
+        """
+        self._check_region(source)
+        self._check_region(destination)
+        seq = self._handoff_seq[source]
+        self._handoff_seq[source] = seq + 1
+        handoff = RegionHandoff(
+            self.simulator(source).now, source, seq, destination, fn, args
+        )
+        self._handoffs.append(handoff)
+        return handoff
+
+    # -- execution ---------------------------------------------------------------
+
+    def run_epoch(self) -> int:
+        """Run every shard to the next boundary, then flush handoffs.
+
+        Returns the number of events executed this epoch.  Shards run in
+        index order; buffered handoffs are delivered *at* the boundary in
+        global ``(time, source region, seq)`` order, so they execute at
+        the start of the next epoch ahead of any same-instant local work
+        scheduled later.
+        """
+        boundary = self.time + self.epoch
+        executed = 0
+        for shard in self._shards:
+            executed += shard.run(until=boundary)
+        flushed, self._handoffs = self._handoffs, []
+        flushed.sort(key=RegionHandoff.sort_key)
+        for handoff in flushed:
+            self._shards[self.shard_of(handoff.destination)].schedule_at(
+                boundary, handoff.fn, *handoff.args
+            )
+        self.handoffs_delivered += len(flushed)
+        self.time = boundary
+        self.epochs += 1
+        self.events_processed += executed
+        self.epoch_events.append(executed)
+        return executed
+
+    def run_epochs(self, count: int) -> int:
+        """Run ``count`` epochs; returns total events executed."""
+        return sum(self.run_epoch() for _ in range(count))
+
+    def run_until(self, deadline: float) -> int:
+        """Run whole epochs until ``time`` reaches at least ``deadline``."""
+        executed = 0
+        while self.time < deadline:
+            executed += self.run_epoch()
+        return executed
+
+    def run_until_quiet(self, max_epochs: int, min_epochs: int = 1) -> int:
+        """Run epochs until the fleet is idle (or ``max_epochs``).
+
+        The fleet analog of ``run_until_idle``: stops after an epoch that
+        executed nothing with no events or handoffs left anywhere.
+        """
+        executed = 0
+        for index in range(max_epochs):
+            ran = self.run_epoch()
+            executed += ran
+            if ran == 0 and self.pending == 0 and index + 1 >= min_epochs:
+                break
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Live events across all shards plus undelivered handoffs (O(shards))."""
+        return sum(shard.pending for shard in self._shards) + len(self._handoffs)
+
+    def _check_region(self, region: int) -> None:
+        if not 0 <= region < self.regions:
+            raise SimulationError(
+                f"region {region} out of range [0, {self.regions})"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedKernel t={self.time:.2f} regions={self.regions} "
+            f"shards={self.shards} epochs={self.epochs}>"
+        )

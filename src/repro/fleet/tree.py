@@ -1,0 +1,331 @@
+"""The registrar tree: hierarchical aggregation between base and leaves.
+
+A base station cannot hold 100k direct conversations — and per the
+paper's own deployment sketch it never has to: devices cluster around
+local infrastructure.  The fleet models that as a three-level tree::
+
+    BaseStation (lookup + extension base + pipeline)     region 0
+        ▲ real transport: fleet.offer / fleet.revoke /
+        │ lookup.register / lookup.renew_batch
+    ClusterRegistrar × ~N/8192  (real Transport endpoints) region 0
+        ▲ kernel handoffs (epoch-quantized)
+    ClusterHead × ~N/512        (__slots__ objects)       regions 1..R
+        ▲ array indexing
+    leaves × N                  (rows in FleetPopulation)
+
+Aggregation happens at each cut:
+
+- The base verifies and signs envelopes **once per registrar**, not per
+  leaf: a registrar opens the envelope against its trust store and fans
+  the installed extension out to its heads as kernel handoffs.
+- Head liveness is leased in the base's (sweeping) lookup tables — one
+  :class:`~repro.discovery.service.ServiceItem` per head — and renewed
+  with one ``lookup.renew_batch`` round trip per registrar per interval
+  instead of one ``lookup.renew`` per head.
+- Leaf leases never reach the base at all: each region sweeps its own
+  population slice and hands one aggregate report per sweep back to its
+  registrar.
+
+The traffic the base actually serves is therefore O(registrars), while
+the modeled fleet is O(leaves).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.discovery.registrar import REGISTER, RENEW_BATCH, CANCEL
+from repro.discovery.service import ServiceItem
+from repro.errors import SimulationError, VerificationError
+from repro.midas.envelope import ExtensionEnvelope
+from repro.midas.trust import TrustStore
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.regions import ShardedKernel
+
+logger = logging.getLogger(__name__)
+
+#: Base → registrar: distribute a sealed extension envelope downtree.
+FLEET_OFFER = "fleet.offer"
+#: Base → registrar: withdraw an extension fleet-wide.
+FLEET_REVOKE = "fleet.revoke"
+#: Interface under which cluster heads lease their liveness at the base.
+HEAD_INTERFACE = "fleet.cluster-head"
+
+#: Tree fan-out defaults: leaves per cluster head, heads per registrar.
+DEFAULT_LEAVES_PER_CLUSTER = 512
+DEFAULT_CLUSTERS_PER_REGISTRAR = 16
+
+
+class TreePlan:
+    """Pure topology math: how N leaves split into heads and registrars.
+
+    Leaves are contiguous index ranges (head h owns ``[h*L, (h+1)*L)``)
+    so population state stays array-sliced rather than pointer-chased.
+    Registrar r owns heads ``[r*C, (r+1)*C)`` and leaf region ``r + 1``
+    (region 0 is the base region).
+    """
+
+    __slots__ = (
+        "leaves",
+        "leaves_per_cluster",
+        "clusters_per_registrar",
+        "heads",
+        "registrars",
+    )
+
+    def __init__(
+        self,
+        leaves: int,
+        leaves_per_cluster: int = DEFAULT_LEAVES_PER_CLUSTER,
+        clusters_per_registrar: int = DEFAULT_CLUSTERS_PER_REGISTRAR,
+    ):
+        if leaves < 1:
+            raise SimulationError(f"need >= 1 leaf, got {leaves}")
+        if leaves_per_cluster < 1 or clusters_per_registrar < 1:
+            raise SimulationError("tree fan-outs must be >= 1")
+        self.leaves = leaves
+        self.leaves_per_cluster = leaves_per_cluster
+        self.clusters_per_registrar = clusters_per_registrar
+        self.heads = -(-leaves // leaves_per_cluster)
+        self.registrars = -(-self.heads // clusters_per_registrar)
+
+    @property
+    def regions(self) -> int:
+        """Region count including the base region 0."""
+        return self.registrars + 1
+
+    def leaf_range(self, head: int) -> tuple[int, int]:
+        """The contiguous ``[start, stop)`` leaf slice of head ``head``."""
+        start = head * self.leaves_per_cluster
+        return start, min(start + self.leaves_per_cluster, self.leaves)
+
+    def head_range(self, registrar: int) -> tuple[int, int]:
+        """The contiguous ``[start, stop)`` head slice of a registrar."""
+        start = registrar * self.clusters_per_registrar
+        return start, min(start + self.clusters_per_registrar, self.heads)
+
+    def region_of_head(self, head: int) -> int:
+        """The leaf region a head's cluster simulates in."""
+        return head // self.clusters_per_registrar + 1
+
+    def __repr__(self) -> str:
+        return (
+            f"<TreePlan leaves={self.leaves} heads={self.heads} "
+            f"registrars={self.registrars}>"
+        )
+
+
+class ClusterHead:
+    """One cluster head: a leaf range and its lease at the base.
+
+    Heads are *not* transport endpoints — at fleet scale they are plain
+    ``__slots__`` records driven by kernel handoffs from their registrar
+    and by their region's sweep loop.  Their only protocol presence is
+    the leased :data:`HEAD_INTERFACE` item the registrar maintains for
+    them at the base.
+    """
+
+    __slots__ = ("index", "region", "registrar", "start", "stop", "lease_id")
+
+    def __init__(self, index: int, region: int, registrar: int, start: int, stop: int):
+        self.index = index
+        self.region = region
+        self.registrar = registrar
+        self.start = start
+        self.stop = stop
+        #: Lease id at the base lookup, once registered (None before/after).
+        self.lease_id: str | None = None
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def service_item(self, provider: str) -> ServiceItem:
+        """The liveness item this head leases at the base lookup.
+
+        The service id is stable (derived from the head index) so
+        re-registration after a lapse *replaces* the stale entry instead
+        of duplicating it.
+        """
+        return ServiceItem(
+            HEAD_INTERFACE,
+            provider,
+            {"head": self.index, "leaves": self.size},
+            service_id=f"fleet-head-{self.index}",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterHead {self.index} region={self.region} "
+            f"leaves=[{self.start},{self.stop})>"
+        )
+
+
+class ClusterRegistrar:
+    """One mid-tree aggregator: a real transport endpoint near the base.
+
+    Serves :data:`FLEET_OFFER` / :data:`FLEET_REVOKE` from the base
+    station, verifying each envelope **once** before fanning it out to
+    its cluster heads as epoch-quantized kernel handoffs; maintains its
+    heads' leases at the base lookup with one ``lookup.renew_batch``
+    round trip per interval; and accumulates the leaf-level sweep
+    reports its regions hand back uptree.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        transport: Transport,
+        simulator: Simulator,
+        kernel: "ShardedKernel",
+        trust_store: TrustStore,
+        base_id: str,
+        heads: list[ClusterHead],
+        renew_interval: float,
+        lease_duration: float,
+        on_offer: Callable[[ClusterHead, str, int], None],
+        on_revoke: Callable[[ClusterHead, str], None],
+    ):
+        self.index = index
+        self.transport = transport
+        self.simulator = simulator
+        self.kernel = kernel
+        self.trust_store = trust_store
+        self.base_id = base_id
+        self.heads = heads
+        self.renew_interval = renew_interval
+        self.lease_duration = lease_duration
+        self._on_offer = on_offer
+        self._on_revoke = on_revoke
+        self._renew_event = None
+        #: Aggregated leaf activity handed up by this registrar's regions.
+        self.leaf_installs = 0
+        self.leaf_renewals = 0
+        self.leaf_expiries = 0
+        self.leaf_revocations = 0
+        #: Protocol accounting (the numbers the aggregation claim rests on).
+        self.envelopes_verified = 0
+        self.renew_batches = 0
+        self.head_registrations = 0
+        self.head_reregistrations = 0
+        transport.register(FLEET_OFFER, self._serve_offer)
+        transport.register(FLEET_REVOKE, self._serve_revoke)
+
+    @property
+    def node_id(self) -> str:
+        return self.transport.node.node_id
+
+    # -- head leases (uptree) ----------------------------------------------------
+
+    def register_heads(self) -> None:
+        """Lease every head's liveness item at the base, then keep the
+        whole set alive on one batched renewal timer."""
+        for head in self.heads:
+            self._register_head(head)
+        if self._renew_event is None:
+            self._renew_event = self.simulator.schedule(
+                self.renew_interval, self._renew_tick
+            )
+
+    def _register_head(self, head: ClusterHead, rebound: bool = False) -> None:
+        def on_reply(body: dict[str, Any], head: ClusterHead = head) -> None:
+            head.lease_id = body["lease_id"]
+
+        self.head_registrations += 1
+        if rebound:
+            self.head_reregistrations += 1
+        self.transport.request(
+            self.base_id,
+            REGISTER,
+            {
+                "item": head.service_item(self.node_id),
+                "duration": self.lease_duration,
+            },
+            on_reply=on_reply,
+        )
+
+    def _renew_tick(self) -> None:
+        self._renew_event = self.simulator.schedule(
+            self.renew_interval, self._renew_tick
+        )
+        lease_ids = [head.lease_id for head in self.heads if head.lease_id]
+        if not lease_ids:
+            return
+        self.renew_batches += 1
+        self.transport.request(
+            self.base_id,
+            RENEW_BATCH,
+            {"lease_ids": lease_ids, "duration": self.lease_duration},
+            on_reply=self._renew_replied,
+        )
+
+    def _renew_replied(self, body: dict[str, Any]) -> None:
+        unknown = set(body.get("unknown", ()))
+        if not unknown:
+            return
+        # The base lapsed (or crashed and lost) these leases: re-register
+        # exactly the losers, as a reconciliation loop should.
+        for head in self.heads:
+            if head.lease_id in unknown:
+                head.lease_id = None
+                self._register_head(head, rebound=True)
+
+    def stop(self) -> None:
+        """Stop renewing (head leases then lapse at the base)."""
+        if self._renew_event is not None:
+            self._renew_event.cancel()
+            self._renew_event = None
+
+    # -- distribution (downtree) -------------------------------------------------
+
+    def _serve_offer(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        envelope: ExtensionEnvelope = body["envelope"]
+        if not isinstance(envelope, ExtensionEnvelope):
+            raise VerificationError(f"expected an envelope, got {envelope!r}")
+        # One verification guards the whole subtree: heads and leaves
+        # below this point trust their registrar's checked copy.
+        aspect = envelope.open(self.trust_store)
+        self.envelopes_verified += 1
+        del aspect  # the fleet models installation as state, not weaving
+        for head in self.heads:
+            self.kernel.handoff(
+                0, head.region, self._on_offer, head, envelope.name, envelope.version
+            )
+        return {"heads": len(self.heads), "name": envelope.name}
+
+    def _serve_revoke(self, sender: str, body: dict[str, Any]) -> dict[str, Any]:
+        name = body["name"]
+        for head in self.heads:
+            self.kernel.handoff(0, head.region, self._on_revoke, head, name)
+        return {"heads": len(self.heads)}
+
+    # -- leaf reports (handed up by region sweeps) --------------------------------
+
+    def record_leaf_activity(self, renewed: int, expired: int) -> None:
+        self.leaf_renewals += renewed
+        self.leaf_expiries += expired
+
+    def record_installs(self, count: int) -> None:
+        self.leaf_installs += count
+
+    def record_revocations(self, count: int) -> None:
+        self.leaf_revocations += count
+
+    def cancel_heads(self) -> None:
+        """Cancel every held head lease at the base (orderly shutdown)."""
+        for head in self.heads:
+            if head.lease_id:
+                self.transport.request(
+                    self.base_id, CANCEL, {"lease_id": head.lease_id}
+                )
+                head.lease_id = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterRegistrar {self.node_id} heads={len(self.heads)} "
+            f"batches={self.renew_batches}>"
+        )

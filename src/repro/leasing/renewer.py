@@ -14,6 +14,12 @@ per lease is in flight at a time: a round that comes due while the
 previous one is still outstanding is *coalesced* (skipped, with the
 schedule kept), never stacked.
 
+At fleet scale one kernel event per lease per round is the bottleneck,
+so ``batch_interval`` switches the agent to a single periodic sweep
+(one timer per *agent*): each tick renews every lease whose round is
+due, preserving cadence/coalescing/failure semantics at tick
+resolution.  See :mod:`repro.fleet` for the subsystem built on this.
+
 Failure handling comes in two flavors:
 
 - **legacy counting** (no ``backoff``): failures are counted per lease
@@ -72,7 +78,7 @@ class TrackedLease:
 
     __slots__ = (
         "lease_id", "peer", "resource", "duration", "failures", "context",
-        "last_success",
+        "last_success", "next_due",
     )
 
     def __init__(
@@ -93,6 +99,9 @@ class TrackedLease:
         #: Simulated time of the last successful renewal (or of tracking
         #: start) — the silence deadline in backoff mode measures from here.
         self.last_success = 0.0
+        #: When the next renewal round is due (batched mode only; the
+        #: per-lease mode keeps its own timer per lease instead).
+        self.next_due = 0.0
 
     def __repr__(self) -> str:
         return (
@@ -113,6 +122,7 @@ class RenewalAgent:
         name: str = "renewer",
         backoff: "RetryPolicy | None" = None,
         rng: random.Random | None = None,
+        batch_interval: float | None = None,
     ):
         self.simulator = simulator
         self.renew_function = renew_function
@@ -120,6 +130,15 @@ class RenewalAgent:
         self.interval = interval
         self.max_failures = max_failures
         self.name = name
+        #: Batched mode: one periodic sweep timer for the *whole agent*
+        #: instead of one kernel event per tracked lease.  Each tick
+        #: renews every lease whose round is due; per-lease cadence,
+        #: coalescing, failure counting and backoff semantics are
+        #: unchanged, but due-times are only observed at tick resolution
+        #: (renewals fire up to ``batch_interval`` late — keep it well
+        #: under the shortest ``RENEW_FRACTION × duration``).  ``None``
+        #: keeps the classic per-lease timers.
+        self.batch_interval = batch_interval
         #: Retry policy for failed renewals; None keeps legacy counting.
         self.backoff = backoff
         # Seeded per agent name: deterministic, decorrelated between nodes.
@@ -131,6 +150,9 @@ class RenewalAgent:
         self._tracked: dict[str, TrackedLease] = {}
         self._timers: dict[str, Event] = {}
         self._in_flight: set[str] = set()
+        self._batch_event: Event | None = None
+        #: Number of batch sweep ticks run (batched mode only).
+        self.batch_ticks = 0
         self.coalesced = 0
         self._stopped = False
 
@@ -149,7 +171,11 @@ class RenewalAgent:
         tracked.last_success = self.simulator.now
         self._tracked[lease_id] = tracked
         self._stopped = False
-        self._schedule(tracked)
+        if self.batch_interval is not None:
+            tracked.next_due = self.simulator.now + self._period_of(tracked)
+            self._arm_batch()
+        else:
+            self._schedule(tracked)
         return tracked
 
     def forget(self, lease_id: str) -> TrackedLease | None:
@@ -191,6 +217,9 @@ class RenewalAgent:
             timer.cancel()
         self._timers.clear()
         self._in_flight.clear()
+        if self._batch_event is not None:
+            self._batch_event.cancel()
+            self._batch_event = None
 
     def __len__(self) -> int:
         return len(self._tracked)
@@ -219,6 +248,46 @@ class RenewalAgent:
             self._renew_now,
             tracked.lease_id,
         )
+
+    # -- batched scheduling -------------------------------------------------------
+
+    def _arm_batch(self) -> None:
+        if self._stopped or self._batch_event is not None:
+            return
+        self._batch_event = self.simulator.schedule(
+            self.batch_interval, self._batch_tick
+        )
+
+    def _batch_tick(self) -> None:
+        """One sweep over every tracked lease: renew all rounds now due.
+
+        This is the fleet-scale discipline — one kernel event per agent
+        per interval, however many leases it carries.  Iteration is in
+        tracking order (dict insertion), so renewal order is
+        deterministic.
+        """
+        self._batch_event = None
+        self.batch_ticks += 1
+        now = self.simulator.now
+        recorder = _telemetry.get_recorder()
+        for tracked in list(self._tracked.values()):
+            if tracked.next_due > now:
+                continue
+            # Advance the cadence first, exactly like the per-lease mode
+            # schedules the next round before invoking the renewal.
+            tracked.next_due = now + self._period_of(tracked)
+            if tracked.lease_id in self._in_flight:
+                self.coalesced += 1
+                recorder.count("lease.renewals.coalesced", agent=self.name)
+                continue
+            self._in_flight.add(tracked.lease_id)
+            self.renew_function(
+                tracked,
+                self._success_callback(tracked),
+                self._failure_callback(tracked),
+            )
+        if self._tracked:
+            self._arm_batch()
 
     def _renew_now(self, lease_id: str) -> None:
         self._timers.pop(lease_id, None)
@@ -290,7 +359,12 @@ class RenewalAgent:
             _telemetry.get_recorder().count(
                 "lease.renewals.retried", agent=self.name
             )
-            self._schedule(tracked, delay=delay)
+            if self.batch_interval is not None:
+                # Batched mode: no extra kernel event — the retry lands
+                # on the first sweep tick at/after the backoff delay.
+                tracked.next_due = self.simulator.now + delay
+            else:
+                self._schedule(tracked, delay=delay)
 
         return on_failure
 

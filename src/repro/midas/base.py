@@ -115,6 +115,7 @@ class ExtensionBase:
         node_filter: "ServiceTemplate | None" = None,
         retry_policy: RetryPolicy | None = None,
         pipeline: PipelineConfig | None = None,
+        renew_batch_interval: float | None = None,
     ):
         self.transport = transport
         self.simulator = simulator
@@ -160,11 +161,15 @@ class ExtensionBase:
         #: used to scope quarantine marks to a whole class of devices.
         self._node_classes: dict[str, str] = {}
         self._peer_bases: list[str] = []
+        # ``renew_batch_interval`` puts all keepalives on one sweep timer
+        # (one kernel event per interval however many nodes are adapted)
+        # instead of one timer per lease — the fleet-scale mode.
         self._renewer = RenewalAgent(
             simulator,
             self._send_keepalive,
             name=f"{self.node_id}.extensions",
             backoff=retry_policy,
+            batch_interval=renew_batch_interval,
         )
         self._renewer.on_abandoned.connect(self._renewal_abandoned)
         if retry_policy is not None:

@@ -25,7 +25,7 @@ class Event:
     ``(time, seq)`` so the heap pops them in deterministic order.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "kwargs", "canceled")
+    __slots__ = ("time", "seq", "fn", "args", "kwargs", "canceled", "_sim", "_queued")
 
     def __init__(
         self,
@@ -34,6 +34,7 @@ class Event:
         fn: Callable[..., Any],
         args: tuple[Any, ...],
         kwargs: dict[str, Any],
+        sim: "Simulator | None" = None,
     ):
         self.time = time
         self.seq = seq
@@ -41,10 +42,18 @@ class Event:
         self.args = args
         self.kwargs = kwargs
         self.canceled = False
+        # Owning simulator and in-queue flag, so cancel() can keep the
+        # simulator's live-event count exact without scanning the heap.
+        self._sim = sim
+        self._queued = sim is not None
 
     def cancel(self) -> None:
         """Prevent this event from firing (safe to call more than once)."""
+        if self.canceled:
+            return
         self.canceled = True
+        if self._queued and self._sim is not None:
+            self._sim._note_canceled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -78,11 +87,18 @@ class Simulator:
     ['a', 'b']
     """
 
+    #: Queues shorter than this are never compacted — rebuilding a tiny
+    #: heap costs more than lazily skipping its tombstones.
+    COMPACT_MIN = 64
+
     def __init__(self, start: float = 0.0):
         self._now = float(start)
         self._queue: list[Event] = []
         self._seq = 0
+        self._live = 0
         self._running = False
+        #: Number of times the heap was rebuilt to shed canceled events.
+        self.compactions = 0
         self.clock = SimClock(self)
 
     @property
@@ -92,8 +108,10 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including canceled ones)."""
-        return sum(1 for event in self._queue if not event.canceled)
+        """Number of live (non-canceled) events still queued.  O(1): a
+        counter maintained by schedule/cancel/step, not a queue scan —
+        at fleet scale ``repr`` and progress checks must stay free."""
+        return self._live
 
     def schedule(
         self, delay: float, fn: Callable[..., Any], *args: Any, **kwargs: Any
@@ -111,17 +129,47 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} before current time {self._now}"
             )
-        event = Event(when, self._seq, fn, args, kwargs)
+        event = Event(when, self._seq, fn, args, kwargs, sim=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_canceled(self) -> None:
+        """A queued event was just canceled: keep the live count exact and
+        compact the heap once tombstones dominate it.
+
+        Called by :meth:`Event.cancel` only (at most once per event).
+        Compaction triggers when more than half of a non-trivial queue is
+        canceled — the classic lazy-deletion amortization, which matters
+        once fleets park hundreds of thousands of renewal/expiry timers
+        that are mostly rescheduled (canceled + re-pushed) before firing.
+        """
+        self._live -= 1
+        dead = len(self._queue) - self._live
+        if len(self._queue) >= self.COMPACT_MIN and dead * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without canceled events (O(live))."""
+        survivors = []
+        for event in self._queue:
+            if event.canceled:
+                event._queued = False
+            else:
+                survivors.append(event)
+        self._queue = survivors
+        heapq.heapify(self._queue)
+        self.compactions += 1
 
     def step(self) -> bool:
         """Run the next pending event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event._queued = False
             if event.canceled:
                 continue
+            self._live -= 1
             self._now = event.time
             event.fn(*event.args, **event.kwargs)
             return True
@@ -146,7 +194,7 @@ class Simulator:
                     break
                 head = self._queue[0]
                 if head.canceled:
-                    heapq.heappop(self._queue)
+                    heapq.heappop(self._queue)._queued = False
                     continue
                 if until is not None and head.time > until:
                     break

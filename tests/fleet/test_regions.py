@@ -1,0 +1,129 @@
+"""Sharded kernel: epoch barriers and cross-region handoff."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fleet.regions import ShardedKernel
+from repro.sim.kernel import Simulator
+
+
+class TestTopology:
+    def test_region_to_shard_mapping_is_stable(self):
+        kernel = ShardedKernel(regions=10, epoch=1.0, shards=3)
+        assert [kernel.shard_of(r) for r in range(10)] == [
+            0, 1, 2, 0, 1, 2, 0, 1, 2, 0,
+        ]
+
+    def test_shards_default_to_one_per_region(self):
+        kernel = ShardedKernel(regions=4, epoch=1.0)
+        assert kernel.shards == 4
+        assert len({id(kernel.simulator(r)) for r in range(4)}) == 4
+
+    def test_shards_clamped_to_region_count(self):
+        kernel = ShardedKernel(regions=2, epoch=1.0, shards=16)
+        assert kernel.shards == 2
+
+    def test_platform_simulator_becomes_shard_zero(self):
+        sim = Simulator()
+        sim.run(until=3.0)  # a platform mid-flight
+        kernel = ShardedKernel(regions=3, epoch=1.0, shards=2, shard0=sim)
+        assert kernel.simulator(0) is sim
+        assert kernel.time == 3.0
+        assert kernel.simulator(1).now == 3.0  # other shards start aligned
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(SimulationError):
+            ShardedKernel(regions=0, epoch=1.0)
+        with pytest.raises(SimulationError):
+            ShardedKernel(regions=1, epoch=0.0)
+        with pytest.raises(SimulationError):
+            ShardedKernel(regions=2, epoch=1.0).schedule(5, 0.1, print)
+
+
+class TestEpochExecution:
+    def test_region_local_events_run_within_their_epoch(self):
+        kernel = ShardedKernel(regions=2, epoch=1.0)
+        fired = []
+        kernel.schedule(0, 0.3, fired.append, ("a", 0.3))
+        kernel.schedule(1, 0.7, fired.append, ("b", 0.7))
+        kernel.schedule(0, 1.5, fired.append, ("c", 1.5))
+        assert kernel.run_epoch() == 2
+        assert fired == [("a", 0.3), ("b", 0.7)]
+        assert kernel.run_epoch() == 1
+        assert fired[-1] == ("c", 1.5)
+        assert kernel.epochs == 2
+        assert kernel.events_processed == 3
+
+    def test_run_until_advances_whole_epochs(self):
+        kernel = ShardedKernel(regions=2, epoch=0.5)
+        kernel.run_until(1.7)
+        assert kernel.time == pytest.approx(2.0)
+        assert kernel.epochs == 4
+
+    def test_run_until_quiet_drains_then_stops(self):
+        kernel = ShardedKernel(regions=2, epoch=1.0)
+        kernel.schedule(1, 2.5, lambda: None)
+        ran = kernel.run_until_quiet(max_epochs=50)
+        # The event (at t=2.5) runs in epoch 3; epoch 4 is quiet.
+        assert ran == 1
+        assert kernel.epochs == 4
+
+
+class TestHandoff:
+    def test_handoff_arrives_at_next_epoch_boundary(self):
+        kernel = ShardedKernel(regions=2, epoch=1.0)
+        arrivals = []
+
+        def sender():
+            kernel.handoff(0, 1, lambda: arrivals.append(kernel.simulator(1).now))
+
+        kernel.schedule(0, 0.2, sender)
+        kernel.run_epoch()
+        assert arrivals == []  # buffered, not yet delivered
+        kernel.run_epoch()
+        assert arrivals == [1.0]  # quantized to the boundary
+
+    def test_same_shard_handoff_is_quantized_too(self):
+        # Both regions on one shard: delivery must still wait for the
+        # boundary, or shard count would change application behavior.
+        kernel = ShardedKernel(regions=2, epoch=1.0, shards=1)
+        arrivals = []
+        kernel.schedule(0, 0.2, lambda: kernel.handoff(
+            0, 1, lambda: arrivals.append(kernel.simulator(1).now)))
+        kernel.run_epoch()
+        assert arrivals == []
+        kernel.run_epoch()
+        assert arrivals == [1.0]
+
+    def test_delivery_order_is_time_then_source_then_seq(self):
+        kernel = ShardedKernel(regions=3, epoch=1.0, shards=3)
+        order = []
+        # Region 2 sends early in the epoch, region 1 later; two messages
+        # from region 1 keep their send order.
+        kernel.schedule(2, 0.1, lambda: kernel.handoff(2, 0, order.append, "r2@0.1"))
+        def r1_sends():
+            kernel.handoff(1, 0, order.append, "r1-first")
+            kernel.handoff(1, 0, order.append, "r1-second")
+        kernel.schedule(1, 0.1, r1_sends)
+        kernel.schedule(1, 0.05, lambda: kernel.handoff(1, 0, order.append, "r1@0.05"))
+        kernel.run_epochs(2)
+        assert order == ["r1@0.05", "r1-first", "r1-second", "r2@0.1"]
+        assert kernel.handoffs_delivered == 4
+
+    def test_pending_counts_buffered_handoffs(self):
+        kernel = ShardedKernel(regions=2, epoch=1.0)
+        kernel.handoff(0, 1, lambda: None)
+        assert kernel.pending == 1
+        kernel.schedule(1, 0.5, lambda: None)
+        assert kernel.pending == 2
+        kernel.run_epoch()
+        assert kernel.pending == 1  # handoff now queued in region 1's heap
+        kernel.run_epoch()
+        assert kernel.pending == 0
+
+    def test_handoff_region_bounds_checked(self):
+        kernel = ShardedKernel(regions=2, epoch=1.0)
+        with pytest.raises(SimulationError):
+            kernel.handoff(0, 2, print)
+        with pytest.raises(SimulationError):
+            kernel.handoff(-1, 0, print)

@@ -1,0 +1,99 @@
+"""The registrar tree wired end to end (small fleet, full stack)."""
+
+import pytest
+
+from repro.fleet import FleetBuilder, HEAD_INTERFACE
+from repro.discovery.service import ServiceTemplate
+
+
+@pytest.fixture
+def small_fleet():
+    """640 leaves → 8 heads → 2 registrars → 3 regions."""
+    return FleetBuilder(
+        leaves=640,
+        leaves_per_cluster=80,
+        clusters_per_registrar=4,
+        shards=2,
+        seed=11,
+        churn=0.0,
+    ).build()
+
+
+class TestTreeWiring:
+    def test_topology_comes_out_as_planned(self, small_fleet):
+        assert small_fleet.plan.heads == 8
+        assert small_fleet.plan.registrars == 2
+        assert len(small_fleet.registrars) == 2
+        assert [len(r.heads) for r in small_fleet.registrars] == [4, 4]
+        regions = {h.region for h in small_fleet.heads}
+        assert regions == {1, 2}
+
+    def test_heads_lease_liveness_at_the_base(self, small_fleet):
+        small_fleet.run_epochs(2)
+        assert small_fleet.base.lookup.registration_count() == 8
+        items = small_fleet.base.lookup.items(
+            ServiceTemplate(interface=HEAD_INTERFACE)
+        )
+        assert len(items) == 8
+        assert {item.provider for item in items} == {
+            "registrar-000", "registrar-001",
+        }
+
+    def test_head_leases_survive_on_batched_renewals(self, small_fleet):
+        # Head lease duration is 20 s; run well past several terms.  The
+        # base never sees per-head renew traffic — one batch round trip
+        # per registrar per interval keeps all 8 alive.
+        small_fleet.run_epochs(70)
+        assert small_fleet.base.lookup.registration_count() == 8
+        batches = sum(r.renew_batches for r in small_fleet.registrars)
+        assert batches == 2 * 14  # 2 registrars, every 5 s over 70 s
+        assert all(r.head_reregistrations == 0 for r in small_fleet.registrars)
+
+    def test_distribute_verifies_once_per_registrar(self, small_fleet):
+        small_fleet.distribute("fleet-policy")
+        small_fleet.run_epochs(5)
+        assert [r.envelopes_verified for r in small_fleet.registrars] == [1, 1]
+        assert small_fleet.population.counts()["installed"] == 640
+        assert small_fleet.offers_acked == 2
+
+    def test_install_reports_aggregate_uptree(self, small_fleet):
+        small_fleet.distribute("fleet-policy")
+        small_fleet.run_epochs(10)
+        assert [r.leaf_installs for r in small_fleet.registrars] == [320, 320]
+        # Sweeps renew whole regions and report aggregates, not leaves.
+        assert all(r.leaf_renewals > 0 for r in small_fleet.registrars)
+
+    def test_withdraw_revokes_the_whole_fleet(self, small_fleet):
+        small_fleet.distribute("fleet-policy")
+        small_fleet.run_epochs(5)
+        small_fleet.withdraw("fleet-policy")
+        small_fleet.run_epochs(3)
+        counts = small_fleet.population.counts()
+        assert counts["installed"] == 0
+        assert counts["revoked"] == 640
+        assert [r.leaf_revocations for r in small_fleet.registrars] == [320, 320]
+
+    def test_offers_ride_the_base_pipeline(self, small_fleet):
+        small_fleet.distribute("fleet-policy")
+        small_fleet.run_epochs(5)
+        stats = small_fleet.base.extension_base.pipeline.stats()
+        assert stats["submitted"] == 2
+        assert stats["completed"] == 2
+
+    def test_churned_leaves_expire_without_base_traffic(self):
+        fleet = FleetBuilder(
+            leaves=200,
+            leaves_per_cluster=50,
+            clusters_per_registrar=2,
+            seed=3,
+            churn=1.0,            # every leaf stops renewing...
+            churn_horizon=10.0,   # ...within 10 s
+            leaf_lease_duration=8.0,
+        ).build()
+        fleet.distribute("fleet-policy")
+        fleet.run_epochs(40)
+        counts = fleet.population.counts()
+        assert counts["installed"] == 0
+        assert counts["expired"] == 200
+        total_expired = sum(r.leaf_expiries for r in fleet.registrars)
+        assert total_expired == 200

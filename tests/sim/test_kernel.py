@@ -145,6 +145,55 @@ class TestLazyDeletion:
         assert sim.now == 1.0
 
 
+class TestPendingCounterAndCompaction:
+    """pending is an O(1) live counter; mass-cancel compacts the heap."""
+
+    def test_pending_counter_tracks_schedule_cancel_fire(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending == 10
+        events[0].cancel()
+        events[0].cancel()  # idempotent: no double decrement
+        assert sim.pending == 9
+        sim.run(until=5.0)
+        assert sim.pending == 5
+
+    def test_mass_cancel_compacts_the_heap(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        # More than half the queue was tombstones: the heap was rebuilt
+        # (at the trigger point; later cancels may tombstone again).
+        assert sim.compactions >= 1
+        assert len(sim._queue) <= 100
+        assert sim.pending == 50
+        assert sim.run() == 50
+
+    def test_small_queues_are_never_compacted(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        assert sim.compactions == 0
+        assert sim.pending == 0
+
+    def test_cancel_after_compaction_is_harmless(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(200)]
+        for event in events[:150]:
+            event.cancel()
+        assert sim.compactions >= 1
+        events[0].cancel()  # evicted by compaction; must not corrupt counts
+        assert sim.pending == 50
+        assert sim.run() == 50
+
+    def test_repeated_reschedule_stays_bounded(self, sim):
+        # The fleet pattern: park a timer, cancel + re-arm it many times.
+        event = sim.schedule(1000.0, lambda: None)
+        for _ in range(10_000):
+            event.cancel()
+            event = sim.schedule(1000.0, lambda: None)
+        assert sim.pending == 1
+        assert len(sim._queue) < Simulator.COMPACT_MIN
+
+
 class TestRun:
     def test_run_returns_step_count(self, sim):
         for _ in range(3):
