@@ -84,6 +84,7 @@ class BaseStation:
             retry_policy=platform.retry_policy,
             pipeline=platform.pipeline,
             renew_batch_interval=platform.renew_batch_interval,
+            roam_sync_interval=platform.roam_sync_interval,
         )
         self.extension_base.watch_lookup(self.lookup)
         self.db = MovementStore(name=f"{node.node_id}.db")
@@ -241,6 +242,7 @@ class ProactivePlatform:
         pipeline: PipelineConfig | None = None,
         lease_sweep_interval: float | None = None,
         renew_batch_interval: float | None = None,
+        roam_sync_interval: float | None = None,
     ):
         self.simulator = Simulator()
         self.network = Network(self.simulator, config=network_config, seed=seed)
@@ -251,6 +253,10 @@ class ProactivePlatform:
         #: keeps the classic exact per-lease timers.
         self.lease_sweep_interval = lease_sweep_interval
         self.renew_batch_interval = renew_batch_interval
+        #: When set, linked base stations run anti-entropy roam
+        #: reconciliation at this period (see ExtensionBase); None keeps
+        #: the classic announce-only roaming algorithm.
+        self.roam_sync_interval = roam_sync_interval
         #: Pipeline shape handed to every base station built here; None
         #: keeps the classic inline (single-worker, zero-service) mode.
         self.pipeline = pipeline

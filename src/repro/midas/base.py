@@ -64,9 +64,17 @@ from repro.util.signal import Signal
 logger = logging.getLogger(__name__)
 
 ROAMED = "midas.roamed"
+ROAM_SYNC = "midas.roam.sync"
 
 #: Term of the lease a base asks receivers to grant its extensions.
 DEFAULT_EXTENSION_LEASE = 10.0
+
+#: ``(arrival time, base id)`` of a node's newest known arrival.  Epochs
+#: order totally (time first, base id breaking same-instant ties), so
+#: every roaming conflict — a reordered ROAMED, a duplicated one, two
+#: bases both believing they host a node — resolves the same way
+#: everywhere: the newest arrival wins.
+RoamEpoch = tuple[float, str]
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,7 @@ class ExtensionBase:
         retry_policy: RetryPolicy | None = None,
         pipeline: PipelineConfig | None = None,
         renew_batch_interval: float | None = None,
+        roam_sync_interval: float | None = None,
     ):
         self.transport = transport
         self.simulator = simulator
@@ -161,6 +170,17 @@ class ExtensionBase:
         #: used to scope quarantine marks to a whole class of devices.
         self._node_classes: dict[str, str] = {}
         self._peer_bases: list[str] = []
+        #: Newest known arrival per node (here or at a peer).  Fed by
+        #: local arrivals, incoming ROAMED announcements, and anti-entropy
+        #: exchanges; consulted so a stale ROAMED cannot undo a later
+        #: arrival and a reconcile cannot resurrect leases a roam dropped.
+        self._roam_epochs: dict[str, RoamEpoch] = {}
+        #: When set, peer bases periodically exchange digests of their
+        #: adapted-node sets and resolve conflicts by newest roam epoch —
+        #: so even a permanently lost ROAMED converges within one
+        #: interval.  None keeps the classic announce-only behavior.
+        self.roam_sync_interval = roam_sync_interval
+        self._roam_sync_timer: PeriodicTimer | None = None
         # ``renew_batch_interval`` puts all keepalives on one sweep timer
         # (one kernel event per interval however many nodes are adapted)
         # instead of one timer per lease — the fleet-scale mode.
@@ -190,6 +210,7 @@ class ExtensionBase:
         self.resilient_client = self._client
         self._reconciler: PeriodicTimer | None = None
         transport.register(ROAMED, self._serve_roamed)
+        transport.register(ROAM_SYNC, self._serve_roam_sync)
         transport.register(HEALTH, self._serve_health)
 
     # -- work dispatch -----------------------------------------------------------
@@ -229,6 +250,7 @@ class ExtensionBase:
         for tracked in self._renewer.tracked():
             self._renewer.forget(tracked.lease_id)
         self._adapted.clear()
+        self._roam_epochs.clear()
         if self.pipeline is not None:
             self.pipeline.reset_volatile()
 
@@ -243,7 +265,9 @@ class ExtensionBase:
         keep-alives abandoned during a lossy spell while the node never
         actually left.
         """
-        lookup.on_registered.connect(self._service_seen)
+        lookup.on_registered.connect(
+            lambda item: self._service_seen(item, fresh=True)
+        )
         lookup.on_deregistered.connect(self._service_gone)
         for item in lookup.items():
             self._service_seen(item)
@@ -271,7 +295,7 @@ class ExtensionBase:
 
         def on_event(event: "RemoteEvent") -> None:
             if event.kind is EventKind.REGISTERED:
-                self._service_seen(event.item)
+                self._service_seen(event.item, fresh=True)
             else:
                 self._service_gone(event.item, event.kind)
 
@@ -295,7 +319,7 @@ class ExtensionBase:
                 name=f"{self.node_id}.remote-reconcile",
             ).start()
 
-    def _service_seen(self, item: ServiceItem) -> None:
+    def _service_seen(self, item: ServiceItem, fresh: bool = False) -> None:
         if item.interface != ADAPTATION_INTERFACE:
             return
         if item.provider == self.node_id:
@@ -305,7 +329,7 @@ class ExtensionBase:
         self._node_classes[item.provider] = str(
             item.attributes.get("class", item.provider)
         )
-        self.adapt_node(item.provider)
+        self.adapt_node(item.provider, fresh=fresh)
 
     def _service_gone(self, item: ServiceItem, kind: object = None) -> None:
         if item.interface != ADAPTATION_INTERFACE:
@@ -316,9 +340,32 @@ class ExtensionBase:
 
     # -- distribution ------------------------------------------------------------------
 
-    def adapt_node(self, node_id: str) -> None:
-        """Offer every catalog extension to ``node_id``."""
+    def adapt_node(self, node_id: str, fresh: bool = False) -> None:
+        """Offer every catalog extension to ``node_id``.
+
+        ``fresh=True`` marks a genuine (re-)arrival — a registration
+        event, not a periodic reconcile of stale lookup state.  A
+        non-fresh adapt is refused when a ROAMED announcement has told
+        this base the node now lives at a peer: re-offering then would
+        resurrect exactly the leases the roam dropped.
+        """
         newly_seen = not any(node == node_id for (node, _) in self._adapted)
+        if not fresh and newly_seen:
+            known = self._roam_epochs.get(node_id)
+            if known is not None and known[1] != self.node_id:
+                _telemetry.get_recorder().count(
+                    "midas.roam.stale_refused", node=self.node_id
+                )
+                logger.debug(
+                    "%s: refusing stale adapt of %s (roamed to %s at t=%.3f)",
+                    self.node_id,
+                    node_id,
+                    known[1],
+                    known[0],
+                )
+                return
+        if fresh or newly_seen:
+            self._note_arrival(node_id)
         for name in self.catalog.names():
             self.offer(node_id, name)
         if newly_seen:
@@ -632,21 +679,199 @@ class ExtensionBase:
         """Tell this base about a peer base for the roaming algorithm."""
         if base_node_id != self.node_id and base_node_id not in self._peer_bases:
             self._peer_bases.append(base_node_id)
+            self._ensure_roam_sync()
+
+    def _ensure_roam_sync(self) -> None:
+        if self.roam_sync_interval is None or self._roam_sync_timer is not None:
+            return
+        if not self._peer_bases:
+            return
+        self._roam_sync_timer = PeriodicTimer(
+            self.simulator,
+            self.roam_sync_interval,
+            self._roam_sync_tick,
+            name=f"{self.node_id}.roam-sync",
+        ).start()
+
+    def _note_arrival(self, node_id: str) -> None:
+        """Record that ``node_id`` is here, now — if that beats what we know."""
+        epoch: RoamEpoch = (self.simulator.now, self.node_id)
+        known = self._roam_epochs.get(node_id)
+        if known is None or epoch > known:
+            self._roam_epochs[node_id] = epoch
 
     def _announce_roaming(self, node_id: str) -> None:
-        for peer in self._peer_bases:
-            self.transport.notify(peer, ROAMED, {"node_id": node_id})
+        """Tell every peer base ``node_id`` arrived here.
 
-    def _serve_roamed(self, sender: str, body: dict) -> None:
-        self._submit(sender, "roamed", lambda: self._handle_roamed(sender, body))
+        With a retry policy the announcement rides the resilient client
+        (retries with backoff within the lease-term deadline) and counts
+        ``midas.roam.announce_failed`` when retries exhaust — anti-entropy
+        then owns convergence.  Without one it is the paper's classic
+        fire-and-forget notify.
+        """
+        epoch = self._roam_epochs.get(node_id, (self.simulator.now, self.node_id))
+        recorder = _telemetry.get_recorder()
+        for peer in self._peer_bases:
+            body = {"node_id": node_id, "epoch": [epoch[0], epoch[1]]}
+            recorder.count("midas.roam.announced", node=self.node_id, peer=peer)
+            if self._client is None:
+                self.transport.notify(peer, ROAMED, body)
+                continue
+            self._client.call(
+                peer,
+                ROAMED,
+                body,
+                on_reply=lambda reply: None,
+                on_error=lambda error, peer=peer: self._announce_failed(
+                    node_id, peer, error
+                ),
+            )
+
+    def _announce_failed(self, node_id: str, peer: str, error: Exception) -> None:
+        recorder = _telemetry.get_recorder()
+        recorder.count("midas.roam.announce_failed", node=self.node_id, peer=peer)
+        recorder.event(
+            "midas.roam.announce_failed",
+            node=self.node_id,
+            peer=peer,
+            roamed=node_id,
+            error=str(error),
+        )
+        logger.warning(
+            "%s: could not announce %s's arrival to %s: %s",
+            self.node_id,
+            node_id,
+            peer,
+            error,
+        )
+
+    def _serve_roamed(self, sender: str, body: dict) -> dict:
+        accepted = self._submit(
+            sender, "roamed", lambda: self._handle_roamed(sender, body)
+        )
+        # The reply doubles as an acknowledgement for retrying announcers.
+        return {"accepted": accepted}
 
     def _handle_roamed(self, sender: str, body: dict) -> None:
+        """Apply one ROAMED announcement — idempotently, and in order.
+
+        The announcement carries the arrival's roam epoch; anything at or
+        below what we already know (a duplicate delivery, or a stale
+        announcement reordered behind a later arrival here) is ignored.
+        Unknown nodes are recorded too: a late reconcile must not re-offer
+        to a node that provably lives elsewhere now.
+        """
         node_id = body["node_id"]
+        raw = body.get("epoch")
+        if raw is None:
+            # Pre-epoch announcer: synthesize "arrived at sender just now",
+            # which preserves the classic always-drop behavior.
+            epoch: RoamEpoch = (self.simulator.now, sender)
+        else:
+            epoch = (float(raw[0]), str(raw[1]))
+        known = self._roam_epochs.get(node_id)
+        recorder = _telemetry.get_recorder()
+        if known is not None and epoch <= known:
+            recorder.count("midas.roam.stale_ignored", node=self.node_id)
+            return
+        self._roam_epochs[node_id] = epoch
         if any(node == node_id for (node, _) in self._adapted):
             logger.debug(
-                "%s: node %s roamed to %s; dropping leases", self.node_id, node_id, sender
+                "%s: node %s roamed to %s; dropping leases",
+                self.node_id,
+                node_id,
+                epoch[1],
             )
-            self._drop_node(node_id, action="roamed", detail=f"now at {sender}")
+            recorder.event(
+                "midas.roam.dropped",
+                node=self.node_id,
+                roamed=node_id,
+                peer=epoch[1],
+            )
+            self._drop_node(node_id, action="roamed", detail=f"now at {epoch[1]}")
+        else:
+            recorder.event(
+                "midas.roam.recorded",
+                node=self.node_id,
+                roamed=node_id,
+                peer=epoch[1],
+            )
+
+    # -- anti-entropy reconciliation ----------------------------------------------
+
+    def _roam_digest(self) -> dict[str, list]:
+        """Our adapted-node set, each with the newest arrival epoch we know.
+
+        A node adapted without any recorded epoch (pre-epoch state, or
+        state rebuilt after a crash wiped the epochs) claims ``(0.0,
+        self)`` — the weakest possible claim, losing to any real arrival.
+        """
+        digest: dict[str, list] = {}
+        for (node, _name) in self._adapted:
+            if node not in digest:
+                epoch = self._roam_epochs.get(node, (0.0, self.node_id))
+                digest[node] = [epoch[0], epoch[1]]
+        return digest
+
+    def _roam_sync_tick(self) -> None:
+        digest = self._roam_digest()
+        for peer in self._peer_bases:
+            self._send_roam_sync(peer, digest)
+
+    def _send_roam_sync(self, peer: str, digest: dict[str, list]) -> None:
+        recorder = _telemetry.get_recorder()
+        recorder.count("midas.roam.sync_sent", node=self.node_id, peer=peer)
+
+        def on_reply(body: dict) -> None:
+            conflicts = (body or {}).get("conflicts") or {}
+            for node_id, raw in conflicts.items():
+                self._learn_roam(node_id, (float(raw[0]), str(raw[1])))
+
+        def on_error(error: Exception) -> None:
+            recorder.count("midas.roam.sync_failed", node=self.node_id, peer=peer)
+
+        self._request(peer, ROAM_SYNC, {"adapted": digest}, on_reply, on_error)
+
+    def _serve_roam_sync(self, sender: str, body: dict) -> dict:
+        """Anti-entropy exchange: merge the peer's claims, return ours.
+
+        The peer sends the nodes it currently hosts, each with its roam
+        epoch.  Claims newer than our knowledge are learned (dropping our
+        leases where we host the same node — it provably moved); claims
+        *older* than our knowledge are returned as conflicts so the peer
+        drops its side.  Served inline: this is control-plane metadata and
+        the reply must reflect current knowledge, not a queued snapshot.
+        """
+        conflicts: dict[str, list] = {}
+        for node_id, raw in (body.get("adapted") or {}).items():
+            epoch = (float(raw[0]), str(raw[1]))
+            known = self._roam_epochs.get(node_id)
+            if known is not None and known > epoch:
+                conflicts[node_id] = [known[0], known[1]]
+                continue
+            self._learn_roam(node_id, epoch)
+        return {"conflicts": conflicts}
+
+    def _learn_roam(self, node_id: str, epoch: RoamEpoch) -> None:
+        """Adopt a newer roam epoch learned via anti-entropy."""
+        known = self._roam_epochs.get(node_id)
+        if known is not None and epoch <= known:
+            return
+        self._roam_epochs[node_id] = epoch
+        if epoch[1] != self.node_id and any(
+            node == node_id for (node, _) in self._adapted
+        ):
+            recorder = _telemetry.get_recorder()
+            recorder.count("midas.roam.reconciled", node=self.node_id)
+            recorder.event(
+                "midas.roam.reconciled",
+                node=self.node_id,
+                roamed=node_id,
+                peer=epoch[1],
+            )
+            self._drop_node(
+                node_id, action="roamed", detail=f"reconciled to {epoch[1]}"
+            )
 
     # -- queries ----------------------------------------------------------------------------------
 

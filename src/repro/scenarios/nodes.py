@@ -1,0 +1,309 @@
+"""Storm nodes: lightweight roaming receivers.
+
+A :class:`StormNode` is a protocol stub in the :mod:`repro.loadgen`
+mold — it speaks just enough MIDAS (OFFER / KEEPALIVE / REVOKE, plus
+registrar REGISTER / RENEW) for bases to adapt it, without a ProseVM, so
+storms scale to thousands of nodes.  Unlike a load client it models the
+*roaming* side faithfully:
+
+- it is homed at exactly one base at a time and keeps exactly that
+  base's registrar lease alive;
+- :meth:`migrate` re-registers it at a new base and abandons the old
+  registration — the moment federated bookkeeping can go wrong;
+- leases are tracked per ``(granting base, extension)``: if two bases
+  each believe they host the node, the node really holds two lease sets,
+  which is exactly the dual-home state the invariant monitor hunts;
+- every install / withdrawal / migration lands on the flight recorder,
+  so invariant violations come with a causal timeline.
+"""
+
+from __future__ import annotations
+
+from repro.discovery.registrar import REGISTER, RENEW
+from repro.discovery.service import ServiceItem
+from repro.midas.receiver import (
+    ADAPTATION_INTERFACE,
+    HEALTH,
+    KEEPALIVE,
+    OFFER,
+    REVOKE,
+)
+from repro.net.transport import Transport
+from repro.sim.kernel import Simulator
+from repro.sim.timers import PeriodicTimer
+from repro.telemetry import runtime as _telemetry
+from repro.util.ids import fresh_id
+
+
+class HeldLease:
+    """One extension lease this node holds from one base."""
+
+    __slots__ = ("lease_id", "name", "granter", "version", "duration", "expires_at")
+
+    def __init__(
+        self,
+        lease_id: str,
+        name: str,
+        granter: str,
+        version: int,
+        duration: float,
+        expires_at: float,
+    ):
+        self.lease_id = lease_id
+        self.name = name
+        self.granter = granter
+        self.version = version
+        self.duration = duration
+        self.expires_at = expires_at
+
+
+class StormNode:
+    """One roaming member of the storm population."""
+
+    def __init__(
+        self,
+        index: int,
+        transport: Transport,
+        simulator: Simulator,
+        node_class: str,
+        registration_lease: float,
+    ):
+        self.index = index
+        self.transport = transport
+        self.simulator = simulator
+        self.node_class = node_class
+        self.registration_lease = registration_lease
+        self.node_id = transport.node.node_id
+        #: The base this node currently calls home (None before joining
+        #: and while churned away).
+        self.home: str | None = None
+        #: ``(granting base, extension)`` -> lease.  Two granters for the
+        #: same node is physically possible — that is the dual-home bug
+        #: state, observable here and at the bases.
+        self.held: dict[tuple[str, str], HeldLease] = {}
+        self.attached = True
+        self._registration_lease_id: str | None = None
+        self._upkeep: PeriodicTimer | None = None
+        # Storm accounting.
+        self.migrations = 0
+        self.installs = 0
+        self.withdrawals = 0
+
+        transport.register(OFFER, self._serve_offer)
+        transport.register(KEEPALIVE, self._serve_keepalive)
+        transport.register(REVOKE, self._serve_revoke)
+
+    # -- MIDAS protocol stub -------------------------------------------------------
+
+    def _serve_offer(self, sender: str, body: dict) -> dict:
+        envelope = body["envelope"]
+        duration = float(body["duration"])
+        key = (sender, envelope.name)
+        lease = self.held.get(key)
+        if lease is None:
+            lease = self.held[key] = HeldLease(
+                fresh_id(f"{self.node_id}.lease"),
+                envelope.name,
+                sender,
+                envelope.version,
+                duration,
+                self.simulator.now + duration,
+            )
+            self.installs += 1
+            _telemetry.get_recorder().event(
+                "storm.installed",
+                node=self.node_id,
+                extension=envelope.name,
+                granter=sender,
+            )
+        else:
+            # Re-offer of a held extension: refresh under the same lease
+            # id (a version bump rides the same refresh).
+            lease.version = envelope.version
+            lease.duration = duration
+            lease.expires_at = self.simulator.now + duration
+        return {"lease_id": lease.lease_id, "duration": duration}
+
+    def _serve_keepalive(self, sender: str, body: dict) -> dict:
+        by_id = {lease.lease_id: lease for lease in self.held.values()}
+        renewed, unknown = [], []
+        for lease_id in body["lease_ids"]:
+            lease = by_id.get(lease_id)
+            if lease is None:
+                unknown.append(lease_id)
+            else:
+                lease.expires_at = self.simulator.now + lease.duration
+                renewed.append(lease_id)
+        return {"renewed": renewed, "unknown": unknown}
+
+    def _serve_revoke(self, sender: str, body: dict) -> dict:
+        lease_id = body["lease_id"]
+        for key, lease in list(self.held.items()):
+            if lease.lease_id == lease_id:
+                self._withdraw(key, "revoked")
+                return {"revoked": True}
+        return {"revoked": False}
+
+    def sweep(self, now: float) -> None:
+        """Expire overdue leases (driven by the world's shared sweeper)."""
+        for key, lease in list(self.held.items()):
+            if lease.expires_at <= now:
+                self._withdraw(key, "expired")
+
+    def _withdraw(self, key: tuple[str, str], reason: str) -> None:
+        lease = self.held.pop(key, None)
+        if lease is None:
+            return
+        self.withdrawals += 1
+        _telemetry.get_recorder().event(
+            "storm.withdrawn",
+            node=self.node_id,
+            extension=lease.name,
+            granter=lease.granter,
+            reason=reason,
+        )
+
+    # -- roaming lifecycle ---------------------------------------------------------
+
+    def join(self, base_id: str) -> None:
+        """First arrival: register the adaptation service at ``base_id``."""
+        self.home = base_id
+        _telemetry.get_recorder().event(
+            "storm.join", node=self.node_id, base=base_id
+        )
+        self._register(base_id)
+
+    def migrate(self, base_id: str) -> None:
+        """Roam to ``base_id``: register there, let the old lease lapse.
+
+        The old base is *not* told by this node — that is the ROAMED
+        announcement's job, which is exactly what storms attack.
+        """
+        if not self.attached or base_id == self.home:
+            return
+        previous = self.home
+        self.home = base_id
+        self._registration_lease_id = None  # the old base's lease lapses
+        self.migrations += 1
+        _telemetry.get_recorder().event(
+            "storm.migrate",
+            node=self.node_id,
+            base=base_id,
+            previous=previous or "",
+        )
+        self._register(base_id)
+
+    def leave(self) -> None:
+        """Churn out: drop off the network mid-storm."""
+        if not self.attached:
+            return
+        self.attached = False
+        previous = self.home
+        self.home = None
+        self._registration_lease_id = None
+        if self._upkeep is not None:
+            self._upkeep.stop()
+            self._upkeep = None
+        _telemetry.get_recorder().event(
+            "storm.leave", node=self.node_id, base=previous or ""
+        )
+        network = self.transport.node.network
+        if network is not None:
+            network.detach(self.transport.node)
+
+    def rejoin(self, network, base_id: str) -> None:
+        """Churn back in at ``base_id`` (a fresh arrival)."""
+        if self.attached:
+            return
+        network.attach(self.transport.node)
+        self.attached = True
+        _telemetry.get_recorder().event(
+            "storm.return", node=self.node_id, base=base_id
+        )
+        self.home = base_id
+        self._register(base_id)
+
+    def report_quarantine(self, name: str) -> None:
+        """Report ``name`` quarantined to its granter and withdraw it."""
+        target: tuple[str, str] | None = None
+        for key in self.held:
+            if key[1] == name and (target is None or key[0] == self.home):
+                target = key
+        if target is None:
+            return
+        granter, _ = target
+        lease = self.held[target]
+        self.transport.notify(
+            granter,
+            HEALTH,
+            {
+                "extension": name,
+                "node_class": self.node_class,
+                "version": lease.version,
+                "offender": name,
+            },
+        )
+        self._withdraw(target, "quarantined")
+
+    # -- registration upkeep ---------------------------------------------------------
+
+    def _register(self, base_id: str) -> None:
+        item = ServiceItem(
+            ADAPTATION_INTERFACE, self.node_id, {"class": self.node_class}
+        )
+
+        def on_reply(body: dict) -> None:
+            if self.home != base_id or not self.attached:
+                return  # migrated again (or left) before the reply landed
+            self._registration_lease_id = body["lease_id"]
+            self._start_upkeep(float(body["duration"]))
+
+        self.transport.request(
+            base_id,
+            REGISTER,
+            {"item": item, "duration": self.registration_lease},
+            on_reply=on_reply,
+            on_error=lambda error: None,  # upkeep / re-register heals later
+        )
+
+    def _start_upkeep(self, granted: float) -> None:
+        if self._upkeep is not None:
+            return
+        self._upkeep = PeriodicTimer(
+            self.simulator,
+            max(granted / 3.0, 0.1),
+            self._renew_registration,
+            name=f"{self.node_id}.registration",
+        ).start()
+
+    def _renew_registration(self) -> None:
+        # Only the *current* home's registration is kept alive; after a
+        # migration the old base's registrar lease is left to expire,
+        # like a device that walked out of radio range.
+        if self.home is None or self._registration_lease_id is None:
+            return
+        self.transport.request(
+            self.home,
+            RENEW,
+            {
+                "lease_id": self._registration_lease_id,
+                "duration": self.registration_lease,
+            },
+            on_error=lambda error: None,
+        )
+
+    # -- queries ----------------------------------------------------------------------
+
+    def granters(self) -> list[str]:
+        """Bases this node currently holds at least one lease from."""
+        return sorted({granter for (granter, _name) in self.held})
+
+    def holds(self, name: str) -> bool:
+        """Does this node hold ``name`` from any granter?"""
+        return any(key[1] == name for key in self.held)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StormNode {self.node_id} home={self.home} "
+            f"held={len(self.held)} attached={self.attached}>"
+        )

@@ -45,7 +45,9 @@ DEFAULT_CAPACITY = 512
 #: Black-box events: when one lands and the hub has a ``dump_dir``, the
 #: affected node's ring is dumped immediately (the state that *led to*
 #: the incident is exactly what the ring still holds).
-DUMP_KINDS = frozenset({"fault.crash", "supervision.quarantined"})
+DUMP_KINDS = frozenset(
+    {"fault.crash", "supervision.quarantined", "invariant.violation"}
+)
 
 #: Ring assigned to events that name no node (world-level happenings).
 WORLD = "world"

@@ -1,0 +1,166 @@
+"""Epoch-stamped ROAMED: idempotence, ordering, refusal, anti-entropy.
+
+PR 8 hardened federated roaming: announcements carry the arrival's roam
+epoch ``(time, base)``, duplicates and reordered stale announcements are
+ignored, announcements for *unknown* nodes are recorded so a late
+re-adapt is refused, lost announcements are retried (with telemetry when
+retries exhaust), and a periodic anti-entropy digest exchange converges
+the bases even when every announcement was eaten.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import ProactivePlatform
+from repro.extensions.call_logging import CallLogging
+from repro.faults.plan import FaultPlan
+from repro.midas.base import ROAMED
+from repro.net.geometry import ORIGIN
+from repro.net.node import NetworkNode
+from repro.net.transport import Transport
+from repro.resilience.policy import RetryPolicy
+from repro.scenarios.nodes import StormNode
+
+
+def build_world(retry: bool = True, sync: float | None = None):
+    """Two linked bases + one storm node, telemetry on."""
+    platform = ProactivePlatform(
+        seed=5,
+        lease_duration=6.0,
+        retry_policy=(
+            RetryPolicy(max_attempts=3, initial_backoff=0.5, jitter=0.0)
+            if retry
+            else None
+        ),
+        roam_sync_interval=sync,
+    )
+    registry = platform.enable_telemetry()
+    stations = [
+        platform.create_base_station("base-a", ORIGIN),
+        platform.create_base_station("base-b", ORIGIN),
+    ]
+    for station in stations:
+        station.add_extension("roam-ext", lambda: CallLogging(type_pattern="X"))
+    device = platform.network.attach(NetworkNode("dev-1", ORIGIN))
+    node = StormNode(
+        1, Transport(device, platform.simulator), platform.simulator, "class-a", 30.0
+    )
+    return platform, registry, stations[0].extension_base, stations[1].extension_base, node
+
+
+def tracks(base, node_id: str) -> bool:
+    return any(node == node_id for (node, _name) in base._adapted)
+
+
+# -- epoch ordering (pure unit: announcements applied directly) -------------------
+
+
+def test_roamed_for_unknown_node_is_recorded():
+    platform, registry, base_a, base_b, node = build_world()
+    base_a._handle_roamed("base-b", {"node_id": "ghost", "epoch": [5.0, "base-b"]})
+    assert base_a._roam_epochs["ghost"] == (5.0, "base-b")
+    kinds = [e.kind for e in registry.flight.events("base-a")]
+    assert "midas.roam.recorded" in kinds
+
+
+def test_duplicate_roamed_is_ignored():
+    platform, registry, base_a, _base_b, _node = build_world()
+    body = {"node_id": "ghost", "epoch": [5.0, "base-b"]}
+    base_a._handle_roamed("base-b", body)
+    base_a._handle_roamed("base-b", dict(body))
+    assert registry.counter_total("midas.roam.stale_ignored") == 1
+    assert base_a._roam_epochs["ghost"] == (5.0, "base-b")
+
+
+def test_reordered_stale_roamed_loses_to_newer_epoch():
+    platform, registry, base_a, _base_b, _node = build_world()
+    # The *newer* arrival (at base-c) is delivered first ...
+    base_a._handle_roamed("base-c", {"node_id": "ghost", "epoch": [9.0, "base-c"]})
+    # ... and the older one (base-b) straggles in afterwards: ignored.
+    base_a._handle_roamed("base-b", {"node_id": "ghost", "epoch": [4.0, "base-b"]})
+    assert base_a._roam_epochs["ghost"] == (9.0, "base-c")
+    assert registry.counter_total("midas.roam.stale_ignored") == 1
+    # A genuinely newer arrival still wins.
+    base_a._handle_roamed("base-d", {"node_id": "ghost", "epoch": [11.0, "base-d"]})
+    assert base_a._roam_epochs["ghost"] == (11.0, "base-d")
+
+
+def test_recorded_roam_refuses_late_nonfresh_adapt():
+    platform, registry, base_a, _base_b, _node = build_world()
+    base_a._handle_roamed("base-b", {"node_id": "ghost", "epoch": [5.0, "base-b"]})
+    # A late reconcile pass (non-fresh sighting) must not resurrect it ...
+    base_a.adapt_node("ghost")
+    assert not tracks(base_a, "ghost")
+    assert registry.counter_total("midas.roam.stale_refused") == 1
+    # ... but a genuine re-registration here — necessarily *after* the
+    # recorded arrival — overrides the record (newest epoch wins).
+    platform.run_for(6.0)
+    base_a.adapt_node("ghost", fresh=True)
+    assert base_a._roam_epochs["ghost"][1] == "base-a"
+
+
+def test_legacy_roamed_without_epoch_still_drops(sim):
+    platform, registry, base_a, base_b, node = build_world()
+    node.join("base-a")
+    platform.run_for(3.0)
+    assert tracks(base_a, "dev-1")
+    # A pre-epoch announcer sends no epoch: classic always-drop holds.
+    base_a._handle_roamed("base-b", {"node_id": "dev-1"})
+    assert not tracks(base_a, "dev-1")
+    assert base_a._roam_epochs["dev-1"][1] == "base-b"
+
+
+# -- the live announcement path ---------------------------------------------------
+
+
+@pytest.mark.parametrize("retry", [True, False])
+def test_migration_announcement_drops_old_home(retry):
+    platform, registry, base_a, base_b, node = build_world(retry=retry)
+    node.join("base-a")
+    platform.run_for(3.0)
+    assert tracks(base_a, "dev-1") and not tracks(base_b, "dev-1")
+    node.migrate("base-b")
+    platform.run_for(3.0)
+    assert tracks(base_b, "dev-1")
+    assert not tracks(base_a, "dev-1")
+    assert registry.counter_total("midas.roam.announced") >= 1
+
+
+def test_exhausted_announce_retries_count_telemetry():
+    platform, registry, base_a, base_b, node = build_world(retry=True)
+    node.join("base-a")
+    platform.run_for(3.0)
+    # Sever the base backbone only: the device can still reach base-b.
+    platform.network.partition("base-a", "base-b")
+    node.migrate("base-b")
+    platform.run_for(20.0)
+    assert tracks(base_a, "dev-1"), "without the announcement base-a keeps it"
+    assert registry.counter_total("midas.roam.announce_failed") >= 1
+    kinds = [e.kind for e in registry.flight.events("base-b")]
+    assert "midas.roam.announce_failed" in kinds
+
+
+def test_anti_entropy_converges_when_announcements_are_eaten():
+    platform, registry, base_a, base_b, node = build_world(retry=True, sync=2.0)
+    platform.install_faults(FaultPlan().drop(operation=ROAMED))
+    node.join("base-a")
+    platform.run_for(3.0)
+    node.migrate("base-b")
+    platform.run_for(15.0)
+    assert tracks(base_b, "dev-1")
+    assert not tracks(base_a, "dev-1"), "anti-entropy must reconcile the lost ROAMED"
+    assert registry.counter_total("midas.roam.reconciled") >= 1
+    assert registry.counter_total("midas.roam.sync_sent") >= 1
+
+
+def test_roam_sync_resolves_conflict_toward_newest_epoch():
+    platform, registry, base_a, base_b, _node = build_world()
+    base_a._roam_epochs["ghost"] = (9.0, "base-a")
+    # base-b claims an older arrival: the serving side reports a conflict.
+    reply = base_a._serve_roam_sync("base-b", {"adapted": {"ghost": [4.0, "base-b"]}})
+    assert reply["conflicts"] == {"ghost": [9.0, "base-a"]}
+    # A newer claim is learned instead.
+    reply = base_a._serve_roam_sync("base-b", {"adapted": {"ghost": [12.0, "base-b"]}})
+    assert reply["conflicts"] == {}
+    assert base_a._roam_epochs["ghost"] == (12.0, "base-b")

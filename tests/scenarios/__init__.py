@@ -1,0 +1,1 @@
+"""Storm scenario tests."""

@@ -1,0 +1,57 @@
+"""StormSpec: validation, serialization, presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import PRESETS, StormSpec
+
+
+def test_round_trips_through_json():
+    spec = StormSpec(name="x", seed=42, nodes=500, drop_roamed=0.3, revoke_at=20.0)
+    assert StormSpec.from_json(spec.to_json()) == spec
+
+
+def test_from_dict_ignores_unknown_keys():
+    spec = StormSpec.from_dict({"seed": 9, "nodes": 10, "future_knob": True})
+    assert spec.seed == 9 and spec.nodes == 10
+
+
+def test_with_overrides_copies_frozen_spec():
+    spec = StormSpec()
+    other = spec.with_overrides(seed=99, bases=4)
+    assert (other.seed, other.bases) == (99, 4)
+    assert (spec.seed, spec.bases) == (7, 2)  # the original is untouched
+
+
+def test_total_time_sums_the_phases():
+    spec = StormSpec(storm_start=10.0, duration=40.0, settle=30.0)
+    assert spec.total_time == 80.0
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"bases": 1},
+        {"bases": 9},
+        {"nodes": 0},
+        {"migrate_fraction": 1.5},
+        {"grace": 0.5, "monitor_interval": 1.0},
+        {"revoke_at": 1.0},  # outside the storm window
+        {"quarantine_at": 999.0},
+    ],
+)
+def test_validate_rejects_bad_specs(overrides):
+    with pytest.raises(ValueError):
+        StormSpec(**overrides).validate()
+
+
+def test_presets_validate_and_accept_overrides():
+    for name, factory in PRESETS.items():
+        spec = factory(nodes=50, seed=3)
+        spec.validate()
+        assert spec.nodes == 50 and spec.seed == 3
+        assert spec.name  # presets are self-describing
+    assert PRESETS["partition"]().partition_cycles > 0
+    assert PRESETS["revocation"]().revoke_at is not None
+    assert PRESETS["soak"]().churn_fraction > 0
