@@ -9,6 +9,7 @@ Usage::
     python -m repro inspect         # node health: extensions, leases, breakers
     python -m repro vet <target>    # statically vet extension modules
     python -m repro loadgen         # closed-loop load runs + M/M/n checks
+    python -m repro ops             # control tower: SLO burn + health statuses
 """
 
 from __future__ import annotations
@@ -59,6 +60,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.loadgen.cli import main as loadgen_main
 
         return loadgen_main(argv[1:])
+    if argv and argv[0] == "ops":
+        from repro.telemetry.health.tower import main as ops_main
+
+        return ops_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=(

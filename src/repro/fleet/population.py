@@ -47,6 +47,13 @@ from repro.midas.trust import TrustStore
 from repro.net.geometry import Position
 from repro.net.node import NetworkNode
 from repro.net.transport import Transport
+from repro.telemetry.health import (
+    CounterRatioSLI,
+    HealthPlane,
+    RollupRule,
+    SLO,
+    scaled_pairs,
+)
 
 __all__ = [
     "EndpointInterner",
@@ -54,6 +61,7 @@ __all__ = [
     "FleetPopulation",
     "Fleet",
     "FleetBuilder",
+    "fleet_health_plane",
     "IDLE",
     "OFFERED",
     "INSTALLED",
@@ -262,6 +270,45 @@ class FleetPolicyAspect(Aspect):
         self.policy = policy
 
 
+def fleet_health_plane(renew_interval: float) -> HealthPlane:
+    """A *detached* health plane sized to the fleet's sweep cadence.
+
+    Fleet runs install no process-global recorder (100k nodes would
+    swamp one), so the plane is fed explicit timestamps straight from
+    :meth:`Fleet._sweep_region` — renewed leaves are good events,
+    expired leaves are bad ones.  Steady churn stays far below the 10%
+    error budget; a broken renewal path (mass expiry) burns it fast.
+    """
+    pairs = scaled_pairs(40.0 * renew_interval, floor=2.0 * renew_interval)
+    plane = HealthPlane(
+        slos=[
+            SLO(
+                name="fleet-lease-renewal",
+                subsystem="fleet",
+                target=0.90,
+                sli=CounterRatioSLI(
+                    good=("fleet.sweep.renewed",),
+                    bad=("fleet.sweep.expired",),
+                ),
+                pairs=pairs,
+                min_samples=8.0,
+                description="leaf lease sweeps renew (vs expire) leaves",
+            )
+        ],
+        rules=[
+            RollupRule(
+                name="sweep-rate",
+                pattern="fleet.sweep.*",
+                kind="rate",
+                window=10.0 * renew_interval,
+            )
+        ],
+        name="fleet-health",
+    )
+    plane.model.declare_subsystem("fleet")
+    return plane
+
+
 class Fleet:
     """A built fleet: platform + sharded kernel + registrar tree + rows.
 
@@ -310,6 +357,9 @@ class Fleet:
         self.offers_sent = 0
         self.offers_acked = 0
         self.revokes_sent = 0
+        #: Detached health plane (set by the builder); fed from sweeps.
+        #: Never part of :meth:`fingerprint` — judgment, not observation.
+        self.health: HealthPlane | None = None
         for region in range(1, plan.regions):
             kernel.schedule(region, renew_interval, self._sweep_region, region)
 
@@ -406,6 +456,15 @@ class Fleet:
             renewed += r
             expired += e
         self._log(region, now, "sweep", renewed, expired)
+        if self.health is not None:
+            if renewed:
+                self.health.ingest_count(
+                    now, "fleet.sweep.renewed", float(renewed), region=str(region)
+                )
+            if expired:
+                self.health.ingest_count(
+                    now, "fleet.sweep.expired", float(expired), region=str(region)
+                )
         if renewed or expired:
             self.kernel.handoff(
                 region, 0,
@@ -450,6 +509,33 @@ class Fleet:
         }
         canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def health_report(self):
+        """One burn evaluation + the full verdict (None if plane disabled)."""
+        if self.health is None:
+            return None
+        self.health.tick()
+        return self.health.report()
+
+    def region_activity(self) -> list[dict[str, Any]]:
+        """Per-region sweep totals — the control tower's heatline feed."""
+        out: list[dict[str, Any]] = []
+        for region in range(1, self.plan.regions):
+            renewed = expired = sweeps = 0
+            for row in self.region_logs[region]:
+                if row[1] == "sweep":
+                    sweeps += 1
+                    renewed += row[2]
+                    expired += row[3]
+            out.append(
+                {
+                    "region": region,
+                    "sweeps": sweeps,
+                    "renewed": renewed,
+                    "expired": expired,
+                }
+            )
+        return out
 
     def leaf_operations(self) -> int:
         """Total leaf lifecycle operations so far (install/renew/expire/revoke)."""
@@ -518,6 +604,7 @@ class FleetBuilder:
         pipeline: PipelineConfig | None = None,
         workers: int = 4,
         service_time: float = 0.005,
+        health: bool = True,
     ):
         if not 0.0 <= churn <= 1.0:
             raise SimulationError(f"churn must be in [0, 1], got {churn}")
@@ -538,6 +625,7 @@ class FleetBuilder:
             service_time=service_time,
             seed=seed,
         )
+        self.health = health
 
     def build(self) -> Fleet:
         """Assemble platform, kernel, tree and population; start the tree."""
@@ -596,6 +684,8 @@ class FleetBuilder:
             renew_interval=self.renew_interval,
             install_latency=self.install_latency,
         )
+        if self.health:
+            fleet.health = fleet_health_plane(self.renew_interval)
         for index in range(plan.registrars):
             start, stop = plan.head_range(index)
             angle = 2.0 * math.pi * index / plan.registrars

@@ -45,9 +45,76 @@ from repro.net.node import NetworkNode
 from repro.net.transport import Transport
 from repro.sim.timers import PeriodicTimer
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.health import (
+    CounterRatioSLI,
+    HealthPlane,
+    LatencySLI,
+    RollupRule,
+    SLO,
+    scaled_pairs,
+)
 
 #: Station counters differenced across the measured phase.
 _CUMULATIVE = ("submitted", "completed", "shed", "failed", "wait_seconds", "service_seconds")
+
+#: Sojourn times past this multiple of the nominal service time count
+#: against the latency SLO (queueing is expected; a 10x sojourn means
+#: the station is drowning, not serving).
+SLOW_SOJOURN_MULTIPLE = 10.0
+
+
+def load_health_plane(scenario: Scenario) -> HealthPlane:
+    """The load harness's health plane: pipeline availability + latency.
+
+    Windows are the SRE pairs compressed to the scenario's measured
+    duration, floored at two collection windows so burn math never runs
+    on sub-sample noise.
+    """
+    pairs = scaled_pairs(
+        max(scenario.duration, 4 * scenario.window), floor=2 * scenario.window
+    )
+    slow = SLOW_SOJOURN_MULTIPLE * scenario.service_time
+    return HealthPlane(
+        slos=[
+            SLO(
+                "pipeline-availability",
+                "pipeline",
+                target=0.99,
+                sli=CounterRatioSLI(
+                    good=("midas.pipeline.completed",),
+                    bad=("midas.pipeline.shed", "midas.pipeline.failed"),
+                ),
+                pairs=pairs,
+            ),
+            SLO(
+                "pipeline-latency",
+                "pipeline",
+                target=0.95,
+                sli=LatencySLI("midas.pipeline.sojourn", slow),
+                pairs=pairs,
+            ),
+        ],
+        rules=[
+            RollupRule(
+                "pipeline-errors",
+                "midas.pipeline.*",
+                "ratio",
+                window=5 * scenario.window,
+                bad_when=lambda metric, labels: metric.endswith(
+                    (".shed", ".failed")
+                ),
+                group_by=("station",),
+            ),
+            RollupRule(
+                "sojourn-p99",
+                "midas.pipeline.sojourn",
+                "quantile",
+                window=5 * scenario.window,
+                q=0.99,
+            ),
+        ],
+        name=f"load:{scenario.name}",
+    )
 
 
 @dataclass
@@ -70,6 +137,8 @@ class LoadReport:
     checks: dict[str, Any]
     #: Per-client loop accounting (includes warmup).
     clients: dict[str, Any] = field(default_factory=dict)
+    #: Health-plane verdict at the end of the measured phase.
+    health: dict[str, Any] | None = None
 
     @property
     def model_gap(self) -> float | None:
@@ -92,6 +161,7 @@ class LoadReport:
             "model_gap": self.model_gap,
             "clients": self.clients,
             "windows": [window.to_dict() for window in self.windows],
+            "health": self.health,
         }
 
     def summary_lines(self) -> list[str]:
@@ -144,9 +214,16 @@ class _CompletionRouter:
 
 
 def run_scenario(
-    scenario: Scenario, registry: MetricsRegistry | None = None
+    scenario: Scenario,
+    registry: MetricsRegistry | None = None,
+    health: "bool | HealthPlane" = True,
 ) -> LoadReport:
-    """Run one closed-loop load scenario; deterministic given its seed."""
+    """Run one closed-loop load scenario; deterministic given its seed.
+
+    ``health`` may be a pre-built :class:`HealthPlane` (the control
+    tower passes one so it can inspect rollups and the alert log after
+    the run); ``True`` builds the standard plane, ``False`` disables it.
+    """
     scenario.validate()
     platform = ProactivePlatform(
         seed=scenario.seed,
@@ -229,6 +306,13 @@ def run_scenario(
     platform.run_for(scenario.warmup)
     collector.begin()
     begin_stats = pipeline.stats()
+    # Health plane armed only for the measured phase, like the collector.
+    plane: HealthPlane | None = None
+    if health:
+        plane = health if isinstance(health, HealthPlane) else load_health_plane(scenario)
+        plane.attach(registry)
+        plane.watch_platform(platform)
+        plane.start(simulator, interval=scenario.window)
 
     def boundary() -> None:
         collector.snapshot(pipeline.stats())
@@ -242,6 +326,14 @@ def run_scenario(
     platform.run_for(scenario.duration)
     sampler.stop()
     end_stats = pipeline.stats()
+    health_dict: dict[str, Any] | None = None
+    if plane is not None:
+        plane.tick()  # final burn reading at the measurement boundary
+        plane.stop()
+        health_dict = plane.report().to_dict()
+        if plane.peak is not None:
+            health_dict["peak"] = plane.peak.to_dict()
+        plane.detach()
     for client in clients.values():
         client.stop()
 
@@ -313,4 +405,5 @@ def run_scenario(
             "completed": sum(client.completed for client in clients.values()),
             "errors": sum(client.errors for client in clients.values()),
         },
+        health=health_dict,
     )

@@ -73,6 +73,10 @@ class StormReport:
     stats: dict[str, Any] = field(default_factory=dict)
     #: Roaming flight events as (node, kind, time, roamed, peer) tuples.
     roam_events: list[tuple] = field(default_factory=list)
+    #: Health-plane verdict at the end of the run (None if disabled).
+    #: Deliberately NOT part of the fingerprint: the judgment layer must
+    #: be free to evolve without invalidating replay fingerprints.
+    health: dict[str, Any] | None = None
     last_dual_at: float | None = None
     revocation_cleared_at: float | None = None
     ticks: int = 0
@@ -98,6 +102,7 @@ class StormReport:
             "last_dual_at": self.last_dual_at,
             "revocation_cleared_at": self.revocation_cleared_at,
             "ticks": self.ticks,
+            "health": self.health,
             "fingerprint": self.fingerprint,
         }
 
@@ -188,19 +193,33 @@ def report_from(world: StormWorld) -> StormReport:
         last_dual_at=world.monitor.last_dual_at,
         revocation_cleared_at=world.revocation_cleared_at,
         ticks=world.monitor.ticks,
+        health=_health_dict(world),
     )
+
+
+def _health_dict(world: StormWorld) -> dict[str, Any] | None:
+    """Final health verdict plus the peak mid-run incident snapshot."""
+    if world.health is None:
+        return None
+    health = world.health.report().to_dict()
+    if world.health.peak is not None:
+        health["peak"] = world.health.peak.to_dict()
+    return health
 
 
 def run_storm(
     spec: StormSpec,
     registry: MetricsRegistry | None = None,
     dump_dir: str | None = None,
+    health: bool = True,
 ) -> StormReport:
     """Build, run and report one storm (the whole ``spec.total_time``)."""
-    world = StormWorld(spec, registry=registry, dump_dir=dump_dir)
+    world = StormWorld(spec, registry=registry, dump_dir=dump_dir, health=health)
     try:
         world.run_for(spec.total_time)
         world.monitor.tick()  # a final reading at the boundary
+        if world.health is not None:
+            world.health.tick()  # final burn reading at the same boundary
         return report_from(world)
     finally:
         world.close()

@@ -186,6 +186,18 @@ class InvariantMonitor:
         self._dual_since = {
             node: since for node, since in self._dual_since.items() if node in dual
         }
+        # Convergence gauges, sampled every tick: how many nodes are
+        # dual-homed right now, and the worst observed lag.  These feed
+        # the health plane's convergence-lag SLO (sampled gauges measure
+        # *what fraction of time* the fleet was out of bounds).
+        self.registry.gauge("scenarios.dual_homed", float(len(dual)))
+        if self._dual_since:
+            worst_node, since = max(
+                self._dual_since.items(), key=lambda item: (now - item[1], item[0])
+            )
+            self.registry.gauge("scenarios.roam_lag", now - since, node=worst_node)
+        else:
+            self.registry.gauge("scenarios.roam_lag", 0.0)
 
     def _check_lease_soundness(self, now: float) -> None:
         # Base-side phantoms: a base renewing a lease its node dropped.

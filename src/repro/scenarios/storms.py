@@ -32,6 +32,88 @@ from repro.scenarios.nodes import StormNode
 from repro.scenarios.spec import StormSpec
 from repro.sim.timers import PeriodicTimer
 from repro.telemetry import MetricsRegistry
+from repro.telemetry.health import (
+    BurnPair,
+    Cause,
+    Condition,
+    CounterRatioSLI,
+    GaugeThresholdSLI,
+    HealthPlane,
+    RollupRule,
+    SLO,
+)
+
+#: Dual-home lag (virtual seconds) past which a monitor sample counts
+#: against the roam-convergence SLO.  Well under ``grace`` (an
+#: *invariant* breach) but above the sub-second healing a healthy
+#: ROAMED announcement achieves — so lost announcements burn budget
+#: long before they become violations.
+ROAM_LAG_BOUND = 2.0
+
+
+def storm_health_plane(spec: StormSpec) -> HealthPlane:
+    """The storm-scaled health plane: roaming SLOs + windowed rollups.
+
+    Burn windows derive from the monitor cadence rather than wall-clock
+    SRE defaults: the fast (page) pair needs sustained badness across
+    ~10 monitor samples, the slow (ticket) pair across most of the run —
+    the same multi-window shape as the classic 5m/1h + 6h/3d pairs,
+    compressed to storm time.
+    """
+    interval = spec.monitor_interval
+    horizon = max(spec.total_time, 12 * interval)
+    pairs = (
+        BurnPair(
+            "fast",
+            long_window=10 * interval,
+            short_window=3 * interval,
+            threshold=3.0,
+            severity="page",
+        ),
+        BurnPair(
+            "slow",
+            long_window=max(min(0.75 * horizon, 60 * interval), 12 * interval),
+            short_window=10 * interval,
+            threshold=1.0,
+            severity="ticket",
+        ),
+    )
+    return HealthPlane(
+        slos=[
+            SLO(
+                "roam-convergence",
+                "roaming",
+                target=0.9,
+                sli=GaugeThresholdSLI("scenarios.roam_lag", ROAM_LAG_BOUND),
+                pairs=pairs,
+                min_samples=4,
+                description=f"dual-home lag <= {ROAM_LAG_BOUND:g}s",
+            ),
+            SLO(
+                "roam-delivery",
+                "roaming",
+                target=0.9,
+                sli=CounterRatioSLI(
+                    good=("midas.roam.announced",),
+                    bad=("midas.roam.announce_failed",),
+                ),
+                pairs=pairs,
+                min_samples=4,
+            ),
+        ],
+        rules=[
+            RollupRule(
+                "roam-rate", "midas.roam.*", "rate", window=10 * interval
+            ),
+            RollupRule(
+                "violation-rate",
+                "invariants.violations",
+                "rate",
+                window=10 * interval,
+            ),
+        ],
+        name=f"storm:{spec.name}",
+    )
 
 
 def base_name(index: int) -> str:
@@ -54,6 +136,7 @@ class StormWorld:
         spec: StormSpec,
         registry: MetricsRegistry | None = None,
         dump_dir: str | None = None,
+        health: bool = True,
     ):
         spec.validate()
         self.spec = spec
@@ -116,6 +199,17 @@ class StormWorld:
         self._sweeper = PeriodicTimer(
             self.simulator, 1.0, self._sweep_nodes, name="storm.sweep"
         ).start()
+        #: The storm's health plane: fed by the registry stream (the
+        #: monitor's lag gauges, roaming counters), burn-evaluated every
+        #: monitor interval.  ``slo.burn`` events auto-dump flight rings
+        #: through the same hub invariant violations use.
+        self.health: HealthPlane | None = None
+        if health:
+            self.health = storm_health_plane(spec).attach(self.registry)
+            self.health.watch_platform(self.platform)
+            self.health.model.declare_subsystem("roaming", "invariants")
+            self.health.model.add_probe("invariants", self._invariant_conditions)
+            self.health.start(self.simulator, interval=spec.monitor_interval)
 
         # -- storm accounting -----------------------------------------------------
         self.migrations_planned = 0
@@ -260,6 +354,35 @@ class StormWorld:
             self._revocation_probe.stop()
             self._revocation_probe = None
 
+    def _invariant_conditions(self) -> list[Condition]:
+        """Monitor violations become critical health conditions."""
+        violations = self.monitor.violations
+        if not violations:
+            return []
+        causes = tuple(
+            Cause(
+                "invariant.violation",
+                f"{v.invariant}:{v.subject}",
+                f"t={v.time:.1f}s — {v.detail}",
+            )
+            for v in violations[:5]
+        )
+        kinds = sorted({v.invariant for v in violations})
+        return [
+            Condition(
+                subsystem="invariants",
+                status="critical",
+                summary=(
+                    f"{len(violations)} invariant violation(s): "
+                    + ", ".join(kinds)
+                ),
+                cause=Cause(
+                    "invariants", "monitor",
+                    f"{self.monitor.ticks} ticks", causes=causes,
+                ),
+            )
+        ]
+
     # -- convenience -------------------------------------------------------------
 
     def other_base(self, node_id: str) -> str:
@@ -282,4 +405,6 @@ class StormWorld:
         self.platform.run_for(seconds)
 
     def close(self) -> None:
+        if self.health is not None:
+            self.health.stop()
         self.platform.disable_telemetry()

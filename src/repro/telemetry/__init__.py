@@ -21,7 +21,10 @@ gives the reproduction a first-class way to observe itself:
 - :mod:`~repro.telemetry.profiler` — per-(joinpoint, extension) latency
   histograms with exemplar traces, plus VM weave-cost accounting;
 - :mod:`~repro.telemetry.inspect` — live node-health reports
-  (``python -m repro inspect``).
+  (``python -m repro inspect``);
+- :mod:`~repro.telemetry.health` — the third layer: streaming rollups,
+  SLOs with burn-rate alerting, and the health model behind
+  ``python -m repro ops`` (the control tower).
 
 Quick use::
 
@@ -36,7 +39,23 @@ or simply ``platform.enable_telemetry()``.  See ``docs/observability.md``
 for the metric and span naming scheme.
 """
 
-from repro.telemetry.export import json_summary, read_jsonl, text_summary, write_jsonl
+from repro.telemetry.export import (
+    json_summary,
+    prom_text,
+    read_jsonl,
+    text_summary,
+    write_jsonl,
+)
+from repro.telemetry.health import (
+    BurnPair,
+    CounterRatioSLI,
+    GaugeThresholdSLI,
+    HealthPlane,
+    LatencySLI,
+    RollupRule,
+    SLO,
+    scaled_pairs,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -57,27 +76,36 @@ from repro.telemetry.timeline import Timeline
 from repro.telemetry import runtime
 
 __all__ = [
+    "BurnPair",
     "Counter",
+    "CounterRatioSLI",
     "DEFAULT_BUCKETS",
     "FlightEvent",
     "FlightRecorder",
     "FlightRecorderHub",
     "Gauge",
+    "GaugeThresholdSLI",
+    "HealthPlane",
     "Histogram",
     "JoinPointProfiler",
+    "LatencySLI",
     "MetricsRegistry",
     "NULL_SPAN",
     "NullRecorder",
     "Recorder",
+    "RollupRule",
+    "SLO",
     "Span",
     "SpanContext",
     "TelemetryEvent",
     "Timeline",
     "TimelineQuery",
     "json_summary",
+    "prom_text",
     "read_jsonl",
     "recording",
     "runtime",
+    "scaled_pairs",
     "text_summary",
     "write_jsonl",
 ]

@@ -7,8 +7,9 @@ Three modes:
   → revoke) with a registry on the simulation clock, then print the text
   summary.  The run asserts that the whole lifecycle forms one connected
   trace across the base and the receiver node.
-- ``python -m repro telemetry summary PATH [--format text|json]`` — load
-  a JSONL export and print its summary (text, or machine-readable JSON).
+- ``python -m repro telemetry summary PATH [--format text|json|prom]`` —
+  load a JSONL export and print its summary (text, machine-readable
+  JSON, or Prometheus text exposition).
 - ``python -m repro telemetry profile`` — run the same lifecycle with a
   join-point profiler attached and print per-(joinpoint, extension)
   latency plus weave-cost accounting.
@@ -25,6 +26,7 @@ from typing import Any, Callable, NamedTuple
 from repro.telemetry.export import (
     DEFAULT_QUANTILES,
     json_summary,
+    prom_text,
     read_jsonl,
     text_summary,
     write_jsonl,
@@ -185,9 +187,12 @@ def main(argv: list[str] | None = None) -> int:
     summary.add_argument("path", help="JSONL file written by --export")
     summary.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "prom"),
         default="text",
-        help="output format (json is machine-readable and stable)",
+        help=(
+            "output format (json is machine-readable and stable; prom is "
+            "Prometheus text exposition for scrape-shaped tooling)"
+        ),
     )
     summary.add_argument(
         "--quantiles",
@@ -223,6 +228,9 @@ def main(argv: list[str] | None = None) -> int:
                         raise ValueError(f"quantile {q} not in (0, 1)")
             except ValueError as error:
                 parser.error(f"bad --quantiles {args.quantiles!r}: {error}")
+        if args.format == "prom":
+            print(prom_text(records))
+            return 0
         if args.format == "json":
             print(
                 json.dumps(

@@ -239,6 +239,15 @@ def text_summary(
             lines.append(f"  trace {trace_id}:")
             lines += ["  " + line for line in _span_tree_lines(trace_spans)]
 
+    dropped_events = int(meta.get("dropped_events", 0) or 0) if meta else 0
+    dropped_spans = int(meta.get("dropped_spans", 0) or 0) if meta else 0
+    if dropped_events or dropped_spans:
+        lines += [
+            "",
+            f"warning: retention cap dropped {dropped_events} event(s) and "
+            f"{dropped_spans} span(s) before this export",
+        ]
+
     if malformed:
         lines += ["", f"warning: {malformed} malformed line(s) skipped while reading"]
 
@@ -322,9 +331,102 @@ def json_summary(
             "total": len(flights),
             "by_node": dict(sorted(flights_by_node.items())),
         },
+        "dropped": {
+            "events": int(meta.get("dropped_events", 0) or 0) if meta else 0,
+            "spans": int(meta.get("dropped_spans", 0) or 0) if meta else 0,
+        },
         "malformed_lines": sum(
             r.get("malformed_lines", 0)
             for r in records
             if r["type"] == "read_errors"
         ),
     }
+
+
+# -- Prometheus text exposition ---------------------------------------------------
+
+#: Characters legal in a Prometheus metric name (after the first char).
+_PROM_OK = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name (dots become underscores, etc.)."""
+    cleaned = "".join(c if c in _PROM_OK else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _prom_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels: dict[str, Any], extra: str = "") -> str:
+    parts = [
+        f'{_prom_name(k)}="{_prom_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_float(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    return repr(float(value))
+
+
+def prom_text(source: _Source) -> str:
+    """Prometheus text-exposition rendering of the metric records.
+
+    Counters get a ``_total`` suffix; histograms emit cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count`` (and the
+    implicit ``+Inf`` bucket), matching what a real scrape endpoint
+    would serve.  Label semantics are the registry's: values past a
+    cardinality cap arrive already folded into the ``~other`` series,
+    so the exposition stays bounded at fleet scale.  Events, spans and
+    flight records have no Prometheus shape and are skipped.
+    """
+    records = _records_of(source)
+    lines: list[str] = []
+    #: name -> (prom kind, [(labels, record)]) keeping first-seen order.
+    families: dict[str, tuple[str, list[dict[str, Any]]]] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        family = families.setdefault(record["name"], (kind, []))
+        if family[0] == kind:
+            family[1].append(record)
+    for name, (kind, members) in families.items():
+        prom = _prom_name(name)
+        if kind == "counter":
+            prom += "_total"
+        lines.append(f"# TYPE {prom} {kind}")
+        for record in members:
+            labels = dict(record.get("labels", {}))
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{prom}{_prom_labels(labels)} {_prom_float(record['value'])}"
+                )
+                continue
+            # Histogram: cumulative buckets, then sum and count.
+            cumulative = 0
+            for bound, bucket_count in zip(record["buckets"], record["counts"]):
+                cumulative += bucket_count
+                le = _prom_labels(labels, extra=f'le="{_prom_float(bound)}"')
+                lines.append(f"{prom}_bucket{le} {cumulative}")
+            inf = _prom_labels(labels, extra='le="+Inf"')
+            lines.append(f"{prom}_bucket{inf} {record['count']}")
+            lines.append(
+                f"{prom}_sum{_prom_labels(labels)} {_prom_float(record['sum'])}"
+            )
+            lines.append(f"{prom}_count{_prom_labels(labels)} {record['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,446 @@
+"""SLO objects with multi-window, multi-burn-rate alerting.
+
+An :class:`SLO` pairs a service-level *indicator* (what fraction of
+recent samples were good) with a target (e.g. 99.9% good) and a set of
+:class:`BurnPair` windows.  The burn rate of a window is::
+
+    burn = bad_fraction(window) / (1 - target)
+
+i.e. how many times faster than "exactly on budget" the error budget is
+being spent.  A pair fires only when **both** its long and short windows
+exceed the pair's threshold — the long window supplies significance, the
+short window proves the problem is still happening (so alerts stop soon
+after the cause does).  The defaults are the classic SRE pairs — fast
+5m/1h at 14.4× (page) and slow 6h/3d at 1× (ticket) — and
+:func:`scaled_pairs` shrinks them proportionally for simulated horizons
+where "3 days" may be 60 virtual seconds.
+
+Indicators come in three shapes, all fed from the registry stream:
+
+- :class:`CounterRatioSLI` — availability: good/bad counter patterns;
+- :class:`LatencySLI` — latency: histogram observations over a threshold
+  are bad;
+- :class:`GaugeThresholdSLI` — convergence-lag and friends: every gauge
+  sample is one SLI sample, bad while the gauge exceeds its threshold.
+
+The :class:`SloEngine` routes samples to SLOs (pattern match memoized
+per metric name), evaluates burn on demand, and reports rising-edge
+:class:`BurnAlert`\\ s exactly once per (slo, pair) activation — the
+plane turns those into ``slo.burn`` telemetry events, which the flight
+hub treats like ``invariant.violation`` (ring dump and all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.telemetry.health.windows import WindowedCounts
+from repro.telemetry.metrics import LabelKey
+from repro.util.patterns import wildcard_match
+
+#: Severity order, mildest first.
+SEVERITIES = ("ticket", "page")
+
+
+@dataclass(frozen=True)
+class BurnPair:
+    """One long/short window pair with its burn-rate threshold."""
+
+    name: str
+    long_window: float
+    short_window: float
+    threshold: float
+    severity: str = "page"
+
+    def __post_init__(self) -> None:
+        if self.short_window > self.long_window:
+            raise ValueError(
+                f"burn pair {self.name!r}: short window "
+                f"{self.short_window} exceeds long window {self.long_window}"
+            )
+        if self.severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "long_window": self.long_window,
+            "short_window": self.short_window,
+            "threshold": self.threshold,
+            "severity": self.severity,
+        }
+
+
+#: The canonical SRE pairs (wall-clock seconds): page when the fast pair
+#: burns 14.4× budget (2% of a 30-day budget in 1h), ticket when the
+#: slow pair merely keeps burning at 1×.
+DEFAULT_PAIRS: tuple[BurnPair, ...] = (
+    BurnPair("fast", long_window=3600.0, short_window=300.0, threshold=14.4,
+             severity="page"),
+    BurnPair("slow", long_window=259200.0, short_window=21600.0, threshold=1.0,
+             severity="ticket"),
+)
+
+
+def scaled_pairs(
+    horizon: float,
+    floor: float = 1.0,
+    pairs: Iterable[BurnPair] = DEFAULT_PAIRS,
+) -> tuple[BurnPair, ...]:
+    """The default pairs shrunk so the longest window equals ``horizon``.
+
+    Simulated scenarios compress "3 days of traffic" into seconds of
+    virtual time; scaling the windows by the same factor preserves the
+    burn math.  ``floor`` keeps every window at least that many seconds
+    so a window never drops below the sampling interval.
+    """
+    pairs = tuple(pairs)
+    longest = max(p.long_window for p in pairs)
+    factor = horizon / longest
+    return tuple(
+        BurnPair(
+            p.name,
+            long_window=max(p.long_window * factor, floor),
+            short_window=max(p.short_window * factor, floor),
+            threshold=p.threshold,
+            severity=p.severity,
+        )
+        for p in pairs
+    )
+
+
+# -- indicators -----------------------------------------------------------------
+
+
+class CounterRatioSLI:
+    """Availability: counts matching ``good`` patterns vs ``bad`` patterns."""
+
+    kind = "availability"
+
+    def __init__(self, good: Iterable[str], bad: Iterable[str]):
+        self.good = tuple(good)
+        self.bad = tuple(bad)
+
+    @property
+    def counter_patterns(self) -> tuple[str, ...]:
+        return self.good + self.bad
+
+    histogram_patterns: tuple[str, ...] = ()
+    gauge_patterns: tuple[str, ...] = ()
+
+    def on_count(
+        self, metric: str, labels: LabelKey, amount: float
+    ) -> tuple[float, float]:
+        for pattern in self.bad:
+            if wildcard_match(pattern, metric):
+                return (0.0, amount)
+        return (amount, 0.0)
+
+    def describe(self) -> str:
+        return f"good={'|'.join(self.good)} bad={'|'.join(self.bad)}"
+
+
+class LatencySLI:
+    """Latency: histogram observations above ``threshold`` are bad."""
+
+    kind = "latency"
+
+    def __init__(self, pattern: str, threshold: float):
+        self.pattern = pattern
+        self.threshold = float(threshold)
+
+    counter_patterns: tuple[str, ...] = ()
+    gauge_patterns: tuple[str, ...] = ()
+
+    @property
+    def histogram_patterns(self) -> tuple[str, ...]:
+        return (self.pattern,)
+
+    def on_observe(
+        self, metric: str, labels: LabelKey, value: float
+    ) -> tuple[float, float]:
+        if value > self.threshold:
+            return (0.0, 1.0)
+        return (1.0, 0.0)
+
+    def describe(self) -> str:
+        return f"{self.pattern} <= {self.threshold:g}s"
+
+
+class GaugeThresholdSLI:
+    """Convergence: each gauge sample is bad while above ``threshold``.
+
+    Feed it a periodically sampled gauge (e.g. the storm monitor's
+    worst dual-home lag): the SLI then measures *what fraction of time*
+    the system was out of bounds, which is exactly what a
+    convergence-lag objective wants.
+    """
+
+    kind = "convergence"
+
+    def __init__(self, pattern: str, threshold: float):
+        self.pattern = pattern
+        self.threshold = float(threshold)
+
+    counter_patterns: tuple[str, ...] = ()
+    histogram_patterns: tuple[str, ...] = ()
+
+    @property
+    def gauge_patterns(self) -> tuple[str, ...]:
+        return (self.pattern,)
+
+    def on_gauge(
+        self, metric: str, labels: LabelKey, value: float
+    ) -> tuple[float, float]:
+        if value > self.threshold:
+            return (0.0, 1.0)
+        return (1.0, 0.0)
+
+    def describe(self) -> str:
+        return f"{self.pattern} <= {self.threshold:g}"
+
+
+# -- the objective itself --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """One rising-edge burn event (or its recovery, status="recovered")."""
+
+    slo: str
+    subsystem: str
+    pair: str
+    severity: str
+    time: float
+    burn_long: float
+    burn_short: float
+    threshold: float
+    status: str = "firing"
+    #: Label set of the most recent bad sample (best-effort blame).
+    worst: dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "slo": self.slo,
+            "subsystem": self.subsystem,
+            "pair": self.pair,
+            "severity": self.severity,
+            "time": self.time,
+            "burn_long": round(self.burn_long, 4),
+            "burn_short": round(self.burn_short, 4),
+            "threshold": self.threshold,
+            "status": self.status,
+            "worst": dict(self.worst),
+        }
+
+
+class SLO:
+    """One objective: an indicator, a target, and its burn windows."""
+
+    def __init__(
+        self,
+        name: str,
+        subsystem: str,
+        target: float,
+        sli: Any,
+        pairs: Iterable[BurnPair] = DEFAULT_PAIRS,
+        slices: int = 12,
+        min_samples: float = 4.0,
+        description: str = "",
+    ):
+        if not 0.0 < target < 1.0:
+            raise ValueError(f"SLO target must be in (0, 1), got {target}")
+        self.name = name
+        self.subsystem = subsystem
+        self.target = float(target)
+        self.sli = sli
+        self.pairs = tuple(pairs)
+        if not self.pairs:
+            raise ValueError(f"SLO {name!r} needs at least one burn pair")
+        self.min_samples = float(min_samples)
+        self.description = description or getattr(sli, "describe", lambda: "")()
+        #: One window per distinct duration across all pairs (pairs often
+        #: share windows; never pay twice).
+        self._windows: dict[float, WindowedCounts] = {}
+        for pair in self.pairs:
+            for duration in (pair.long_window, pair.short_window):
+                if duration not in self._windows:
+                    self._windows[duration] = WindowedCounts(duration, slices)
+        self.good_total = 0.0
+        self.bad_total = 0.0
+        self.last_bad: dict[str, str] = {}
+        self.last_bad_at: float | None = None
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the allowed bad fraction."""
+        return 1.0 - self.target
+
+    def ingest(self, now: float, good: float, bad: float, labels: LabelKey) -> None:
+        """Fold one classified sample into every window."""
+        for window in self._windows.values():
+            window.add(now, good=good, bad=bad)
+        self.good_total += good
+        self.bad_total += bad
+        if bad:
+            self.last_bad = dict(labels)
+            self.last_bad_at = now
+
+    def burn_rate(self, duration: float, now: float) -> float:
+        """Burn multiple for the window of ``duration`` seconds."""
+        window = self._windows[duration]
+        return window.bad_fraction(now) / self.budget
+
+    def burning(self, now: float) -> list[tuple[BurnPair, float, float]]:
+        """Pairs currently over threshold: (pair, burn_long, burn_short)."""
+        out = []
+        for pair in self.pairs:
+            long_win = self._windows[pair.long_window]
+            if long_win.samples(now) < self.min_samples:
+                continue
+            burn_long = long_win.bad_fraction(now) / self.budget
+            if burn_long < pair.threshold:
+                continue
+            burn_short = self._windows[pair.short_window].bad_fraction(now) / self.budget
+            if burn_short >= pair.threshold:
+                out.append((pair, burn_long, burn_short))
+        return out
+
+    def snapshot(self, now: float) -> dict[str, Any]:
+        """JSON-ready state of this objective right now."""
+        burning = {pair.name for pair, _, _ in self.burning(now)}
+        return {
+            "name": self.name,
+            "subsystem": self.subsystem,
+            "kind": getattr(self.sli, "kind", "custom"),
+            "description": self.description,
+            "target": self.target,
+            "good_total": self.good_total,
+            "bad_total": self.bad_total,
+            "pairs": [
+                {
+                    **pair.to_dict(),
+                    "burn_long": round(self.burn_rate(pair.long_window, now), 4),
+                    "burn_short": round(self.burn_rate(pair.short_window, now), 4),
+                    "burning": pair.name in burning,
+                }
+                for pair in self.pairs
+            ],
+            "last_bad": dict(self.last_bad),
+            "last_bad_at": self.last_bad_at,
+        }
+
+
+class SloEngine:
+    """Routes stream samples to SLOs and raises rising-edge burn alerts."""
+
+    def __init__(self, slos: Iterable[SLO] = ()):
+        self.slos: list[SLO] = []
+        #: metric name -> ((slo, channel) ...) — wildcard routing memoized.
+        self._routes: dict[tuple[str, str], tuple[SLO, ...]] = {}
+        #: (slo, pair) pairs currently firing, for edge detection.
+        self._active: set[tuple[str, str]] = set()
+        self.alerts: list[BurnAlert] = []
+        for slo in slos:
+            self.add(slo)
+
+    def add(self, slo: SLO) -> None:
+        if any(existing.name == slo.name for existing in self.slos):
+            raise ValueError(f"duplicate SLO name {slo.name!r}")
+        self.slos.append(slo)
+        self._routes.clear()
+
+    def _routed(self, channel: str, metric: str) -> tuple[SLO, ...]:
+        key = (channel, metric)
+        routed = self._routes.get(key)
+        if routed is None:
+            attr = f"{channel}_patterns"
+            routed = tuple(
+                slo
+                for slo in self.slos
+                if any(
+                    wildcard_match(pattern, metric)
+                    for pattern in getattr(slo.sli, attr, ())
+                )
+            )
+            self._routes[key] = routed
+        return routed
+
+    # -- stream entry points (hot path) ----------------------------------------
+
+    def on_count(self, now: float, metric: str, labels: LabelKey, amount: float) -> None:
+        for slo in self._routed("counter", metric):
+            good, bad = slo.sli.on_count(metric, labels, amount)
+            slo.ingest(now, good, bad, labels)
+
+    def on_observe(self, now: float, metric: str, labels: LabelKey, value: float) -> None:
+        for slo in self._routed("histogram", metric):
+            good, bad = slo.sli.on_observe(metric, labels, value)
+            slo.ingest(now, good, bad, labels)
+
+    def on_gauge(self, now: float, metric: str, labels: LabelKey, value: float) -> None:
+        for slo in self._routed("gauge", metric):
+            good, bad = slo.sli.on_gauge(metric, labels, value)
+            slo.ingest(now, good, bad, labels)
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, now: float) -> list[BurnAlert]:
+        """Burn check across every SLO; returns *newly fired* alerts.
+
+        Recoveries (a pair dropping back under threshold) are appended
+        to :attr:`alerts` with ``status="recovered"`` but not returned —
+        callers emit events for new fires, the log keeps both edges.
+        """
+        fired: list[BurnAlert] = []
+        seen: set[tuple[str, str]] = set()
+        for slo in self.slos:
+            for pair, burn_long, burn_short in slo.burning(now):
+                key = (slo.name, pair.name)
+                seen.add(key)
+                if key in self._active:
+                    continue
+                self._active.add(key)
+                alert = BurnAlert(
+                    slo=slo.name,
+                    subsystem=slo.subsystem,
+                    pair=pair.name,
+                    severity=pair.severity,
+                    time=now,
+                    burn_long=burn_long,
+                    burn_short=burn_short,
+                    threshold=pair.threshold,
+                    worst=dict(slo.last_bad),
+                )
+                self.alerts.append(alert)
+                fired.append(alert)
+        for key in sorted(self._active - seen):
+            slo_name, pair_name = key
+            self._active.discard(key)
+            slo = next(s for s in self.slos if s.name == slo_name)
+            pair = next(p for p in slo.pairs if p.name == pair_name)
+            self.alerts.append(
+                BurnAlert(
+                    slo=slo_name,
+                    subsystem=slo.subsystem,
+                    pair=pair_name,
+                    severity=pair.severity,
+                    time=now,
+                    burn_long=slo.burn_rate(pair.long_window, now),
+                    burn_short=slo.burn_rate(pair.short_window, now),
+                    threshold=pair.threshold,
+                    status="recovered",
+                )
+            )
+        return fired
+
+    def active(self) -> list[tuple[str, str]]:
+        """(slo, pair) combinations currently firing, sorted."""
+        return sorted(self._active)
+
+    def snapshot(self, now: float) -> list[dict[str, Any]]:
+        return [slo.snapshot(now) for slo in self.slos]
+
+    def __repr__(self) -> str:
+        return f"<SloEngine slos={len(self.slos)} firing={len(self._active)}>"

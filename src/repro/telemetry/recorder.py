@@ -46,7 +46,7 @@ DEFAULT_CAPACITY = 512
 #: affected node's ring is dumped immediately (the state that *led to*
 #: the incident is exactly what the ring still holds).
 DUMP_KINDS = frozenset(
-    {"fault.crash", "supervision.quarantined", "invariant.violation"}
+    {"fault.crash", "supervision.quarantined", "invariant.violation", "slo.burn"}
 )
 
 #: Ring assigned to events that name no node (world-level happenings).

@@ -95,6 +95,11 @@ class MetricsRegistry(Recorder):
         #: registry records is also routed to the per-node ring of the
         #: node it names.  ``platform.enable_telemetry()`` attaches one.
         self.flight = flight
+        #: Optional health plane (:mod:`repro.telemetry.health`): when
+        #: attached, every count/observe/gauge is forwarded — after
+        #: label capping/interning — so rollups and SLOs see the capped
+        #: stream.  ``None`` costs one attribute check per sample.
+        self.health = None
         self._counters: dict[tuple[str, LabelKey], Counter] = {}
         self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
         self._histograms: dict[tuple[str, LabelKey], Histogram] = {}
@@ -102,6 +107,11 @@ class MetricsRegistry(Recorder):
         self._default_buckets = tuple(default_buckets)
         self.events: deque[TelemetryEvent] = deque(maxlen=max_events)
         self.spans: deque[Span] = deque(maxlen=max_spans)
+        #: Events/spans silently evicted past the retention cap — surfaced
+        #: by ``telemetry summary`` so "the export looks fine" can't hide
+        #: a truncated record of a long run.
+        self.dropped_events = 0
+        self.dropped_spans = 0
         #: Spans started but not yet ended (kept so exports can show them).
         self._open_spans: dict[str, Span] = {}
 
@@ -147,7 +157,13 @@ class MetricsRegistry(Recorder):
 
     def count(self, name: str, amount: float = 1.0, **labels: Any) -> None:
         """Increment counter ``name``/``labels`` by ``amount``."""
-        self.counter(name, **labels).incr(amount)
+        key = (name, self._labels_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        counter.incr(amount)
+        if self.health is not None:
+            self.health.on_count(self.clock.now(), name, key[1], amount)
 
     def gauge(self, name: str, value: float, **labels: Any) -> None:
         """Set gauge ``name``/``labels`` to ``value``."""
@@ -155,7 +171,10 @@ class MetricsRegistry(Recorder):
         gauge = self._gauges.get(key)
         if gauge is None:
             gauge = self._gauges[key] = Gauge(name, key[1])
-        gauge.set(value, now=self.clock.now())
+        now = self.clock.now()
+        gauge.set(value, now=now)
+        if self.health is not None:
+            self.health.on_gauge(now, name, key[1], value)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record ``value`` in histogram ``name``/``labels``."""
@@ -165,6 +184,10 @@ class MetricsRegistry(Recorder):
             buckets = self._buckets_for.get(name, self._default_buckets)
             histogram = self._histograms[key] = Histogram(name, key[1], buckets)
         histogram.observe(value)
+        if self.health is not None:
+            self.health.on_observe(
+                self.clock.now(), name, key[1], value, histogram.buckets
+            )
 
     def event(self, name: str, **fields: Any) -> None:
         """Record a lifecycle event stamped with the registry clock.
@@ -179,6 +202,8 @@ class MetricsRegistry(Recorder):
             fields.setdefault("trace_id", context.trace_id)
             fields.setdefault("span_id", context.span_id)
         now = self.clock.now()
+        if len(self.events) == self.events.maxlen:
+            self.dropped_events += 1
         self.events.append(TelemetryEvent(now, name, fields))
         if self.flight is not None:
             self.flight.record(name, fields, time=now)
@@ -294,6 +319,8 @@ class MetricsRegistry(Recorder):
                 "type": "meta",
                 "name": self.name,
                 "exported_at": self.clock.now(),
+                "dropped_events": self.dropped_events,
+                "dropped_spans": self.dropped_spans,
             }
         ]
         records.extend(c.to_record() for c in self._counters.values())
@@ -311,6 +338,8 @@ class MetricsRegistry(Recorder):
     def _span_ended(self, span: Span) -> None:
         span.end_time = self.clock.now()
         self._open_spans.pop(span.span_id, None)
+        if len(self.spans) == self.spans.maxlen:
+            self.dropped_spans += 1
         self.spans.append(span)
 
     def __repr__(self) -> str:

@@ -1,0 +1,69 @@
+"""Fleet health: detached-plane feeding from region sweeps, the lease
+SLO, and the guarantee that health never perturbs the fingerprint."""
+
+from __future__ import annotations
+
+from repro.fleet import FleetBuilder
+from repro.fleet.population import fleet_health_plane
+
+
+def drive(leaves: int = 1024, seed: int = 5, health: bool = True):
+    fleet = FleetBuilder(leaves=leaves, seed=seed, health=health).build()
+    fleet.distribute("fleet-policy")
+    fleet.run_epochs(25)
+    return fleet
+
+
+class TestFleetHealthPlane:
+    def test_builder_attaches_a_detached_plane(self):
+        fleet = drive()
+        assert fleet.health is not None
+        assert fleet.health.registry is None  # detached: no global recorder
+
+    def test_sweeps_feed_the_lease_slo(self):
+        fleet = drive()
+        slo = next(
+            s for s in fleet.health.engine.slos if s.name == "fleet-lease-renewal"
+        )
+        assert slo.good_total > 0  # renewals arrived via ingest_count
+        series = fleet.health.book.series("sweep-rate")
+        assert series  # one rate series per (metric, swept region)
+        identities = {(s.metric, dict(s.labels).get("region")) for s in series}
+        assert len(identities) == len(series)
+        assert all(region is not None for _, region in identities)
+
+    def test_healthy_fleet_reports_healthy(self):
+        report = drive().health_report()
+        assert report is not None
+        assert report.subsystems["fleet"] == "healthy"
+
+    def test_health_report_none_when_disabled(self):
+        fleet = drive(health=False)
+        assert fleet.health is None
+        assert fleet.health_report() is None
+
+    def test_region_activity_totals_match_plane_stream(self):
+        fleet = drive()
+        activity = fleet.region_activity()
+        assert activity and all(row["sweeps"] > 0 for row in activity)
+        renewed = sum(row["renewed"] for row in activity)
+        slo = next(
+            s for s in fleet.health.engine.slos if s.name == "fleet-lease-renewal"
+        )
+        assert slo.good_total == float(renewed)
+
+
+class TestFingerprintInvariance:
+    def test_health_never_feeds_the_fingerprint(self):
+        with_health = drive(health=True)
+        without = drive(health=False)
+        assert with_health.fingerprint() == without.fingerprint()
+
+
+class TestFleetHealthPlaneFactory:
+    def test_windows_scale_with_renew_interval(self):
+        fast = fleet_health_plane(renew_interval=1.0)
+        slow = fleet_health_plane(renew_interval=4.0)
+        fast_slo = fast.engine.slos[0]
+        slow_slo = slow.engine.slos[0]
+        assert max(slow_slo._windows) == 4.0 * max(fast_slo._windows)

@@ -1,0 +1,53 @@
+"""Load-harness health adoption: the plane rides every run, reports in
+the LoadReport, and honors a caller-supplied plane instance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.harness import load_health_plane, run_scenario
+from repro.loadgen.scenario import Scenario
+
+
+@pytest.fixture(scope="module")
+def scenario() -> Scenario:
+    return Scenario(
+        name="health-smoke", clients=8, duration=12.0, warmup=3.0, seed=11
+    )
+
+
+class TestLoadHealth:
+    def test_report_carries_health_verdict(self, scenario):
+        report = run_scenario(scenario)
+        assert report.health is not None
+        assert report.health["overall"] == "healthy"
+        slos = {s["name"] for s in report.health["slos"]}
+        assert slos == {"pipeline-availability", "pipeline-latency"}
+
+    def test_health_false_disables_the_plane(self, scenario):
+        report = run_scenario(scenario, health=False)
+        assert report.health is None
+
+    def test_caller_supplied_plane_is_honored(self, scenario):
+        plane = load_health_plane(scenario)
+        report = run_scenario(scenario, health=plane)
+        # The tower uses this to inspect rollups after the run: the very
+        # plane we handed in saw the traffic.
+        assert report.health is not None
+        slo = next(
+            s
+            for s in plane.engine.slos
+            if s.name == "pipeline-availability"
+        )
+        assert slo.good_total > 0
+        assert plane.book.series("pipeline-errors")
+        assert plane.ticks > 0
+
+    def test_plane_windows_scale_to_scenario(self, scenario):
+        plane = load_health_plane(scenario)
+        for slo in plane.engine.slos:
+            for pair in slo.pairs:
+                assert pair.short_window >= 2 * scenario.window
+                assert pair.long_window <= max(
+                    scenario.duration, 4 * scenario.window
+                )

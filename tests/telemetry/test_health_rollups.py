@@ -1,0 +1,159 @@
+"""Streaming rollups: pattern routing, the three kinds, and the
+cardinality-cap interaction (capped label values must aggregate into the
+single ``~other`` series, never fork one series per capped value)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import MetricsRegistry, runtime
+from repro.telemetry.health import HealthPlane, RollupRule
+from repro.telemetry.health.rollups import RollupBook, series_label
+from repro.telemetry.metrics import label_key
+from repro.telemetry.registry import OVERFLOW_LABEL
+
+
+class TestRollupRule:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            RollupRule("r", "midas.*", "histogram", window=10.0)
+
+    def test_ratio_requires_bad_when(self):
+        with pytest.raises(ValueError):
+            RollupRule("r", "midas.*", "ratio", window=10.0)
+
+    def test_ratio_projects_family_onto_group_by(self):
+        rule = RollupRule(
+            "shed",
+            "pipeline.*",
+            "ratio",
+            window=10.0,
+            bad_when=lambda metric, labels: metric.endswith(".shed"),
+            group_by=("base",),
+        )
+        metric, kept = rule.project(
+            "pipeline.shed", label_key({"base": "b1", "node": "n9"})
+        )
+        # Good and bad members of the family meet in ONE series: the
+        # metric name folds into the pattern and only group_by survives.
+        assert metric == "pipeline.*"
+        assert kept == (("base", "b1"),)
+
+
+class TestRollupBook:
+    def test_rate_is_events_per_second(self):
+        book = RollupBook([RollupRule("rate", "midas.*", "rate", window=10.0)])
+        for t in range(5):
+            book.on_count(float(t), "midas.renewals", (), 2.0)
+        assert book.value("rate", "midas.renewals", 4.0) == pytest.approx(1.0)
+
+    def test_ratio_folds_good_and_bad_together(self):
+        rule = RollupRule(
+            "shed-ratio",
+            "pipeline.*",
+            "ratio",
+            window=10.0,
+            bad_when=lambda metric, labels: metric.endswith(".shed"),
+        )
+        book = RollupBook([rule])
+        book.on_count(1.0, "pipeline.completed", (), 9.0)
+        book.on_count(1.0, "pipeline.shed", (), 1.0)
+        series = book.series("shed-ratio")
+        assert len(series) == 1
+        assert series[0].value(1.0) == pytest.approx(0.1)
+
+    def test_quantile_over_histogram_stream(self):
+        book = RollupBook(
+            [RollupRule("p99", "rpc.latency", "quantile", window=10.0, q=0.99)]
+        )
+        bounds = (0.01, 0.1, 1.0)
+        for _ in range(90):
+            book.on_observe(1.0, "rpc.latency", (), 0.005, bounds)
+        for _ in range(10):
+            book.on_observe(1.0, "rpc.latency", (), 0.5, bounds)
+        assert book.value("p99", "rpc.latency", 1.0) == 1.0
+
+    def test_counts_ignore_quantile_rules_and_vice_versa(self):
+        book = RollupBook(
+            [
+                RollupRule("rate", "m", "rate", window=10.0),
+                RollupRule("q", "m", "quantile", window=10.0),
+            ]
+        )
+        book.on_count(1.0, "m", (), 1.0)
+        book.on_observe(1.0, "m", (), 0.5, (0.1, 1.0))
+        assert len(book.series("rate")) == 1
+        assert len(book.series("q")) == 1
+
+    def test_unmatched_metric_creates_nothing(self):
+        book = RollupBook([RollupRule("rate", "midas.*", "rate", window=10.0)])
+        book.on_count(1.0, "fleet.sweep", (), 1.0)
+        assert book.series() == []
+        assert book.value("rate", "fleet.sweep", 1.0) is None
+
+    def test_add_rule_reroutes_memoized_metrics(self):
+        book = RollupBook()
+        book.on_count(1.0, "midas.renewals", (), 1.0)  # memoizes "no rules"
+        book.add_rule(RollupRule("rate", "midas.*", "rate", window=10.0))
+        book.on_count(2.0, "midas.renewals", (), 1.0)
+        assert len(book.series("rate")) == 1
+
+    def test_to_records_are_json_shaped(self):
+        book = RollupBook([RollupRule("rate", "m", "rate", window=10.0)])
+        book.on_count(1.0, "m", label_key({"node": "n1"}), 3.0)
+        (record,) = book.to_records(1.0)
+        assert record["type"] == "rollup"
+        assert record["kind"] == "rate"
+        assert record["labels"] == {"node": "n1"}
+        assert record["value"] == pytest.approx(0.3)
+
+    def test_series_label_is_human_form(self):
+        book = RollupBook([RollupRule("rate", "m", "rate", window=10.0)])
+        book.on_count(1.0, "m", label_key({"node": "n1"}), 1.0)
+        (series,) = book.series()
+        assert series_label(series) == "m{node=n1}"
+
+
+class TestCardinalityCapInteraction:
+    """Satellite: a label-capped registry must not fork rollup series.
+
+    The registry caps/interns label keys *before* forwarding to the
+    plane, so every sample past the cap lands on the one ``~other``
+    series — the rollup stays bounded however many distinct values the
+    fleet produces.
+    """
+
+    def test_overflow_values_share_one_series(self, sim):
+        registry = MetricsRegistry(clock=sim.clock, label_limits={"node": 3})
+        runtime.install(registry)
+        plane = HealthPlane(
+            rules=[RollupRule("renew-rate", "fleet.*", "rate", window=100.0)]
+        ).attach(registry)
+
+        for i in range(50):
+            registry.count("fleet.renewed", node=f"n{i}")
+
+        series = plane.book.series("renew-rate")
+        # 3 distinct per-node series plus exactly one ~other aggregate.
+        assert len(series) == 4
+        by_labels = {dict(s.labels).get("node"): s for s in series}
+        assert OVERFLOW_LABEL in by_labels
+        overflow = by_labels[OVERFLOW_LABEL]
+        # 47 capped samples all folded into the aggregate window.
+        assert overflow.window.samples(sim.clock.now()) == pytest.approx(47.0)
+        assert plane.book.value(
+            "renew-rate", "fleet.renewed", sim.clock.now(), node=OVERFLOW_LABEL
+        ) == pytest.approx(0.47)
+
+    def test_capped_stream_matches_registry_totals(self, sim):
+        registry = MetricsRegistry(clock=sim.clock, label_limits={"node": 2})
+        runtime.install(registry)
+        plane = HealthPlane(
+            rules=[RollupRule("rate", "fleet.renewed", "rate", window=100.0)]
+        ).attach(registry)
+        for i in range(20):
+            registry.count("fleet.renewed", node=f"n{i % 5}")
+        windowed = sum(
+            s.window.samples(sim.clock.now()) for s in plane.book.series("rate")
+        )
+        assert windowed == registry.counter_total("fleet.renewed") == 20.0

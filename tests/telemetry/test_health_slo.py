@@ -1,0 +1,172 @@
+"""SLO burn math, window pairs, and the engine's rising-edge alerts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry.health.slo import (
+    DEFAULT_PAIRS,
+    BurnPair,
+    CounterRatioSLI,
+    GaugeThresholdSLI,
+    LatencySLI,
+    SLO,
+    SloEngine,
+    scaled_pairs,
+)
+
+#: One pair with equal windows keeps the arithmetic transparent.
+ONE_PAIR = (BurnPair("only", long_window=10.0, short_window=10.0, threshold=2.0),)
+
+
+def _availability_slo(target: float = 0.9, **kwargs) -> SLO:
+    return SLO(
+        "renewals",
+        "midas",
+        target=target,
+        sli=CounterRatioSLI(good=("midas.renewals",), bad=("midas.failures",)),
+        pairs=kwargs.pop("pairs", ONE_PAIR),
+        **kwargs,
+    )
+
+
+class TestBurnPair:
+    def test_short_window_cannot_exceed_long(self):
+        with pytest.raises(ValueError):
+            BurnPair("bad", long_window=10.0, short_window=20.0, threshold=1.0)
+
+    def test_severity_is_checked(self):
+        with pytest.raises(ValueError):
+            BurnPair("bad", 10.0, 5.0, 1.0, severity="sms")
+
+
+class TestScaledPairs:
+    def test_scales_proportionally_to_horizon(self):
+        pairs = scaled_pairs(600.0)
+        by_name = {p.name: p for p in pairs}
+        # 3d → 600s compresses everything by 432×; ratios survive.
+        assert by_name["slow"].long_window == pytest.approx(600.0)
+        assert by_name["fast"].long_window == pytest.approx(
+            600.0 * 3600.0 / 259200.0
+        )
+        # Thresholds and severities pass through untouched.
+        assert by_name["fast"].threshold == 14.4
+        assert by_name["fast"].severity == "page"
+        assert by_name["slow"].severity == "ticket"
+
+    def test_floor_keeps_windows_sampleable(self):
+        pairs = scaled_pairs(60.0, floor=5.0)
+        assert all(p.short_window >= 5.0 for p in pairs)
+        assert all(p.long_window >= p.short_window for p in pairs)
+
+
+class TestSloBurnMath:
+    def test_burn_is_bad_fraction_over_budget(self):
+        slo = _availability_slo(target=0.9)  # budget = 0.1
+        for t in range(5):
+            slo.ingest(float(t), good=4.0, bad=1.0, labels=())
+        # bad fraction 0.2 against a 0.1 budget: burning 2× budget.
+        assert slo.burn_rate(10.0, 4.0) == pytest.approx(2.0)
+
+    def test_pair_fires_only_when_both_windows_burn(self):
+        pair = BurnPair("p", long_window=10.0, short_window=2.0, threshold=2.0)
+        slo = _availability_slo(target=0.9, pairs=(pair,), min_samples=1)
+        # Sustained badness early, then a clean short window: the long
+        # window still burns but the short one proves recovery.
+        for t in range(8):
+            slo.ingest(float(t), good=0.0, bad=1.0, labels=())
+        for t in (8.0, 9.0):
+            slo.ingest(t, good=1.0, bad=0.0, labels=())
+        assert slo.burn_rate(10.0, 9.0) >= 2.0
+        assert slo.burning(9.0) == []
+        # Whereas while the badness is live, both windows agree.
+        slo2 = _availability_slo(target=0.9, pairs=(pair,), min_samples=1)
+        for t in range(10):
+            slo2.ingest(float(t), good=0.0, bad=1.0, labels=())
+        burning = slo2.burning(9.0)
+        assert [pair.name for pair, _, _ in burning] == ["p"]
+
+    def test_min_samples_gates_thin_windows(self):
+        slo = _availability_slo(target=0.9, min_samples=4)
+        slo.ingest(1.0, good=0.0, bad=1.0, labels=())
+        assert slo.burning(1.0) == []  # 1 sample, all bad — but too thin
+        for t in (2.0, 3.0, 4.0):
+            slo.ingest(t, good=0.0, bad=1.0, labels=())
+        assert slo.burning(4.0)
+
+    def test_last_bad_remembers_blame_labels(self):
+        slo = _availability_slo(min_samples=1)
+        slo.ingest(1.0, good=1.0, bad=0.0, labels=(("node", "n1"),))
+        assert slo.last_bad == {}
+        slo.ingest(2.0, good=0.0, bad=1.0, labels=(("node", "n7"),))
+        assert slo.last_bad == {"node": "n7"}
+        assert slo.last_bad_at == 2.0
+
+    def test_target_must_be_a_fraction(self):
+        with pytest.raises(ValueError):
+            _availability_slo(target=1.0)
+
+    def test_snapshot_shape(self):
+        slo = _availability_slo(min_samples=1)
+        slo.ingest(1.0, good=3.0, bad=1.0, labels=())
+        snap = slo.snapshot(1.0)
+        assert snap["kind"] == "availability"
+        assert snap["good_total"] == 3.0 and snap["bad_total"] == 1.0
+        (pair,) = snap["pairs"]
+        assert pair["burn_long"] == pytest.approx(2.5)
+        assert pair["burning"] is True
+
+
+class TestIndicators:
+    def test_counter_ratio_classifies_by_pattern(self):
+        sli = CounterRatioSLI(good=("midas.renewals",), bad=("midas.fail*",))
+        assert sli.on_count("midas.renewals", (), 3.0) == (3.0, 0.0)
+        assert sli.on_count("midas.failures", (), 2.0) == (0.0, 2.0)
+
+    def test_latency_threshold(self):
+        sli = LatencySLI("rpc.latency", threshold=0.25)
+        assert sli.on_observe("rpc.latency", (), 0.1) == (1.0, 0.0)
+        assert sli.on_observe("rpc.latency", (), 0.5) == (0.0, 1.0)
+
+    def test_gauge_threshold(self):
+        sli = GaugeThresholdSLI("roam.lag", threshold=2.0)
+        assert sli.on_gauge("roam.lag", (), 0.5) == (1.0, 0.0)
+        assert sli.on_gauge("roam.lag", (), 3.0) == (0.0, 1.0)
+
+
+class TestSloEngine:
+    def _engine(self) -> SloEngine:
+        return SloEngine([_availability_slo(min_samples=1)])
+
+    def test_routes_counters_by_pattern(self):
+        engine = self._engine()
+        engine.on_count(1.0, "midas.renewals", (), 5.0)
+        engine.on_count(1.0, "unrelated.metric", (), 5.0)
+        slo = engine.slos[0]
+        assert slo.good_total == 5.0 and slo.bad_total == 0.0
+
+    def test_rising_edge_fires_once_then_recovers(self):
+        engine = self._engine()
+        for t in range(4):
+            engine.on_count(float(t), "midas.failures", (), 1.0)
+        fired = engine.evaluate(3.0)
+        assert [a.slo for a in fired] == ["renewals"]
+        assert fired[0].status == "firing"
+        assert engine.active() == [("renewals", "only")]
+        # Still burning: no duplicate alert on the next tick.
+        assert engine.evaluate(3.5) == []
+        # Window rolls clean: a recovery edge lands in the log.
+        assert engine.evaluate(50.0) == []
+        assert engine.active() == []
+        assert [a.status for a in engine.alerts] == ["firing", "recovered"]
+
+    def test_duplicate_slo_names_rejected(self):
+        engine = self._engine()
+        with pytest.raises(ValueError):
+            engine.add(_availability_slo())
+
+    def test_default_pairs_are_the_sre_classics(self):
+        fast, slow = DEFAULT_PAIRS
+        assert (fast.long_window, fast.short_window) == (3600.0, 300.0)
+        assert (slow.long_window, slow.short_window) == (259200.0, 21600.0)
+        assert fast.threshold == 14.4 and slow.threshold == 1.0
