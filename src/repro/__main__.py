@@ -8,6 +8,7 @@ Usage::
     python -m repro telemetry       # traced MIDAS lifecycle demo
     python -m repro inspect         # node health: extensions, leases, breakers
     python -m repro vet <target>    # statically vet extension modules
+    python -m repro lint [paths]    # platform lints: determinism, shards, protocol
     python -m repro loadgen         # closed-loop load runs + M/M/n checks
     python -m repro ops             # control tower: SLO burn + health statuses
 """
@@ -56,6 +57,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.vetting.cli import main as vet_main
 
         return vet_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] == "loadgen":
         from repro.loadgen.cli import main as loadgen_main
 

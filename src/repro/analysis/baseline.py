@@ -1,0 +1,101 @@
+"""Checked-in lint baselines: accepted findings with justifications.
+
+A baseline entry matches findings on their line-independent
+:meth:`~repro.analysis.findings.LintFinding.fingerprint` — ``(rule,
+path, key)`` — so accepted findings survive unrelated edits that shift
+line numbers.  Every entry carries a ``justification``; an entry that
+matches nothing on the current tree is **stale** and reported so it can
+be pruned (baselines only ever shrink).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import LintFinding
+
+#: Conventional baseline file name, auto-loaded from the lint root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings, keyed by fingerprint."""
+
+    #: fingerprint -> entry dict {rule, path, key, justification}.
+    entries: dict[tuple[str, str, str], dict] = field(default_factory=dict)
+
+    def matches(self, finding: LintFinding) -> bool:
+        return finding.fingerprint() in self.entries
+
+    def partition(
+        self, findings: list[LintFinding]
+    ) -> tuple[list[LintFinding], list[LintFinding], list[dict]]:
+        """(kept, suppressed, stale entries) for one run's findings."""
+        kept: list[LintFinding] = []
+        suppressed: list[LintFinding] = []
+        used: set[tuple[str, str, str]] = set()
+        for finding in findings:
+            if self.matches(finding):
+                suppressed.append(finding)
+                used.add(finding.fingerprint())
+            else:
+                kept.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in used
+        ]
+        return kept, suppressed, stale
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[LintFinding], justification: str = "accepted"
+    ) -> "Baseline":
+        entries = {}
+        for finding in findings:
+            entries[finding.fingerprint()] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "key": finding.key,
+                "justification": justification,
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Path) -> None:
+        payload = [
+            self.entries[fingerprint]
+            for fingerprint in sorted(self.entries)
+        ]
+        path.write_text(
+            json.dumps({"version": 1, "entries": payload}, indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Parse a baseline file; missing/empty files mean an empty baseline."""
+    baseline = Baseline()
+    if not path.is_file():
+        return baseline
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return baseline
+    for entry in payload.get("entries", []):
+        if not isinstance(entry, dict):
+            continue
+        fingerprint = (
+            str(entry.get("rule", "")),
+            str(entry.get("path", "")),
+            str(entry.get("key", "")),
+        )
+        baseline.entries[fingerprint] = {
+            "rule": fingerprint[0],
+            "path": fingerprint[1],
+            "key": fingerprint[2],
+            "justification": str(entry.get("justification", "")),
+        }
+    return baseline

@@ -1,0 +1,313 @@
+"""The protocol-completeness pass: every sent op meets a handler.
+
+The request/reply transport (:mod:`repro.net.transport`) is stringly
+typed: senders name an operation, receivers register a handler under
+the same string, and nothing checks the two sides against each other.
+A typo'd op, a handler that was never wired, or a send mode that skips
+the dedup window all fail only at runtime — as a timeout, which the
+resilience layer then dutifully retries.  This pass closes the loop
+statically over the whole tree:
+
+- **unhandled ops** — an operation sent via ``request``/``notify``/
+  ``broadcast`` (or the resilient ``call``) that no file ever
+  ``register``\\ s;
+- **unguarded requests** — ``transport.request`` with no ``on_error``:
+  the transport logs-and-swallows timeouts, so the caller never learns
+  the request died.  Retried sends through
+  :class:`repro.resilience.client.ResilientClient` are guarded by
+  construction;
+- **mixed send modes** — one op sent both through the request path
+  (deduped by the at-most-once window, acked) and through
+  ``notify``/``broadcast`` (request id ``""`` — *no* dedup): the
+  handler must be idempotent, which deserves a waiver saying why;
+- **dynamic ops** (info only) — op expressions the resolver cannot
+  reduce to a string (f-strings, parameters): listed so a human can
+  eyeball the dynamic surface, never gating.
+
+Operation strings resolve through :meth:`TreeIndex.resolve_constant`:
+literals, module constants, ``from m import OP`` and ``m.OP`` all reach
+the defining assignment, so the cross-reference works across files.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis import findings as F
+from repro.analysis.core import FileAst, TreeIndex, dotted_name
+
+#: Receiver attribute names treated as "a transport object".
+_TRANSPORT_NAMES = frozenset({"transport", "_transport"})
+#: Receiver attribute names treated as "a resilient client".
+_CLIENT_NAMES = frozenset({"client", "_client"})
+
+#: Modes that go through the request path (dedup window, ack).
+_REQUEST_MODES = frozenset({"request", "call"})
+#: Modes with no request id and therefore no dedup.
+_FIRE_AND_FORGET_MODES = frozenset({"notify", "broadcast"})
+
+
+@dataclass
+class SendSite:
+    """One statically discovered operation send."""
+
+    op: str | None  # None when not statically resolvable
+    op_text: str  # source text of the op expression (for messages)
+    mode: str  # request | notify | broadcast | call
+    file: FileAst
+    line: int
+    qualname: str
+    guarded: bool  # has on_error, or is a retried resilient call
+
+
+@dataclass
+class RegisterSite:
+    """One statically discovered handler registration."""
+
+    op: str | None
+    op_text: str
+    file: FileAst
+    line: int
+    qualname: str
+
+
+def _receiver_kind(func: ast.Attribute) -> str | None:
+    """'transport', 'client', or None for an attribute call's receiver."""
+    dotted = dotted_name(func.value)
+    if dotted is None:
+        return None
+    tail = dotted.rpartition(".")[2]
+    if tail in _TRANSPORT_NAMES:
+        return "transport"
+    if tail in _CLIENT_NAMES:
+        return "client"
+    return None
+
+
+def _has_on_error(call: ast.Call) -> bool:
+    """True when the request passes an on_error callback (any form).
+
+    ``transport.request(dest, op, body, on_reply, on_error, timeout)``:
+    a fifth positional argument or an ``on_error=`` keyword counts, as
+    long as it is not a literal ``None``.
+    """
+    for keyword in call.keywords:
+        if keyword.arg == "on_error":
+            return not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            )
+    if len(call.args) >= 5:
+        arg = call.args[4]
+        return not (isinstance(arg, ast.Constant) and arg.value is None)
+    return False
+
+
+class _ProtocolVisitor(ast.NodeVisitor):
+    def __init__(self, file: FileAst, tree_index: TreeIndex):
+        self.file = file
+        self.index = tree_index
+        self.sends: list[SendSite] = []
+        self.registers: list[RegisterSite] = []
+        self._scope: list[str] = []
+
+    def _qualname(self) -> str:
+        return ".".join(self._scope) or "<module>"
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scope.append(node.name)
+        self.generic_visit(node)
+        self._scope.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def _op_expr(self, call: ast.Call, position: int) -> ast.expr | None:
+        if len(call.args) > position:
+            return call.args[position]
+        for keyword in call.keywords:
+            if keyword.arg == "operation":
+                return keyword.value
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        kind = _receiver_kind(func)
+        if kind == "transport":
+            if func.attr == "register" and node.args:
+                expr = node.args[0]
+                self.registers.append(
+                    RegisterSite(
+                        op=self.index.resolve_constant(self.file, expr),
+                        op_text=ast.unparse(expr),
+                        file=self.file,
+                        line=node.lineno,
+                        qualname=self._qualname(),
+                    )
+                )
+            elif func.attr in ("request", "notify"):
+                expr = self._op_expr(node, 1)
+                if expr is None:
+                    return
+                self.sends.append(
+                    SendSite(
+                        op=self.index.resolve_constant(self.file, expr),
+                        op_text=ast.unparse(expr),
+                        mode=func.attr,
+                        file=self.file,
+                        line=node.lineno,
+                        qualname=self._qualname(),
+                        guarded=func.attr != "request" or _has_on_error(node),
+                    )
+                )
+            elif func.attr == "broadcast":
+                expr = self._op_expr(node, 0)
+                if expr is None:
+                    return
+                self.sends.append(
+                    SendSite(
+                        op=self.index.resolve_constant(self.file, expr),
+                        op_text=ast.unparse(expr),
+                        mode="broadcast",
+                        file=self.file,
+                        line=node.lineno,
+                        qualname=self._qualname(),
+                        guarded=True,  # one-way by design: nothing to guard
+                    )
+                )
+        elif kind == "client" and func.attr == "call":
+            expr = self._op_expr(node, 1)
+            if expr is None:
+                return
+            op = self.index.resolve_constant(self.file, expr)
+            if op is None:
+                # Other objects also expose .call (e.g. the remote-service
+                # proxy, whose second argument is a body, not an op); only
+                # a statically resolvable op marks a resilient send.
+                return
+            self.sends.append(
+                SendSite(
+                    op=op,
+                    op_text=ast.unparse(expr),
+                    mode="call",
+                    file=self.file,
+                    line=node.lineno,
+                    qualname=self._qualname(),
+                    guarded=True,  # retry + backoff + breaker by contract
+                )
+            )
+
+
+def collect(tree: TreeIndex) -> tuple[list[SendSite], list[RegisterSite]]:
+    """Every send and registration site across the tree, in file order."""
+    sends: list[SendSite] = []
+    registers: list[RegisterSite] = []
+    for file in tree.files:
+        visitor = _ProtocolVisitor(file, tree)
+        visitor.visit(file.tree)
+        sends.extend(visitor.sends)
+        registers.extend(visitor.registers)
+    return sends, registers
+
+
+def check_tree(tree: TreeIndex) -> list[F.LintFinding]:
+    """All protocol findings across the tree (waivers not applied)."""
+    sends, registers = collect(tree)
+    handled = {site.op for site in registers if site.op is not None}
+    modes_by_op: dict[str, set[str]] = {}
+    for site in sends:
+        if site.op is not None:
+            modes_by_op.setdefault(site.op, set()).add(site.mode)
+
+    out: list[F.LintFinding] = []
+
+    for site in registers:
+        if site.op is None:
+            out.append(
+                F.LintFinding(
+                    rule=F.RULE_DYNAMIC_OP,
+                    severity=F.RULES[F.RULE_DYNAMIC_OP][0],
+                    path=site.file.rel_path,
+                    line=site.line,
+                    message=(
+                        f"handler registered under dynamic op "
+                        f"{site.op_text!r}; unhandled-op analysis cannot "
+                        "see it"
+                    ),
+                    key=f"{site.qualname}:register:{site.op_text}",
+                )
+            )
+
+    for site in sends:
+        if site.op is None:
+            out.append(
+                F.LintFinding(
+                    rule=F.RULE_DYNAMIC_OP,
+                    severity=F.RULES[F.RULE_DYNAMIC_OP][0],
+                    path=site.file.rel_path,
+                    line=site.line,
+                    message=(
+                        f"{site.mode} of dynamic op {site.op_text!r}; "
+                        "unhandled-op analysis cannot see it"
+                    ),
+                    key=f"{site.qualname}:{site.mode}:{site.op_text}",
+                )
+            )
+            continue
+        if site.op not in handled:
+            out.append(
+                F.LintFinding(
+                    rule=F.RULE_UNHANDLED_OP,
+                    severity=F.RULES[F.RULE_UNHANDLED_OP][0],
+                    path=site.file.rel_path,
+                    line=site.line,
+                    message=(
+                        f"op {site.op!r} is sent via {site.mode} but no "
+                        "file registers a handler for it"
+                    ),
+                    key=f"{site.qualname}:{site.op}",
+                )
+            )
+        if site.mode == "request" and not site.guarded:
+            out.append(
+                F.LintFinding(
+                    rule=F.RULE_UNGUARDED_REQUEST,
+                    severity=F.RULES[F.RULE_UNGUARDED_REQUEST][0],
+                    path=site.file.rel_path,
+                    line=site.line,
+                    message=(
+                        f"request for op {site.op!r} passes no on_error; "
+                        "a timeout or remote fault vanishes into the debug "
+                        "log (add on_error or use ResilientClient.call)"
+                    ),
+                    key=f"{site.qualname}:{site.op}",
+                )
+            )
+        if (
+            site.mode in _FIRE_AND_FORGET_MODES
+            and modes_by_op.get(site.op, set()) & _REQUEST_MODES
+        ):
+            out.append(
+                F.LintFinding(
+                    rule=F.RULE_MIXED_SEND_MODES,
+                    severity=F.RULES[F.RULE_MIXED_SEND_MODES][0],
+                    path=site.file.rel_path,
+                    line=site.line,
+                    message=(
+                        f"op {site.op!r} is sent via {site.mode} here but "
+                        "via the request path elsewhere; notify copies skip "
+                        "at-most-once dedup, so the handler must be "
+                        "idempotent"
+                    ),
+                    key=f"{site.qualname}:{site.op}:{site.mode}",
+                )
+            )
+    return out

@@ -1,0 +1,318 @@
+"""The shard-race detector: ownership discipline for sharded state.
+
+The sharded kernel (:mod:`repro.fleet.regions`) keeps determinism by a
+single rule: regions interact only through the epoch-quantized handoff
+buffer (or, on the base station, through the pipeline's accept queue).
+This pass checks the rule statically, per class:
+
+1. Every method is assigned the set of **contexts** it can run in.
+   Methods handed as callbacks to ``schedule``/``schedule_at`` on a
+   *parameterized* simulator — ``self.simulator(region).schedule(...)``,
+   ``kernel.schedule(region, ...)``, ``self._shards[i].schedule(...)`` —
+   run in the context named by that routing expression (``sim:region``,
+   ``shards[i]``).  Methods handed to ``handoff(...)`` run at the epoch
+   barrier (sanctioned: they *passed through* the quantized channel);
+   methods handed to ``submit(...)`` run via the accept queue
+   (sanctioned likewise).  Everything else — direct calls, callbacks on
+   the object's own un-parameterized simulator — is the **home**
+   context.  Contexts propagate through the self-call graph.
+
+2. Per method, the attributes of ``self`` it writes (assignment,
+   augmented assignment, ``del``, and mutating method calls such as
+   ``.append``/``.clear``/``.update``) and reads are collected.
+
+3. An attribute **written** under two *different* parameterized contexts
+   is a shard race (:data:`~repro.analysis.findings.RULE_CROSS_CONTEXT_WRITE`):
+   two region heaps mutate one cell with no barrier between them.  An
+   attribute written under one parameterized context and **read** under
+   a different one is the stale-read variant
+   (:data:`~repro.analysis.findings.RULE_CROSS_CONTEXT_READ`).
+
+Contexts are compared *textually* (the unparsed routing expression), so
+the detector is deliberately conservative: it only fires when two
+provably different routing expressions touch the same attribute.  The
+sanctioned channels themselves (the handoff buffer, the accept queue)
+are annotated with inline waivers where they must mutate shared cells —
+that is the point: every crossing is either quantized or justified.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis import findings as F
+from repro.analysis.core import FileAst, dotted_name
+
+#: Method-call names that mutate their receiver in place.
+MUTATING_CALLS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+#: Scheduling callee names that establish a deferred context.
+_SCHEDULERS = frozenset({"schedule", "schedule_at"})
+
+HOME = "home"
+BARRIER = "barrier"
+QUEUE = "queue"
+
+#: Contexts that never conflict: the home heap, the epoch barrier and
+#: the accept queue are each serialized by construction.
+SANCTIONED = frozenset({HOME, BARRIER, QUEUE})
+
+
+@dataclass
+class _MethodFacts:
+    name: str
+    lineno: int
+    writes: dict[str, int] = field(default_factory=dict)  # attr -> line
+    reads: dict[str, int] = field(default_factory=dict)
+    self_calls: set[str] = field(default_factory=set)
+    #: (context, line) pairs this method registers for *other* methods.
+    registers: list[tuple[str, str, int]] = field(default_factory=list)
+    #: Lines where the method reaches into a foreign ``_shards``.
+    foreign_heap_reaches: list[int] = field(default_factory=list)
+
+
+def _routing_context(call: ast.Call) -> str | None:
+    """The context a ``schedule``-family call defers its callback into.
+
+    Returns None when the call is not a scheduler; ``HOME`` when it
+    schedules on an un-parameterized simulator.
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _SCHEDULERS:
+        if isinstance(func, ast.Attribute) and func.attr == "handoff":
+            return BARRIER
+        if isinstance(func, ast.Attribute) and func.attr == "submit":
+            return QUEUE
+        return None
+    receiver = func.value
+    # self.simulator(region).schedule(...) / kernel.simulator(r).schedule_at
+    if isinstance(receiver, ast.Call):
+        inner = receiver.func
+        if isinstance(inner, ast.Attribute) and inner.attr == "simulator" and receiver.args:
+            return f"sim:{ast.unparse(receiver.args[0])}"
+        return HOME
+    # self._shards[i].schedule(...)
+    if isinstance(receiver, ast.Subscript):
+        base = dotted_name(receiver.value) or ast.unparse(receiver.value)
+        if base.endswith("_shards") or base.endswith("shards"):
+            return f"shards[{ast.unparse(receiver.slice)}]"
+        return HOME
+    # kernel.schedule(region, delay, fn) — region-routed by first arg.
+    dotted = dotted_name(receiver)
+    if dotted is not None and (dotted == "kernel" or dotted.endswith(".kernel")):
+        if call.args:
+            return f"sim:{ast.unparse(call.args[0])}"
+    return HOME
+
+
+def _callback_names(call: ast.Call) -> list[str]:
+    """``self.<method>`` callables among the call's arguments."""
+    names = []
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        if (
+            isinstance(arg, ast.Attribute)
+            and isinstance(arg.value, ast.Name)
+            and arg.value.id == "self"
+        ):
+            names.append(arg.attr)
+    return names
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    def __init__(self, facts: _MethodFacts):
+        self.facts = facts
+
+    def visit_Call(self, node: ast.Call) -> None:
+        context = _routing_context(node)
+        if context is not None:
+            for callback in _callback_names(node):
+                self.facts.registers.append((context, callback, node.lineno))
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            # self.attr.append(...) → mutation of self.attr
+            if func.attr in MUTATING_CALLS:
+                receiver = func.value
+                if (
+                    isinstance(receiver, ast.Attribute)
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id == "self"
+                ):
+                    self.facts.writes.setdefault(receiver.attr, node.lineno)
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and func.attr not in _SCHEDULERS
+            ):
+                self.facts.self_calls.add(func.attr)
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            if isinstance(node.ctx, (ast.Store, ast.Del)):
+                self.facts.writes.setdefault(node.attr, node.lineno)
+            else:
+                self.facts.reads.setdefault(node.attr, node.lineno)
+        elif node.attr == "_shards" and isinstance(node.ctx, ast.Load):
+            # Foreign heap reach: `something._shards` where something is
+            # not self.  `self._shards` is the kernel's own state.
+            if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+                self.facts.foreign_heap_reaches.append(node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.facts.writes.setdefault(target.attr, node.lineno)
+        self.generic_visit(node)
+
+
+def _class_facts(node: ast.ClassDef) -> dict[str, _MethodFacts]:
+    methods: dict[str, _MethodFacts] = {}
+    for item in node.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        facts = _MethodFacts(name=item.name, lineno=item.lineno)
+        visitor = _MethodVisitor(facts)
+        for statement in item.body:
+            visitor.visit(statement)
+        methods[item.name] = facts
+    return methods
+
+
+def _propagate_contexts(
+    methods: dict[str, _MethodFacts]
+) -> dict[str, set[str]]:
+    """method name -> set of contexts it can run under."""
+    contexts: dict[str, set[str]] = {name: set() for name in methods}
+    # Seed: registrations made anywhere in the class.
+    for facts in methods.values():
+        for context, callback, _ in facts.registers:
+            if callback in contexts:
+                contexts[callback].add(context)
+    # Methods never deferred run in the home context (direct calls).
+    for name, facts in methods.items():
+        if not contexts[name]:
+            contexts[name].add(HOME)
+    # Propagate through self-calls to a fixpoint: a helper called from a
+    # deferred method inherits the deferred context.
+    changed = True
+    while changed:
+        changed = False
+        for name, facts in methods.items():
+            for callee in facts.self_calls:
+                if callee not in contexts:
+                    continue
+                before = len(contexts[callee])
+                contexts[callee] |= contexts[name]
+                if len(contexts[callee]) != before:
+                    changed = True
+    return contexts
+
+
+def check_file(file: FileAst) -> list[F.LintFinding]:
+    """All shard-discipline findings in one file (waivers not applied)."""
+    out: list[F.LintFinding] = []
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        methods = _class_facts(node)
+        contexts = _propagate_contexts(methods)
+
+        for facts in methods.values():
+            for line in facts.foreign_heap_reaches:
+                out.append(
+                    F.LintFinding(
+                        rule=F.RULE_PRIVATE_HEAP_REACH,
+                        severity=F.RULES[F.RULE_PRIVATE_HEAP_REACH][0],
+                        path=file.rel_path,
+                        line=line,
+                        message=(
+                            "reaches into a foreign kernel's _shards heaps; "
+                            "cross-region work must go through schedule()/"
+                            "handoff()"
+                        ),
+                        key=f"{node.name}.{facts.name}:_shards",
+                    )
+                )
+
+        # attr -> {parameterized context -> (method, line)} for writes/reads.
+        writes: dict[str, dict[str, tuple[str, int]]] = {}
+        reads: dict[str, dict[str, tuple[str, int]]] = {}
+        for name, facts in methods.items():
+            parameterized = {
+                ctx for ctx in contexts[name] if ctx not in SANCTIONED
+            }
+            for attr, line in facts.writes.items():
+                for ctx in parameterized:
+                    writes.setdefault(attr, {}).setdefault(ctx, (name, line))
+            for attr, line in facts.reads.items():
+                for ctx in parameterized:
+                    reads.setdefault(attr, {}).setdefault(ctx, (name, line))
+
+        for attr, by_context in sorted(writes.items()):
+            if len(by_context) > 1:
+                sites = ", ".join(
+                    f"{method}() in context {ctx!r}"
+                    for ctx, (method, _) in sorted(by_context.items())
+                )
+                _, (method, line) = sorted(by_context.items())[0]
+                out.append(
+                    F.LintFinding(
+                        rule=F.RULE_CROSS_CONTEXT_WRITE,
+                        severity=F.RULES[F.RULE_CROSS_CONTEXT_WRITE][0],
+                        path=file.rel_path,
+                        line=line,
+                        message=(
+                            f"self.{attr} is mutated from different shard "
+                            f"contexts ({sites}) without the epoch-quantized "
+                            "handoff or accept queue"
+                        ),
+                        key=f"{node.name}:{attr}",
+                    )
+                )
+                continue
+            # Single writer context: flag reads from *other* parameterized
+            # contexts (stale-read across region heaps).
+            writer_ctx = next(iter(by_context))
+            for reader_ctx, (method, line) in sorted(
+                reads.get(attr, {}).items()
+            ):
+                if reader_ctx != writer_ctx:
+                    out.append(
+                        F.LintFinding(
+                            rule=F.RULE_CROSS_CONTEXT_READ,
+                            severity=F.RULES[F.RULE_CROSS_CONTEXT_READ][0],
+                            path=file.rel_path,
+                            line=line,
+                            message=(
+                                f"self.{attr} is written in context "
+                                f"{writer_ctx!r} but read by {method}() in "
+                                f"context {reader_ctx!r}; pass it through a "
+                                "handoff instead"
+                            ),
+                            key=f"{node.name}:{attr}:read",
+                        )
+                    )
+    return out

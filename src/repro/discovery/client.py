@@ -271,7 +271,17 @@ class DiscoveryClient:
             self._registrations.remove(registration)
         for registrar, lease_id in list(registration.leases.items()):
             self._renewer.forget(lease_id)
-            self.transport.request(registrar, CANCEL, {"lease_id": lease_id})
+            self.transport.request(
+                registrar,
+                CANCEL,
+                {"lease_id": lease_id},
+                on_error=lambda exc, registrar=registrar: logger.debug(
+                    "%s: cancel with %s failed (lease will expire): %s",
+                    self.node_id,
+                    registrar,
+                    exc,
+                ),
+            )
         registration.leases.clear()
 
     def _register_with(self, registration: ServiceRegistration, registrar: str) -> None:
@@ -336,7 +346,17 @@ class DiscoveryClient:
         self.transport.unregister(subscription.operation)
         for registrar, lease_id in list(subscription.leases.items()):
             self._renewer.forget(lease_id)
-            self.transport.request(registrar, CANCEL, {"lease_id": lease_id})
+            self.transport.request(
+                registrar,
+                CANCEL,
+                {"lease_id": lease_id},
+                on_error=lambda exc, registrar=registrar: logger.debug(
+                    "%s: listener cancel with %s failed (lease will expire): %s",
+                    self.node_id,
+                    registrar,
+                    exc,
+                ),
+            )
         subscription.leases.clear()
 
     def _listen_with(self, subscription: EventSubscription, registrar: str) -> None:

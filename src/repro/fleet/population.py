@@ -357,6 +357,9 @@ class Fleet:
         self.offers_sent = 0
         self.offers_acked = 0
         self.revokes_sent = 0
+        #: Registrar requests that timed out or faulted (never part of
+        #: :meth:`fingerprint`; surfaced by :meth:`stats`).
+        self.send_errors = 0
         #: Detached health plane (set by the builder); fed from sweeps.
         #: Never part of :meth:`fingerprint` — judgment, not observation.
         self.health: HealthPlane | None = None
@@ -382,6 +385,7 @@ class Fleet:
                     FLEET_OFFER,
                     {"envelope": envelope},
                     on_reply=lambda body: self._offer_acked(),
+                    on_error=lambda exc: self._send_failed(),
                 )
 
             self._submit(registrar.node_id, "fleet.offer", send)
@@ -393,7 +397,10 @@ class Fleet:
             def send(registrar: ClusterRegistrar = registrar) -> None:
                 self.revokes_sent += 1
                 self.base.transport.request(
-                    registrar.node_id, FLEET_REVOKE, {"name": name}
+                    registrar.node_id,
+                    FLEET_REVOKE,
+                    {"name": name},
+                    on_error=lambda exc: self._send_failed(),
                 )
 
             self._submit(registrar.node_id, "fleet.revoke", send)
@@ -414,6 +421,10 @@ class Fleet:
 
     def _offer_acked(self) -> None:
         self.offers_acked += 1
+
+    def _send_failed(self) -> None:
+        """A registrar request timed out or faulted; counted, not fatal."""
+        self.send_errors += 1
 
     # -- region-side callbacks (run on leaf shards) --------------------------------
 
@@ -562,6 +573,7 @@ class Fleet:
             "population": self.population.counts(),
             "head_leases": self.base.lookup.registration_count(),
             "renew_batches": sum(r.renew_batches for r in self.registrars),
+            "send_errors": self.send_errors,
             "envelopes_verified": sum(
                 r.envelopes_verified for r in self.registrars
             ),

@@ -246,6 +246,10 @@ class ClusterRegistrar:
                 "duration": self.lease_duration,
             },
             on_reply=on_reply,
+            on_error=lambda exc, head=head: logger.debug(
+                "%s: head registration for %s failed (next renew tick "
+                "reconciles): %s", self.node_id, head.node_id, exc
+            ),
         )
 
     def _renew_tick(self) -> None:
@@ -261,6 +265,10 @@ class ClusterRegistrar:
             RENEW_BATCH,
             {"lease_ids": lease_ids, "duration": self.lease_duration},
             on_reply=self._renew_replied,
+            on_error=lambda exc: logger.debug(
+                "%s: renew batch failed (retried next tick): %s",
+                self.node_id, exc
+            ),
         )
 
     def _renew_replied(self, body: dict[str, Any]) -> None:
@@ -320,7 +328,13 @@ class ClusterRegistrar:
         for head in self.heads:
             if head.lease_id:
                 self.transport.request(
-                    self.base_id, CANCEL, {"lease_id": head.lease_id}
+                    self.base_id,
+                    CANCEL,
+                    {"lease_id": head.lease_id},
+                    on_error=lambda exc: logger.debug(
+                        "%s: head-lease cancel failed (lease will expire): "
+                        "%s", self.node_id, exc
+                    ),
                 )
                 head.lease_id = None
 

@@ -293,6 +293,10 @@ def run_scenario(
             on_reply=lambda body, client=client: client.keep_registered(
                 body["lease_id"], body["duration"]
             ),
+            # Registration is load-bearing (keep_registered arms lease
+            # renewal): a lost request is simply re-sent, paced by the op
+            # timeout, until the station answers.
+            on_error=lambda exc, client=client: register(client),
             timeout=scenario.op_timeout,
         )
 

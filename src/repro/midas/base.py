@@ -715,6 +715,7 @@ class ExtensionBase:
             body = {"node_id": node_id, "epoch": [epoch[0], epoch[1]]}
             recorder.count("midas.roam.announced", node=self.node_id, peer=peer)
             if self._client is None:
+                # lint: allow(proto.mixed-send-modes) — the classic path is the paper's fire-and-forget notify; _serve_roamed is epoch-idempotent, so undeduped duplicates are harmless
                 self.transport.notify(peer, ROAMED, body)
                 continue
             self._client.call(

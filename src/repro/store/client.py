@@ -52,13 +52,21 @@ class HallClient:
     # -- the left panel -------------------------------------------------------------
 
     def list_robots(
-        self, store_node: str, on_result: Callable[[list[str]], None]
+        self,
+        store_node: str,
+        on_result: Callable[[list[str]], None],
+        on_error: Callable[[Exception], None] | None = None,
     ) -> None:
-        """All robots the hall's database has ever seen."""
+        """All robots the hall's database has ever seen.
+
+        A timeout or store fault reaches ``on_error`` when given;
+        otherwise the panel simply shows an empty robot list.
+        """
         self.transport.request(
             store_node,
             ROBOTS,
             on_reply=lambda body: on_result(body["robots"]),
+            on_error=on_error or (lambda exc: on_result([])),
         )
 
     def action_list(
@@ -68,13 +76,19 @@ class HallClient:
         on_result: Callable[[list[MovementRecord]], None],
         since: float | None = None,
         until: float | None = None,
+        on_error: Callable[[Exception], None] | None = None,
     ) -> None:
-        """A robot's recorded actions (optionally a time window)."""
+        """A robot's recorded actions (optionally a time window).
+
+        As with :meth:`list_robots`, a lost query degrades to an empty
+        action list unless the caller supplies ``on_error``.
+        """
         self.transport.request(
             store_node,
             QUERY,
             {"robot_id": robot_id, "since": since, "until": until},
             on_reply=lambda body: on_result(body["records"]),
+            on_error=on_error or (lambda exc: on_result([])),
         )
 
     # -- the right panel ---------------------------------------------------------------

@@ -182,13 +182,43 @@ class TupleSpaceClient:
             on_error=on_error,
         )
 
-    def renew(self, lease_id: str) -> None:
+    def renew(
+        self,
+        lease_id: str,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
         """Keep a published tuple (or listener registration) alive."""
-        self.transport.request(self.space_node, RENEW, {"lease_id": lease_id})
+        self.transport.request(
+            self.space_node,
+            RENEW,
+            {"lease_id": lease_id},
+            on_error=on_error
+            or (
+                lambda exc: logger.debug(
+                    "renew of %s failed (lease will lapse): %s", lease_id, exc
+                )
+            ),
+        )
 
-    def retract(self, lease_id: str) -> None:
+    def retract(
+        self,
+        lease_id: str,
+        on_error: Callable[[Exception], None] | None = None,
+    ) -> None:
         """Withdraw a published tuple."""
-        self.transport.request(self.space_node, RETRACT, {"lease_id": lease_id})
+        self.transport.request(
+            self.space_node,
+            RETRACT,
+            {"lease_id": lease_id},
+            on_error=on_error
+            or (
+                lambda exc: logger.debug(
+                    "retract of %s failed (lease will lapse): %s",
+                    lease_id,
+                    exc,
+                )
+            ),
+        )
 
     def listen(
         self,
@@ -196,15 +226,26 @@ class TupleSpaceClient:
         listener: Callable[[Tuple], None],
         duration: float = MAX_LISTENER_LEASE,
         on_registered: Callable[[str], None] | None = None,
+        on_error: Callable[[Exception], None] | None = None,
     ) -> None:
         """Subscribe to matching tuples, current and future.
 
         ``on_registered`` receives the listener lease id (renew it with
-        :meth:`renew` to outlive ``duration``).
+        :meth:`renew` to outlive ``duration``).  When the subscription
+        request is lost the local handler is unregistered again so the
+        dead operation name does not linger.
         """
         self._listen_counter += 1
         operation = f"space.deliver.{self.transport.node.node_id}.{self._listen_counter}"
         self.transport.register(operation, lambda sender, body: listener(body))
+
+        def failed(exc: Exception) -> None:
+            self.transport.unregister(operation)
+            if on_error is not None:
+                on_error(exc)
+            else:
+                logger.debug("listen on %s failed: %s", self.space_node, exc)
+
         self.transport.request(
             self.space_node,
             LISTEN,
@@ -212,6 +253,7 @@ class TupleSpaceClient:
             on_reply=(lambda body: on_registered(body["lease_id"]))
             if on_registered
             else None,
+            on_error=failed,
         )
 
     def __repr__(self) -> str:

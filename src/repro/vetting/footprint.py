@@ -27,11 +27,14 @@ single informational finding rather than a false "clean".
 from __future__ import annotations
 
 import ast
-import inspect
-import sys
-import textwrap
 from dataclasses import dataclass, field
 
+from repro.analysis.core import (
+    class_def,
+    clear_ast_caches,
+    dotted_name,
+    module_import_map,
+)
 from repro.aop.aspect import Aspect
 from repro.aop.sandbox import Capability
 from repro.vetting import report as R
@@ -133,49 +136,16 @@ class ClassFootprint:
 
 
 # -- module import maps -----------------------------------------------------
+#
+# The AST plumbing (dotted-name rendering, module import maps, class
+# source retrieval, and their caches) lives in :mod:`repro.analysis.core`
+# now, shared with the platform lints.  The historical private names are
+# kept as aliases for compatibility.
 
-_module_imports_cache: dict[str, dict[str, str]] = {}
-
-
-def _module_import_map(module_name: str) -> dict[str, str]:
-    """local alias -> dotted origin, from the defining module's imports."""
-    cached = _module_imports_cache.get(module_name)
-    if cached is not None:
-        return cached
-    aliases: dict[str, str] = {}
-    module = sys.modules.get(module_name)
-    if module is not None:
-        try:
-            tree = ast.parse(inspect.getsource(module))
-        except (OSError, TypeError, SyntaxError):
-            tree = None
-        if tree is not None:
-            for node in ast.walk(tree):
-                if isinstance(node, ast.Import):
-                    for alias in node.names:
-                        bound = alias.asname or alias.name.partition(".")[0]
-                        target = alias.name if alias.asname else bound
-                        aliases[bound] = target
-                elif isinstance(node, ast.ImportFrom) and node.module:
-                    for alias in node.names:
-                        bound = alias.asname or alias.name
-                        aliases[bound] = f"{node.module}.{alias.name}"
-    _module_imports_cache[module_name] = aliases
-    return aliases
-
+_module_import_map = module_import_map
+_dotted = dotted_name
 
 # -- per-method extraction --------------------------------------------------
-
-def _dotted(node: ast.AST) -> str | None:
-    """Render a ``Name``/``Attribute`` chain as a dotted path, if pure."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
 
 
 def _resolve_capability(arg: ast.AST) -> tuple[str | None, bool]:
@@ -366,21 +336,12 @@ def _analyze_class_ast(cls: type) -> _ClassAst:
     if cached is not None:
         return cached
     result = _ClassAst(cls_name=cls.__name__)
-    try:
-        source = textwrap.dedent(inspect.getsource(cls))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError):
-        result.source_available = False
-        _class_ast_cache[cls] = result
-        return result
-    class_node = next(
-        (node for node in tree.body if isinstance(node, ast.ClassDef)), None
-    )
+    class_node = class_def(cls)
     if class_node is None:
         result.source_available = False
         _class_ast_cache[cls] = result
         return result
-    aliases = _module_import_map(cls.__module__)
+    aliases = module_import_map(cls.__module__)
     for node in class_node.body:
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             continue
@@ -589,6 +550,6 @@ def clear_caches() -> None:
 
     _class_ast_cache.clear()
     _footprint_cache.clear()
-    _module_imports_cache.clear()
     _vet_cache.clear()
     clear_shape_cache()
+    clear_ast_caches()

@@ -1,0 +1,57 @@
+"""Fixtures for the platform-lint tests: source trees built on disk.
+
+The lint analyzes files, not live objects, so every fixture writes real
+modules under ``tmp_path`` and parses them through the shared core —
+the same path ``python -m repro lint`` takes.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.core import FileAst, TreeIndex, clear_ast_caches, load_file, load_tree
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_ast_caches()
+    yield
+    clear_ast_caches()
+
+
+@pytest.fixture
+def make_file(tmp_path):
+    """Write one module and parse it: ``make_file('x.py', source)``."""
+
+    def _make(rel: str, source: str) -> FileAst:
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        file_ast = load_file(path, tmp_path)
+        assert file_ast is not None, f"fixture source failed to parse: {rel}"
+        return file_ast
+
+    return _make
+
+
+@pytest.fixture
+def make_tree(tmp_path, make_file):
+    """Write several modules and index them: ``make_tree({'a.py': src})``."""
+
+    def _make(sources: dict[str, str]) -> TreeIndex:
+        for rel, source in sources.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return load_tree(tmp_path)
+
+    return _make
+
+
+@pytest.fixture
+def repo_src() -> Path:
+    """The real platform tree (tests assert the lint is clean on it)."""
+    return Path(__file__).resolve().parents[2] / "src" / "repro"

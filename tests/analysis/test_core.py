@@ -1,0 +1,136 @@
+"""Shared analysis core: names, imports, waivers, caching, resolution."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import (
+    clear_ast_caches,
+    dotted_name,
+    import_map_from_tree,
+    load_file,
+    load_tree,
+    parse_waivers,
+)
+
+
+class TestDottedName:
+    def test_renders_pure_chains(self):
+        node = ast.parse("a.b.c", mode="eval").body
+        assert dotted_name(node) == "a.b.c"
+
+    def test_bare_name(self):
+        node = ast.parse("x", mode="eval").body
+        assert dotted_name(node) == "x"
+
+    def test_impure_chain_is_none(self):
+        node = ast.parse("f().b", mode="eval").body
+        assert dotted_name(node) is None
+
+
+class TestImportMap:
+    def test_historical_semantics(self):
+        tree = ast.parse(
+            "import a.b\n"
+            "import a.b as c\n"
+            "from m import x as y\n"
+            "from m import z\n"
+        )
+        aliases = import_map_from_tree(tree)
+        assert aliases["a"] == "a"  # plain import binds the root
+        assert aliases["c"] == "a.b"  # aliased import binds the full path
+        assert aliases["y"] == "m.x"
+        assert aliases["z"] == "m.z"
+
+
+class TestWaivers:
+    def test_covers_own_and_next_line(self):
+        lines = [
+            "x = 1",
+            "# lint: allow(det.wall-clock) — operator timestamp",
+            "stamp = now()",
+            "other = 2",
+        ]
+        waivers = parse_waivers(lines)
+        assert "det.wall-clock" in waivers[2]
+        assert "det.wall-clock" in waivers[3]
+        assert 4 not in waivers
+
+    def test_multiple_rules_one_comment(self):
+        waivers = parse_waivers(["y = f()  # lint: allow(a.one, b.two)"])
+        assert waivers[1] == frozenset({"a.one", "b.two"})
+
+    def test_plain_comments_ignored(self):
+        assert parse_waivers(["# lint this is not a waiver", "x = 1"]) == {}
+
+
+class TestFileCache:
+    def test_unchanged_file_returns_same_object(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        first = load_file(path, tmp_path)
+        second = load_file(path, tmp_path)
+        assert first is second
+
+    def test_changed_file_reparses(self, tmp_path):
+        import os
+
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        first = load_file(path, tmp_path)
+        path.write_text("x = 2\n", encoding="utf-8")
+        os.utime(path, ns=(1, 1))  # force a distinct mtime
+        second = load_file(path, tmp_path)
+        assert first is not second
+
+    def test_syntax_error_returns_none(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def (:\n", encoding="utf-8")
+        assert load_file(path, tmp_path) is None
+
+    def test_clear_caches_drops_entries(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text("x = 1\n", encoding="utf-8")
+        first = load_file(path, tmp_path)
+        clear_ast_caches()
+        assert load_file(path, tmp_path) is not first
+
+
+class TestTreeIndex:
+    def test_skips_pycache_and_sorts(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "b.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        tree = load_tree(tmp_path)
+        rels = [f.rel_path for f in tree.files]
+        assert rels == ["pkg/a.py", "pkg/b.py"]
+
+    def test_module_lookup_by_suffix(self, make_tree):
+        tree = make_tree({"repro/net/transport.py": 'OP = "x.y"\n'})
+        assert tree.module("repro.net.transport") is not None
+        assert tree.module("net.transport") is not None
+        assert tree.module("nowhere.transport") is tree.module("transport")
+
+    def test_resolve_constant_shapes(self, make_tree):
+        tree = make_tree(
+            {
+                "defs.py": 'OP = "the.op"\n',
+                "use.py": (
+                    "from defs import OP\n"
+                    "import defs\n"
+                    'LOCAL = "local.op"\n'
+                ),
+            }
+        )
+        use = tree.module("use")
+        assert use is not None
+        resolve = tree.resolve_constant
+        literal = ast.parse('"lit.op"', mode="eval").body
+        assert resolve(use, literal) == "lit.op"
+        assert resolve(use, ast.parse("LOCAL", mode="eval").body) == "local.op"
+        assert resolve(use, ast.parse("OP", mode="eval").body) == "the.op"
+        assert resolve(use, ast.parse("defs.OP", mode="eval").body) == "the.op"
+        assert resolve(use, ast.parse('f"dyn.{x}"', mode="eval").body) is None
+        assert resolve(use, ast.parse("unknown", mode="eval").body) is None

@@ -1,0 +1,216 @@
+"""Determinism lint: planted violations fire, sanctioned patterns don't."""
+
+from __future__ import annotations
+
+from repro.analysis import findings as F
+from repro.analysis.determinism import check_file
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestWallClock:
+    def test_planted_wall_clock_in_sim(self, make_file):
+        file = make_file(
+            "sim/kernel.py",
+            """
+            import time
+
+            class Simulator:
+                def now(self):
+                    return time.time()
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_WALL_CLOCK]
+        assert found[0].key == "Simulator.now:time.time"
+        assert found[0].severity == F.ERROR
+
+    def test_datetime_now(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """,
+        )
+        assert rules(check_file(file)) == [F.RULE_WALL_CLOCK]
+
+    def test_simulator_clock_is_clean(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            def now(self):
+                return self.simulator.now
+            """,
+        )
+        assert check_file(file) == []
+
+
+class TestRandomness:
+    def test_module_level_random_flagged(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            import random
+
+            def pick(items):
+                return random.choice(items)
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_UNSEEDED_RANDOM]
+
+    def test_seedless_constructor_flagged(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            import random
+
+            def make():
+                return random.Random()
+            """,
+        )
+        assert rules(check_file(file)) == [F.RULE_UNSEEDED_RANDOM]
+
+    def test_seeded_constructor_clean(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            import random
+
+            def make(seed):
+                rng = random.Random(seed)
+                return rng.choice([1, 2])
+            """,
+        )
+        assert check_file(file) == []
+
+
+class TestEntropyAndHashes:
+    def test_uuid4_and_urandom(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            import os
+            import uuid
+
+            def ids():
+                return uuid.uuid4(), os.urandom(8)
+            """,
+        )
+        assert rules(check_file(file)) == [F.RULE_ENTROPY, F.RULE_ENTROPY]
+
+    def test_secrets_module(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            import secrets
+
+            def token():
+                return secrets.token_hex(4)
+            """,
+        )
+        assert rules(check_file(file)) == [F.RULE_ENTROPY]
+
+    def test_builtin_hash_and_id_warn(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            def shard_of(self, key):
+                return hash(key) % self.shards
+
+            def tag(self, obj):
+                return id(obj)
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_UNSTABLE_HASH, F.RULE_UNSTABLE_HASH]
+        assert all(f.severity == F.WARNING for f in found)
+
+    def test_crc32_is_clean(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            import zlib
+
+            def shard_of(self, key):
+                return zlib.crc32(key.encode()) % self.shards
+            """,
+        )
+        assert check_file(file) == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_display(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            def emit(self, log):
+                for name in {"b", "a"}:
+                    log.append(name)
+            """,
+        )
+        assert rules(check_file(file)) == [F.RULE_UNORDERED_ITER]
+
+    def test_comprehension_over_set_call(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            def emit(self, items):
+                return [x for x in set(items)]
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_UNORDERED_ITER]
+        assert found[0].key == "<comprehension>:set-iteration"
+
+    def test_sorted_wrapping_is_clean(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            def emit(self, items):
+                out = [x for x in sorted(set(items))]
+                for name in sorted({"b", "a"}):
+                    out.append(name)
+                return out
+            """,
+        )
+        assert check_file(file) == []
+
+    def test_list_iteration_is_clean(self, make_file):
+        file = make_file(
+            "m.py",
+            """
+            def emit(self, items):
+                for x in items:
+                    yield x
+            """,
+        )
+        assert check_file(file) == []
+
+
+class TestCleanTreeControl:
+    def test_representative_clean_module(self, make_file):
+        """A module in the platform's own idiom produces no findings."""
+        file = make_file(
+            "fleet/sample.py",
+            """
+            import random
+            import zlib
+
+            class Region:
+                def __init__(self, seed):
+                    self.rng = random.Random(f"fleet:{seed}")
+                    self.log = []
+
+                def step(self, simulator, names):
+                    for name in sorted(names):
+                        self.log.append((simulator.now, name))
+                    return zlib.crc32(repr(self.log).encode())
+            """,
+        )
+        assert check_file(file) == []

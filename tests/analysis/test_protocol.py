@@ -1,0 +1,227 @@
+"""Protocol pass: unhandled ops, unguarded requests, mixed modes."""
+
+from __future__ import annotations
+
+from repro.analysis import findings as F
+from repro.analysis.protocol import check_tree
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+SERVER = """
+OP = "svc.ping"
+
+class Server:
+    def __init__(self, transport):
+        transport.register(OP, self._serve_ping)
+
+    def _serve_ping(self, sender, body):
+        return {"pong": True}
+"""
+
+
+class TestUnhandledOp:
+    def test_planted_unhandled_op(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                class Client:
+                    def poke(self):
+                        self.transport.request(
+                            "srv", "svc.typo", {}, on_error=self._oops
+                        )
+
+                    def _oops(self, exc):
+                        pass
+                """,
+            }
+        )
+        found = check_tree(tree)
+        assert rules(found) == [F.RULE_UNHANDLED_OP]
+        assert "svc.typo" in found[0].message
+        assert found[0].severity == F.ERROR
+
+    def test_registered_op_is_clean(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                from server import OP
+
+                class Client:
+                    def poke(self):
+                        self.transport.request("srv", OP, {}, on_error=print)
+                """,
+            }
+        )
+        assert check_tree(tree) == []
+
+    def test_cross_file_constant_resolution(self, make_tree):
+        """``m.OP`` attribute reads resolve through the defining module."""
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                import server
+
+                class Client:
+                    def poke(self):
+                        self.transport.notify("srv", server.OP, {})
+                """,
+            }
+        )
+        assert check_tree(tree) == []
+
+    def test_broadcast_needs_a_handler_too(self, make_tree):
+        tree = make_tree(
+            {
+                "probe.py": """
+                class Prober:
+                    def sweep(self):
+                        self.transport.broadcast("probe.nobody", {})
+                """,
+            }
+        )
+        assert rules(check_tree(tree)) == [F.RULE_UNHANDLED_OP]
+
+
+class TestUnguardedRequest:
+    def test_request_without_on_error_warns(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                from server import OP
+
+                class Client:
+                    def poke(self):
+                        self.transport.request("srv", OP, {})
+                """,
+            }
+        )
+        found = check_tree(tree)
+        assert rules(found) == [F.RULE_UNGUARDED_REQUEST]
+        assert found[0].severity == F.WARNING
+
+    def test_on_error_keyword_guards(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                from server import OP
+
+                class Client:
+                    def poke(self):
+                        self.transport.request(
+                            "srv", OP, {}, on_error=lambda exc: None
+                        )
+                """,
+            }
+        )
+        assert check_tree(tree) == []
+
+    def test_resilient_call_guards(self, make_tree):
+        """Retried sends through a client wrapper need no on_error."""
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                from server import OP
+
+                class Client:
+                    def poke(self):
+                        self._client.call("srv", OP, {})
+                """,
+            }
+        )
+        assert check_tree(tree) == []
+
+    def test_literal_none_on_error_does_not_guard(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                from server import OP
+
+                class Client:
+                    def poke(self):
+                        self.transport.request("srv", OP, {}, on_error=None)
+                """,
+            }
+        )
+        assert rules(check_tree(tree)) == [F.RULE_UNGUARDED_REQUEST]
+
+
+class TestMixedSendModes:
+    def test_op_sent_by_request_and_notify(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER,
+                "client.py": """
+                from server import OP
+
+                class Client:
+                    def ask(self):
+                        self.transport.request("srv", OP, {}, on_error=print)
+
+                    def shout(self):
+                        self.transport.notify("srv", OP, {})
+                """,
+            }
+        )
+        found = check_tree(tree)
+        assert rules(found) == [F.RULE_MIXED_SEND_MODES]
+        assert found[0].severity == F.WARNING
+        # The finding anchors at the undeduped notify site.
+        assert found[0].path == "client.py"
+
+    def test_notify_only_op_is_fine(self, make_tree):
+        tree = make_tree(
+            {
+                "server.py": SERVER.replace("svc.ping", "svc.event"),
+                "client.py": """
+                class Client:
+                    def shout(self):
+                        self.transport.notify("srv", "svc.event", {})
+                """,
+            }
+        )
+        assert check_tree(tree) == []
+
+
+class TestDynamicOps:
+    def test_dynamic_send_and_register_are_info(self, make_tree):
+        tree = make_tree(
+            {
+                "dyn.py": """
+                class Dyn:
+                    def subscribe(self, operation, listener):
+                        self.transport.register(operation, listener)
+
+                    def publish(self, operation, body):
+                        self.transport.notify("peer", operation, body)
+                """,
+            }
+        )
+        found = check_tree(tree)
+        assert rules(found) == [F.RULE_DYNAMIC_OP, F.RULE_DYNAMIC_OP]
+        assert all(f.severity == F.INFO for f in found)
+
+    def test_non_transport_receivers_ignored(self, make_tree):
+        """Methods that merely share names (space.notify, proxy.call,
+        discovery.register) are not protocol sends."""
+        tree = make_tree(
+            {
+                "other.py": """
+                class Other:
+                    def use(self, space, proxy, discovery, item, ref):
+                        space.notify(item, print)
+                        proxy.call(ref, {"x": 1})
+                        discovery.register(item, 30.0)
+                """,
+            }
+        )
+        assert check_tree(tree) == []

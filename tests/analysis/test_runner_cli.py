@@ -1,0 +1,193 @@
+"""Runner and CLI: scopes, waivers, baselines, exit codes, dispatch."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import findings as F
+from repro.analysis.baseline import Baseline, load_baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.runner import LintConfig, run_lint
+
+WALL_CLOCK_SIM = """
+import time
+
+class Clock:
+    def now(self):
+        return time.time()
+"""
+
+
+def _config(root: Path, **kwargs) -> LintConfig:
+    return LintConfig(root=root, targets=[root], **kwargs)
+
+
+class TestScopes:
+    def test_determinism_scope_includes_sim(self, make_tree, tmp_path):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        result = run_lint(_config(tmp_path))
+        assert [f.rule for f in result.findings] == [F.RULE_WALL_CLOCK]
+
+    def test_out_of_scope_module_not_linted_for_determinism(
+        self, make_tree, tmp_path
+    ):
+        """Telemetry reads real clocks on purpose; the det pass skips it."""
+        make_tree({"repro/telemetry/clock.py": WALL_CLOCK_SIM})
+        result = run_lint(_config(tmp_path))
+        assert result.findings == []
+        assert result.files_scanned == 1
+
+    def test_scope_matches_when_root_is_repro_itself(self, make_tree, tmp_path):
+        """Linting src/repro directly still anchors scopes correctly."""
+        make_tree({"sim/clock.py": WALL_CLOCK_SIM})
+        result = run_lint(_config(tmp_path))
+        assert [f.rule for f in result.findings] == [F.RULE_WALL_CLOCK]
+
+
+class TestWaivers:
+    def test_inline_waiver_suppresses_and_is_reported(self, make_tree, tmp_path):
+        make_tree(
+            {
+                "repro/sim/clock.py": """
+                import time
+
+                class Clock:
+                    def now(self):
+                        # lint: allow(det.wall-clock) — test fixture
+                        return time.time()
+                """,
+            }
+        )
+        result = run_lint(_config(tmp_path))
+        assert result.findings == []
+        assert [f.rule for f in result.waived] == [F.RULE_WALL_CLOCK]
+
+    def test_waiver_for_other_rule_does_not_suppress(self, make_tree, tmp_path):
+        make_tree(
+            {
+                "repro/sim/clock.py": """
+                import time
+
+                class Clock:
+                    def now(self):
+                        # lint: allow(det.entropy) — wrong rule
+                        return time.time()
+                """,
+            }
+        )
+        result = run_lint(_config(tmp_path))
+        assert [f.rule for f in result.findings] == [F.RULE_WALL_CLOCK]
+
+
+class TestBaseline:
+    def test_baseline_suppresses_by_fingerprint_not_line(
+        self, make_tree, tmp_path
+    ):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        first = run_lint(_config(tmp_path))
+        baseline = Baseline.from_findings(first.findings, "known, tracked")
+
+        # Shift every line: the fingerprint (rule, path, key) still matches.
+        make_tree({"repro/sim/clock.py": "\n\n\n" + WALL_CLOCK_SIM})
+        second = run_lint(_config(tmp_path, baseline=baseline))
+        assert second.findings == []
+        assert [f.rule for f in second.baselined] == [F.RULE_WALL_CLOCK]
+        assert second.stale_baseline == []
+
+    def test_stale_entries_surface(self, make_tree, tmp_path):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        first = run_lint(_config(tmp_path))
+        baseline = Baseline.from_findings(first.findings, "was real once")
+
+        make_tree({"repro/sim/clock.py": "x = 1\n"})  # violation fixed
+        second = run_lint(_config(tmp_path, baseline=baseline))
+        assert second.findings == []
+        assert len(second.stale_baseline) == 1
+        assert second.stale_baseline[0]["justification"] == "was real once"
+
+    def test_round_trips_through_disk(self, make_tree, tmp_path):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        first = run_lint(_config(tmp_path))
+        baseline = Baseline.from_findings(first.findings, "accepted")
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = load_baseline(path)
+        assert loaded.entries == baseline.entries
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json").entries == {}
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, make_tree, tmp_path, capsys):
+        make_tree({"repro/sim/clock.py": "x = 1\n"})
+        assert lint_main([str(tmp_path)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+    def test_errors_exit_one(self, make_tree, tmp_path, capsys):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        assert lint_main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "det.wall-clock" in out and "FAIL" in out
+
+    def test_warnings_gate_only_under_strict(self, make_tree, tmp_path):
+        make_tree(
+            {
+                "repro/sim/order.py": """
+                def emit(log):
+                    for name in {"b", "a"}:
+                        log.append(name)
+                """,
+            }
+        )
+        assert lint_main([str(tmp_path)]) == 0
+        assert lint_main(["--strict", str(tmp_path)]) == 1
+
+    def test_bad_target_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+        assert "no such target" in capsys.readouterr().err
+
+    def test_json_report_shape(self, make_tree, tmp_path, capsys):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        assert lint_main(["--json", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["summary"]["errors"] == 1
+        assert report["findings"][0]["rule"] == "det.wall-clock"
+        assert report["findings"][0]["key"] == "Clock.now:time.time"
+
+    def test_write_then_use_baseline(self, make_tree, tmp_path, capsys):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        baseline_path = tmp_path / "accepted.json"
+        assert lint_main(["--write-baseline", str(baseline_path), str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (
+            lint_main(["--baseline", str(baseline_path), str(tmp_path)]) == 0
+        )
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_implicit_baseline_next_to_root(self, make_tree, tmp_path, capsys):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        lint_main(
+            ["--write-baseline", str(tmp_path / "lint-baseline.json"), str(tmp_path)]
+        )
+        capsys.readouterr()
+        assert lint_main([str(tmp_path)]) == 0
+
+    def test_stale_baseline_gates_under_strict(self, make_tree, tmp_path, capsys):
+        make_tree({"repro/sim/clock.py": WALL_CLOCK_SIM})
+        baseline_path = tmp_path / "accepted.json"
+        lint_main(["--write-baseline", str(baseline_path), str(tmp_path)])
+        make_tree({"repro/sim/clock.py": "x = 1\n"})  # fixed: entry now stale
+        capsys.readouterr()
+        assert lint_main(["--baseline", str(baseline_path), str(tmp_path)]) == 0
+        assert (
+            lint_main(["--strict", "--baseline", str(baseline_path), str(tmp_path)])
+            == 1
+        )
+
+    def test_main_module_dispatch(self, make_tree, tmp_path):
+        from repro.__main__ import main as repro_main
+
+        make_tree({"repro/sim/clock.py": "x = 1\n"})
+        assert repro_main(["lint", str(tmp_path)]) == 0

@@ -1,0 +1,176 @@
+"""Shard-race detector: planted races fire, the sanctioned channels don't."""
+
+from __future__ import annotations
+
+from repro.analysis import findings as F
+from repro.analysis.shards import check_file
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestCrossContextWrite:
+    def test_planted_cross_shard_write(self, make_file):
+        """Two region-routed callbacks mutate one attribute: the race."""
+        file = make_file(
+            "fleet/bad.py",
+            """
+            class Broken:
+                def __init__(self, kernel):
+                    self.kernel = kernel
+                    self.tally = []
+                    self.kernel.schedule(0, 1.0, self._tick_a)
+                    self.kernel.schedule(1, 1.0, self._tick_b)
+
+                def _tick_a(self):
+                    self.tally.append("a")
+
+                def _tick_b(self):
+                    self.tally.append("b")
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_CROSS_CONTEXT_WRITE]
+        assert found[0].key == "Broken:tally"
+        assert found[0].severity == F.ERROR
+
+    def test_handoff_routed_callbacks_are_sanctioned(self, make_file):
+        """Mutation from handoff-delivered callbacks passed the barrier."""
+        file = make_file(
+            "fleet/good.py",
+            """
+            class Quantized:
+                def __init__(self, kernel):
+                    self.kernel = kernel
+                    self.tally = []
+
+                def cross(self, region):
+                    self.kernel.handoff(0, region, self._deliver, "x")
+
+                def _deliver(self, item):
+                    self.tally.append(item)
+            """,
+        )
+        assert check_file(file) == []
+
+    def test_single_region_context_is_clean(self, make_file):
+        """One parameterized context alone cannot race with itself."""
+        file = make_file(
+            "fleet/one.py",
+            """
+            class OneRegion:
+                def __init__(self, kernel, region):
+                    self.kernel = kernel
+                    self.count = 0
+                    self.kernel.schedule(region, 1.0, self._tick)
+
+                def _tick(self):
+                    self.count += 1
+                    self.kernel.schedule(region, 1.0, self._tick)
+            """,
+        )
+        assert check_file(file) == []
+
+    def test_race_through_helper_propagation(self, make_file):
+        """Contexts follow self-calls: the race hides one hop deep."""
+        file = make_file(
+            "fleet/deep.py",
+            """
+            class Indirect:
+                def __init__(self, kernel):
+                    self.kernel = kernel
+                    self.cells = {}
+                    self.kernel.schedule(0, 1.0, self._tick_a)
+                    self.kernel.schedule(1, 1.0, self._tick_b)
+
+                def _tick_a(self):
+                    self._bump()
+
+                def _tick_b(self):
+                    self._bump()
+
+                def _bump(self):
+                    self.cells.setdefault("k", 0)
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_CROSS_CONTEXT_WRITE]
+        assert found[0].key == "Indirect:cells"
+
+
+class TestCrossContextRead:
+    def test_write_one_region_read_another(self, make_file):
+        file = make_file(
+            "fleet/stale.py",
+            """
+            class Stale:
+                def __init__(self, kernel):
+                    self.kernel = kernel
+                    self.latest = None
+                    self.kernel.schedule(0, 1.0, self._produce)
+                    self.kernel.schedule(1, 1.0, self._consume)
+
+                def _produce(self):
+                    self.latest = "value"
+
+                def _consume(self):
+                    return self.latest
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_CROSS_CONTEXT_READ]
+        assert found[0].severity == F.WARNING
+
+
+class TestPrivateHeapReach:
+    def test_foreign_shards_access_flagged(self, make_file):
+        file = make_file(
+            "fleet/reach.py",
+            """
+            class Meddler:
+                def poke(self, kernel):
+                    return kernel._shards[0]
+            """,
+        )
+        found = check_file(file)
+        assert rules(found) == [F.RULE_PRIVATE_HEAP_REACH]
+        assert found[0].key == "Meddler.poke:_shards"
+
+    def test_own_shards_access_clean(self, make_file):
+        file = make_file(
+            "fleet/own.py",
+            """
+            class Kernel:
+                def __init__(self, count):
+                    self._shards = [object() for _ in range(count)]
+
+                def shard(self, index):
+                    return self._shards[index]
+            """,
+        )
+        assert check_file(file) == []
+
+
+class TestPipelineIdiom:
+    def test_accept_queue_pipeline_shape_is_clean(self, make_file):
+        """submit() from callers plus sim-scheduled completion: sanctioned."""
+        file = make_file(
+            "midas/pipeline.py",
+            """
+            class Pipeline:
+                def __init__(self, simulator):
+                    self.simulator = simulator
+                    self.queue = []
+                    self.done = 0
+
+                def submit(self, job):
+                    self.queue.append(job)
+                    self.simulator.schedule(0.1, self._complete)
+
+                def _complete(self):
+                    self.queue.pop()
+                    self.done += 1
+            """,
+        )
+        assert check_file(file) == []
